@@ -1,0 +1,13 @@
+//! Application workloads from the paper's evaluation (§VI-F): HELR-style
+//! logistic-regression training and ResNet-20 inference, each in two
+//! forms — a *functional* encrypted implementation at reduced scale
+//! (exercising the real CKKS + scheme-switching stack), and a *trace*
+//! form priced by the `heap-hw` accelerator model to regenerate Tables
+//! VI–VIII.
+
+pub mod lr;
+pub mod resnet;
+pub mod trace;
+
+pub use lr::{train_plaintext, Dataset, EncryptedLrTrainer};
+pub use trace::{HomomorphicOp, OpTrace};

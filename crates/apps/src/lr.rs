@@ -1,0 +1,399 @@
+//! Encrypted logistic-regression training (paper §VI-F1).
+//!
+//! Reproduces the HELR-style workload the paper evaluates: binary
+//! classification in the spirit of MNIST 3-vs-8 (11,982 samples × 196
+//! features), with the degree-3 least-squares sigmoid of Han et al., one
+//! mini-batch per iteration, and one scheme-switched bootstrap per weight
+//! ciphertext per iteration. The MNIST subset itself is not shipped; a
+//! deterministic synthetic generator with the same shape and a separable
+//! structure stands in (see DESIGN.md substitutions — per-iteration cost
+//! depends on dimensions and packing, not pixel values).
+//!
+//! Two trainers are provided: [`train_plaintext`] (the exact reference)
+//! and [`EncryptedLrTrainer`] (CKKS + scheme-switched bootstrapping at
+//! reduced scale). The encrypted trainer packs one mini-batch sample per
+//! slot and one ciphertext per feature; weights carry a `1/value_scale`
+//! representation so bootstrap inputs respect the `|m| < q_0/(4Δ)` window.
+//!
+//! The full-scale accelerator cost is produced as an [`OpTrace`]
+//! (`lr_iteration_trace`) priced by `heap-hw` — that is the Table VI path.
+
+use rand::Rng;
+
+use heap_ckks::{Ciphertext, CkksContext, Complex64, GaloisKeys, RelinearizationKey, SecretKey};
+use heap_core::Bootstrapper;
+
+use crate::trace::{HomomorphicOp, OpTrace};
+
+/// Degree-3 least-squares sigmoid approximation on `[-8, 8]`
+/// (Han et al., used by HELR and the paper's LR workload):
+/// `σ(x) ≈ 0.5 + 0.15012·x − 0.001593·x³`.
+pub const SIGMOID3: [f64; 3] = [0.5, 0.15012, -0.001593];
+
+/// Evaluates the degree-3 sigmoid approximation.
+pub fn sigmoid3(x: f64) -> f64 {
+    SIGMOID3[0] + SIGMOID3[1] * x + SIGMOID3[2] * x * x * x
+}
+
+/// A labeled binary-classification dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature matrix, `samples × features`, values in `[0, 0.25]`.
+    pub x: Vec<Vec<f64>>,
+    /// Labels in `{-1, +1}`.
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Deterministic synthetic stand-in for the MNIST 3-vs-8 subset:
+    /// `samples` points with `features` attributes drawn from two
+    /// overlapping clusters. Feature values land in `[0, 0.25]` like
+    /// rescaled pixel intensities.
+    pub fn synthetic<R: Rng + ?Sized>(samples: usize, features: usize, rng: &mut R) -> Self {
+        let mut x = Vec::with_capacity(samples);
+        let mut y = Vec::with_capacity(samples);
+        for i in 0..samples {
+            let label = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let row: Vec<f64> = (0..features)
+                .map(|j| {
+                    // Class-dependent mean on a zero-sum alternating
+                    // pattern (pairs share magnitude, opposite sign), plus
+                    // noise — linearly separable without a bias term.
+                    let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+                    let mag = 0.4 + 0.6 * ((j / 2 % 7) as f64 / 7.0);
+                    let mean = 0.125 + 0.06 * label * sign * mag;
+                    let noise: f64 = rng.gen_range(-0.04..0.04);
+                    (mean + noise).clamp(0.0, 0.25)
+                })
+                .collect();
+            x.push(row);
+            y.push(label);
+        }
+        Self { x, y }
+    }
+
+    /// The paper's dataset shape: 11,982 samples × 196 features.
+    pub fn paper_shape<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::synthetic(11_982, 196, rng)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of features.
+    pub fn features(&self) -> usize {
+        self.x.first().map_or(0, |r| r.len())
+    }
+
+    /// Classification accuracy of linear weights on this dataset.
+    pub fn accuracy(&self, weights: &[f64]) -> f64 {
+        let correct = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .filter(|(row, &label)| {
+                let z: f64 = row.iter().zip(weights).map(|(a, b)| a * b).sum();
+                (z >= 0.0) == (label > 0.0)
+            })
+            .count();
+        correct as f64 / self.len() as f64
+    }
+}
+
+/// One step of plaintext HELR-style training (the exact reference the
+/// encrypted trainer must track).
+pub fn plaintext_step(weights: &mut [f64], batch_x: &[Vec<f64>], batch_y: &[f64], lr: f64) {
+    let b = batch_y.len() as f64;
+    let f = weights.len();
+    let mut grad = vec![0.0; f];
+    for (row, &label) in batch_x.iter().zip(batch_y) {
+        let z: f64 = row.iter().zip(weights.iter()).map(|(a, b)| a * b).sum();
+        // HELR update: w += (lr/B) Σ σ(-y z) y x.
+        let s = sigmoid3(-label * z);
+        for j in 0..f {
+            grad[j] += s * label * row[j];
+        }
+    }
+    for j in 0..f {
+        weights[j] += lr * grad[j] / b;
+    }
+}
+
+/// Full plaintext training loop.
+pub fn train_plaintext(data: &Dataset, iterations: usize, batch: usize, lr: f64) -> Vec<f64> {
+    let mut weights = vec![0.0; data.features()];
+    for it in 0..iterations {
+        let start = (it * batch) % data.len();
+        let idx: Vec<usize> = (0..batch).map(|k| (start + k) % data.len()).collect();
+        let bx: Vec<Vec<f64>> = idx.iter().map(|&i| data.x[i].clone()).collect();
+        let by: Vec<f64> = idx.iter().map(|&i| data.y[i]).collect();
+        plaintext_step(&mut weights, &bx, &by, lr);
+    }
+    weights
+}
+
+/// Encrypted HELR-style trainer.
+///
+/// One ciphertext per feature holds the (slot-broadcast) weight; each
+/// iteration consumes the full multiplicative depth (5 levels, matching
+/// the paper's `L = 6` budget) and ends with one scheme-switched bootstrap
+/// per weight ciphertext.
+pub struct EncryptedLrTrainer<'a> {
+    ctx: &'a CkksContext,
+    rlk: &'a RelinearizationKey,
+    gks: &'a GaloisKeys,
+    boot: &'a Bootstrapper,
+    /// Weight representation scale: ciphertexts hold `w / value_scale` so
+    /// bootstrap inputs stay inside the decryption window.
+    pub value_scale: f64,
+    /// Learning rate.
+    pub learning_rate: f64,
+}
+
+impl<'a> EncryptedLrTrainer<'a> {
+    /// Creates a trainer. The context must provide at least 6 limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context has fewer than 6 limbs (one iteration needs 5
+    /// multiplicative levels).
+    pub fn new(
+        ctx: &'a CkksContext,
+        rlk: &'a RelinearizationKey,
+        gks: &'a GaloisKeys,
+        boot: &'a Bootstrapper,
+    ) -> Self {
+        assert!(
+            ctx.max_limbs() >= 6,
+            "LR iteration needs 5 levels (L >= 6), got L = {}",
+            ctx.max_limbs()
+        );
+        Self {
+            ctx,
+            rlk,
+            gks,
+            boot,
+            value_scale: 16.0,
+            learning_rate: 1.0,
+        }
+    }
+
+    /// Encrypts the initial (zero) weights: one ciphertext per feature.
+    pub fn initial_weights<R: Rng + ?Sized>(
+        &self,
+        features: usize,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> Vec<Ciphertext> {
+        let zeros = vec![0.0; self.ctx.slots()];
+        (0..features)
+            .map(|_| self.ctx.encrypt_real_sk(&zeros, sk, rng))
+            .collect()
+    }
+
+    /// Encrypts one mini-batch (sample `i` in slot `i`): returns the
+    /// label-folded features `u_j[i] = y_i · x_ij` per feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch size differs from the slot count (the trainer
+    /// packs exactly one batch per ciphertext so slot-sums broadcast).
+    pub fn encrypt_batch<R: Rng + ?Sized>(
+        &self,
+        batch_x: &[Vec<f64>],
+        batch_y: &[f64],
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> Vec<Ciphertext> {
+        assert_eq!(batch_x.len(), self.ctx.slots(), "batch must fill all slots");
+        assert_eq!(batch_x.len(), batch_y.len());
+        let features = batch_x[0].len();
+        (0..features)
+            .map(|j| {
+                let u: Vec<f64> = batch_x
+                    .iter()
+                    .zip(batch_y)
+                    .map(|(row, &y)| y * row[j])
+                    .collect();
+                self.ctx.encrypt_real_sk(&u, sk, rng)
+            })
+            .collect()
+    }
+
+    /// Multiplies by a broadcast constant, landing exactly at
+    /// `(target_limbs, target_scale)` (delegates to the CKKS scale-targeting
+    /// API).
+    fn mul_plain_to(
+        &self,
+        ct: &Ciphertext,
+        value: f64,
+        target_limbs: usize,
+        target_scale: f64,
+    ) -> Ciphertext {
+        self.ctx.mul_const_to(ct, value, target_limbs, target_scale)
+    }
+
+    /// Slot-sum via rotate-and-add: afterwards every slot holds the full
+    /// sum (requires power-of-two slot count and all-slot packing).
+    fn slot_sum(&self, ct: &Ciphertext) -> Ciphertext {
+        let mut acc = ct.clone();
+        let mut step = self.ctx.slots() / 2;
+        while step >= 1 {
+            let rot = self.ctx.rotate(&acc, step as i64, self.gks);
+            acc = self.ctx.add(&acc, &rot);
+            step /= 2;
+        }
+        acc
+    }
+
+    /// Runs one encrypted training iteration, consuming the weight
+    /// ciphertexts and returning the refreshed ones.
+    ///
+    /// Mirrors [`plaintext_step`] exactly (same polynomial, same update)
+    /// up to CKKS noise.
+    pub fn iteration(&self, weights: Vec<Ciphertext>, batch_u: &[Ciphertext]) -> Vec<Ciphertext> {
+        let ctx = self.ctx;
+        let full = ctx.max_limbs();
+        let features = weights.len();
+        assert_eq!(batch_u.len(), features);
+        let vs = self.value_scale;
+
+        // z_ct = Σ_j w_ct_j ⊙ u_j, where w_ct = w/vs so z_ct = (y·z)/vs.
+        let mut z: Option<Ciphertext> = None;
+        for (w, u) in weights.iter().zip(batch_u) {
+            let prod = ctx.rescale(&ctx.mul(w, u, self.rlk));
+            z = Some(match z {
+                None => prod,
+                Some(acc) => ctx.add(&acc, &prod),
+            });
+        }
+        let z = z.expect("at least one feature"); // (L-1, Δz)
+
+        // z² and z³.
+        let z2 = ctx.rescale(&ctx.square(&z, self.rlk)); // (L-2)
+        let z_at2 = self.mul_plain_to(&z, 1.0, full - 2, z2.scale());
+        let z3 = ctx.rescale(&ctx.mul(&z2, &z_at2, self.rlk)); // (L-3)
+
+        // s = σ(-y·z) = 0.5 - c1·vs·z_ct + c3·vs³·z_ct³, aligned at
+        // (L-4, Δ).
+        let delta = ctx.fresh_scale();
+        let term1 = self.mul_plain_to(&z, -SIGMOID3[1] * vs, full - 4, delta);
+        let term3 = self.mul_plain_to(&z3, -SIGMOID3[2] * vs * vs * vs, full - 4, delta);
+        let half = vec![Complex64::from(SIGMOID3[0]); ctx.slots()];
+        let s = ctx.add_plain(&ctx.add(&term1, &term3), &half); // (L-4, Δ)
+
+        // Per-feature gradient, targeted so it lands at (1, w.scale()).
+        let b = ctx.slots() as f64;
+        weights
+            .into_iter()
+            .zip(batch_u)
+            .map(|(w, u)| {
+                let w_scale = w.scale();
+                // u' = u · lr/(B·vs), aligned for the final product to land
+                // exactly at the weight's scale after one rescale (which
+                // divides by the prime at index full-5).
+                let q_div = ctx.rns().modulus(full - 5).value() as f64;
+                let u_target_scale = w_scale * q_div / s.scale();
+                let u_aligned = self.mul_plain_to(
+                    u,
+                    self.learning_rate / (b * vs),
+                    full - 4,
+                    u_target_scale,
+                );
+                let grad = ctx.rescale(&ctx.mul(&s, &u_aligned, self.rlk)); // (1, ~w_scale)
+                let mut grad = self.slot_sum(&grad);
+                grad.set_scale(w_scale);
+                // w' = w + grad at a single limb, then refresh. The
+                // slot-broadcast weight encodes to a constant polynomial
+                // (coefficient 0 only), so the bootstrap extracts a single
+                // LWE — the extreme point of the paper's sparse-packing
+                // knob.
+                let w_low = ctx.mod_drop_to(&w, 1);
+                let w_next = ctx.add(&w_low, &grad);
+                self.boot.bootstrap_indices(ctx, &w_next, &[0])
+            })
+            .collect()
+    }
+
+    /// Decrypts weight ciphertexts back to true weight values.
+    pub fn decrypt_weights(&self, weights: &[Ciphertext], sk: &SecretKey) -> Vec<f64> {
+        weights
+            .iter()
+            .map(|w| self.ctx.decrypt_real(w, sk)[0] * self.value_scale)
+            .collect()
+    }
+}
+
+/// The Table VI operation trace for one full-scale LR training iteration
+/// (196 features packed into ceil(196·256/slots) ciphertexts, 256-slot
+/// sparse packing, one bootstrap per iteration — §VI-F1).
+pub fn lr_iteration_trace(features: usize, packed_slots: usize) -> OpTrace {
+    let mut t = OpTrace::new();
+    // Forward: one Mult+Rescale per feature block (4 features share a
+    // ciphertext at the HELR packing), log2(batch) rotations for the
+    // inner-product folds.
+    let feature_blocks = features.div_ceil(4).max(1) as u64;
+    t.push(HomomorphicOp::Mult, feature_blocks)
+        .push(HomomorphicOp::Rescale, feature_blocks)
+        .push(HomomorphicOp::Rotate, 2 * (packed_slots as f64).log2() as u64)
+        // Sigmoid: z², z³, two plaintext scalings, adds.
+        .push(HomomorphicOp::Mult, 2)
+        .push(HomomorphicOp::Rescale, 2)
+        .push(HomomorphicOp::PtMult, 3)
+        .push(HomomorphicOp::Add, feature_blocks + 4)
+        // Gradient + update.
+        .push(HomomorphicOp::Mult, feature_blocks)
+        .push(HomomorphicOp::Rescale, feature_blocks)
+        .push(HomomorphicOp::Add, feature_blocks)
+        // One bootstrap per iteration at the sparse packing.
+        .push(HomomorphicOp::Bootstrap { n_br: packed_slots }, 1);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sigmoid3_matches_reference_points() {
+        assert!((sigmoid3(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid3(4.0) > 0.85 && sigmoid3(4.0) < 1.05);
+        assert!(sigmoid3(-4.0) < 0.15);
+    }
+
+    #[test]
+    fn synthetic_data_is_learnable_in_plaintext() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = Dataset::synthetic(512, 32, &mut rng);
+        assert_eq!(data.len(), 512);
+        assert_eq!(data.features(), 32);
+        let w = train_plaintext(&data, 30, 64, 8.0);
+        let acc = data.accuracy(&w);
+        assert!(acc > 0.9, "plaintext accuracy {acc}");
+    }
+
+    #[test]
+    fn paper_shape_dimensions() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let data = Dataset::paper_shape(&mut rng);
+        assert_eq!(data.len(), 11_982);
+        assert_eq!(data.features(), 196);
+    }
+
+    #[test]
+    fn iteration_trace_has_one_bootstrap() {
+        let t = lr_iteration_trace(196, 256);
+        assert_eq!(t.bootstrap_count(), 1);
+        let t30 = t.repeat(30);
+        assert_eq!(t30.bootstrap_count(), 30);
+    }
+}

@@ -1,0 +1,133 @@
+//! Homomorphic operation traces.
+//!
+//! An [`OpTrace`] records how many of each primitive operation a workload
+//! executes; `heap-hw`'s calibrated per-op timings then price the trace on
+//! the accelerator. This is the glue between the functional applications
+//! (which run for real at reduced scale) and the paper's Tables VI–VIII
+//! (which report full-scale accelerator times).
+
+use heap_hw::perf::{BootstrapModel, OpTimings};
+
+/// A primitive homomorphic operation, as counted by the applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HomomorphicOp {
+    /// Ciphertext-ciphertext addition.
+    Add,
+    /// Ciphertext-ciphertext multiplication (incl. relinearization).
+    Mult,
+    /// Plaintext multiplication.
+    PtMult,
+    /// Rescale.
+    Rescale,
+    /// Slot rotation.
+    Rotate,
+    /// Scheme-switched bootstrap with the given packed-slot count.
+    Bootstrap {
+        /// Number of packed slots (`n_br`).
+        n_br: usize,
+    },
+}
+
+/// An ordered multiset of homomorphic operations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpTrace {
+    ops: Vec<(HomomorphicOp, u64)>,
+}
+
+impl OpTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `count` occurrences of `op`.
+    pub fn push(&mut self, op: HomomorphicOp, count: u64) -> &mut Self {
+        if count > 0 {
+            self.ops.push((op, count));
+        }
+        self
+    }
+
+    /// Concatenates another trace.
+    pub fn extend(&mut self, other: &OpTrace) {
+        self.ops.extend(other.ops.iter().copied());
+    }
+
+    /// Repeats this trace `times` times.
+    pub fn repeat(&self, times: u64) -> OpTrace {
+        let ops = self.ops.iter().map(|&(op, c)| (op, c * times)).collect();
+        OpTrace { ops }
+    }
+
+    /// Total count of an operation kind (bootstraps match any `n_br`).
+    pub fn count(&self, kind: fn(&HomomorphicOp) -> bool) -> u64 {
+        self.ops.iter().filter(|(op, _)| kind(op)).map(|(_, c)| c).sum()
+    }
+
+    /// Total bootstrap invocations.
+    pub fn bootstrap_count(&self) -> u64 {
+        self.count(|op| matches!(op, HomomorphicOp::Bootstrap { .. }))
+    }
+
+    /// Prices the trace on the HEAP model: per-op timings for the compute
+    /// operations and the parallel bootstrap model for refreshes.
+    ///
+    /// Returns `(total_ms, bootstrap_ms)` so callers can report the
+    /// compute-to-bootstrapping split the paper discusses (§VI-F).
+    pub fn time_ms(&self, ops: &OpTimings, boot: &BootstrapModel, nodes: usize) -> (f64, f64) {
+        let mut total = 0.0;
+        let mut boot_ms = 0.0;
+        for &(op, count) in &self.ops {
+            let c = count as f64;
+            match op {
+                HomomorphicOp::Add => total += c * ops.add_ms,
+                HomomorphicOp::Mult => total += c * ops.mult_ms,
+                HomomorphicOp::PtMult => total += c * ops.mult_ms * 0.5,
+                HomomorphicOp::Rescale => total += c * ops.rescale_ms,
+                HomomorphicOp::Rotate => total += c * ops.rotate_ms,
+                HomomorphicOp::Bootstrap { n_br } => {
+                    let t = c * boot.total_ms(n_br, nodes);
+                    total += t;
+                    boot_ms += t;
+                }
+            }
+        }
+        (total, boot_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_accumulates_and_repeats() {
+        let mut t = OpTrace::new();
+        t.push(HomomorphicOp::Mult, 3)
+            .push(HomomorphicOp::Rotate, 2)
+            .push(HomomorphicOp::Bootstrap { n_br: 256 }, 1);
+        assert_eq!(t.bootstrap_count(), 1);
+        let t5 = t.repeat(5);
+        assert_eq!(t5.bootstrap_count(), 5);
+        assert_eq!(t5.count(|o| matches!(o, HomomorphicOp::Mult)), 15);
+    }
+
+    #[test]
+    fn pricing_splits_bootstrap_share() {
+        let ops = OpTimings::heap_single_fpga();
+        let boot = BootstrapModel::paper();
+        let mut t = OpTrace::new();
+        t.push(HomomorphicOp::Mult, 10)
+            .push(HomomorphicOp::Bootstrap { n_br: 4096 }, 1);
+        let (total, boot_ms) = t.time_ms(&ops, &boot, 8);
+        assert!(boot_ms > 0.0 && boot_ms < total);
+        assert!((total - boot_ms - 0.28).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_count_is_dropped() {
+        let mut t = OpTrace::new();
+        t.push(HomomorphicOp::Add, 0);
+        assert_eq!(t, OpTrace::new());
+    }
+}

@@ -1,0 +1,37 @@
+//! Scheme-switched bootstrap benchmarks across the sparse-packing knob
+//! `n_br` (the paper's §V parameter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heap_ckks::{CkksContext, CkksParams, SecretKey};
+use heap_core::{BootstrapConfig, Bootstrapper};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let ctx = CkksContext::new(CkksParams::test_tiny());
+    let mut rng = StdRng::seed_from_u64(3);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let boot = Bootstrapper::generate(&ctx, &sk, BootstrapConfig::test_small(), &mut rng);
+    let delta = ctx.fresh_scale();
+    let coeffs = vec![(0.05 * delta) as i64; ctx.n()];
+    let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
+
+    let mut g = c.benchmark_group("bootstrap_n128");
+    g.sample_size(10);
+    for n_br in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("sparse", n_br), &n_br, |b, &n_br| {
+            b.iter(|| black_box(boot.bootstrap_sparse(&ctx, &ct, n_br)))
+        });
+    }
+    g.bench_function("functional_relu_nbr16", |b| {
+        let indices: Vec<usize> = (0..ctx.n()).step_by(ctx.n() / 16).collect();
+        b.iter(|| {
+            black_box(boot.bootstrap_eval(&ctx, &ct, &indices, |x| if x > 0.0 { x } else { 0.0 }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bootstrap);
+criterion_main!(benches);

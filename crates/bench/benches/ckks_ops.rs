@@ -1,0 +1,36 @@
+//! CKKS primitive operation benchmarks (our functional Rust column — the
+//! "SS on CPU" substrate of Table VIII).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heap_ckks::{CkksContext, CkksParams, GaloisKeys, RelinearizationKey, SecretKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_ops(c: &mut Criterion) {
+    let ctx = CkksContext::new(CkksParams::test_small());
+    let mut rng = StdRng::seed_from_u64(1);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let rlk = RelinearizationKey::generate(&ctx, &sk, &mut rng);
+    let gks = GaloisKeys::generate(&ctx, &sk, &[1], false, &mut rng);
+    let msg: Vec<f64> = (0..ctx.slots()).map(|i| (i % 50) as f64 / 500.0).collect();
+    let a = ctx.encrypt_real_sk(&msg, &sk, &mut rng);
+    let b = ctx.encrypt_real_sk(&msg, &sk, &mut rng);
+
+    let mut g = c.benchmark_group("ckks_n1024_l3");
+    g.bench_function("add", |bch| bch.iter(|| black_box(ctx.add(&a, &b))));
+    g.bench_function("mult_relin", |bch| bch.iter(|| black_box(ctx.mul(&a, &b, &rlk))));
+    g.bench_function("rescale", |bch| {
+        let prod = ctx.mul(&a, &b, &rlk);
+        bch.iter(|| black_box(ctx.rescale(&prod)))
+    });
+    g.bench_function("rotate", |bch| bch.iter(|| black_box(ctx.rotate(&a, 1, &gks))));
+    g.bench_function("encrypt", |bch| {
+        bch.iter(|| black_box(ctx.encrypt_real_sk(&msg, &sk, &mut rng)))
+    });
+    g.bench_function("decrypt", |bch| bch.iter(|| black_box(ctx.decrypt(&a, &sk))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

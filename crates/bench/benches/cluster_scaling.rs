@@ -1,0 +1,33 @@
+//! Cluster scaling of the parallel bootstrap (functional execution — on a
+//! multi-core host the scaling follows node count; the accelerator model
+//! provides the full-scale numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heap_ckks::{CkksContext, CkksParams, SecretKey};
+use heap_core::{BootstrapConfig, Bootstrapper, LocalCluster};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_cluster(c: &mut Criterion) {
+    let ctx = CkksContext::new(CkksParams::test_tiny());
+    let mut rng = StdRng::seed_from_u64(5);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let boot = Bootstrapper::generate(&ctx, &sk, BootstrapConfig::test_small(), &mut rng);
+    let delta = ctx.fresh_scale();
+    let coeffs = vec![(0.05 * delta) as i64; ctx.n()];
+    let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
+
+    let mut g = c.benchmark_group("cluster_bootstrap_nbr16");
+    g.sample_size(10);
+    for nodes in [1usize, 2, 4] {
+        let cluster = LocalCluster::new(nodes);
+        g.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(boot.bootstrap_sparse_with_cluster(&ctx, &ct, 16, &cluster)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

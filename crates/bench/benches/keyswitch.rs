@@ -1,0 +1,34 @@
+//! Hybrid key-switch benchmarks across levels (the ModUp/ModDown
+//! datapath shared by CKKS KeySwitch and the repacking automorphisms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heap_ckks::keyswitch::key_switch;
+use heap_ckks::{CkksContext, CkksParams, KeySwitchKey, SecretKey};
+use heap_math::RnsPoly;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_keyswitch(c: &mut Criterion) {
+    let ctx = CkksContext::new(CkksParams::test_small());
+    let mut rng = StdRng::seed_from_u64(4);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let w: Vec<Vec<u64>> = (0..ctx.boot_limbs())
+        .map(|j| sk.eval_limb(j).to_vec())
+        .collect();
+    let ksk = KeySwitchKey::generate(&ctx, &sk, &w, &mut rng);
+    let coeffs: Vec<i64> = (0..ctx.n()).map(|i| (i % 1000) as i64).collect();
+
+    let mut g = c.benchmark_group("keyswitch_n1024");
+    for limbs in [1usize, 2, 3] {
+        let mut d = RnsPoly::from_signed(ctx.rns(), &coeffs, limbs);
+        d.to_eval(ctx.rns());
+        g.bench_with_input(BenchmarkId::new("limbs", limbs), &limbs, |b, _| {
+            b.iter(|| black_box(key_switch(&ctx, &d, &ksk)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_keyswitch);
+criterion_main!(benches);

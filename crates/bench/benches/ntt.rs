@@ -1,0 +1,77 @@
+//! NTT benchmarks: sizes 2^10..2^13, precomputed vs on-the-fly twiddles
+//! (the §IV-D control-signal ablation), and Barrett vs naive modular
+//! multiplication.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heap_math::arith::Modulus;
+use heap_math::ntt::{NttTable, TwiddleMode};
+use heap_math::prime::ntt_primes;
+use std::hint::black_box;
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ntt_forward");
+    for log_n in [10u32, 12, 13] {
+        let n = 1usize << log_n;
+        let q = Modulus::new(ntt_primes(n as u64, 36, 1)[0]).unwrap();
+        let t = NttTable::new(n, q);
+        let data: Vec<u64> = (0..n as u64).map(|i| i * 7 % q.value()).collect();
+        g.bench_with_input(BenchmarkId::new("standard", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = data.clone();
+                t.forward(&mut a);
+                black_box(a)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lazy_harvey", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = data.clone();
+                t.forward_lazy(&mut a);
+                black_box(a)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("grouped_precomputed", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = data.clone();
+                t.forward_grouped(&mut a, TwiddleMode::Precomputed);
+                black_box(a)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("grouped_on_the_fly", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = data.clone();
+                t.forward_grouped(&mut a, TwiddleMode::OnTheFly);
+                black_box(a)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_modmul(c: &mut Criterion) {
+    let q = Modulus::new(ntt_primes(1 << 13, 36, 1)[0]).unwrap();
+    let xs: Vec<u64> = (0..4096u64).map(|i| (i * 2_654_435_761) % q.value()).collect();
+    let mut g = c.benchmark_group("modmul_4096");
+    g.bench_function("barrett", |b| {
+        b.iter(|| {
+            let mut acc = 1u64;
+            for &x in &xs {
+                acc = q.mul(acc, x);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("naive_u128_rem", |b| {
+        let qv = q.value() as u128;
+        b.iter(|| {
+            let mut acc = 1u64;
+            for &x in &xs {
+                acc = ((acc as u128 * x as u128) % qv) as u64;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ntt, bench_modmul);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Regenerates Figure 1: the conventional CKKS bootstrapping pipeline
+//! vs the modified scheme-switching pipeline, with per-step costs from
+//! the models.
+//!
+//! ```sh
+//! cargo run -p heap-bench --bin fig1_steps
+//! ```
+
+use heap_bench::render_table;
+use heap_hw::baselines::{ConventionalBootstrapCounts, FabOpTimings};
+use heap_hw::perf::BootstrapModel;
+
+fn main() {
+    println!("Figure 1(a) — conventional CKKS bootstrapping (sequential, FAB-style)\n");
+    let counts = ConventionalBootstrapCounts::n16();
+    let fab = FabOpTimings::published();
+    let rows = vec![
+        vec![
+            "1. ModRaise".to_string(),
+            "reinterpret at Q' (adds k·q)".to_string(),
+            "~0 (free)".to_string(),
+        ],
+        vec![
+            "2. CoeffToSlot (linear transform)".to_string(),
+            format!("{} rotations", counts.rotations / 2),
+            format!("{:.1} ms", counts.rotations as f64 / 2.0 * fab.rotate_ms),
+        ],
+        vec![
+            "3. EvalMod (sine approximation)".to_string(),
+            format!("{} mults + {} rescales", counts.mults, counts.rescales),
+            format!(
+                "{:.1} ms",
+                counts.mults as f64 * fab.mult_ms + counts.rescales as f64 * fab.rescale_ms
+            ),
+        ],
+        vec![
+            "4. SlotToCoeff (linear transform)".to_string(),
+            format!("{} rotations", counts.rotations / 2),
+            format!("{:.1} ms", counts.rotations as f64 / 2.0 * fab.rotate_ms),
+        ],
+        vec![
+            "Total (sequential; 15-19 levels consumed)".to_string(),
+            String::new(),
+            format!("{:.1} ms", counts.sequential_ms(&fab)),
+        ],
+    ];
+    println!("{}", render_table(&["Step", "Work", "Cost (FAB op timings)"], &rows));
+
+    println!("\nFigure 1(b) — modified bootstrapping via scheme switching (parallel)\n");
+    let b = BootstrapModel::paper();
+    let rows = vec![
+        vec![
+            "1. ModulusSwitch (q -> 2N)".to_string(),
+            "cheap: 2N is a power of two".to_string(),
+            format!("{:.4} ms", b.step12_ms / 2.0),
+        ],
+        vec![
+            "2. Extract (one LWE per coefficient)".to_string(),
+            "4096 LWE ciphertexts".to_string(),
+            format!("{:.4} ms", b.step12_ms / 2.0),
+        ],
+        vec![
+            "3. BlindRotate x4096 (parallel, 8 FPGAs)".to_string(),
+            "no data dependencies between LWEs".to_string(),
+            format!("{:.4} ms", b.step3_batch_ms),
+        ],
+        vec![
+            "4. Repack (automorphism tree)".to_string(),
+            "LWEs -> one RLWE".to_string(),
+            format!("{:.4} ms", b.step45_full_ms * 0.8),
+        ],
+        vec![
+            "5. Combine + Rescale by p".to_string(),
+            "1 level consumed in total".to_string(),
+            format!("{:.4} ms", b.step45_full_ms * 0.2),
+        ],
+        vec![
+            "Total (parallel)".to_string(),
+            String::new(),
+            format!("{:.4} ms", b.paper_full_ms()),
+        ],
+    ];
+    println!("{}", render_table(&["Step", "Work", "Cost (HEAP model)"], &rows));
+    println!(
+        "\nSequential-to-parallel ratio at these calibrations: {:.0}x",
+        ConventionalBootstrapCounts::n16().sequential_ms(&FabOpTimings::published())
+            / BootstrapModel::paper().paper_full_ms()
+    );
+}

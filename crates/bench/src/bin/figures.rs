@@ -1,0 +1,35 @@
+//! Prints the scaling-curve data series (figure-style outputs): bootstrap
+//! latency vs `n_br` and vs node count, parallel efficiency, key sizes vs
+//! `d`, NTT throughput vs `N`, and the key-streaming budget.
+//!
+//! ```sh
+//! cargo run -p heap-bench --bin figures
+//! ```
+
+use heap_hw::figures::{
+    bootstrap_vs_nodes, bootstrap_vs_slots, key_size_vs_d, key_stream_ms, ntt_vs_ring_dim,
+    scaling_efficiency,
+};
+use heap_hw::perf::BootstrapModel;
+use heap_hw::FpgaDevice;
+
+fn main() {
+    let model = BootstrapModel::paper();
+    let device = FpgaDevice::alveo_u280();
+    for s in [
+        bootstrap_vs_slots(&model),
+        bootstrap_vs_nodes(&model),
+        scaling_efficiency(&model),
+        key_size_vs_d(),
+        ntt_vs_ring_dim(&device),
+    ] {
+        println!("# {}", s.name);
+        print!("{}", s.to_csv());
+        println!();
+    }
+    println!("# blind-rotation key streaming (HBM) per bootstrap");
+    println!("nodes,stream_ms");
+    for nodes in [1usize, 2, 4, 8] {
+        println!("{nodes},{:.4}", key_stream_ms(&device, nodes));
+    }
+}

@@ -1,0 +1,63 @@
+//! Regenerates paper Table III: basic FHE operation latencies and HEAP's
+//! speedups over FAB, the GPU implementation, GME, and the TFHE library.
+//!
+//! ```sh
+//! cargo run -p heap-bench --bin table3
+//! ```
+
+use heap_bench::{render_table, speedup};
+use heap_hw::baselines::{heap_table3, table3_baselines};
+
+fn main() {
+    let heap = heap_table3();
+    let baselines = table3_baselines();
+
+    println!("Table III — execution time (ms) for basic FHE operations (single FPGA)");
+    println!("HEAP: N = 2^13, log Q = 216; baselines at their published parameters\n");
+
+    let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.3}"));
+    let heap_col = [
+        ("Add", Some(heap.add_ms)),
+        ("Mult", Some(heap.mult_ms)),
+        ("Rescale", Some(heap.rescale_ms)),
+        ("Rotate", Some(heap.rotate_ms)),
+        ("BlindRotate", Some(heap.blind_rotate_batch_ms)),
+    ];
+    let pick = |row: &heap_hw::baselines::BasicOpRow, op: &str| -> Option<f64> {
+        match op {
+            "Add" => row.add_ms,
+            "Mult" => row.mult_ms,
+            "Rescale" => row.rescale_ms,
+            "Rotate" => row.rotate_ms,
+            "BlindRotate" => row.blind_rotate_ms,
+            _ => None,
+        }
+    };
+
+    let mut rows = Vec::new();
+    for (op, heap_v) in heap_col {
+        let heap_v = heap_v.expect("heap supports all ops");
+        let mut row = vec![op.to_string(), format!("{heap_v:.3}")];
+        for b in &baselines {
+            let v = pick(b, op);
+            row.push(fmt(v));
+            row.push(v.map_or("-".to_string(), |x| speedup(x, heap_v)));
+        }
+        rows.push(row);
+    }
+    let headers = [
+        "Operation",
+        "HEAP",
+        "FAB",
+        "vs FAB",
+        "GPU",
+        "vs GPU",
+        "GME",
+        "vs GME",
+        "TFHE",
+        "vs TFHE",
+    ];
+    println!("{}", render_table(&headers, &rows));
+    println!("(paper: Add 40x/160x/28x; Mult 61.1x/105.71x/16.57x; Rescale 19x/49x/6.9x;");
+    println!(" Rotate 62.8x/102x/14.56x vs FAB/GPU/GME; BlindRotate 156.7x vs TFHE lib)");
+}

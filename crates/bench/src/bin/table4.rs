@@ -1,0 +1,42 @@
+//! Regenerates paper Table IV: NTT throughput vs FAB and HEAX
+//! (`N = 2^13`, `log Q = 218`).
+//!
+//! ```sh
+//! cargo run -p heap-bench --bin table4
+//! ```
+
+use heap_bench::{render_table, speedup};
+use heap_hw::baselines::table4_baselines;
+use heap_hw::{FpgaDevice, NttModel};
+
+fn main() {
+    let device = FpgaDevice::alveo_u280();
+    let model = NttModel::paper();
+    let heap_thr = model.throughput(&device);
+
+    println!("Table IV — NTT throughput (operations/second), N = 2^13");
+    println!(
+        "HEAP model: {} cycles/NTT at {} MHz → {:.0} ops/s (paper: 210K)\n",
+        model.cycles(),
+        device.clocks.kernel_hz / 1e6,
+        heap_thr
+    );
+
+    let mut rows = vec![vec![
+        "HEAP (model)".to_string(),
+        format!("{:.0}", heap_thr),
+        "-".to_string(),
+    ]];
+    for (name, thr) in table4_baselines() {
+        rows.push(vec![
+            name.to_string(),
+            format!("{thr:.0}"),
+            speedup(heap_thr, thr),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["System", "NTT ops/s", "HEAP speedup"], &rows)
+    );
+    println!("(paper: 2.04x vs FAB, 2.34x vs HEAX)");
+}

@@ -1,0 +1,61 @@
+//! Regenerates paper Table VI: average LR training time per iteration
+//! (sparsely packed, 256 slots) and speedups, from the workload trace
+//! priced by the accelerator model.
+//!
+//! ```sh
+//! cargo run -p heap-bench --bin table6
+//! ```
+
+use heap_apps::lr::lr_iteration_trace;
+use heap_bench::render_table;
+use heap_hw::baselines::table6_baselines;
+use heap_hw::perf::{BootstrapModel, OpTimings};
+
+fn main() {
+    let trace = lr_iteration_trace(196, 256);
+    let ops = OpTimings::heap_single_fpga();
+    let boot = BootstrapModel::paper();
+    let (total_ms, boot_ms) = trace.time_ms(&ops, &boot, 8);
+    let heap_s = total_ms / 1e3;
+    let heap_freq_ghz = 0.3;
+
+    println!("Table VI — LR model training, average time per iteration");
+    println!("Workload: MNIST-3v8 shape (11,982 × 196), 256-slot sparse packing,");
+    println!("one bootstrap per iteration (30 iterations total).\n");
+    println!(
+        "HEAP model: {:.4} s/iteration, bootstrap share {:.0}% (paper: 0.007 s, ~21%)\n",
+        heap_s,
+        100.0 * boot_ms / total_ms
+    );
+
+    let mut rows = Vec::new();
+    for b in table6_baselines() {
+        let speed = b.metric / heap_s;
+        let cycles = speed * (b.freq_ghz / heap_freq_ghz);
+        rows.push(vec![
+            b.name.to_string(),
+            format!("{}", b.metric),
+            format!("{speed:.2}x"),
+            format!("{cycles:.2}x"),
+        ]);
+    }
+    rows.push(vec![
+        "HEAP (model)".into(),
+        format!("{heap_s:.4}"),
+        "-".into(),
+        "-".into(),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            &["Work", "Time (s)", "Speedup (time)", "Speedup (cycles)"],
+            &rows
+        )
+    );
+    println!("(paper speedups: Lattigo 5293x, GPU 111x, GME 7.7x, F1 146x, BTS-2 4x,");
+    println!(" ARK 1.14x, SHARP 0.29x, FAB 14.71x, FAB-2 11.57x)");
+    println!(
+        "\nCompute-to-bootstrapping ratio: {:.2} (paper: 0.79 per iteration)",
+        (total_ms - boot_ms) / total_ms
+    );
+}

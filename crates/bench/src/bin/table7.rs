@@ -1,0 +1,54 @@
+//! Regenerates paper Table VII: ResNet-20 inference time and speedups
+//! from the layer trace priced by the accelerator model.
+//!
+//! ```sh
+//! cargo run -p heap-bench --bin table7
+//! ```
+
+use heap_apps::resnet::resnet20_trace;
+use heap_bench::render_table;
+use heap_hw::baselines::table7_baselines;
+use heap_hw::perf::{BootstrapModel, OpTimings};
+
+fn main() {
+    let trace = resnet20_trace(1024);
+    let ops = OpTimings::heap_single_fpga();
+    let boot = BootstrapModel::paper();
+    let (total_ms, boot_ms) = trace.time_ms(&ops, &boot, 8);
+    let heap_s = total_ms / 1e3;
+    let heap_freq_ghz = 0.3;
+
+    println!("Table VII — ResNet-20 inference (CIFAR-10, 1024-slot packing)");
+    println!(
+        "HEAP model: {:.3} s, bootstrap share {:.0}%, {} refreshes (paper: 0.267 s, ~44%)\n",
+        heap_s,
+        100.0 * boot_ms / total_ms,
+        trace.bootstrap_count()
+    );
+
+    let mut rows = Vec::new();
+    for b in table7_baselines() {
+        let speed = b.metric / heap_s;
+        let cycles = speed * (b.freq_ghz / heap_freq_ghz);
+        rows.push(vec![
+            b.name.to_string(),
+            format!("{}", b.metric),
+            format!("{speed:.2}x"),
+            format!("{cycles:.2}x"),
+        ]);
+    }
+    rows.push(vec![
+        "HEAP (model)".into(),
+        format!("{heap_s:.3}"),
+        "-".into(),
+        "-".into(),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            &["Work", "Time (s)", "Speedup (time)", "Speedup (cycles)"],
+            &rows
+        )
+    );
+    println!("(paper speedups: CPU 39708x, GME 3.7x, CL 1.20x, ARK 0.47x, SHARP 0.37x)");
+}

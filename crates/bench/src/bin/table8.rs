@@ -1,0 +1,108 @@
+//! Regenerates paper Table VIII: how much of the speedup comes from the
+//! scheme-switching *algorithm* vs the *hardware*.
+//!
+//! Three columns per workload: conventional CKKS on CPU, scheme switching
+//! (SS) on CPU, SS on HEAP. The paper's reference numbers are quoted; in
+//! addition this binary *measures* our own Rust scheme-switching
+//! implementation at reduced scale to demonstrate the algorithmic speedup
+//! is reproducible, and prices the HEAP column with the accelerator model.
+//!
+//! ```sh
+//! cargo run -p heap-bench --release --bin table8
+//! ```
+
+use heap_bench::render_table;
+use heap_ckks::conventional::{
+    conventional_baseline_params, ConvBootstrapConfig, ConventionalBootstrapper,
+};
+use heap_ckks::{CkksContext, CkksParams, SecretKey};
+use heap_core::{BootstrapConfig, Bootstrapper};
+use heap_hw::baselines::table8_baselines;
+use heap_hw::perf::BootstrapModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    println!("Table VIII — speedup split: scheme switching (SS) vs hardware\n");
+    let mut rows = Vec::new();
+    for r in table8_baselines() {
+        rows.push(vec![
+            r.workload.to_string(),
+            format!("{} {}", r.ckks_cpu, r.unit),
+            format!("{} {}", r.ss_cpu, r.unit),
+            format!("{} {}", r.ss_heap, r.unit),
+            format!("{:.1}x", r.ckks_cpu / r.ss_cpu),
+            format!("{:.1}x", r.ss_cpu / r.ss_heap),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Workload",
+                "CKKS on CPU",
+                "SS on CPU",
+                "SS on HEAP",
+                "Speedup 1 (algo)",
+                "Speedup 2 (hw)",
+            ],
+            &rows
+        )
+    );
+    println!("(paper: speedup 1 of 9.6x/15.5x/34.2x; speedup 2 of 290.7x/341.4x/1160x)\n");
+
+    // Our own measurements at reduced scale, this machine: both the
+    // conventional pipeline (Fig. 1a) and the scheme switch (Fig. 1b) from
+    // the same code base.
+    println!("== our Rust conventional CKKS bootstrap, measured on this CPU ==");
+    {
+        let ctx = CkksContext::new(conventional_baseline_params());
+        let mut rng = StdRng::seed_from_u64(8);
+        let config = ConvBootstrapConfig::test();
+        let sk = SecretKey::generate_sparse(&ctx, config.hamming_weight, &mut rng);
+        let conv = ConventionalBootstrapper::generate(&ctx, &sk, config, &mut rng);
+        let msg = vec![0.01f64; 8];
+        let ct = ctx.mod_drop_to(&ctx.encrypt_real_sk(&msg, &sk, &mut rng), 1);
+        let t = Instant::now();
+        let fresh = conv.bootstrap(&ctx, &ct);
+        println!(
+            "  N = {}, L = {}: {:.2?} for {} levels of depth, {} levels restored (sequential, sparse keys)",
+            ctx.n(),
+            ctx.max_limbs(),
+            t.elapsed(),
+            config.depth(),
+            fresh.limbs() - 1
+        );
+    }
+
+    println!("
+== our Rust scheme-switching bootstrap, measured on this CPU ==");
+    let ctx = CkksContext::new(CkksParams::test_tiny());
+    let mut rng = StdRng::seed_from_u64(8);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let boot = Bootstrapper::generate(&ctx, &sk, BootstrapConfig::test_small(), &mut rng);
+    let delta = ctx.fresh_scale();
+    let coeffs = vec![(0.05 * delta) as i64; ctx.n()];
+    let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
+
+    for n_br in [1usize, 16, ctx.n()] {
+        let t = Instant::now();
+        let _ = boot.bootstrap_sparse(&ctx, &ct, n_br);
+        println!(
+            "  n_br = {n_br:>4}: {:>10.2?}  (N = {}, n_t = {})",
+            t.elapsed(),
+            ctx.n(),
+            boot.config().n_t
+        );
+    }
+
+    let model = BootstrapModel::paper();
+    println!(
+        "\nSS on HEAP (accelerator model, fully packed, 8 FPGAs): {:.3} ms",
+        model.paper_full_ms()
+    );
+    println!("The measured n_br scaling above is the algorithmic parallelism the");
+    println!("accelerator exploits: blind rotations are independent, so SS cost is");
+    println!("linear in n_br while conventional CKKS bootstrapping is monolithic.");
+}

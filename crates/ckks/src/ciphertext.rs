@@ -1,0 +1,117 @@
+//! The CKKS ciphertext type.
+
+use heap_math::RnsPoly;
+
+/// An RLWE ciphertext `(c0, c1)` with `c0 + c1·s ≈ Delta·m`.
+///
+/// Both polynomials are kept in evaluation (NTT) representation — CKKS's
+/// default, as in the paper — and carry `limbs` RNS limbs. The `scale`
+/// tracks the current `Delta` exactly through rescaling by non-power-of-two
+/// primes.
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    c0: RnsPoly,
+    c1: RnsPoly,
+    scale: f64,
+}
+
+impl Ciphertext {
+    /// Assembles a ciphertext from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two polynomials disagree on limb count or domain, or if
+    /// the scale is not positive and finite.
+    pub fn new(c0: RnsPoly, c1: RnsPoly, scale: f64) -> Self {
+        assert_eq!(c0.limb_count(), c1.limb_count(), "limb mismatch");
+        assert_eq!(c0.domain(), c1.domain(), "domain mismatch");
+        assert!(scale.is_finite() && scale > 0.0, "invalid scale");
+        Self { c0, c1, scale }
+    }
+
+    /// The `b`-side polynomial (`c0`).
+    #[inline]
+    pub fn c0(&self) -> &RnsPoly {
+        &self.c0
+    }
+
+    /// The `a`-side polynomial (`c1`).
+    #[inline]
+    pub fn c1(&self) -> &RnsPoly {
+        &self.c1
+    }
+
+    /// Mutable access to `c0`.
+    #[inline]
+    pub fn c0_mut(&mut self) -> &mut RnsPoly {
+        &mut self.c0
+    }
+
+    /// Mutable access to `c1`.
+    #[inline]
+    pub fn c1_mut(&mut self) -> &mut RnsPoly {
+        &mut self.c1
+    }
+
+    /// Decomposes into parts.
+    #[inline]
+    pub fn into_parts(self) -> (RnsPoly, RnsPoly, f64) {
+        (self.c0, self.c1, self.scale)
+    }
+
+    /// Number of RNS limbs remaining.
+    #[inline]
+    pub fn limbs(&self) -> usize {
+        self.c0.limb_count()
+    }
+
+    /// Remaining multiplicative level (`limbs - 1`).
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.limbs() - 1
+    }
+
+    /// The current encoding scale.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Overrides the tracked scale (used by `Rescale` and plaintext
+    /// products).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale is not positive and finite.
+    pub fn set_scale(&mut self, scale: f64) {
+        assert!(scale.is_finite() && scale > 0.0, "invalid scale");
+        self.scale = scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heap_math::prime::ntt_primes;
+    use heap_math::{Domain, RnsContext};
+
+    #[test]
+    fn accessors_and_level() {
+        let ctx = RnsContext::new(16, &ntt_primes(16, 30, 3));
+        let p0 = RnsPoly::zero(&ctx, 2, Domain::Eval);
+        let p1 = RnsPoly::zero(&ctx, 2, Domain::Eval);
+        let ct = Ciphertext::new(p0, p1, 2f64.powi(30));
+        assert_eq!(ct.limbs(), 2);
+        assert_eq!(ct.level(), 1);
+        assert_eq!(ct.scale(), 2f64.powi(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "limb mismatch")]
+    fn mismatched_parts_rejected() {
+        let ctx = RnsContext::new(16, &ntt_primes(16, 30, 3));
+        let p0 = RnsPoly::zero(&ctx, 2, Domain::Eval);
+        let p1 = RnsPoly::zero(&ctx, 3, Domain::Eval);
+        Ciphertext::new(p0, p1, 1.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Hybrid key switching (`ModUp` → external product → `ModDown`).
+//!
+//! Given a polynomial `d` over the ciphertext primes `q_0..q_{l-1}` and a
+//! [`KeySwitchKey`] for secret `w`, produces `(a, b)` with
+//! `b + a·s ≈ d·w` at the same level. Per-limb decomposition keeps the
+//! amplification at `~q_i·e/P ≈ e`: limb `i` of `d` is spread across the
+//! extended basis (the `ModUp`), multiplied against key component `i` on the
+//! MAC datapath (this is the basis-conversion/external-product unit HEAP
+//! shares between CKKS `KeySwitch` and TFHE `BlindRotate`, §IV-A/§IV-E),
+//! and the special prime is divided away at the end (the `ModDown`).
+
+use heap_math::{poly, Domain, RnsPoly};
+
+use crate::context::CkksContext;
+use crate::key::KeySwitchKey;
+
+/// Switches `d·w` into a pair decryptable under `s`.
+///
+/// `d` may be in either domain; the result is in evaluation domain with the
+/// same limb count.
+///
+/// Returns `(a, b)` with `b + a·s ≈ d·w`.
+///
+/// # Panics
+///
+/// Panics if `d` has more limbs than the key has components.
+pub fn key_switch(ctx: &CkksContext, d: &RnsPoly, key: &KeySwitchKey) -> (RnsPoly, RnsPoly) {
+    let l = d.limb_count();
+    assert!(
+        l <= key.component_count(),
+        "key has {} components, need {l}",
+        key.component_count()
+    );
+    let n = ctx.n();
+    let sp = ctx.special_idx();
+    let rns = ctx.rns();
+
+    let mut d_coeff = d.clone();
+    d_coeff.to_coeff(rns);
+
+    // Accumulators over the extended basis: indices 0..l are q-limbs, index
+    // l holds the special-prime limb. Evaluation domain.
+    let mut acc_a: Vec<Vec<u64>> = vec![vec![0u64; n]; l + 1];
+    let mut acc_b: Vec<Vec<u64>> = vec![vec![0u64; n]; l + 1];
+
+    let chain_idx = |pos: usize| if pos == l { sp } else { pos };
+
+    for i in 0..l {
+        let digits = d_coeff.limb(i); // residues < q_i
+        for pos in 0..=l {
+            let j = chain_idx(pos);
+            let m = rns.modulus(j);
+            let ntt = rns.ntt(j);
+            // ModUp: reinterpret the [0, q_i) representative mod q_j.
+            let mut spread: Vec<u64> = digits.iter().map(|&c| m.reduce_u64(c)).collect();
+            ntt.forward(&mut spread);
+            let comp = &key.comps[i];
+            ntt.pointwise_acc(&spread, &comp.a[j], &mut acc_a[pos]);
+            ntt.pointwise_acc(&spread, &comp.b[j], &mut acc_b[pos]);
+        }
+    }
+
+    let a = mod_down(ctx, acc_a, l);
+    let b = mod_down(ctx, acc_b, l);
+    (a, b)
+}
+
+/// Divides the special prime out of an extended-basis accumulator (last
+/// entry is the `P` limb), returning an `l`-limb evaluation-domain
+/// polynomial.
+fn mod_down(ctx: &CkksContext, mut acc: Vec<Vec<u64>>, l: usize) -> RnsPoly {
+    let rns = ctx.rns();
+    let sp = ctx.special_idx();
+    let p = rns.modulus(sp);
+    let mut p_limb = acc.pop().expect("special limb present");
+    rns.ntt(sp).inverse(&mut p_limb);
+    let centered: Vec<i64> = p_limb.iter().map(|&c| p.to_signed(c)).collect();
+    for (j, limb) in acc.iter_mut().enumerate() {
+        let m = rns.modulus(j);
+        let ntt = rns.ntt(j);
+        let p_inv = m.inv(m.reduce_u64(p.value())).expect("distinct primes");
+        let mut corr = poly::from_signed(&centered, m);
+        ntt.forward(&mut corr);
+        for (x, c) in limb.iter_mut().zip(&corr) {
+            *x = m.mul(m.sub(*x, *c), p_inv);
+        }
+    }
+    debug_assert_eq!(acc.len(), l);
+    RnsPoly::from_limbs(acc, Domain::Eval)
+}
+
+/// Hoisted rotation: applies several automorphisms to the *same*
+/// ciphertext while decomposing it only once.
+///
+/// The standard trick (used by BSGS linear transforms): the expensive part
+/// of `Rotate` is spreading `c1`'s per-limb digits across the extended
+/// basis; since `σ_g` commutes with the decomposition
+/// (`σ_g([c]_{q_i}) = [σ_g(c)]_{q_i}`), the digits can be decomposed once
+/// and permuted per rotation. With `k` rotations this saves `k-1`
+/// decomposition passes.
+///
+/// Returns the rotated ciphertexts in the order of `exponents`.
+///
+/// # Panics
+///
+/// Panics if a Galois key is missing or the ciphertext exceeds the key's
+/// component count.
+pub fn apply_galois_hoisted(
+    ctx: &CkksContext,
+    ct: &crate::ciphertext::Ciphertext,
+    exponents: &[usize],
+    gks: &crate::key::GaloisKeys,
+) -> Vec<crate::ciphertext::Ciphertext> {
+    let rns = ctx.rns();
+    let l = ct.c0().limb_count();
+    let n = ctx.n();
+    let sp = ctx.special_idx();
+    // Decompose c1 once (coefficient domain residues per limb).
+    let mut c1_coeff = ct.c1().clone();
+    c1_coeff.to_coeff(rns);
+    let mut c0_coeff = ct.c0().clone();
+    c0_coeff.to_coeff(rns);
+    let chain_idx = |pos: usize| if pos == l { sp } else { pos };
+
+    exponents
+        .iter()
+        .map(|&g| {
+            let key = gks
+                .key_for(g)
+                .unwrap_or_else(|| panic!("missing Galois key for exponent {g}"));
+            assert!(l <= key.component_count());
+            // Permute the decomposed digits by sigma_g, then MAC with the
+            // key — one spread-NTT pass per (digit, target limb) as usual,
+            // but the iNTT of c1 was shared across all exponents.
+            let mut acc_a: Vec<Vec<u64>> = vec![vec![0u64; n]; l + 1];
+            let mut acc_b: Vec<Vec<u64>> = vec![vec![0u64; n]; l + 1];
+            for i in 0..l {
+                let digits = poly::automorphism(c1_coeff.limb(i), g, rns.modulus(i));
+                for pos in 0..=l {
+                    let j = chain_idx(pos);
+                    let m = rns.modulus(j);
+                    let ntt = rns.ntt(j);
+                    let mut spread: Vec<u64> =
+                        digits.iter().map(|&c| m.reduce_u64(c)).collect();
+                    ntt.forward(&mut spread);
+                    let comp = &key.comps[i];
+                    ntt.pointwise_acc(&spread, &comp.a[j], &mut acc_a[pos]);
+                    ntt.pointwise_acc(&spread, &comp.b[j], &mut acc_b[pos]);
+                }
+            }
+            let ka = mod_down(ctx, acc_a, l);
+            let kb = mod_down(ctx, acc_b, l);
+            let mut out_b = c0_coeff.automorphism(g, rns);
+            out_b.to_eval(rns);
+            out_b.add_assign(&kb, rns);
+            crate::ciphertext::Ciphertext::new(out_b, ka, ct.scale())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{KeySwitchKey, SecretKey};
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Helper: phase(b + a*s) as centered coefficients.
+    fn phase(ctx: &CkksContext, a: &RnsPoly, b: &RnsPoly, sk: &SecretKey) -> Vec<f64> {
+        let rns = ctx.rns();
+        let l = a.limb_count();
+        let mut acc = b.clone();
+        for j in 0..l {
+            let mut prod = vec![0u64; ctx.n()];
+            rns.ntt(j).pointwise(a.limb(j), sk.eval_limb(j), &mut prod);
+            poly::add_assign(acc.limb_mut(j), &prod, rns.modulus(j));
+        }
+        acc.to_coeff(rns);
+        acc.to_centered_f64(rns)
+    }
+
+    #[test]
+    fn key_switch_reproduces_d_times_w() {
+        let ctx = CkksContext::new(CkksParams::test_small());
+        let mut rng = StdRng::seed_from_u64(11);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        // w = a known small polynomial (here: another ternary secret).
+        let w_coeffs = heap_math::sample::ternary_secret(&mut rng, ctx.n());
+        let w_eval: Vec<Vec<u64>> = (0..ctx.boot_limbs())
+            .map(|j| {
+                let m = ctx.rns().modulus(j);
+                let mut l = poly::from_signed(&w_coeffs, m);
+                ctx.rns().ntt(j).forward(&mut l);
+                l
+            })
+            .collect();
+        let ksk = KeySwitchKey::generate(&ctx, &sk, &w_eval, &mut rng);
+
+        // d: a small "message-like" polynomial at full level.
+        let d_coeffs: Vec<i64> = (0..ctx.n()).map(|i| ((i * 37) % 1000) as i64 - 500).collect();
+        let mut d = RnsPoly::from_signed(ctx.rns(), &d_coeffs, ctx.max_limbs());
+        d.to_eval(ctx.rns());
+
+        let (a, b) = key_switch(&ctx, &d, &ksk);
+        let got = phase(&ctx, &a, &b, &sk);
+
+        // Expected: integer negacyclic product d * w.
+        let n = ctx.n();
+        let mut expect = vec![0f64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let p = (d_coeffs[i] * w_coeffs[j]) as f64;
+                if i + j < n {
+                    expect[i + j] += p;
+                } else {
+                    expect[i + j - n] -= p;
+                }
+            }
+        }
+        // Key-switch noise should be small relative to coefficients.
+        let max_err = got
+            .iter()
+            .zip(&expect)
+            .map(|(g, e)| (g - e).abs())
+            .fold(0.0, f64::max);
+        let signal = expect.iter().map(|e| e.abs()).fold(0.0, f64::max);
+        assert!(signal > 5e3, "test signal too weak to be meaningful: {signal}");
+        assert!(
+            max_err < 2e4 && max_err < signal / 5.0,
+            "key switch noise too large: {max_err} (signal {signal})"
+        );
+    }
+
+    #[test]
+    fn key_switch_works_below_top_level() {
+        let ctx = CkksContext::new(CkksParams::test_small());
+        let mut rng = StdRng::seed_from_u64(12);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let w_eval: Vec<Vec<u64>> = (0..ctx.boot_limbs())
+            .map(|j| sk.eval_limb(j).to_vec())
+            .collect();
+        let ksk = KeySwitchKey::generate(&ctx, &sk, &w_eval, &mut rng);
+        let d_coeffs: Vec<i64> = (0..ctx.n()).map(|i| (i % 17) as i64).collect();
+        let mut d = RnsPoly::from_signed(ctx.rns(), &d_coeffs, 2);
+        d.to_eval(ctx.rns());
+        let (a, b) = key_switch(&ctx, &d, &ksk);
+        assert_eq!(a.limb_count(), 2);
+        assert_eq!(b.limb_count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod hoisting_tests {
+    use super::*;
+    use crate::key::{GaloisKeys, SecretKey};
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hoisted_rotations_match_one_by_one() {
+        let ctx = CkksContext::new(CkksParams::test_tiny());
+        let mut rng = StdRng::seed_from_u64(55);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let gks = GaloisKeys::generate(&ctx, &sk, &[1, 2, 3], false, &mut rng);
+        let msg: Vec<f64> = (0..ctx.slots()).map(|i| (i % 10) as f64 / 50.0).collect();
+        let ct = ctx.encrypt_real_sk(&msg, &sk, &mut rng);
+        let exps: Vec<usize> = [1i64, 2, 3]
+            .iter()
+            .map(|&r| heap_math::poly::rotation_exponent(r, ctx.n()))
+            .collect();
+        let hoisted = apply_galois_hoisted(&ctx, &ct, &exps, &gks);
+        for (k, g) in exps.iter().enumerate() {
+            let single = ctx.apply_galois(&ct, *g, &gks);
+            let a = ctx.decrypt_real(&hoisted[k], &sk);
+            let b = ctx.decrypt_real(&single, &sk);
+            for i in 0..8 {
+                assert!(
+                    (a[i] - b[i]).abs() < 1e-3,
+                    "exp {g}, slot {i}: {} vs {}",
+                    a[i],
+                    b[i]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Encoded plaintexts and scale management.
+//!
+//! CKKS applications constantly multiply by plaintext constants/vectors and
+//! must keep branch scales aligned before additions. This module provides a
+//! reusable [`Plaintext`] (encode once, multiply many times) and the
+//! scale-targeting helpers the applications and the conventional-bootstrap
+//! baseline build on: multiply-to-target-scale and level alignment.
+
+use crate::ciphertext::Ciphertext;
+use crate::complex::Complex64;
+use crate::context::CkksContext;
+use heap_math::RnsPoly;
+
+/// An encoded plaintext: slot values scaled and CRT-spread over a limb
+/// prefix, kept in evaluation domain for pointwise products.
+#[derive(Debug, Clone)]
+pub struct Plaintext {
+    poly: RnsPoly,
+    scale: f64,
+}
+
+impl Plaintext {
+    /// Encodes complex slot values at `scale` over `limbs` limbs.
+    pub fn encode(ctx: &CkksContext, values: &[Complex64], scale: f64, limbs: usize) -> Self {
+        let coeffs = ctx.encoder().encode(values, scale);
+        let mut poly = RnsPoly::from_signed(ctx.rns(), &coeffs, limbs);
+        poly.to_eval(ctx.rns());
+        Self { poly, scale }
+    }
+
+    /// Encodes real slot values.
+    pub fn encode_real(ctx: &CkksContext, values: &[f64], scale: f64, limbs: usize) -> Self {
+        let v: Vec<Complex64> = values.iter().map(|&x| Complex64::from(x)).collect();
+        Self::encode(ctx, &v, scale, limbs)
+    }
+
+    /// The underlying evaluation-domain polynomial.
+    pub fn poly(&self) -> &RnsPoly {
+        &self.poly
+    }
+
+    /// The encoding scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Number of limbs this plaintext covers.
+    pub fn limbs(&self) -> usize {
+        self.poly.limb_count()
+    }
+}
+
+impl CkksContext {
+    /// Multiplies by a pre-encoded plaintext (no rescale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plaintext has fewer limbs than the ciphertext.
+    pub fn mul_plaintext(&self, ct: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        assert!(
+            pt.limbs() >= ct.limbs(),
+            "plaintext covers {} limbs, ciphertext needs {}",
+            pt.limbs(),
+            ct.limbs()
+        );
+        let pt_poly = if pt.limbs() == ct.limbs() {
+            pt.poly.clone()
+        } else {
+            let mut p = pt.poly.clone();
+            while p.limb_count() > ct.limbs() {
+                p.drop_last();
+            }
+            p
+        };
+        let c0 = ct.c0().mul_pointwise(&pt_poly, self.rns());
+        let c1 = ct.c1().mul_pointwise(&pt_poly, self.rns());
+        Ciphertext::new(c0, c1, ct.scale() * pt.scale)
+    }
+
+    /// Plaintext multiplication at an explicit plaintext scale (the
+    /// building block of scale targeting).
+    pub fn mul_plain_scaled(
+        &self,
+        ct: &Ciphertext,
+        values: &[Complex64],
+        pt_scale: f64,
+    ) -> Ciphertext {
+        let pt = Plaintext::encode(self, values, pt_scale, ct.limbs());
+        self.mul_plaintext(ct, &pt)
+    }
+
+    /// Multiplies by a broadcast real constant encoded at a scale chosen so
+    /// that, after the built-in rescales, the result lands at exactly
+    /// `(target_limbs, target_scale)`.
+    ///
+    /// Consumes `ct.limbs() - target_limbs >= 1` levels. This is the
+    /// branch-alignment primitive: two ciphertexts adjusted to the same
+    /// target can be added directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no level is available (`target_limbs >= ct.limbs()`).
+    pub fn mul_const_to(
+        &self,
+        ct: &Ciphertext,
+        value: f64,
+        target_limbs: usize,
+        target_scale: f64,
+    ) -> Ciphertext {
+        assert!(
+            target_limbs < ct.limbs(),
+            "alignment needs at least one level"
+        );
+        let slots = self.slots();
+        let ones = vec![Complex64::from(1.0); slots];
+        let broadcast = vec![Complex64::from(value); slots];
+        let mut cur = ct.clone();
+        // Scale-preserving drops: multiply by 1 encoded at q_{l-1}.
+        while cur.limbs() > target_limbs + 1 {
+            let q_last = self.rns().modulus(cur.limbs() - 1).value() as f64;
+            cur = self.rescale(&self.mul_plain_scaled(&cur, &ones, q_last));
+        }
+        // Final step folds the value and lands on the target scale.
+        let q_last = self.rns().modulus(cur.limbs() - 1).value() as f64;
+        let pt_scale = target_scale * q_last / cur.scale();
+        let mut out = self.rescale(&self.mul_plain_scaled(&cur, &broadcast, pt_scale));
+        out.set_scale(target_scale); // absorb f64 rounding (~1 ulp)
+        out
+    }
+
+    /// Aligns a ciphertext to `(target_limbs, target_scale)` without
+    /// changing its value (multiplies by 1.0).
+    pub fn align_to(&self, ct: &Ciphertext, target_limbs: usize, target_scale: f64) -> Ciphertext {
+        self.mul_const_to(ct, 1.0, target_limbs, target_scale)
+    }
+
+    /// Subtracts encoded plaintext values at the ciphertext's scale.
+    pub fn sub_plain(&self, ct: &Ciphertext, values: &[Complex64]) -> Ciphertext {
+        let neg: Vec<Complex64> = values.iter().map(|z| Complex64::zero() - *z).collect();
+        self.add_plain(ct, &neg)
+    }
+
+    /// Adds a broadcast real constant.
+    pub fn add_scalar(&self, ct: &Ciphertext, value: f64) -> Ciphertext {
+        let v = vec![Complex64::from(value); self.slots()];
+        self.add_plain(ct, &v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::SecretKey;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CkksContext, SecretKey, StdRng) {
+        let ctx = CkksContext::new(CkksParams::test_small());
+        let mut rng = StdRng::seed_from_u64(77);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        (ctx, sk, rng)
+    }
+
+    #[test]
+    fn plaintext_reuse_matches_mul_plain() {
+        let (ctx, sk, mut rng) = setup();
+        let msg = vec![0.1f64, -0.05, 0.2];
+        let ct = ctx.encrypt_real_sk(&msg, &sk, &mut rng);
+        let weights = vec![0.5f64; ctx.slots()];
+        let pt = Plaintext::encode_real(&ctx, &weights, ctx.fresh_scale(), ct.limbs());
+        let a = ctx.rescale(&ctx.mul_plaintext(&ct, &pt));
+        let dec = ctx.decrypt_real(&a, &sk);
+        for (m, d) in msg.iter().zip(&dec) {
+            assert!((0.5 * m - d).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mul_const_to_hits_exact_target() {
+        let (ctx, sk, mut rng) = setup();
+        let msg = vec![0.1f64; 4];
+        let ct = ctx.encrypt_real_sk(&msg, &sk, &mut rng);
+        let target_scale = ctx.fresh_scale() * 1.25;
+        let out = ctx.mul_const_to(&ct, 2.0, 1, target_scale);
+        assert_eq!(out.limbs(), 1);
+        assert_eq!(out.scale(), target_scale);
+        let dec = ctx.decrypt_real(&out, &sk);
+        assert!((dec[0] - 0.2).abs() < 1e-3, "{}", dec[0]);
+    }
+
+    #[test]
+    fn aligned_branches_add() {
+        let (ctx, sk, mut rng) = setup();
+        let a = ctx.encrypt_real_sk(&[0.10], &sk, &mut rng);
+        let b = ctx.encrypt_real_sk(&[0.03], &sk, &mut rng);
+        // Different paths: one drops two levels, the other one.
+        let target = ctx.fresh_scale();
+        let a2 = ctx.align_to(&a, 1, target);
+        let b2 = ctx.align_to(&ctx.align_to(&b, 2, target * 0.9), 1, target);
+        let sum = ctx.add(&a2, &b2);
+        let dec = ctx.decrypt_real(&sum, &sk);
+        assert!((dec[0] - 0.13).abs() < 1e-3, "{}", dec[0]);
+    }
+
+    #[test]
+    fn scalar_and_plain_adds() {
+        let (ctx, sk, mut rng) = setup();
+        let ct = ctx.encrypt_real_sk(&[0.1, 0.2], &sk, &mut rng);
+        let plus = ctx.add_scalar(&ct, 0.05);
+        let minus = ctx.sub_plain(&plus, &[Complex64::from(0.05), Complex64::from(0.05)]);
+        let dec = ctx.decrypt_real(&minus, &sk);
+        assert!((dec[0] - 0.1).abs() < 1e-4);
+        assert!((dec[1] - 0.2).abs() < 1e-4);
+    }
+}

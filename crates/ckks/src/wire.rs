@@ -1,0 +1,141 @@
+//! Wire encoding for CKKS ciphertexts (bit-packed at the limb width).
+//!
+//! An encoded top-level ciphertext of the paper's parameter set measures
+//! `2 × 6 × 8192 × 36 b ≈ 0.44 MB` — exactly §III-C's RLWE size — and this
+//! is the payload the host PCIe path and the FPGA HBM move around.
+
+use heap_math::wire::{packed_size, WireError, WireReader, WireWriter};
+use heap_math::{Domain, RnsPoly};
+
+use crate::ciphertext::Ciphertext;
+use crate::context::CkksContext;
+
+const CT_MAGIC: u32 = 0x434B_4B31; // "CKK1"
+
+impl CkksContext {
+    /// Serializes a ciphertext; coefficients are stored in coefficient
+    /// domain at each limb's bit-width.
+    pub fn ciphertext_to_wire(&self, ct: &Ciphertext) -> Vec<u8> {
+        let rns = self.rns();
+        let mut w = WireWriter::new();
+        w.put_u32(CT_MAGIC);
+        w.put_u32(ct.limbs() as u32);
+        w.put_u32(self.n() as u32);
+        w.put_f64(ct.scale());
+        let mut c0 = ct.c0().clone();
+        let mut c1 = ct.c1().clone();
+        c0.to_coeff(rns);
+        c1.to_coeff(rns);
+        for part in [&c0, &c1] {
+            for j in 0..part.limb_count() {
+                let bits = rns.modulus(j).bits();
+                w.put_packed(part.limb(j), bits);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a ciphertext written by [`Self::ciphertext_to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the buffer is malformed or does not match
+    /// this context's ring dimension / prime chain.
+    pub fn ciphertext_from_wire(&self, buf: &[u8]) -> Result<Ciphertext, WireError> {
+        let rns = self.rns();
+        let mut r = WireReader::new(buf);
+        if r.get_u32()? != CT_MAGIC {
+            return Err(WireError::Corrupt("ciphertext magic"));
+        }
+        let limbs = r.get_u32()? as usize;
+        if limbs == 0 || limbs > self.boot_limbs() {
+            return Err(WireError::Corrupt("limb count"));
+        }
+        let n = r.get_u32()? as usize;
+        if n != self.n() {
+            return Err(WireError::Corrupt("ring dimension"));
+        }
+        let scale = r.get_f64()?;
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(WireError::Corrupt("scale"));
+        }
+        let mut parts = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let mut limb_data = Vec::with_capacity(limbs);
+            for j in 0..limbs {
+                let m = rns.modulus(j);
+                let limb = r.get_packed(m.bits(), n)?;
+                if limb.iter().any(|&x| x >= m.value()) {
+                    return Err(WireError::Corrupt("coefficient out of range"));
+                }
+                limb_data.push(limb);
+            }
+            let mut poly = RnsPoly::from_limbs(limb_data, Domain::Coeff);
+            poly.to_eval(rns);
+            parts.push(poly);
+        }
+        let c1 = parts.pop().expect("two parts");
+        let c0 = parts.pop().expect("two parts");
+        Ok(Ciphertext::new(c0, c1, scale))
+    }
+
+    /// Wire size of a ciphertext with the given limb count (bytes).
+    pub fn ciphertext_wire_size(&self, limbs: usize) -> usize {
+        let header = 4 + 4 + 4 + 8;
+        let body: usize = (0..limbs)
+            .map(|j| 2 * packed_size(self.n(), self.rns().modulus(j).bits()))
+            .sum();
+        header + body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::SecretKey;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ciphertext_roundtrip_preserves_message() {
+        let ctx = CkksContext::new(CkksParams::test_small());
+        let mut rng = StdRng::seed_from_u64(3);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let msg = vec![0.1f64, -0.2, 0.05];
+        let ct = ctx.encrypt_real_sk(&msg, &sk, &mut rng);
+        let bytes = ctx.ciphertext_to_wire(&ct);
+        assert_eq!(bytes.len(), ctx.ciphertext_wire_size(ct.limbs()));
+        let back = ctx.ciphertext_from_wire(&bytes).unwrap();
+        assert_eq!(back.scale(), ct.scale());
+        let dec = ctx.decrypt_real(&back, &sk);
+        for (m, d) in msg.iter().zip(&dec) {
+            assert!((m - d).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn wire_size_matches_paper_rlwe_size() {
+        // Paper §III-C: 2 × 216 × 8192 bits ≈ 0.44 MB for a full ciphertext.
+        let ctx = CkksContext::new(CkksParams::heap_paper());
+        let bytes = ctx.ciphertext_wire_size(6);
+        assert!(
+            (bytes as f64 / 1e6 - 0.4424).abs() < 0.01,
+            "{} bytes",
+            bytes
+        );
+    }
+
+    #[test]
+    fn malformed_buffers_rejected() {
+        let ctx = CkksContext::new(CkksParams::test_small());
+        let mut rng = StdRng::seed_from_u64(4);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let ct = ctx.encrypt_real_sk(&[0.1], &sk, &mut rng);
+        let bytes = ctx.ciphertext_to_wire(&ct);
+        assert!(ctx.ciphertext_from_wire(&bytes[..10]).is_err());
+        let mut bad = bytes.clone();
+        bad[4] = 99; // absurd limb count
+        assert!(ctx.ciphertext_from_wire(&bad).is_err());
+    }
+}

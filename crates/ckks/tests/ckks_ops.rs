@@ -1,0 +1,207 @@
+//! End-to-end correctness of CKKS primitive operations.
+
+use heap_ckks::{CkksContext, CkksParams, Complex64, GaloisKeys, RelinearizationKey, SecretKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(seed: u64) -> (CkksContext, SecretKey, StdRng) {
+    let ctx = CkksContext::new(CkksParams::test_small());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    (ctx, sk, rng)
+}
+
+fn assert_close(got: &[f64], want: &[f64], tol: f64, what: &str) {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g - w).abs() < tol,
+            "{what}: slot {i}: got {g}, want {w} (tol {tol})"
+        );
+    }
+}
+
+#[test]
+fn encrypt_decrypt_sk_roundtrip() {
+    let (ctx, sk, mut rng) = setup(1);
+    let msg: Vec<f64> = (0..ctx.slots()).map(|i| ((i % 20) as f64 - 10.0) / 40.0).collect();
+    let ct = ctx.encrypt_real_sk(&msg, &sk, &mut rng);
+    assert_eq!(ct.limbs(), ctx.max_limbs());
+    let dec = ctx.decrypt_real(&ct, &sk);
+    assert_close(&dec, &msg, 1e-4, "sk roundtrip");
+}
+
+#[test]
+fn encrypt_decrypt_pk_roundtrip() {
+    let (ctx, sk, mut rng) = setup(2);
+    let pk = heap_ckks::PublicKey::generate(&ctx, &sk, &mut rng);
+    let msg: Vec<Complex64> = (0..8).map(|i| Complex64::new(0.01 * i as f64, -0.02 * i as f64)).collect();
+    let ct = ctx.encrypt_pk(&msg, &pk, &mut rng);
+    let dec = ctx.decrypt(&ct, &sk);
+    for (m, d) in msg.iter().zip(&dec) {
+        assert!((*m - *d).abs() < 1e-3, "{m} vs {d}");
+    }
+}
+
+#[test]
+fn homomorphic_add_sub_negate() {
+    let (ctx, sk, mut rng) = setup(3);
+    let a: Vec<f64> = (0..16).map(|i| i as f64 / 100.0).collect();
+    let b: Vec<f64> = (0..16).map(|i| (15 - i) as f64 / 50.0).collect();
+    let ca = ctx.encrypt_real_sk(&a, &sk, &mut rng);
+    let cb = ctx.encrypt_real_sk(&b, &sk, &mut rng);
+    let sum = ctx.decrypt_real(&ctx.add(&ca, &cb), &sk);
+    let dif = ctx.decrypt_real(&ctx.sub(&ca, &cb), &sk);
+    let neg = ctx.decrypt_real(&ctx.negate(&ca), &sk);
+    for i in 0..16 {
+        assert!((sum[i] - (a[i] + b[i])).abs() < 1e-4);
+        assert!((dif[i] - (a[i] - b[i])).abs() < 1e-4);
+        assert!((neg[i] + a[i]).abs() < 1e-4);
+    }
+}
+
+#[test]
+fn plaintext_add_and_mul() {
+    let (ctx, sk, mut rng) = setup(4);
+    let a: Vec<f64> = (0..16).map(|i| 0.01 * i as f64).collect();
+    let p: Vec<Complex64> = (0..16).map(|i| Complex64::from(0.1 * i as f64)).collect();
+    let ca = ctx.encrypt_real_sk(&a, &sk, &mut rng);
+
+    let added = ctx.decrypt(&ctx.add_plain(&ca, &p), &sk);
+    for i in 0..16 {
+        assert!((added[i].re - (a[i] + 0.1 * i as f64)).abs() < 1e-4);
+    }
+
+    let mut prod_ct = ctx.mul_plain(&ca, &p);
+    prod_ct = ctx.rescale(&prod_ct);
+    let prod = ctx.decrypt(&prod_ct, &sk);
+    for i in 0..16 {
+        assert!(
+            (prod[i].re - a[i] * 0.1 * i as f64).abs() < 1e-4,
+            "slot {i}: {} vs {}",
+            prod[i].re,
+            a[i] * 0.1 * i as f64
+        );
+    }
+}
+
+#[test]
+fn homomorphic_mul_with_relin_and_rescale() {
+    let (ctx, sk, mut rng) = setup(5);
+    let rlk = RelinearizationKey::generate(&ctx, &sk, &mut rng);
+    let a: Vec<f64> = (0..32).map(|i| (i as f64 - 16.0) / 64.0).collect();
+    let b: Vec<f64> = (0..32).map(|i| (i as f64) / 64.0).collect();
+    let ca = ctx.encrypt_real_sk(&a, &sk, &mut rng);
+    let cb = ctx.encrypt_real_sk(&b, &sk, &mut rng);
+    let prod = ctx.rescale(&ctx.mul(&ca, &cb, &rlk));
+    assert_eq!(prod.limbs(), ctx.max_limbs() - 1);
+    let dec = ctx.decrypt_real(&prod, &sk);
+    let want: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
+    assert_close(&dec, &want, 1e-3, "mul");
+}
+
+#[test]
+fn multiplicative_depth_chain() {
+    // Exhaust all levels: (((m^2)^2)...) with small m.
+    let (ctx, sk, mut rng) = setup(6);
+    let rlk = RelinearizationKey::generate(&ctx, &sk, &mut rng);
+    let m = 0.9f64;
+    let msg = vec![m; 8];
+    let mut ct = ctx.encrypt_real_sk(&msg, &sk, &mut rng);
+    let mut expect = m;
+    while ct.limbs() > 1 {
+        ct = ctx.rescale(&ctx.square(&ct, &rlk));
+        expect = expect * expect;
+        let dec = ctx.decrypt_real(&ct, &sk);
+        assert!(
+            (dec[0] - expect).abs() < 1e-2,
+            "depth {}: {} vs {expect}",
+            ctx.max_limbs() - ct.limbs(),
+            dec[0]
+        );
+    }
+    assert_eq!(ct.limbs(), 1);
+}
+
+#[test]
+fn rotation_moves_slots() {
+    let (ctx, sk, mut rng) = setup(7);
+    let gks = GaloisKeys::generate(&ctx, &sk, &[1, 3], false, &mut rng);
+    let msg: Vec<f64> = (0..ctx.slots()).map(|i| (i % 32) as f64 / 100.0).collect();
+    let ct = ctx.encrypt_real_sk(&msg, &sk, &mut rng);
+    for r in [1i64, 3] {
+        let rot = ctx.rotate(&ct, r, &gks);
+        let dec = ctx.decrypt_real(&rot, &sk);
+        let n = ctx.slots();
+        for i in 0..n {
+            let want = msg[(i + r as usize) % n];
+            assert!(
+                (dec[i] - want).abs() < 1e-3,
+                "rot {r} slot {i}: {} vs {want}",
+                dec[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn conjugation_flips_imaginary() {
+    let (ctx, sk, mut rng) = setup(8);
+    let gks = GaloisKeys::generate(&ctx, &sk, &[], true, &mut rng);
+    let msg: Vec<Complex64> = (0..16)
+        .map(|i| Complex64::new(0.01 * i as f64, 0.02 * i as f64))
+        .collect();
+    let ct = ctx.encrypt_sk(&msg, &sk, &mut rng);
+    let conj = ctx.conjugate(&ct, &gks);
+    let dec = ctx.decrypt(&conj, &sk);
+    for (m, d) in msg.iter().zip(&dec) {
+        assert!((m.conj() - *d).abs() < 1e-3, "{} vs {d}", m.conj());
+    }
+}
+
+#[test]
+fn mod_drop_preserves_message() {
+    let (ctx, sk, mut rng) = setup(9);
+    let msg = vec![0.125f64; 8];
+    let ct = ctx.encrypt_real_sk(&msg, &sk, &mut rng);
+    let dropped = ctx.mod_drop_to(&ct, 1);
+    assert_eq!(dropped.limbs(), 1);
+    let dec = ctx.decrypt_real(&dropped, &sk);
+    assert!((dec[0] - 0.125).abs() < 1e-3);
+}
+
+#[test]
+fn scalar_int_multiplication() {
+    let (ctx, sk, mut rng) = setup(10);
+    let msg = vec![0.01f64, -0.02, 0.03];
+    let ct = ctx.encrypt_real_sk(&msg, &sk, &mut rng);
+    let tripled = ctx.mul_scalar_int(&ct, 3);
+    let dec = ctx.decrypt_real(&tripled, &sk);
+    for (m, d) in msg.iter().zip(&dec) {
+        assert!((3.0 * m - d).abs() < 1e-3);
+    }
+}
+
+#[test]
+#[should_panic(expected = "align levels")]
+fn add_level_mismatch_panics() {
+    let (ctx, sk, mut rng) = setup(11);
+    let ct = ctx.encrypt_real_sk(&[0.1], &sk, &mut rng);
+    let low = ctx.mod_drop_to(&ct, 1);
+    ctx.add(&ct, &low);
+}
+
+#[test]
+fn medium_params_roundtrip() {
+    // Exercise the 36-bit limb configuration too.
+    let ctx = CkksContext::new(CkksParams::test_medium());
+    let mut rng = StdRng::seed_from_u64(12);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let rlk = RelinearizationKey::generate(&ctx, &sk, &mut rng);
+    let a: Vec<f64> = (0..64).map(|i| (i as f64) / 256.0).collect();
+    let ca = ctx.encrypt_real_sk(&a, &sk, &mut rng);
+    let sq = ctx.rescale(&ctx.square(&ca, &rlk));
+    let dec = ctx.decrypt_real(&sq, &sk);
+    for (i, x) in a.iter().enumerate() {
+        assert!((dec[i] - x * x).abs() < 1e-5, "slot {i}");
+    }
+}

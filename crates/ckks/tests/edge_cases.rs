@@ -1,0 +1,132 @@
+//! Edge-case coverage for CKKS: boundary rotations, involutions, scale
+//! tracking through deep chains, and domain-conversion corners.
+
+use heap_ckks::{CkksContext, CkksParams, Complex64, GaloisKeys, RelinearizationKey, SecretKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (CkksContext, SecretKey, StdRng) {
+    let ctx = CkksContext::new(CkksParams::test_tiny());
+    let mut rng = StdRng::seed_from_u64(2718);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    (ctx, sk, rng)
+}
+
+#[test]
+fn rotation_by_negative_and_wraparound() {
+    let (ctx, sk, mut rng) = setup();
+    let n = ctx.slots();
+    let gks = GaloisKeys::generate(&ctx, &sk, &[-1, n as i64 - 1, n as i64 / 2], false, &mut rng);
+    let msg: Vec<f64> = (0..n).map(|i| (i % 16) as f64 / 100.0).collect();
+    let ct = ctx.encrypt_real_sk(&msg, &sk, &mut rng);
+    // rotate(-1) == rotate(n-1) for the cyclic slot group of size n... the
+    // rotation group has order n (slots), with exponent period n/1? Our
+    // rotations operate modulo the slot count.
+    let a = ctx.decrypt_real(&ctx.rotate(&ct, -1, &gks), &sk);
+    let b = ctx.decrypt_real(&ctx.rotate(&ct, n as i64 - 1, &gks), &sk);
+    for i in 0..n {
+        assert!((a[i] - b[i]).abs() < 1e-3, "slot {i}: {} vs {}", a[i], b[i]);
+        let want = msg[(i + n - 1) % n];
+        assert!((a[i] - want).abs() < 1e-3, "slot {i}");
+    }
+    // Half rotation twice = identity.
+    let half = ctx.rotate(&ctx.rotate(&ct, n as i64 / 2, &gks), n as i64 / 2, &gks);
+    let dec = ctx.decrypt_real(&half, &sk);
+    for i in 0..n {
+        assert!((dec[i] - msg[i]).abs() < 2e-3, "slot {i}");
+    }
+}
+
+#[test]
+fn conjugation_is_an_involution() {
+    let (ctx, sk, mut rng) = setup();
+    let gks = GaloisKeys::generate(&ctx, &sk, &[], true, &mut rng);
+    let msg: Vec<Complex64> = (0..8)
+        .map(|i| Complex64::new(0.01 * i as f64, -0.015 * i as f64))
+        .collect();
+    let ct = ctx.encrypt_sk(&msg, &sk, &mut rng);
+    let twice = ctx.conjugate(&ctx.conjugate(&ct, &gks), &gks);
+    let dec = ctx.decrypt(&twice, &sk);
+    for (m, d) in msg.iter().zip(&dec) {
+        assert!((*m - *d).abs() < 2e-3, "{m} vs {d}");
+    }
+}
+
+#[test]
+fn purely_imaginary_messages_roundtrip() {
+    let (ctx, sk, mut rng) = setup();
+    let msg: Vec<Complex64> = (0..8).map(|i| Complex64::new(0.0, 0.02 * i as f64)).collect();
+    let ct = ctx.encrypt_sk(&msg, &sk, &mut rng);
+    let dec = ctx.decrypt(&ct, &sk);
+    for (m, d) in msg.iter().zip(&dec) {
+        assert!((*m - *d).abs() < 1e-3);
+        assert!(d.re.abs() < 1e-3, "real leakage {}", d.re);
+    }
+}
+
+#[test]
+fn scale_tracking_through_mixed_chain() {
+    // PtMult, Mult, and Rescale interleaved: the tracked scale must stay
+    // consistent with decryption at every step.
+    let (ctx, sk, mut rng) = setup();
+    let rlk = RelinearizationKey::generate(&ctx, &sk, &mut rng);
+    let m = 0.3f64;
+    let mut ct = ctx.encrypt_real_sk(&[m; 4], &sk, &mut rng);
+    let mut expect = m;
+    // PtMult by 0.5, rescale.
+    let half = vec![Complex64::from(0.5); ctx.slots()];
+    ct = ctx.rescale(&ctx.mul_plain(&ct, &half));
+    expect *= 0.5;
+    assert!((ctx.decrypt_real(&ct, &sk)[0] - expect).abs() < 1e-3);
+    // Square, rescale.
+    ct = ctx.rescale(&ctx.square(&ct, &rlk));
+    expect *= expect;
+    assert!((ctx.decrypt_real(&ct, &sk)[0] - expect).abs() < 1e-3);
+    // Scalar-int triple (no level).
+    ct = ctx.mul_scalar_int(&ct, 3);
+    expect *= 3.0;
+    assert!((ctx.decrypt_real(&ct, &sk)[0] - expect).abs() < 1e-3);
+}
+
+#[test]
+fn add_plain_at_every_level() {
+    let (ctx, sk, mut rng) = setup();
+    let ct = ctx.encrypt_real_sk(&[0.1], &sk, &mut rng);
+    for limbs in (1..=ctx.max_limbs()).rev() {
+        let low = ctx.mod_drop_to(&ct, limbs);
+        let shifted = ctx.add_scalar(&low, 0.05);
+        let dec = ctx.decrypt_real(&shifted, &sk);
+        assert!(
+            (dec[0] - 0.15).abs() < 1e-3,
+            "limbs {limbs}: {}",
+            dec[0]
+        );
+    }
+}
+
+#[test]
+fn full_slot_capacity_roundtrip() {
+    let (ctx, sk, mut rng) = setup();
+    let n = ctx.slots();
+    let msg: Vec<Complex64> = (0..n)
+        .map(|i| {
+            Complex64::new(
+                ((i * 7919) % 101) as f64 / 500.0 - 0.1,
+                ((i * 104729) % 89) as f64 / 500.0 - 0.08,
+            )
+        })
+        .collect();
+    let ct = ctx.encrypt_sk(&msg, &sk, &mut rng);
+    let dec = ctx.decrypt(&ct, &sk);
+    for (i, (m, d)) in msg.iter().zip(&dec).enumerate() {
+        assert!((*m - *d).abs() < 1e-3, "slot {i}");
+    }
+}
+
+#[test]
+fn encoder_rejects_overfull_input() {
+    let ctx = CkksContext::new(CkksParams::test_tiny());
+    let too_many = vec![Complex64::from(0.1); ctx.slots() + 1];
+    let result = std::panic::catch_unwind(|| ctx.encoder().encode(&too_many, 1e9));
+    assert!(result.is_err(), "overfull encode must panic");
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for CKKS: encoder isometry and homomorphic
+//! correctness over random messages.
+
+use heap_ckks::{CkksContext, CkksParams, Complex64, RelinearizationKey, SecretKey};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn slots(n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec(((-0.2f64..0.2), (-0.2f64..0.2)), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn encode_decode_is_identity(vals in slots(32)) {
+        let enc = heap_ckks::Encoder::new(64);
+        let z: Vec<Complex64> = vals.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
+        let scale = 2f64.powi(40);
+        let coeffs = enc.encode(&z, scale);
+        let fc: Vec<f64> = coeffs.iter().map(|&c| c as f64).collect();
+        let back = enc.decode(&fc, scale);
+        for (a, b) in z.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn encoding_is_additive(a in slots(16), b in slots(16)) {
+        let enc = heap_ckks::Encoder::new(32);
+        let scale = 2f64.powi(36);
+        let za: Vec<Complex64> = a.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
+        let zb: Vec<Complex64> = b.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
+        let ca = enc.encode(&za, scale);
+        let cb = enc.encode(&zb, scale);
+        let sum: Vec<f64> = ca.iter().zip(&cb).map(|(&x, &y)| (x + y) as f64).collect();
+        let back = enc.decode(&sum, scale);
+        for ((x, y), z) in za.iter().zip(&zb).zip(&back) {
+            prop_assert!((*x + *y - *z).abs() < 1e-7);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn homomorphic_add_mul_on_random_messages(
+        seed in 0u64..1000,
+        a in prop::collection::vec(-0.2f64..0.2, 8),
+        b in prop::collection::vec(-0.2f64..0.2, 8),
+    ) {
+        let ctx = CkksContext::new(CkksParams::test_tiny());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let rlk = RelinearizationKey::generate(&ctx, &sk, &mut rng);
+        let ca = ctx.encrypt_real_sk(&a, &sk, &mut rng);
+        let cb = ctx.encrypt_real_sk(&b, &sk, &mut rng);
+        let sum = ctx.decrypt_real(&ctx.add(&ca, &cb), &sk);
+        let prod = ctx.decrypt_real(&ctx.rescale(&ctx.mul(&ca, &cb, &rlk)), &sk);
+        for i in 0..8 {
+            prop_assert!((sum[i] - (a[i] + b[i])).abs() < 1e-3, "slot {}", i);
+            prop_assert!((prod[i] - a[i] * b[i]).abs() < 1e-3, "slot {}", i);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Scheme-switched CKKS bootstrapping (paper §III, Algorithm 2 / Fig. 1b).
+//!
+//! The pipeline refreshes an exhausted single-limb CKKS ciphertext back to
+//! the full modulus without any homomorphic polynomial evaluation:
+//!
+//! 1. **Extract** one LWE ciphertext per packed coefficient (Eq. 2) and
+//!    key-switch it to the small TFHE dimension `n_t`;
+//! 2. **ModulusSwitch** each LWE from `q_0` down to `2N`;
+//! 3. **BlindRotate** every LWE in parallel with the test polynomial
+//!    `g(u) = q_0·u` over the raised basis `Q·p` — this homomorphically
+//!    recovers `q_0·u ≈ 2N·(Δm + e)`, eliminating the `k·q_0` wrap term
+//!    by construction (the mod-`2N` phase cannot see it);
+//! 4. **Repack** the rotation outputs into one RLWE ciphertext
+//!    (automorphism tree, factor `N`);
+//! 5. **Combine**: multiply by `t = round(p / (2N·N))` and `Rescale` by
+//!    the auxiliary prime `p`, landing on a fresh `L`-limb ciphertext.
+//!
+//! Ordering note: the paper extracts from the already modulus-switched
+//! `ct_ms` and removes `k·q` by adding the separate `ct' = 2N·ct` term; we
+//! extract at `q_0`, key-switch there (better noise), and fold the whole
+//! correction into the lookup value `q_0·u`. Both formulations leave the
+//! same dominant error term — the mod-switch rounding times `q_0` — and
+//! the same step structure and costs; see DESIGN.md.
+
+use rand::Rng;
+
+use heap_ckks::{Ciphertext, CkksContext, GaloisKeys, SecretKey};
+use heap_math::RnsPoly;
+use heap_tfhe::blind_rotate::MonomialEvals;
+use heap_tfhe::extract::{extract_coefficient, extract_constant_rns, RnsLweCiphertext};
+use heap_tfhe::{
+    test_polynomial_from_fn, BlindRotateKey, LweCiphertext, LweKeySwitchKey, LweSecretKey,
+    RgswParams, RingSecretKey, RlweCiphertext,
+};
+
+use crate::repack::{pack_lwes, repack_exponents, repack_factor};
+
+/// Configuration of the scheme-switched bootstrap.
+#[derive(Debug, Clone, Copy)]
+pub struct BootstrapConfig {
+    /// TFHE LWE mask dimension `n_t` (paper: 500).
+    pub n_t: usize,
+    /// LWE key-switch gadget base bits.
+    pub ks_base_bits: u32,
+    /// LWE key-switch gadget digits.
+    pub ks_digits: usize,
+    /// RGSW gadget for blind rotation (paper: `d = 2`).
+    pub rgsw: RgswParams,
+}
+
+impl BootstrapConfig {
+    /// The paper's configuration (§III-C): `n_t = 500`, `d = 2`.
+    pub fn paper() -> Self {
+        Self {
+            n_t: 500,
+            ks_base_bits: 12,
+            ks_digits: 3,
+            rgsw: RgswParams::paper(),
+        }
+    }
+
+    /// Fast test configuration.
+    pub fn test_small() -> Self {
+        Self {
+            n_t: 32,
+            ks_base_bits: 6,
+            ks_digits: 5,
+            rgsw: RgswParams {
+                base_bits: 15,
+                digits: 2,
+            },
+        }
+    }
+}
+
+/// Holds all (public) key material and precomputation for bootstrapping.
+///
+/// # Examples
+///
+/// See `examples/scheme_switch_bootstrap.rs` and the crate-level docs.
+#[derive(Debug)]
+pub struct Bootstrapper {
+    config: BootstrapConfig,
+    /// LWE key switch: ring dimension `N` → `n_t`, over `q_0`.
+    ksk: LweKeySwitchKey,
+    /// Blind rotation key over the raised basis.
+    brk: BlindRotateKey,
+    /// Galois keys for the repacking automorphism tree.
+    gks: GaloisKeys,
+    /// Monomial evaluation tables for the boot basis.
+    monomials: MonomialEvals,
+    /// Test polynomial encoding `g(u) = q_0 · u`.
+    test_poly: RnsPoly,
+    /// Final plain scalar `t = round(p / (2N·N))`.
+    t_scalar: i64,
+}
+
+impl Bootstrapper {
+    /// Generates all bootstrap keys for `sk`.
+    ///
+    /// The ephemeral TFHE LWE secret is sampled internally and dropped; only
+    /// evaluation-key material is retained.
+    pub fn generate<R: Rng + ?Sized>(
+        ctx: &CkksContext,
+        sk: &SecretKey,
+        config: BootstrapConfig,
+        rng: &mut R,
+    ) -> Self {
+        let boot_limbs = ctx.boot_limbs();
+        let rns = ctx.rns();
+        let ring_sk = RingSecretKey::from_coeffs(rns, boot_limbs, sk.coeffs().to_vec());
+        let lwe_sk = LweSecretKey::generate(rng, config.n_t);
+        let ring_as_lwe = LweSecretKey::from_coeffs(sk.coeffs().to_vec());
+        let q0 = ctx.q_modulus(0);
+        let ksk = LweKeySwitchKey::generate(
+            &ring_as_lwe,
+            &lwe_sk,
+            q0,
+            config.ks_base_bits,
+            config.ks_digits,
+            rng,
+        );
+        let brk = BlindRotateKey::generate(rns, &lwe_sk, &ring_sk, boot_limbs, config.rgsw, rng);
+        let mut gks = GaloisKeys::new();
+        for g in repack_exponents(ctx.n()) {
+            gks.add_exponent(ctx, sk, g, rng);
+        }
+        let monomials = MonomialEvals::new(rns, boot_limbs);
+        let q0_val = q0.value() as i64;
+        let test_poly = test_polynomial_from_fn(rns, boot_limbs, |u| q0_val * u);
+        let denom = 2 * ctx.n() as u64 * repack_factor(ctx.n());
+        let t_scalar = ((ctx.aux_modulus().value() as f64) / denom as f64).round() as i64;
+        assert!(
+            t_scalar >= 1,
+            "aux prime too small for N: increase aux_bits"
+        );
+        Self {
+            config,
+            ksk,
+            brk,
+            gks,
+            monomials,
+            test_poly,
+            t_scalar,
+        }
+    }
+
+    /// The configuration used at generation time.
+    pub fn config(&self) -> &BootstrapConfig {
+        &self.config
+    }
+
+    /// The blind-rotation key (used by the general scheme-switch API).
+    pub(crate) fn brk_ref(&self) -> &BlindRotateKey {
+        &self.brk
+    }
+
+    /// Refreshes every coefficient: the fully-packed bootstrap
+    /// (`n_br = N`).
+    pub fn bootstrap(&self, ctx: &CkksContext, ct: &Ciphertext) -> Ciphertext {
+        let indices: Vec<usize> = (0..ctx.n()).collect();
+        self.bootstrap_indices(ctx, ct, &indices)
+    }
+
+    /// Sparse bootstrap: refreshes only coefficients on the stride-`N/n_br`
+    /// comb (positions `0, N/n_br, 2N/n_br, …`). All other coefficients of
+    /// the result are (approximately) zero, so the input message must be
+    /// supported on the comb.
+    ///
+    /// This is the paper's `n_br` knob: the number of extracted LWE
+    /// ciphertexts — and hence blind rotations — equals `n_br` (§V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_br` is zero, exceeds `N`, or does not divide `N`.
+    pub fn bootstrap_sparse(&self, ctx: &CkksContext, ct: &Ciphertext, n_br: usize) -> Ciphertext {
+        let n = ctx.n();
+        assert!(n_br >= 1 && n_br <= n && n % n_br == 0, "invalid n_br");
+        let stride = n / n_br;
+        let indices: Vec<usize> = (0..n).step_by(stride).collect();
+        self.bootstrap_indices(ctx, ct, &indices)
+    }
+
+    /// Bootstraps an explicit set of coefficient indices.
+    pub fn bootstrap_indices(
+        &self,
+        ctx: &CkksContext,
+        ct: &Ciphertext,
+        indices: &[usize],
+    ) -> Ciphertext {
+        let lwes = self.extract_lwes(ctx, ct, indices);
+        let switched = self.modulus_switch(ctx, &lwes);
+        let rotated = self.blind_rotate_batch(ctx, &switched);
+        let leaves = self.to_leaves(ctx, &rotated, indices);
+        self.finish(ctx, leaves, ct.scale())
+    }
+
+    /// Functional bootstrap (paper §III-A): refreshes the ciphertext while
+    /// evaluating `f` on every selected coefficient — "the function `f` can
+    /// be set as required by the application ... sigmoid, exponentiation,
+    /// or ReLU".
+    ///
+    /// `f` receives and produces *message-space* values (coefficients
+    /// divided by the scale); the output ciphertext is at full level with
+    /// a scale close to the input's. `f` must stay negacyclic-safe:
+    /// it is only evaluated for inputs with `|Δ·f_in| < q_0/4`.
+    pub fn bootstrap_eval(
+        &self,
+        ctx: &CkksContext,
+        ct: &Ciphertext,
+        indices: &[usize],
+        f: impl Fn(f64) -> f64,
+    ) -> Ciphertext {
+        let lwes = self.extract_lwes(ctx, ct, indices);
+        let switched = self.modulus_switch(ctx, &lwes);
+        // Custom LUT: u ↦ 2N·Δ·f(u·q_0 / (2N·Δ)), the generalization of the
+        // identity LUT q_0·u used by the plain bootstrap.
+        let n = ctx.n() as f64;
+        let q0 = ctx.q_modulus(0).value() as f64;
+        let delta = ct.scale();
+        let lut = heap_tfhe::test_polynomial_from_fn(ctx.rns(), ctx.boot_limbs(), |u| {
+            let m_in = u as f64 * q0 / (2.0 * n * delta);
+            (2.0 * n * delta * f(m_in)).round() as i64
+        });
+        let rotated: Vec<RlweCiphertext> = switched
+            .iter()
+            .map(|l| self.brk.blind_rotate(ctx.rns(), &lut, l))
+            .collect();
+        let leaves = self.to_leaves(ctx, &rotated, indices);
+        self.finish(ctx, leaves, ct.scale())
+    }
+
+    // ------------------------------------------------------------------
+    // Step-by-step API mirroring Fig. 1b
+    // ------------------------------------------------------------------
+
+    /// Step 1 — `Extract` + LWE dimension switch: one small-dimension LWE
+    /// ciphertext (mod `q_0`) per requested coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not at the last level (one limb).
+    pub fn extract_lwes(
+        &self,
+        ctx: &CkksContext,
+        ct: &Ciphertext,
+        indices: &[usize],
+    ) -> Vec<LweCiphertext> {
+        assert_eq!(
+            ct.limbs(),
+            1,
+            "bootstrap expects an exhausted (single-limb) ciphertext"
+        );
+        let rns = ctx.rns();
+        let q0 = ctx.q_modulus(0);
+        let mut c0 = ct.c0().clone();
+        let mut c1 = ct.c1().clone();
+        c0.to_coeff(rns);
+        c1.to_coeff(rns);
+        indices
+            .iter()
+            .map(|&i| {
+                let big = extract_coefficient(c1.limb(0), c0.limb(0), i, q0);
+                self.ksk.switch(&big, q0)
+            })
+            .collect()
+    }
+
+    /// Step 2 — `ModulusSwitch` every LWE from `q_0` to `2N`.
+    pub fn modulus_switch(&self, ctx: &CkksContext, lwes: &[LweCiphertext]) -> Vec<LweCiphertext> {
+        let two_n = 2 * ctx.n() as u64;
+        lwes.iter().map(|l| l.modulus_switch(two_n)).collect()
+    }
+
+    /// Step 3 — `BlindRotate` each LWE (no data dependencies between
+    /// iterations: this is the loop HEAP spreads across FPGAs).
+    pub fn blind_rotate_batch(
+        &self,
+        ctx: &CkksContext,
+        lwes: &[LweCiphertext],
+    ) -> Vec<RlweCiphertext> {
+        lwes.iter().map(|l| self.blind_rotate_one(ctx, l)).collect()
+    }
+
+    /// A single blind rotation (exposed so clusters can schedule batches).
+    pub fn blind_rotate_one(&self, ctx: &CkksContext, lwe: &LweCiphertext) -> RlweCiphertext {
+        self.brk.blind_rotate(ctx.rns(), &self.test_poly, lwe)
+    }
+
+    /// Step 4a — extract each rotation's constant coefficient and position
+    /// it on the repacking tree.
+    pub fn to_leaves(
+        &self,
+        ctx: &CkksContext,
+        rotated: &[RlweCiphertext],
+        indices: &[usize],
+    ) -> Vec<Option<RnsLweCiphertext>> {
+        assert_eq!(rotated.len(), indices.len());
+        let mut leaves: Vec<Option<RnsLweCiphertext>> = vec![None; ctx.n()];
+        for (acc, &i) in rotated.iter().zip(indices) {
+            leaves[i] = Some(extract_constant_rns(acc, ctx.rns()));
+        }
+        leaves
+    }
+
+    /// Steps 4b + 5 — repack, multiply by `t`, and `Rescale` by the aux
+    /// prime, producing the refreshed full-level ciphertext.
+    pub fn finish(
+        &self,
+        ctx: &CkksContext,
+        leaves: Vec<Option<RnsLweCiphertext>>,
+        input_scale: f64,
+    ) -> Ciphertext {
+        let (mut a, mut b) = pack_lwes(ctx, &leaves, &self.gks, &self.monomials);
+        let rns = ctx.rns();
+        a.scalar_mul_assign(self.t_scalar, rns);
+        b.scalar_mul_assign(self.t_scalar, rns);
+        // Packed phase per coefficient: N · q_0 · u ≈ N · 2N · (Δ·m),
+        // so after ·t and rescale-by-p the scale is Δ·(N·2N·t/p).
+        let n = ctx.n() as f64;
+        let factor = n * 2.0 * n * self.t_scalar as f64 / ctx.aux_modulus().value() as f64;
+        let tmp = Ciphertext::new(b, a, input_scale * factor * ctx.aux_modulus().value() as f64);
+        // Rescale divides the tracked scale by the dropped prime (= aux).
+        let ctx_rescaled = ctx.rescale(&tmp);
+        debug_assert_eq!(ctx_rescaled.limbs(), ctx.max_limbs());
+        ctx_rescaled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heap_ckks::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CkksContext, SecretKey, Bootstrapper, StdRng) {
+        let ctx = CkksContext::new(CkksParams::test_tiny());
+        let mut rng = StdRng::seed_from_u64(9);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let boot = Bootstrapper::generate(&ctx, &sk, BootstrapConfig::test_small(), &mut rng);
+        (ctx, sk, boot, rng)
+    }
+
+    #[test]
+    fn fully_packed_bootstrap_refreshes_coefficients() {
+        let (ctx, sk, boot, mut rng) = setup();
+        let n = ctx.n();
+        let delta = ctx.fresh_scale();
+        // Message in coefficient space, |m| <= 0.15 so |phase| < q0/4.
+        let msg: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) / 50.0).collect();
+        let coeffs: Vec<i64> = msg.iter().map(|m| (m * delta).round() as i64).collect();
+        let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
+        assert_eq!(ct.limbs(), 1);
+        let fresh = boot.bootstrap(&ctx, &ct);
+        assert_eq!(fresh.limbs(), ctx.max_limbs(), "levels restored");
+        let dec = ctx.decrypt_coeffs(&fresh, &sk);
+        for i in 0..n {
+            let got = dec[i] / fresh.scale();
+            assert!(
+                (got - msg[i]).abs() < 0.02,
+                "coeff {i}: got {got}, want {}",
+                msg[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_bootstrap_comb() {
+        let (ctx, sk, boot, mut rng) = setup();
+        let n = ctx.n();
+        let delta = ctx.fresh_scale();
+        let n_br = 16usize;
+        let stride = n / n_br;
+        let mut msg = vec![0f64; n];
+        for j in (0..n).step_by(stride) {
+            msg[j] = ((j / stride) as f64 - 8.0) / 60.0;
+        }
+        let coeffs: Vec<i64> = msg.iter().map(|m| (m * delta).round() as i64).collect();
+        let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
+        let fresh = boot.bootstrap_sparse(&ctx, &ct, n_br);
+        let dec = ctx.decrypt_coeffs(&fresh, &sk);
+        for i in 0..n {
+            let got = dec[i] / fresh.scale();
+            assert!(
+                (got - msg[i]).abs() < 0.02,
+                "coeff {i}: got {got}, want {}",
+                msg[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn bootstrap_rejects_multi_limb_input() {
+        let (ctx, sk, boot, mut rng) = setup();
+        let ct = ctx.encrypt_real_sk(&[0.1], &sk, &mut rng);
+        boot.bootstrap(&ctx, &ct);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid n_br")]
+    fn sparse_rejects_non_divisor() {
+        let (ctx, sk, boot, mut rng) = setup();
+        let delta = ctx.fresh_scale();
+        let coeffs = vec![0i64; ctx.n()];
+        let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
+        boot.bootstrap_sparse(&ctx, &ct, 3);
+    }
+}

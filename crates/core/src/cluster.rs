@@ -1,0 +1,254 @@
+//! Multi-node parallel bootstrapping (paper §V).
+//!
+//! The blind rotations of distinct LWE ciphertexts have no data
+//! dependencies, so HEAP distributes them over eight FPGAs: a *primary*
+//! node scatters LWE batches to *secondaries*, every node runs its batch,
+//! and results stream back to the primary for repacking. This module
+//! reproduces that execution model with OS threads standing in for FPGAs —
+//! the scheduling (contiguous batches, primary also computes, results
+//! gathered in order) matches the paper's description, and a transfer
+//! ledger records the ciphertext traffic that `heap-hw` prices with the
+//! CMAC model.
+//!
+//! The abstraction is hardware-agnostic on purpose ("the approach in HEAP
+//! … can be mapped to any system with multiple compute nodes"): anything
+//! implementing [`ComputeNode`] can serve as a secondary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use heap_ckks::{Ciphertext, CkksContext};
+use heap_tfhe::{LweCiphertext, RlweCiphertext};
+
+use crate::bootstrap::Bootstrapper;
+
+/// A compute node able to execute a batch of blind rotations.
+///
+/// Implemented by [`LocalNode`] (same-process execution); the trait is the
+/// seam where a real distributed backend would plug in.
+pub trait ComputeNode: Sync {
+    /// Executes blind rotations for `lwes`, returning one accumulator per
+    /// input, in order.
+    fn blind_rotate_batch(
+        &self,
+        ctx: &CkksContext,
+        boot: &Bootstrapper,
+        lwes: &[LweCiphertext],
+    ) -> Vec<RlweCiphertext>;
+
+    /// Human-readable node name (diagnostics).
+    fn name(&self) -> String {
+        "node".to_string()
+    }
+}
+
+/// A node that executes on the calling machine.
+#[derive(Debug, Default)]
+pub struct LocalNode {
+    /// Node index within the cluster.
+    pub index: usize,
+}
+
+impl ComputeNode for LocalNode {
+    fn blind_rotate_batch(
+        &self,
+        ctx: &CkksContext,
+        boot: &Bootstrapper,
+        lwes: &[LweCiphertext],
+    ) -> Vec<RlweCiphertext> {
+        lwes.iter().map(|l| boot.blind_rotate_one(ctx, l)).collect()
+    }
+
+    fn name(&self) -> String {
+        format!("local-{}", self.index)
+    }
+}
+
+/// Ledger of inter-node ciphertext transfers, mirroring the primary →
+/// secondary LWE scatter and secondary → primary RLWE gather that ride
+/// HEAP's 100G CMAC links.
+#[derive(Debug, Default)]
+pub struct TransferLedger {
+    lwe_sent: AtomicU64,
+    rlwe_received: AtomicU64,
+}
+
+impl TransferLedger {
+    /// LWE ciphertexts scattered from the primary.
+    pub fn lwe_sent(&self) -> u64 {
+        self.lwe_sent.load(Ordering::Relaxed)
+    }
+
+    /// RLWE ciphertexts gathered back to the primary.
+    pub fn rlwe_received(&self) -> u64 {
+        self.rlwe_received.load(Ordering::Relaxed)
+    }
+}
+
+/// A set of nodes executing bootstrap blind rotations in parallel.
+///
+/// Node 0 acts as the primary: it receives the repacking work and also
+/// processes its own batch, exactly like HEAP's primary FPGA.
+#[derive(Debug)]
+pub struct LocalCluster {
+    nodes: Vec<LocalNode>,
+    ledger: TransferLedger,
+}
+
+impl LocalCluster {
+    /// Creates a cluster of `n` same-process nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "cluster needs at least one node");
+        Self {
+            nodes: (0..n).map(|index| LocalNode { index }).collect(),
+            ledger: TransferLedger::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The transfer ledger accumulated so far.
+    pub fn ledger(&self) -> &TransferLedger {
+        &self.ledger
+    }
+
+    /// Runs a batch of blind rotations across the cluster, preserving input
+    /// order (primary = node 0 handles the first chunk).
+    pub fn blind_rotate_all(
+        &self,
+        ctx: &CkksContext,
+        boot: &Bootstrapper,
+        lwes: &[LweCiphertext],
+    ) -> Vec<RlweCiphertext> {
+        let n_nodes = self.nodes.len();
+        if n_nodes == 1 || lwes.len() <= 1 {
+            return self.nodes[0].blind_rotate_batch(ctx, boot, lwes);
+        }
+        let chunk = lwes.len().div_ceil(n_nodes);
+        let chunks: Vec<&[LweCiphertext]> = lwes.chunks(chunk).collect();
+        // Every chunk beyond the primary's own is a scatter + gather.
+        for c in chunks.iter().skip(1) {
+            self.ledger
+                .lwe_sent
+                .fetch_add(c.len() as u64, Ordering::Relaxed);
+            self.ledger
+                .rlwe_received
+                .fetch_add(c.len() as u64, Ordering::Relaxed);
+        }
+        let mut results: Vec<Vec<RlweCiphertext>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let node = &self.nodes[i.min(n_nodes - 1)];
+                    scope.spawn(move |_| node.blind_rotate_batch(ctx, boot, c))
+                })
+                .collect();
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("node thread panicked"))
+                .collect();
+        })
+        .expect("cluster scope");
+        results.into_iter().flatten().collect()
+    }
+}
+
+impl Bootstrapper {
+    /// Fully-packed bootstrap with blind rotations spread over `cluster`
+    /// (the paper's eight-FPGA configuration is `LocalCluster::new(8)`).
+    pub fn bootstrap_with_cluster(
+        &self,
+        ctx: &CkksContext,
+        ct: &Ciphertext,
+        cluster: &LocalCluster,
+    ) -> Ciphertext {
+        let indices: Vec<usize> = (0..ctx.n()).collect();
+        self.bootstrap_indices_with_cluster(ctx, ct, &indices, cluster)
+    }
+
+    /// Sparse bootstrap across a cluster (see
+    /// [`Bootstrapper::bootstrap_sparse`]).
+    pub fn bootstrap_sparse_with_cluster(
+        &self,
+        ctx: &CkksContext,
+        ct: &Ciphertext,
+        n_br: usize,
+        cluster: &LocalCluster,
+    ) -> Ciphertext {
+        let n = ctx.n();
+        assert!(n_br >= 1 && n_br <= n && n % n_br == 0, "invalid n_br");
+        let stride = n / n_br;
+        let indices: Vec<usize> = (0..n).step_by(stride).collect();
+        self.bootstrap_indices_with_cluster(ctx, ct, &indices, cluster)
+    }
+
+    /// Cluster-parallel variant of
+    /// [`Bootstrapper::bootstrap_indices`].
+    pub fn bootstrap_indices_with_cluster(
+        &self,
+        ctx: &CkksContext,
+        ct: &Ciphertext,
+        indices: &[usize],
+        cluster: &LocalCluster,
+    ) -> Ciphertext {
+        let lwes = self.extract_lwes(ctx, ct, indices);
+        let switched = self.modulus_switch(ctx, &lwes);
+        let rotated = cluster.blind_rotate_all(ctx, self, &switched);
+        let leaves = self.to_leaves(ctx, &rotated, indices);
+        self.finish(ctx, leaves, ct.scale())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::BootstrapConfig;
+    use heap_ckks::{CkksParams, SecretKey};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cluster_matches_single_node_result_quality() {
+        let ctx = CkksContext::new(CkksParams::test_tiny());
+        let mut rng = StdRng::seed_from_u64(31);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let boot = Bootstrapper::generate(&ctx, &sk, BootstrapConfig::test_small(), &mut rng);
+        let delta = ctx.fresh_scale();
+        let n = ctx.n();
+        let msg: Vec<f64> = (0..n).map(|i| ((i % 7) as f64 - 3.0) / 40.0).collect();
+        let coeffs: Vec<i64> = msg.iter().map(|m| (m * delta).round() as i64).collect();
+        let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
+
+        let cluster = LocalCluster::new(4);
+        let fresh = boot.bootstrap_with_cluster(&ctx, &ct, &cluster);
+        let dec = ctx.decrypt_coeffs(&fresh, &sk);
+        for i in 0..n {
+            let got = dec[i] / fresh.scale();
+            assert!((got - msg[i]).abs() < 0.02, "coeff {i}");
+        }
+        // 4 nodes, chunked evenly: 3 chunks scattered.
+        assert_eq!(cluster.ledger().lwe_sent(), (n - n.div_ceil(4)) as u64);
+        assert_eq!(cluster.ledger().rlwe_received(), cluster.ledger().lwe_sent());
+    }
+
+    #[test]
+    fn single_node_cluster_has_no_transfers() {
+        let cluster = LocalCluster::new(1);
+        assert_eq!(cluster.node_count(), 1);
+        assert_eq!(cluster.ledger().lwe_sent(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_cluster_rejected() {
+        LocalCluster::new(0);
+    }
+}

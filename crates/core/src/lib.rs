@@ -1,0 +1,42 @@
+//! HEAP's core contribution: parallelized CKKS bootstrapping through
+//! CKKS ⇄ TFHE scheme switching (paper §III), plus the hardware-agnostic
+//! multi-node execution model of §V.
+//!
+//! The pipeline (Fig. 1b / Algorithm 2): `ModulusSwitch` → `Extract` →
+//! parallel `BlindRotate` over independent LWE ciphertexts → automorphism
+//! repacking → correction and `Rescale` by the auxiliary prime. Because the
+//! blind rotations are data-independent, [`cluster::LocalCluster`] spreads
+//! them across nodes exactly like the paper's primary/secondary FPGAs.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use heap_ckks::{CkksContext, CkksParams, SecretKey};
+//! use heap_core::{BootstrapConfig, Bootstrapper};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let ctx = CkksContext::new(CkksParams::test_tiny());
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let sk = SecretKey::generate(&ctx, &mut rng);
+//! let boot = Bootstrapper::generate(&ctx, &sk, BootstrapConfig::test_small(), &mut rng);
+//! // exhaust levels ... then:
+//! let delta = ctx.fresh_scale();
+//! let coeffs = vec![0i64; ctx.n()];
+//! let exhausted = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
+//! let refreshed = boot.bootstrap(&ctx, &exhausted);
+//! assert_eq!(refreshed.limbs(), ctx.max_limbs());
+//! ```
+
+pub mod bootstrap;
+pub mod cluster;
+pub mod noise;
+pub mod repack;
+pub mod stats;
+pub mod switch;
+
+pub use bootstrap::{BootstrapConfig, Bootstrapper};
+pub use cluster::{ComputeNode, LocalCluster, LocalNode, TransferLedger};
+pub use noise::{measure_coeff_error, predicted_bootstrap_rel_error, ErrorStats};
+pub use stats::{repack_key_switch_count, BootstrapStats};
+pub use switch::SchemeSwitch;

@@ -1,0 +1,127 @@
+//! Noise/precision accounting for the scheme-switched bootstrap.
+//!
+//! Two halves: *measurement* helpers (decrypt-and-compare, used by tests,
+//! examples, and EXPERIMENTS.md) and an *analytic model* predicting the
+//! dominant error terms, used to sanity-check measurements and to pick
+//! parameters. The dominant term of this bootstrap is the LWE
+//! modulus-switch rounding (`≈ sqrt(n_t)/2` phase units, each worth
+//! `q_0/2N` after the final combine), matching the precision profile of
+//! blind-rotation-based CKKS bootstrapping in the literature.
+
+use heap_ckks::{Ciphertext, CkksContext, SecretKey};
+
+/// Measured error statistics between decrypted and expected values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Largest absolute error.
+    pub max_abs: f64,
+    /// Root-mean-square error.
+    pub rms: f64,
+    /// Equivalent bits of precision (`-log2(max_abs)` clamped at 0).
+    pub precision_bits: f64,
+}
+
+impl ErrorStats {
+    /// Computes statistics from paired samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or are empty.
+    pub fn from_pairs(got: &[f64], want: &[f64]) -> Self {
+        assert_eq!(got.len(), want.len());
+        assert!(!got.is_empty());
+        let mut max_abs = 0f64;
+        let mut sum_sq = 0f64;
+        for (g, w) in got.iter().zip(want) {
+            let e = (g - w).abs();
+            max_abs = max_abs.max(e);
+            sum_sq += e * e;
+        }
+        let rms = (sum_sq / got.len() as f64).sqrt();
+        let precision_bits = if max_abs > 0.0 {
+            (-max_abs.log2()).max(0.0)
+        } else {
+            f64::INFINITY
+        };
+        Self {
+            max_abs,
+            rms,
+            precision_bits,
+        }
+    }
+}
+
+/// Measures the coefficient-domain error of a ciphertext against expected
+/// message values (already divided by the scale).
+pub fn measure_coeff_error(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    sk: &SecretKey,
+    expected: &[f64],
+) -> ErrorStats {
+    let dec = ctx.decrypt_coeffs(ct, sk);
+    let got: Vec<f64> = dec.iter().map(|d| d / ct.scale()).collect();
+    ErrorStats::from_pairs(&got[..expected.len()], expected)
+}
+
+/// Analytic prediction of the bootstrap's dominant coefficient error (as a
+/// fraction of the message scale).
+///
+/// Terms:
+/// * mod-switch rounding: `sqrt((n_t·2/3 + 1)/12)` phase units;
+/// * each phase unit costs `q_0 / (2N·Δ)` relative error after the final
+///   combine.
+pub fn predicted_bootstrap_rel_error(ctx: &CkksContext, n_t: usize) -> f64 {
+    let n = ctx.n() as f64;
+    let q0 = ctx.q_modulus(0).value() as f64;
+    let delta = ctx.fresh_scale();
+    // Variance of sum of (n_t ternary · U(-1/2,1/2)) + one U(-1/2,1/2).
+    let units = ((n_t as f64 * 2.0 / 3.0 + 1.0) / 12.0).sqrt();
+    // Three-sigma bound on the phase perturbation, in message units.
+    3.0 * units * q0 / (2.0 * n * delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::{BootstrapConfig, Bootstrapper};
+    use heap_ckks::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stats_basics() {
+        let s = ErrorStats::from_pairs(&[1.0, 2.0, 3.0], &[1.0, 2.5, 3.0]);
+        assert_eq!(s.max_abs, 0.5);
+        assert!((s.rms - (0.25f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((s.precision_bits - 1.0).abs() < 1e-12);
+        let exact = ErrorStats::from_pairs(&[1.0], &[1.0]);
+        assert!(exact.precision_bits.is_infinite());
+    }
+
+    #[test]
+    fn prediction_bounds_measured_error() {
+        let ctx = CkksContext::new(CkksParams::test_tiny());
+        let mut rng = StdRng::seed_from_u64(77);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let config = BootstrapConfig::test_small();
+        let boot = Bootstrapper::generate(&ctx, &sk, config, &mut rng);
+        let delta = ctx.fresh_scale();
+        let n = ctx.n();
+        let msg: Vec<f64> = (0..n).map(|i| ((i % 11) as f64 - 5.0) / 60.0).collect();
+        let coeffs: Vec<i64> = msg.iter().map(|m| (m * delta).round() as i64).collect();
+        let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
+        let fresh = boot.bootstrap(&ctx, &ct);
+        let stats = measure_coeff_error(&ctx, &fresh, &sk, &msg);
+        let predicted = predicted_bootstrap_rel_error(&ctx, config.n_t);
+        // The 3-sigma analytic bound should hold with margin 3x.
+        assert!(
+            stats.max_abs < predicted * 3.0,
+            "measured {} vs predicted {}",
+            stats.max_abs,
+            predicted
+        );
+        // And the bootstrap should retain at least ~5 bits here.
+        assert!(stats.precision_bits > 5.0, "{:?}", stats);
+    }
+}

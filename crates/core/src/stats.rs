@@ -1,0 +1,125 @@
+//! Operation-count accounting for the scheme-switched bootstrap.
+//!
+//! The functional pipeline and the `heap-hw` performance model must agree
+//! on *what work exists* — these formulas are the contract. They also
+//! quantify the paper's headline asymmetry: blind-rotation work scales
+//! with `n_br` (and parallelizes), while the repack tree scales with the
+//! tree shape only.
+
+use heap_tfhe::RgswParams;
+
+/// Static operation counts for one bootstrap invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootstrapStats {
+    /// Blind rotations (`= n_br`, the extracted LWE count).
+    pub blind_rotations: u64,
+    /// RGSW external products (`n_br · n_t`, minus mask zeros on average).
+    pub external_products: u64,
+    /// Hybrid key switches performed by the repacking tree.
+    pub repack_key_switches: u64,
+    /// LWE dimension switches (`= n_br`).
+    pub lwe_key_switches: u64,
+    /// Forward/backward NTTs inside the external products
+    /// (`2 parts · limbs · digits` digit polynomials, each spread under
+    /// `limbs` moduli).
+    pub external_product_ntts: u64,
+}
+
+impl BootstrapStats {
+    /// Computes the counts for a ring of dimension `n`, boot basis of
+    /// `limbs` limbs, TFHE mask `n_t`, gadget `rgsw`, and `n_br` extracted
+    /// coefficients on the stride comb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_br` is zero, exceeds `n`, or does not divide `n`.
+    pub fn for_bootstrap(
+        n: usize,
+        limbs: usize,
+        n_t: usize,
+        rgsw: &RgswParams,
+        n_br: usize,
+    ) -> Self {
+        assert!(n_br >= 1 && n_br <= n && n % n_br == 0, "invalid n_br");
+        let ep = (n_br * n_t) as u64;
+        let ep_ntts = ep * (2 * limbs * rgsw.digits * limbs) as u64;
+        Self {
+            blind_rotations: n_br as u64,
+            external_products: ep,
+            repack_key_switches: repack_key_switch_count(n, n_br),
+            lwe_key_switches: n_br as u64,
+            external_product_ntts: ep_ntts,
+        }
+    }
+}
+
+/// Key switches the repacking tree performs for `n_br` comb-packed leaves:
+/// every combine whose pair has at least one live child costs one
+/// `EvalAuto`. For the stride comb this is
+/// `Σ_{level} min(n_br, nodes-at-level)`.
+pub fn repack_key_switch_count(n: usize, n_br: usize) -> u64 {
+    assert!(n.is_power_of_two());
+    let mut count = 0u64;
+    let mut nodes = n / 2; // combines at the deepest level
+    while nodes >= 1 {
+        count += n_br.min(nodes) as u64;
+        if nodes == 1 {
+            break;
+        }
+        nodes /= 2;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pack_tree_is_n_minus_one() {
+        // Every combine is live: N-1 key switches.
+        assert_eq!(repack_key_switch_count(128, 128), 127);
+        assert_eq!(repack_key_switch_count(1024, 1024), 1023);
+    }
+
+    #[test]
+    fn single_leaf_tree_is_log_n() {
+        // One live path: log2(N) key switches.
+        assert_eq!(repack_key_switch_count(128, 1), 7);
+        assert_eq!(repack_key_switch_count(1024, 1), 10);
+    }
+
+    #[test]
+    fn sparse_comb_interpolates() {
+        // 16 comb leaves in N=128: levels have 64,32,16,8,4,2,1 combines;
+        // live counts are min(16, nodes) = 16+16+16+8+4+2+1 = 63.
+        assert_eq!(repack_key_switch_count(128, 16), 63);
+    }
+
+    #[test]
+    fn stats_scale_linearly_in_n_br() {
+        let rgsw = RgswParams {
+            base_bits: 15,
+            digits: 2,
+        };
+        let a = BootstrapStats::for_bootstrap(8192, 7, 500, &rgsw, 4096);
+        let b = BootstrapStats::for_bootstrap(8192, 7, 500, &rgsw, 256);
+        assert_eq!(a.external_products, 4096 * 500);
+        assert_eq!(b.external_products, 256 * 500);
+        assert_eq!(a.external_products / b.external_products, 16);
+        // The repack side shrinks sublinearly (log-tree floor).
+        assert!(a.repack_key_switches / b.repack_key_switches < 16);
+    }
+
+    #[test]
+    fn paper_scale_work_inventory() {
+        // Fully-packed paper configuration: the dominant-work claim.
+        let rgsw = RgswParams::paper();
+        let s = BootstrapStats::for_bootstrap(8192, 7, 500, &rgsw, 4096);
+        assert_eq!(s.blind_rotations, 4096);
+        assert_eq!(s.external_products, 2_048_000);
+        // Blind-rotation NTT work dwarfs the repack tree by orders of
+        // magnitude — why step 3 dominates and why parallelizing it wins.
+        assert!(s.external_product_ntts > 100 * s.repack_key_switches);
+    }
+}

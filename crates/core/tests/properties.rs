@@ -1,0 +1,43 @@
+//! Property-based tests for the bootstrap accounting and repack formulas.
+
+use heap_core::{repack_key_switch_count, BootstrapStats};
+use heap_tfhe::RgswParams;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn repack_count_bounds(log_n in 3u32..14, log_nbr in 0u32..14) {
+        prop_assume!(log_nbr <= log_n);
+        let n = 1usize << log_n;
+        let n_br = 1usize << log_nbr;
+        let c = repack_key_switch_count(n, n_br);
+        // Lower bound: the single-leaf path; upper bound: the full tree.
+        prop_assert!(c >= log_n as u64);
+        prop_assert!(c <= (n - 1) as u64);
+        // Monotone in n_br.
+        if n_br > 1 {
+            prop_assert!(c >= repack_key_switch_count(n, n_br / 2));
+        }
+    }
+
+    #[test]
+    fn stats_invariants(
+        log_n in 5u32..14,
+        limbs in 2usize..8,
+        n_t in 16usize..600,
+        log_nbr in 0u32..6,
+    ) {
+        let n = 1usize << log_n;
+        let n_br = 1usize << log_nbr.min(log_n);
+        let rgsw = RgswParams { base_bits: 18, digits: 2 };
+        let s = BootstrapStats::for_bootstrap(n, limbs, n_t, &rgsw, n_br);
+        prop_assert_eq!(s.blind_rotations, n_br as u64);
+        prop_assert_eq!(s.external_products, (n_br * n_t) as u64);
+        prop_assert_eq!(s.lwe_key_switches, n_br as u64);
+        // NTT work factors exactly.
+        prop_assert_eq!(
+            s.external_product_ntts,
+            s.external_products * (2 * limbs * 2 * limbs) as u64
+        );
+    }
+}

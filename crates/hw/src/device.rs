@@ -1,0 +1,124 @@
+//! Target device model: the Xilinx Alveo U280 card HEAP maps to (paper
+//! §IV–V).
+
+/// Clock domains of the deployed design (paper §IV-B, §V, §VI).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clocks {
+    /// Kernel (compute) clock in Hz — HEAP closes timing at 300 MHz.
+    pub kernel_hz: f64,
+    /// HBM-side memory clock (RD FIFOs run here), 450 MHz.
+    pub memory_hz: f64,
+    /// CMAC (100G Ethernet) core clock, 322 MHz.
+    pub cmac_hz: f64,
+}
+
+/// Programmable-logic resources of one FPGA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaResources {
+    /// Lookup tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// DSP48 blocks.
+    pub dsps: u64,
+    /// 18Kb BRAM blocks (counted as the paper does: 4032 blocks of
+    /// 1024 × 72 bit).
+    pub bram_blocks: u64,
+    /// UltraRAM blocks (4096 × 72 bit each).
+    pub uram_blocks: u64,
+}
+
+/// External memory system (two HBM2 stacks on the U280).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HbmSystem {
+    /// Total capacity in bytes (2 × 4 GB).
+    pub capacity_bytes: u64,
+    /// Peak bandwidth in bytes/second (460 GB/s).
+    pub peak_bandwidth: f64,
+    /// Number of AXI ports exposed to the kernel (32).
+    pub axi_ports: u32,
+    /// Width of each AXI port in bits (256).
+    pub axi_width_bits: u32,
+}
+
+/// A complete FPGA card model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaDevice {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Available programmable-logic resources.
+    pub resources: FpgaResources,
+    /// Clock domains.
+    pub clocks: Clocks,
+    /// External memory.
+    pub hbm: HbmSystem,
+}
+
+impl FpgaDevice {
+    /// The Alveo U280 as configured in the paper.
+    pub fn alveo_u280() -> Self {
+        Self {
+            name: "Xilinx Alveo U280",
+            resources: FpgaResources {
+                luts: 1_304_000,
+                ffs: 2_607_000,
+                dsps: 9_024,
+                bram_blocks: 4_032,
+                uram_blocks: 962,
+            },
+            clocks: Clocks {
+                kernel_hz: 300.0e6,
+                memory_hz: 450.0e6,
+                cmac_hz: 322.0e6,
+            },
+            hbm: HbmSystem {
+                capacity_bytes: 8 * (1 << 30),
+                peak_bandwidth: 460.0e9,
+                axi_ports: 32,
+                axi_width_bits: 256,
+            },
+        }
+    }
+
+    /// Seconds per kernel clock cycle.
+    #[inline]
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.clocks.kernel_hz
+    }
+
+    /// Converts kernel cycles to milliseconds.
+    #[inline]
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles * self.cycle_time() * 1e3
+    }
+
+    /// Time to stream `bytes` through HBM at peak bandwidth (seconds).
+    #[inline]
+    pub fn hbm_transfer_seconds(&self, bytes: f64) -> f64 {
+        bytes / self.hbm.peak_bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u280_matches_paper_figures() {
+        let d = FpgaDevice::alveo_u280();
+        assert_eq!(d.resources.bram_blocks, 4032);
+        assert_eq!(d.resources.uram_blocks, 962);
+        assert_eq!(d.resources.dsps, 9024);
+        assert_eq!(d.clocks.kernel_hz, 300.0e6);
+        assert_eq!(d.hbm.axi_ports, 32);
+    }
+
+    #[test]
+    fn cycle_conversions() {
+        let d = FpgaDevice::alveo_u280();
+        assert!((d.cycles_to_ms(300_000.0) - 1.0).abs() < 1e-12);
+        // 1 GB at 460 GB/s ≈ 2.17 ms
+        let t = d.hbm_transfer_seconds(1e9);
+        assert!((t - 1.0 / 460.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,135 @@
+//! Bootstrapping-key traffic analysis (paper §III-C).
+//!
+//! The scheme switch needs `n_t` GGSW blind-rotation keys, each a
+//! `(h+1)·d × (h+1)` matrix of degree `N-1` polynomials over the raised
+//! modulus — 1.76 GB in total — versus ~32 GB of evaluation keys for one
+//! conventional CKKS bootstrap: an ~18× reduction in main-memory key
+//! reads, which is where bootstrapping accelerators spend their bandwidth.
+//! Key sizes scale linearly in `d` and quadratically in `h+1`, which is
+//! why the paper pins `d = 2`, `h = 1`.
+
+/// Parameters of the blind-rotation key material.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrkParams {
+    /// Ring dimension `N`.
+    pub n: u64,
+    /// GLWE mask `h` (paper: 1).
+    pub h: u64,
+    /// Gadget decomposition degree `d` (paper: 2).
+    pub d: u64,
+    /// LWE mask dimension `n_t` (paper: 500).
+    pub n_t: u64,
+    /// Bits per raised-modulus coefficient as the paper accounts them
+    /// (`2·log Q = 432`; the stored keys carry both representations).
+    pub coeff_bits: u64,
+}
+
+impl BrkParams {
+    /// The paper's configuration (§III-C).
+    pub fn paper() -> Self {
+        Self {
+            n: 1 << 13,
+            h: 1,
+            d: 2,
+            n_t: 500,
+            coeff_bits: 432,
+        }
+    }
+
+    /// Polynomials in one GGSW key: `(h+1)·d × (h+1)`.
+    pub fn polys_per_key(&self) -> u64 {
+        (self.h + 1) * self.d * (self.h + 1)
+    }
+
+    /// Bytes of one GGSW blind-rotation key (~3.52 MB for the paper set).
+    pub fn key_bytes(&self) -> u64 {
+        self.polys_per_key() * self.n * self.coeff_bits / 8
+    }
+
+    /// Total blind-rotation key bytes (`n_t` keys; ~1.76 GB).
+    pub fn total_bytes(&self) -> u64 {
+        self.n_t * self.key_bytes()
+    }
+}
+
+/// Conventional CKKS bootstrapping key traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConventionalKeys {
+    /// Bytes per evaluation key (~126 MB at bootstrappable parameters).
+    pub key_bytes: u64,
+    /// Total bytes read from main memory for one bootstrap (~32 GB; the
+    /// optimized implementation re-reads rotation keys across the linear
+    /// transform's baby-step/giant-step passes).
+    pub total_bytes: u64,
+}
+
+impl ConventionalKeys {
+    /// The paper's accounting (§III-C): 126 MB keys, 25 distinct keys,
+    /// ~32 GB of total key reads.
+    pub fn paper() -> Self {
+        Self {
+            key_bytes: 126 * 1_000_000,
+            total_bytes: 32 * 1_000_000_000,
+        }
+    }
+
+    /// Distinct keys held (24 rotation + 1 multiplication).
+    pub fn distinct_keys(&self) -> u64 {
+        25
+    }
+}
+
+/// The headline reduction factor in key traffic (~18×).
+pub fn key_traffic_reduction(brk: &BrkParams, conv: &ConventionalKeys) -> f64 {
+    conv.total_bytes as f64 / brk.total_bytes() as f64
+}
+
+/// Key size as a function of `d` and `h` (the §III-C scaling argument):
+/// returns total brk bytes for the paper's other fields.
+pub fn brk_bytes_for(d: u64, h: u64) -> u64 {
+    BrkParams {
+        d,
+        h,
+        ..BrkParams::paper()
+    }
+    .total_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_sizes_match_section_3c() {
+        let b = BrkParams::paper();
+        assert_eq!(b.polys_per_key(), 8);
+        // ~3.52 MB per key
+        let mb = b.key_bytes() as f64 / 1e6;
+        assert!((mb - 3.54).abs() < 0.05, "key {mb} MB");
+        // ~1.76 GB total
+        let gb = b.total_bytes() as f64 / 1e9;
+        assert!((gb - 1.77).abs() < 0.02, "total {gb} GB");
+    }
+
+    #[test]
+    fn reduction_is_about_18x() {
+        let r = key_traffic_reduction(&BrkParams::paper(), &ConventionalKeys::paper());
+        assert!((r - 18.0).abs() < 0.5, "reduction {r}");
+    }
+
+    #[test]
+    fn scaling_linear_in_d_quadratic_in_h() {
+        let base = brk_bytes_for(2, 1);
+        assert_eq!(brk_bytes_for(4, 1), 2 * base);
+        // (h+1)^2: from 2^2 to 3^2 → 2.25x
+        let h2 = brk_bytes_for(2, 2);
+        assert_eq!(h2 * 4, base * 9);
+    }
+
+    #[test]
+    fn conventional_side_quotes_paper() {
+        let c = ConventionalKeys::paper();
+        assert_eq!(c.distinct_keys(), 25);
+        assert_eq!(c.total_bytes, 32_000_000_000);
+    }
+}

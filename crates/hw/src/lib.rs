@@ -1,0 +1,33 @@
+//! Analytical performance model of the HEAP accelerator (paper §IV–§VI).
+//!
+//! We cannot run the authors' RTL on Alveo U280 cards, so this crate
+//! substitutes the hardware testbed with a calibrated microarchitecture
+//! model: the device ([`device::FpgaDevice`]), the functional-unit
+//! inventory and Table II resource roll-up ([`units`]), the URAM/BRAM
+//! layouts of Figures 2–3 ([`memory`]), the NTT and bootstrap performance
+//! models ([`perf`]), the 100G CMAC interconnect with the
+//! compute/communication overlap schedule ([`network`]), the
+//! bootstrapping-key traffic analysis ([`keytraffic`]), and the published
+//! competitor numbers plus a first-principles FAB model ([`baselines`]).
+//!
+//! Every constant traceable to the paper is asserted against the paper's
+//! value in unit tests; `heap-bench`'s table binaries print the resulting
+//! Tables II–VIII.
+
+pub mod area;
+pub mod baselines;
+pub mod device;
+pub mod figures;
+pub mod keytraffic;
+pub mod memory;
+pub mod network;
+pub mod perf;
+pub mod traffic;
+pub mod units;
+
+pub use baselines::{Platform, SystemPoint};
+pub use device::FpgaDevice;
+pub use memory::MemoryLayout;
+pub use network::{CmacLink, OverlapSchedule};
+pub use perf::{t_mult_a_slot_us, BootstrapModel, NttModel, OpTimings};
+pub use units::{DesignUtilization, UnitInventory};

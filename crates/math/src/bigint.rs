@@ -1,0 +1,276 @@
+//! Minimal arbitrary-precision unsigned integers.
+//!
+//! CKKS works with a composite modulus `Q = prod q_i` of hundreds of bits;
+//! everything performance-critical stays in RNS, but encoding/decoding and
+//! exact CRT recombination need a handful of exact wide-integer operations.
+//! Rather than pull in an external big-int crate, this module implements the
+//! tiny subset required: add, subtract, compare, multiply/divide by a word,
+//! and lossy conversion to `f64`.
+
+/// An arbitrary-precision unsigned integer stored as little-endian 64-bit
+/// limbs with no trailing zero limbs (canonical form).
+///
+/// # Examples
+///
+/// ```
+/// use heap_math::bigint::BigUint;
+///
+/// let mut x = BigUint::from_u64(1u64 << 63);
+/// x.mul_u64(4);
+/// assert_eq!(x.to_f64(), 2.0f64.powi(65));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// Creates a big integer from a single word.
+    pub fn from_u64(x: u64) -> Self {
+        if x == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![x] }
+        }
+    }
+
+    /// Product of a list of words, e.g. `Q = prod q_i`.
+    pub fn product_of(words: &[u64]) -> Self {
+        let mut acc = Self::from_u64(1);
+        for &w in words {
+            acc.mul_u64(w);
+        }
+        acc
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// In-place addition of a word.
+    pub fn add_u64(&mut self, x: u64) {
+        let mut carry = x;
+        for l in self.limbs.iter_mut() {
+            if carry == 0 {
+                return;
+            }
+            let (s, c) = l.overflowing_add(carry);
+            *l = s;
+            carry = c as u64;
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// In-place multiplication by a word.
+    pub fn mul_u64(&mut self, x: u64) {
+        if x == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry = 0u64;
+        for l in self.limbs.iter_mut() {
+            let wide = (*l as u128) * (x as u128) + (carry as u128);
+            *l = wide as u64;
+            carry = (wide >> 64) as u64;
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// In-place addition of another big integer.
+    pub fn add_assign(&mut self, other: &BigUint) {
+        if self.limbs.len() < other.limbs.len() {
+            self.limbs.resize(other.limbs.len(), 0);
+        }
+        let mut carry = 0u64;
+        for (i, l) in self.limbs.iter_mut().enumerate() {
+            let o = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = l.overflowing_add(o);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *l = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// In-place subtraction (`self -= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub_assign(&mut self, other: &BigUint) {
+        assert!(
+            self.cmp_big(other) != std::cmp::Ordering::Less,
+            "big integer underflow"
+        );
+        let mut borrow = 0u64;
+        for (i, l) in self.limbs.iter_mut().enumerate() {
+            let o = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = l.overflowing_sub(o);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *l = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        self.normalize();
+    }
+
+    /// Three-way comparison with another big integer.
+    pub fn cmp_big(&self, other: &BigUint) -> std::cmp::Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                std::cmp::Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Remainder modulo a word.
+    pub fn rem_u64(&self, m: u64) -> u64 {
+        assert!(m != 0, "division by zero");
+        let mut r = 0u128;
+        for &l in self.limbs.iter().rev() {
+            r = ((r << 64) | (l as u128)) % (m as u128);
+        }
+        r as u64
+    }
+
+    /// Lossy conversion to `f64` (round toward the 53-bit mantissa).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            acc = acc * 18446744073709551616.0 + l as f64;
+        }
+        acc
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cmp_big(other)
+    }
+}
+
+impl std::fmt::Display for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Hex rendering keeps the implementation dependency-free and exact.
+        if self.is_zero() {
+            return write!(f, "0x0");
+        }
+        write!(f, "0x")?;
+        let mut first = true;
+        for &l in self.limbs.iter().rev() {
+            if first {
+                write!(f, "{l:x}")?;
+                first = false;
+            } else {
+                write!(f, "{l:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn construction_and_zero() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::from_u64(0).is_zero());
+        assert_eq!(BigUint::from_u64(5).bits(), 3);
+        assert_eq!(BigUint::zero().bits(), 0);
+    }
+
+    #[test]
+    fn add_mul_carry_propagation() {
+        let mut x = BigUint::from_u64(u64::MAX);
+        x.add_u64(1);
+        assert_eq!(x.bits(), 65);
+        x.mul_u64(u64::MAX);
+        // 2^64 * (2^64 - 1) = 2^128 - 2^64
+        assert_eq!(x.bits(), 128);
+        assert_eq!(x.rem_u64(3), ((1u128 << 64) % 3 * ((u64::MAX % 3) as u128) % 3) as u64);
+    }
+
+    #[test]
+    fn product_of_primes_matches_bits() {
+        let q = BigUint::product_of(&[0xFFFFC4001u64, 0xFFFFD8001, 0xFFFFC4001]);
+        // Three ~36-bit primes: ~108 bits.
+        assert!(q.bits() >= 106 && q.bits() <= 108, "bits = {}", q.bits());
+    }
+
+    #[test]
+    fn sub_and_cmp() {
+        let mut a = BigUint::from_u64(100);
+        a.mul_u64(u64::MAX);
+        let mut b = a.clone();
+        b.add_u64(7);
+        assert_eq!(a.cmp_big(&b), Ordering::Less);
+        b.sub_assign(&a);
+        assert_eq!(b, BigUint::from_u64(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let mut a = BigUint::from_u64(1);
+        a.sub_assign(&BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn to_f64_reasonable() {
+        let mut x = BigUint::from_u64(3);
+        for _ in 0..4 {
+            x.mul_u64(1u64 << 60);
+        }
+        // 3 * 2^240
+        let expect = 3.0 * 2.0f64.powi(240);
+        assert!((x.to_f64() - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn display_hex() {
+        let mut x = BigUint::from_u64(1);
+        x.mul_u64(1u64 << 63);
+        x.mul_u64(4);
+        assert_eq!(format!("{x}"), "0x20000000000000000");
+    }
+}

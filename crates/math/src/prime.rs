@@ -1,0 +1,218 @@
+//! Prime generation for RNS limbs.
+//!
+//! CKKS/TFHE over a power-of-two ring of dimension `N` needs primes
+//! `q ≡ 1 (mod 2N)` so that a primitive `2N`-th root of unity exists and the
+//! negacyclic NTT applies. HEAP fixes `log q = 36` so the limbs map onto
+//! FPGA DSP blocks; [`ntt_primes`] searches downward from a bit budget and
+//! returns distinct NTT-friendly primes of exactly that size.
+
+use crate::arith::Modulus;
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+///
+/// Uses the standard 12-witness set that is proven sufficient below `2^64`.
+///
+/// # Examples
+///
+/// ```
+/// use heap_math::prime::is_prime;
+///
+/// assert!(is_prime(0x0000_000F_FFFC_4001));
+/// assert!(!is_prime(1 << 36));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        s += 1;
+    }
+    let mulmod = |a: u64, b: u64| -> u64 { (((a as u128) * (b as u128)) % (n as u128)) as u64 };
+    let powmod = |mut a: u64, mut e: u64| -> u64 {
+        let mut r = 1u64;
+        a %= n;
+        while e > 0 {
+            if e & 1 == 1 {
+                r = mulmod(r, a);
+            }
+            a = mulmod(a, a);
+            e >>= 1;
+        }
+        r
+    };
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = powmod(a, d);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mulmod(x, x);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Finds `count` distinct primes `q ≡ 1 (mod 2n)` with exactly `bits` bits,
+/// searching downward from `2^bits`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two, if `bits` is outside `4..=61`, or if
+/// the search space is exhausted before `count` primes are found (does not
+/// happen for the parameter ranges used in this crate).
+///
+/// # Examples
+///
+/// ```
+/// use heap_math::prime::ntt_primes;
+///
+/// let primes = ntt_primes(1 << 13, 36, 6);
+/// assert_eq!(primes.len(), 6);
+/// for q in &primes {
+///     assert_eq!(q % (2 << 13), 1);
+/// }
+/// ```
+pub fn ntt_primes(n: u64, bits: u32, count: usize) -> Vec<u64> {
+    assert!(n.is_power_of_two(), "ring dimension must be a power of two");
+    assert!((4..=61).contains(&bits), "prime size out of range");
+    let step = 2 * n;
+    let hi = 1u64 << bits;
+    let lo = 1u64 << (bits - 1);
+    // Largest candidate of the form k*2n + 1 strictly below 2^bits.
+    let mut cand = ((hi - 2) / step) * step + 1;
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        assert!(cand > lo, "exhausted {bits}-bit primes congruent 1 mod {step}");
+        if is_prime(cand) {
+            out.push(cand);
+        }
+        cand -= step;
+    }
+    out
+}
+
+/// Finds `count` distinct NTT primes for ring dimension `n`, skipping any
+/// primes already present in `exclude` (used to pick special/auxiliary primes
+/// disjoint from the ciphertext basis).
+pub fn ntt_primes_excluding(n: u64, bits: u32, count: usize, exclude: &[u64]) -> Vec<u64> {
+    let mut found = Vec::with_capacity(count);
+    let mut pool = ntt_primes(n, bits, count + exclude.len());
+    pool.retain(|p| !exclude.contains(p));
+    pool.truncate(count);
+    assert_eq!(pool.len(), count, "not enough primes outside exclusion set");
+    found.append(&mut pool);
+    found
+}
+
+/// Finds a generator of the multiplicative group mod prime `q` and returns a
+/// primitive `order`-th root of unity (requires `order | q-1`).
+///
+/// # Panics
+///
+/// Panics if `order` does not divide `q - 1`.
+pub fn primitive_root(modulus: &Modulus, order: u64) -> u64 {
+    let q = modulus.value();
+    assert_eq!((q - 1) % order, 0, "order must divide q-1");
+    // Factor q-1 (trial division — fine for 64-bit values at setup time).
+    let mut factors = Vec::new();
+    let mut m = q - 1;
+    let mut p = 2u64;
+    while p * p <= m {
+        if m % p == 0 {
+            factors.push(p);
+            while m % p == 0 {
+                m /= p;
+            }
+        }
+        p += 1;
+    }
+    if m > 1 {
+        factors.push(m);
+    }
+    // Find a generator g of Z_q^*.
+    let mut g = 2u64;
+    'outer: loop {
+        for &f in &factors {
+            if modulus.pow(g, (q - 1) / f) == 1 {
+                g += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    modulus.pow(g, (q - 1) / order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 7919];
+        let composites = [0u64, 1, 4, 9, 91, 561, 6601, 41041]; // incl. Carmichael
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn large_known_primes() {
+        assert!(is_prime((1u64 << 61) - 1)); // Mersenne prime M61
+        assert!(!is_prime((1u64 << 59) - 1));
+    }
+
+    #[test]
+    fn ntt_primes_have_right_shape() {
+        for log_n in [10u32, 13] {
+            let n = 1u64 << log_n;
+            let ps = ntt_primes(n, 36, 4);
+            assert_eq!(ps.len(), 4);
+            let mut seen = std::collections::HashSet::new();
+            for p in ps {
+                assert!(is_prime(p));
+                assert_eq!(p % (2 * n), 1);
+                assert_eq!(64 - p.leading_zeros(), 36);
+                assert!(seen.insert(p), "primes must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn excluding_skips_base_primes() {
+        let n = 1u64 << 10;
+        let base = ntt_primes(n, 36, 3);
+        let extra = ntt_primes_excluding(n, 36, 2, &base);
+        for e in &extra {
+            assert!(!base.contains(e));
+        }
+    }
+
+    #[test]
+    fn primitive_root_has_exact_order() {
+        let n = 1u64 << 10;
+        let q = ntt_primes(n, 36, 1)[0];
+        let m = Modulus::new(q).unwrap();
+        let w = primitive_root(&m, 2 * n);
+        assert_eq!(m.pow(w, 2 * n), 1);
+        assert_ne!(m.pow(w, n), 1, "root must be primitive");
+    }
+}

@@ -1,0 +1,246 @@
+//! Bit-packed wire serialization.
+//!
+//! Ciphertexts crossing HEAP's CMAC links (and its HBM) are packed at the
+//! coefficient bit-width — a 36-bit limb costs 36 bits on the wire, not a
+//! 64-bit word — which is exactly how the paper sizes its transfers
+//! (0.44 MB RLWE, 2.3 KB LWE, §III-C). This module provides the packing
+//! primitives and a small length-prefixed wire format; `heap-tfhe` and
+//! `heap-ckks` build ciphertext encodings on top, and the root test suite
+//! cross-checks the byte counts against `heap-hw`'s memory layout model.
+
+/// Error from decoding a wire buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the announced content.
+    Truncated,
+    /// A length or parameter field held an implausible value.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire buffer truncated"),
+            WireError::Corrupt(what) => write!(f, "corrupt wire field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Packs `values` (each `< 2^bits`) into a byte vector, `bits` bits each.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or above 64, or a value does not fit.
+pub fn pack_bits(values: &[u64], bits: u32) -> Vec<u8> {
+    assert!(bits >= 1 && bits <= 64, "bits out of range");
+    let total_bits = values.len() * bits as usize;
+    let mut out = vec![0u8; total_bits.div_ceil(8)];
+    let mut bit_pos = 0usize;
+    for &v in values {
+        assert!(bits == 64 || v < (1u64 << bits), "value exceeds bit width");
+        let mut remaining = bits;
+        let mut val = v;
+        while remaining > 0 {
+            let byte = bit_pos / 8;
+            let offset = (bit_pos % 8) as u32;
+            let take = (8 - offset).min(remaining);
+            out[byte] |= ((val & ((1u64 << take) - 1)) as u8) << offset;
+            val >>= take;
+            remaining -= take;
+            bit_pos += take as usize;
+        }
+    }
+    out
+}
+
+/// Unpacks `count` values of `bits` bits each from a byte slice.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] if the buffer is too short.
+pub fn unpack_bits(buf: &[u8], bits: u32, count: usize) -> Result<Vec<u64>, WireError> {
+    assert!(bits >= 1 && bits <= 64, "bits out of range");
+    let needed = (count * bits as usize).div_ceil(8);
+    if buf.len() < needed {
+        return Err(WireError::Truncated);
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut bit_pos = 0usize;
+    for _ in 0..count {
+        let mut val = 0u64;
+        let mut got = 0u32;
+        while got < bits {
+            let byte = bit_pos / 8;
+            let offset = (bit_pos % 8) as u32;
+            let take = (8 - offset).min(bits - got);
+            let chunk = ((buf[byte] >> offset) as u64) & ((1u64 << take) - 1);
+            val |= chunk << got;
+            got += take;
+            bit_pos += take as usize;
+        }
+        out.push(val);
+    }
+    Ok(out)
+}
+
+/// Bytes needed to pack `count` values at `bits` bits each.
+pub fn packed_size(count: usize, bits: u32) -> usize {
+    (count * bits as usize).div_ceil(8)
+}
+
+/// A growable wire writer with little-endian primitives.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` (exact bit pattern).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends values packed at `bits` bits each.
+    pub fn put_packed(&mut self, values: &[u64], bits: u32) {
+        self.buf.extend_from_slice(&pack_bits(values, bits));
+    }
+
+    /// Finishes, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A cursor over a wire buffer.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads an `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads `count` packed values of `bits` bits.
+    pub fn get_packed(&mut self, bits: u32, count: usize) -> Result<Vec<u64>, WireError> {
+        let bytes = self.take(packed_size(count, bits))?;
+        unpack_bits(bytes, bits, count)
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip_odd_widths() {
+        for bits in [1u32, 7, 13, 30, 36, 53, 64] {
+            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let values: Vec<u64> = (0..257u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
+                .collect();
+            let packed = pack_bits(&values, bits);
+            assert_eq!(packed.len(), packed_size(values.len(), bits));
+            let back = unpack_bits(&packed, bits, values.len()).unwrap();
+            assert_eq!(back, values, "bits = {bits}");
+        }
+    }
+
+    #[test]
+    fn packing_is_tight() {
+        // 8192 coefficients of 36 bits = 36864 bytes exactly (one RNS limb
+        // of the paper's parameter set, ~0.037 MB).
+        assert_eq!(packed_size(8192, 36), 36_864);
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let packed = pack_bits(&[1, 2, 3], 36);
+        assert_eq!(
+            unpack_bits(&packed[..packed.len() - 1], 36, 3),
+            Err(WireError::Truncated)
+        );
+        let mut r = WireReader::new(&[0u8; 3]);
+        assert_eq!(r.get_u32(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_u32(42);
+        w.put_u64(u64::MAX - 5);
+        w.put_f64(1.5e300);
+        w.put_packed(&[7, 8, 9], 30);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u32().unwrap(), 42);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 5);
+        assert_eq!(r.get_f64().unwrap(), 1.5e300);
+        assert_eq!(r.get_packed(30, 3).unwrap(), vec![7, 8, 9]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds bit width")]
+    fn oversized_value_rejected() {
+        pack_bits(&[1 << 20], 20);
+    }
+}

@@ -1,0 +1,280 @@
+//! Property-based tests for the mathematical substrate: field axioms on
+//! [`Modulus`], NTT linearity/involution, gadget roundtrips, big-integer
+//! arithmetic against `u128` references, and RNS CRT consistency.
+
+use heap_math::arith::{Modulus, ShoupMul};
+use heap_math::bigint::BigUint;
+use heap_math::gadget::Gadget;
+use heap_math::ntt::{negacyclic_convolution, NttTable, TwiddleMode};
+use heap_math::poly;
+use heap_math::prime::{is_prime, ntt_primes};
+use heap_math::rns::{Domain, RnsContext, RnsPoly};
+use proptest::prelude::*;
+
+const Q36: u64 = 0x0000_000F_FFFC_4001;
+
+fn q() -> Modulus {
+    Modulus::new(Q36).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn mul_matches_u128(a in 0..Q36, b in 0..Q36) {
+        let m = q();
+        prop_assert_eq!(m.mul(a, b), ((a as u128 * b as u128) % Q36 as u128) as u64);
+    }
+
+    #[test]
+    fn add_is_commutative_associative(a in 0..Q36, b in 0..Q36, c in 0..Q36) {
+        let m = q();
+        prop_assert_eq!(m.add(a, b), m.add(b, a));
+        prop_assert_eq!(m.add(m.add(a, b), c), m.add(a, m.add(b, c)));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in 0..Q36, b in 0..Q36, c in 0..Q36) {
+        let m = q();
+        prop_assert_eq!(m.mul(a, m.add(b, c)), m.add(m.mul(a, b), m.mul(a, c)));
+    }
+
+    #[test]
+    fn inverse_is_two_sided(a in 1..Q36) {
+        let m = q();
+        let ai = m.inv(a).unwrap();
+        prop_assert_eq!(m.mul(a, ai), 1);
+        prop_assert_eq!(m.mul(ai, a), 1);
+    }
+
+    #[test]
+    fn shoup_equals_barrett(a in 0..Q36, b in 0..Q36) {
+        let m = q();
+        let s = ShoupMul::new(a, &m);
+        prop_assert_eq!(s.mul(b, &m), m.mul(a, b));
+    }
+
+    #[test]
+    fn signed_roundtrip(x in -(Q36 as i64)/2..(Q36 as i64)/2) {
+        let m = q();
+        prop_assert_eq!(m.to_signed(m.from_i64(x)), x);
+    }
+
+    #[test]
+    fn reduce_u128_correct(x in any::<u128>()) {
+        let m = q();
+        prop_assert_eq!(m.reduce_u128(x), (x % Q36 as u128) as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ntt_roundtrip(coeffs in prop::collection::vec(0u64..Q36, 64)) {
+        let m = q();
+        let t = NttTable::new(64, m);
+        let mut a = coeffs.clone();
+        t.forward(&mut a);
+        t.inverse(&mut a);
+        prop_assert_eq!(a, coeffs);
+    }
+
+    #[test]
+    fn ntt_is_linear(
+        a in prop::collection::vec(0u64..Q36, 32),
+        b in prop::collection::vec(0u64..Q36, 32),
+        k in 0..Q36,
+    ) {
+        let m = q();
+        let t = NttTable::new(32, m);
+        // NTT(k·a + b) == k·NTT(a) + NTT(b)
+        let mut lhs: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| m.add(m.mul(k, x), y)).collect();
+        t.forward(&mut lhs);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let rhs: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| m.add(m.mul(k, x), y)).collect();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn grouped_schedule_matches_standard(coeffs in prop::collection::vec(0u64..Q36, 128)) {
+        let m = q();
+        let t = NttTable::new(128, m);
+        let mut a = coeffs.clone();
+        let mut b = coeffs.clone();
+        t.forward(&mut a);
+        t.forward_grouped(&mut b, TwiddleMode::OnTheFly);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ntt_multiplication_is_negacyclic(
+        a in prop::collection::vec(0u64..Q36, 16),
+        b in prop::collection::vec(0u64..Q36, 16),
+    ) {
+        let m = q();
+        let t = NttTable::new(16, m);
+        let expect = negacyclic_convolution(&a, &b, &m);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let mut prod = vec![0u64; 16];
+        t.pointwise(&fa, &fb, &mut prod);
+        t.inverse(&mut prod);
+        prop_assert_eq!(prod, expect);
+    }
+
+    #[test]
+    fn monomial_mul_is_invertible(
+        coeffs in prop::collection::vec(0u64..Q36, 32),
+        k in 0i64..64,
+    ) {
+        let m = q();
+        let shifted = poly::monomial_mul(&coeffs, k, &m);
+        let back = poly::monomial_mul(&shifted, -k, &m);
+        prop_assert_eq!(back, coeffs);
+    }
+
+    #[test]
+    fn automorphism_preserves_constant_coeff(
+        coeffs in prop::collection::vec(0u64..Q36, 32),
+        g_idx in 0usize..16,
+    ) {
+        let m = q();
+        let g = 2 * g_idx + 1; // odd exponents
+        let out = poly::automorphism(&coeffs, g, &m);
+        prop_assert_eq!(out[0], coeffs[0]);
+    }
+}
+
+proptest! {
+    #[test]
+    fn gadget_roundtrip(x in 0..Q36) {
+        let g = Gadget::new(18, 2, q());
+        prop_assert_eq!(g.recompose(&g.decompose_scalar(x)), x);
+    }
+
+    #[test]
+    fn gadget_signed_digits_bounded(x in 0..Q36) {
+        let g = Gadget::new(13, 3, q());
+        for d in g.decompose_scalar_signed(x) {
+            prop_assert!(d.unsigned_abs() <= (1 << 12) + 1);
+        }
+    }
+
+    #[test]
+    fn bigint_add_mul_match_u128(a in any::<u64>(), b in any::<u64>(), c in 1u64..1 << 32) {
+        // (a + b) * c over BigUint equals u128 arithmetic.
+        let mut x = BigUint::from_u64(a);
+        x.add_u64(b);
+        x.mul_u64(c);
+        let expect = (a as u128 + b as u128) * c as u128;
+        prop_assert_eq!(x.rem_u64(u64::MAX), (expect % u64::MAX as u128) as u64);
+    }
+
+    #[test]
+    fn bigint_cmp_consistent_with_u128(a in any::<u128>(), b in any::<u128>()) {
+        let to_big = |v: u128| {
+            let mut x = BigUint::from_u64((v >> 64) as u64);
+            // shift left 64 via two 2^32 multiplications
+            x.mul_u64(1 << 32);
+            x.mul_u64(1 << 32);
+            x.add_u64(v as u64);
+            x
+        };
+        prop_assert_eq!(to_big(a).cmp_big(&to_big(b)), a.cmp(&b));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rns_crt_roundtrip(coeffs in prop::collection::vec(-(1i64 << 40)..(1i64 << 40), 16)) {
+        let ctx = RnsContext::new(16, &ntt_primes(16, 30, 3));
+        let p = RnsPoly::from_signed(&ctx, &coeffs, 3);
+        let back = p.to_centered_f64(&ctx);
+        for (want, got) in coeffs.iter().zip(&back) {
+            prop_assert_eq!(*want as f64, *got);
+        }
+    }
+
+    #[test]
+    fn rns_add_homomorphic(
+        a in prop::collection::vec(-1000i64..1000, 16),
+        b in prop::collection::vec(-1000i64..1000, 16),
+        eval in any::<bool>(),
+    ) {
+        let ctx = RnsContext::new(16, &ntt_primes(16, 30, 2));
+        let mut pa = RnsPoly::from_signed(&ctx, &a, 2);
+        let mut pb = RnsPoly::from_signed(&ctx, &b, 2);
+        if eval {
+            pa.to_eval(&ctx);
+            pb.to_eval(&ctx);
+        }
+        pa.add_assign(&pb, &ctx);
+        if eval {
+            pa.to_coeff(&ctx);
+        }
+        let got = pa.to_centered_f64(&ctx);
+        for (i, g) in got.iter().enumerate() {
+            prop_assert_eq!(*g, (a[i] + b[i]) as f64);
+        }
+    }
+
+    #[test]
+    fn rescale_approximates_division(coeffs in prop::collection::vec(-(1i64 << 45)..(1i64 << 45), 16)) {
+        let ctx = RnsContext::new(16, &ntt_primes(16, 30, 2));
+        let q1 = ctx.modulus(1).value() as f64;
+        let mut p = RnsPoly::from_signed(&ctx, &coeffs, 2);
+        p.rescale(&ctx);
+        prop_assert_eq!(p.domain(), Domain::Coeff);
+        let got = p.to_centered_f64(&ctx);
+        for (want, g) in coeffs.iter().zip(&got) {
+            prop_assert!((g - *want as f64 / q1).abs() <= 1.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_primes_are_prime_and_congruent(log_n in 3u32..9, bits in 24u32..40) {
+        let n = 1u64 << log_n;
+        for p in ntt_primes(n, bits, 2) {
+            prop_assert!(is_prime(p));
+            prop_assert_eq!(p % (2 * n), 1);
+            prop_assert_eq!(64 - p.leading_zeros(), bits);
+        }
+    }
+}
+
+mod wire_props {
+    use heap_math::wire::{pack_bits, packed_size, unpack_bits};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn pack_unpack_roundtrip(
+            bits in 1u32..=63,
+            values in prop::collection::vec(any::<u64>(), 0..128),
+        ) {
+            let mask = (1u64 << bits) - 1;
+            let masked: Vec<u64> = values.iter().map(|v| v & mask).collect();
+            let packed = pack_bits(&masked, bits);
+            prop_assert_eq!(packed.len(), packed_size(masked.len(), bits));
+            let back = unpack_bits(&packed, bits, masked.len()).unwrap();
+            prop_assert_eq!(back, masked);
+        }
+
+        #[test]
+        fn packed_size_is_minimal(bits in 1u32..=63, count in 0usize..1000) {
+            let bytes = packed_size(count, bits);
+            prop_assert!(bytes * 8 >= count * bits as usize);
+            prop_assert!(bytes == 0 || (bytes - 1) * 8 < count * bits as usize);
+        }
+    }
+}

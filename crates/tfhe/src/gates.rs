@@ -1,0 +1,198 @@
+//! Boolean gate bootstrapping — the classic standalone-TFHE workload
+//! (§VII-A: with `BlindRotate`, `Extract` and `KeySwitch` in place, the
+//! accelerator "can support standalone TFHE scheme, if required").
+//!
+//! Bits are encoded as `±q/8` (the torus convention): a homomorphic gate
+//! adds/subtracts two ciphertexts plus a constant so the result's sign
+//! encodes the gate output, then one programmable bootstrap maps the sign
+//! back onto a clean `±q/8` encoding while refreshing the noise. Any
+//! number of gates can therefore be chained.
+
+use rand::Rng;
+
+use heap_math::arith::Modulus;
+
+use crate::lwe::{LweCiphertext, LweSecretKey};
+use crate::pbs::{programmable_bootstrap, PbsKeys, TfheContext};
+
+/// Encoding of a bit: `true ↦ q/8`, `false ↦ -q/8`.
+pub fn encode_bit(ctx: &TfheContext, bit: bool) -> u64 {
+    let q = ctx.q();
+    let eighth = q.value() / 8;
+    if bit {
+        eighth
+    } else {
+        q.value() - eighth
+    }
+}
+
+/// Decodes a bit from a (possibly noisy) phase: positive half ↦ `true`.
+pub fn decode_bit(ctx: &TfheContext, phase: u64) -> bool {
+    ctx.q().to_signed(phase) > 0
+}
+
+/// Encrypts a bit.
+pub fn encrypt_bit<R: Rng + ?Sized>(
+    ctx: &TfheContext,
+    sk: &LweSecretKey,
+    bit: bool,
+    rng: &mut R,
+) -> LweCiphertext {
+    sk.encrypt(encode_bit(ctx, bit), ctx.q(), rng)
+}
+
+/// Decrypts a bit.
+pub fn decrypt_bit(ctx: &TfheContext, sk: &LweSecretKey, ct: &LweCiphertext) -> bool {
+    decode_bit(ctx, sk.phase(ct, ctx.q()))
+}
+
+fn lincomb(
+    q: &Modulus,
+    terms: &[(&LweCiphertext, i64)],
+    constant_eighths: i64,
+) -> LweCiphertext {
+    let n = terms[0].0.dim();
+    let mut a = vec![0u64; n];
+    let mut b = q.mul(q.from_i64(constant_eighths), q.value() / 8);
+    for (ct, w) in terms {
+        let w = q.from_i64(*w);
+        for (acc, &x) in a.iter_mut().zip(&ct.a) {
+            *acc = q.add(*acc, q.mul(w, x));
+        }
+        b = q.add(b, q.mul(w, ct.b));
+    }
+    LweCiphertext {
+        a,
+        b,
+        modulus: q.value(),
+    }
+}
+
+/// The sign-refresh lookup: maps any positive phase to `+q/8` and any
+/// negative phase to `-q/8` (negacyclic-safe by oddness).
+fn sign_bootstrap(ctx: &TfheContext, keys: &PbsKeys, ct: &LweCiphertext) -> LweCiphertext {
+    let eighth = (ctx.q().value() / 8) as i64;
+    programmable_bootstrap(ctx, keys, ct, move |u| if u >= 0 { eighth } else { -eighth })
+}
+
+/// Homomorphic NAND (the universal gate).
+pub fn nand(ctx: &TfheContext, keys: &PbsKeys, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+    // phase(1/8) - a - b: TT -> -3/8 (neg), TF/FT -> 1/8, FF -> 3/8.
+    let pre = lincomb(ctx.q(), &[(a, -1), (b, -1)], 1);
+    sign_bootstrap(ctx, keys, &pre)
+}
+
+/// Homomorphic AND.
+pub fn and(ctx: &TfheContext, keys: &PbsKeys, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+    // a + b - 1/8: TT -> 1/8, TF/FT -> -1/8, FF -> -3/8.
+    let pre = lincomb(ctx.q(), &[(a, 1), (b, 1)], -1);
+    sign_bootstrap(ctx, keys, &pre)
+}
+
+/// Homomorphic OR.
+pub fn or(ctx: &TfheContext, keys: &PbsKeys, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+    // a + b + 1/8: TT -> 3/8, TF/FT -> 1/8, FF -> -1/8.
+    let pre = lincomb(ctx.q(), &[(a, 1), (b, 1)], 1);
+    sign_bootstrap(ctx, keys, &pre)
+}
+
+/// Homomorphic XOR (uses weight-2 inputs, one bootstrap like the rest).
+pub fn xor(ctx: &TfheContext, keys: &PbsKeys, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+    // 2(a + b): TT -> 4/8 ≡ wrap (neg), TF/FT -> 0... shift by 1/8 to
+    // break the tie: 2a + 2b ranges over {-4/8, 0, 4/8}; add -1/8 bias and
+    // flip: XOR true (one of each) -> -1/8 (neg)... use the standard
+    // encoding: 2·(a - b): TT/FF -> 0, TF -> 4/8, FT -> -4/8; |.| = XOR.
+    // abs() is not negacyclic, so use 2(a+b) with the tie-broken LUT below.
+    let pre = lincomb(ctx.q(), &[(a, 2), (b, 2)], -1);
+    // phases: TT -> 4/8 - 1/8 = 3/8 (pos -> wait TT should be false).
+    // 2(a+b) - 1/8: TT -> 3/8, TF/FT -> -1/8, FF -> -5/8 ≡ 3/8 (wrap).
+    // XOR true (TF/FT) is the *negative* case; invert the sign LUT.
+    let eighth = (ctx.q().value() / 8) as i64;
+    programmable_bootstrap(ctx, keys, &pre, move |u| if u >= 0 { -eighth } else { eighth })
+}
+
+/// Homomorphic NOT (free: negate, no bootstrap needed).
+pub fn not(ctx: &TfheContext, ct: &LweCiphertext) -> LweCiphertext {
+    let q = ctx.q();
+    LweCiphertext {
+        a: ct.a.iter().map(|&x| q.neg(q.reduce_u64(x))).collect(),
+        b: q.neg(q.reduce_u64(ct.b)),
+        modulus: q.value(),
+    }
+}
+
+/// Homomorphic MUX(s, a, b) = s ? a : b with two bootstraps.
+pub fn mux(
+    ctx: &TfheContext,
+    keys: &PbsKeys,
+    s: &LweCiphertext,
+    a: &LweCiphertext,
+    b: &LweCiphertext,
+) -> LweCiphertext {
+    let sa = and(ctx, keys, s, a);
+    let nsb = and(ctx, keys, &not(ctx, s), b);
+    // OR of two disjoint products.
+    or(ctx, keys, &sa, &nsb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbs::TfheParams;
+    use crate::rlwe::RingSecretKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (TfheContext, LweSecretKey, PbsKeys, StdRng) {
+        let ctx = TfheContext::new(TfheParams::test_small());
+        let mut rng = StdRng::seed_from_u64(12);
+        let sk = LweSecretKey::generate(&mut rng, ctx.params().lwe_dim);
+        let ring_sk = RingSecretKey::generate(ctx.ring(), 1, &mut rng);
+        let keys = PbsKeys::generate(&ctx, &sk, &ring_sk, &mut rng);
+        (ctx, sk, keys, rng)
+    }
+
+    #[test]
+    fn truth_tables() {
+        let (ctx, sk, keys, mut rng) = setup();
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            let cx = encrypt_bit(&ctx, &sk, x, &mut rng);
+            let cy = encrypt_bit(&ctx, &sk, y, &mut rng);
+            assert_eq!(decrypt_bit(&ctx, &sk, &nand(&ctx, &keys, &cx, &cy)), !(x && y), "NAND {x} {y}");
+            assert_eq!(decrypt_bit(&ctx, &sk, &and(&ctx, &keys, &cx, &cy)), x && y, "AND {x} {y}");
+            assert_eq!(decrypt_bit(&ctx, &sk, &or(&ctx, &keys, &cx, &cy)), x || y, "OR {x} {y}");
+            assert_eq!(decrypt_bit(&ctx, &sk, &xor(&ctx, &keys, &cx, &cy)), x ^ y, "XOR {x} {y}");
+            assert_eq!(decrypt_bit(&ctx, &sk, &not(&ctx, &cx)), !x, "NOT {x}");
+        }
+    }
+
+    #[test]
+    fn mux_selects_correctly() {
+        let (ctx, sk, keys, mut rng) = setup();
+        for (s, a, b) in [(true, true, false), (false, true, false), (true, false, true)] {
+            let cs = encrypt_bit(&ctx, &sk, s, &mut rng);
+            let ca = encrypt_bit(&ctx, &sk, a, &mut rng);
+            let cb = encrypt_bit(&ctx, &sk, b, &mut rng);
+            let out = mux(&ctx, &keys, &cs, &ca, &cb);
+            assert_eq!(decrypt_bit(&ctx, &sk, &out), if s { a } else { b }, "MUX {s} {a} {b}");
+        }
+    }
+
+    #[test]
+    fn gates_chain_arbitrarily_deep() {
+        // The whole point of gate bootstrapping: unbounded circuits. Build
+        // a 6-gate chain and verify against the plaintext circuit.
+        let (ctx, sk, keys, mut rng) = setup();
+        let (x, y, z) = (true, false, true);
+        let cx = encrypt_bit(&ctx, &sk, x, &mut rng);
+        let cy = encrypt_bit(&ctx, &sk, y, &mut rng);
+        let cz = encrypt_bit(&ctx, &sk, z, &mut rng);
+        // out = ((x NAND y) XOR z) OR (y AND z)
+        let t1 = nand(&ctx, &keys, &cx, &cy);
+        let t2 = xor(&ctx, &keys, &t1, &cz);
+        let t3 = and(&ctx, &keys, &cy, &cz);
+        let out = or(&ctx, &keys, &t2, &t3);
+        let expect = (!(x && y) ^ z) || (y && z);
+        assert_eq!(decrypt_bit(&ctx, &sk, &out), expect);
+    }
+}

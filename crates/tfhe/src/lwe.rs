@@ -1,0 +1,320 @@
+//! LWE ciphertexts and their supporting operations.
+//!
+//! The TFHE side of the scheme switch works on plain LWE samples
+//! `(a⃗, b) ∈ Z_q^{n+1}` with `b = -<a⃗, s> + e + m` (paper Eq. 1). This
+//! module provides encryption/decryption (for tests and key generation),
+//! the `ModulusSwitch` to `2N` that precedes blind rotation, and the
+//! dimension-reducing LWE→LWE key switch (ring dimension `N` down to the
+//! TFHE mask `n_t ≈ 500`, §II-B) that makes blind rotation affordable.
+
+use rand::Rng;
+
+use heap_math::arith::Modulus;
+use heap_math::{sample, Gadget};
+
+/// An LWE ciphertext `(a⃗, b)` over a single word-sized modulus.
+///
+/// The modulus is carried alongside the data so ciphertexts at different
+/// moduli (pre/post `ModulusSwitch`) cannot be mixed up silently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LweCiphertext {
+    /// Mask coefficients `a⃗`.
+    pub a: Vec<u64>,
+    /// Body `b`.
+    pub b: u64,
+    /// Modulus `q` the sample lives under.
+    pub modulus: u64,
+}
+
+impl LweCiphertext {
+    /// Dimension of the mask.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.a.len()
+    }
+
+    /// The trivial (noiseless, keyless) encryption of `m`.
+    pub fn trivial(m: u64, dim: usize, modulus: u64) -> Self {
+        Self {
+            a: vec![0; dim],
+            b: m % modulus,
+            modulus,
+        }
+    }
+
+    /// `ModulusSwitch`: rescales every element from `q` to `new_modulus`
+    /// with rounding (paper §II-B; cheap because `2N` is a power of two).
+    pub fn modulus_switch(&self, new_modulus: u64) -> LweCiphertext {
+        let switch = |x: u64| -> u64 {
+            // round(new * x / old), exact in u128.
+            let num = (x as u128) * (new_modulus as u128) + (self.modulus as u128) / 2;
+            ((num / (self.modulus as u128)) as u64) % new_modulus
+        };
+        LweCiphertext {
+            a: self.a.iter().map(|&x| switch(x)).collect(),
+            b: switch(self.b),
+            modulus: new_modulus,
+        }
+    }
+}
+
+/// An LWE secret key (ternary by default, matching the non-sparse keys used
+/// throughout the paper).
+#[derive(Debug, Clone)]
+pub struct LweSecretKey {
+    coeffs: Vec<i64>,
+}
+
+impl LweSecretKey {
+    /// Samples a ternary secret of dimension `n`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Self {
+        Self {
+            coeffs: sample::ternary_secret(rng, n),
+        }
+    }
+
+    /// Wraps existing signed coefficients (used to alias the ring secret).
+    pub fn from_coeffs(coeffs: Vec<i64>) -> Self {
+        Self { coeffs }
+    }
+
+    /// The signed coefficients.
+    #[inline]
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// Dimension `n`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Encrypts `m` (already scaled into `Z_q`) with fresh Gaussian noise.
+    pub fn encrypt<R: Rng + ?Sized>(&self, m: u64, q: &Modulus, rng: &mut R) -> LweCiphertext {
+        let n = self.coeffs.len();
+        let a = sample::uniform_poly(rng, n, q.value());
+        let e = sample::gaussian(rng);
+        let mut acc = q.from_i64(e);
+        acc = q.add(acc, q.reduce_u64(m));
+        // b = -<a, s> + e + m
+        let mut dot = 0u64;
+        for (ai, &si) in a.iter().zip(&self.coeffs) {
+            let s_red = q.from_i64(si);
+            dot = q.mul_add(*ai, s_red, dot);
+        }
+        let b = q.sub(acc, dot);
+        LweCiphertext {
+            a,
+            b,
+            modulus: q.value(),
+        }
+    }
+
+    /// Decrypts to the raw phase `b + <a⃗, s> mod q` (noise included).
+    pub fn phase(&self, ct: &LweCiphertext, q: &Modulus) -> u64 {
+        assert_eq!(ct.dim(), self.coeffs.len(), "dimension mismatch");
+        assert_eq!(ct.modulus, q.value(), "modulus mismatch");
+        let mut dot = 0u64;
+        for (ai, &si) in ct.a.iter().zip(&self.coeffs) {
+            dot = q.mul_add(q.reduce_u64(*ai), q.from_i64(si), dot);
+        }
+        q.add(q.reduce_u64(ct.b), dot)
+    }
+}
+
+/// LWE→LWE key-switching key: switches dimension-`N` samples (extracted
+/// from ring ciphertexts) down to the blind-rotation mask dimension `n_t`.
+///
+/// Layout: `key[j][k]` encrypts `s_j · B^k` under the target secret — a
+/// vector of `N · d` LWE ciphertexts, exactly the shape the paper states
+/// for the key-switching key (§II-B).
+#[derive(Debug, Clone)]
+pub struct LweKeySwitchKey {
+    key: Vec<Vec<LweCiphertext>>,
+    gadget: Gadget,
+    target_dim: usize,
+}
+
+impl LweKeySwitchKey {
+    /// Generates a switching key from `from` (dimension `N`) to `to`
+    /// (dimension `n_t`) over modulus `q` with `digits` digits of
+    /// `base_bits` bits.
+    pub fn generate<R: Rng + ?Sized>(
+        from: &LweSecretKey,
+        to: &LweSecretKey,
+        q: &Modulus,
+        base_bits: u32,
+        digits: usize,
+        rng: &mut R,
+    ) -> Self {
+        let gadget = Gadget::new(base_bits, digits, *q);
+        let key = from
+            .coeffs()
+            .iter()
+            .map(|&sj| {
+                gadget
+                    .powers()
+                    .iter()
+                    .map(|&bk| {
+                        let msg = q.mul(q.from_i64(sj), bk);
+                        to.encrypt(msg, q, rng)
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            key,
+            gadget,
+            target_dim: to.dim(),
+        }
+    }
+
+    /// Source dimension `N`.
+    #[inline]
+    pub fn source_dim(&self) -> usize {
+        self.key.len()
+    }
+
+    /// Target dimension `n_t`.
+    #[inline]
+    pub fn target_dim(&self) -> usize {
+        self.target_dim
+    }
+
+    /// Total ciphertexts stored (`N · d`), as reported in the paper's key
+    /// sizing.
+    pub fn ciphertext_count(&self) -> usize {
+        self.key.len() * self.gadget.digits()
+    }
+
+    /// Switches an LWE ciphertext to the target dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext dimension or modulus disagrees with the key.
+    pub fn switch(&self, ct: &LweCiphertext, q: &Modulus) -> LweCiphertext {
+        assert_eq!(ct.dim(), self.key.len(), "dimension mismatch");
+        assert_eq!(ct.modulus, q.value(), "modulus mismatch");
+        let n_t = self.target_dim;
+        let mut out_a = vec![0u64; n_t];
+        let mut out_b = q.reduce_u64(ct.b);
+        let mut digits = vec![0i64; self.gadget.digits()];
+        for (j, &aj) in ct.a.iter().enumerate() {
+            self.gadget
+                .decompose_scalar_signed_into(q.reduce_u64(aj), &mut digits);
+            for (k, &d) in digits.iter().enumerate() {
+                if d == 0 {
+                    continue;
+                }
+                let dk = q.from_i64(d);
+                let ks = &self.key[j][k];
+                // Phase convention is `b + <a, s>`, so the decomposed mask
+                // *adds* the switched encryptions of `s_j·B^k`.
+                for (o, &ka) in out_a.iter_mut().zip(&ks.a) {
+                    *o = q.add(*o, q.mul(dk, ka));
+                }
+                out_b = q.add(out_b, q.mul(dk, ks.b));
+            }
+        }
+        LweCiphertext {
+            a: out_a,
+            b: out_b,
+            modulus: q.value(),
+        }
+    }
+}
+
+/// Centered distance between two residues mod `q` (test / noise helper).
+pub fn centered_distance(x: u64, y: u64, q: u64) -> u64 {
+    let d = (x + q - y) % q;
+    d.min(q - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heap_math::prime::ntt_primes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn q30() -> Modulus {
+        Modulus::new(ntt_primes(1 << 10, 30, 1)[0]).unwrap()
+    }
+
+    #[test]
+    fn encrypt_decrypt_phase() {
+        let q = q30();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sk = LweSecretKey::generate(&mut rng, 64);
+        let m = q.value() / 4;
+        let ct = sk.encrypt(m, &q, &mut rng);
+        let got = sk.phase(&ct, &q);
+        assert!(centered_distance(got, m, q.value()) < 64, "noise too large");
+    }
+
+    #[test]
+    fn trivial_has_exact_phase() {
+        let q = q30();
+        let sk = LweSecretKey::generate(&mut StdRng::seed_from_u64(2), 16);
+        let ct = LweCiphertext::trivial(12345, 16, q.value());
+        assert_eq!(sk.phase(&ct, &q), 12345);
+    }
+
+    #[test]
+    fn modulus_switch_preserves_phase_scaled() {
+        let q = q30();
+        let two_n = 2048u64;
+        let mut rng = StdRng::seed_from_u64(3);
+        let sk = LweSecretKey::generate(&mut rng, 128);
+        // message at a coarse position so the switch keeps it identifiable
+        let m = (q.value() / 8) * 3;
+        let ct = sk.encrypt(m, &q, &mut rng);
+        let switched = ct.modulus_switch(two_n);
+        assert_eq!(switched.modulus, two_n);
+        // phase mod 2N
+        let mut dot: i128 = switched.b as i128;
+        for (a, &s) in switched.a.iter().zip(sk.coeffs()) {
+            dot += (*a as i128) * (s as i128);
+        }
+        let got = dot.rem_euclid(two_n as i128) as u64;
+        let want = ((m as u128 * two_n as u128 + q.value() as u128 / 2) / q.value() as u128) as u64
+            % two_n;
+        assert!(
+            centered_distance(got, want, two_n) <= 8,
+            "got {got}, want {want}"
+        );
+    }
+
+    #[test]
+    fn key_switch_changes_dimension_keeps_message() {
+        let q = q30();
+        let mut rng = StdRng::seed_from_u64(4);
+        let big = LweSecretKey::generate(&mut rng, 256);
+        let small = LweSecretKey::generate(&mut rng, 64);
+        let ksk = LweKeySwitchKey::generate(&big, &small, &q, 6, 5, &mut rng);
+        assert_eq!(ksk.ciphertext_count(), 256 * 5);
+        let m = q.value() / 2;
+        let ct = big.encrypt(m, &q, &mut rng);
+        let switched = ksk.switch(&ct, &q);
+        assert_eq!(switched.dim(), 64);
+        let got = small.phase(&switched, &q);
+        assert!(
+            centered_distance(got, m, q.value()) < q.value() / 1024,
+            "keyswitch noise too large: {}",
+            centered_distance(got, m, q.value())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn key_switch_rejects_wrong_dim() {
+        let q = q30();
+        let mut rng = StdRng::seed_from_u64(5);
+        let big = LweSecretKey::generate(&mut rng, 32);
+        let small = LweSecretKey::generate(&mut rng, 16);
+        let ksk = LweKeySwitchKey::generate(&big, &small, &q, 6, 5, &mut rng);
+        let ct = LweCiphertext::trivial(0, 31, q.value());
+        ksk.switch(&ct, &q);
+    }
+}

@@ -1,0 +1,331 @@
+//! RGSW ciphertexts and the external product.
+//!
+//! RGSW is the workhorse of blind rotation: an RGSW encryption of a small
+//! `m` can be multiplied into any RLWE ciphertext (the **ExternalProduct**),
+//! scaling the RLWE phase by `m` while adding only gadget-bounded noise.
+//! HEAP executes these products on dedicated MAC units with dual-port BRAM
+//! accumulation (paper §IV-A/§IV-E); here they are NTT pointwise
+//! multiply-accumulates over the RNS basis.
+//!
+//! The gadget is the RNS-hybrid one: rows are indexed by `(limb i, digit
+//! k)` with gadget constants `g_{i,k} ≡ δ_{ij}·B^k (mod q_j)` — the digit
+//! count per limb is the paper's `d = 2`.
+
+use rand::Rng;
+
+use heap_math::{poly, Gadget, RnsContext, RnsPoly};
+
+use crate::rlwe::{RingSecretKey, RlweCiphertext};
+
+/// Gadget configuration for RGSW/external products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RgswParams {
+    /// Bits per digit (`B = 2^base_bits`).
+    pub base_bits: u32,
+    /// Digits per RNS limb (the paper's `d`, set to 2 in §III-C).
+    pub digits: usize,
+}
+
+impl RgswParams {
+    /// The paper's configuration: `d = 2` digits covering a 36-bit limb.
+    pub fn paper() -> Self {
+        Self {
+            base_bits: 18,
+            digits: 2,
+        }
+    }
+
+    /// Rows per RGSW component (`limbs · digits`).
+    pub fn rows(&self, limbs: usize) -> usize {
+        limbs * self.digits
+    }
+
+    /// Builds the per-limb gadgets for the first `limbs` moduli of `ctx`.
+    pub fn gadgets(&self, ctx: &RnsContext, limbs: usize) -> Vec<Gadget> {
+        (0..limbs)
+            .map(|i| Gadget::new(self.base_bits, self.digits, *ctx.modulus(i)))
+            .collect()
+    }
+}
+
+/// An RGSW ciphertext: two ladders of RLWE rows, one with message `m·g_r·s`
+/// (consumed by the mask digits) and one with `m·g_r` (consumed by the body
+/// digits).
+#[derive(Debug, Clone)]
+pub struct RgswCiphertext {
+    /// Rows with phase `m · g_r · s` (indexed `r = limb·digits + k`).
+    pub(crate) rows_s: Vec<RlweCiphertext>,
+    /// Rows with phase `m · g_r`.
+    pub(crate) rows_1: Vec<RlweCiphertext>,
+}
+
+impl RgswCiphertext {
+    /// Encrypts a small scalar `m` (typically a secret-key bit) under `sk`
+    /// over the first `limbs` moduli.
+    pub fn encrypt_scalar<R: Rng + ?Sized>(
+        ctx: &RnsContext,
+        sk: &RingSecretKey,
+        m: i64,
+        limbs: usize,
+        params: &RgswParams,
+        rng: &mut R,
+    ) -> Self {
+        let zero = RnsPoly::zero(ctx, limbs, heap_math::Domain::Coeff);
+        let mut rows_s = Vec::with_capacity(params.rows(limbs));
+        let mut rows_1 = Vec::with_capacity(params.rows(limbs));
+        for i in 0..limbs {
+            let base = 1u64 << params.base_bits;
+            let mut bk = 1u64;
+            for _ in 0..params.digits {
+                // Encryption of zero, then shift the gadget constant into
+                // the appropriate component: adding `c` to the mask
+                // contributes `c·s` to the phase; adding to the body
+                // contributes `c`.
+                let mut row_s = RlweCiphertext::encrypt(ctx, sk, &zero, rng);
+                let mut row_1 = RlweCiphertext::encrypt(ctx, sk, &zero, rng);
+                let mi = ctx.modulus(i);
+                let c = mi.mul(mi.reduce_u64(bk), mi.from_i64(m));
+                add_constant(row_s.a.limb_mut(i), c, mi.value());
+                add_constant(row_1.b.limb_mut(i), c, mi.value());
+                rows_s.push(row_s);
+                rows_1.push(row_1);
+                bk = mi.mul(mi.reduce_u64(bk), mi.reduce_u64(base));
+            }
+        }
+        Self { rows_s, rows_1 }
+    }
+
+    /// The noiseless RGSW encryption of 1 (gadget constants in the clear).
+    ///
+    /// Used as the identity term of the paper's Algorithm 1 accumulator
+    /// update.
+    pub fn trivial_one(ctx: &RnsContext, limbs: usize, params: &RgswParams) -> Self {
+        let mut rows_s = Vec::with_capacity(params.rows(limbs));
+        let mut rows_1 = Vec::with_capacity(params.rows(limbs));
+        for i in 0..limbs {
+            let base = 1u64 << params.base_bits;
+            let mi = ctx.modulus(i);
+            let mut bk = 1u64 % mi.value();
+            for _ in 0..params.digits {
+                let mut row_s = RlweCiphertext::zero(ctx, limbs);
+                let mut row_1 = RlweCiphertext::zero(ctx, limbs);
+                add_constant(row_s.a.limb_mut(i), bk, mi.value());
+                add_constant(row_1.b.limb_mut(i), bk, mi.value());
+                rows_s.push(row_s);
+                rows_1.push(row_1);
+                bk = mi.mul(bk, mi.reduce_u64(base));
+            }
+        }
+        Self { rows_s, rows_1 }
+    }
+
+    /// Number of gadget rows per ladder.
+    pub fn row_count(&self) -> usize {
+        self.rows_s.len()
+    }
+
+    /// `self += other` row-wise (message addition).
+    pub fn add_assign(&mut self, other: &RgswCiphertext, ctx: &RnsContext) {
+        assert_eq!(self.row_count(), other.row_count());
+        for (s, o) in self.rows_s.iter_mut().zip(&other.rows_s) {
+            s.add_assign(o, ctx);
+        }
+        for (s, o) in self.rows_1.iter_mut().zip(&other.rows_1) {
+            s.add_assign(o, ctx);
+        }
+    }
+
+    /// Multiplies every row by an evaluation-domain polynomial factor (one
+    /// vector per limb). Used for the `(X^a − 1)` terms of Algorithm 1.
+    pub fn mul_eval_factor_assign(&mut self, factor: &[Vec<u64>], ctx: &RnsContext) {
+        for rows in [&mut self.rows_s, &mut self.rows_1] {
+            for row in rows.iter_mut() {
+                for part in [&mut row.a, &mut row.b] {
+                    let limbs = part.limb_count();
+                    for j in 0..limbs {
+                        let m = ctx.modulus(j);
+                        for (x, &f) in part.limb_mut(j).iter_mut().zip(&factor[j]) {
+                            *x = m.mul(*x, f);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn add_constant(limb: &mut [u64], c: u64, q: u64) {
+    // In evaluation domain the constant polynomial is the constant vector.
+    for x in limb.iter_mut() {
+        let s = *x + c;
+        *x = if s >= q { s - q } else { s };
+    }
+}
+
+/// Scratch buffers reused across external products (blind rotation performs
+/// `n_t` of them back to back; HEAP likewise keeps the decomposition in
+/// on-chip BRAM between steps).
+#[derive(Debug, Default)]
+pub struct ExternalProductScratch {
+    digit_signed: Vec<Vec<i64>>,
+}
+
+/// Computes the external product `ct ⊡ rgsw`, returning an RLWE ciphertext
+/// whose phase is `m · phase(ct)` plus gadget noise.
+///
+/// # Panics
+///
+/// Panics if the RGSW row count does not match `limbs · digits` for the
+/// ciphertext's limb count.
+pub fn external_product(
+    ct: &RlweCiphertext,
+    rgsw: &RgswCiphertext,
+    ctx: &RnsContext,
+    params: &RgswParams,
+) -> RlweCiphertext {
+    let mut scratch = ExternalProductScratch::default();
+    external_product_with(ct, rgsw, ctx, params, &mut scratch)
+}
+
+/// [`external_product`] with caller-provided scratch space.
+pub fn external_product_with(
+    ct: &RlweCiphertext,
+    rgsw: &RgswCiphertext,
+    ctx: &RnsContext,
+    params: &RgswParams,
+    scratch: &mut ExternalProductScratch,
+) -> RlweCiphertext {
+    let limbs = ct.limbs();
+    assert_eq!(
+        rgsw.row_count(),
+        params.rows(limbs),
+        "RGSW row count mismatch"
+    );
+    let n = ctx.n();
+    let mut a_coeff = ct.a.clone();
+    let mut b_coeff = ct.b.clone();
+    a_coeff.to_coeff(ctx);
+    b_coeff.to_coeff(ctx);
+    let mut out = RlweCiphertext::zero(ctx, limbs);
+    let gadgets = params.gadgets(ctx, limbs);
+    scratch
+        .digit_signed
+        .resize_with(params.digits, || vec![0i64; n]);
+
+    for (part_coeff, rows) in [(&a_coeff, &rgsw.rows_s), (&b_coeff, &rgsw.rows_1)] {
+        for i in 0..limbs {
+            // Decompose limb i into signed digit polynomials.
+            let limb = part_coeff.limb(i);
+            let mut digit_buf = vec![0i64; params.digits];
+            for (c_idx, &c) in limb.iter().enumerate() {
+                gadgets[i].decompose_scalar_signed_into(c, &mut digit_buf);
+                for (k, &d) in digit_buf.iter().enumerate() {
+                    scratch.digit_signed[k][c_idx] = d;
+                }
+            }
+            for k in 0..params.digits {
+                let row = &rows[i * params.digits + k];
+                // Spread the signed digit under every limb, NTT, MAC.
+                for j in 0..limbs {
+                    let m = ctx.modulus(j);
+                    let ntt = ctx.ntt(j);
+                    let mut spread = poly::from_signed(&scratch.digit_signed[k], m);
+                    ntt.forward(&mut spread);
+                    ntt.pointwise_acc(&spread, row.a.limb(j), out.a.limb_mut(j));
+                    ntt.pointwise_acc(&spread, row.b.limb(j), out.b.limb_mut(j));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heap_math::prime::ntt_primes;
+    use heap_math::RnsPoly;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> RnsContext {
+        RnsContext::new(128, &ntt_primes(128, 30, 2))
+    }
+
+    fn params() -> RgswParams {
+        RgswParams {
+            base_bits: 15,
+            digits: 2,
+        }
+    }
+
+    fn phase_err(got: &[f64], want: &[f64]) -> f64 {
+        got.iter()
+            .zip(want)
+            .map(|(g, w)| (g - w).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn external_product_by_one_preserves_phase() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sk = RingSecretKey::generate(&c, 2, &mut rng);
+        let p = params();
+        let msg: Vec<i64> = (0..128).map(|i| (i as i64 - 64) * 100_000).collect();
+        let ct = RlweCiphertext::encrypt(&c, &sk, &RnsPoly::from_signed(&c, &msg, 2), &mut rng);
+        let one = RgswCiphertext::encrypt_scalar(&c, &sk, 1, 2, &p, &mut rng);
+        let out = external_product(&ct, &one, &c, &p);
+        let got = out.phase(&c, &sk).to_centered_f64(&c);
+        let want: Vec<f64> = msg.iter().map(|&x| x as f64).collect();
+        let err = phase_err(&got, &want);
+        assert!(err < 1e7, "noise {err} too large");
+    }
+
+    #[test]
+    fn external_product_by_zero_kills_phase() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(2);
+        let sk = RingSecretKey::generate(&c, 2, &mut rng);
+        let p = params();
+        let msg: Vec<i64> = (0..128).map(|i| (i as i64) * 1_000_000).collect();
+        let ct = RlweCiphertext::encrypt(&c, &sk, &RnsPoly::from_signed(&c, &msg, 2), &mut rng);
+        let zero = RgswCiphertext::encrypt_scalar(&c, &sk, 0, 2, &p, &mut rng);
+        let out = external_product(&ct, &zero, &c, &p);
+        let got = out.phase(&c, &sk).to_centered_f64(&c);
+        let err = got.iter().map(|g| g.abs()).fold(0.0, f64::max);
+        assert!(err < 1e7, "zero product leaked {err}");
+    }
+
+    #[test]
+    fn trivial_one_acts_as_exact_identity() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sk = RingSecretKey::generate(&c, 2, &mut rng);
+        let p = params();
+        let msg: Vec<i64> = (0..128).map(|i| (i as i64 - 64) * 50_000).collect();
+        let ct = RlweCiphertext::encrypt(&c, &sk, &RnsPoly::from_signed(&c, &msg, 2), &mut rng);
+        let base_phase = ct.phase(&c, &sk).to_centered_f64(&c);
+        let one = RgswCiphertext::trivial_one(&c, 2, &p);
+        let out = external_product(&ct, &one, &c, &p);
+        let got = out.phase(&c, &sk).to_centered_f64(&c);
+        // Only decomposition rounding, no encryption noise.
+        let err = phase_err(&got, &base_phase);
+        assert!(err < 2.0, "trivial identity err {err}");
+    }
+
+    #[test]
+    fn external_product_by_minus_one_negates() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(4);
+        let sk = RingSecretKey::generate(&c, 2, &mut rng);
+        let p = params();
+        let msg: Vec<i64> = (0..128).map(|i| (i as i64) * 300_000).collect();
+        let ct = RlweCiphertext::encrypt(&c, &sk, &RnsPoly::from_signed(&c, &msg, 2), &mut rng);
+        let neg = RgswCiphertext::encrypt_scalar(&c, &sk, -1, 2, &p, &mut rng);
+        let out = external_product(&ct, &neg, &c, &p);
+        let got = out.phase(&c, &sk).to_centered_f64(&c);
+        let want: Vec<f64> = msg.iter().map(|&x| -x as f64).collect();
+        assert!(phase_err(&got, &want) < 1e7);
+    }
+}

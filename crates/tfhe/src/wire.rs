@@ -1,0 +1,180 @@
+//! Wire encodings for TFHE ciphertexts — the payloads HEAP streams over
+//! its CMAC links during the parallel bootstrap (§V).
+//!
+//! Coefficients are bit-packed at the modulus width, so sizes match the
+//! paper's accounting (a 2.25 KB LWE at `n_t = 500`/36-bit, §III-C); the
+//! root test suite cross-checks these against `heap-hw`'s memory model.
+
+use heap_math::wire::{packed_size, WireError, WireReader, WireWriter};
+
+use crate::extract::RnsLweCiphertext;
+use crate::lwe::LweCiphertext;
+
+const LWE_MAGIC: u32 = 0x4C57_4531; // "LWE1"
+const RNS_LWE_MAGIC: u32 = 0x524C_5731; // "RLW1"
+
+fn modulus_bits(modulus: u64) -> u32 {
+    64 - (modulus - 1).leading_zeros()
+}
+
+impl LweCiphertext {
+    /// Serializes at the modulus bit-width.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let bits = modulus_bits(self.modulus);
+        let mut w = WireWriter::new();
+        w.put_u32(LWE_MAGIC);
+        w.put_u64(self.modulus);
+        w.put_u32(self.a.len() as u32);
+        let mut all = self.a.clone();
+        all.push(self.b);
+        w.put_packed(&all, bits);
+        w.into_bytes()
+    }
+
+    /// Deserializes a ciphertext written by [`Self::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation or corrupted fields.
+    pub fn from_wire(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        if r.get_u32()? != LWE_MAGIC {
+            return Err(WireError::Corrupt("LWE magic"));
+        }
+        let modulus = r.get_u64()?;
+        if modulus < 2 {
+            return Err(WireError::Corrupt("LWE modulus"));
+        }
+        let dim = r.get_u32()? as usize;
+        if dim > 1 << 24 {
+            return Err(WireError::Corrupt("LWE dimension"));
+        }
+        let bits = modulus_bits(modulus);
+        let mut all = r.get_packed(bits, dim + 1)?;
+        let b = all.pop().expect("dim + 1 elements");
+        if all.iter().chain([&b]).any(|&x| x >= modulus) {
+            return Err(WireError::Corrupt("LWE element out of range"));
+        }
+        Ok(Self {
+            a: all,
+            b,
+            modulus,
+        })
+    }
+
+    /// Wire size in bytes (what a CMAC scatter pays per ciphertext).
+    pub fn wire_size(&self) -> usize {
+        4 + 8 + 4 + packed_size(self.a.len() + 1, modulus_bits(self.modulus))
+    }
+}
+
+impl RnsLweCiphertext {
+    /// Serializes every limb at its modulus width.
+    pub fn to_wire(&self, moduli: &[u64]) -> Vec<u8> {
+        assert_eq!(moduli.len(), self.limbs(), "one modulus per limb");
+        let mut w = WireWriter::new();
+        w.put_u32(RNS_LWE_MAGIC);
+        w.put_u32(self.limbs() as u32);
+        w.put_u32(self.dim() as u32);
+        for (j, &m) in moduli.iter().enumerate() {
+            w.put_u64(m);
+            let mut all = self.a[j].clone();
+            all.push(self.b[j]);
+            w.put_packed(&all, modulus_bits(m));
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes an RNS LWE written by [`Self::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation or corrupted fields.
+    pub fn from_wire(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        if r.get_u32()? != RNS_LWE_MAGIC {
+            return Err(WireError::Corrupt("RNS-LWE magic"));
+        }
+        let limbs = r.get_u32()? as usize;
+        let dim = r.get_u32()? as usize;
+        if limbs == 0 || limbs > 64 || dim > 1 << 24 {
+            return Err(WireError::Corrupt("RNS-LWE shape"));
+        }
+        let mut a = Vec::with_capacity(limbs);
+        let mut b = Vec::with_capacity(limbs);
+        for _ in 0..limbs {
+            let m = r.get_u64()?;
+            if m < 2 {
+                return Err(WireError::Corrupt("RNS-LWE modulus"));
+            }
+            let mut all = r.get_packed(modulus_bits(m), dim + 1)?;
+            let bj = all.pop().expect("dim + 1 elements");
+            a.push(all);
+            b.push(bj);
+        }
+        Ok(Self { a, b })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lwe::LweSecretKey;
+    use heap_math::arith::Modulus;
+    use heap_math::prime::ntt_primes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lwe_roundtrip_preserves_decryption() {
+        let q = Modulus::new(ntt_primes(1 << 8, 36, 1)[0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sk = LweSecretKey::generate(&mut rng, 500);
+        let ct = sk.encrypt(q.value() / 2, &q, &mut rng);
+        let bytes = ct.to_wire();
+        assert_eq!(bytes.len(), ct.wire_size());
+        let back = LweCiphertext::from_wire(&bytes).unwrap();
+        assert_eq!(back, ct);
+        assert_eq!(sk.phase(&back, &q), sk.phase(&ct, &q));
+    }
+
+    #[test]
+    fn lwe_wire_size_matches_paper_accounting() {
+        // n_t = 500, 36-bit modulus: (501 · 36)/8 ≈ 2.25 KB payload,
+        // matching §III-C's "size of each LWE ciphertext is ~2.3 KB".
+        let q = ntt_primes(1 << 13, 36, 1)[0];
+        let ct = LweCiphertext::trivial(0, 500, q);
+        let payload = ct.wire_size() - 16; // minus header
+        assert_eq!(payload, (501 * 36usize).div_ceil(8));
+        assert!((payload as f64 / 1e3 - 2.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_inputs_rejected() {
+        let q = ntt_primes(1 << 8, 30, 1)[0];
+        let ct = LweCiphertext::trivial(5, 16, q);
+        let mut bytes = ct.to_wire();
+        assert!(LweCiphertext::from_wire(&bytes[..bytes.len() - 1]).is_err());
+        bytes[0] ^= 0xFF; // break magic
+        assert_eq!(
+            LweCiphertext::from_wire(&bytes),
+            Err(WireError::Corrupt("LWE magic"))
+        );
+    }
+
+    #[test]
+    fn rns_lwe_roundtrip() {
+        let primes = ntt_primes(1 << 6, 30, 3);
+        let ct = RnsLweCiphertext {
+            a: primes
+                .iter()
+                .map(|&p| (0..64u64).map(|i| i * 31 % p).collect())
+                .collect(),
+            b: primes.iter().map(|&p| p - 1).collect(),
+        };
+        let bytes = ct.to_wire(&primes);
+        let back = RnsLweCiphertext::from_wire(&bytes).unwrap();
+        assert_eq!(back.a, ct.a);
+        assert_eq!(back.b, ct.b);
+    }
+}

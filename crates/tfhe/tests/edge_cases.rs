@@ -1,0 +1,103 @@
+//! Edge-case coverage for the TFHE substrate: modulus-switch boundaries,
+//! blind rotation extremes, key-switch identity, and trivial-ciphertext
+//! paths.
+
+use heap_math::prime::ntt_primes;
+use heap_math::{Modulus, RnsContext};
+use heap_tfhe::blind_rotate::test_polynomial_from_fn;
+use heap_tfhe::lwe::centered_distance;
+use heap_tfhe::{BlindRotateKey, LweCiphertext, LweSecretKey, RgswParams, RingSecretKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn modulus_switch_of_zero_and_extremes() {
+    let q = Modulus::new(ntt_primes(1 << 8, 30, 1)[0]).unwrap();
+    let ct = LweCiphertext {
+        a: vec![0, 1, q.value() - 1, q.value() / 2],
+        b: q.value() - 1,
+        modulus: q.value(),
+    };
+    let small = ct.modulus_switch(512);
+    assert!(small.a.iter().all(|&x| x < 512));
+    assert!(small.b < 512);
+    // q-1 maps to ~512 → wraps to 0.
+    assert!(small.a[2] == 0 || small.a[2] == 511);
+    assert_eq!(small.a[0], 0);
+}
+
+#[test]
+fn blind_rotation_at_phase_boundaries() {
+    // Phases at the edge of the negacyclic-safe window |u| < N/2.
+    let n = 64usize;
+    let ring = RnsContext::new(n, &ntt_primes(n as u64, 30, 2));
+    let mut rng = StdRng::seed_from_u64(5);
+    let ring_sk = RingSecretKey::generate(&ring, 2, &mut rng);
+    let lwe_sk = LweSecretKey::generate(&mut rng, 8);
+    let params = RgswParams {
+        base_bits: 15,
+        digits: 2,
+    };
+    let brk = BlindRotateKey::generate(&ring, &lwe_sk, &ring_sk, 2, params, &mut rng);
+    let scale = 1i64 << 42;
+    let f = test_polynomial_from_fn(&ring, 2, |u| scale * u);
+    let two_n = 2 * n as u64;
+    for msg in [0i64, (n as i64) / 2 - 1, -(n as i64) / 2] {
+        // Noiseless LWE of msg mod 2N.
+        let b = msg.rem_euclid(two_n as i64) as u64;
+        let lwe = LweCiphertext {
+            a: vec![0; 8],
+            b,
+            modulus: two_n,
+        };
+        let out = brk.blind_rotate(&ring, &f, &lwe);
+        let phase = out.phase(&ring, &ring_sk).to_centered_f64(&ring);
+        let want = (scale * msg) as f64;
+        assert!(
+            (phase[0] - want).abs() < (1u64 << 34) as f64,
+            "msg {msg}: {} vs {want}",
+            phase[0]
+        );
+    }
+}
+
+#[test]
+fn trivial_lwe_keyswitch_and_phase() {
+    let q = Modulus::new(ntt_primes(1 << 8, 30, 1)[0]).unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    let big = LweSecretKey::generate(&mut rng, 64);
+    let small = LweSecretKey::generate(&mut rng, 16);
+    let ksk = heap_tfhe::LweKeySwitchKey::generate(&big, &small, &q, 6, 5, &mut rng);
+    // A trivial ciphertext's phase is exact; after switching it only
+    // carries key-switch noise.
+    let m = q.value() / 3;
+    let trivial = LweCiphertext::trivial(m, 64, q.value());
+    let switched = ksk.switch(&trivial, &q);
+    let got = small.phase(&switched, &q);
+    assert!(centered_distance(got, m, q.value()) < 1 << 18);
+}
+
+#[test]
+fn zero_message_bootstrap_path() {
+    // All-zero mask and body: blind rotation must return the LUT's constant
+    // term encryption.
+    let n = 32usize;
+    let ring = RnsContext::new(n, &ntt_primes(n as u64, 30, 1));
+    let mut rng = StdRng::seed_from_u64(7);
+    let ring_sk = RingSecretKey::generate(&ring, 1, &mut rng);
+    let lwe_sk = LweSecretKey::generate(&mut rng, 4);
+    let params = RgswParams {
+        base_bits: 15,
+        digits: 2,
+    };
+    let brk = BlindRotateKey::generate(&ring, &lwe_sk, &ring_sk, 1, params, &mut rng);
+    let f = test_polynomial_from_fn(&ring, 1, |u| 100_000 * u + 7_000_000);
+    let lwe = LweCiphertext::trivial(0, 4, 2 * n as u64);
+    let out = brk.blind_rotate(&ring, &f, &lwe);
+    let phase = out.phase(&ring, &ring_sk).to_centered_f64(&ring);
+    assert!(
+        (phase[0] - 7_000_000.0).abs() < 1_000_000.0,
+        "constant term {}",
+        phase[0]
+    );
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the TFHE substrate: LWE phase arithmetic,
+//! modulus switching, sample extraction, and external-product semantics.
+
+use heap_math::arith::Modulus;
+use heap_math::prime::ntt_primes;
+use heap_math::{RnsContext, RnsPoly};
+use heap_tfhe::extract::extract_coefficient;
+use heap_tfhe::lwe::{centered_distance, LweCiphertext, LweSecretKey};
+use heap_tfhe::rgsw::{external_product, RgswCiphertext, RgswParams};
+use heap_tfhe::rlwe::{RingSecretKey, RlweCiphertext};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lwe_encryption_is_additively_homomorphic(
+        seed in 0u64..10_000,
+        m1 in 0u64..1 << 20,
+        m2 in 0u64..1 << 20,
+    ) {
+        let q = Modulus::new(ntt_primes(1 << 8, 30, 1)[0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = LweSecretKey::generate(&mut rng, 64);
+        // Scale messages up so noise is negligible.
+        let scale = q.value() >> 21;
+        let c1 = sk.encrypt(q.mul(m1, scale), &q, &mut rng);
+        let c2 = sk.encrypt(q.mul(m2, scale), &q, &mut rng);
+        let sum = LweCiphertext {
+            a: c1.a.iter().zip(&c2.a).map(|(&x, &y)| q.add(x, y)).collect(),
+            b: q.add(c1.b, c2.b),
+            modulus: q.value(),
+        };
+        let got = sk.phase(&sum, &q);
+        let want = q.mul(q.add(m1, m2), scale);
+        prop_assert!(centered_distance(got, want, q.value()) < 256);
+    }
+
+    #[test]
+    fn modulus_switch_scales_phase(seed in 0u64..10_000, u in -60i64..60) {
+        let q = Modulus::new(ntt_primes(1 << 8, 30, 1)[0]).unwrap();
+        let two_n = 512u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = LweSecretKey::generate(&mut rng, 32);
+        // Encode u at the 2N grid inside q.
+        let enc = q.from_i64(u * (q.value() / two_n) as i64);
+        let ct = sk.encrypt(enc, &q, &mut rng);
+        let small = ct.modulus_switch(two_n);
+        // Phase mod 2N recovered with small error.
+        let mut dot: i128 = small.b as i128;
+        for (a, &s) in small.a.iter().zip(sk.coeffs()) {
+            dot += *a as i128 * s as i128;
+        }
+        let got = dot.rem_euclid(two_n as i128) as u64;
+        let want = (u.rem_euclid(two_n as i64)) as u64;
+        prop_assert!(
+            centered_distance(got, want, two_n) <= 6,
+            "u {} -> {} (want {})", u, got, want
+        );
+    }
+
+    #[test]
+    fn extraction_matches_phase_coefficient(
+        seed in 0u64..10_000,
+        idx in 0usize..32,
+        scale_k in 1i64..1000,
+    ) {
+        let ctx = RnsContext::new(32, &ntt_primes(32, 30, 1));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = RingSecretKey::generate(&ctx, 1, &mut rng);
+        let msg: Vec<i64> = (0..32).map(|i| scale_k * 1000 * (i as i64 % 5 - 2)).collect();
+        let ct = RlweCiphertext::encrypt(&ctx, &sk, &RnsPoly::from_signed(&ctx, &msg, 1), &mut rng);
+        let phase = ct.phase(&ctx, &sk).to_centered_f64(&ctx);
+        let mut a = ct.a.clone();
+        let mut b = ct.b.clone();
+        a.to_coeff(&ctx);
+        b.to_coeff(&ctx);
+        let q = ctx.modulus(0);
+        let lwe = extract_coefficient(a.limb(0), b.limb(0), idx, q);
+        let lwe_sk = LweSecretKey::from_coeffs(sk.coeffs().to_vec());
+        let got = q.to_signed(lwe_sk.phase(&lwe, q)) as f64;
+        prop_assert!((got - phase[idx]).abs() < 0.5);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn external_product_scales_by_message(seed in 0u64..1000, m in -2i64..=2) {
+        let ctx = RnsContext::new(64, &ntt_primes(64, 30, 2));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = RingSecretKey::generate(&ctx, 2, &mut rng);
+        let params = RgswParams { base_bits: 15, digits: 2 };
+        let msg: Vec<i64> = (0..64).map(|i| (i as i64 - 32) * 1_000_000).collect();
+        let ct = RlweCiphertext::encrypt(&ctx, &sk, &RnsPoly::from_signed(&ctx, &msg, 2), &mut rng);
+        let g = RgswCiphertext::encrypt_scalar(&ctx, &sk, m, 2, &params, &mut rng);
+        let out = external_product(&ct, &g, &ctx, &params);
+        let phase = out.phase(&ctx, &sk).to_centered_f64(&ctx);
+        for (i, p) in phase.iter().enumerate() {
+            let want = (m * msg[i]) as f64;
+            prop_assert!((p - want).abs() < 3e7, "coeff {}: {} vs {}", i, p, want);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The paper's central comparison, runnable on one code base: the
+//! conventional CKKS bootstrap (Fig. 1a — ModRaise → CoeffToSlot →
+//! EvalMod → SlotToCoeff, sequential, ~14 levels, sparse keys) versus the
+//! scheme-switched bootstrap (Fig. 1b — extract/blind-rotate/repack,
+//! parallel, 1 level, dense keys).
+//!
+//! ```sh
+//! cargo run --release --example conventional_vs_switch
+//! ```
+
+use heap::ckks::conventional::{
+    conventional_baseline_params, ConvBootstrapConfig, ConventionalBootstrapper,
+};
+use heap::ckks::{CkksContext, CkksParams, SecretKey};
+use heap::core::{BootstrapConfig, Bootstrapper};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let msg: Vec<f64> = (0..8).map(|i| (i as f64 - 4.0) / 250.0).collect();
+
+    // ---------------- conventional (Fig. 1a) ----------------
+    println!("== conventional CKKS bootstrap (the FAB workload) ==");
+    let ctx_a = CkksContext::new(conventional_baseline_params());
+    let config = ConvBootstrapConfig::test();
+    let sk_a = SecretKey::generate_sparse(&ctx_a, config.hamming_weight, &mut rng);
+    let t = Instant::now();
+    let conv = ConventionalBootstrapper::generate(&ctx_a, &sk_a, config, &mut rng);
+    println!("keygen: {:.2?}", t.elapsed());
+    println!(
+        "ring N = {}, L = {} limbs; pipeline depth {} levels; sparse secret (h = {})",
+        ctx_a.n(),
+        ctx_a.max_limbs(),
+        config.depth(),
+        config.hamming_weight
+    );
+    let ct = ctx_a.mod_drop_to(&ctx_a.encrypt_real_sk(&msg, &sk_a, &mut rng), 1);
+    let t = Instant::now();
+    let fresh = conv.bootstrap(&ctx_a, &ct);
+    let conv_time = t.elapsed();
+    let dec = ctx_a.decrypt_real(&fresh, &sk_a);
+    let err = msg.iter().zip(&dec).map(|(m, d)| (m - d).abs()).fold(0.0f64, f64::max);
+    println!(
+        "bootstrap: {:.2?}; levels left {} of {}; max err {:.5}",
+        conv_time,
+        fresh.limbs() - 1,
+        ctx_a.max_limbs() - 1,
+        err
+    );
+
+    // ---------------- scheme-switched (Fig. 1b) ----------------
+    println!("\n== scheme-switched bootstrap (HEAP, §III) ==");
+    let ctx_b = CkksContext::new(CkksParams::test_tiny());
+    let sk_b = SecretKey::generate(&ctx_b, &mut rng); // dense ternary
+    let t = Instant::now();
+    let boot = Bootstrapper::generate(&ctx_b, &sk_b, BootstrapConfig::test_small(), &mut rng);
+    println!("keygen: {:.2?}", t.elapsed());
+    println!(
+        "ring N = {}, L = {} limbs; bootstrap depth 1 level; dense secret",
+        ctx_b.n(),
+        ctx_b.max_limbs()
+    );
+    // Coefficient-domain message (the precision-native view; slot-domain
+    // precision scales with sqrt(N) and is only meaningful at production N).
+    let delta = ctx_b.fresh_scale();
+    let coeffs_msg: Vec<f64> = (0..ctx_b.n()).map(|i| ((i % 9) as f64 - 4.0) / 30.0).collect();
+    let enc: Vec<i64> = coeffs_msg.iter().map(|m| (m * delta).round() as i64).collect();
+    let ct = ctx_b.encrypt_coeffs_sk(&enc, delta, 1, &sk_b, &mut rng);
+    let t = Instant::now();
+    let fresh = boot.bootstrap(&ctx_b, &ct);
+    let ss_time = t.elapsed();
+    let dec = ctx_b.decrypt_coeffs(&fresh, &sk_b);
+    let err = coeffs_msg
+        .iter()
+        .zip(&dec)
+        .map(|(m, d)| (m - d / fresh.scale()).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "bootstrap: {:.2?} ({} independent blind rotations); levels left {} of {}; max coeff err {:.5}",
+        ss_time,
+        ctx_b.n(),
+        fresh.limbs() - 1,
+        ctx_b.max_limbs() - 1,
+        err
+    );
+    println!("(per-coefficient error ≈ q0·sqrt(n_t)/2 / (2N·Δ): shrinks with N; tiny at N = 2^13)");
+
+    println!("\n== the structural contrast the paper exploits ==");
+    println!("conventional: monolithic & sequential — one ciphertext flows through");
+    println!("  {} dependent levels; needs L ≥ {} (big parameters) and sparse keys;", config.depth(), config.depth() + 2);
+    println!("  a cluster cannot split it (FAB gained only ~20% from 8 FPGAs).");
+    println!("scheme switch: {} data-independent blind rotations — trivially", ctx_b.n());
+    println!("  distributed over nodes; 1 level consumed; L = 3 suffices; dense keys.");
+}

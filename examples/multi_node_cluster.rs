@@ -1,0 +1,64 @@
+//! Multi-node parallel bootstrapping (paper §V): the same bootstrap
+//! distributed over 1, 2, 4, and 8 compute nodes, with the transfer
+//! ledger mirroring the primary/secondary FPGA traffic, plus the
+//! accelerator model's predicted times at the paper's full scale.
+//!
+//! ```sh
+//! cargo run --release --example multi_node_cluster
+//! ```
+
+use heap::ckks::{CkksContext, CkksParams, SecretKey};
+use heap::core::{BootstrapConfig, Bootstrapper, LocalCluster};
+use heap::hw::perf::BootstrapModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let ctx = CkksContext::new(CkksParams::test_tiny());
+    let mut rng = StdRng::seed_from_u64(99);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let boot = Bootstrapper::generate(&ctx, &sk, BootstrapConfig::test_small(), &mut rng);
+
+    let delta = ctx.fresh_scale();
+    let msg: Vec<f64> = (0..ctx.n()).map(|i| ((i % 9) as f64 - 4.0) / 40.0).collect();
+    let coeffs: Vec<i64> = msg.iter().map(|m| (m * delta).round() as i64).collect();
+    let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
+
+    println!("== functional cluster execution (N = {} blind rotations) ==", ctx.n());
+    println!("(wall-clock speedup requires multiple cores; the point here is");
+    println!(" the primary/secondary schedule, transfer ledger, and identical results)");
+    for nodes in [1usize, 2, 4, 8] {
+        let cluster = LocalCluster::new(nodes);
+        let t = Instant::now();
+        let fresh = boot.bootstrap_with_cluster(&ctx, &ct, &cluster);
+        let dt = t.elapsed().as_secs_f64();
+        let dec = ctx.decrypt_coeffs(&fresh, &sk);
+        let err = dec
+            .iter()
+            .zip(&msg)
+            .map(|(d, m)| (d / fresh.scale() - m).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "  {nodes} node(s): {dt:.2}s, scattered {} LWEs, gathered {} results, max err {err:.4}",
+            cluster.ledger().lwe_sent(),
+            cluster.ledger().rlwe_received(),
+        );
+    }
+
+    println!("\n== accelerator model at paper scale (N = 2^13, fully packed) ==");
+    let model = BootstrapModel::paper();
+    for nodes in [1usize, 2, 4, 8] {
+        let ms = model.total_ms(4096, nodes);
+        let sched = model.step3_schedule(4096, nodes);
+        println!(
+            "  {nodes} FPGA(s): {:.3} ms  (communication hidden: {})",
+            ms,
+            sched.communication_hidden()
+        );
+    }
+    println!(
+        "  paper reports ~1.5 ms for 8 FPGAs; model: {:.3} ms",
+        model.paper_full_ms()
+    );
+}

@@ -1,0 +1,77 @@
+//! The paper's core contribution end-to-end: exhaust a ciphertext's
+//! levels, then refresh it with the scheme-switched bootstrap
+//! (Fig. 1b / Algorithm 2), step by step.
+//!
+//! ```sh
+//! cargo run --release --example scheme_switch_bootstrap
+//! ```
+
+use heap::ckks::{CkksContext, CkksParams, RelinearizationKey, SecretKey};
+use heap::core::{BootstrapConfig, Bootstrapper, ErrorStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let ctx = CkksContext::new(CkksParams::test_tiny());
+    let mut rng = StdRng::seed_from_u64(7);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let rlk = RelinearizationKey::generate(&ctx, &sk, &mut rng);
+
+    println!("== scheme-switched CKKS bootstrapping ==");
+    println!(
+        "N = {}, L = {} ciphertext limbs + aux prime p + special prime",
+        ctx.n(),
+        ctx.max_limbs()
+    );
+
+    let t0 = Instant::now();
+    let boot = Bootstrapper::generate(&ctx, &sk, BootstrapConfig::test_small(), &mut rng);
+    println!("key generation: {:?}", t0.elapsed());
+
+    // Encrypt and exhaust the multiplicative budget.
+    let m = 0.2f64;
+    let msg = vec![m; 4];
+    let mut ct = ctx.encrypt_real_sk(&msg, &sk, &mut rng);
+    let mut expect = m;
+    while ct.limbs() > 1 {
+        ct = ctx.rescale(&ctx.square(&ct, &rlk));
+        expect *= expect;
+        println!(
+            "  squared: level {} remaining, value ~{:.6}",
+            ct.level(),
+            ctx.decrypt_real(&ct, &sk)[0]
+        );
+    }
+    println!("ciphertext exhausted (1 limb) — conventional CKKS would stop here");
+
+    // Bootstrap: ModulusSwitch -> Extract -> parallel BlindRotate ->
+    // Repack -> combine + Rescale.
+    let t1 = Instant::now();
+    let fresh = boot.bootstrap(&ctx, &ct);
+    let dt = t1.elapsed();
+    println!(
+        "bootstrap: {} limbs restored in {:?} ({} blind rotations)",
+        fresh.limbs(),
+        dt,
+        ctx.n()
+    );
+
+    let dec = ctx.decrypt_real(&fresh, &sk);
+    let stats = ErrorStats::from_pairs(&dec[..4], &[expect; 4]);
+    println!(
+        "value after refresh: {:.6} (expected {:.6}), {:.1} bits of precision",
+        dec[0], expect, stats.precision_bits
+    );
+
+    // Keep computing on the refreshed ciphertext.
+    let more = ctx.rescale(&ctx.square(&fresh, &rlk));
+    let dec2 = ctx.decrypt_real(&more, &sk);
+    println!(
+        "continued computing after refresh: {:.6} (expected {:.6})",
+        dec2[0],
+        expect * expect
+    );
+    assert!((dec2[0] - expect * expect).abs() < 0.05);
+    println!("unbounded-depth CKKS computing verified ✓");
+}

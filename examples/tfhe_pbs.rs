@@ -1,0 +1,76 @@
+//! Standalone TFHE on the HEAP units (paper §VII-A): programmable
+//! bootstrapping, CMux, and the internal product — all built from the
+//! same `BlindRotate`/`ExternalProduct`/`Extract`/`KeySwitch` machinery
+//! the scheme switch uses.
+//!
+//! ```sh
+//! cargo run --release --example tfhe_pbs
+//! ```
+
+use heap::math::prime::ntt_primes;
+use heap::math::{RnsContext, RnsPoly};
+use heap::tfhe::lwe::LweSecretKey;
+use heap::tfhe::pbs::{cmux, internal_product, programmable_bootstrap, PbsKeys, TfheContext, TfheParams};
+use heap::tfhe::rgsw::{external_product, RgswCiphertext, RgswParams};
+use heap::tfhe::rlwe::{RingSecretKey, RlweCiphertext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ctx = TfheContext::new(TfheParams::test_small());
+    let mut rng = StdRng::seed_from_u64(3);
+    let lwe_sk = LweSecretKey::generate(&mut rng, ctx.params().lwe_dim);
+    let ring_sk = RingSecretKey::generate(ctx.ring(), 1, &mut rng);
+    let keys = PbsKeys::generate(&ctx, &lwe_sk, &ring_sk, &mut rng);
+    let q = *ctx.q();
+
+    println!("== TFHE programmable bootstrapping ==");
+    println!(
+        "N = {}, n_t = {}, q = {} bits",
+        ctx.n(),
+        ctx.params().lwe_dim,
+        q.bits()
+    );
+    let scale = (q.value() / (4 * ctx.n() as u64)) as i64;
+    for u in [-50i64, -10, 0, 25, 99] {
+        let ct = lwe_sk.encrypt(ctx.encode_phase(u), &q, &mut rng);
+        // Homomorphic |u| via lookup table, refreshed noise for free.
+        let out = programmable_bootstrap(&ctx, &keys, &ct, |x| x.abs() * scale);
+        let got = q.to_signed(lwe_sk.phase(&out, &q));
+        println!(
+            "  |{u:>4}| -> {:>4}  (raw {got})",
+            (got as f64 / scale as f64).round()
+        );
+    }
+
+    println!("\n== CMux and InternalProduct ==");
+    let ring = RnsContext::new(64, &ntt_primes(64, 30, 1));
+    let sk = RingSecretKey::generate(&ring, 1, &mut rng);
+    let params = RgswParams {
+        base_bits: 6,
+        digits: 5,
+    };
+    let m0 = RnsPoly::from_signed(&ring, &vec![150_000_000i64; 64], 1);
+    let m1 = RnsPoly::from_signed(&ring, &vec![-90_000_000i64; 64], 1);
+    let ct0 = RlweCiphertext::encrypt(&ring, &sk, &m0, &mut rng);
+    let ct1 = RlweCiphertext::encrypt(&ring, &sk, &m1, &mut rng);
+    for bit in [0i64, 1] {
+        let b = RgswCiphertext::encrypt_scalar(&ring, &sk, bit, 1, &params, &mut rng);
+        let sel = cmux(&ring, &b, &ct0, &ct1, &params);
+        let phase = sel.phase(&ring, &sk).to_centered_f64(&ring);
+        println!("  CMux(bit={bit}) -> {:.0}", phase[0]);
+    }
+
+    // InternalProduct: AND of two encrypted bits applied to a ciphertext.
+    let msg = RnsPoly::from_signed(&ring, &vec![120_000_000i64; 64], 1);
+    let ct = RlweCiphertext::encrypt(&ring, &sk, &msg, &mut rng);
+    for (a, b) in [(1i64, 1i64), (1, 0)] {
+        let ga = RgswCiphertext::encrypt_scalar(&ring, &sk, a, 1, &params, &mut rng);
+        let gb = RgswCiphertext::encrypt_scalar(&ring, &sk, b, 1, &params, &mut rng);
+        let gab = internal_product(&ring, &ga, &gb, &params);
+        let out = external_product(&ct, &gab, &ring, &params);
+        let phase = out.phase(&ring, &sk).to_centered_f64(&ring);
+        println!("  ({a} AND {b}) * m -> {:.0}", phase[0]);
+    }
+    println!("standalone TFHE pipeline verified ✓");
+}

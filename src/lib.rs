@@ -1,0 +1,42 @@
+//! # HEAP — parallelized CKKS bootstrapping via scheme switching
+//!
+//! A from-scratch Rust reproduction of *"HEAP: A Fully Homomorphic
+//! Encryption Accelerator with Parallelized Bootstrapping"* (ISCA 2024):
+//! the CKKS scheme, the TFHE machinery (blind rotation, extraction,
+//! repacking), the hybrid scheme-switched bootstrap that replaces CKKS
+//! bootstrapping with data-parallel blind rotations, a multi-node
+//! execution model, the paper's application workloads, and an analytical
+//! model of the FPGA accelerator that regenerates the paper's evaluation
+//! tables.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! name. See the sub-crates for the implementation:
+//!
+//! * [`math`] — modular arithmetic, NTT, RNS, gadgets (`heap-math`);
+//! * [`ckks`] — the CKKS scheme (`heap-ckks`);
+//! * [`tfhe`] — the TFHE substrate (`heap-tfhe`);
+//! * [`core`] — the scheme-switched bootstrap and clusters (`heap-core`);
+//! * [`hw`] — the accelerator performance model (`heap-hw`);
+//! * [`apps`] — LR training and ResNet-20 workloads (`heap-apps`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use heap::ckks::{CkksContext, CkksParams, SecretKey};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let ctx = CkksContext::new(CkksParams::test_small());
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let sk = SecretKey::generate(&ctx, &mut rng);
+//! let ct = ctx.encrypt_real_sk(&[0.125, -0.0625], &sk, &mut rng);
+//! let dec = ctx.decrypt_real(&ct, &sk);
+//! assert!((dec[0] - 0.125).abs() < 1e-4);
+//! ```
+
+pub use heap_apps as apps;
+pub use heap_ckks as ckks;
+pub use heap_core as core;
+pub use heap_hw as hw;
+pub use heap_math as math;
+pub use heap_tfhe as tfhe;

@@ -1,0 +1,47 @@
+//! Cross-check: the functional wire encodings must agree with the
+//! `heap-hw` memory/transfer model byte-for-byte — otherwise the
+//! performance model would be pricing traffic the implementation doesn't
+//! send.
+
+use heap::ckks::{CkksContext, CkksParams};
+use heap::hw::{CmacLink, MemoryLayout};
+use heap::tfhe::LweCiphertext;
+
+#[test]
+fn lwe_wire_size_matches_memory_model() {
+    let layout = MemoryLayout::paper();
+    let q = heap::math::prime::ntt_primes(1 << 13, 36, 1)[0];
+    let ct = LweCiphertext::trivial(0, 500, q);
+    // Model counts payload bits only; wire adds a 16-byte header.
+    let model = layout.lwe_bytes(500) as usize;
+    let wire = ct.wire_size() - 16;
+    assert!(
+        wire.abs_diff(model) <= 8,
+        "wire {wire} vs model {model}"
+    );
+}
+
+#[test]
+fn rlwe_wire_size_matches_memory_model() {
+    let ctx = CkksContext::new(CkksParams::heap_paper());
+    let layout = MemoryLayout::paper();
+    let wire = ctx.ciphertext_wire_size(6) as u64 - 20;
+    let model = layout.rlwe_bytes();
+    assert!(
+        wire.abs_diff(model) <= 16,
+        "wire {wire} vs model {model}"
+    );
+}
+
+#[test]
+fn cmac_scatter_cost_prices_actual_bytes() {
+    // The overlap schedule's scatter term uses lwe_bytes; confirm a real
+    // wire-encoded LWE fits in the same cycle budget.
+    let link = CmacLink::paper();
+    let layout = MemoryLayout::paper();
+    let q = heap::math::prime::ntt_primes(1 << 13, 36, 1)[0];
+    let ct = LweCiphertext::trivial(0, 500, q);
+    let model_cycles = link.cycles_for_bytes(layout.lwe_bytes(500));
+    let wire_cycles = link.cycles_for_bytes(ct.wire_size() as u64);
+    assert!(wire_cycles <= model_cycles + 1, "{wire_cycles} vs {model_cycles}");
+}
