@@ -301,12 +301,8 @@ impl<'a> EncryptedLrTrainer<'a> {
                 // divides by the prime at index full-5).
                 let q_div = ctx.rns().modulus(full - 5).value() as f64;
                 let u_target_scale = w_scale * q_div / s.scale();
-                let u_aligned = self.mul_plain_to(
-                    u,
-                    self.learning_rate / (b * vs),
-                    full - 4,
-                    u_target_scale,
-                );
+                let u_aligned =
+                    self.mul_plain_to(u, self.learning_rate / (b * vs), full - 4, u_target_scale);
                 let grad = ctx.rescale(&ctx.mul(&s, &u_aligned, self.rlk)); // (1, ~w_scale)
                 let mut grad = self.slot_sum(&grad);
                 grad.set_scale(w_scale);
@@ -342,7 +338,10 @@ pub fn lr_iteration_trace(features: usize, packed_slots: usize) -> OpTrace {
     let feature_blocks = features.div_ceil(4).max(1) as u64;
     t.push(HomomorphicOp::Mult, feature_blocks)
         .push(HomomorphicOp::Rescale, feature_blocks)
-        .push(HomomorphicOp::Rotate, 2 * (packed_slots as f64).log2() as u64)
+        .push(
+            HomomorphicOp::Rotate,
+            2 * (packed_slots as f64).log2() as u64,
+        )
         // Sigmoid: z², z³, two plaintext scalings, adds.
         .push(HomomorphicOp::Mult, 2)
         .push(HomomorphicOp::Rescale, 2)

@@ -28,22 +28,62 @@ pub struct ConvShape {
 /// The 21 convolution shapes of ResNet-20 (3 stages × 3 blocks × 2 convs +
 /// input conv + 2 downsample 1×1), plus pooling/FC tail.
 pub fn resnet20_layers() -> Vec<ConvShape> {
-    let mut layers = vec![ConvShape { c_in: 3, c_out: 16, hw: 32, k: 3 }];
+    let mut layers = vec![ConvShape {
+        c_in: 3,
+        c_out: 16,
+        hw: 32,
+        k: 3,
+    }];
     // Stage 1: 16 channels at 32×32 — 3 blocks × 2 convs.
     for _ in 0..6 {
-        layers.push(ConvShape { c_in: 16, c_out: 16, hw: 32, k: 3 });
+        layers.push(ConvShape {
+            c_in: 16,
+            c_out: 16,
+            hw: 32,
+            k: 3,
+        });
     }
     // Stage 2: 32 channels at 16×16.
-    layers.push(ConvShape { c_in: 16, c_out: 32, hw: 16, k: 3 });
-    layers.push(ConvShape { c_in: 16, c_out: 32, hw: 16, k: 1 }); // downsample
+    layers.push(ConvShape {
+        c_in: 16,
+        c_out: 32,
+        hw: 16,
+        k: 3,
+    });
+    layers.push(ConvShape {
+        c_in: 16,
+        c_out: 32,
+        hw: 16,
+        k: 1,
+    }); // downsample
     for _ in 0..5 {
-        layers.push(ConvShape { c_in: 32, c_out: 32, hw: 16, k: 3 });
+        layers.push(ConvShape {
+            c_in: 32,
+            c_out: 32,
+            hw: 16,
+            k: 3,
+        });
     }
     // Stage 3: 64 channels at 8×8.
-    layers.push(ConvShape { c_in: 32, c_out: 64, hw: 8, k: 3 });
-    layers.push(ConvShape { c_in: 32, c_out: 64, hw: 8, k: 1 }); // downsample
+    layers.push(ConvShape {
+        c_in: 32,
+        c_out: 64,
+        hw: 8,
+        k: 3,
+    });
+    layers.push(ConvShape {
+        c_in: 32,
+        c_out: 64,
+        hw: 8,
+        k: 1,
+    }); // downsample
     for _ in 0..5 {
-        layers.push(ConvShape { c_in: 64, c_out: 64, hw: 8, k: 3 });
+        layers.push(ConvShape {
+            c_in: 64,
+            c_out: 64,
+            hw: 8,
+            k: 3,
+        });
     }
     layers
 }
@@ -64,14 +104,22 @@ pub fn conv_trace(shape: &ConvShape, packed_slots: usize) -> OpTrace {
     // Multiplexed conv: k² kernel-tap rotations plus the multiplexed
     // channel shuffles per input ciphertext, then log2(c_in) rotation-sums
     // for the channel reduction per output group (Lee et al. §4).
-    let out_groups = (shape.c_out * shape.hw * shape.hw).div_ceil(packed_slots).max(1) as u64;
+    let out_groups = (shape.c_out * shape.hw * shape.hw)
+        .div_ceil(packed_slots)
+        .max(1) as u64;
     let reduce = (shape.c_in as f64).log2().ceil() as u64;
     // Output channels are multiplexed within the slot packing, so each
     // input ciphertext is touched k² times regardless of c_out.
-    t.push(HomomorphicOp::Rotate, cts * (taps + 2 * reduce) + out_groups * reduce)
-        .push(HomomorphicOp::PtMult, cts * taps)
-        .push(HomomorphicOp::Rescale, out_groups)
-        .push(HomomorphicOp::Add, cts * (taps + reduce) + out_groups * reduce);
+    t.push(
+        HomomorphicOp::Rotate,
+        cts * (taps + 2 * reduce) + out_groups * reduce,
+    )
+    .push(HomomorphicOp::PtMult, cts * taps)
+    .push(HomomorphicOp::Rescale, out_groups)
+    .push(
+        HomomorphicOp::Add,
+        cts * (taps + reduce) + out_groups * reduce,
+    );
     t
 }
 
@@ -132,11 +180,8 @@ mod tests {
     fn priced_inference_close_to_paper() {
         // Paper: 0.267 s total, ~44% of it bootstrapping (§VI-F2).
         let t = resnet20_trace(1024);
-        let (total_ms, boot_ms) = t.time_ms(
-            &OpTimings::heap_single_fpga(),
-            &BootstrapModel::paper(),
-            8,
-        );
+        let (total_ms, boot_ms) =
+            t.time_ms(&OpTimings::heap_single_fpga(), &BootstrapModel::paper(), 8);
         let total_s = total_ms / 1e3;
         assert!(
             (total_s - 0.267).abs() / 0.267 < 0.35,

@@ -61,7 +61,11 @@ impl OpTrace {
 
     /// Total count of an operation kind (bootstraps match any `n_br`).
     pub fn count(&self, kind: fn(&HomomorphicOp) -> bool) -> u64 {
-        self.ops.iter().filter(|(op, _)| kind(op)).map(|(_, c)| c).sum()
+        self.ops
+            .iter()
+            .filter(|(op, _)| kind(op))
+            .map(|(_, c)| c)
+            .sum()
     }
 
     /// Total bootstrap invocations.

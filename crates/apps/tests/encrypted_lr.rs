@@ -89,7 +89,10 @@ fn encrypted_training_tracks_plaintext_reference() {
     let acc = data.accuracy(&decrypted);
     let plain_acc = data.accuracy(&plain_w);
     assert!(plain_acc > 0.8, "plaintext accuracy {plain_acc}");
-    assert!(acc > 0.75, "encrypted accuracy {acc} (plaintext {plain_acc})");
+    assert!(
+        acc > 0.75,
+        "encrypted accuracy {acc} (plaintext {plain_acc})"
+    );
 }
 
 #[test]

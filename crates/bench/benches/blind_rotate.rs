@@ -16,7 +16,10 @@ fn bench_blind_rotate(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let ring_sk = RingSecretKey::generate(&ring, 2, &mut rng);
     let lwe_sk = LweSecretKey::generate(&mut rng, 16);
-    let params = RgswParams { base_bits: 15, digits: 2 };
+    let params = RgswParams {
+        base_bits: 15,
+        digits: 2,
+    };
     let brk = BlindRotateKey::generate(&ring, &lwe_sk, &ring_sk, 2, params, &mut rng);
     let f = test_polynomial_from_fn(&ring, 2, |u| u << 40);
     let two_n = 2 * n as u64;
@@ -35,7 +38,10 @@ fn bench_blind_rotate(c: &mut Criterion) {
     });
     g.bench_function("batch8_per_ciphertext", |b| {
         b.iter(|| {
-            let out: Vec<_> = lwes.iter().map(|l| brk.blind_rotate(&ring, &f, l)).collect();
+            let out: Vec<_> = lwes
+                .iter()
+                .map(|l| brk.blind_rotate(&ring, &f, l))
+                .collect();
             black_box(out)
         })
     });

@@ -19,16 +19,22 @@ fn bench_ops(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ckks_n1024_l3");
     g.bench_function("add", |bch| bch.iter(|| black_box(ctx.add(&a, &b))));
-    g.bench_function("mult_relin", |bch| bch.iter(|| black_box(ctx.mul(&a, &b, &rlk))));
+    g.bench_function("mult_relin", |bch| {
+        bch.iter(|| black_box(ctx.mul(&a, &b, &rlk)))
+    });
     g.bench_function("rescale", |bch| {
         let prod = ctx.mul(&a, &b, &rlk);
         bch.iter(|| black_box(ctx.rescale(&prod)))
     });
-    g.bench_function("rotate", |bch| bch.iter(|| black_box(ctx.rotate(&a, 1, &gks))));
+    g.bench_function("rotate", |bch| {
+        bch.iter(|| black_box(ctx.rotate(&a, 1, &gks)))
+    });
     g.bench_function("encrypt", |bch| {
         bch.iter(|| black_box(ctx.encrypt_real_sk(&msg, &sk, &mut rng)))
     });
-    g.bench_function("decrypt", |bch| bch.iter(|| black_box(ctx.decrypt(&a, &sk))));
+    g.bench_function("decrypt", |bch| {
+        bch.iter(|| black_box(ctx.decrypt(&a, &sk)))
+    });
     g.finish();
 }
 

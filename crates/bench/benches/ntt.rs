@@ -49,7 +49,9 @@ fn bench_ntt(c: &mut Criterion) {
 
 fn bench_modmul(c: &mut Criterion) {
     let q = Modulus::new(ntt_primes(1 << 13, 36, 1)[0]).unwrap();
-    let xs: Vec<u64> = (0..4096u64).map(|i| (i * 2_654_435_761) % q.value()).collect();
+    let xs: Vec<u64> = (0..4096u64)
+        .map(|i| (i * 2_654_435_761) % q.value())
+        .collect();
     let mut g = c.benchmark_group("modmul_4096");
     g.bench_function("barrett", |b| {
         b.iter(|| {

@@ -44,7 +44,10 @@ fn main() {
             format!("{:.1} ms", counts.sequential_ms(&fab)),
         ],
     ];
-    println!("{}", render_table(&["Step", "Work", "Cost (FAB op timings)"], &rows));
+    println!(
+        "{}",
+        render_table(&["Step", "Work", "Cost (FAB op timings)"], &rows)
+    );
 
     println!("\nFigure 1(b) — modified bootstrapping via scheme switching (parallel)\n");
     let b = BootstrapModel::paper();
@@ -80,7 +83,10 @@ fn main() {
             format!("{:.4} ms", b.paper_full_ms()),
         ],
     ];
-    println!("{}", render_table(&["Step", "Work", "Cost (HEAP model)"], &rows));
+    println!(
+        "{}",
+        render_table(&["Step", "Work", "Cost (HEAP model)"], &rows)
+    );
     println!(
         "\nSequential-to-parallel ratio at these calibrations: {:.0}x",
         ConventionalBootstrapCounts::n16().sequential_ms(&FabOpTimings::published())

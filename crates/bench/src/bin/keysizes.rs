@@ -41,7 +41,10 @@ fn main() {
             "~18x".to_string(),
         ],
     ];
-    println!("{}", render_table(&["Quantity", "Computed", "Paper"], &rows));
+    println!(
+        "{}",
+        render_table(&["Quantity", "Computed", "Paper"], &rows)
+    );
 
     println!("\nScaling with the gadget degree d and GLWE mask h (why the paper pins d=2, h=1):");
     let mut rows = Vec::new();
@@ -51,5 +54,8 @@ fn main() {
             format!("{:.2} GB", brk_bytes_for(d, h) as f64 / 1e9),
         ]);
     }
-    println!("{}", render_table(&["Configuration", "Total brk size"], &rows));
+    println!(
+        "{}",
+        render_table(&["Configuration", "Total brk size"], &rows)
+    );
 }

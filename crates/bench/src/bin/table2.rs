@@ -28,20 +28,44 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["Resource", "Available", "Utilized", "% Utilization"], &rows)
+        render_table(
+            &["Resource", "Available", "Utilized", "% Utilization"],
+            &rows
+        )
     );
     assert!(util.fits(&device.resources), "design must fit the device");
 
     println!("Figures 2–3 — on-chip memory layout (N = 2^13, 6 limbs, 36-bit)");
     let m = MemoryLayout::paper();
     let rows = vec![
-        vec!["RNS limb".into(), format!("{:.3} MB", m.limb_bytes() as f64 / 1e6)],
-        vec!["RLWE ciphertext".into(), format!("{:.3} MB", m.rlwe_bytes() as f64 / 1e6)],
-        vec!["LWE ciphertext (n_t = 500)".into(), format!("{:.2} KB", m.lwe_bytes(500) as f64 / 1e3)],
-        vec!["URAM blocks / RLWE".into(), format!("{}", m.uram_blocks_per_rlwe())],
-        vec!["RLWE capacity in 960 URAM".into(), format!("{}", m.rlwe_capacity_uram(960))],
-        vec!["BRAM blocks / RLWE".into(), format!("{}", m.bram_blocks_per_rlwe())],
-        vec!["RLWE capacity in 3840 BRAM".into(), format!("{}", m.rlwe_capacity_bram(3840))],
+        vec![
+            "RNS limb".into(),
+            format!("{:.3} MB", m.limb_bytes() as f64 / 1e6),
+        ],
+        vec![
+            "RLWE ciphertext".into(),
+            format!("{:.3} MB", m.rlwe_bytes() as f64 / 1e6),
+        ],
+        vec![
+            "LWE ciphertext (n_t = 500)".into(),
+            format!("{:.2} KB", m.lwe_bytes(500) as f64 / 1e3),
+        ],
+        vec![
+            "URAM blocks / RLWE".into(),
+            format!("{}", m.uram_blocks_per_rlwe()),
+        ],
+        vec![
+            "RLWE capacity in 960 URAM".into(),
+            format!("{}", m.rlwe_capacity_uram(960)),
+        ],
+        vec![
+            "BRAM blocks / RLWE".into(),
+            format!("{}", m.bram_blocks_per_rlwe()),
+        ],
+        vec![
+            "RLWE capacity in 3840 BRAM".into(),
+            format!("{}", m.rlwe_capacity_bram(3840)),
+        ],
     ];
     println!("{}", render_table(&["Quantity", "Value"], &rows));
     println!("(paper: 12 URAM/ct, 80 cts in 960 URAM; 192 BRAM/ct, 20 cts in 3840 BRAM)");

@@ -79,10 +79,22 @@ fn main() {
 
     println!("\n§VI-E — Algorithm 2 step split (fully packed, 8 FPGAs):");
     let rows = vec![
-        vec!["Steps 1-2 (ModulusSwitch + Extract)".to_string(), format!("{:.4} ms", boot.step12_ms)],
-        vec!["Step 3 (parallel BlindRotate)".to_string(), format!("{:.4} ms", boot.step3_batch_ms)],
-        vec!["Steps 4-5 (Repack + combine + Rescale)".to_string(), format!("{:.4} ms", boot.step45_full_ms)],
-        vec!["Total".to_string(), format!("{:.4} ms", boot.paper_full_ms())],
+        vec![
+            "Steps 1-2 (ModulusSwitch + Extract)".to_string(),
+            format!("{:.4} ms", boot.step12_ms),
+        ],
+        vec![
+            "Step 3 (parallel BlindRotate)".to_string(),
+            format!("{:.4} ms", boot.step3_batch_ms),
+        ],
+        vec![
+            "Steps 4-5 (Repack + combine + Rescale)".to_string(),
+            format!("{:.4} ms", boot.step45_full_ms),
+        ],
+        vec![
+            "Total".to_string(),
+            format!("{:.4} ms", boot.paper_full_ms()),
+        ],
     ];
     println!("{}", render_table(&["Step", "Time"], &rows));
 }

@@ -76,8 +76,10 @@ fn main() {
         );
     }
 
-    println!("
-== our Rust scheme-switching bootstrap, measured on this CPU ==");
+    println!(
+        "
+== our Rust scheme-switching bootstrap, measured on this CPU =="
+    );
     let ctx = CkksContext::new(CkksParams::test_tiny());
     let mut rng = StdRng::seed_from_u64(8);
     let sk = SecretKey::generate(&ctx, &mut rng);

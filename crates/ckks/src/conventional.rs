@@ -184,7 +184,11 @@ impl ConventionalBootstrapper {
     /// Step 2 — `CoeffToSlot`: one BSGS transform per branch moves the
     /// (prescaled) coefficients into slots; conjugation sums make the
     /// branches real. Consumes 1 level.
-    pub fn coeff_to_slot(&self, ctx: &CkksContext, raised: &Ciphertext) -> (Ciphertext, Ciphertext) {
+    pub fn coeff_to_slot(
+        &self,
+        ctx: &CkksContext,
+        raised: &Ciphertext,
+    ) -> (Ciphertext, Ciphertext) {
         let a = apply_matrix_bsgs(ctx, raised, &self.cts_re, self.config.baby_steps, &self.gks);
         let b = apply_matrix_bsgs(ctx, raised, &self.cts_im, self.config.baby_steps, &self.gks);
         let y_re = ctx.add(&a, &ctx.conjugate(&a, &self.gks));
@@ -304,10 +308,7 @@ mod tests {
         );
         let dec = ctx.decrypt_real(&fresh, &sk);
         for (i, (m, d)) in msg.iter().zip(&dec).enumerate() {
-            assert!(
-                (m - d).abs() < 0.01,
-                "slot {i}: got {d}, want {m}"
-            );
+            assert!((m - d).abs() < 0.01, "slot {i}: got {d}, want {m}");
         }
     }
 }

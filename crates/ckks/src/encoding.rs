@@ -45,7 +45,10 @@ impl Encoder {
     ///
     /// Panics if `n` is not a power of two or is below 4.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 4, "ring dimension must be a power of two >= 4");
+        assert!(
+            n.is_power_of_two() && n >= 4,
+            "ring dimension must be a power of two >= 4"
+        );
         let slots = n / 2;
         let m = 2 * n;
         let roots = (0..m)
@@ -232,9 +235,13 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let re = ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let im = ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
                 Complex64::new(re, im)
             })

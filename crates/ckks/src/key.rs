@@ -158,7 +158,7 @@ impl KeySwitchKey {
         let chain = ctx.rns().max_limbs(); // L + 2
         let n = ctx.n();
         let mut comps = Vec::with_capacity(l);
-        for i in 0..l {
+        for (i, w) in w_eval.iter().enumerate() {
             let e = sample::gaussian_poly(rng, n);
             let mut a = Vec::with_capacity(chain);
             let mut b = Vec::with_capacity(chain);
@@ -175,7 +175,7 @@ impl KeySwitchKey {
                 if j == i {
                     // message limb: (P mod q_j) * w (eval domain)
                     let p_mod = m.reduce_u64(ctx.special_modulus().value());
-                    let mut msg = w_eval[i].clone();
+                    let mut msg = w.clone();
                     poly::scalar_mul_assign(&mut msg, p_mod, m);
                     poly::add_assign(&mut bj, &msg, m);
                 }

@@ -10,9 +10,21 @@
 //! and the special prime is divided away at the end (the `ModDown`).
 
 use heap_math::{poly, Domain, RnsPoly};
+use heap_parallel::{par_each_mut, Parallelism};
 
 use crate::context::CkksContext;
 use crate::key::KeySwitchKey;
+
+/// Parallelism for the extended-basis accumulator loop: the process-wide
+/// limb-level budget, demoted to serial for small rings or trivial depth
+/// (same policy as the `heap-math` RNS kernels).
+fn ext_basis_par(n: usize, positions: usize) -> Parallelism {
+    if n < (1 << 11) || positions < 2 {
+        Parallelism::serial()
+    } else {
+        heap_parallel::global()
+    }
+}
 
 /// Switches `d·w` into a pair decryptable under `s`.
 ///
@@ -39,27 +51,36 @@ pub fn key_switch(ctx: &CkksContext, d: &RnsPoly, key: &KeySwitchKey) -> (RnsPol
     d_coeff.to_coeff(rns);
 
     // Accumulators over the extended basis: indices 0..l are q-limbs, index
-    // l holds the special-prime limb. Evaluation domain.
-    let mut acc_a: Vec<Vec<u64>> = vec![vec![0u64; n]; l + 1];
-    let mut acc_b: Vec<Vec<u64>> = vec![vec![0u64; n]; l + 1];
+    // l holds the special-prime limb. Evaluation domain. Each position's
+    // inner products are independent of every other position's, so the
+    // extended basis splits across the limb-level thread budget (this is
+    // the key-switch inner-product parallelism of HEAP's MAC array); the
+    // per-position digit loop keeps its serial order, so results are
+    // bit-identical for any thread count.
+    let mut accs: Vec<(Vec<u64>, Vec<u64>)> =
+        (0..=l).map(|_| (vec![0u64; n], vec![0u64; n])).collect();
 
     let chain_idx = |pos: usize| if pos == l { sp } else { pos };
 
-    for i in 0..l {
-        let digits = d_coeff.limb(i); // residues < q_i
-        for pos in 0..=l {
-            let j = chain_idx(pos);
-            let m = rns.modulus(j);
-            let ntt = rns.ntt(j);
-            // ModUp: reinterpret the [0, q_i) representative mod q_j.
-            let mut spread: Vec<u64> = digits.iter().map(|&c| m.reduce_u64(c)).collect();
+    par_each_mut(ext_basis_par(n, l + 1), &mut accs, |pos, (aa, ab)| {
+        let j = chain_idx(pos);
+        let m = rns.modulus(j);
+        let ntt = rns.ntt(j);
+        let mut spread = vec![0u64; n];
+        for i in 0..l {
+            let digits = d_coeff.limb(i); // residues < q_i
+                                          // ModUp: reinterpret the [0, q_i) representative mod q_j.
+            for (s, &c) in spread.iter_mut().zip(digits) {
+                *s = m.reduce_u64(c);
+            }
             ntt.forward(&mut spread);
             let comp = &key.comps[i];
-            ntt.pointwise_acc(&spread, &comp.a[j], &mut acc_a[pos]);
-            ntt.pointwise_acc(&spread, &comp.b[j], &mut acc_b[pos]);
+            ntt.pointwise_acc(&spread, &comp.a[j], aa);
+            ntt.pointwise_acc(&spread, &comp.b[j], ab);
         }
-    }
+    });
 
+    let (acc_a, acc_b): (Vec<Vec<u64>>, Vec<Vec<u64>>) = accs.into_iter().unzip();
     let a = mod_down(ctx, acc_a, l);
     let b = mod_down(ctx, acc_b, l);
     (a, b)
@@ -131,23 +152,30 @@ pub fn apply_galois_hoisted(
             assert!(l <= key.component_count());
             // Permute the decomposed digits by sigma_g, then MAC with the
             // key — one spread-NTT pass per (digit, target limb) as usual,
-            // but the iNTT of c1 was shared across all exponents.
-            let mut acc_a: Vec<Vec<u64>> = vec![vec![0u64; n]; l + 1];
-            let mut acc_b: Vec<Vec<u64>> = vec![vec![0u64; n]; l + 1];
-            for i in 0..l {
-                let digits = poly::automorphism(c1_coeff.limb(i), g, rns.modulus(i));
-                for pos in 0..=l {
-                    let j = chain_idx(pos);
-                    let m = rns.modulus(j);
-                    let ntt = rns.ntt(j);
-                    let mut spread: Vec<u64> =
-                        digits.iter().map(|&c| m.reduce_u64(c)).collect();
+            // but the iNTT of c1 was shared across all exponents. The
+            // permuted digits are computed once so the parallel per-position
+            // loop below does no redundant work.
+            let digit_polys: Vec<Vec<u64>> = (0..l)
+                .map(|i| poly::automorphism(c1_coeff.limb(i), g, rns.modulus(i)))
+                .collect();
+            let mut accs: Vec<(Vec<u64>, Vec<u64>)> =
+                (0..=l).map(|_| (vec![0u64; n], vec![0u64; n])).collect();
+            par_each_mut(ext_basis_par(n, l + 1), &mut accs, |pos, (aa, ab)| {
+                let j = chain_idx(pos);
+                let m = rns.modulus(j);
+                let ntt = rns.ntt(j);
+                let mut spread = vec![0u64; n];
+                for (i, digits) in digit_polys.iter().enumerate() {
+                    for (s, &c) in spread.iter_mut().zip(digits) {
+                        *s = m.reduce_u64(c);
+                    }
                     ntt.forward(&mut spread);
                     let comp = &key.comps[i];
-                    ntt.pointwise_acc(&spread, &comp.a[j], &mut acc_a[pos]);
-                    ntt.pointwise_acc(&spread, &comp.b[j], &mut acc_b[pos]);
+                    ntt.pointwise_acc(&spread, &comp.a[j], aa);
+                    ntt.pointwise_acc(&spread, &comp.b[j], ab);
                 }
-            }
+            });
+            let (acc_a, acc_b): (Vec<Vec<u64>>, Vec<Vec<u64>>) = accs.into_iter().unzip();
             let ka = mod_down(ctx, acc_a, l);
             let kb = mod_down(ctx, acc_b, l);
             let mut out_b = c0_coeff.automorphism(g, rns);
@@ -198,7 +226,9 @@ mod tests {
         let ksk = KeySwitchKey::generate(&ctx, &sk, &w_eval, &mut rng);
 
         // d: a small "message-like" polynomial at full level.
-        let d_coeffs: Vec<i64> = (0..ctx.n()).map(|i| ((i * 37) % 1000) as i64 - 500).collect();
+        let d_coeffs: Vec<i64> = (0..ctx.n())
+            .map(|i| ((i * 37) % 1000) as i64 - 500)
+            .collect();
         let mut d = RnsPoly::from_signed(ctx.rns(), &d_coeffs, ctx.max_limbs());
         d.to_eval(ctx.rns());
 
@@ -225,7 +255,10 @@ mod tests {
             .map(|(g, e)| (g - e).abs())
             .fold(0.0, f64::max);
         let signal = expect.iter().map(|e| e.abs()).fold(0.0, f64::max);
-        assert!(signal > 5e3, "test signal too weak to be meaningful: {signal}");
+        assert!(
+            signal > 5e3,
+            "test signal too weak to be meaningful: {signal}"
+        );
         assert!(
             max_err < 2e4 && max_err < signal / 5.0,
             "key switch noise too large: {max_err} (signal {signal})"

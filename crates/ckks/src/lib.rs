@@ -42,9 +42,9 @@ pub mod wire;
 pub use ciphertext::Ciphertext;
 pub use complex::Complex64;
 pub use context::CkksContext;
+pub use conventional::{ConvBootstrapConfig, ConventionalBootstrapper};
 pub use encoding::Encoder;
 pub use key::{GaloisKeys, KeySwitchKey, PublicKey, RelinearizationKey, SecretKey};
+pub use linear::SlotMatrix;
 pub use params::{CkksParams, CkksParamsBuilder, ParamsError};
 pub use plaintext::Plaintext;
-pub use linear::SlotMatrix;
-pub use conventional::{ConvBootstrapConfig, ConventionalBootstrapper};

@@ -165,7 +165,7 @@ pub fn apply_matrix_bsgs(
     for k in 0..gs {
         let base = k * bs;
         let mut inner: Option<Ciphertext> = None;
-        for i in 0..bs {
+        for (i, rot) in rotated.iter().enumerate() {
             let d = base + i;
             if d >= n {
                 break;
@@ -177,7 +177,7 @@ pub fn apply_matrix_bsgs(
             // Pre-rotate the diagonal by -base so the giant rotation can be
             // applied after the inner sum.
             let shifted: Vec<Complex64> = (0..n).map(|j| diag[(j + n - base % n) % n]).collect();
-            let term = ctx.mul_plain_scaled(&rotated[i], &shifted, ctx.fresh_scale());
+            let term = ctx.mul_plain_scaled(rot, &shifted, ctx.fresh_scale());
             inner = Some(match inner {
                 None => term,
                 Some(a) => ctx.add(&a, &term),
@@ -229,9 +229,8 @@ pub fn dft_matrices(ctx: &CkksContext) -> (SlotMatrix, SlotMatrix) {
         rot_group.push(g);
         g = (g * 5) % m;
     }
-    let zeta = |e: usize| {
-        Complex64::from_angle(2.0 * std::f64::consts::PI * (e % m) as f64 / m as f64)
-    };
+    let zeta =
+        |e: usize| Complex64::from_angle(2.0 * std::f64::consts::PI * (e % m) as f64 / m as f64);
     // U[k][j] = zeta^{g_k · j}; U^{-1}[j][k] = conj(U[k][j]) / n.
     let u_rows: Vec<Vec<Complex64>> = (0..n)
         .map(|k| (0..n).map(|j| zeta(rot_group[k] * j % m)).collect())
@@ -243,7 +242,10 @@ pub fn dft_matrices(ctx: &CkksContext) -> (SlotMatrix, SlotMatrix) {
                 .collect()
         })
         .collect();
-    (SlotMatrix::from_rows(&u_rows), SlotMatrix::from_rows(&uinv_rows))
+    (
+        SlotMatrix::from_rows(&u_rows),
+        SlotMatrix::from_rows(&uinv_rows),
+    )
 }
 
 #[cfg(test)]
@@ -269,7 +271,9 @@ mod tests {
     fn diagonal_extraction_matches_dense_product() {
         let n = 8;
         let m = rand_matrix(n, 1);
-        let z: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64 / 10.0, 0.1)).collect();
+        let z: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(i as f64 / 10.0, 0.1))
+            .collect();
         // Dense reference.
         let mut rng = StdRng::seed_from_u64(1);
         let rows: Vec<Vec<Complex64>> = (0..n)
@@ -311,8 +315,18 @@ mod tests {
         let naive = ctx.decrypt(&apply_matrix(&ctx, &ct, &m, &gks), &sk);
         let bsgs = ctx.decrypt(&apply_matrix_bsgs(&ctx, &ct, &m, 8, &gks), &sk);
         for i in 0..n {
-            assert!((naive[i] - want[i]).abs() < 2e-2, "naive slot {i}: {} vs {}", naive[i], want[i]);
-            assert!((bsgs[i] - want[i]).abs() < 2e-2, "bsgs slot {i}: {} vs {}", bsgs[i], want[i]);
+            assert!(
+                (naive[i] - want[i]).abs() < 2e-2,
+                "naive slot {i}: {} vs {}",
+                naive[i],
+                want[i]
+            );
+            assert!(
+                (bsgs[i] - want[i]).abs() < 2e-2,
+                "bsgs slot {i}: {} vs {}",
+                bsgs[i],
+                want[i]
+            );
         }
     }
 

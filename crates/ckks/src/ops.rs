@@ -160,7 +160,11 @@ impl CkksContext {
     // ------------------------------------------------------------------
 
     fn assert_compatible(&self, a: &Ciphertext, b: &Ciphertext) {
-        assert_eq!(a.limbs(), b.limbs(), "align levels before Add (mod_drop_to)");
+        assert_eq!(
+            a.limbs(),
+            b.limbs(),
+            "align levels before Add (mod_drop_to)"
+        );
         let rel = (a.scale() - b.scale()).abs() / a.scale().max(b.scale());
         assert!(
             rel < SCALE_TOLERANCE,
@@ -254,7 +258,10 @@ impl CkksContext {
 
     fn assert_mul_compatible(&self, a: &Ciphertext, b: &Ciphertext) {
         assert_eq!(a.limbs(), b.limbs(), "align levels before Mult");
-        assert!(a.limbs() >= 2, "Mult at the last level would destroy the message; bootstrap first");
+        assert!(
+            a.limbs() >= 2,
+            "Mult at the last level would destroy the message; bootstrap first"
+        );
     }
 
     /// Squares a ciphertext (saves one pointwise product vs. `mul`).

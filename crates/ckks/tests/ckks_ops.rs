@@ -23,7 +23,9 @@ fn assert_close(got: &[f64], want: &[f64], tol: f64, what: &str) {
 #[test]
 fn encrypt_decrypt_sk_roundtrip() {
     let (ctx, sk, mut rng) = setup(1);
-    let msg: Vec<f64> = (0..ctx.slots()).map(|i| ((i % 20) as f64 - 10.0) / 40.0).collect();
+    let msg: Vec<f64> = (0..ctx.slots())
+        .map(|i| ((i % 20) as f64 - 10.0) / 40.0)
+        .collect();
     let ct = ctx.encrypt_real_sk(&msg, &sk, &mut rng);
     assert_eq!(ct.limbs(), ctx.max_limbs());
     let dec = ctx.decrypt_real(&ct, &sk);
@@ -34,7 +36,9 @@ fn encrypt_decrypt_sk_roundtrip() {
 fn encrypt_decrypt_pk_roundtrip() {
     let (ctx, sk, mut rng) = setup(2);
     let pk = heap_ckks::PublicKey::generate(&ctx, &sk, &mut rng);
-    let msg: Vec<Complex64> = (0..8).map(|i| Complex64::new(0.01 * i as f64, -0.02 * i as f64)).collect();
+    let msg: Vec<Complex64> = (0..8)
+        .map(|i| Complex64::new(0.01 * i as f64, -0.02 * i as f64))
+        .collect();
     let ct = ctx.encrypt_pk(&msg, &pk, &mut rng);
     let dec = ctx.decrypt(&ct, &sk);
     for (m, d) in msg.iter().zip(&dec) {

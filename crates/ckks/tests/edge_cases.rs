@@ -16,7 +16,13 @@ fn setup() -> (CkksContext, SecretKey, StdRng) {
 fn rotation_by_negative_and_wraparound() {
     let (ctx, sk, mut rng) = setup();
     let n = ctx.slots();
-    let gks = GaloisKeys::generate(&ctx, &sk, &[-1, n as i64 - 1, n as i64 / 2], false, &mut rng);
+    let gks = GaloisKeys::generate(
+        &ctx,
+        &sk,
+        &[-1, n as i64 - 1, n as i64 / 2],
+        false,
+        &mut rng,
+    );
     let msg: Vec<f64> = (0..n).map(|i| (i % 16) as f64 / 100.0).collect();
     let ct = ctx.encrypt_real_sk(&msg, &sk, &mut rng);
     // rotate(-1) == rotate(n-1) for the cyclic slot group of size n... the
@@ -55,7 +61,9 @@ fn conjugation_is_an_involution() {
 #[test]
 fn purely_imaginary_messages_roundtrip() {
     let (ctx, sk, mut rng) = setup();
-    let msg: Vec<Complex64> = (0..8).map(|i| Complex64::new(0.0, 0.02 * i as f64)).collect();
+    let msg: Vec<Complex64> = (0..8)
+        .map(|i| Complex64::new(0.0, 0.02 * i as f64))
+        .collect();
     let ct = ctx.encrypt_sk(&msg, &sk, &mut rng);
     let dec = ctx.decrypt(&ct, &sk);
     for (m, d) in msg.iter().zip(&dec) {
@@ -96,11 +104,7 @@ fn add_plain_at_every_level() {
         let low = ctx.mod_drop_to(&ct, limbs);
         let shifted = ctx.add_scalar(&low, 0.05);
         let dec = ctx.decrypt_real(&shifted, &sk);
-        assert!(
-            (dec[0] - 0.15).abs() < 1e-3,
-            "limbs {limbs}: {}",
-            dec[0]
-        );
+        assert!((dec[0] - 0.15).abs() < 1e-3, "limbs {limbs}: {}", dec[0]);
     }
 }
 

@@ -26,11 +26,12 @@ use rand::Rng;
 
 use heap_ckks::{Ciphertext, CkksContext, GaloisKeys, SecretKey};
 use heap_math::RnsPoly;
+use heap_parallel::{par_map, par_map_init, Parallelism};
 use heap_tfhe::blind_rotate::MonomialEvals;
 use heap_tfhe::extract::{extract_coefficient, extract_constant_rns, RnsLweCiphertext};
 use heap_tfhe::{
-    test_polynomial_from_fn, BlindRotateKey, LweCiphertext, LweKeySwitchKey, LweSecretKey,
-    RgswParams, RingSecretKey, RlweCiphertext,
+    test_polynomial_from_fn, BlindRotateKey, BlindRotateScratch, LweCiphertext, LweKeySwitchKey,
+    LweSecretKey, RgswParams, RingSecretKey, RlweCiphertext,
 };
 
 use crate::repack::{pack_lwes, repack_exponents, repack_factor};
@@ -46,6 +47,10 @@ pub struct BootstrapConfig {
     pub ks_digits: usize,
     /// RGSW gadget for blind rotation (paper: `d = 2`).
     pub rgsw: RgswParams,
+    /// Ciphertext-level data parallelism for the extract / mod-switch /
+    /// blind-rotate pipeline (the loop HEAP spreads across FPGAs).
+    /// Results are bit-identical for every thread count.
+    pub parallelism: Parallelism,
 }
 
 impl BootstrapConfig {
@@ -56,6 +61,7 @@ impl BootstrapConfig {
             ks_base_bits: 12,
             ks_digits: 3,
             rgsw: RgswParams::paper(),
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -69,7 +75,14 @@ impl BootstrapConfig {
                 base_bits: 15,
                 digits: 2,
             },
+            parallelism: Parallelism::default(),
         }
+    }
+
+    /// Returns the config with a different [`Parallelism`] setting.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -175,7 +188,10 @@ impl Bootstrapper {
     /// Panics if `n_br` is zero, exceeds `N`, or does not divide `N`.
     pub fn bootstrap_sparse(&self, ctx: &CkksContext, ct: &Ciphertext, n_br: usize) -> Ciphertext {
         let n = ctx.n();
-        assert!(n_br >= 1 && n_br <= n && n % n_br == 0, "invalid n_br");
+        assert!(
+            n_br >= 1 && n_br <= n && n.is_multiple_of(n_br),
+            "invalid n_br"
+        );
         let stride = n / n_br;
         let indices: Vec<usize> = (0..n).step_by(stride).collect();
         self.bootstrap_indices(ctx, ct, &indices)
@@ -222,10 +238,12 @@ impl Bootstrapper {
             let m_in = u as f64 * q0 / (2.0 * n * delta);
             (2.0 * n * delta * f(m_in)).round() as i64
         });
-        let rotated: Vec<RlweCiphertext> = switched
-            .iter()
-            .map(|l| self.brk.blind_rotate(ctx.rns(), &lut, l))
-            .collect();
+        let rotated: Vec<RlweCiphertext> = par_map_init(
+            self.config.parallelism,
+            &switched,
+            BlindRotateScratch::default,
+            |scratch, _, l| self.brk.blind_rotate_with(ctx.rns(), &lut, l, scratch),
+        );
         let leaves = self.to_leaves(ctx, &rotated, indices);
         self.finish(ctx, leaves, ct.scale())
     }
@@ -257,29 +275,46 @@ impl Bootstrapper {
         let mut c1 = ct.c1().clone();
         c0.to_coeff(rns);
         c1.to_coeff(rns);
-        indices
-            .iter()
-            .map(|&i| {
-                let big = extract_coefficient(c1.limb(0), c0.limb(0), i, q0);
-                self.ksk.switch(&big, q0)
-            })
-            .collect()
+        // Coefficient extraction + key switch is independent per index —
+        // parallel over the batch like every other pipeline stage.
+        par_map(self.config.parallelism, indices, |_, &i| {
+            let big = extract_coefficient(c1.limb(0), c0.limb(0), i, q0);
+            self.ksk.switch(&big, q0)
+        })
     }
 
     /// Step 2 — `ModulusSwitch` every LWE from `q_0` to `2N`.
     pub fn modulus_switch(&self, ctx: &CkksContext, lwes: &[LweCiphertext]) -> Vec<LweCiphertext> {
         let two_n = 2 * ctx.n() as u64;
-        lwes.iter().map(|l| l.modulus_switch(two_n)).collect()
+        par_map(self.config.parallelism, lwes, |_, l| {
+            l.modulus_switch(two_n)
+        })
     }
 
     /// Step 3 — `BlindRotate` each LWE (no data dependencies between
-    /// iterations: this is the loop HEAP spreads across FPGAs).
+    /// iterations: this is the loop HEAP spreads across FPGAs; here it
+    /// spreads over the configured worker threads, each with its own
+    /// scratch so the rotation loop never allocates).
     pub fn blind_rotate_batch(
         &self,
         ctx: &CkksContext,
         lwes: &[LweCiphertext],
     ) -> Vec<RlweCiphertext> {
-        lwes.iter().map(|l| self.blind_rotate_one(ctx, l)).collect()
+        self.blind_rotate_batch_par(ctx, lwes, self.config.parallelism)
+    }
+
+    /// [`Bootstrapper::blind_rotate_batch`] with an explicit parallelism
+    /// override (used by cluster nodes, which own a thread budget).
+    pub fn blind_rotate_batch_par(
+        &self,
+        ctx: &CkksContext,
+        lwes: &[LweCiphertext],
+        par: Parallelism,
+    ) -> Vec<RlweCiphertext> {
+        par_map_init(par, lwes, BlindRotateScratch::default, |scratch, _, l| {
+            self.brk
+                .blind_rotate_with(ctx.rns(), &self.test_poly, l, scratch)
+        })
     }
 
     /// A single blind rotation (exposed so clusters can schedule batches).
@@ -319,7 +354,11 @@ impl Bootstrapper {
         // so after ·t and rescale-by-p the scale is Δ·(N·2N·t/p).
         let n = ctx.n() as f64;
         let factor = n * 2.0 * n * self.t_scalar as f64 / ctx.aux_modulus().value() as f64;
-        let tmp = Ciphertext::new(b, a, input_scale * factor * ctx.aux_modulus().value() as f64);
+        let tmp = Ciphertext::new(
+            b,
+            a,
+            input_scale * factor * ctx.aux_modulus().value() as f64,
+        );
         // Rescale divides the tracked scale by the dropped prime (= aux).
         let ctx_rescaled = ctx.rescale(&tmp);
         debug_assert_eq!(ctx_rescaled.limbs(), ctx.max_limbs());
@@ -387,6 +426,39 @@ mod tests {
                 "coeff {i}: got {got}, want {}",
                 msg[i]
             );
+        }
+    }
+
+    #[test]
+    fn parallel_bootstrap_is_bit_identical_to_serial() {
+        // The acceptance bar for the parallel engine: fixed RNG seed, same
+        // input ciphertext, every thread count — byte-for-byte identical
+        // output. Scheduling must never reorder arithmetic.
+        let ctx = CkksContext::new(CkksParams::test_tiny());
+        let mut rng = StdRng::seed_from_u64(1234);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let config = BootstrapConfig::test_small().with_parallelism(Parallelism::serial());
+        let boot = Bootstrapper::generate(&ctx, &sk, config, &mut rng);
+        let n = ctx.n();
+        let delta = ctx.fresh_scale();
+        let msg: Vec<f64> = (0..n).map(|i| ((i % 11) as f64 - 5.0) / 60.0).collect();
+        let coeffs: Vec<i64> = msg.iter().map(|m| (m * delta).round() as i64).collect();
+        let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
+
+        let serial = boot.bootstrap(&ctx, &ct);
+        for threads in [2, 4, 8] {
+            // Re-generate the bootstrapper with the identical RNG stream so
+            // only the parallelism differs (keygen itself stays sequential).
+            let mut rng = StdRng::seed_from_u64(1234);
+            let sk = SecretKey::generate(&ctx, &mut rng);
+            let config =
+                BootstrapConfig::test_small().with_parallelism(Parallelism::with_threads(threads));
+            let boot = Bootstrapper::generate(&ctx, &sk, config, &mut rng);
+            let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
+            let par = boot.bootstrap(&ctx, &ct);
+            assert_eq!(par.c0(), serial.c0(), "threads = {threads}");
+            assert_eq!(par.c1(), serial.c1(), "threads = {threads}");
+            assert_eq!(par.scale(), serial.scale(), "threads = {threads}");
         }
     }
 

@@ -17,6 +17,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use heap_ckks::{Ciphertext, CkksContext};
+use heap_parallel::Parallelism;
 use heap_tfhe::{LweCiphertext, RlweCiphertext};
 
 use crate::bootstrap::Bootstrapper;
@@ -42,10 +43,16 @@ pub trait ComputeNode: Sync {
 }
 
 /// A node that executes on the calling machine.
+///
+/// Each node owns a [`Parallelism`] budget: its batch runs on a bounded
+/// pool of that many worker threads (HEAP's within-FPGA parallelism),
+/// independent of the other nodes' pools.
 #[derive(Debug, Default)]
 pub struct LocalNode {
     /// Node index within the cluster.
     pub index: usize,
+    /// Thread budget for this node's batch.
+    pub parallelism: Parallelism,
 }
 
 impl ComputeNode for LocalNode {
@@ -55,7 +62,7 @@ impl ComputeNode for LocalNode {
         boot: &Bootstrapper,
         lwes: &[LweCiphertext],
     ) -> Vec<RlweCiphertext> {
-        lwes.iter().map(|l| boot.blind_rotate_one(ctx, l)).collect()
+        boot.blind_rotate_batch_par(ctx, lwes, self.parallelism)
     }
 
     fn name(&self) -> String {
@@ -97,13 +104,35 @@ pub struct LocalCluster {
 impl LocalCluster {
     /// Creates a cluster of `n` same-process nodes.
     ///
+    /// The hardware thread budget is divided evenly: each node gets
+    /// `max(1, available/n)` workers, so `nodes × threads-per-node` stays
+    /// bounded by the machine (mirroring HEAP's fixed 8-FPGA fabric where
+    /// each FPGA has its own fixed compute).
+    ///
     /// # Panics
     ///
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "cluster needs at least one node");
+        let per_node = (heap_parallel::available_threads() / n).max(1);
+        Self::with_node_parallelism(n, Parallelism::with_threads(per_node))
+    }
+
+    /// Creates a cluster of `n` nodes, each with an explicit per-node
+    /// thread budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_node_parallelism(n: usize, per_node: Parallelism) -> Self {
+        assert!(n >= 1, "cluster needs at least one node");
         Self {
-            nodes: (0..n).map(|index| LocalNode { index }).collect(),
+            nodes: (0..n)
+                .map(|index| LocalNode {
+                    index,
+                    parallelism: per_node,
+                })
+                .collect(),
             ledger: TransferLedger::default(),
         }
     }
@@ -142,21 +171,20 @@ impl LocalCluster {
                 .fetch_add(c.len() as u64, Ordering::Relaxed);
         }
         let mut results: Vec<Vec<RlweCiphertext>> = Vec::new();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
                 .enumerate()
                 .map(|(i, c)| {
                     let node = &self.nodes[i.min(n_nodes - 1)];
-                    scope.spawn(move |_| node.blind_rotate_batch(ctx, boot, c))
+                    scope.spawn(move || node.blind_rotate_batch(ctx, boot, c))
                 })
                 .collect();
             results = handles
                 .into_iter()
                 .map(|h| h.join().expect("node thread panicked"))
                 .collect();
-        })
-        .expect("cluster scope");
+        });
         results.into_iter().flatten().collect()
     }
 }
@@ -184,7 +212,10 @@ impl Bootstrapper {
         cluster: &LocalCluster,
     ) -> Ciphertext {
         let n = ctx.n();
-        assert!(n_br >= 1 && n_br <= n && n % n_br == 0, "invalid n_br");
+        assert!(
+            n_br >= 1 && n_br <= n && n.is_multiple_of(n_br),
+            "invalid n_br"
+        );
         let stride = n / n_br;
         let indices: Vec<usize> = (0..n).step_by(stride).collect();
         self.bootstrap_indices_with_cluster(ctx, ct, &indices, cluster)
@@ -236,7 +267,32 @@ mod tests {
         }
         // 4 nodes, chunked evenly: 3 chunks scattered.
         assert_eq!(cluster.ledger().lwe_sent(), (n - n.div_ceil(4)) as u64);
-        assert_eq!(cluster.ledger().rlwe_received(), cluster.ledger().lwe_sent());
+        assert_eq!(
+            cluster.ledger().rlwe_received(),
+            cluster.ledger().lwe_sent()
+        );
+    }
+
+    #[test]
+    fn cluster_output_bit_identical_to_serial() {
+        // Scatter/gather must preserve input order exactly: a 3-node
+        // cluster (each node with its own pool) produces byte-for-byte the
+        // same ciphertext as the strictly serial pipeline.
+        let ctx = CkksContext::new(CkksParams::test_tiny());
+        let mut rng = StdRng::seed_from_u64(77);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let config = BootstrapConfig::test_small().with_parallelism(crate::Parallelism::serial());
+        let boot = Bootstrapper::generate(&ctx, &sk, config, &mut rng);
+        let delta = ctx.fresh_scale();
+        let coeffs: Vec<i64> = (0..ctx.n())
+            .map(|i| (((i % 9) as f64 - 4.0) / 50.0 * delta).round() as i64)
+            .collect();
+        let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
+        let serial = boot.bootstrap(&ctx, &ct);
+        let cluster = LocalCluster::with_node_parallelism(3, crate::Parallelism::with_threads(2));
+        let clustered = boot.bootstrap_with_cluster(&ctx, &ct, &cluster);
+        assert_eq!(clustered.c0(), serial.c0());
+        assert_eq!(clustered.c1(), serial.c1());
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod switch;
 
 pub use bootstrap::{BootstrapConfig, Bootstrapper};
 pub use cluster::{ComputeNode, LocalCluster, LocalNode, TransferLedger};
+pub use heap_parallel::Parallelism;
 pub use noise::{measure_coeff_error, predicted_bootstrap_rel_error, ErrorStats};
 pub use stats::{repack_key_switch_count, BootstrapStats};
 pub use switch::SchemeSwitch;

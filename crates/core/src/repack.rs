@@ -28,7 +28,9 @@ use heap_tfhe::{lwe_to_rlwe, RlweCiphertext};
 /// ```
 pub fn repack_exponents(n: usize) -> Vec<usize> {
     assert!(n.is_power_of_two());
-    (1..=n.trailing_zeros()).map(|k| (1usize << k) + 1).collect()
+    (1..=n.trailing_zeros())
+        .map(|k| (1usize << k) + 1)
+        .collect()
 }
 
 /// The multiplicative factor the full tree applies to every packed message
@@ -168,12 +170,18 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (CkksContext, SecretKey, RingSecretKey, GaloisKeys, MonomialEvals, StdRng) {
+    fn setup() -> (
+        CkksContext,
+        SecretKey,
+        RingSecretKey,
+        GaloisKeys,
+        MonomialEvals,
+        StdRng,
+    ) {
         let ctx = CkksContext::new(CkksParams::test_tiny());
         let mut rng = StdRng::seed_from_u64(42);
         let sk = SecretKey::generate(&ctx, &mut rng);
-        let ring_sk =
-            RingSecretKey::from_coeffs(ctx.rns(), ctx.boot_limbs(), sk.coeffs().to_vec());
+        let ring_sk = RingSecretKey::from_coeffs(ctx.rns(), ctx.boot_limbs(), sk.coeffs().to_vec());
         let mut gks = GaloisKeys::new();
         for g in repack_exponents(ctx.n()) {
             gks.add_exponent(&ctx, &sk, g, &mut rng);
@@ -244,17 +252,13 @@ mod tests {
         let ct = RlweCiphertext { a, b };
         let phase = ct.phase(ctx.rns(), &ring_sk).to_centered_f64(ctx.rns());
         let factor = repack_factor(n) as f64;
-        for j in 0..n {
+        for (j, &ph) in phase.iter().enumerate() {
             let want = if j % stride == 0 {
                 factor * (5_000 + j as i64) as f64
             } else {
                 0.0
             };
-            assert!(
-                (phase[j] - want).abs() < 1e6,
-                "coeff {j}: {} vs {want}",
-                phase[j]
-            );
+            assert!((ph - want).abs() < 1e6, "coeff {j}: {ph} vs {want}");
         }
     }
 
@@ -274,7 +278,7 @@ mod tests {
             let msg = RnsPoly::from_signed(rns, &coeffs, ctx.boot_limbs());
             let ct = RlweCiphertext::encrypt(rns, &ring_sk, &msg, &mut rng);
             leaves[j] = Some(extract_constant_rns(&ct, rns));
-            wants[j] = (repack_factor(n) * (j as u64 + 1) as u64 * 100_000) as f64;
+            wants[j] = (repack_factor(n) * (j as u64 + 1) * 100_000) as f64;
         }
         let (a, b) = pack_lwes(&ctx, &leaves, &gks, &monomials);
         let ct = RlweCiphertext { a, b };

@@ -40,7 +40,10 @@ impl BootstrapStats {
         rgsw: &RgswParams,
         n_br: usize,
     ) -> Self {
-        assert!(n_br >= 1 && n_br <= n && n % n_br == 0, "invalid n_br");
+        assert!(
+            n_br >= 1 && n_br <= n && n.is_multiple_of(n_br),
+            "invalid n_br"
+        );
         let ep = (n_br * n_t) as u64;
         let ep_ntts = ep * (2 * limbs * rgsw.digits * limbs) as u64;
         Self {

@@ -1,0 +1,192 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the slice of `criterion` 0.5 the workspace's benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `sample_size`, `bench_function`,
+//! `bench_with_input`, and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Timing is a plain wall-clock mean over a calibrated iteration
+//! count — adequate for tracking relative changes, with none of upstream's
+//! statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark (`group/function/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to bench closures; `iter` times the supplied routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u64,
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: run once to estimate the per-call cost.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~samples iterations but cap the total budget at ~2s.
+        let budget = Duration::from_secs(2);
+        let fit = (budget.as_nanos() / once.as_nanos()).max(1) as u64;
+        let iters = self.samples.min(fit).max(1);
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean_ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target iteration count per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        let _ = &self.criterion;
+        println!("bench {}/{}: {:.1} ns/iter", self.name, id, b.mean_ns);
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        self.run_one(id.to_string(), f);
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run_one(id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group (upstream-compatibility no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Upstream-compatibility pass-through.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 30,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let name = id.to_string();
+        let mut g = self.benchmark_group("default");
+        g.run_one(name, f);
+        self
+    }
+
+    /// Finalizes all benchmarks (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(5);
+        let mut ran = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        g.finish();
+        assert!(ran >= 2, "routine should run warm-up + samples");
+    }
+}

@@ -103,41 +103,179 @@ pub fn table4_baselines() -> Vec<(&'static str, f64)> {
 /// Table V reference rows: bootstrap `T_mult,a/slot` (µs).
 pub fn table5_baselines() -> Vec<SystemPoint> {
     vec![
-        SystemPoint { name: "Lattigo", platform: Platform::Cpu, freq_ghz: 3.5, log2_slots: 15, metric: 101.78 },
-        SystemPoint { name: "GPU (Jung et al.)", platform: Platform::Gpu, freq_ghz: 1.2, log2_slots: 15, metric: 0.716 },
-        SystemPoint { name: "GME", platform: Platform::Gpu, freq_ghz: 1.5, log2_slots: 16, metric: 0.074 },
-        SystemPoint { name: "F1", platform: Platform::Asic, freq_ghz: 1.0, log2_slots: 0, metric: 254.46 },
-        SystemPoint { name: "BTS-2", platform: Platform::Asic, freq_ghz: 1.2, log2_slots: 16, metric: 0.0455 },
-        SystemPoint { name: "CraterLake", platform: Platform::Asic, freq_ghz: 1.0, log2_slots: 15, metric: 4.19 },
-        SystemPoint { name: "ARK", platform: Platform::Asic, freq_ghz: 1.0, log2_slots: 15, metric: 0.014 },
-        SystemPoint { name: "SHARP", platform: Platform::Asic, freq_ghz: 1.0, log2_slots: 15, metric: 0.012 },
-        SystemPoint { name: "FAB", platform: Platform::Fpga, freq_ghz: 0.3, log2_slots: 15, metric: 0.477 },
+        SystemPoint {
+            name: "Lattigo",
+            platform: Platform::Cpu,
+            freq_ghz: 3.5,
+            log2_slots: 15,
+            metric: 101.78,
+        },
+        SystemPoint {
+            name: "GPU (Jung et al.)",
+            platform: Platform::Gpu,
+            freq_ghz: 1.2,
+            log2_slots: 15,
+            metric: 0.716,
+        },
+        SystemPoint {
+            name: "GME",
+            platform: Platform::Gpu,
+            freq_ghz: 1.5,
+            log2_slots: 16,
+            metric: 0.074,
+        },
+        SystemPoint {
+            name: "F1",
+            platform: Platform::Asic,
+            freq_ghz: 1.0,
+            log2_slots: 0,
+            metric: 254.46,
+        },
+        SystemPoint {
+            name: "BTS-2",
+            platform: Platform::Asic,
+            freq_ghz: 1.2,
+            log2_slots: 16,
+            metric: 0.0455,
+        },
+        SystemPoint {
+            name: "CraterLake",
+            platform: Platform::Asic,
+            freq_ghz: 1.0,
+            log2_slots: 15,
+            metric: 4.19,
+        },
+        SystemPoint {
+            name: "ARK",
+            platform: Platform::Asic,
+            freq_ghz: 1.0,
+            log2_slots: 15,
+            metric: 0.014,
+        },
+        SystemPoint {
+            name: "SHARP",
+            platform: Platform::Asic,
+            freq_ghz: 1.0,
+            log2_slots: 15,
+            metric: 0.012,
+        },
+        SystemPoint {
+            name: "FAB",
+            platform: Platform::Fpga,
+            freq_ghz: 0.3,
+            log2_slots: 15,
+            metric: 0.477,
+        },
     ]
 }
 
 /// Table VI reference rows: LR training time per iteration (seconds).
 pub fn table6_baselines() -> Vec<SystemPoint> {
     vec![
-        SystemPoint { name: "Lattigo", platform: Platform::Cpu, freq_ghz: 3.5, log2_slots: 8, metric: 37.05 },
-        SystemPoint { name: "GPU (Jung et al.)", platform: Platform::Gpu, freq_ghz: 1.2, log2_slots: 8, metric: 0.775 },
-        SystemPoint { name: "GME", platform: Platform::Gpu, freq_ghz: 1.5, log2_slots: 8, metric: 0.054 },
-        SystemPoint { name: "F1", platform: Platform::Asic, freq_ghz: 1.0, log2_slots: 8, metric: 1.024 },
-        SystemPoint { name: "BTS-2", platform: Platform::Asic, freq_ghz: 1.2, log2_slots: 8, metric: 0.028 },
-        SystemPoint { name: "ARK", platform: Platform::Asic, freq_ghz: 1.0, log2_slots: 8, metric: 0.008 },
-        SystemPoint { name: "SHARP", platform: Platform::Asic, freq_ghz: 1.0, log2_slots: 8, metric: 0.002 },
-        SystemPoint { name: "FAB", platform: Platform::Fpga, freq_ghz: 0.3, log2_slots: 8, metric: 0.103 },
-        SystemPoint { name: "FAB-2", platform: Platform::Fpga, freq_ghz: 0.3, log2_slots: 8, metric: 0.081 },
+        SystemPoint {
+            name: "Lattigo",
+            platform: Platform::Cpu,
+            freq_ghz: 3.5,
+            log2_slots: 8,
+            metric: 37.05,
+        },
+        SystemPoint {
+            name: "GPU (Jung et al.)",
+            platform: Platform::Gpu,
+            freq_ghz: 1.2,
+            log2_slots: 8,
+            metric: 0.775,
+        },
+        SystemPoint {
+            name: "GME",
+            platform: Platform::Gpu,
+            freq_ghz: 1.5,
+            log2_slots: 8,
+            metric: 0.054,
+        },
+        SystemPoint {
+            name: "F1",
+            platform: Platform::Asic,
+            freq_ghz: 1.0,
+            log2_slots: 8,
+            metric: 1.024,
+        },
+        SystemPoint {
+            name: "BTS-2",
+            platform: Platform::Asic,
+            freq_ghz: 1.2,
+            log2_slots: 8,
+            metric: 0.028,
+        },
+        SystemPoint {
+            name: "ARK",
+            platform: Platform::Asic,
+            freq_ghz: 1.0,
+            log2_slots: 8,
+            metric: 0.008,
+        },
+        SystemPoint {
+            name: "SHARP",
+            platform: Platform::Asic,
+            freq_ghz: 1.0,
+            log2_slots: 8,
+            metric: 0.002,
+        },
+        SystemPoint {
+            name: "FAB",
+            platform: Platform::Fpga,
+            freq_ghz: 0.3,
+            log2_slots: 8,
+            metric: 0.103,
+        },
+        SystemPoint {
+            name: "FAB-2",
+            platform: Platform::Fpga,
+            freq_ghz: 0.3,
+            log2_slots: 8,
+            metric: 0.081,
+        },
     ]
 }
 
 /// Table VII reference rows: ResNet-20 inference time (seconds).
 pub fn table7_baselines() -> Vec<SystemPoint> {
     vec![
-        SystemPoint { name: "CPU (Lee et al.)", platform: Platform::Cpu, freq_ghz: 3.5, log2_slots: 10, metric: 10_602.0 },
-        SystemPoint { name: "GME", platform: Platform::Gpu, freq_ghz: 1.5, log2_slots: 10, metric: 0.982 },
-        SystemPoint { name: "CraterLake", platform: Platform::Asic, freq_ghz: 1.0, log2_slots: 10, metric: 0.321 },
-        SystemPoint { name: "ARK", platform: Platform::Asic, freq_ghz: 1.0, log2_slots: 10, metric: 0.125 },
-        SystemPoint { name: "SHARP", platform: Platform::Asic, freq_ghz: 1.0, log2_slots: 10, metric: 0.099 },
+        SystemPoint {
+            name: "CPU (Lee et al.)",
+            platform: Platform::Cpu,
+            freq_ghz: 3.5,
+            log2_slots: 10,
+            metric: 10_602.0,
+        },
+        SystemPoint {
+            name: "GME",
+            platform: Platform::Gpu,
+            freq_ghz: 1.5,
+            log2_slots: 10,
+            metric: 0.982,
+        },
+        SystemPoint {
+            name: "CraterLake",
+            platform: Platform::Asic,
+            freq_ghz: 1.0,
+            log2_slots: 10,
+            metric: 0.321,
+        },
+        SystemPoint {
+            name: "ARK",
+            platform: Platform::Asic,
+            freq_ghz: 1.0,
+            log2_slots: 10,
+            metric: 0.125,
+        },
+        SystemPoint {
+            name: "SHARP",
+            platform: Platform::Asic,
+            freq_ghz: 1.0,
+            log2_slots: 10,
+            metric: 0.099,
+        },
     ]
 }
 
@@ -160,9 +298,27 @@ pub struct SchemeSwitchSplit {
 /// The Table VIII reference rows.
 pub fn table8_baselines() -> Vec<SchemeSwitchSplit> {
     vec![
-        SchemeSwitchSplit { workload: "Bootstrapping", ckks_cpu: 4168.0, ss_cpu: 436.0, ss_heap: 1.5, unit: "ms" },
-        SchemeSwitchSplit { workload: "LR model training (iter)", ckks_cpu: 37.05, ss_cpu: 2.39, ss_heap: 0.007, unit: "s" },
-        SchemeSwitchSplit { workload: "ResNet-20 inference", ckks_cpu: 10_602.0, ss_cpu: 309.7, ss_heap: 0.267, unit: "s" },
+        SchemeSwitchSplit {
+            workload: "Bootstrapping",
+            ckks_cpu: 4168.0,
+            ss_cpu: 436.0,
+            ss_heap: 1.5,
+            unit: "ms",
+        },
+        SchemeSwitchSplit {
+            workload: "LR model training (iter)",
+            ckks_cpu: 37.05,
+            ss_cpu: 2.39,
+            ss_heap: 0.007,
+            unit: "s",
+        },
+        SchemeSwitchSplit {
+            workload: "ResNet-20 inference",
+            ckks_cpu: 10_602.0,
+            ss_cpu: 309.7,
+            ss_heap: 0.267,
+            unit: "s",
+        },
     ]
 }
 
@@ -258,9 +414,7 @@ mod tests {
         assert!((fab.rotate_ms.unwrap() / heap.rotate_ms - 62.8).abs() < 0.5);
         // TFHE BlindRotate speedup 156.7x.
         let tfhe = rows.last().unwrap();
-        assert!(
-            (tfhe.blind_rotate_ms.unwrap() / heap.blind_rotate_batch_ms - 156.7).abs() < 1.0
-        );
+        assert!((tfhe.blind_rotate_ms.unwrap() / heap.blind_rotate_batch_ms - 156.7).abs() < 1.0);
     }
 
     #[test]

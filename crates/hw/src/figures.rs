@@ -142,10 +142,7 @@ mod tests {
         let m = BootstrapModel::paper();
         let e = scaling_efficiency(&m);
         for &(nodes, eff) in &e.points {
-            assert!(
-                eff > 0.75,
-                "efficiency {eff} at {nodes} nodes too low"
-            );
+            assert!(eff > 0.75, "efficiency {eff} at {nodes} nodes too low");
         }
     }
 

@@ -170,7 +170,12 @@ impl BootstrapModel {
 /// `T_mult,a/slot = (T_BS + Σ_i T_mult(i)) / (ℓ·n)`.
 ///
 /// `t_mult_per_level_us` is the (average) `Mult`+`Rescale` time per level.
-pub fn t_mult_a_slot_us(t_bs_us: f64, t_mult_per_level_us: f64, levels: usize, slots: usize) -> f64 {
+pub fn t_mult_a_slot_us(
+    t_bs_us: f64,
+    t_mult_per_level_us: f64,
+    levels: usize,
+    slots: usize,
+) -> f64 {
     assert!(levels >= 1 && slots >= 1);
     (t_bs_us + t_mult_per_level_us * levels as f64) / (levels as f64 * slots as f64)
 }

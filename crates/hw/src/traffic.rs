@@ -122,8 +122,7 @@ mod tests {
         // Distributed over 8 devices, the per-node floor fits inside the
         // 1.33 ms step-3 window.
         let device = FpgaDevice::alveo_u280();
-        let per_node_floor =
-            device.hbm_transfer_seconds(t.total() as f64 / 8.0) * 1e3;
+        let per_node_floor = device.hbm_transfer_seconds(t.total() as f64 / 8.0) * 1e3;
         assert!(per_node_floor < 1.3303, "floor {per_node_floor} ms");
     }
 
@@ -135,7 +134,12 @@ mod tests {
         let device = FpgaDevice::alveo_u280();
         let conv_ms = device.hbm_transfer_seconds(32e9 / 8.0) * 1e3;
         assert!(conv_ms > 5.0, "conventional keys stream in {conv_ms} ms");
-        let brk_ms = device.hbm_transfer_seconds(BrkParams::paper().total_bytes() as f64 / 8.0) * 1e3;
-        assert!(conv_ms / brk_ms > 15.0, "traffic ratio {}", conv_ms / brk_ms);
+        let brk_ms =
+            device.hbm_transfer_seconds(BrkParams::paper().total_bytes() as f64 / 8.0) * 1e3;
+        assert!(
+            conv_ms / brk_ms > 15.0,
+            "traffic ratio {}",
+            conv_ms / brk_ms
+        );
     }
 }

@@ -88,9 +88,7 @@ impl UnitInventory {
             luts: self.modular_units * m.luts
                 + self.automorph_units * a.luts
                 + self.mac_units * x.luts,
-            ffs: self.modular_units * m.ffs
-                + self.automorph_units * a.ffs
-                + self.mac_units * x.ffs,
+            ffs: self.modular_units * m.ffs + self.automorph_units * a.ffs + self.mac_units * x.ffs,
             dsps: self.modular_units * m.dsps
                 + self.automorph_units * a.dsps
                 + self.mac_units * x.dsps,

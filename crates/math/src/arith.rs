@@ -80,7 +80,7 @@ impl Modulus {
         if q >= Self::MAX {
             return Err(ModulusError::TooLarge);
         }
-        if q % 2 == 0 {
+        if q.is_multiple_of(2) {
             return Err(ModulusError::Even);
         }
         // Compute floor(2^128 / q) via two long divisions.

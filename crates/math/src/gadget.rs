@@ -213,7 +213,17 @@ mod tests {
     fn roundtrip_exhaustive_small_values() {
         let g = gadget(18, 2);
         let q = g.modulus().value();
-        for x in [0u64, 1, 2, 1000, q - 1, q - 2, q / 2, q / 2 + 1, (1 << 35) + 7] {
+        for x in [
+            0u64,
+            1,
+            2,
+            1000,
+            q - 1,
+            q - 2,
+            q / 2,
+            q / 2 + 1,
+            (1 << 35) + 7,
+        ] {
             let digits = g.decompose_scalar(x);
             assert_eq!(g.recompose(&digits), x, "roundtrip failed for {x}");
         }

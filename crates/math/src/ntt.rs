@@ -78,7 +78,10 @@ impl NttTable {
     /// Panics if `n` is not a power of two or `q - 1` is not divisible by
     /// `2n`.
     pub fn new(n: usize, modulus: Modulus) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "n must be a power of two >= 2"
+        );
         let log_n = n.trailing_zeros();
         let psi = primitive_root(&modulus, 2 * n as u64);
         let psi_inv = modulus.inv(psi).expect("psi nonzero");
@@ -314,12 +317,12 @@ pub fn negacyclic_convolution(a: &[u64], b: &[u64], q: &Modulus) -> Vec<u64> {
     assert_eq!(a.len(), b.len());
     let n = a.len();
     let mut out = vec![0u64; n];
-    for i in 0..n {
-        if a[i] == 0 {
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
             continue;
         }
-        for j in 0..n {
-            let p = q.mul(a[i], b[j]);
+        for (j, &bj) in b.iter().enumerate() {
+            let p = q.mul(ai, bj);
             let k = i + j;
             if k < n {
                 out[k] = q.add(out[k], p);
@@ -363,7 +366,9 @@ mod tests {
     fn grouped_matches_standard() {
         let t = table(8);
         let n = t.n();
-        let base: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 5) % t.modulus().value()).collect();
+        let base: Vec<u64> = (0..n as u64)
+            .map(|i| (i * 31 + 5) % t.modulus().value())
+            .collect();
         let mut standard = base.clone();
         t.forward(&mut standard);
         for mode in [TwiddleMode::Precomputed, TwiddleMode::OnTheFly] {

@@ -52,6 +52,18 @@ pub fn from_signed(coeffs: &[i64], q: &Modulus) -> Vec<u64> {
     coeffs.iter().map(|&c| q.from_i64(c)).collect()
 }
 
+/// [`from_signed`] into a caller-provided buffer (allocation-free).
+///
+/// # Panics
+///
+/// Panics if `out.len() != coeffs.len()`.
+pub fn from_signed_into(coeffs: &[i64], q: &Modulus, out: &mut [u64]) {
+    assert_eq!(out.len(), coeffs.len());
+    for (o, &c) in out.iter_mut().zip(coeffs) {
+        *o = q.from_i64(c);
+    }
+}
+
 /// Converts residues to balanced signed representatives.
 pub fn to_signed(coeffs: &[u64], q: &Modulus) -> Vec<i64> {
     coeffs.iter().map(|&c| q.to_signed(c)).collect()
@@ -214,7 +226,15 @@ mod tests {
         let mut p = vec![0u64; n];
         p[1] = 1;
         let got = automorphism(&p, 5, &q);
-        let expect = monomial_mul(&{ let mut e = vec![0u64; n]; e[0] = 1; e }, 5, &q);
+        let expect = monomial_mul(
+            &{
+                let mut e = vec![0u64; n];
+                e[0] = 1;
+                e
+            },
+            5,
+            &q,
+        );
         assert_eq!(got, expect);
     }
 
@@ -225,7 +245,10 @@ mod tests {
         assert_eq!(rotation_exponent(1, n), 5);
         assert_eq!(rotation_exponent(2, n), 25 % 16);
         // r and r mod N/2 give the same exponent.
-        assert_eq!(rotation_exponent(1, n), rotation_exponent(1 + (n as i64) / 2, n));
+        assert_eq!(
+            rotation_exponent(1, n),
+            rotation_exponent(1 + (n as i64) / 2, n)
+        );
         assert_eq!(conjugation_exponent(n), 15);
     }
 

@@ -28,13 +28,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut s = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         s += 1;
     }
@@ -97,7 +97,10 @@ pub fn ntt_primes(n: u64, bits: u32, count: usize) -> Vec<u64> {
     let mut cand = ((hi - 2) / step) * step + 1;
     let mut out = Vec::with_capacity(count);
     while out.len() < count {
-        assert!(cand > lo, "exhausted {bits}-bit primes congruent 1 mod {step}");
+        assert!(
+            cand > lo,
+            "exhausted {bits}-bit primes congruent 1 mod {step}"
+        );
         if is_prime(cand) {
             out.push(cand);
         }
@@ -133,9 +136,9 @@ pub fn primitive_root(modulus: &Modulus, order: u64) -> u64 {
     let mut m = q - 1;
     let mut p = 2u64;
     while p * p <= m {
-        if m % p == 0 {
+        if m.is_multiple_of(p) {
             factors.push(p);
-            while m % p == 0 {
+            while m.is_multiple_of(p) {
                 m /= p;
             }
         }

@@ -12,6 +12,22 @@ use crate::arith::Modulus;
 use crate::bigint::BigUint;
 use crate::ntt::NttTable;
 use crate::poly;
+use heap_parallel::{par_each_mut, Parallelism};
+
+/// Rings below this dimension never split limb work across threads: a
+/// single NTT is then far cheaper than a thread spawn.
+const MIN_PAR_RING: usize = 1 << 11;
+
+/// Limb-level parallelism policy: the process-wide budget from
+/// [`heap_parallel::set_global_threads`], demoted to serial when the ring
+/// is too small or there is only one limb of work.
+fn limb_par(n: usize, limbs: usize) -> Parallelism {
+    if n < MIN_PAR_RING || limbs < 2 {
+        Parallelism::serial()
+    } else {
+        heap_parallel::global()
+    }
+}
 
 /// Representation domain of a polynomial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,8 +138,8 @@ impl RnsContext {
         for j in 0..l {
             let qj = &self.moduli[j];
             let mut c = qj.reduce_u64(residues[j]);
-            for i in 0..j {
-                let vi = qj.reduce_u64(digits[i]);
+            for (i, &di) in digits.iter().enumerate().take(j) {
+                let vi = qj.reduce_u64(di);
                 c = qj.mul(qj.sub(c, vi), self.garner_inv[j][i]);
             }
             digits[j] = c;
@@ -229,13 +245,16 @@ impl RnsPoly {
     }
 
     /// Converts to evaluation domain in place (no-op if already there).
+    ///
+    /// The per-limb NTTs are independent and run RNS-wide in parallel when
+    /// a limb-level thread budget is set (HEAP computes all limbs of a
+    /// polynomial concurrently on the NTT datapath, §IV).
     pub fn to_eval(&mut self, ctx: &RnsContext) {
         if self.domain == Domain::Eval {
             return;
         }
-        for (i, limb) in self.limbs.iter_mut().enumerate() {
-            ctx.ntt(i).forward(limb);
-        }
+        let par = limb_par(ctx.n(), self.limbs.len());
+        par_each_mut(par, &mut self.limbs, |i, limb| ctx.ntt(i).forward(limb));
         self.domain = Domain::Eval;
     }
 
@@ -244,10 +263,33 @@ impl RnsPoly {
         if self.domain == Domain::Coeff {
             return;
         }
-        for (i, limb) in self.limbs.iter_mut().enumerate() {
-            ctx.ntt(i).inverse(limb);
-        }
+        let par = limb_par(ctx.n(), self.limbs.len());
+        par_each_mut(par, &mut self.limbs, |i, limb| ctx.ntt(i).inverse(limb));
         self.domain = Domain::Coeff;
+    }
+
+    /// Overwrites `self` with `other`'s contents, reusing `self`'s limb
+    /// allocations when shapes match (the allocation-free hot paths rely on
+    /// this instead of `clone`).
+    pub fn copy_from(&mut self, other: &RnsPoly) {
+        self.domain = other.domain;
+        // Reuse limb buffers; only (de)allocate on shape change.
+        self.limbs.truncate(other.limbs.len());
+        for (dst, src) in self.limbs.iter_mut().zip(&other.limbs) {
+            dst.clear();
+            dst.extend_from_slice(src);
+        }
+        for src in &other.limbs[self.limbs.len()..] {
+            self.limbs.push(src.clone());
+        }
+    }
+
+    /// Resets to all-zero limbs in the given domain without reallocating.
+    pub fn clear(&mut self, domain: Domain) {
+        for limb in &mut self.limbs {
+            limb.fill(0);
+        }
+        self.domain = domain;
     }
 
     fn check_compatible(&self, other: &RnsPoly) {
@@ -287,31 +329,27 @@ impl RnsPoly {
     pub fn mul_pointwise(&self, other: &RnsPoly, ctx: &RnsContext) -> RnsPoly {
         self.check_compatible(other);
         assert_eq!(self.domain, Domain::Eval, "pointwise product needs Eval");
-        let limbs = self
-            .limbs
-            .iter()
-            .zip(&other.limbs)
-            .enumerate()
-            .map(|(i, (a, b))| {
-                let mut out = vec![0u64; a.len()];
-                ctx.ntt(i).pointwise(a, b, &mut out);
-                out
-            })
-            .collect();
+        let mut limbs: Vec<Vec<u64>> = self.limbs.iter().map(|a| vec![0u64; a.len()]).collect();
+        let par = limb_par(ctx.n(), limbs.len());
+        par_each_mut(par, &mut limbs, |i, out| {
+            ctx.ntt(i).pointwise(&self.limbs[i], &other.limbs[i], out);
+        });
         RnsPoly {
             limbs,
             domain: Domain::Eval,
         }
     }
 
-    /// `self += a * b` pointwise (all in evaluation domain).
+    /// `self += a * b` pointwise (all in evaluation domain), limb-parallel
+    /// like [`RnsPoly::to_eval`].
     pub fn mul_acc(&mut self, a: &RnsPoly, b: &RnsPoly, ctx: &RnsContext) {
         a.check_compatible(b);
         self.check_compatible(a);
         assert_eq!(self.domain, Domain::Eval);
-        for i in 0..self.limbs.len() {
-            ctx.ntt(i).pointwise_acc(&a.limbs[i], &b.limbs[i], &mut self.limbs[i]);
-        }
+        let par = limb_par(ctx.n(), self.limbs.len());
+        par_each_mut(par, &mut self.limbs, |i, acc| {
+            ctx.ntt(i).pointwise_acc(&a.limbs[i], &b.limbs[i], acc);
+        });
     }
 
     /// Multiplies by a signed scalar (domain-independent).
@@ -328,7 +366,11 @@ impl RnsPoly {
     ///
     /// Panics if the polynomial is in evaluation domain.
     pub fn automorphism(&self, g: usize, ctx: &RnsContext) -> RnsPoly {
-        assert_eq!(self.domain, Domain::Coeff, "automorphism needs Coeff domain");
+        assert_eq!(
+            self.domain,
+            Domain::Coeff,
+            "automorphism needs Coeff domain"
+        );
         let limbs = self
             .limbs
             .iter()
@@ -472,18 +514,18 @@ impl BasisConverter {
         for i in 0..l {
             // (prod_{k != i} q_k) mod q_i and mod each t_j.
             let mut hat_mod_qi = 1u64;
-            for k in 0..l {
+            for (k, f) in from.iter().enumerate() {
                 if k != i {
-                    hat_mod_qi = from[i].mul(hat_mod_qi, from[i].reduce_u64(from[k].value()));
+                    hat_mod_qi = from[i].mul(hat_mod_qi, from[i].reduce_u64(f.value()));
                 }
             }
             q_hat_inv.push(from[i].inv(hat_mod_qi).expect("distinct primes"));
             let mut row = Vec::with_capacity(to.len());
             for t in to {
                 let mut hat = 1u64;
-                for k in 0..l {
+                for (k, f) in from.iter().enumerate() {
                     if k != i {
-                        hat = t.mul(hat, t.reduce_u64(from[k].value()));
+                        hat = t.mul(hat, t.reduce_u64(f.value()));
                     }
                 }
                 row.push(hat);
@@ -536,10 +578,41 @@ impl BasisConverter {
         assert_eq!(limbs.len(), self.from.len());
         let n = limbs[0].len();
         assert!(limbs.iter().all(|l| l.len() == n));
+        // Each coefficient converts independently, so the ring splits into
+        // contiguous chunks across the limb-level thread budget; chunk
+        // results are concatenated in order, keeping the output identical
+        // to the serial path.
+        let par = if n >= MIN_PAR_RING {
+            heap_parallel::global()
+        } else {
+            Parallelism::serial()
+        };
+        let workers = par.workers_for(n);
+        if workers <= 1 {
+            return self.convert_chunk(limbs, 0, n);
+        }
+        let chunk = n.div_ceil(workers);
+        let ranges: Vec<(usize, usize)> = (0..workers)
+            .map(|w| (w * chunk, ((w + 1) * chunk).min(n)))
+            .filter(|(s, e)| s < e)
+            .collect();
+        let parts =
+            heap_parallel::par_map(par, &ranges, |_, &(s, e)| self.convert_chunk(limbs, s, e));
+        let mut out: Vec<Vec<u64>> = (0..self.to.len()).map(|_| Vec::with_capacity(n)).collect();
+        for part in parts {
+            for (dst, col) in out.iter_mut().zip(part) {
+                dst.extend_from_slice(&col);
+            }
+        }
+        out
+    }
+
+    /// Serial conversion of the coefficient window `start..end`.
+    fn convert_chunk(&self, limbs: &[&[u64]], start: usize, end: usize) -> Vec<Vec<u64>> {
         let l = self.from.len();
         let mut y = vec![0u64; l];
-        let mut out = vec![vec![0u64; n]; self.to.len()];
-        for c in 0..n {
+        let mut out = vec![vec![0u64; end - start]; self.to.len()];
+        for c in start..end {
             let mut frac = 0.0f64;
             for i in 0..l {
                 let yi = self.from[i].mul(limbs[i][c], self.q_hat_inv[i]);
@@ -549,11 +622,11 @@ impl BasisConverter {
             let v = (frac + 0.5).floor() as u64; // wraps of Q
             for (j, t) in self.to.iter().enumerate() {
                 let mut acc = 0u64;
-                for i in 0..l {
-                    acc = t.mul_add(t.reduce_u64(y[i]), self.q_hat_mod_to[i][j], acc);
+                for (i, &yi) in y.iter().enumerate() {
+                    acc = t.mul_add(t.reduce_u64(yi), self.q_hat_mod_to[i][j], acc);
                 }
                 let wrap = t.mul(t.reduce_u64(v), self.q_mod_to[j]);
-                out[j][c] = t.sub(acc, wrap);
+                out[j][c - start] = t.sub(acc, wrap);
             }
         }
         out
@@ -673,10 +746,7 @@ mod tests {
         // Large values wrap: q0-1 centered is -1.
         let mut big = vec![0i64; 16];
         big[0] = (q0 - 1) as i64;
-        let p = RnsPoly::from_limbs(
-            vec![poly::from_signed(&big, c.modulus(0))],
-            Domain::Coeff,
-        );
+        let p = RnsPoly::from_limbs(vec![poly::from_signed(&big, c.modulus(0))], Domain::Coeff);
         let raised = p.raise_from_single_limb(&c, 2);
         assert_eq!(raised.to_centered_f64(&c)[0], -1.0);
     }
@@ -737,17 +807,85 @@ mod tests {
     }
 
     #[test]
+    fn copy_from_reuses_buffers_and_matches_clone() {
+        let c = ctx(4, 3);
+        let coeffs: Vec<i64> = (0..16).map(|i| i as i64 * 3 - 11).collect();
+        let mut src = RnsPoly::from_signed(&c, &coeffs, 3);
+        src.to_eval(&c);
+        let mut dst = RnsPoly::zero(&c, 3, Domain::Coeff);
+        let caps: Vec<usize> = dst.limbs.iter().map(|l| l.capacity()).collect();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        let caps_after: Vec<usize> = dst.limbs.iter().map(|l| l.capacity()).collect();
+        assert_eq!(caps, caps_after, "same-shape copy must not reallocate");
+        // Shape-changing copies still work.
+        let small = RnsPoly::zero(&c, 2, Domain::Coeff);
+        dst.copy_from(&small);
+        assert_eq!(dst, small);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        // Clear zeroes in place.
+        dst.clear(Domain::Eval);
+        assert_eq!(dst.domain(), Domain::Eval);
+        assert!(dst.limbs().iter().all(|l| l.iter().all(|&x| x == 0)));
+    }
+
+    #[test]
+    fn limb_parallel_kernels_match_serial() {
+        // Ring large enough to clear MIN_PAR_RING so the parallel paths
+        // actually engage once a global budget is set.
+        let n = MIN_PAR_RING;
+        let c = RnsContext::new(n, &ntt_primes(n as u64, 36, 3));
+        let coeffs_a: Vec<i64> = (0..n).map(|i| (i as i64 % 257) - 128).collect();
+        let coeffs_b: Vec<i64> = (0..n).map(|i| (i as i64 % 101) - 50).collect();
+
+        let run = |threads: usize| {
+            heap_parallel::set_global_threads(threads);
+            let mut a = RnsPoly::from_signed(&c, &coeffs_a, 3);
+            let mut b = RnsPoly::from_signed(&c, &coeffs_b, 3);
+            a.to_eval(&c);
+            b.to_eval(&c);
+            let mut acc = a.mul_pointwise(&b, &c);
+            acc.mul_acc(&a, &b, &c);
+            acc.to_coeff(&c);
+            heap_parallel::set_global_threads(0);
+            acc
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn basis_conversion_parallel_matches_serial() {
+        let n = MIN_PAR_RING as u64;
+        let from_p = ntt_primes(n, 36, 2);
+        let to_p = ntt_primes_excluding(n, 36, 2, &from_p);
+        let from: Vec<Modulus> = from_p.iter().map(|&p| Modulus::new(p).unwrap()).collect();
+        let to: Vec<Modulus> = to_p.iter().map(|&p| Modulus::new(p).unwrap()).collect();
+        let conv = BasisConverter::new(&from, &to);
+        let limbs: Vec<Vec<u64>> = from
+            .iter()
+            .map(|m| (0..n).map(|c| (c * c + 7) % m.value()).collect())
+            .collect();
+        let refs: Vec<&[u64]> = limbs.iter().map(|l| l.as_slice()).collect();
+        let serial = conv.convert(&refs);
+        heap_parallel::set_global_threads(4);
+        let par = conv.convert(&refs);
+        heap_parallel::set_global_threads(0);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
     fn automorphism_limbwise() {
         let c = ctx(3, 2);
         let coeffs: Vec<i64> = (0..8).map(|i| i as i64).collect();
         let p = RnsPoly::from_signed(&c, &coeffs, 2);
         let rot = p.automorphism(3, &c);
         let got = rot.to_centered_f64(&c);
-        let expect_l0 = poly::automorphism(
-            &poly::from_signed(&coeffs, c.modulus(0)),
-            3,
-            c.modulus(0),
-        );
+        let expect_l0 =
+            poly::automorphism(&poly::from_signed(&coeffs, c.modulus(0)), 3, c.modulus(0));
         let expect: Vec<f64> = expect_l0
             .iter()
             .map(|&x| c.modulus(0).to_signed(x) as f64)

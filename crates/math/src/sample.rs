@@ -80,7 +80,9 @@ mod tests {
     #[test]
     fn binary_secret_is_binary() {
         let mut rng = StdRng::seed_from_u64(3);
-        assert!(binary_secret(&mut rng, 1000).iter().all(|&x| x == 0 || x == 1));
+        assert!(binary_secret(&mut rng, 1000)
+            .iter()
+            .all(|&x| x == 0 || x == 1));
     }
 
     #[test]
@@ -90,7 +92,11 @@ mod tests {
         let mean = xs.iter().sum::<i64>() as f64 / xs.len() as f64;
         let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / xs.len() as f64;
         assert!(mean.abs() < 0.1, "mean {mean}");
-        assert!((var.sqrt() - NOISE_STD_DEV).abs() < 0.25, "std {}", var.sqrt());
+        assert!(
+            (var.sqrt() - NOISE_STD_DEV).abs() < 0.25,
+            "std {}",
+            var.sqrt()
+        );
         assert!(xs.iter().all(|&x| x.abs() < 40), "tail too heavy");
     }
 

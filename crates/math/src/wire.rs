@@ -34,7 +34,7 @@ impl std::error::Error for WireError {}
 ///
 /// Panics if `bits` is 0 or above 64, or a value does not fit.
 pub fn pack_bits(values: &[u64], bits: u32) -> Vec<u8> {
-    assert!(bits >= 1 && bits <= 64, "bits out of range");
+    assert!((1..=64).contains(&bits), "bits out of range");
     let total_bits = values.len() * bits as usize;
     let mut out = vec![0u8; total_bits.div_ceil(8)];
     let mut bit_pos = 0usize;
@@ -61,7 +61,7 @@ pub fn pack_bits(values: &[u64], bits: u32) -> Vec<u8> {
 ///
 /// Returns [`WireError::Truncated`] if the buffer is too short.
 pub fn unpack_bits(buf: &[u8], bits: u32, count: usize) -> Result<Vec<u64>, WireError> {
-    assert!(bits >= 1 && bits <= 64, "bits out of range");
+    assert!((1..=64).contains(&bits), "bits out of range");
     let needed = (count * bits as usize).div_ceil(8);
     if buf.len() < needed {
         return Err(WireError::Truncated);
@@ -161,12 +161,16 @@ impl<'a> WireReader<'a> {
 
     /// Reads a `u64`.
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a `u32`.
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads an `f64`.
@@ -193,7 +197,11 @@ mod tests {
     #[test]
     fn pack_roundtrip_odd_widths() {
         for bits in [1u32, 7, 13, 30, 36, 53, 64] {
-            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
             let values: Vec<u64> = (0..257u64)
                 .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
                 .collect();

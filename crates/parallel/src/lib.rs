@@ -1,0 +1,319 @@
+//! Deterministic fork-join data parallelism for the HEAP reproduction.
+//!
+//! The paper's central observation is that the `N` blind rotations of a
+//! bootstrap have no data dependencies and can be spread over compute nodes
+//! (eight FPGAs in HEAP, §V); within a node, NTT limbs and key-switch inner
+//! products are independent per residue modulus. This crate is the software
+//! analogue of both levels: a rayon-style fork-join engine built directly on
+//! `std::thread::scope` (the build environment vendors no external crates),
+//! exposing
+//!
+//! - [`par_map`] / [`par_map_init`] — ciphertext-level parallelism with
+//!   optional per-worker scratch state (allocation-free hot loops);
+//! - [`par_each_mut`] — limb-level parallelism over mutable slices
+//!   (RNS-wide NTT, base conversion, key-switch accumulators);
+//! - [`Parallelism`] — the `threads` / `min_par_batch` knob plumbed through
+//!   `BootstrapConfig`, with a process-wide default used by the math kernels
+//!   that have no config parameter of their own.
+//!
+//! # Determinism
+//!
+//! Every helper partitions work into contiguous index ranges and writes each
+//! result into its input's slot, so outputs are **bit-identical for every
+//! thread count, including 1** — scheduling never reorders arithmetic. The
+//! tests assert this; `heap-core` relies on it to keep serial and parallel
+//! bootstraps interchangeable.
+//!
+//! Fork-join (threads spawned per region) was chosen over a persistent pool
+//! deliberately: regions in this workload run for milliseconds to minutes,
+//! so spawn cost is noise, and scoped threads let workers borrow inputs and
+//! scratch without `'static` gymnastics or unsafe erasure. [`Parallelism::
+//! min_par_batch`] keeps micro-regions (tiny test rings) serial.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Degree-of-parallelism configuration.
+///
+/// `threads == 1` (or batches below `min_par_batch`) run inline on the
+/// caller's thread with no spawning at all, so the serial path stays
+/// available and identical to the pre-engine behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads per parallel region (`1` = serial).
+    pub threads: usize,
+    /// Smallest batch worth splitting; shorter batches run inline.
+    pub min_par_batch: usize,
+}
+
+impl Parallelism {
+    /// Strictly serial execution.
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            min_par_batch: usize::MAX,
+        }
+    }
+
+    /// `threads` workers with the default batch threshold.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            min_par_batch: 2,
+        }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn max() -> Self {
+        Self::with_threads(available_threads())
+    }
+
+    /// Effective worker count for a batch of `len` items.
+    pub fn workers_for(&self, len: usize) -> usize {
+        if len < self.min_par_batch {
+            1
+        } else {
+            self.threads.min(len).max(1)
+        }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::max()
+    }
+}
+
+/// Hardware threads visible to the process.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Process-wide thread budget used by kernels without a config parameter
+/// (the `heap-math` RNS/NTT layer). `0` means "not set": such kernels stay
+/// serial, preserving the seed behavior unless parallelism is opted into.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide limb-level thread budget (see [`global`]).
+pub fn set_global_threads(threads: usize) {
+    GLOBAL_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The process-wide [`Parallelism`] for limb-level kernels.
+///
+/// Defaults to serial until [`set_global_threads`] is called — deterministic
+/// unit tests of the math layer observe exactly the seed behavior.
+pub fn global() -> Parallelism {
+    let t = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if t <= 1 {
+        Parallelism::serial()
+    } else {
+        Parallelism::with_threads(t)
+    }
+}
+
+/// Maps `f` over `items` with `par.threads` workers, preserving order.
+///
+/// Output `i` is always `f(i, &items[i])`; partitioning is contiguous and
+/// results land in their input slots, so the result is independent of the
+/// thread count.
+pub fn par_map<T, U, F>(par: Parallelism, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_init(par, items, || (), |(), i, t| f(i, t))
+}
+
+/// [`par_map`] with per-worker scratch state.
+///
+/// `init` runs once per worker; `f` receives the worker's scratch, the item
+/// index, and the item. This is the `map_init` pattern: scratch buffers are
+/// allocated once per thread, keeping the per-item path allocation-free.
+pub fn par_map_init<T, U, S, I, F>(par: Parallelism, items: &[T], init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = par.workers_for(n);
+    if workers <= 1 {
+        let mut scratch = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut scratch, i, t))
+            .collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (ci, (in_chunk, out_chunk)) in
+            items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            let (f, init) = (&f, &init);
+            s.spawn(move || {
+                let mut scratch = init();
+                let base = ci * chunk;
+                for (j, (t, o)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
+                    *o = Some(f(&mut scratch, base + j, t));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Runs `f` on every element of `items` in place, in parallel.
+///
+/// Each worker owns a contiguous, disjoint sub-slice (`chunks_mut`), so the
+/// borrow checker guarantees race freedom and the result is again
+/// independent of the thread count.
+pub fn par_each_mut<T, F>(par: Parallelism, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let workers = par.workers_for(n);
+    if workers <= 1 {
+        for (i, t) in items.iter_mut().enumerate() {
+            f(i, t);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (ci, sub) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let base = ci * chunk;
+                for (j, t) in sub.iter_mut().enumerate() {
+                    f(base + j, t);
+                }
+            });
+        }
+    });
+}
+
+/// Splits `0..n` into one contiguous range per worker and runs `f(range)`
+/// in parallel. `f` must only touch state owned by its range (the closure
+/// sees disjoint ranges, but the compiler cannot check external indexing —
+/// prefer [`par_each_mut`] where possible).
+pub fn par_ranges<F>(par: Parallelism, n: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let workers = par.workers_for(n);
+    if workers <= 1 {
+        if n > 0 {
+            f(0..n);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let f = &f;
+            s.spawn(move || f(start..end));
+            start = end;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_for_all_thread_counts() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial = par_map(Parallelism::serial(), &items, |i, &x| x * x + i as u64);
+        for threads in [2, 3, 4, 8, 16] {
+            let par = par_map(Parallelism::with_threads(threads), &items, |i, &x| {
+                x * x + i as u64
+            });
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_init_reuses_scratch_within_worker() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_init(
+            Parallelism::with_threads(4),
+            &items,
+            Vec::<u64>::new,
+            |scratch, _, &x| {
+                scratch.push(x);
+                scratch.len() as u64
+            },
+        );
+        // Scratch grows within each contiguous chunk: the first item of
+        // every worker sees len 1.
+        assert_eq!(out[0], 1);
+        assert_eq!(out[16], 1);
+        assert!(out.iter().all(|&l| (1..=16).contains(&l)));
+    }
+
+    #[test]
+    fn par_each_mut_touches_every_item_once() {
+        for threads in [1, 2, 5, 8] {
+            let mut items: Vec<usize> = vec![0; 41];
+            par_each_mut(Parallelism::with_threads(threads), &mut items, |i, x| {
+                *x += i + 1;
+            });
+            let expect: Vec<usize> = (1..=41).collect();
+            assert_eq!(items, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_ranges_covers_exactly_once() {
+        use std::sync::Mutex;
+        let hits = Mutex::new(vec![0u32; 100]);
+        par_ranges(Parallelism::with_threads(7), 100, |r| {
+            let mut h = hits.lock().unwrap();
+            for i in r {
+                h[i] += 1;
+            }
+        });
+        assert!(hits.into_inner().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn min_par_batch_keeps_small_batches_serial() {
+        let par = Parallelism {
+            threads: 8,
+            min_par_batch: 100,
+        };
+        assert_eq!(par.workers_for(99), 1);
+        assert_eq!(par.workers_for(100), 8);
+        assert_eq!(Parallelism::serial().workers_for(1 << 20), 1);
+    }
+
+    #[test]
+    fn global_defaults_to_serial() {
+        assert_eq!(global(), Parallelism::serial());
+        set_global_threads(4);
+        assert_eq!(global().threads, 4);
+        set_global_threads(0);
+        assert_eq!(global(), Parallelism::serial());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(Parallelism::max(), &empty, |_, &x| x).is_empty());
+        let one = [7u32];
+        assert_eq!(par_map(Parallelism::max(), &one, |_, &x| x * 2), vec![14]);
+    }
+}

@@ -18,8 +18,17 @@ use heap_math::ntt::NttTable;
 use heap_math::{poly, Domain, RnsContext, RnsPoly};
 
 use crate::lwe::{LweCiphertext, LweSecretKey};
-use crate::rgsw::{external_product_with, ExternalProductScratch, RgswCiphertext, RgswParams};
+use crate::rgsw::{external_product_into, ExternalProductScratch, RgswCiphertext, RgswParams};
 use crate::rlwe::{RingSecretKey, RlweCiphertext};
+
+/// Reverses the low `bits` bits of `x` (the NTT butterfly ordering).
+fn bit_reverse(x: usize, bits: u32) -> usize {
+    if bits == 0 {
+        0
+    } else {
+        x.reverse_bits() >> (usize::BITS - bits)
+    }
+}
 
 /// Per-modulus table for evaluating monomials `X^a` directly in NTT domain.
 ///
@@ -46,15 +55,14 @@ impl MonomialTable {
             pow.push(cur);
             cur = m.mul(cur, ntt.psi());
         }
-        // Recover each slot's exponent by transforming X^1.
-        let mut x = vec![0u64; n];
-        x[1] = 1;
-        ntt.forward(&mut x);
-        let lookup: std::collections::HashMap<u64, usize> =
-            pow.iter().enumerate().map(|(t, &v)| (v, t)).collect();
-        let slot_exp = x
-            .iter()
-            .map(|v| *lookup.get(v).expect("every slot is a root power"))
+        // The Cooley–Tukey butterflies with the bit-reversed psi schedule
+        // leave output slot `j` holding the evaluation at `psi^{2·brv(j)+1}`,
+        // so the exponent follows directly from the slot index — no need to
+        // transform X and search a hash map (the seed did exactly that,
+        // costing an O(N) table build plus N lookups per modulus).
+        let log_n = n.trailing_zeros();
+        let slot_exp = (0..n)
+            .map(|j| (2 * bit_reverse(j, log_n) + 1) % two_n)
             .collect();
         Self { pow, slot_exp }
     }
@@ -97,15 +105,19 @@ impl MonomialEvals {
 
     /// Evaluation-domain `X^a - 1` per limb.
     pub fn factor(&self, a: usize, ctx: &RnsContext) -> Vec<Vec<u64>> {
-        self.tables
-            .iter()
-            .enumerate()
-            .map(|(j, t)| {
-                let mut out = vec![0u64; ctx.n()];
-                t.monomial_minus_one(a, ctx.modulus(j), &mut out);
-                out
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.factor_into(a, ctx, &mut out);
+        out
+    }
+
+    /// [`MonomialEvals::factor`] into a caller-provided buffer
+    /// (allocation-free once the buffer has the right shape).
+    pub fn factor_into(&self, a: usize, ctx: &RnsContext, out: &mut Vec<Vec<u64>>) {
+        out.resize_with(self.tables.len(), Vec::new);
+        for (j, (t, o)) in self.tables.iter().zip(out.iter_mut()).enumerate() {
+            o.resize(ctx.n(), 0);
+            t.monomial_minus_one(a, ctx.modulus(j), o);
+        }
     }
 
     /// Evaluation-domain `X^a` per limb.
@@ -216,44 +228,131 @@ impl BlindRotateKey {
         test_poly: &RnsPoly,
         lwe: &LweCiphertext,
     ) -> RlweCiphertext {
+        let mut scratch = BlindRotateScratch::default();
+        self.blind_rotate_with(ctx, test_poly, lwe, &mut scratch)
+    }
+
+    /// [`BlindRotateKey::blind_rotate`] with caller-provided scratch.
+    ///
+    /// After the first call warms the scratch, the per-mask-element loop —
+    /// `n_t` CMux assemblies and external products — runs with no heap
+    /// allocation: RGSW terms are copied into reused buffers, the CMux
+    /// identity `RGSW(1)` is built once and reused, and the accumulator
+    /// ping-pongs between two preallocated ciphertexts. This is the hot
+    /// path the parallel engine runs with one scratch per worker thread.
+    pub fn blind_rotate_with(
+        &self,
+        ctx: &RnsContext,
+        test_poly: &RnsPoly,
+        lwe: &LweCiphertext,
+        scratch: &mut BlindRotateScratch,
+    ) -> RlweCiphertext {
         assert_eq!(lwe.dim(), self.lwe_dim(), "LWE dimension mismatch");
         let two_n = 2 * ctx.n() as u64;
         assert_eq!(lwe.modulus, two_n, "blind rotation expects modulus 2N");
         assert_eq!(test_poly.limb_count(), self.limbs, "limb mismatch");
 
-        // ACC = trivial(f · X^{-b}).
-        let mut f = test_poly.clone();
+        let mut acc = self.initial_accumulator(ctx, test_poly, lwe, scratch);
+        for i in 0..lwe.a.len() {
+            self.cmux_step(ctx, lwe.a[i], i, &mut acc, scratch);
+        }
+        acc
+    }
+
+    /// `ACC = trivial(f · X^{-b})` for one LWE ciphertext.
+    fn initial_accumulator(
+        &self,
+        ctx: &RnsContext,
+        test_poly: &RnsPoly,
+        lwe: &LweCiphertext,
+        scratch: &mut BlindRotateScratch,
+    ) -> RlweCiphertext {
+        let f = match &mut scratch.test_coeff {
+            Some(p) => {
+                p.copy_from(test_poly);
+                p
+            }
+            slot => slot.insert(test_poly.clone()),
+        };
         f.to_coeff(ctx);
         let shift = -(lwe.b as i64);
         let rotated_limbs: Vec<Vec<u64>> = (0..self.limbs)
             .map(|j| poly::monomial_mul(f.limb(j), shift, ctx.modulus(j)))
             .collect();
-        let mut acc = RlweCiphertext::trivial(
-            ctx,
-            RnsPoly::from_limbs(rotated_limbs, Domain::Coeff),
-        );
-
-        let mut scratch = ExternalProductScratch::default();
-        for (i, &ai) in lwe.a.iter().enumerate() {
-            let ai = (ai % two_n) as usize;
-            if ai == 0 {
-                // (X^0 - 1) terms vanish; accumulator passes through the
-                // exact trivial identity, so skip the product entirely.
-                continue;
-            }
-            // Rotation by -a_i·s_i: s=+1 wants X^{-a_i}, s=-1 wants X^{+a_i}.
-            let neg_exp = (2 * ctx.n() - ai) % (2 * ctx.n());
-            let mut combined = RgswCiphertext::trivial_one(ctx, self.limbs, &self.params);
-            let mut pos_term = self.pos[i].clone();
-            pos_term.mul_eval_factor_assign(&self.monomials.factor(neg_exp, ctx), ctx);
-            combined.add_assign(&pos_term, ctx);
-            let mut neg_term = self.neg[i].clone();
-            neg_term.mul_eval_factor_assign(&self.monomials.factor(ai, ctx), ctx);
-            combined.add_assign(&neg_term, ctx);
-            acc = external_product_with(&acc, &combined, ctx, &self.params, &mut scratch);
-        }
-        acc
+        RlweCiphertext::trivial(ctx, RnsPoly::from_limbs(rotated_limbs, Domain::Coeff))
     }
+
+    /// One Algorithm-1 accumulator update:
+    /// `ACC ⊡ (RGSW(1) + (X^{-a_i}−1)·RGSW(s_i^+) + (X^{a_i}−1)·RGSW(s_i^-))`.
+    fn cmux_step(
+        &self,
+        ctx: &RnsContext,
+        a_i: u64,
+        i: usize,
+        acc: &mut RlweCiphertext,
+        scratch: &mut BlindRotateScratch,
+    ) {
+        let two_n = 2 * ctx.n();
+        let ai = (a_i % two_n as u64) as usize;
+        if ai == 0 {
+            // (X^0 - 1) terms vanish; accumulator passes through the
+            // exact trivial identity, so skip the product entirely.
+            return;
+        }
+        let identity = match &scratch.identity {
+            Some((key, id)) if *key == (self.limbs, self.params) => id,
+            _ => {
+                let id = RgswCiphertext::trivial_one(ctx, self.limbs, &self.params);
+                &scratch.identity.insert(((self.limbs, self.params), id)).1
+            }
+        };
+        // Rotation by -a_i·s_i: s=+1 wants X^{-a_i}, s=-1 wants X^{+a_i}.
+        let neg_exp = (two_n - ai) % two_n;
+        let combined = match &mut scratch.combined {
+            Some(c) => {
+                c.copy_from(identity);
+                c
+            }
+            slot => slot.insert(identity.clone()),
+        };
+        for (term_slot, source, exp) in [
+            (&mut scratch.pos_term, &self.pos[i], neg_exp),
+            (&mut scratch.neg_term, &self.neg[i], ai),
+        ] {
+            let term = match term_slot {
+                Some(t) => {
+                    t.copy_from(source);
+                    t
+                }
+                slot => slot.insert(source.clone()),
+            };
+            self.monomials.factor_into(exp, ctx, &mut scratch.factor);
+            term.mul_eval_factor_assign(&scratch.factor, ctx);
+            combined.add_assign(term, ctx);
+        }
+        let next = scratch
+            .acc_next
+            .get_or_insert_with(|| RlweCiphertext::zero(ctx, self.limbs));
+        external_product_into(acc, combined, ctx, &self.params, &mut scratch.ep, next);
+        std::mem::swap(acc, next);
+    }
+}
+
+/// Scratch state for [`BlindRotateKey::blind_rotate_with`]: every buffer the
+/// per-mask-element loop needs, allocated once and reused for the whole
+/// batch a worker thread processes.
+#[derive(Debug, Default)]
+pub struct BlindRotateScratch {
+    ep: ExternalProductScratch,
+    /// Cached `RGSW(1)` identity, keyed by the (limbs, params) it was
+    /// built for.
+    identity: Option<((usize, RgswParams), RgswCiphertext)>,
+    combined: Option<RgswCiphertext>,
+    pos_term: Option<RgswCiphertext>,
+    neg_term: Option<RgswCiphertext>,
+    factor: Vec<Vec<u64>>,
+    acc_next: Option<RlweCiphertext>,
+    test_coeff: Option<RnsPoly>,
 }
 
 impl BlindRotateKey {
@@ -277,40 +376,22 @@ impl BlindRotateKey {
         test_poly: &RnsPoly,
         lwes: &[LweCiphertext],
     ) -> (Vec<RlweCiphertext>, u64) {
-        let two_n = 2 * ctx.n() as u64;
+        let mut scratch = BlindRotateScratch::default();
         let mut accs: Vec<RlweCiphertext> = lwes
             .iter()
             .map(|lwe| {
                 assert_eq!(lwe.dim(), self.lwe_dim(), "LWE dimension mismatch");
+                let two_n = 2 * ctx.n() as u64;
                 assert_eq!(lwe.modulus, two_n, "blind rotation expects modulus 2N");
-                let mut f = test_poly.clone();
-                f.to_coeff(ctx);
-                let shift = -(lwe.b as i64);
-                let rotated: Vec<Vec<u64>> = (0..self.limbs)
-                    .map(|j| poly::monomial_mul(f.limb(j), shift, ctx.modulus(j)))
-                    .collect();
-                RlweCiphertext::trivial(ctx, RnsPoly::from_limbs(rotated, Domain::Coeff))
+                self.initial_accumulator(ctx, test_poly, lwe, &mut scratch)
             })
             .collect();
-        let mut scratch = ExternalProductScratch::default();
         let mut key_fetches = 0u64;
         for i in 0..self.lwe_dim() {
             // One fetch of (pos_i, neg_i) serves the whole batch.
             key_fetches += 1;
             for (acc, lwe) in accs.iter_mut().zip(lwes) {
-                let ai = (lwe.a[i] % two_n) as usize;
-                if ai == 0 {
-                    continue;
-                }
-                let neg_exp = (2 * ctx.n() - ai) % (2 * ctx.n());
-                let mut combined = RgswCiphertext::trivial_one(ctx, self.limbs, &self.params);
-                let mut pos_term = self.pos[i].clone();
-                pos_term.mul_eval_factor_assign(&self.monomials.factor(neg_exp, ctx), ctx);
-                combined.add_assign(&pos_term, ctx);
-                let mut neg_term = self.neg[i].clone();
-                neg_term.mul_eval_factor_assign(&self.monomials.factor(ai, ctx), ctx);
-                combined.add_assign(&neg_term, ctx);
-                *acc = external_product_with(acc, &combined, ctx, &self.params, &mut scratch);
+                self.cmux_step(ctx, lwe.a[i], i, acc, &mut scratch);
             }
         }
         (accs, key_fetches)
@@ -324,11 +405,7 @@ impl BlindRotateKey {
 ///
 /// `g` must satisfy `|g(u)|` small enough to fit the basis; values are
 /// reduced per limb.
-pub fn test_polynomial_from_fn(
-    ctx: &RnsContext,
-    limbs: usize,
-    g: impl Fn(i64) -> i64,
-) -> RnsPoly {
+pub fn test_polynomial_from_fn(ctx: &RnsContext, limbs: usize, g: impl Fn(i64) -> i64) -> RnsPoly {
     let n = ctx.n();
     let mut coeffs = vec![0i64; n];
     let half = (n / 2) as i64;
@@ -378,6 +455,34 @@ mod tests {
     }
 
     #[test]
+    fn slot_exponents_match_transform_of_x() {
+        // Oracle: recover each slot's root exponent by transforming X^1 and
+        // searching the power table (the seed's construction). The direct
+        // bit-reversal formula must agree for every slot and modulus.
+        for limbs in 0..2 {
+            let c = ctx();
+            let ntt = c.ntt(limbs);
+            let t = MonomialTable::new(ntt);
+            let n = ntt.n();
+            let m = ntt.modulus();
+            let mut pow = Vec::with_capacity(2 * n);
+            let mut cur = 1u64;
+            for _ in 0..2 * n {
+                pow.push(cur);
+                cur = m.mul(cur, ntt.psi());
+            }
+            let mut x = vec![0u64; n];
+            x[1] = 1;
+            ntt.forward(&mut x);
+            let oracle: Vec<usize> = x
+                .iter()
+                .map(|v| pow.iter().position(|p| p == v).expect("root power"))
+                .collect();
+            assert_eq!(t.slot_exp, oracle);
+        }
+    }
+
+    #[test]
     fn test_polynomial_lut_layout() {
         let c = ctx();
         let f = test_polynomial_from_fn(&c, 1, |u| 10 * u);
@@ -400,8 +505,8 @@ mod tests {
         };
         let brk = BlindRotateKey::generate(&c, &lwe_sk, &ring_sk, 2, params, &mut rng);
         let two_n = 2 * c.n() as u64; // 128
-        // LUT: g(u) = u << 45 — the two-limb basis (~2^60) leaves plenty of
-        // headroom above the accumulated external-product noise (~2^28).
+                                      // LUT: g(u) = u << 45 — the two-limb basis (~2^60) leaves plenty of
+                                      // headroom above the accumulated external-product noise (~2^28).
         let scale = 1i64 << 45;
         let f = test_polynomial_from_fn(&c, 2, |u| scale * u);
         for msg in [0i64, 1, 5, -3, 20, -25] {

@@ -19,12 +19,7 @@ use crate::rlwe::RlweCiphertext;
 /// # Panics
 ///
 /// Panics if `index >= a.len()` or the slices have different lengths.
-pub fn extract_coefficient(
-    a: &[u64],
-    b: &[u64],
-    index: usize,
-    q: &Modulus,
-) -> LweCiphertext {
+pub fn extract_coefficient(a: &[u64], b: &[u64], index: usize, q: &Modulus) -> LweCiphertext {
     assert_eq!(a.len(), b.len());
     assert!(index < a.len(), "coefficient index out of range");
     let n = a.len();
@@ -210,10 +205,10 @@ mod tests {
         b_coeff.to_coeff(&c);
         let q = c.modulus(0);
         let lwe_sk = crate::lwe::LweSecretKey::from_coeffs(s);
-        for idx in 0..32 {
+        for (idx, &expected) in phase_poly.iter().enumerate() {
             let lwe = extract_coefficient(a_coeff.limb(0), b_coeff.limb(0), idx, q);
             let got = q.to_signed(lwe_sk.phase(&lwe, q)) as f64;
-            assert!((got - phase_poly[idx]).abs() < 0.5, "idx {idx}");
+            assert!((got - expected).abs() < 0.5, "idx {idx}");
         }
     }
 }

@@ -46,11 +46,7 @@ pub fn decrypt_bit(ctx: &TfheContext, sk: &LweSecretKey, ct: &LweCiphertext) -> 
     decode_bit(ctx, sk.phase(ct, ctx.q()))
 }
 
-fn lincomb(
-    q: &Modulus,
-    terms: &[(&LweCiphertext, i64)],
-    constant_eighths: i64,
-) -> LweCiphertext {
+fn lincomb(q: &Modulus, terms: &[(&LweCiphertext, i64)], constant_eighths: i64) -> LweCiphertext {
     let n = terms[0].0.dim();
     let mut a = vec![0u64; n];
     let mut b = q.mul(q.from_i64(constant_eighths), q.value() / 8);
@@ -72,32 +68,57 @@ fn lincomb(
 /// negative phase to `-q/8` (negacyclic-safe by oddness).
 fn sign_bootstrap(ctx: &TfheContext, keys: &PbsKeys, ct: &LweCiphertext) -> LweCiphertext {
     let eighth = (ctx.q().value() / 8) as i64;
-    programmable_bootstrap(ctx, keys, ct, move |u| if u >= 0 { eighth } else { -eighth })
+    programmable_bootstrap(
+        ctx,
+        keys,
+        ct,
+        move |u| if u >= 0 { eighth } else { -eighth },
+    )
 }
 
 /// Homomorphic NAND (the universal gate).
-pub fn nand(ctx: &TfheContext, keys: &PbsKeys, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+pub fn nand(
+    ctx: &TfheContext,
+    keys: &PbsKeys,
+    a: &LweCiphertext,
+    b: &LweCiphertext,
+) -> LweCiphertext {
     // phase(1/8) - a - b: TT -> -3/8 (neg), TF/FT -> 1/8, FF -> 3/8.
     let pre = lincomb(ctx.q(), &[(a, -1), (b, -1)], 1);
     sign_bootstrap(ctx, keys, &pre)
 }
 
 /// Homomorphic AND.
-pub fn and(ctx: &TfheContext, keys: &PbsKeys, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+pub fn and(
+    ctx: &TfheContext,
+    keys: &PbsKeys,
+    a: &LweCiphertext,
+    b: &LweCiphertext,
+) -> LweCiphertext {
     // a + b - 1/8: TT -> 1/8, TF/FT -> -1/8, FF -> -3/8.
     let pre = lincomb(ctx.q(), &[(a, 1), (b, 1)], -1);
     sign_bootstrap(ctx, keys, &pre)
 }
 
 /// Homomorphic OR.
-pub fn or(ctx: &TfheContext, keys: &PbsKeys, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+pub fn or(
+    ctx: &TfheContext,
+    keys: &PbsKeys,
+    a: &LweCiphertext,
+    b: &LweCiphertext,
+) -> LweCiphertext {
     // a + b + 1/8: TT -> 3/8, TF/FT -> 1/8, FF -> -1/8.
     let pre = lincomb(ctx.q(), &[(a, 1), (b, 1)], 1);
     sign_bootstrap(ctx, keys, &pre)
 }
 
 /// Homomorphic XOR (uses weight-2 inputs, one bootstrap like the rest).
-pub fn xor(ctx: &TfheContext, keys: &PbsKeys, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+pub fn xor(
+    ctx: &TfheContext,
+    keys: &PbsKeys,
+    a: &LweCiphertext,
+    b: &LweCiphertext,
+) -> LweCiphertext {
     // 2(a + b): TT -> 4/8 ≡ wrap (neg), TF/FT -> 0... shift by 1/8 to
     // break the tie: 2a + 2b ranges over {-4/8, 0, 4/8}; add -1/8 bias and
     // flip: XOR true (one of each) -> -1/8 (neg)... use the standard
@@ -108,7 +129,12 @@ pub fn xor(ctx: &TfheContext, keys: &PbsKeys, a: &LweCiphertext, b: &LweCipherte
     // 2(a+b) - 1/8: TT -> 3/8, TF/FT -> -1/8, FF -> -5/8 ≡ 3/8 (wrap).
     // XOR true (TF/FT) is the *negative* case; invert the sign LUT.
     let eighth = (ctx.q().value() / 8) as i64;
-    programmable_bootstrap(ctx, keys, &pre, move |u| if u >= 0 { -eighth } else { eighth })
+    programmable_bootstrap(
+        ctx,
+        keys,
+        &pre,
+        move |u| if u >= 0 { -eighth } else { eighth },
+    )
 }
 
 /// Homomorphic NOT (free: negate, no bootstrap needed).
@@ -158,10 +184,26 @@ mod tests {
         for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
             let cx = encrypt_bit(&ctx, &sk, x, &mut rng);
             let cy = encrypt_bit(&ctx, &sk, y, &mut rng);
-            assert_eq!(decrypt_bit(&ctx, &sk, &nand(&ctx, &keys, &cx, &cy)), !(x && y), "NAND {x} {y}");
-            assert_eq!(decrypt_bit(&ctx, &sk, &and(&ctx, &keys, &cx, &cy)), x && y, "AND {x} {y}");
-            assert_eq!(decrypt_bit(&ctx, &sk, &or(&ctx, &keys, &cx, &cy)), x || y, "OR {x} {y}");
-            assert_eq!(decrypt_bit(&ctx, &sk, &xor(&ctx, &keys, &cx, &cy)), x ^ y, "XOR {x} {y}");
+            assert_eq!(
+                decrypt_bit(&ctx, &sk, &nand(&ctx, &keys, &cx, &cy)),
+                !(x && y),
+                "NAND {x} {y}"
+            );
+            assert_eq!(
+                decrypt_bit(&ctx, &sk, &and(&ctx, &keys, &cx, &cy)),
+                x && y,
+                "AND {x} {y}"
+            );
+            assert_eq!(
+                decrypt_bit(&ctx, &sk, &or(&ctx, &keys, &cx, &cy)),
+                x || y,
+                "OR {x} {y}"
+            );
+            assert_eq!(
+                decrypt_bit(&ctx, &sk, &xor(&ctx, &keys, &cx, &cy)),
+                x ^ y,
+                "XOR {x} {y}"
+            );
             assert_eq!(decrypt_bit(&ctx, &sk, &not(&ctx, &cx)), !x, "NOT {x}");
         }
     }
@@ -169,12 +211,20 @@ mod tests {
     #[test]
     fn mux_selects_correctly() {
         let (ctx, sk, keys, mut rng) = setup();
-        for (s, a, b) in [(true, true, false), (false, true, false), (true, false, true)] {
+        for (s, a, b) in [
+            (true, true, false),
+            (false, true, false),
+            (true, false, true),
+        ] {
             let cs = encrypt_bit(&ctx, &sk, s, &mut rng);
             let ca = encrypt_bit(&ctx, &sk, a, &mut rng);
             let cb = encrypt_bit(&ctx, &sk, b, &mut rng);
             let out = mux(&ctx, &keys, &cs, &ca, &cb);
-            assert_eq!(decrypt_bit(&ctx, &sk, &out), if s { a } else { b }, "MUX {s} {a} {b}");
+            assert_eq!(
+                decrypt_bit(&ctx, &sk, &out),
+                if s { a } else { b },
+                "MUX {s} {a} {b}"
+            );
         }
     }
 

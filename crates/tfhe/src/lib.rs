@@ -44,8 +44,13 @@ pub mod rgsw;
 pub mod rlwe;
 pub mod wire;
 
-pub use blind_rotate::{test_polynomial_from_fn, BlindRotateKey, MonomialEvals};
+pub use blind_rotate::{
+    test_polynomial_from_fn, BlindRotateKey, BlindRotateScratch, MonomialEvals,
+};
 pub use extract::{extract_coefficient, extract_constant_rns, lwe_to_rlwe, RnsLweCiphertext};
 pub use lwe::{LweCiphertext, LweKeySwitchKey, LweSecretKey};
-pub use rgsw::{external_product, RgswCiphertext, RgswParams};
+pub use rgsw::{
+    external_product, external_product_into, external_product_with, ExternalProductScratch,
+    RgswCiphertext, RgswParams,
+};
 pub use rlwe::{RingSecretKey, RlweCiphertext};

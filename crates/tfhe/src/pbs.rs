@@ -219,11 +219,7 @@ pub fn internal_product(
 
 /// Extracts an arbitrary coefficient of a single-limb RLWE ciphertext as a
 /// plain LWE sample (re-exported convenience over [`extract_coefficient`]).
-pub fn extract_index(
-    ctx: &TfheContext,
-    ct: &RlweCiphertext,
-    index: usize,
-) -> LweCiphertext {
+pub fn extract_index(ctx: &TfheContext, ct: &RlweCiphertext, index: usize) -> LweCiphertext {
     let mut a = ct.a.clone();
     let mut b = ct.b.clone();
     a.to_coeff(ctx.ring());
@@ -283,13 +279,19 @@ mod tests {
         };
         let m0: Vec<i64> = (0..64).map(|_| 200_000_000).collect();
         let m1: Vec<i64> = (0..64).map(|_| -150_000_000).collect();
-        let ct0 = RlweCiphertext::encrypt(&ring, &sk, &RnsPoly::from_signed(&ring, &m0, 1), &mut rng);
-        let ct1 = RlweCiphertext::encrypt(&ring, &sk, &RnsPoly::from_signed(&ring, &m1, 1), &mut rng);
+        let ct0 =
+            RlweCiphertext::encrypt(&ring, &sk, &RnsPoly::from_signed(&ring, &m0, 1), &mut rng);
+        let ct1 =
+            RlweCiphertext::encrypt(&ring, &sk, &RnsPoly::from_signed(&ring, &m1, 1), &mut rng);
         for bit in [0i64, 1] {
             let b = RgswCiphertext::encrypt_scalar(&ring, &sk, bit, 1, &params, &mut rng);
             let out = cmux(&ring, &b, &ct0, &ct1, &params);
             let phase = out.phase(&ring, &sk).to_centered_f64(&ring);
-            let want = if bit == 1 { -150_000_000.0 } else { 200_000_000.0 };
+            let want = if bit == 1 {
+                -150_000_000.0
+            } else {
+                200_000_000.0
+            };
             assert!(
                 (phase[0] - want).abs() < 30_000_000.0,
                 "bit {bit}: {} vs {want}",
@@ -310,7 +312,8 @@ mod tests {
             digits: 5,
         };
         let msg: Vec<i64> = (0..64).map(|_| 200_000_000).collect();
-        let ct = RlweCiphertext::encrypt(&ring, &sk, &RnsPoly::from_signed(&ring, &msg, 1), &mut rng);
+        let ct =
+            RlweCiphertext::encrypt(&ring, &sk, &RnsPoly::from_signed(&ring, &msg, 1), &mut rng);
         for (ba, bb) in [(0i64, 0i64), (0, 1), (1, 0), (1, 1)] {
             let ga = RgswCiphertext::encrypt_scalar(&ring, &sk, ba, 1, &params, &mut rng);
             let gb = RgswCiphertext::encrypt_scalar(&ring, &sk, bb, 1, &params, &mut rng);

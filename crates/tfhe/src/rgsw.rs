@@ -13,7 +13,7 @@
 
 use rand::Rng;
 
-use heap_math::{poly, Gadget, RnsContext, RnsPoly};
+use heap_math::{poly, Domain, Gadget, RnsContext, RnsPoly};
 
 use crate::rlwe::{RingSecretKey, RlweCiphertext};
 
@@ -124,6 +124,21 @@ impl RgswCiphertext {
         self.rows_s.len()
     }
 
+    /// Overwrites `self` with `other`, reusing row allocations when shapes
+    /// match (falls back to a clone on shape change).
+    pub fn copy_from(&mut self, other: &RgswCiphertext) {
+        if self.rows_s.len() != other.rows_s.len() || self.rows_1.len() != other.rows_1.len() {
+            *self = other.clone();
+            return;
+        }
+        for (dst, src) in self.rows_s.iter_mut().zip(&other.rows_s) {
+            dst.copy_from(src);
+        }
+        for (dst, src) in self.rows_1.iter_mut().zip(&other.rows_1) {
+            dst.copy_from(src);
+        }
+    }
+
     /// `self += other` row-wise (message addition).
     pub fn add_assign(&mut self, other: &RgswCiphertext, ctx: &RnsContext) {
         assert_eq!(self.row_count(), other.row_count());
@@ -142,10 +157,10 @@ impl RgswCiphertext {
             for row in rows.iter_mut() {
                 for part in [&mut row.a, &mut row.b] {
                     let limbs = part.limb_count();
-                    for j in 0..limbs {
+                    for (j, f) in factor.iter().enumerate().take(limbs) {
                         let m = ctx.modulus(j);
-                        for (x, &f) in part.limb_mut(j).iter_mut().zip(&factor[j]) {
-                            *x = m.mul(*x, f);
+                        for (x, &fx) in part.limb_mut(j).iter_mut().zip(f) {
+                            *x = m.mul(*x, fx);
                         }
                     }
                 }
@@ -165,9 +180,46 @@ fn add_constant(limb: &mut [u64], c: u64, q: u64) {
 /// Scratch buffers reused across external products (blind rotation performs
 /// `n_t` of them back to back; HEAP likewise keeps the decomposition in
 /// on-chip BRAM between steps).
+///
+/// Once warmed up for a `(params, limbs)` shape, every buffer — the signed
+/// digit polynomials, the per-limb spread, the coefficient-domain operand
+/// copies, and the gadget tables — is reused, so
+/// [`external_product_into`] performs **zero heap allocations** per call
+/// (asserted by `tests/alloc_free.rs`).
 #[derive(Debug, Default)]
 pub struct ExternalProductScratch {
     digit_signed: Vec<Vec<i64>>,
+    digit_buf: Vec<i64>,
+    spread: Vec<u64>,
+    a_coeff: Option<RnsPoly>,
+    b_coeff: Option<RnsPoly>,
+    gadgets: Vec<Gadget>,
+    gadget_key: Option<(u32, usize, usize)>,
+}
+
+impl ExternalProductScratch {
+    fn prepare(&mut self, ctx: &RnsContext, params: &RgswParams, limbs: usize) {
+        let n = ctx.n();
+        self.digit_signed.resize_with(params.digits, Vec::new);
+        for d in &mut self.digit_signed {
+            d.resize(n, 0);
+        }
+        self.digit_buf.resize(params.digits, 0);
+        self.spread.resize(n, 0);
+        let key = (params.base_bits, params.digits, limbs);
+        if self.gadget_key != Some(key) {
+            self.gadgets = params.gadgets(ctx, limbs);
+            self.gadget_key = Some(key);
+        }
+    }
+}
+
+/// Copies `src` into the slot, reusing the existing allocation if any.
+fn copy_into_slot(slot: &mut Option<RnsPoly>, src: &RnsPoly) {
+    match slot {
+        Some(p) => p.copy_from(src),
+        None => *slot = Some(src.clone()),
+    }
 }
 
 /// Computes the external product `ct ⊡ rgsw`, returning an RLWE ciphertext
@@ -195,49 +247,79 @@ pub fn external_product_with(
     params: &RgswParams,
     scratch: &mut ExternalProductScratch,
 ) -> RlweCiphertext {
+    let mut out = RlweCiphertext::zero(ctx, ct.limbs());
+    external_product_into(ct, rgsw, ctx, params, scratch, &mut out);
+    out
+}
+
+/// [`external_product`] into a caller-provided output ciphertext.
+///
+/// With a warmed-up `scratch` and a matching-shape `out` this performs no
+/// heap allocation at all — the accumulator loop of blind rotation runs
+/// entirely in preallocated buffers.
+///
+/// # Panics
+///
+/// Panics on RGSW row count mismatch or if `out` has a different limb
+/// count than `ct` (`out` contents are overwritten, not read).
+pub fn external_product_into(
+    ct: &RlweCiphertext,
+    rgsw: &RgswCiphertext,
+    ctx: &RnsContext,
+    params: &RgswParams,
+    scratch: &mut ExternalProductScratch,
+    out: &mut RlweCiphertext,
+) {
     let limbs = ct.limbs();
     assert_eq!(
         rgsw.row_count(),
         params.rows(limbs),
         "RGSW row count mismatch"
     );
-    let n = ctx.n();
-    let mut a_coeff = ct.a.clone();
-    let mut b_coeff = ct.b.clone();
+    assert_eq!(out.limbs(), limbs, "output limb count mismatch");
+    scratch.prepare(ctx, params, limbs);
+    copy_into_slot(&mut scratch.a_coeff, &ct.a);
+    copy_into_slot(&mut scratch.b_coeff, &ct.b);
+    let ExternalProductScratch {
+        digit_signed,
+        digit_buf,
+        spread,
+        a_coeff,
+        b_coeff,
+        gadgets,
+        ..
+    } = scratch;
+    let a_coeff = a_coeff.as_mut().expect("slot filled above");
+    let b_coeff = b_coeff.as_mut().expect("slot filled above");
     a_coeff.to_coeff(ctx);
     b_coeff.to_coeff(ctx);
-    let mut out = RlweCiphertext::zero(ctx, limbs);
-    let gadgets = params.gadgets(ctx, limbs);
-    scratch
-        .digit_signed
-        .resize_with(params.digits, || vec![0i64; n]);
+    out.a.clear(Domain::Eval);
+    out.b.clear(Domain::Eval);
 
-    for (part_coeff, rows) in [(&a_coeff, &rgsw.rows_s), (&b_coeff, &rgsw.rows_1)] {
+    for (part_coeff, rows) in [(&*a_coeff, &rgsw.rows_s), (&*b_coeff, &rgsw.rows_1)] {
         for i in 0..limbs {
             // Decompose limb i into signed digit polynomials.
             let limb = part_coeff.limb(i);
-            let mut digit_buf = vec![0i64; params.digits];
             for (c_idx, &c) in limb.iter().enumerate() {
-                gadgets[i].decompose_scalar_signed_into(c, &mut digit_buf);
+                gadgets[i].decompose_scalar_signed_into(c, digit_buf);
                 for (k, &d) in digit_buf.iter().enumerate() {
-                    scratch.digit_signed[k][c_idx] = d;
+                    digit_signed[k][c_idx] = d;
                 }
             }
-            for k in 0..params.digits {
+            for (k, digits) in digit_signed.iter().enumerate() {
                 let row = &rows[i * params.digits + k];
                 // Spread the signed digit under every limb, NTT, MAC.
                 for j in 0..limbs {
                     let m = ctx.modulus(j);
                     let ntt = ctx.ntt(j);
-                    let mut spread = poly::from_signed(&scratch.digit_signed[k], m);
-                    ntt.forward(&mut spread);
-                    ntt.pointwise_acc(&spread, row.a.limb(j), out.a.limb_mut(j));
-                    ntt.pointwise_acc(&spread, row.b.limb(j), out.b.limb_mut(j));
+                    poly::from_signed_into(digits, m, spread);
+                    ntt.forward(spread);
+                    ntt.pointwise_acc(spread, row.a.limb(j), out.a.limb_mut(j));
+                    ntt.pointwise_acc(spread, row.b.limb(j), out.b.limb_mut(j));
                 }
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -55,11 +55,7 @@ impl LweCiphertext {
         if all.iter().chain([&b]).any(|&x| x >= modulus) {
             return Err(WireError::Corrupt("LWE element out of range"));
         }
-        Ok(Self {
-            a: all,
-            b,
-            modulus,
-        })
+        Ok(Self { a: all, b, modulus })
     }
 
     /// Wire size in bytes (what a CMAC scatter pays per ciphertext).

@@ -41,7 +41,11 @@ fn main() {
     let fresh = conv.bootstrap(&ctx_a, &ct);
     let conv_time = t.elapsed();
     let dec = ctx_a.decrypt_real(&fresh, &sk_a);
-    let err = msg.iter().zip(&dec).map(|(m, d)| (m - d).abs()).fold(0.0f64, f64::max);
+    let err = msg
+        .iter()
+        .zip(&dec)
+        .map(|(m, d)| (m - d).abs())
+        .fold(0.0f64, f64::max);
     println!(
         "bootstrap: {:.2?}; levels left {} of {}; max err {:.5}",
         conv_time,
@@ -65,8 +69,13 @@ fn main() {
     // Coefficient-domain message (the precision-native view; slot-domain
     // precision scales with sqrt(N) and is only meaningful at production N).
     let delta = ctx_b.fresh_scale();
-    let coeffs_msg: Vec<f64> = (0..ctx_b.n()).map(|i| ((i % 9) as f64 - 4.0) / 30.0).collect();
-    let enc: Vec<i64> = coeffs_msg.iter().map(|m| (m * delta).round() as i64).collect();
+    let coeffs_msg: Vec<f64> = (0..ctx_b.n())
+        .map(|i| ((i % 9) as f64 - 4.0) / 30.0)
+        .collect();
+    let enc: Vec<i64> = coeffs_msg
+        .iter()
+        .map(|m| (m * delta).round() as i64)
+        .collect();
     let ct = ctx_b.encrypt_coeffs_sk(&enc, delta, 1, &sk_b, &mut rng);
     let t = Instant::now();
     let fresh = boot.bootstrap(&ctx_b, &ct);
@@ -89,8 +98,15 @@ fn main() {
 
     println!("\n== the structural contrast the paper exploits ==");
     println!("conventional: monolithic & sequential — one ciphertext flows through");
-    println!("  {} dependent levels; needs L ≥ {} (big parameters) and sparse keys;", config.depth(), config.depth() + 2);
+    println!(
+        "  {} dependent levels; needs L ≥ {} (big parameters) and sparse keys;",
+        config.depth(),
+        config.depth() + 2
+    );
     println!("  a cluster cannot split it (FAB gained only ~20% from 8 FPGAs).");
-    println!("scheme switch: {} data-independent blind rotations — trivially", ctx_b.n());
+    println!(
+        "scheme switch: {} data-independent blind rotations — trivially",
+        ctx_b.n()
+    );
     println!("  distributed over nodes; 1 level consumed; L = 3 suffices; dense keys.");
 }

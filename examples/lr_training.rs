@@ -63,9 +63,15 @@ fn main() {
         println!(
             "  iter {}: {:?} in {:.2?} (plaintext {:?})",
             it + 1,
-            w_now.iter().map(|x| (x * 1e3).round() / 1e3).collect::<Vec<_>>(),
+            w_now
+                .iter()
+                .map(|x| (x * 1e3).round() / 1e3)
+                .collect::<Vec<_>>(),
             t.elapsed(),
-            plain_w.iter().map(|x| (x * 1e3).round() / 1e3).collect::<Vec<_>>()
+            plain_w
+                .iter()
+                .map(|x| (x * 1e3).round() / 1e3)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -76,7 +82,8 @@ fn main() {
 
     println!("\n== full-scale accelerator cost (Table VI path) ==");
     let trace = lr_iteration_trace(196, 256);
-    let (total_ms, boot_ms) = trace.time_ms(&OpTimings::heap_single_fpga(), &BootstrapModel::paper(), 8);
+    let (total_ms, boot_ms) =
+        trace.time_ms(&OpTimings::heap_single_fpga(), &BootstrapModel::paper(), 8);
     println!(
         "model: {:.3} ms/iteration ({:.0}% bootstrapping) — paper reports 7 ms/iteration, ~21% bootstrapping",
         total_ms,

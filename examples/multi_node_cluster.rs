@@ -21,11 +21,16 @@ fn main() {
     let boot = Bootstrapper::generate(&ctx, &sk, BootstrapConfig::test_small(), &mut rng);
 
     let delta = ctx.fresh_scale();
-    let msg: Vec<f64> = (0..ctx.n()).map(|i| ((i % 9) as f64 - 4.0) / 40.0).collect();
+    let msg: Vec<f64> = (0..ctx.n())
+        .map(|i| ((i % 9) as f64 - 4.0) / 40.0)
+        .collect();
     let coeffs: Vec<i64> = msg.iter().map(|m| (m * delta).round() as i64).collect();
     let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
 
-    println!("== functional cluster execution (N = {} blind rotations) ==", ctx.n());
+    println!(
+        "== functional cluster execution (N = {} blind rotations) ==",
+        ctx.n()
+    );
     println!("(wall-clock speedup requires multiple cores; the point here is");
     println!(" the primary/secondary schedule, transfer ledger, and identical results)");
     for nodes in [1usize, 2, 4, 8] {

@@ -34,21 +34,36 @@ fn main() {
 
     // Add.
     let sum = ctx.decrypt_real(&ctx.add(&ca, &cb), &sk);
-    println!("a + b       = {:?}", &sum[..4].iter().map(|x| (x * 1e4).round() / 1e4).collect::<Vec<_>>());
+    println!(
+        "a + b       = {:?}",
+        &sum[..4]
+            .iter()
+            .map(|x| (x * 1e4).round() / 1e4)
+            .collect::<Vec<_>>()
+    );
 
     // Mult + Rescale (consumes one level).
     let prod_ct = ctx.rescale(&ctx.mul(&ca, &cb, &rlk));
     let prod = ctx.decrypt_real(&prod_ct, &sk);
     println!(
         "a * b       = {:?}  (level {} -> {})",
-        &prod[..4].iter().map(|x| (x * 1e5).round() / 1e5).collect::<Vec<_>>(),
+        &prod[..4]
+            .iter()
+            .map(|x| (x * 1e5).round() / 1e5)
+            .collect::<Vec<_>>(),
         ctx.max_limbs() - 1,
         prod_ct.level()
     );
 
     // Rotate.
     let rot = ctx.decrypt_real(&ctx.rotate(&ca, 1, &gks), &sk);
-    println!("rot(a, 1)   = {:?}", &rot[..4].iter().map(|x| (x * 1e4).round() / 1e4).collect::<Vec<_>>());
+    println!(
+        "rot(a, 1)   = {:?}",
+        &rot[..4]
+            .iter()
+            .map(|x| (x * 1e4).round() / 1e4)
+            .collect::<Vec<_>>()
+    );
 
     // Verify.
     for i in 0..4 {

@@ -10,7 +10,9 @@
 use heap::math::prime::ntt_primes;
 use heap::math::{RnsContext, RnsPoly};
 use heap::tfhe::lwe::LweSecretKey;
-use heap::tfhe::pbs::{cmux, internal_product, programmable_bootstrap, PbsKeys, TfheContext, TfheParams};
+use heap::tfhe::pbs::{
+    cmux, internal_product, programmable_bootstrap, PbsKeys, TfheContext, TfheParams,
+};
 use heap::tfhe::rgsw::{external_product, RgswCiphertext, RgswParams};
 use heap::tfhe::rlwe::{RingSecretKey, RlweCiphertext};
 use rand::rngs::StdRng;

@@ -20,7 +20,9 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 fn main() {
-    let cmd = std::env::args().nth(1).unwrap_or_else(|| "info".to_string());
+    let cmd = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "info".to_string());
     match cmd.as_str() {
         "info" => info(),
         "bootstrap" => bootstrap(),
@@ -130,9 +132,6 @@ fn switch_demo() {
     let out = switch.eval_nonlinear(&ctx, &ct, &indices, |x| if x > 0.0 { 0.1 } else { -0.1 });
     let dec = ctx.decrypt_coeffs(&out, &sk);
     for (k, v) in inputs.iter().enumerate() {
-        println!(
-            "  sign({v:>6.3}) -> {:>7.4}",
-            dec[k * 32] / out.scale()
-        );
+        println!("  sign({v:>6.3}) -> {:>7.4}", dec[k * 32] / out.scale());
     }
 }

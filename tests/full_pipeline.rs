@@ -10,7 +10,13 @@ use heap::hw::perf::BootstrapModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn setup() -> (CkksContext, SecretKey, RelinearizationKey, Bootstrapper, StdRng) {
+fn setup() -> (
+    CkksContext,
+    SecretKey,
+    RelinearizationKey,
+    Bootstrapper,
+    StdRng,
+) {
     let ctx = CkksContext::new(CkksParams::test_tiny());
     let mut rng = StdRng::seed_from_u64(4242);
     let sk = SecretKey::generate(&ctx, &mut rng);
@@ -50,7 +56,9 @@ fn unbounded_depth_computation() {
 fn cluster_and_single_node_agree() {
     let (ctx, sk, _rlk, boot, mut rng) = setup();
     let delta = ctx.fresh_scale();
-    let msg: Vec<f64> = (0..ctx.n()).map(|i| ((i % 5) as f64 - 2.0) / 30.0).collect();
+    let msg: Vec<f64> = (0..ctx.n())
+        .map(|i| ((i % 5) as f64 - 2.0) / 30.0)
+        .collect();
     let coeffs: Vec<i64> = msg.iter().map(|m| (m * delta).round() as i64).collect();
     let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
 
@@ -103,10 +111,7 @@ fn precision_survives_repeated_bootstrapping() {
     for round in 0..3 {
         let fresh = boot.bootstrap_indices(&ctx, &ct, &[0]);
         let got = ctx.decrypt_coeffs(&fresh, &sk)[0] / fresh.scale();
-        assert!(
-            (got - msg).abs() < 0.02,
-            "round {round}: drift to {got}"
-        );
+        assert!((got - msg).abs() < 0.02, "round {round}: drift to {got}");
         ct = ctx.mod_drop_to(&fresh, 1);
     }
 }

@@ -15,10 +15,7 @@ fn lwe_wire_size_matches_memory_model() {
     // Model counts payload bits only; wire adds a 16-byte header.
     let model = layout.lwe_bytes(500) as usize;
     let wire = ct.wire_size() - 16;
-    assert!(
-        wire.abs_diff(model) <= 8,
-        "wire {wire} vs model {model}"
-    );
+    assert!(wire.abs_diff(model) <= 8, "wire {wire} vs model {model}");
 }
 
 #[test]
@@ -27,10 +24,7 @@ fn rlwe_wire_size_matches_memory_model() {
     let layout = MemoryLayout::paper();
     let wire = ctx.ciphertext_wire_size(6) as u64 - 20;
     let model = layout.rlwe_bytes();
-    assert!(
-        wire.abs_diff(model) <= 16,
-        "wire {wire} vs model {model}"
-    );
+    assert!(wire.abs_diff(model) <= 16, "wire {wire} vs model {model}");
 }
 
 #[test]
@@ -43,5 +37,8 @@ fn cmac_scatter_cost_prices_actual_bytes() {
     let ct = LweCiphertext::trivial(0, 500, q);
     let model_cycles = link.cycles_for_bytes(layout.lwe_bytes(500));
     let wire_cycles = link.cycles_for_bytes(ct.wire_size() as u64);
-    assert!(wire_cycles <= model_cycles + 1, "{wire_cycles} vs {model_cycles}");
+    assert!(
+        wire_cycles <= model_cycles + 1,
+        "{wire_cycles} vs {model_cycles}"
+    );
 }
