@@ -1,0 +1,195 @@
+//! Throughput/latency sweep of the bootstrapping service runtime over a
+//! real loopback TCP cluster, emitting `BENCH_runtime.json`.
+//!
+//! For every (node count, batch size) configuration the harness starts
+//! `heap-runtime` servers on ephemeral loopback ports (in-process threads
+//! speaking the same frame protocol as `heap-node-serve`), connects
+//! `RemoteNode`s, and pushes a fixed job mix through the full service
+//! stack — bounded queue, dynamic batcher, least-loaded scheduler. It
+//! reports jobs/sec plus p50/p99 submit-to-complete latency, so the
+//! batching trade (larger batches amortize transport, smaller ones cut
+//! queueing delay) is visible in one table.
+//!
+//! ```sh
+//! cargo run --release -p heap-bench --bin runtime_sweep
+//! ```
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use heap_parallel::Parallelism;
+use heap_runtime::{
+    deterministic_setup, serve, BatchPolicy, BootstrapService, DeterministicSetup, JobRequest,
+    ParamPreset, Priority, RemoteNode, RuntimeConfig, ServeOptions, ServiceNode,
+};
+use heap_tfhe::LweCiphertext;
+
+/// Jobs pushed through the service per configuration.
+const JOBS: usize = 24;
+/// LWEs per job (blind rotations each job contributes).
+const LWES_PER_JOB: usize = 8;
+/// Client threads submitting concurrently.
+const CLIENTS: usize = 4;
+
+struct Sample {
+    nodes: usize,
+    max_lwes: usize,
+    secs: f64,
+    jobs_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Starts `count` loopback servers, returning their addresses.
+fn spawn_servers(setup: &DeterministicSetup, count: usize) -> Vec<String> {
+    (0..count)
+        .map(|_| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let addr = listener.local_addr().expect("local addr").to_string();
+            let (ctx, boot) = (Arc::clone(&setup.ctx), Arc::clone(&setup.boot));
+            let opts = ServeOptions {
+                parallelism: Parallelism::with_threads(2),
+                fail_after: None,
+            };
+            std::thread::spawn(move || serve(listener, ctx, boot, opts));
+            addr
+        })
+        .collect()
+}
+
+fn job_lwes(setup: &DeterministicSetup, seed: usize) -> Vec<LweCiphertext> {
+    let two_n = 2 * setup.ctx.n() as u64;
+    let n_t = setup.boot.config().n_t;
+    (0..LWES_PER_JOB)
+        .map(|i| LweCiphertext {
+            a: (0..n_t)
+                .map(|j| ((seed * 131 + i * 31 + j * 7) as u64) % two_n)
+                .collect(),
+            b: ((seed * 13 + i) as u64) % two_n,
+            modulus: two_n,
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * p).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+/// Runs the fixed job mix through one service configuration.
+fn run_config(setup: &DeterministicSetup, addrs: &[String], max_lwes: usize) -> Sample {
+    let nodes: Vec<Box<dyn ServiceNode>> = addrs
+        .iter()
+        .map(|addr| {
+            Box::new(RemoteNode::connect(addr, &setup.ctx).expect("connect"))
+                as Box<dyn ServiceNode>
+        })
+        .collect();
+    let node_count = nodes.len();
+    let svc = Arc::new(BootstrapService::start_with_nodes(
+        Arc::clone(&setup.ctx),
+        Arc::clone(&setup.boot),
+        nodes,
+        RuntimeConfig {
+            queue_capacity: JOBS,
+            batch: BatchPolicy {
+                max_lwes,
+                max_delay: Duration::from_millis(2),
+            },
+        },
+    ));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let svc = Arc::clone(&svc);
+            // Inputs are synthesized inside the timed region on purpose:
+            // submission cost is part of the service picture, and an LWE
+            // is cheap next to its blind rotation.
+            let jobs: Vec<Vec<LweCiphertext>> = (0..JOBS / CLIENTS)
+                .map(|j| job_lwes(setup, c * 1000 + j))
+                .collect();
+            std::thread::spawn(move || {
+                jobs.into_iter()
+                    .map(|lwes| {
+                        let handle = svc
+                            .submit(JobRequest::BlindRotate { lwes }, Priority::Normal)
+                            .expect("submit");
+                        let (result, latency) = handle.wait_timed();
+                        result.expect("job failed");
+                        latency
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("client thread"))
+        .collect();
+    let secs = t0.elapsed().as_secs_f64();
+    svc.shutdown();
+    latencies.sort_unstable();
+    Sample {
+        nodes: node_count,
+        max_lwes,
+        secs,
+        jobs_per_sec: latencies.len() as f64 / secs,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let setup = deterministic_setup(ParamPreset::Tiny, 42);
+    let host_cores = heap_parallel::available_threads();
+    let mut node_counts = vec![1usize, 2, 4];
+    node_counts.retain(|&k| k <= host_cores.max(1) * 4);
+    let max_servers = *node_counts.iter().max().expect("non-empty");
+    let addrs = spawn_servers(&setup, max_servers);
+    let batch_sizes = [LWES_PER_JOB, 4 * LWES_PER_JOB, JOBS * LWES_PER_JOB];
+
+    println!(
+        "runtime_sweep: {} jobs x {} LWEs, {} clients, host cores = {}",
+        JOBS, LWES_PER_JOB, CLIENTS, host_cores
+    );
+    println!();
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "nodes", "max_lwes", "secs", "jobs/sec", "p50 ms", "p99 ms"
+    );
+    let mut samples = Vec::new();
+    for &k in &node_counts {
+        for &max_lwes in &batch_sizes {
+            let s = run_config(&setup, &addrs[..k], max_lwes);
+            println!(
+                "{:>6} {:>10} {:>10.3} {:>12.2} {:>10.2} {:>10.2}",
+                s.nodes, s.max_lwes, s.secs, s.jobs_per_sec, s.p50_ms, s.p99_ms
+            );
+            samples.push(s);
+        }
+    }
+
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"nodes\": {}, \"max_lwes\": {}, \"secs\": {:.6}, \
+                 \"jobs_per_sec\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                s.nodes, s.max_lwes, s.secs, s.jobs_per_sec, s.p50_ms, s.p99_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"host_cores\": {host_cores},\n  \"jobs\": {JOBS},\n  \
+         \"lwes_per_job\": {LWES_PER_JOB},\n  \"clients\": {CLIENTS},\n  \
+         \"transport\": \"loopback TCP (in-process servers, heap-node-serve protocol)\",\n  \
+         \"note\": \"latency is submit-to-complete; larger max_lwes trades p50 latency for \
+         throughput; node scaling is bounded by host_cores\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("\nwrote BENCH_runtime.json");
+}

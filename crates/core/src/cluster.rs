@@ -73,10 +73,18 @@ impl ComputeNode for LocalNode {
 /// Ledger of inter-node ciphertext transfers, mirroring the primary →
 /// secondary LWE scatter and secondary → primary RLWE gather that ride
 /// HEAP's 100G CMAC links.
+///
+/// Counts ciphertexts *and* bytes. [`LocalCluster`] records wire-encoded
+/// sizes (what the transfers *would* cost); the `heap-runtime` remote
+/// backend records the bytes actually written to and read from its TCP
+/// sockets, so the ledger becomes a measurement the `heap-hw` CMAC model
+/// can be checked against.
 #[derive(Debug, Default)]
 pub struct TransferLedger {
     lwe_sent: AtomicU64,
     rlwe_received: AtomicU64,
+    lwe_bytes_sent: AtomicU64,
+    rlwe_bytes_received: AtomicU64,
 }
 
 impl TransferLedger {
@@ -88,6 +96,30 @@ impl TransferLedger {
     /// RLWE ciphertexts gathered back to the primary.
     pub fn rlwe_received(&self) -> u64 {
         self.rlwe_received.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of LWE payload scattered from the primary.
+    pub fn lwe_bytes_sent(&self) -> u64 {
+        self.lwe_bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of accumulator payload gathered back to the primary.
+    pub fn rlwe_bytes_received(&self) -> u64 {
+        self.rlwe_bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Records a primary → secondary scatter of `count` LWE ciphertexts
+    /// totalling `bytes` on the wire.
+    pub fn record_scatter(&self, count: u64, bytes: u64) {
+        self.lwe_sent.fetch_add(count, Ordering::Relaxed);
+        self.lwe_bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a secondary → primary gather of `count` accumulator
+    /// ciphertexts totalling `bytes` on the wire.
+    pub fn record_gather(&self, count: u64, bytes: u64) {
+        self.rlwe_received.fetch_add(count, Ordering::Relaxed);
+        self.rlwe_bytes_received.fetch_add(bytes, Ordering::Relaxed);
     }
 }
 
@@ -161,14 +193,11 @@ impl LocalCluster {
         }
         let chunk = lwes.len().div_ceil(n_nodes);
         let chunks: Vec<&[LweCiphertext]> = lwes.chunks(chunk).collect();
-        // Every chunk beyond the primary's own is a scatter + gather.
+        // Every chunk beyond the primary's own is a scatter + gather; the
+        // ledger prices both at wire-encoded sizes.
         for c in chunks.iter().skip(1) {
-            self.ledger
-                .lwe_sent
-                .fetch_add(c.len() as u64, Ordering::Relaxed);
-            self.ledger
-                .rlwe_received
-                .fetch_add(c.len() as u64, Ordering::Relaxed);
+            let bytes: usize = c.iter().map(LweCiphertext::wire_size).sum();
+            self.ledger.record_scatter(c.len() as u64, bytes as u64);
         }
         let mut results: Vec<Vec<RlweCiphertext>> = Vec::new();
         std::thread::scope(|scope| {
@@ -185,6 +214,19 @@ impl LocalCluster {
                 .map(|h| h.join().expect("node thread panicked"))
                 .collect();
         });
+        for gathered in results.iter().skip(1) {
+            let bytes: usize = gathered
+                .iter()
+                .map(|acc| {
+                    let moduli: Vec<u64> = (0..acc.limbs())
+                        .map(|j| ctx.rns().modulus(j).value())
+                        .collect();
+                    acc.wire_size(&moduli)
+                })
+                .sum();
+            self.ledger
+                .record_gather(gathered.len() as u64, bytes as u64);
+        }
         results.into_iter().flatten().collect()
     }
 }
@@ -270,6 +312,18 @@ mod tests {
         assert_eq!(
             cluster.ledger().rlwe_received(),
             cluster.ledger().lwe_sent()
+        );
+        // Byte accounting: every scattered LWE has the same shape
+        // (dim n_t, modulus 2N), every gathered accumulator the same basis.
+        let per_lwe = LweCiphertext::trivial(0, boot.config().n_t, 2 * n as u64).wire_size() as u64;
+        assert_eq!(
+            cluster.ledger().lwe_bytes_sent(),
+            cluster.ledger().lwe_sent() * per_lwe
+        );
+        assert!(cluster.ledger().rlwe_bytes_received() > cluster.ledger().lwe_bytes_sent());
+        assert_eq!(
+            cluster.ledger().rlwe_bytes_received() % cluster.ledger().rlwe_received(),
+            0
         );
     }
 

@@ -102,6 +102,11 @@ impl WireWriter {
         Self::default()
     }
 
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
     /// Appends a `u64`.
     pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
@@ -120,6 +125,13 @@ impl WireWriter {
     /// Appends values packed at `bits` bits each.
     pub fn put_packed(&mut self, values: &[u64], bits: u32) {
         self.buf.extend_from_slice(&pack_bits(values, bits));
+    }
+
+    /// Appends a `u32` length prefix followed by the raw bytes (the frame
+    /// payload primitive used by the runtime's TCP protocol).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Finishes, returning the buffer.
@@ -159,6 +171,11 @@ impl<'a> WireReader<'a> {
         Ok(head)
     }
 
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
     /// Reads a `u64`.
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
         Ok(u64::from_le_bytes(
@@ -182,6 +199,18 @@ impl<'a> WireReader<'a> {
     pub fn get_packed(&mut self, bits: u32, count: usize) -> Result<Vec<u64>, WireError> {
         let bytes = self.take(packed_size(count, bits))?;
         unpack_bits(bytes, bits, count)
+    }
+
+    /// Reads a `u32`-length-prefixed byte string written by
+    /// [`WireWriter::put_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if the announced length exceeds the
+    /// remaining buffer.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
     }
 
     /// Remaining unread bytes.
@@ -250,5 +279,34 @@ mod tests {
     #[should_panic(expected = "exceeds bit width")]
     fn oversized_value_rejected() {
         pack_bits(&[1 << 20], 20);
+    }
+
+    #[test]
+    fn byte_string_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_bytes(b"hello");
+        w.put_bytes(b"");
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_bytes().unwrap(), b"");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn byte_string_truncation_detected() {
+        let mut w = WireWriter::new();
+        w.put_bytes(b"payload");
+        let bytes = w.into_bytes();
+        // Every strict prefix must error, never panic.
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            assert!(r.get_bytes().is_err(), "prefix {cut}");
+        }
+        // A length field pointing past the end is also truncation.
+        let mut r = WireReader::new(&[0xFF, 0xFF, 0xFF, 0x7F, 1, 2]);
+        assert_eq!(r.get_bytes(), Err(WireError::Truncated));
     }
 }

@@ -1,0 +1,147 @@
+//! Dynamic batching: coalesce queued jobs into one LWE mega-batch.
+//!
+//! Blind-rotation throughput on a node is batch-size-friendly (the batch
+//! amortizes thread spawn and keeps every worker busy), but a client's
+//! latency budget caps how long the service may hold its job waiting for
+//! co-travellers. [`BatchPolicy`] expresses the trade: a batch flushes as
+//! soon as it holds [`BatchPolicy::max_lwes`] blind rotations *or* its
+//! oldest job has waited [`BatchPolicy::max_delay`], whichever comes
+//! first. A single job bigger than `max_lwes` (a fully-packed bootstrap
+//! contributes `N` rotations) always flushes alone rather than starving.
+
+use std::time::{Duration, Instant};
+
+use crate::job::PendingJob;
+use crate::queue::{Popped, SubmissionQueue};
+
+/// When to flush a forming batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush once the batch holds this many blind rotations.
+    pub max_lwes: usize,
+    /// Flush once the oldest job in the batch has waited this long.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_lwes: 512,
+            max_delay: Duration::from_millis(5),
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Flush immediately: every job becomes its own batch. Useful for
+    /// latency measurements and deterministic tests.
+    pub fn immediate() -> Self {
+        Self {
+            max_lwes: 1,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Blocks for the next batch: the first job opens the batch and starts
+/// the delay clock; further jobs join until the policy says flush.
+/// Returns `None` once the queue is closed and drained.
+pub(crate) fn collect_batch(
+    queue: &SubmissionQueue,
+    policy: &BatchPolicy,
+) -> Option<Vec<PendingJob>> {
+    let first = queue.pop_wait()?;
+    let deadline = Instant::now() + policy.max_delay;
+    let mut cost = first.cost;
+    let mut batch = vec![first];
+    while cost < policy.max_lwes {
+        match queue.pop_deadline(deadline) {
+            Popped::Job(job) => {
+                cost += job.cost;
+                batch.push(job);
+            }
+            // Closed still flushes what we have; the *next* call returns
+            // `None` and ends the dispatcher.
+            Popped::TimedOut | Popped::Closed => break,
+        }
+    }
+    Some(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobId, JobRequest, JobState, Priority};
+    use heap_tfhe::LweCiphertext;
+
+    fn job(id: u64, cost: usize) -> PendingJob {
+        PendingJob {
+            id: JobId(id),
+            priority: Priority::Normal,
+            request: JobRequest::BlindRotate {
+                lwes: vec![LweCiphertext::trivial(0, 4, 64); cost],
+            },
+            cost,
+            state: JobState::new(),
+        }
+    }
+
+    #[test]
+    fn flushes_on_size() {
+        let q = SubmissionQueue::new(16);
+        for i in 0..5 {
+            q.submit(job(i, 2)).unwrap();
+        }
+        let policy = BatchPolicy {
+            max_lwes: 6,
+            max_delay: Duration::from_secs(10),
+        };
+        let batch = collect_batch(&q, &policy).unwrap();
+        // 2 + 2 + 2 = 6 reaches the threshold; the rest stay queued.
+        assert_eq!(batch.len(), 3);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn flushes_on_deadline_with_partial_batch() {
+        let q = SubmissionQueue::new(16);
+        q.submit(job(0, 1)).unwrap();
+        let policy = BatchPolicy {
+            max_lwes: 1000,
+            max_delay: Duration::from_millis(10),
+        };
+        let start = Instant::now();
+        let batch = collect_batch(&q, &policy).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn oversized_job_flushes_alone() {
+        let q = SubmissionQueue::new(16);
+        q.submit(job(0, 999)).unwrap();
+        q.submit(job(1, 1)).unwrap();
+        let policy = BatchPolicy {
+            max_lwes: 8,
+            max_delay: Duration::from_secs(10),
+        };
+        let batch = collect_batch(&q, &policy).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].id.0, 0);
+    }
+
+    #[test]
+    fn closed_queue_flushes_remainder_then_ends() {
+        let q = SubmissionQueue::new(16);
+        q.submit(job(0, 1)).unwrap();
+        q.submit(job(1, 1)).unwrap();
+        q.close();
+        let policy = BatchPolicy {
+            max_lwes: 100,
+            max_delay: Duration::from_secs(10),
+        };
+        let batch = collect_batch(&q, &policy).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(collect_batch(&q, &policy).is_none());
+    }
+}

@@ -1,0 +1,129 @@
+//! `heap-node-serve` — run one secondary compute node as a process.
+//!
+//! ```text
+//! heap-node-serve --addr 127.0.0.1:7001 --preset tiny --seed 42
+//! ```
+//!
+//! The node regenerates its key material deterministically from
+//! `(--preset, --seed)` — start every node and the client with the same
+//! pair and they agree bit-for-bit (see `heap_runtime::deterministic_setup`
+//! for the security caveat). Once keys are ready and the socket is bound
+//! it prints `LISTENING <addr>` on stdout, which is what the integration
+//! tests and the quick-start in README.md wait for.
+//!
+//! Options:
+//!
+//! - `--addr HOST:PORT` — listen address (default `127.0.0.1:0`,
+//!   an ephemeral port, printed in the `LISTENING` line)
+//! - `--preset tiny|small|medium` — parameter preset (default `tiny`)
+//! - `--seed N` — key-generation seed (default `42`)
+//! - `--threads N` — blind-rotation thread budget (default: the
+//!   `HEAP_THREADS` env var, else all hardware threads)
+//! - `--fail-after N` — serve `N` blind-rotate requests, then drop the
+//!   connection and refuse all future ones (failure injection for the
+//!   reassignment tests)
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use heap_parallel::Parallelism;
+use heap_runtime::{deterministic_setup, serve, ParamPreset, ServeOptions};
+
+struct Args {
+    addr: String,
+    preset: ParamPreset,
+    seed: u64,
+    threads: Option<usize>,
+    fail_after: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        preset: ParamPreset::Tiny,
+        seed: 42,
+        threads: None,
+        fail_after: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--preset" => args.preset = value("--preset")?.parse()?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--fail-after" => {
+                args.fail_after = Some(
+                    value("--fail-after")?
+                        .parse()
+                        .map_err(|e| format!("--fail-after: {e}"))?,
+                )
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: heap-node-serve [--addr HOST:PORT] [--preset tiny|small|medium] \
+                            [--seed N] [--threads N] [--fail-after N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parallelism = match args.threads {
+        Some(t) => Parallelism::with_threads(t),
+        None => Parallelism::from_env(),
+    };
+    eprintln!(
+        "heap-node-serve: generating keys (preset={}, seed={}) ...",
+        args.preset, args.seed
+    );
+    let setup = deterministic_setup(args.preset, args.seed);
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("heap-node-serve: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| args.addr.clone());
+    // The readiness line scripts and tests wait for.
+    println!("LISTENING {addr}");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    let opts = ServeOptions {
+        parallelism,
+        fail_after: args.fail_after,
+    };
+    match serve(listener, setup.ctx, setup.boot, opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("heap-node-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Multi-client bootstrapping service runtime for the HEAP reproduction.
+//!
+//! HEAP's deployment model (paper §V) is a *service*: a primary FPGA
+//! accepts bootstrapping requests, fans the data-independent blind
+//! rotations out over secondary FPGAs, and repacks the results. This crate
+//! is the software analogue of that service, layered as:
+//!
+//! 1. **Jobs** ([`job`]) — typed requests ([`JobRequest::Bootstrap`],
+//!    [`JobRequest::BlindRotate`]) carrying a [`JobId`] and [`Priority`],
+//!    submitted into a bounded queue with backpressure and completed
+//!    through a [`JobHandle`].
+//! 2. **Batching + scheduling** ([`batch`], [`scheduler`]) — a dynamic
+//!    batcher coalesces queued jobs into LWE mega-batches (flushing on
+//!    size or deadline), and the scheduler shards each batch across
+//!    [`ServiceNode`]s least-loaded-first, reassembling results in input
+//!    order and reassigning a shard when a node fails.
+//! 3. **Remote backend** ([`remote`]) — [`RemoteNode`] speaks the
+//!    [`remote`] frame protocol over `std::net::TcpStream` to a
+//!    `heap-node-serve` process, using the `heap-tfhe` wire encodings, so
+//!    a `TransferLedger` fed by it records bytes *measured on a real
+//!    socket* rather than modeled.
+//!
+//! The primary/secondary split mirrors the paper exactly: extraction,
+//!  modulus switching, and repacking stay on the primary (this process);
+//! only the embarrassingly parallel blind rotations travel.
+//!
+//! ```no_run
+//! use heap_runtime::{BootstrapService, ParamPreset, RuntimeConfig};
+//!
+//! let setup = heap_runtime::deterministic_setup(ParamPreset::Tiny, 42);
+//! let service = BootstrapService::start(setup.ctx, setup.boot, RuntimeConfig::default());
+//! // submit jobs from any number of client threads, then:
+//! service.shutdown();
+//! ```
+
+mod batch;
+mod job;
+mod node;
+mod preset;
+mod queue;
+mod remote;
+mod scheduler;
+mod service;
+
+pub use batch::BatchPolicy;
+pub use job::{JobHandle, JobId, JobOutput, JobRequest, Priority};
+pub use node::{LocalServiceNode, NodeError, ServiceNode};
+pub use preset::{deterministic_setup, DeterministicSetup, ParamPreset};
+pub use remote::{serve, RemoteNode, ServeOptions};
+pub use scheduler::{Scheduler, SchedulerStats};
+pub use service::{BootstrapService, RuntimeConfig, RuntimeStats};
+
+/// Errors surfaced to clients of the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The submission queue is at capacity (only from `try_submit`).
+    QueueFull,
+    /// The service is shutting down; the job was not (or will not be)
+    /// executed.
+    Shutdown,
+    /// The request failed validation at submission time.
+    Invalid(&'static str),
+    /// Every node failed while executing the job's batch; the message
+    /// carries the last node error observed.
+    AllNodesFailed(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::QueueFull => write!(f, "submission queue full"),
+            RuntimeError::Shutdown => write!(f, "service shut down"),
+            RuntimeError::Invalid(why) => write!(f, "invalid request: {why}"),
+            RuntimeError::AllNodesFailed(last) => {
+                write!(f, "all compute nodes failed (last error: {last})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

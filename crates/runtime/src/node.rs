@@ -1,0 +1,102 @@
+//! The fallible compute-node abstraction used by the scheduler.
+//!
+//! `heap-core`'s `ComputeNode` is infallible — appropriate for in-process
+//! nodes, but a remote node can lose its connection mid-batch. The
+//! scheduler therefore dispatches through [`ServiceNode`], whose batch
+//! call returns a [`Result`], and treats any `Err` as "this node is gone:
+//! reassign its shard". [`LocalServiceNode`] adapts the in-process
+//! executor; [`crate::RemoteNode`] implements both traits.
+
+use heap_ckks::CkksContext;
+use heap_core::{Bootstrapper, ComputeNode};
+use heap_parallel::Parallelism;
+use heap_tfhe::{LweCiphertext, RlweCiphertext};
+
+/// Why a node failed to execute a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeError {
+    /// Transport failure (connect, read, write, or peer hangup).
+    Io(String),
+    /// The peer sent bytes that do not decode as the expected frame.
+    Protocol(String),
+    /// The peer reported an error frame of its own.
+    Remote(String),
+    /// The reply decoded but does not match the request shape.
+    Mismatch(&'static str),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::Io(e) => write!(f, "transport error: {e}"),
+            NodeError::Protocol(e) => write!(f, "protocol error: {e}"),
+            NodeError::Remote(e) => write!(f, "remote node error: {e}"),
+            NodeError::Mismatch(why) => write!(f, "reply mismatch: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+/// A compute node the scheduler can dispatch to, with failure reporting.
+pub trait ServiceNode: Send + Sync {
+    /// Executes blind rotations for `lwes`, returning one accumulator per
+    /// input in order, or an error if the node cannot complete the batch.
+    fn try_blind_rotate_batch(
+        &self,
+        ctx: &CkksContext,
+        boot: &Bootstrapper,
+        lwes: &[LweCiphertext],
+    ) -> Result<Vec<RlweCiphertext>, NodeError>;
+
+    /// Human-readable node name (diagnostics and stats).
+    fn name(&self) -> String {
+        "node".to_string()
+    }
+}
+
+/// An in-process node: executes on a bounded thread pool, never fails.
+#[derive(Debug, Default)]
+pub struct LocalServiceNode {
+    /// Node index (naming only).
+    pub index: usize,
+    /// Thread budget for this node's batches.
+    pub parallelism: Parallelism,
+}
+
+impl LocalServiceNode {
+    /// A local node named `local-{index}` with the given thread budget.
+    pub fn new(index: usize, parallelism: Parallelism) -> Self {
+        Self { index, parallelism }
+    }
+}
+
+impl ServiceNode for LocalServiceNode {
+    fn try_blind_rotate_batch(
+        &self,
+        ctx: &CkksContext,
+        boot: &Bootstrapper,
+        lwes: &[LweCiphertext],
+    ) -> Result<Vec<RlweCiphertext>, NodeError> {
+        Ok(boot.blind_rotate_batch_par(ctx, lwes, self.parallelism))
+    }
+
+    fn name(&self) -> String {
+        format!("local-{}", self.index)
+    }
+}
+
+impl ComputeNode for LocalServiceNode {
+    fn blind_rotate_batch(
+        &self,
+        ctx: &CkksContext,
+        boot: &Bootstrapper,
+        lwes: &[LweCiphertext],
+    ) -> Vec<RlweCiphertext> {
+        boot.blind_rotate_batch_par(ctx, lwes, self.parallelism)
+    }
+
+    fn name(&self) -> String {
+        ServiceNode::name(self)
+    }
+}

@@ -1,0 +1,143 @@
+//! Named parameter presets and deterministic key setup.
+//!
+//! A remote node must hold the *same* evaluation keys as the primary.
+//! Rather than shipping multi-megabyte key material over the wire, both
+//! sides regenerate it from a shared `(preset, seed)` pair: key generation
+//! is a deterministic function of the RNG stream, so identical seeds yield
+//! bit-identical `Bootstrapper`s in separate processes. This is a
+//! *reproduction convenience*, not a deployment pattern — a real service
+//! distributes public evaluation keys and never shares the seed that
+//! derives the secret key (see DESIGN.md).
+
+use std::str::FromStr;
+use std::sync::Arc;
+
+use heap_ckks::{CkksContext, CkksParams, SecretKey};
+use heap_core::{BootstrapConfig, Bootstrapper};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Named parameter sets shared by client and server by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParamPreset {
+    /// `N = 128` toy ring — seconds-fast, used by tests and loopback CI.
+    #[default]
+    Tiny,
+    /// `N = 256` small ring.
+    Small,
+    /// `N = 1024` medium ring.
+    Medium,
+}
+
+impl ParamPreset {
+    /// The CKKS parameters for this preset.
+    pub fn ckks_params(self) -> CkksParams {
+        match self {
+            ParamPreset::Tiny => CkksParams::test_tiny(),
+            ParamPreset::Small => CkksParams::test_small(),
+            ParamPreset::Medium => CkksParams::test_medium(),
+        }
+    }
+
+    /// The bootstrap configuration paired with this preset.
+    pub fn bootstrap_config(self) -> BootstrapConfig {
+        BootstrapConfig::test_small()
+    }
+
+    /// The preset's wire name (accepted back by [`ParamPreset::from_str`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            ParamPreset::Tiny => "tiny",
+            ParamPreset::Small => "small",
+            ParamPreset::Medium => "medium",
+        }
+    }
+}
+
+impl FromStr for ParamPreset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "tiny" => Ok(ParamPreset::Tiny),
+            "small" => Ok(ParamPreset::Small),
+            "medium" => Ok(ParamPreset::Medium),
+            other => Err(format!("unknown preset '{other}' (tiny|small|medium)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ParamPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything a process needs to act as primary or secondary.
+pub struct DeterministicSetup {
+    /// The CKKS context for the preset.
+    pub ctx: Arc<CkksContext>,
+    /// The secret key (tests encrypt/decrypt with it; servers only need
+    /// it transitively through key generation).
+    pub sk: SecretKey,
+    /// Evaluation keys — bit-identical across processes for the same
+    /// `(preset, seed)`.
+    pub boot: Arc<Bootstrapper>,
+}
+
+/// Regenerates context, secret key, and bootstrap keys from `(preset,
+/// seed)`. Two processes calling this with equal arguments hold
+/// bit-identical key material.
+pub fn deterministic_setup(preset: ParamPreset, seed: u64) -> DeterministicSetup {
+    let ctx = Arc::new(CkksContext::new(preset.ckks_params()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let boot = Arc::new(Bootstrapper::generate(
+        &ctx,
+        &sk,
+        preset.bootstrap_config(),
+        &mut rng,
+    ));
+    DeterministicSetup { ctx, sk, boot }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_names_round_trip() {
+        for p in [ParamPreset::Tiny, ParamPreset::Small, ParamPreset::Medium] {
+            assert_eq!(p.name().parse::<ParamPreset>().unwrap(), p);
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert!("giant".parse::<ParamPreset>().is_err());
+    }
+
+    #[test]
+    fn same_seed_regenerates_identical_keys() {
+        let a = deterministic_setup(ParamPreset::Tiny, 7);
+        let b = deterministic_setup(ParamPreset::Tiny, 7);
+        assert_eq!(a.sk.coeffs(), b.sk.coeffs());
+        // The evaluation keys must agree too: a blind rotation of the same
+        // LWE through both bootstrappers is bit-identical.
+        let lwe = heap_tfhe::LweCiphertext {
+            a: (0..a.boot.config().n_t as u64).collect(),
+            b: 17,
+            modulus: 2 * a.ctx.n() as u64,
+        };
+        let moduli: Vec<u64> = (0..a.ctx.boot_limbs())
+            .map(|j| a.ctx.rns().modulus(j).value())
+            .collect();
+        let ra = a.boot.blind_rotate_one(&a.ctx, &lwe).to_wire(&moduli);
+        let rb = b.boot.blind_rotate_one(&b.ctx, &lwe).to_wire(&moduli);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = deterministic_setup(ParamPreset::Tiny, 1);
+        let b = deterministic_setup(ParamPreset::Tiny, 2);
+        assert_ne!(a.sk.coeffs(), b.sk.coeffs());
+    }
+}

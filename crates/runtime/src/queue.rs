@@ -1,0 +1,263 @@
+//! Bounded priority submission queue with backpressure.
+//!
+//! Producers ([`crate::BootstrapService::submit`]) block when the queue is
+//! at capacity — heavy traffic slows clients down instead of growing an
+//! unbounded backlog — or use the non-blocking `try_` path and handle
+//! [`RuntimeError::QueueFull`] themselves. The single consumer (the
+//! dispatcher) pops in `(priority desc, submission order)` and supports a
+//! deadline-bounded pop, which is what the dynamic batcher's flush timer
+//! is built from.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::job::{PendingJob, Priority};
+use crate::RuntimeError;
+
+/// Heap entry: priority first, then FIFO within a priority class.
+struct Entry {
+    priority: Priority,
+    seq: u64,
+    job: PendingJob,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority wins; among equals, *lower* seq wins.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// Outcome of a deadline-bounded pop.
+pub(crate) enum Popped {
+    /// A job was available (or arrived) in time.
+    Job(PendingJob),
+    /// The deadline passed with the queue empty.
+    TimedOut,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+/// The bounded priority queue; see module docs.
+pub(crate) struct SubmissionQueue {
+    inner: Mutex<Inner>,
+    /// Signals consumers: a job arrived or the queue closed.
+    ready: Condvar,
+    /// Signals producers: capacity freed up.
+    space: Condvar,
+    capacity: usize,
+}
+
+impl SubmissionQueue {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue needs capacity for at least one job");
+        Self {
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Queued (not yet dispatched) job count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").heap.len()
+    }
+
+    /// Blocking submit: waits for capacity (backpressure).
+    pub fn submit(&self, job: PendingJob) -> Result<(), RuntimeError> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        while inner.heap.len() >= self.capacity && !inner.closed {
+            inner = self.space.wait(inner).expect("queue poisoned");
+        }
+        self.push_locked(inner, job)
+    }
+
+    /// Non-blocking submit: fails fast when at capacity.
+    pub fn try_submit(&self, job: PendingJob) -> Result<(), RuntimeError> {
+        let inner = self.inner.lock().expect("queue poisoned");
+        if !inner.closed && inner.heap.len() >= self.capacity {
+            return Err(RuntimeError::QueueFull);
+        }
+        self.push_locked(inner, job)
+    }
+
+    fn push_locked(
+        &self,
+        mut inner: std::sync::MutexGuard<'_, Inner>,
+        job: PendingJob,
+    ) -> Result<(), RuntimeError> {
+        if inner.closed {
+            return Err(RuntimeError::Shutdown);
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.heap.push(Entry {
+            priority: job.priority,
+            seq,
+            job,
+        });
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available; `None` once closed and drained.
+    pub fn pop_wait(&self) -> Option<PendingJob> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(e) = inner.heap.pop() {
+                self.space.notify_one();
+                return Some(e.job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Pops a job, waiting at most until `deadline`.
+    pub fn pop_deadline(&self, deadline: Instant) -> Popped {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(e) = inner.heap.pop() {
+                self.space.notify_one();
+                return Popped::Job(e.job);
+            }
+            if inner.closed {
+                return Popped::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Popped::TimedOut;
+            }
+            let (guard, timeout) = self
+                .ready
+                .wait_timeout(inner, deadline - now)
+                .expect("queue poisoned");
+            inner = guard;
+            if timeout.timed_out() && inner.heap.is_empty() {
+                return if inner.closed {
+                    Popped::Closed
+                } else {
+                    Popped::TimedOut
+                };
+            }
+        }
+    }
+
+    /// Closes the queue: submits fail, consumers drain what remains.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobId, JobRequest, JobState};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn job(id: u64, priority: Priority) -> PendingJob {
+        PendingJob {
+            id: JobId(id),
+            priority,
+            request: JobRequest::BlindRotate { lwes: vec![] },
+            cost: 1,
+            state: JobState::new(),
+        }
+    }
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = SubmissionQueue::new(8);
+        q.submit(job(0, Priority::Low)).unwrap();
+        q.submit(job(1, Priority::Normal)).unwrap();
+        q.submit(job(2, Priority::High)).unwrap();
+        q.submit(job(3, Priority::Normal)).unwrap();
+        let order: Vec<u64> = (0..4).map(|_| q.pop_wait().unwrap().id.0).collect();
+        assert_eq!(order, vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn try_submit_reports_backpressure() {
+        let q = SubmissionQueue::new(2);
+        q.try_submit(job(0, Priority::Normal)).unwrap();
+        q.try_submit(job(1, Priority::Normal)).unwrap();
+        assert!(matches!(
+            q.try_submit(job(2, Priority::Normal)),
+            Err(RuntimeError::QueueFull)
+        ));
+        q.pop_wait().unwrap();
+        q.try_submit(job(2, Priority::Normal)).unwrap();
+    }
+
+    #[test]
+    fn blocking_submit_waits_for_space() {
+        let q = Arc::new(SubmissionQueue::new(1));
+        q.submit(job(0, Priority::Normal)).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.submit(job(1, Priority::Normal)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop_wait().unwrap().id.0, 0);
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop_wait().unwrap().id.0, 1);
+    }
+
+    #[test]
+    fn deadline_pop_times_out_then_delivers() {
+        let q = SubmissionQueue::new(4);
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert!(matches!(q.pop_deadline(deadline), Popped::TimedOut));
+        q.submit(job(5, Priority::Normal)).unwrap();
+        match q.pop_deadline(Instant::now() + Duration::from_secs(5)) {
+            Popped::Job(j) => assert_eq!(j.id.0, 5),
+            _ => panic!("expected job"),
+        }
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = SubmissionQueue::new(4);
+        q.submit(job(0, Priority::Normal)).unwrap();
+        q.close();
+        assert!(matches!(
+            q.submit(job(1, Priority::Normal)),
+            Err(RuntimeError::Shutdown)
+        ));
+        assert!(q.pop_wait().is_some());
+        assert!(q.pop_wait().is_none());
+        assert!(matches!(
+            q.pop_deadline(Instant::now() + Duration::from_millis(5)),
+            Popped::Closed
+        ));
+    }
+}

@@ -1,0 +1,522 @@
+//! Remote compute nodes over TCP.
+//!
+//! [`RemoteNode`] turns any `heap-node-serve` process into a secondary:
+//! it speaks a minimal length-prefixed frame protocol over
+//! `std::net::TcpStream`, shipping LWE batches out with the `heap-tfhe`
+//! wire encodings and reading accumulator batches back. Accumulators are
+//! serialized verbatim in the evaluation domain, so a remote round trip
+//! is bit-identical to local execution — the E2E tests assert it.
+//!
+//! # Frame format
+//!
+//! Every frame is a 13-byte header followed by a payload:
+//!
+//! ```text
+//! magic  "HRT1"  u32 LE   (protocol + version in one)
+//! kind            u8      (Hello … Shutdown, below)
+//! len             u64 LE  (payload bytes)
+//! ```
+//!
+//! A session is `Hello → HelloAck` (both directions validate the ring
+//! shape: `N`, boot limbs, `q_0`) followed by any number of
+//! `BlindRotateReq → BlindRotateResp` exchanges. Either side may send
+//! `Error` (UTF-8 reason) and hang up; `Shutdown` ends the session
+//! cleanly.
+//!
+//! When a [`TransferLedger`] is attached, the node records the bytes it
+//! *actually* writes to and reads from the socket — headers included —
+//! turning the ledger from a model into a measurement.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use heap_ckks::CkksContext;
+use heap_core::{Bootstrapper, ComputeNode, TransferLedger};
+use heap_parallel::Parallelism;
+use heap_tfhe::{
+    lwe_batch_from_wire, lwe_batch_to_wire, rlwe_batch_from_wire, rlwe_batch_to_wire,
+    LweCiphertext, RlweCiphertext,
+};
+
+use crate::node::{NodeError, ServiceNode};
+
+/// `"HRT1"` — HEAP runtime transport, version 1.
+const FRAME_MAGIC: u32 = 0x4852_5431;
+/// Header bytes preceding every payload (magic + kind + length).
+pub(crate) const FRAME_HEADER_BYTES: u64 = 4 + 1 + 8;
+/// Upper bound on a sane payload; anything larger is a corrupt peer.
+const MAX_FRAME: u64 = 1 << 30;
+/// Hello payload: `u32 n, u32 boot_limbs, u64 q0`.
+const HELLO_BYTES: usize = 16;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameKind {
+    Hello = 0,
+    HelloAck = 1,
+    BlindRotateReq = 2,
+    BlindRotateResp = 3,
+    Error = 4,
+    Shutdown = 5,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(FrameKind::Hello),
+            1 => Some(FrameKind::HelloAck),
+            2 => Some(FrameKind::BlindRotateReq),
+            3 => Some(FrameKind::BlindRotateResp),
+            4 => Some(FrameKind::Error),
+            5 => Some(FrameKind::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Writes one frame; returns total bytes put on the wire.
+fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> std::io::Result<u64> {
+    let mut header = [0u8; FRAME_HEADER_BYTES as usize];
+    header[..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+    header[4] = kind as u8;
+    header[5..].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(FRAME_HEADER_BYTES + payload.len() as u64)
+}
+
+/// Reads one frame; returns kind, payload, and total bytes consumed.
+fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>, u64), NodeError> {
+    let mut header = [0u8; FRAME_HEADER_BYTES as usize];
+    r.read_exact(&mut header)
+        .map_err(|e| NodeError::Io(e.to_string()))?;
+    let magic = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+    if magic != FRAME_MAGIC {
+        return Err(NodeError::Protocol(format!(
+            "bad frame magic {magic:#010x}"
+        )));
+    }
+    let kind = FrameKind::from_u8(header[4])
+        .ok_or_else(|| NodeError::Protocol(format!("unknown frame kind {}", header[4])))?;
+    let len = u64::from_le_bytes(header[5..].try_into().expect("8 bytes"));
+    if len > MAX_FRAME {
+        return Err(NodeError::Protocol(format!(
+            "oversized frame ({len} bytes)"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| NodeError::Io(e.to_string()))?;
+    Ok((kind, payload, FRAME_HEADER_BYTES + len))
+}
+
+/// The ring shape both sides must agree on before any ciphertext moves.
+fn hello_payload(ctx: &CkksContext) -> Vec<u8> {
+    let mut p = Vec::with_capacity(HELLO_BYTES);
+    p.extend_from_slice(&(ctx.n() as u32).to_le_bytes());
+    p.extend_from_slice(&(ctx.boot_limbs() as u32).to_le_bytes());
+    p.extend_from_slice(&ctx.q_modulus(0).value().to_le_bytes());
+    p
+}
+
+fn check_hello(ctx: &CkksContext, payload: &[u8]) -> Result<(), String> {
+    if payload.len() != HELLO_BYTES {
+        return Err(format!("hello payload is {} bytes", payload.len()));
+    }
+    let n = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes"));
+    let limbs = u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes"));
+    let q0 = u64::from_le_bytes(payload[8..].try_into().expect("8 bytes"));
+    if n as usize != ctx.n() || limbs as usize != ctx.boot_limbs() || q0 != ctx.q_modulus(0).value()
+    {
+        return Err(format!(
+            "ring shape mismatch: peer (N={n}, limbs={limbs}, q0={q0}) \
+             vs local (N={}, limbs={}, q0={})",
+            ctx.n(),
+            ctx.boot_limbs(),
+            ctx.q_modulus(0).value()
+        ));
+    }
+    Ok(())
+}
+
+/// A secondary compute node reached over TCP.
+///
+/// The connection is request–response under an internal lock, so a
+/// `RemoteNode` is safe to share; the scheduler gives each node one shard
+/// per batch anyway.
+pub struct RemoteNode {
+    name: String,
+    stream: Mutex<TcpStream>,
+    ledger: Option<Arc<TransferLedger>>,
+}
+
+impl RemoteNode {
+    /// Connects and handshakes with the server at `addr`, validating that
+    /// it serves the same ring shape as `ctx`.
+    pub fn connect(addr: &str, ctx: &CkksContext) -> Result<Self, NodeError> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| NodeError::Io(e.to_string()))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| NodeError::Io(e.to_string()))?;
+        write_frame(&mut stream, FrameKind::Hello, &hello_payload(ctx))
+            .map_err(|e| NodeError::Io(e.to_string()))?;
+        let (kind, payload, _) = read_frame(&mut stream)?;
+        match kind {
+            FrameKind::HelloAck => check_hello(ctx, &payload).map_err(NodeError::Protocol)?,
+            FrameKind::Error => {
+                return Err(NodeError::Remote(
+                    String::from_utf8_lossy(&payload).into_owned(),
+                ))
+            }
+            other => {
+                return Err(NodeError::Protocol(format!(
+                    "expected HelloAck, got {other:?}"
+                )))
+            }
+        }
+        Ok(Self {
+            name: format!("remote-{addr}"),
+            stream: Mutex::new(stream),
+            ledger: None,
+        })
+    }
+
+    /// Attaches a ledger; subsequent batches record measured socket bytes.
+    pub fn with_ledger(mut self, ledger: Arc<TransferLedger>) -> Self {
+        self.ledger = Some(ledger);
+        self
+    }
+
+    /// Best-effort clean session end (the server closes the connection).
+    pub fn shutdown(&self) {
+        if let Ok(mut stream) = self.stream.lock() {
+            let _ = write_frame(&mut *stream, FrameKind::Shutdown, &[]);
+        }
+    }
+}
+
+impl std::fmt::Debug for RemoteNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteNode")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl ServiceNode for RemoteNode {
+    fn try_blind_rotate_batch(
+        &self,
+        _ctx: &CkksContext,
+        _boot: &Bootstrapper,
+        lwes: &[LweCiphertext],
+    ) -> Result<Vec<RlweCiphertext>, NodeError> {
+        let request = lwe_batch_to_wire(lwes);
+        let mut stream = self.stream.lock().expect("remote stream poisoned");
+        let sent = write_frame(&mut *stream, FrameKind::BlindRotateReq, &request)
+            .map_err(|e| NodeError::Io(e.to_string()))?;
+        if let Some(ledger) = &self.ledger {
+            ledger.record_scatter(lwes.len() as u64, sent);
+        }
+        let (kind, payload, received) = read_frame(&mut *stream)?;
+        let accs = match kind {
+            FrameKind::BlindRotateResp => rlwe_batch_from_wire(&payload)
+                .map_err(|e| NodeError::Protocol(format!("bad accumulator batch: {e:?}")))?,
+            FrameKind::Error => {
+                return Err(NodeError::Remote(
+                    String::from_utf8_lossy(&payload).into_owned(),
+                ))
+            }
+            other => {
+                return Err(NodeError::Protocol(format!(
+                    "expected BlindRotateResp, got {other:?}"
+                )))
+            }
+        };
+        if accs.len() != lwes.len() {
+            return Err(NodeError::Mismatch("accumulator count != request count"));
+        }
+        if let Some(ledger) = &self.ledger {
+            ledger.record_gather(accs.len() as u64, received);
+        }
+        Ok(accs)
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl ComputeNode for RemoteNode {
+    /// Infallible adapter for `heap-core` call sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transport fails — use [`ServiceNode`] (the scheduler
+    /// does) when failures must be survivable.
+    fn blind_rotate_batch(
+        &self,
+        ctx: &CkksContext,
+        boot: &Bootstrapper,
+        lwes: &[LweCiphertext],
+    ) -> Vec<RlweCiphertext> {
+        self.try_blind_rotate_batch(ctx, boot, lwes)
+            .unwrap_or_else(|e| panic!("remote node {}: {e}", self.name))
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// Server-side knobs for [`serve`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Thread budget for this node's blind rotations (one FPGA's worth of
+    /// compute in the paper's terms).
+    pub parallelism: Parallelism,
+    /// Failure injection: serve this many blind-rotate requests, then die
+    /// — drop the in-flight connection without replying and refuse all
+    /// future ones. `None` serves forever.
+    pub fail_after: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            parallelism: Parallelism::max(),
+            fail_after: None,
+        }
+    }
+}
+
+/// Serves blind-rotation requests on `listener` until the process exits.
+///
+/// Each connection gets its own thread; all share the node's key material
+/// and thread budget. Callable in-process (benches spawn it on a
+/// background thread) or from the `heap-node-serve` binary.
+pub fn serve(
+    listener: TcpListener,
+    ctx: Arc<CkksContext>,
+    boot: Arc<Bootstrapper>,
+    opts: ServeOptions,
+) -> std::io::Result<()> {
+    let served = Arc::new(AtomicU64::new(0));
+    let poisoned = Arc::new(AtomicBool::new(false));
+    for conn in listener.incoming() {
+        let stream = conn?;
+        if poisoned.load(Ordering::Relaxed) {
+            // A "dead" node: accept() succeeded at the OS level but the
+            // session is dropped before the handshake, so clients see EOF.
+            drop(stream);
+            continue;
+        }
+        let (ctx, boot, served, poisoned) = (
+            Arc::clone(&ctx),
+            Arc::clone(&boot),
+            Arc::clone(&served),
+            Arc::clone(&poisoned),
+        );
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, &ctx, &boot, opts, &served, &poisoned);
+        });
+    }
+    Ok(())
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    ctx: &CkksContext,
+    boot: &Bootstrapper,
+    opts: ServeOptions,
+    served: &AtomicU64,
+    poisoned: &AtomicBool,
+) -> Result<(), NodeError> {
+    stream
+        .set_nodelay(true)
+        .map_err(|e| NodeError::Io(e.to_string()))?;
+    let (kind, payload, _) = read_frame(&mut stream)?;
+    if kind != FrameKind::Hello {
+        let _ = write_frame(&mut stream, FrameKind::Error, b"expected Hello");
+        return Err(NodeError::Protocol("expected Hello".into()));
+    }
+    if let Err(why) = check_hello(ctx, &payload) {
+        let _ = write_frame(&mut stream, FrameKind::Error, why.as_bytes());
+        return Err(NodeError::Protocol(why));
+    }
+    write_frame(&mut stream, FrameKind::HelloAck, &hello_payload(ctx))
+        .map_err(|e| NodeError::Io(e.to_string()))?;
+    let moduli: Vec<u64> = (0..ctx.boot_limbs())
+        .map(|j| ctx.rns().modulus(j).value())
+        .collect();
+    loop {
+        let (kind, payload, _) = read_frame(&mut stream)?;
+        match kind {
+            FrameKind::BlindRotateReq => {
+                if let Some(limit) = opts.fail_after {
+                    if served.fetch_add(1, Ordering::Relaxed) >= limit {
+                        poisoned.store(true, Ordering::Relaxed);
+                        // Die mid-request: no reply, connection dropped.
+                        return Ok(());
+                    }
+                }
+                let lwes = match lwe_batch_from_wire(&payload) {
+                    Ok(lwes) => lwes,
+                    Err(e) => {
+                        let why = format!("bad LWE batch: {e:?}");
+                        let _ = write_frame(&mut stream, FrameKind::Error, why.as_bytes());
+                        return Err(NodeError::Protocol(why));
+                    }
+                };
+                let accs = boot.blind_rotate_batch_par(ctx, &lwes, opts.parallelism);
+                let resp = rlwe_batch_to_wire(&accs, &moduli);
+                write_frame(&mut stream, FrameKind::BlindRotateResp, &resp)
+                    .map_err(|e| NodeError::Io(e.to_string()))?;
+            }
+            FrameKind::Shutdown => return Ok(()),
+            other => {
+                let why = format!("unexpected frame {other:?}");
+                let _ = write_frame(&mut stream, FrameKind::Error, why.as_bytes());
+                return Err(NodeError::Protocol(why));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preset::{deterministic_setup, DeterministicSetup, ParamPreset};
+    use std::sync::OnceLock;
+
+    fn setup() -> &'static DeterministicSetup {
+        static SETUP: OnceLock<DeterministicSetup> = OnceLock::new();
+        SETUP.get_or_init(|| deterministic_setup(ParamPreset::Tiny, 99))
+    }
+
+    /// Binds an ephemeral port, spawns the server, returns its address.
+    fn spawn_server(opts: ServeOptions) -> String {
+        let s = setup();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let (ctx, boot) = (Arc::clone(&s.ctx), Arc::clone(&s.boot));
+        std::thread::spawn(move || serve(listener, ctx, boot, opts));
+        addr
+    }
+
+    fn test_lwes(count: usize) -> Vec<LweCiphertext> {
+        let s = setup();
+        let two_n = 2 * s.ctx.n() as u64;
+        (0..count)
+            .map(|i| LweCiphertext {
+                a: (0..s.boot.config().n_t)
+                    .map(|j| ((i * 31 + j * 7) as u64) % two_n)
+                    .collect(),
+                b: (i as u64 * 13) % two_n,
+                modulus: two_n,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn remote_round_trip_is_bit_identical_to_local() {
+        let s = setup();
+        let addr = spawn_server(ServeOptions {
+            parallelism: Parallelism::with_threads(2),
+            fail_after: None,
+        });
+        let node = RemoteNode::connect(&addr, &s.ctx).expect("connect");
+        let lwes = test_lwes(5);
+        let remote = node
+            .try_blind_rotate_batch(&s.ctx, &s.boot, &lwes)
+            .expect("remote batch");
+        let local = s
+            .boot
+            .blind_rotate_batch_par(&s.ctx, &lwes, Parallelism::serial());
+        let moduli: Vec<u64> = (0..s.ctx.boot_limbs())
+            .map(|j| s.ctx.rns().modulus(j).value())
+            .collect();
+        assert_eq!(remote.len(), local.len());
+        for (r, l) in remote.iter().zip(&local) {
+            assert_eq!(r.to_wire(&moduli), l.to_wire(&moduli));
+        }
+        node.shutdown();
+    }
+
+    #[test]
+    fn ledger_measures_actual_socket_bytes() {
+        let s = setup();
+        let addr = spawn_server(ServeOptions::default());
+        let ledger = Arc::new(TransferLedger::default());
+        let node = RemoteNode::connect(&addr, &s.ctx)
+            .expect("connect")
+            .with_ledger(Arc::clone(&ledger));
+        let lwes = test_lwes(3);
+        let accs = node
+            .try_blind_rotate_batch(&s.ctx, &s.boot, &lwes)
+            .expect("remote batch");
+        let moduli: Vec<u64> = (0..s.ctx.boot_limbs())
+            .map(|j| s.ctx.rns().modulus(j).value())
+            .collect();
+        assert_eq!(ledger.lwe_sent(), 3);
+        assert_eq!(ledger.rlwe_received(), 3);
+        // Measured bytes = frame header + the exact encoded payload.
+        assert_eq!(
+            ledger.lwe_bytes_sent(),
+            FRAME_HEADER_BYTES + heap_tfhe::lwe_batch_wire_size(&lwes) as u64
+        );
+        assert_eq!(
+            ledger.rlwe_bytes_received(),
+            FRAME_HEADER_BYTES + heap_tfhe::rlwe_batch_wire_size(&accs, &moduli) as u64
+        );
+        node.shutdown();
+    }
+
+    #[test]
+    fn fail_after_drops_connection_mid_stream() {
+        let s = setup();
+        let addr = spawn_server(ServeOptions {
+            parallelism: Parallelism::serial(),
+            fail_after: Some(1),
+        });
+        let node = RemoteNode::connect(&addr, &s.ctx).expect("connect");
+        let lwes = test_lwes(2);
+        node.try_blind_rotate_batch(&s.ctx, &s.boot, &lwes)
+            .expect("first batch served");
+        let err = node
+            .try_blind_rotate_batch(&s.ctx, &s.boot, &lwes)
+            .expect_err("second batch must fail");
+        assert!(matches!(err, NodeError::Io(_)), "got {err:?}");
+        // The node is dead for new connections too.
+        assert!(RemoteNode::connect(&addr, &s.ctx).is_err());
+    }
+
+    #[test]
+    fn handshake_rejects_wrong_ring_shape() {
+        let s = setup();
+        let addr = spawn_server(ServeOptions::default());
+        // Speak the protocol directly with a bogus Hello (wrong N).
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        let mut bogus = hello_payload(&s.ctx);
+        bogus[0] ^= 0xFF;
+        write_frame(&mut stream, FrameKind::Hello, &bogus).expect("write hello");
+        let (kind, payload, _) = read_frame(&mut stream).expect("read reply");
+        assert_eq!(kind, FrameKind::Error);
+        assert!(String::from_utf8_lossy(&payload).contains("mismatch"));
+    }
+
+    #[test]
+    fn connect_to_closed_port_fails_cleanly() {
+        let s = setup();
+        // Bind then drop: the port is (momentarily) closed.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").to_string()
+        };
+        assert!(matches!(
+            RemoteNode::connect(&addr, &s.ctx),
+            Err(NodeError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,385 @@
+//! Sharding, least-loaded dispatch, and failure reassignment.
+//!
+//! A flushed batch of LWE ciphertexts is split into contiguous shards —
+//! one per healthy node, mirroring `LocalCluster`'s contiguous chunking so
+//! results reassemble in input order by construction. Shards go to nodes
+//! least-loaded-first (load = blind rotations currently in flight on that
+//! node, which matters when several batches overlap or nodes differ in
+//! speed). A node that returns an error is marked unhealthy and *stays*
+//! unhealthy — a TCP peer that dropped mid-batch is gone — and its shard
+//! is reassigned to the surviving nodes. Only when every node has failed
+//! does the batch itself fail.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use heap_ckks::CkksContext;
+use heap_core::Bootstrapper;
+use heap_tfhe::{LweCiphertext, RlweCiphertext};
+
+use crate::node::{NodeError, ServiceNode};
+use crate::RuntimeError;
+
+/// One resolved shard: `(node, output slot, shard, outcome)`.
+type ShardResult<'a> = (
+    usize,
+    usize,
+    &'a [LweCiphertext],
+    Result<Vec<RlweCiphertext>, NodeError>,
+);
+
+/// Counters accumulated across a scheduler's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedulerStats {
+    /// Batches executed to completion (success or failure).
+    pub batches: u64,
+    /// Shards dispatched, including reassigned ones.
+    pub shards: u64,
+    /// Shards that had to be reassigned after a node failure.
+    pub reassignments: u64,
+    /// Nodes marked unhealthy.
+    pub node_failures: u64,
+}
+
+struct NodeSlot {
+    node: Box<dyn ServiceNode>,
+    healthy: AtomicBool,
+    /// Blind rotations currently in flight on this node.
+    inflight: AtomicUsize,
+}
+
+/// Dispatches LWE batches across a fixed set of [`ServiceNode`]s.
+pub struct Scheduler {
+    slots: Vec<NodeSlot>,
+    batches: AtomicU64,
+    shards: AtomicU64,
+    reassignments: AtomicU64,
+    node_failures: AtomicU64,
+}
+
+impl Scheduler {
+    /// Builds a scheduler over `nodes` (all initially healthy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(nodes: Vec<Box<dyn ServiceNode>>) -> Self {
+        assert!(!nodes.is_empty(), "scheduler needs at least one node");
+        Self {
+            slots: nodes
+                .into_iter()
+                .map(|node| NodeSlot {
+                    node,
+                    healthy: AtomicBool::new(true),
+                    inflight: AtomicUsize::new(0),
+                })
+                .collect(),
+            batches: AtomicU64::new(0),
+            shards: AtomicU64::new(0),
+            reassignments: AtomicU64::new(0),
+            node_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Total node count (healthy or not).
+    pub fn node_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Nodes currently healthy.
+    pub fn healthy_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.healthy.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Names of the nodes still healthy.
+    pub fn healthy_names(&self) -> Vec<String> {
+        self.slots
+            .iter()
+            .filter(|s| s.healthy.load(Ordering::Relaxed))
+            .map(|s| s.node.name())
+            .collect()
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            shards: self.shards.load(Ordering::Relaxed),
+            reassignments: self.reassignments.load(Ordering::Relaxed),
+            node_failures: self.node_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Healthy node indices, least-loaded first (stable on ties).
+    fn ranked_healthy(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.slots[i].healthy.load(Ordering::Relaxed))
+            .collect();
+        idx.sort_by_key(|&i| self.slots[i].inflight.load(Ordering::Relaxed));
+        idx
+    }
+
+    /// Executes a batch of blind rotations across the healthy nodes,
+    /// returning one accumulator per input LWE in input order.
+    ///
+    /// Failed shards are reassigned to surviving nodes until they succeed
+    /// or no healthy node remains.
+    pub fn execute(
+        &self,
+        ctx: &CkksContext,
+        boot: &Bootstrapper,
+        lwes: &[LweCiphertext],
+    ) -> Result<Vec<RlweCiphertext>, RuntimeError> {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if lwes.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut out: Vec<Option<Vec<RlweCiphertext>>> = Vec::new();
+        // (output slot, shard) pairs still awaiting a successful node.
+        let mut pending: Vec<(usize, &[LweCiphertext])> = Vec::new();
+        {
+            let ranked = self.ranked_healthy();
+            if ranked.is_empty() {
+                return Err(RuntimeError::AllNodesFailed("no healthy nodes".into()));
+            }
+            let chunk = lwes.len().div_ceil(ranked.len());
+            for (slot, shard) in lwes.chunks(chunk).enumerate() {
+                pending.push((slot, shard));
+                out.push(None);
+            }
+        }
+        let mut last_err = String::new();
+        let mut round = 0usize;
+        while !pending.is_empty() {
+            let ranked = self.ranked_healthy();
+            if ranked.is_empty() {
+                return Err(RuntimeError::AllNodesFailed(last_err));
+            }
+            if round > 0 {
+                self.reassignments
+                    .fetch_add(pending.len() as u64, Ordering::Relaxed);
+            }
+            // Shard j of this round goes to the j-th least-loaded node
+            // (wrapping when shards outnumber healthy nodes).
+            let assignments: Vec<(usize, usize, &[LweCiphertext])> = pending
+                .iter()
+                .enumerate()
+                .map(|(j, &(slot, shard))| (ranked[j % ranked.len()], slot, shard))
+                .collect();
+            for &(node_idx, _, shard) in &assignments {
+                self.slots[node_idx]
+                    .inflight
+                    .fetch_add(shard.len(), Ordering::Relaxed);
+            }
+            self.shards
+                .fetch_add(assignments.len() as u64, Ordering::Relaxed);
+            let mut results: Vec<ShardResult<'_>> = Vec::new();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = assignments
+                    .iter()
+                    .map(|&(node_idx, slot, shard)| {
+                        s.spawn(move || {
+                            let r = self.slots[node_idx]
+                                .node
+                                .try_blind_rotate_batch(ctx, boot, shard);
+                            self.slots[node_idx]
+                                .inflight
+                                .fetch_sub(shard.len(), Ordering::Relaxed);
+                            (node_idx, slot, shard, r)
+                        })
+                    })
+                    .collect();
+                results = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scheduler shard thread panicked"))
+                    .collect();
+            });
+            pending.clear();
+            for (node_idx, slot, shard, result) in results {
+                match result {
+                    Ok(accs) if accs.len() == shard.len() => out[slot] = Some(accs),
+                    Ok(_) => {
+                        self.fail_node(node_idx, "short reply", &mut last_err);
+                        pending.push((slot, shard));
+                    }
+                    Err(e) => {
+                        self.fail_node(node_idx, &e.to_string(), &mut last_err);
+                        pending.push((slot, shard));
+                    }
+                }
+            }
+            round += 1;
+        }
+        Ok(out
+            .into_iter()
+            .flat_map(|o| o.expect("every shard resolved"))
+            .collect())
+    }
+
+    fn fail_node(&self, node_idx: usize, why: &str, last_err: &mut String) {
+        let slot = &self.slots[node_idx];
+        if slot.healthy.swap(false, Ordering::Relaxed) {
+            self.node_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        *last_err = format!("{}: {why}", slot.node.name());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{LocalServiceNode, NodeError};
+    use heap_ckks::{CkksContext, CkksParams, SecretKey};
+    use heap_core::{BootstrapConfig, Bootstrapper};
+    use heap_parallel::Parallelism;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::OnceLock;
+
+    struct Fixture {
+        ctx: CkksContext,
+        boot: Bootstrapper,
+        lwes: Vec<LweCiphertext>,
+    }
+
+    fn fixture() -> &'static Fixture {
+        static FIX: OnceLock<Fixture> = OnceLock::new();
+        FIX.get_or_init(|| {
+            let ctx = CkksContext::new(CkksParams::test_tiny());
+            let mut rng = StdRng::seed_from_u64(5);
+            let sk = SecretKey::generate(&ctx, &mut rng);
+            let boot = Bootstrapper::generate(&ctx, &sk, BootstrapConfig::test_small(), &mut rng);
+            let delta = ctx.fresh_scale();
+            let coeffs: Vec<i64> = (0..ctx.n())
+                .map(|i| (((i % 5) as f64 - 2.0) / 40.0 * delta).round() as i64)
+                .collect();
+            let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
+            let indices: Vec<usize> = (0..16).collect();
+            let lwes = boot.modulus_switch(&ctx, &boot.extract_lwes(&ctx, &ct, &indices));
+            Fixture { ctx, boot, lwes }
+        })
+    }
+
+    /// Fails its first `fail_first` batches, then works.
+    struct FlakyNode {
+        inner: LocalServiceNode,
+        fail_first: usize,
+        calls: AtomicUsize,
+    }
+
+    impl ServiceNode for FlakyNode {
+        fn try_blind_rotate_batch(
+            &self,
+            ctx: &CkksContext,
+            boot: &Bootstrapper,
+            lwes: &[LweCiphertext],
+        ) -> Result<Vec<RlweCiphertext>, NodeError> {
+            if self.calls.fetch_add(1, Ordering::Relaxed) < self.fail_first {
+                return Err(NodeError::Io("injected failure".into()));
+            }
+            self.inner.try_blind_rotate_batch(ctx, boot, lwes)
+        }
+
+        fn name(&self) -> String {
+            "flaky".to_string()
+        }
+    }
+
+    fn serial_reference(fix: &Fixture) -> Vec<Vec<u64>> {
+        let moduli: Vec<u64> = (0..fix.ctx.boot_limbs())
+            .map(|j| fix.ctx.rns().modulus(j).value())
+            .collect();
+        fix.boot
+            .blind_rotate_batch_par(&fix.ctx, &fix.lwes, Parallelism::serial())
+            .iter()
+            .map(|acc| acc.to_wire(&moduli).iter().map(|&b| b as u64).collect())
+            .collect()
+    }
+
+    fn wire(fix: &Fixture, accs: &[RlweCiphertext]) -> Vec<Vec<u64>> {
+        let moduli: Vec<u64> = (0..fix.ctx.boot_limbs())
+            .map(|j| fix.ctx.rns().modulus(j).value())
+            .collect();
+        accs.iter()
+            .map(|acc| acc.to_wire(&moduli).iter().map(|&b| b as u64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn sharded_execution_matches_serial_bitwise() {
+        let fix = fixture();
+        let nodes: Vec<Box<dyn ServiceNode>> = (0..3)
+            .map(|i| {
+                Box::new(LocalServiceNode::new(i, Parallelism::with_threads(2)))
+                    as Box<dyn ServiceNode>
+            })
+            .collect();
+        let sched = Scheduler::new(nodes);
+        let accs = sched.execute(&fix.ctx, &fix.boot, &fix.lwes).unwrap();
+        assert_eq!(wire(fix, &accs), serial_reference(fix));
+        let stats = sched.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.shards, 3);
+        assert_eq!(stats.reassignments, 0);
+    }
+
+    #[test]
+    fn failed_node_shard_is_reassigned() {
+        let fix = fixture();
+        let nodes: Vec<Box<dyn ServiceNode>> = vec![
+            Box::new(FlakyNode {
+                inner: LocalServiceNode::new(0, Parallelism::serial()),
+                fail_first: usize::MAX,
+                calls: AtomicUsize::new(0),
+            }),
+            Box::new(LocalServiceNode::new(1, Parallelism::serial())),
+        ];
+        let sched = Scheduler::new(nodes);
+        let accs = sched.execute(&fix.ctx, &fix.boot, &fix.lwes).unwrap();
+        // Result still bit-identical despite the reassignment.
+        assert_eq!(wire(fix, &accs), serial_reference(fix));
+        let stats = sched.stats();
+        assert_eq!(stats.node_failures, 1);
+        assert!(stats.reassignments >= 1);
+        assert_eq!(sched.healthy_count(), 1);
+        assert_eq!(sched.healthy_names(), vec!["local-1".to_string()]);
+        // The failed node stays out: a second batch never touches it.
+        let accs2 = sched.execute(&fix.ctx, &fix.boot, &fix.lwes).unwrap();
+        assert_eq!(wire(fix, &accs2), serial_reference(fix));
+        assert_eq!(sched.stats().node_failures, 1);
+    }
+
+    #[test]
+    fn all_nodes_failing_reports_error() {
+        let fix = fixture();
+        let nodes: Vec<Box<dyn ServiceNode>> = vec![Box::new(FlakyNode {
+            inner: LocalServiceNode::new(0, Parallelism::serial()),
+            fail_first: usize::MAX,
+            calls: AtomicUsize::new(0),
+        })];
+        let sched = Scheduler::new(nodes);
+        match sched.execute(&fix.ctx, &fix.boot, &fix.lwes) {
+            Err(RuntimeError::AllNodesFailed(msg)) => {
+                assert!(msg.contains("injected failure"), "got: {msg}")
+            }
+            other => panic!("expected AllNodesFailed, got {other:?}"),
+        }
+        // Later batches fail fast with no healthy nodes.
+        assert!(matches!(
+            sched.execute(&fix.ctx, &fix.boot, &fix.lwes),
+            Err(RuntimeError::AllNodesFailed(_))
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_trivial() {
+        let fix = fixture();
+        let sched = Scheduler::new(vec![
+            Box::new(LocalServiceNode::default()) as Box<dyn ServiceNode>
+        ]);
+        assert!(sched.execute(&fix.ctx, &fix.boot, &[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,446 @@
+//! The bootstrapping service: submission API + dispatcher loop.
+//!
+//! [`BootstrapService`] is the primary node. Client threads call
+//! [`BootstrapService::submit`] and block on the returned [`JobHandle`];
+//! a single dispatcher thread drains the bounded queue through the
+//! dynamic batcher, runs the primary-side stages (extract, modulus
+//! switch) for each job, concatenates everything into one LWE mega-batch,
+//! hands it to the [`Scheduler`] — which shards it across the configured
+//! [`ServiceNode`]s — and finishes each bootstrap (repack + rescale) from
+//! its slice of the returned accumulators. Per-job results are delivered
+//! through the handle with submit-to-complete latency attached.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use heap_ckks::CkksContext;
+use heap_core::Bootstrapper;
+use heap_parallel::Parallelism;
+use heap_tfhe::LweCiphertext;
+
+use crate::batch::{collect_batch, BatchPolicy};
+use crate::job::{JobHandle, JobId, JobOutput, JobRequest, JobState, PendingJob, Priority};
+use crate::node::{LocalServiceNode, ServiceNode};
+use crate::queue::SubmissionQueue;
+use crate::scheduler::{Scheduler, SchedulerStats};
+use crate::RuntimeError;
+
+/// Service-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Submission queue capacity; blocking submits beyond it apply
+    /// backpressure, non-blocking ones get [`RuntimeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// When the dynamic batcher flushes.
+    pub batch: BatchPolicy,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            batch: BatchPolicy::default(),
+        }
+    }
+}
+
+/// Lifetime counters for a service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs completed with an error.
+    pub failed: u64,
+    /// The scheduler's counters.
+    pub scheduler: SchedulerStats,
+}
+
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// A running bootstrapping service (the primary node).
+pub struct BootstrapService {
+    ctx: Arc<CkksContext>,
+    queue: Arc<SubmissionQueue>,
+    scheduler: Arc<Scheduler>,
+    counters: Arc<Counters>,
+    next_id: AtomicU64,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl BootstrapService {
+    /// Starts a service backed by a single in-process node using every
+    /// hardware thread.
+    pub fn start(ctx: Arc<CkksContext>, boot: Arc<Bootstrapper>, config: RuntimeConfig) -> Self {
+        Self::start_with_nodes(
+            ctx,
+            boot,
+            vec![Box::new(LocalServiceNode::new(0, Parallelism::max()))],
+            config,
+        )
+    }
+
+    /// Starts a service over an explicit node set (local, remote, or
+    /// mixed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn start_with_nodes(
+        ctx: Arc<CkksContext>,
+        boot: Arc<Bootstrapper>,
+        nodes: Vec<Box<dyn ServiceNode>>,
+        config: RuntimeConfig,
+    ) -> Self {
+        let queue = Arc::new(SubmissionQueue::new(config.queue_capacity));
+        let scheduler = Arc::new(Scheduler::new(nodes));
+        let counters = Arc::new(Counters {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        });
+        let dispatcher = {
+            let (ctx, boot, queue, scheduler, counters) = (
+                Arc::clone(&ctx),
+                Arc::clone(&boot),
+                Arc::clone(&queue),
+                Arc::clone(&scheduler),
+                Arc::clone(&counters),
+            );
+            let policy = config.batch;
+            std::thread::spawn(move || {
+                while let Some(batch) = collect_batch(&queue, &policy) {
+                    run_batch(&ctx, &boot, &scheduler, &counters, batch);
+                }
+            })
+        };
+        Self {
+            ctx,
+            queue,
+            scheduler,
+            counters,
+            next_id: AtomicU64::new(0),
+            dispatcher: Mutex::new(Some(dispatcher)),
+        }
+    }
+
+    /// Submits a job, blocking while the queue is full (backpressure).
+    pub fn submit(
+        &self,
+        request: JobRequest,
+        priority: Priority,
+    ) -> Result<JobHandle, RuntimeError> {
+        let (job, handle) = self.prepare(request, priority)?;
+        self.queue.submit(job)?;
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(handle)
+    }
+
+    /// Non-blocking submit; [`RuntimeError::QueueFull`] when at capacity.
+    pub fn try_submit(
+        &self,
+        request: JobRequest,
+        priority: Priority,
+    ) -> Result<JobHandle, RuntimeError> {
+        let (job, handle) = self.prepare(request, priority)?;
+        self.queue.try_submit(job)?;
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(handle)
+    }
+
+    fn prepare(
+        &self,
+        request: JobRequest,
+        priority: Priority,
+    ) -> Result<(PendingJob, JobHandle), RuntimeError> {
+        let cost = self.validate(&request)?;
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let state = JobState::new();
+        let handle = JobHandle {
+            id,
+            state: Arc::clone(&state),
+        };
+        Ok((
+            PendingJob {
+                id,
+                priority,
+                request,
+                cost,
+                state,
+            },
+            handle,
+        ))
+    }
+
+    /// Shape checks at the door, so the dispatcher never panics on client
+    /// data. Returns the job's blind-rotation cost.
+    fn validate(&self, request: &JobRequest) -> Result<usize, RuntimeError> {
+        match request {
+            JobRequest::Bootstrap { ct } => {
+                if ct.limbs() != 1 {
+                    return Err(RuntimeError::Invalid(
+                        "bootstrap expects an exhausted (single-limb) ciphertext",
+                    ));
+                }
+                Ok(self.ctx.n())
+            }
+            JobRequest::BlindRotate { lwes } => {
+                if lwes.is_empty() {
+                    return Err(RuntimeError::Invalid("empty LWE batch"));
+                }
+                let two_n = 2 * self.ctx.n() as u64;
+                for lwe in lwes {
+                    if lwe.modulus != two_n {
+                        return Err(RuntimeError::Invalid("LWE modulus must be 2N"));
+                    }
+                }
+                Ok(lwes.len())
+            }
+        }
+    }
+
+    /// Queued (not yet dispatched) job count.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The scheduler (node health, names).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            scheduler: self.scheduler.stats(),
+        }
+    }
+
+    /// Stops accepting jobs, drains the queue, and joins the dispatcher.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.queue.close();
+        if let Some(handle) = self.dispatcher.lock().expect("dispatcher lock").take() {
+            handle.join().expect("dispatcher thread panicked");
+        }
+    }
+}
+
+impl Drop for BootstrapService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One dispatcher iteration: primary-side prep, sharded execution,
+/// per-job finish.
+fn run_batch(
+    ctx: &CkksContext,
+    boot: &Bootstrapper,
+    scheduler: &Scheduler,
+    counters: &Counters,
+    batch: Vec<PendingJob>,
+) {
+    // Primary role, step 1–2: extract + modulus-switch per bootstrap job,
+    // then concatenate every job's LWEs into one mega-batch.
+    let all_indices: Vec<usize> = (0..ctx.n()).collect();
+    let mut mega: Vec<LweCiphertext> = Vec::new();
+    let mut ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(batch.len());
+    for job in &batch {
+        let start = mega.len();
+        match &job.request {
+            JobRequest::Bootstrap { ct } => {
+                let lwes = boot.extract_lwes(ctx, ct, &all_indices);
+                mega.extend(boot.modulus_switch(ctx, &lwes));
+            }
+            JobRequest::BlindRotate { lwes } => mega.extend(lwes.iter().cloned()),
+        }
+        ranges.push(start..mega.len());
+    }
+    // Step 3, sharded across nodes (the only stage that travels).
+    let rotated = match scheduler.execute(ctx, boot, &mega) {
+        Ok(rotated) => rotated,
+        Err(e) => {
+            counters
+                .failed
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            for job in batch {
+                job.state.complete(Err(e.clone()));
+            }
+            return;
+        }
+    };
+    // Primary role, steps 4–5: repack + rescale per job from its slice.
+    for (job, range) in batch.into_iter().zip(ranges) {
+        let accs = &rotated[range];
+        let output = match job.request {
+            JobRequest::Bootstrap { ct } => {
+                let leaves = boot.to_leaves(ctx, accs, &all_indices);
+                JobOutput::Bootstrapped(boot.finish(ctx, leaves, ct.scale()))
+            }
+            JobRequest::BlindRotate { .. } => JobOutput::Accumulators(accs.to_vec()),
+        };
+        counters.completed.fetch_add(1, Ordering::Relaxed);
+        job.state.complete(Ok(output));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preset::{deterministic_setup, DeterministicSetup, ParamPreset};
+    use std::sync::OnceLock;
+    use std::time::Duration;
+
+    fn setup() -> &'static DeterministicSetup {
+        static SETUP: OnceLock<DeterministicSetup> = OnceLock::new();
+        SETUP.get_or_init(|| deterministic_setup(ParamPreset::Tiny, 12))
+    }
+
+    fn exhausted_ct(s: &DeterministicSetup, seed: u64) -> (heap_ckks::Ciphertext, Vec<f64>) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = s.ctx.n();
+        let delta = s.ctx.fresh_scale();
+        let msg: Vec<f64> = (0..n).map(|i| ((i % 7) as f64 - 3.0) / 40.0).collect();
+        let coeffs: Vec<i64> = msg.iter().map(|m| (m * delta).round() as i64).collect();
+        let ct = s.ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &s.sk, &mut rng);
+        (ct, msg)
+    }
+
+    fn service(nodes: usize) -> BootstrapService {
+        let s = setup();
+        let boxed: Vec<Box<dyn ServiceNode>> = (0..nodes)
+            .map(|i| {
+                Box::new(LocalServiceNode::new(i, Parallelism::with_threads(2)))
+                    as Box<dyn ServiceNode>
+            })
+            .collect();
+        BootstrapService::start_with_nodes(
+            Arc::clone(&s.ctx),
+            Arc::clone(&s.boot),
+            boxed,
+            RuntimeConfig::default(),
+        )
+    }
+
+    #[test]
+    fn service_bootstrap_matches_direct_call_bitwise() {
+        let s = setup();
+        let (ct, _) = exhausted_ct(s, 3);
+        let direct = s.boot.bootstrap(&s.ctx, &ct);
+        let svc = service(2);
+        let handle = svc
+            .submit(JobRequest::Bootstrap { ct }, Priority::Normal)
+            .unwrap();
+        let (result, latency) = handle.wait_timed();
+        let fresh = result.unwrap().into_ciphertext();
+        assert_eq!(fresh.c0(), direct.c0());
+        assert_eq!(fresh.c1(), direct.c1());
+        assert!(latency > Duration::ZERO);
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_correct_results() {
+        let s = setup();
+        let svc = Arc::new(service(3));
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    let (ct, msg) = exhausted_ct(setup(), 100 + i);
+                    let h = svc
+                        .submit(JobRequest::Bootstrap { ct }, Priority::Normal)
+                        .unwrap();
+                    (h.wait().unwrap().into_ciphertext(), msg)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (fresh, msg) = h.join().unwrap();
+            let dec = s.ctx.decrypt_coeffs(&fresh, &s.sk);
+            for i in 0..s.ctx.n() {
+                let got = dec[i] / fresh.scale();
+                assert!((got - msg[i]).abs() < 0.02, "coeff {i}");
+            }
+        }
+        assert_eq!(svc.stats().completed, 4);
+    }
+
+    #[test]
+    fn blind_rotate_job_matches_direct_batch() {
+        let s = setup();
+        let (ct, _) = exhausted_ct(s, 8);
+        let indices: Vec<usize> = (0..8).collect();
+        let lwes = s
+            .boot
+            .modulus_switch(&s.ctx, &s.boot.extract_lwes(&s.ctx, &ct, &indices));
+        let direct = s
+            .boot
+            .blind_rotate_batch_par(&s.ctx, &lwes, Parallelism::serial());
+        let svc = service(2);
+        let handle = svc
+            .submit(JobRequest::BlindRotate { lwes }, Priority::High)
+            .unwrap();
+        let accs = handle.wait().unwrap().into_accumulators();
+        let moduli: Vec<u64> = (0..s.ctx.boot_limbs())
+            .map(|j| s.ctx.rns().modulus(j).value())
+            .collect();
+        assert_eq!(accs.len(), direct.len());
+        for (a, d) in accs.iter().zip(&direct) {
+            assert_eq!(a.to_wire(&moduli), d.to_wire(&moduli));
+        }
+    }
+
+    #[test]
+    fn invalid_requests_rejected_at_submit() {
+        let s = setup();
+        let svc = service(1);
+        assert_eq!(
+            svc.submit(JobRequest::BlindRotate { lwes: vec![] }, Priority::Normal)
+                .err(),
+            Some(RuntimeError::Invalid("empty LWE batch"))
+        );
+        let bad = heap_tfhe::LweCiphertext::trivial(0, s.boot.config().n_t, 12345);
+        assert_eq!(
+            svc.submit(
+                JobRequest::BlindRotate { lwes: vec![bad] },
+                Priority::Normal
+            )
+            .err(),
+            Some(RuntimeError::Invalid("LWE modulus must be 2N"))
+        );
+        assert_eq!(svc.stats().submitted, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_then_rejects() {
+        let s = setup();
+        let svc = service(1);
+        let (ct, _) = exhausted_ct(s, 21);
+        let handle = svc
+            .submit(JobRequest::Bootstrap { ct: ct.clone() }, Priority::Normal)
+            .unwrap();
+        svc.shutdown();
+        // The in-flight job still completed.
+        assert!(handle.wait().is_ok());
+        assert_eq!(
+            svc.submit(JobRequest::Bootstrap { ct }, Priority::Normal)
+                .err(),
+            Some(RuntimeError::Shutdown)
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Cross-check: bytes *measured* on a loopback TCP socket vs the
+//! `heap-hw` network/key-traffic byte model.
+//!
+//! The `TransferLedger` attached to a `RemoteNode` records what the OS
+//! actually transported. Subtracting the deterministic protocol framing
+//! must leave exactly the payload the `heap-hw` `MemoryLayout` model
+//! prices for the CMAC links: `n` LWE ciphertexts scattered at the
+//! post-modulus-switch width, `n` RLWE accumulators gathered at the boot
+//! basis width. Any drift between the wire format and the model breaks
+//! this test.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use heap_core::TransferLedger;
+use heap_hw::MemoryLayout;
+use heap_parallel::Parallelism;
+use heap_runtime::{
+    deterministic_setup, serve, BatchPolicy, BootstrapService, JobRequest, ParamPreset, Priority,
+    RemoteNode, RuntimeConfig, ServeOptions, ServiceNode,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Frame header: u32 magic + u8 kind + u64 payload length.
+const FRAME_HEADER: u64 = 13;
+/// Batch header inside a request/response payload: u32 magic + u32 count.
+const BATCH_HEADER: u64 = 8;
+/// Per-LWE item header: u32 magic + u64 modulus + u32 dimension.
+const LWE_ITEM_HEADER: u64 = 16;
+/// Per-accumulator item header: u32 magic + u32 limbs + u32 n.
+const ACC_ITEM_HEADER: u64 = 12;
+
+#[test]
+fn measured_loopback_bytes_match_hw_model_exactly() {
+    let setup = deterministic_setup(ParamPreset::Tiny, 55);
+    let ctx = &setup.ctx;
+    let n = ctx.n() as u64;
+    let n_t = setup.boot.config().n_t;
+    let boot_limbs = ctx.boot_limbs() as u64;
+
+    // In-process server over a real loopback socket.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    {
+        let (ctx, boot) = (Arc::clone(&setup.ctx), Arc::clone(&setup.boot));
+        std::thread::spawn(move || serve(listener, ctx, boot, ServeOptions::default()));
+    }
+    let ledger = Arc::new(TransferLedger::default());
+    let node = RemoteNode::connect(&addr, ctx)
+        .expect("connect")
+        .with_ledger(Arc::clone(&ledger));
+    let svc = BootstrapService::start_with_nodes(
+        Arc::clone(&setup.ctx),
+        Arc::clone(&setup.boot),
+        vec![Box::new(node) as Box<dyn ServiceNode>],
+        RuntimeConfig {
+            queue_capacity: 4,
+            batch: BatchPolicy::immediate(),
+        },
+    );
+
+    // One fully-packed bootstrap = n LWEs out, n accumulators back,
+    // carried by exactly one request/response frame pair (single node).
+    let mut rng = StdRng::seed_from_u64(3);
+    let delta = ctx.fresh_scale();
+    let coeffs: Vec<i64> = (0..ctx.n())
+        .map(|i| (((i % 5) as f64 - 2.0) / 40.0 * delta).round() as i64)
+        .collect();
+    let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &setup.sk, &mut rng);
+    svc.submit(JobRequest::Bootstrap { ct }, Priority::Normal)
+        .expect("submit")
+        .wait()
+        .expect("bootstrap");
+    svc.shutdown();
+
+    assert_eq!(ledger.lwe_sent(), n);
+    assert_eq!(ledger.rlwe_received(), n);
+
+    // Scatter side: after modulus switch every LWE lives at 2N, so the
+    // model width is log2(2N) bits.
+    let two_n_bits = (2 * n).ilog2();
+    let lwe_model = MemoryLayout {
+        n: ctx.n(),
+        limbs: ctx.boot_limbs(),
+        coeff_bits: two_n_bits,
+    };
+    let measured_scatter_payload =
+        ledger.lwe_bytes_sent() - FRAME_HEADER - BATCH_HEADER - n * LWE_ITEM_HEADER;
+    assert_eq!(measured_scatter_payload, n * lwe_model.lwe_bytes(n_t));
+
+    // Gather side: each accumulator is `boot_limbs` limbs of `N`
+    // coefficients at the limb width; the model's rlwe_bytes is exactly
+    // the packed payload (the wire adds an 8-byte modulus per limb).
+    let limb_bits = ctx.rns().modulus(0).value().ilog2() + 1;
+    for j in 0..ctx.boot_limbs() {
+        let m = ctx.rns().modulus(j).value();
+        assert_eq!(64 - (m - 1).leading_zeros(), limb_bits, "limb {j} width");
+    }
+    let rlwe_model = MemoryLayout {
+        n: ctx.n(),
+        limbs: ctx.boot_limbs(),
+        coeff_bits: limb_bits,
+    };
+    let measured_gather_payload = ledger.rlwe_bytes_received()
+        - FRAME_HEADER
+        - BATCH_HEADER
+        - n * (ACC_ITEM_HEADER + 8 * boot_limbs);
+    assert_eq!(measured_gather_payload, n * rlwe_model.rlwe_bytes());
+
+    // Sanity on the headline asymmetry the paper leans on: gathers dwarf
+    // scatters, which is why HEAP repacks on the primary.
+    assert!(ledger.rlwe_bytes_received() > 50 * ledger.lwe_bytes_sent());
+}
+
+#[test]
+fn local_cluster_ledger_agrees_with_remote_measurement_per_ciphertext() {
+    // The modeled per-ciphertext wire sizes `LocalCluster` records must
+    // equal what a remote node's socket measurement attributes per
+    // ciphertext once framing is removed — i.e. the model and the
+    // measurement price the same encoding.
+    let setup = deterministic_setup(ParamPreset::Tiny, 56);
+    let ctx = &setup.ctx;
+    let n_t = setup.boot.config().n_t;
+    let two_n = 2 * ctx.n() as u64;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    {
+        let (sctx, boot) = (Arc::clone(&setup.ctx), Arc::clone(&setup.boot));
+        std::thread::spawn(move || {
+            serve(
+                listener,
+                sctx,
+                boot,
+                ServeOptions {
+                    parallelism: Parallelism::serial(),
+                    fail_after: None,
+                },
+            )
+        });
+    }
+    let ledger = Arc::new(TransferLedger::default());
+    let node = RemoteNode::connect(&addr, ctx)
+        .expect("connect")
+        .with_ledger(Arc::clone(&ledger));
+
+    let lwes: Vec<heap_tfhe::LweCiphertext> = (0..4)
+        .map(|i| heap_tfhe::LweCiphertext {
+            a: (0..n_t).map(|j| ((i * 17 + j) as u64) % two_n).collect(),
+            b: i as u64,
+            modulus: two_n,
+        })
+        .collect();
+    let accs = node
+        .try_blind_rotate_batch(ctx, &setup.boot, &lwes)
+        .expect("remote batch");
+
+    // Measured scatter minus framing = Σ modeled wire_size per LWE.
+    let modeled_scatter: u64 = lwes.iter().map(|l| l.wire_size() as u64).sum();
+    assert_eq!(
+        ledger.lwe_bytes_sent() - FRAME_HEADER - BATCH_HEADER,
+        modeled_scatter
+    );
+    let moduli: Vec<u64> = (0..ctx.boot_limbs())
+        .map(|j| ctx.rns().modulus(j).value())
+        .collect();
+    let modeled_gather: u64 = accs.iter().map(|a| a.wire_size(&moduli) as u64).sum();
+    assert_eq!(
+        ledger.rlwe_bytes_received() - FRAME_HEADER - BATCH_HEADER,
+        modeled_gather
+    );
+    node.shutdown();
+}

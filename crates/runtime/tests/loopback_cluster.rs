@@ -1,0 +1,185 @@
+//! End-to-end loopback cluster tests: real `heap-node-serve` *processes*
+//! on 127.0.0.1, driven through the full service stack.
+//!
+//! These are the acceptance tests for the distributed runtime:
+//!
+//! - a bootstrap sharded over ≥2 remote processes is bit-identical to the
+//!   serial in-process pipeline;
+//! - killing a node mid-service reassigns its batch to a survivor and
+//!   still produces the identical result.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use heap_runtime::{
+    deterministic_setup, BatchPolicy, BootstrapService, JobRequest, ParamPreset, Priority,
+    RemoteNode, RuntimeConfig, ServiceNode,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 2024;
+
+/// A `heap-node-serve` child killed on drop (tests must not leak
+/// processes on assertion failure).
+struct NodeProc {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for NodeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns a server on an ephemeral port and waits for its readiness line.
+fn spawn_node(extra_args: &[&str]) -> NodeProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_heap-node-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--preset",
+            "tiny",
+            "--seed",
+            &SEED.to_string(),
+            "--threads",
+            "2",
+        ])
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn heap-node-serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let ready = lines
+        .next()
+        .expect("server exited before readiness")
+        .expect("read readiness line");
+    let addr = ready
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected readiness line: {ready}"))
+        .to_string();
+    NodeProc { child, addr }
+}
+
+struct Client {
+    setup: heap_runtime::DeterministicSetup,
+    ct: heap_ckks::Ciphertext,
+    reference: heap_ckks::Ciphertext,
+}
+
+/// Client-side keys + input ciphertext + the serial reference output.
+fn client() -> Client {
+    let setup = deterministic_setup(ParamPreset::Tiny, SEED);
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = setup.ctx.n();
+    let delta = setup.ctx.fresh_scale();
+    let coeffs: Vec<i64> = (0..n)
+        .map(|i| (((i % 7) as f64 - 3.0) / 40.0 * delta).round() as i64)
+        .collect();
+    let ct = setup
+        .ctx
+        .encrypt_coeffs_sk(&coeffs, delta, 1, &setup.sk, &mut rng);
+    let reference = setup.boot.bootstrap(&setup.ctx, &ct);
+    Client {
+        setup,
+        ct,
+        reference,
+    }
+}
+
+fn remote_nodes(client: &Client, procs: &[NodeProc]) -> Vec<Box<dyn ServiceNode>> {
+    procs
+        .iter()
+        .map(|p| {
+            Box::new(RemoteNode::connect(&p.addr, &client.setup.ctx).expect("connect to node"))
+                as Box<dyn ServiceNode>
+        })
+        .collect()
+}
+
+fn service_over(client: &Client, procs: &[NodeProc]) -> BootstrapService {
+    BootstrapService::start_with_nodes(
+        Arc::clone(&client.setup.ctx),
+        Arc::clone(&client.setup.boot),
+        remote_nodes(client, procs),
+        RuntimeConfig {
+            queue_capacity: 16,
+            batch: BatchPolicy::immediate(),
+        },
+    )
+}
+
+fn bootstrap_via(svc: &BootstrapService, client: &Client) -> heap_ckks::Ciphertext {
+    svc.submit(
+        JobRequest::Bootstrap {
+            ct: client.ct.clone(),
+        },
+        Priority::Normal,
+    )
+    .expect("submit")
+    .wait()
+    .expect("bootstrap job")
+    .into_ciphertext()
+}
+
+#[test]
+fn two_process_cluster_bit_identical_to_serial() {
+    let procs = [spawn_node(&[]), spawn_node(&[])];
+    let client = client();
+    let svc = service_over(&client, &procs);
+    let fresh = bootstrap_via(&svc, &client);
+    assert_eq!(fresh.c0(), client.reference.c0());
+    assert_eq!(fresh.c1(), client.reference.c1());
+    assert_eq!(fresh.scale(), client.reference.scale());
+    let stats = svc.stats();
+    assert_eq!(stats.completed, 1);
+    // Both processes actually participated: one shard each.
+    assert_eq!(stats.scheduler.shards, 2);
+    assert_eq!(stats.scheduler.node_failures, 0);
+    svc.shutdown();
+}
+
+#[test]
+fn killed_node_batch_retried_on_survivor_with_same_result() {
+    let procs = [spawn_node(&[]), spawn_node(&[])];
+    let client = client();
+    let svc = service_over(&client, &procs);
+    // Warm round: both nodes healthy.
+    let first = bootstrap_via(&svc, &client);
+    assert_eq!(first.c0(), client.reference.c0());
+    // Kill node 0's process; its next shard fails mid-batch and must be
+    // retried on the survivor.
+    let mut procs = procs;
+    procs[0].child.kill().expect("kill node 0");
+    procs[0].child.wait().expect("reap node 0");
+    let second = bootstrap_via(&svc, &client);
+    assert_eq!(second.c0(), client.reference.c0());
+    assert_eq!(second.c1(), client.reference.c1());
+    let stats = svc.stats();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.scheduler.node_failures, 1);
+    assert!(stats.scheduler.reassignments >= 1);
+    assert_eq!(svc.scheduler().healthy_count(), 1);
+    svc.shutdown();
+}
+
+#[test]
+fn fail_after_node_is_detected_and_replaced() {
+    // Node 0 dies on its very first request (--fail-after 0); node 1
+    // carries the whole batch after reassignment.
+    let procs = [spawn_node(&["--fail-after", "0"]), spawn_node(&[])];
+    let client = client();
+    let svc = service_over(&client, &procs);
+    let fresh = bootstrap_via(&svc, &client);
+    assert_eq!(fresh.c0(), client.reference.c0());
+    assert_eq!(fresh.c1(), client.reference.c1());
+    let stats = svc.stats();
+    assert_eq!(stats.scheduler.node_failures, 1);
+    assert!(stats.scheduler.reassignments >= 1);
+    svc.shutdown();
+}

@@ -54,3 +54,7 @@ pub use rgsw::{
     RgswCiphertext, RgswParams,
 };
 pub use rlwe::{RingSecretKey, RlweCiphertext};
+pub use wire::{
+    lwe_batch_from_wire, lwe_batch_to_wire, lwe_batch_wire_size, rlwe_batch_from_wire,
+    rlwe_batch_to_wire, rlwe_batch_wire_size,
+};

@@ -4,14 +4,31 @@
 //! Coefficients are bit-packed at the modulus width, so sizes match the
 //! paper's accounting (a 2.25 KB LWE at `n_t = 500`/36-bit, §III-C); the
 //! root test suite cross-checks these against `heap-hw`'s memory model.
+//!
+//! Besides the single-ciphertext formats, this module defines the two
+//! *batch* payloads the distributed runtime ships between a primary and
+//! its compute nodes: a scatter of modulus-switched LWE ciphertexts
+//! ([`lwe_batch_to_wire`]) and the gather of blind-rotation accumulator
+//! replies ([`rlwe_batch_to_wire`]). Accumulators are serialized in
+//! evaluation domain exactly as computed, so a remote round trip is
+//! bit-identical to local execution.
 
 use heap_math::wire::{packed_size, WireError, WireReader, WireWriter};
+use heap_math::Domain;
 
 use crate::extract::RnsLweCiphertext;
 use crate::lwe::LweCiphertext;
+use crate::rlwe::RlweCiphertext;
 
 const LWE_MAGIC: u32 = 0x4C57_4531; // "LWE1"
 const RNS_LWE_MAGIC: u32 = 0x524C_5731; // "RLW1"
+const ACC_MAGIC: u32 = 0x4143_4331; // "ACC1"
+const LWE_BATCH_MAGIC: u32 = 0x4C42_5431; // "LBT1"
+const ACC_BATCH_MAGIC: u32 = 0x4142_5431; // "ABT1"
+
+/// Largest element count any batch decoder will accept; guards allocation
+/// against corrupt headers.
+const MAX_BATCH: usize = 1 << 20;
 
 fn modulus_bits(modulus: u64) -> u32 {
     64 - (modulus - 1).leading_zeros()
@@ -20,15 +37,20 @@ fn modulus_bits(modulus: u64) -> u32 {
 impl LweCiphertext {
     /// Serializes at the modulus bit-width.
     pub fn to_wire(&self) -> Vec<u8> {
-        let bits = modulus_bits(self.modulus);
         let mut w = WireWriter::new();
+        self.write_wire(&mut w);
+        w.into_bytes()
+    }
+
+    /// Appends the wire encoding to an open writer (batch encodings).
+    pub fn write_wire(&self, w: &mut WireWriter) {
+        let bits = modulus_bits(self.modulus);
         w.put_u32(LWE_MAGIC);
         w.put_u64(self.modulus);
         w.put_u32(self.a.len() as u32);
         let mut all = self.a.clone();
         all.push(self.b);
         w.put_packed(&all, bits);
-        w.into_bytes()
     }
 
     /// Deserializes a ciphertext written by [`Self::to_wire`].
@@ -38,6 +60,15 @@ impl LweCiphertext {
     /// Returns a [`WireError`] on truncation or corrupted fields.
     pub fn from_wire(buf: &[u8]) -> Result<Self, WireError> {
         let mut r = WireReader::new(buf);
+        Self::read_wire(&mut r)
+    }
+
+    /// Reads one ciphertext from an open reader (batch encodings).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation or corrupted fields.
+    pub fn read_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         if r.get_u32()? != LWE_MAGIC {
             return Err(WireError::Corrupt("LWE magic"));
         }
@@ -62,6 +93,186 @@ impl LweCiphertext {
     pub fn wire_size(&self) -> usize {
         4 + 8 + 4 + packed_size(self.a.len() + 1, modulus_bits(self.modulus))
     }
+}
+
+/// Serializes a batch of LWE ciphertexts (the primary → secondary scatter
+/// payload of the distributed runtime).
+pub fn lwe_batch_to_wire(lwes: &[LweCiphertext]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u32(LWE_BATCH_MAGIC);
+    w.put_u32(lwes.len() as u32);
+    for ct in lwes {
+        ct.write_wire(&mut w);
+    }
+    w.into_bytes()
+}
+
+/// Deserializes a batch written by [`lwe_batch_to_wire`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation, a bad magic/count, or any
+/// corrupted element.
+pub fn lwe_batch_from_wire(buf: &[u8]) -> Result<Vec<LweCiphertext>, WireError> {
+    let mut r = WireReader::new(buf);
+    if r.get_u32()? != LWE_BATCH_MAGIC {
+        return Err(WireError::Corrupt("LWE batch magic"));
+    }
+    let count = r.get_u32()? as usize;
+    if count > MAX_BATCH {
+        return Err(WireError::Corrupt("LWE batch count"));
+    }
+    let mut out = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        out.push(LweCiphertext::read_wire(&mut r)?);
+    }
+    Ok(out)
+}
+
+/// Wire size of [`lwe_batch_to_wire`]'s output.
+pub fn lwe_batch_wire_size(lwes: &[LweCiphertext]) -> usize {
+    8 + lwes.iter().map(LweCiphertext::wire_size).sum::<usize>()
+}
+
+impl RlweCiphertext {
+    /// Serializes a blind-rotation accumulator at each limb's modulus
+    /// width, *in evaluation domain* — verbatim residues, so decoding
+    /// reproduces the ciphertext bit for bit (no NTT round trip).
+    ///
+    /// `moduli` must list the limb moduli of the basis the ciphertext
+    /// lives over (`ctx.rns()` order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `moduli` does not match the limb count or the parts are
+    /// not in evaluation domain.
+    pub fn to_wire(&self, moduli: &[u64]) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.write_wire(&mut w, moduli);
+        w.into_bytes()
+    }
+
+    /// Appends the wire encoding to an open writer (batch encodings).
+    ///
+    /// # Panics
+    ///
+    /// See [`Self::to_wire`].
+    pub fn write_wire(&self, w: &mut WireWriter, moduli: &[u64]) {
+        assert_eq!(moduli.len(), self.limbs(), "one modulus per limb");
+        assert_eq!(self.a.domain(), Domain::Eval, "accumulator must be eval");
+        assert_eq!(self.b.domain(), Domain::Eval, "accumulator must be eval");
+        let n = self.a.limb(0).len();
+        w.put_u32(ACC_MAGIC);
+        w.put_u32(self.limbs() as u32);
+        w.put_u32(n as u32);
+        for (j, &m) in moduli.iter().enumerate() {
+            let bits = modulus_bits(m);
+            w.put_u64(m);
+            w.put_packed(self.a.limb(j), bits);
+            w.put_packed(self.b.limb(j), bits);
+        }
+    }
+
+    /// Deserializes an accumulator written by [`Self::to_wire`]; the
+    /// result is in evaluation domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation or corrupted fields.
+    pub fn from_wire(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        Self::read_wire(&mut r)
+    }
+
+    /// Reads one accumulator from an open reader (batch encodings).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation or corrupted fields.
+    pub fn read_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        use heap_math::RnsPoly;
+        if r.get_u32()? != ACC_MAGIC {
+            return Err(WireError::Corrupt("accumulator magic"));
+        }
+        let limbs = r.get_u32()? as usize;
+        let n = r.get_u32()? as usize;
+        if limbs == 0 || limbs > 64 || n == 0 || n > 1 << 24 {
+            return Err(WireError::Corrupt("accumulator shape"));
+        }
+        let mut a_limbs = Vec::with_capacity(limbs);
+        let mut b_limbs = Vec::with_capacity(limbs);
+        for _ in 0..limbs {
+            let m = r.get_u64()?;
+            if m < 2 {
+                return Err(WireError::Corrupt("accumulator modulus"));
+            }
+            let bits = modulus_bits(m);
+            let aj = r.get_packed(bits, n)?;
+            let bj = r.get_packed(bits, n)?;
+            if aj.iter().chain(&bj).any(|&x| x >= m) {
+                return Err(WireError::Corrupt("accumulator residue out of range"));
+            }
+            a_limbs.push(aj);
+            b_limbs.push(bj);
+        }
+        Ok(Self {
+            a: RnsPoly::from_limbs(a_limbs, Domain::Eval),
+            b: RnsPoly::from_limbs(b_limbs, Domain::Eval),
+        })
+    }
+
+    /// Wire size in bytes (what a CMAC gather pays per accumulator).
+    pub fn wire_size(&self, moduli: &[u64]) -> usize {
+        let n = self.a.limb(0).len();
+        12 + moduli
+            .iter()
+            .map(|&m| 8 + 2 * packed_size(n, modulus_bits(m)))
+            .sum::<usize>()
+    }
+}
+
+/// Serializes a batch of blind-rotation accumulators (the secondary →
+/// primary gather payload of the distributed runtime).
+///
+/// # Panics
+///
+/// Panics if any element's shape does not match `moduli` (see
+/// [`RlweCiphertext::to_wire`]).
+pub fn rlwe_batch_to_wire(accs: &[RlweCiphertext], moduli: &[u64]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u32(ACC_BATCH_MAGIC);
+    w.put_u32(accs.len() as u32);
+    for acc in accs {
+        acc.write_wire(&mut w, moduli);
+    }
+    w.into_bytes()
+}
+
+/// Deserializes a batch written by [`rlwe_batch_to_wire`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation, a bad magic/count, or any
+/// corrupted element.
+pub fn rlwe_batch_from_wire(buf: &[u8]) -> Result<Vec<RlweCiphertext>, WireError> {
+    let mut r = WireReader::new(buf);
+    if r.get_u32()? != ACC_BATCH_MAGIC {
+        return Err(WireError::Corrupt("accumulator batch magic"));
+    }
+    let count = r.get_u32()? as usize;
+    if count > MAX_BATCH {
+        return Err(WireError::Corrupt("accumulator batch count"));
+    }
+    let mut out = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        out.push(RlweCiphertext::read_wire(&mut r)?);
+    }
+    Ok(out)
+}
+
+/// Wire size of [`rlwe_batch_to_wire`]'s output.
+pub fn rlwe_batch_wire_size(accs: &[RlweCiphertext], moduli: &[u64]) -> usize {
+    8 + accs.iter().map(|a| a.wire_size(moduli)).sum::<usize>()
 }
 
 impl RnsLweCiphertext {
@@ -116,8 +327,10 @@ impl RnsLweCiphertext {
 mod tests {
     use super::*;
     use crate::lwe::LweSecretKey;
+    use crate::rlwe::RingSecretKey;
     use heap_math::arith::Modulus;
     use heap_math::prime::ntt_primes;
+    use heap_math::{RnsContext, RnsPoly};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -172,5 +385,90 @@ mod tests {
         let back = RnsLweCiphertext::from_wire(&bytes).unwrap();
         assert_eq!(back.a, ct.a);
         assert_eq!(back.b, ct.b);
+    }
+
+    fn sample_accumulator(ctx: &RnsContext, limbs: usize, seed: u64) -> RlweCiphertext {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = RingSecretKey::generate(ctx, limbs, &mut rng);
+        let msg_coeffs: Vec<i64> = (0..ctx.n() as i64).map(|i| (i - 8) * 321).collect();
+        let msg = RnsPoly::from_signed(ctx, &msg_coeffs, limbs);
+        RlweCiphertext::encrypt(ctx, &sk, &msg, &mut rng)
+    }
+
+    #[test]
+    fn rlwe_accumulator_roundtrip_is_bit_exact() {
+        let primes = ntt_primes(64, 30, 3);
+        let ctx = RnsContext::new(64, &primes);
+        let acc = sample_accumulator(&ctx, 3, 7);
+        let bytes = acc.to_wire(&primes);
+        assert_eq!(bytes.len(), acc.wire_size(&primes));
+        let back = RlweCiphertext::from_wire(&bytes).unwrap();
+        // Verbatim evaluation-domain residues: the exact bits, not just an
+        // equivalent ciphertext.
+        assert_eq!(back.a.limbs(), acc.a.limbs());
+        assert_eq!(back.b.limbs(), acc.b.limbs());
+        assert_eq!(back.a.domain(), Domain::Eval);
+    }
+
+    #[test]
+    fn rlwe_rejects_truncation_and_corruption() {
+        let primes = ntt_primes(64, 30, 2);
+        let ctx = RnsContext::new(64, &primes);
+        let acc = sample_accumulator(&ctx, 2, 8);
+        let mut bytes = acc.to_wire(&primes);
+        assert!(RlweCiphertext::from_wire(&bytes[..bytes.len() - 3]).is_err());
+        bytes[0] ^= 0x10;
+        assert_eq!(
+            RlweCiphertext::from_wire(&bytes).err(),
+            Some(WireError::Corrupt("accumulator magic"))
+        );
+    }
+
+    #[test]
+    fn lwe_batch_roundtrip() {
+        let q = ntt_primes(1 << 8, 30, 1)[0];
+        let mut rng = StdRng::seed_from_u64(3);
+        let sk = LweSecretKey::generate(&mut rng, 24);
+        let modq = Modulus::new(q).unwrap();
+        let lwes: Vec<LweCiphertext> = (0..9)
+            .map(|i| sk.encrypt(i * 1000, &modq, &mut rng))
+            .collect();
+        let bytes = lwe_batch_to_wire(&lwes);
+        assert_eq!(bytes.len(), lwe_batch_wire_size(&lwes));
+        let back = lwe_batch_from_wire(&bytes).unwrap();
+        assert_eq!(back, lwes);
+        // Empty batches are legal (a node with no work assigned).
+        assert_eq!(
+            lwe_batch_from_wire(&lwe_batch_to_wire(&[])).unwrap(),
+            Vec::<LweCiphertext>::new()
+        );
+    }
+
+    #[test]
+    fn rlwe_batch_roundtrip() {
+        let primes = ntt_primes(64, 28, 3);
+        let ctx = RnsContext::new(64, &primes);
+        let accs: Vec<RlweCiphertext> = (0..4)
+            .map(|i| sample_accumulator(&ctx, 3, 100 + i))
+            .collect();
+        let bytes = rlwe_batch_to_wire(&accs, &primes);
+        assert_eq!(bytes.len(), rlwe_batch_wire_size(&accs, &primes));
+        let back = rlwe_batch_from_wire(&bytes).unwrap();
+        assert_eq!(back.len(), accs.len());
+        for (b, a) in back.iter().zip(&accs) {
+            assert_eq!(b.a.limbs(), a.a.limbs());
+            assert_eq!(b.b.limbs(), a.b.limbs());
+        }
+    }
+
+    #[test]
+    fn batch_rejects_absurd_count() {
+        let mut w = WireWriter::new();
+        w.put_u32(0x4C42_5431);
+        w.put_u32(u32::MAX);
+        assert_eq!(
+            lwe_batch_from_wire(&w.into_bytes()),
+            Err(WireError::Corrupt("LWE batch count"))
+        );
     }
 }

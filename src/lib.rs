@@ -16,6 +16,9 @@
 //! * [`ckks`] — the CKKS scheme (`heap-ckks`);
 //! * [`tfhe`] — the TFHE substrate (`heap-tfhe`);
 //! * [`core`] — the scheme-switched bootstrap and clusters (`heap-core`);
+//! * [`runtime`] — the multi-client bootstrapping service: job queue,
+//!   dynamic batching, and remote compute nodes over TCP
+//!   (`heap-runtime`);
 //! * [`hw`] — the accelerator performance model (`heap-hw`);
 //! * [`apps`] — LR training and ResNet-20 workloads (`heap-apps`).
 //!
@@ -39,4 +42,5 @@ pub use heap_ckks as ckks;
 pub use heap_core as core;
 pub use heap_hw as hw;
 pub use heap_math as math;
+pub use heap_runtime as runtime;
 pub use heap_tfhe as tfhe;
