@@ -10,6 +10,12 @@
 //! batching trade (larger batches amortize transport, smaller ones cut
 //! queueing delay) is visible in one table.
 //!
+//! A final degraded-mode pair runs the same mix against a 2-node cluster
+//! where one node starts on a `fail*N` fault plan (throughput while the
+//! breaker trips, shards reassign, and the prober readmits it), then
+//! again after the plan is exhausted (healed throughput) — so
+//! `BENCH_runtime.json` records the cost of a failure and of healing.
+//!
 //! ```sh
 //! cargo run --release -p heap-bench --bin runtime_sweep
 //! ```
@@ -20,8 +26,8 @@ use std::time::{Duration, Instant};
 
 use heap_parallel::Parallelism;
 use heap_runtime::{
-    deterministic_setup, serve, BatchPolicy, BootstrapService, DeterministicSetup, JobRequest,
-    ParamPreset, Priority, RemoteNode, RuntimeConfig, ServeOptions, ServiceNode,
+    deterministic_setup, serve, BatchPolicy, BootstrapService, DeterministicSetup, FaultPlan,
+    JobRequest, ParamPreset, Priority, RemoteNode, RuntimeConfig, ServeOptions, ServiceNode,
 };
 use heap_tfhe::LweCiphertext;
 
@@ -33,6 +39,7 @@ const LWES_PER_JOB: usize = 8;
 const CLIENTS: usize = 4;
 
 struct Sample {
+    mode: &'static str,
     nodes: usize,
     max_lwes: usize,
     secs: f64,
@@ -41,21 +48,24 @@ struct Sample {
     p99_ms: f64,
 }
 
-/// Starts `count` loopback servers, returning their addresses.
+/// Starts one loopback server (optionally on a fault plan), returning
+/// its address.
+fn spawn_server(setup: &DeterministicSetup, fault_plan: Option<FaultPlan>) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let (ctx, boot) = (Arc::clone(&setup.ctx), Arc::clone(&setup.boot));
+    let opts = ServeOptions {
+        parallelism: Parallelism::with_threads(2),
+        fault_plan,
+        ..ServeOptions::default()
+    };
+    std::thread::spawn(move || serve(listener, ctx, boot, opts));
+    addr
+}
+
+/// Starts `count` healthy loopback servers, returning their addresses.
 fn spawn_servers(setup: &DeterministicSetup, count: usize) -> Vec<String> {
-    (0..count)
-        .map(|_| {
-            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-            let addr = listener.local_addr().expect("local addr").to_string();
-            let (ctx, boot) = (Arc::clone(&setup.ctx), Arc::clone(&setup.boot));
-            let opts = ServeOptions {
-                parallelism: Parallelism::with_threads(2),
-                fail_after: None,
-            };
-            std::thread::spawn(move || serve(listener, ctx, boot, opts));
-            addr
-        })
-        .collect()
+    (0..count).map(|_| spawn_server(setup, None)).collect()
 }
 
 fn job_lwes(setup: &DeterministicSetup, seed: usize) -> Vec<LweCiphertext> {
@@ -72,6 +82,13 @@ fn job_lwes(setup: &DeterministicSetup, seed: usize) -> Vec<LweCiphertext> {
         .collect()
 }
 
+fn print_sample(s: &Sample) {
+    println!(
+        "{:>9} {:>6} {:>10} {:>10.3} {:>12.2} {:>10.2} {:>10.2}",
+        s.mode, s.nodes, s.max_lwes, s.secs, s.jobs_per_sec, s.p50_ms, s.p99_ms
+    );
+}
+
 fn percentile(sorted: &[Duration], p: f64) -> f64 {
     let idx = ((sorted.len() as f64 * p).ceil() as usize)
         .saturating_sub(1)
@@ -80,7 +97,12 @@ fn percentile(sorted: &[Duration], p: f64) -> f64 {
 }
 
 /// Runs the fixed job mix through one service configuration.
-fn run_config(setup: &DeterministicSetup, addrs: &[String], max_lwes: usize) -> Sample {
+fn run_config(
+    setup: &DeterministicSetup,
+    addrs: &[String],
+    max_lwes: usize,
+    mode: &'static str,
+) -> Sample {
     let nodes: Vec<Box<dyn ServiceNode>> = addrs
         .iter()
         .map(|addr| {
@@ -89,18 +111,22 @@ fn run_config(setup: &DeterministicSetup, addrs: &[String], max_lwes: usize) -> 
         })
         .collect();
     let node_count = nodes.len();
-    let svc = Arc::new(BootstrapService::start_with_nodes(
-        Arc::clone(&setup.ctx),
-        Arc::clone(&setup.boot),
-        nodes,
-        RuntimeConfig {
-            queue_capacity: JOBS,
-            batch: BatchPolicy {
-                max_lwes,
-                max_delay: Duration::from_millis(2),
+    let svc = Arc::new(
+        BootstrapService::start_with_nodes(
+            Arc::clone(&setup.ctx),
+            Arc::clone(&setup.boot),
+            nodes,
+            RuntimeConfig {
+                queue_capacity: JOBS,
+                batch: BatchPolicy {
+                    max_lwes,
+                    max_delay: Duration::from_millis(2),
+                },
+                ..RuntimeConfig::default()
             },
-        },
-    ));
+        )
+        .expect("start service"),
+    );
     let t0 = Instant::now();
     let workers: Vec<_> = (0..CLIENTS)
         .map(|c| {
@@ -133,6 +159,7 @@ fn run_config(setup: &DeterministicSetup, addrs: &[String], max_lwes: usize) -> 
     svc.shutdown();
     latencies.sort_unstable();
     Sample {
+        mode,
         nodes: node_count,
         max_lwes,
         secs,
@@ -157,28 +184,38 @@ fn main() {
     );
     println!();
     println!(
-        "{:>6} {:>10} {:>10} {:>12} {:>10} {:>10}",
-        "nodes", "max_lwes", "secs", "jobs/sec", "p50 ms", "p99 ms"
+        "{:>9} {:>6} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "mode", "nodes", "max_lwes", "secs", "jobs/sec", "p50 ms", "p99 ms"
     );
     let mut samples = Vec::new();
     for &k in &node_counts {
         for &max_lwes in &batch_sizes {
-            let s = run_config(&setup, &addrs[..k], max_lwes);
-            println!(
-                "{:>6} {:>10} {:>10.3} {:>12.2} {:>10.2} {:>10.2}",
-                s.nodes, s.max_lwes, s.secs, s.jobs_per_sec, s.p50_ms, s.p99_ms
-            );
+            let s = run_config(&setup, &addrs[..k], max_lwes, "scaling");
+            print_sample(&s);
             samples.push(s);
         }
+    }
+
+    // Degraded pair: a 2-node cluster whose first node fails its first
+    // requests (breaker opens, shards reassign, prober readmits), then
+    // the same cluster after the fault plan is exhausted (healed).
+    let degraded_addrs = vec![
+        spawn_server(&setup, Some("fail*4".parse().expect("plan"))),
+        spawn_server(&setup, None),
+    ];
+    for mode in ["degraded", "healed"] {
+        let s = run_config(&setup, &degraded_addrs, 4 * LWES_PER_JOB, mode);
+        print_sample(&s);
+        samples.push(s);
     }
 
     let rows: Vec<String> = samples
         .iter()
         .map(|s| {
             format!(
-                "    {{\"nodes\": {}, \"max_lwes\": {}, \"secs\": {:.6}, \
+                "    {{\"mode\": \"{}\", \"nodes\": {}, \"max_lwes\": {}, \"secs\": {:.6}, \
                  \"jobs_per_sec\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
-                s.nodes, s.max_lwes, s.secs, s.jobs_per_sec, s.p50_ms, s.p99_ms
+                s.mode, s.nodes, s.max_lwes, s.secs, s.jobs_per_sec, s.p50_ms, s.p99_ms
             )
         })
         .collect();
@@ -187,7 +224,9 @@ fn main() {
          \"lwes_per_job\": {LWES_PER_JOB},\n  \"clients\": {CLIENTS},\n  \
          \"transport\": \"loopback TCP (in-process servers, heap-node-serve protocol)\",\n  \
          \"note\": \"latency is submit-to-complete; larger max_lwes trades p50 latency for \
-         throughput; node scaling is bounded by host_cores\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+         throughput; node scaling is bounded by host_cores; degraded = 1 of 2 nodes on a \
+         fail*4 fault plan (breaker + reassignment overhead), healed = same cluster after \
+         readmission\",\n  \"samples\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");

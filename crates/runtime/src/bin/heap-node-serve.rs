@@ -22,12 +22,17 @@
 //! - `--fail-after N` — serve `N` blind-rotate requests, then drop the
 //!   connection and refuse all future ones (failure injection for the
 //!   reassignment tests)
+//! - `--fault-plan PLAN` — deterministic fault injection: a comma-
+//!   separated action script consumed one action per blind-rotate
+//!   request, e.g. `fail*2,delay:50,hang,corrupt,drop`; after the plan
+//!   is exhausted the node serves normally (so a prober can observe it
+//!   recover). See `heap_runtime::FaultPlan` for the grammar.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
 
 use heap_parallel::Parallelism;
-use heap_runtime::{deterministic_setup, serve, ParamPreset, ServeOptions};
+use heap_runtime::{deterministic_setup, serve, FaultPlan, ParamPreset, ServeOptions};
 
 struct Args {
     addr: String,
@@ -35,6 +40,7 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     fail_after: Option<u64>,
+    fault_plan: Option<FaultPlan>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         threads: None,
         fail_after: None,
+        fault_plan: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -70,10 +77,17 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--fail-after: {e}"))?,
                 )
             }
+            "--fault-plan" => {
+                args.fault_plan = Some(
+                    value("--fault-plan")?
+                        .parse()
+                        .map_err(|e| format!("--fault-plan: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: heap-node-serve [--addr HOST:PORT] [--preset tiny|small|medium] \
-                            [--seed N] [--threads N] [--fail-after N]"
+                            [--seed N] [--threads N] [--fail-after N] [--fault-plan PLAN]"
                         .to_string(),
                 )
             }
@@ -118,6 +132,7 @@ fn main() -> ExitCode {
     let opts = ServeOptions {
         parallelism,
         fail_after: args.fail_after,
+        fault_plan: args.fault_plan,
     };
     match serve(listener, setup.ctx, setup.boot, opts) {
         Ok(()) => ExitCode::SUCCESS,

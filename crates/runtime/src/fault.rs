@@ -1,0 +1,355 @@
+//! Deterministic fault injection for the runtime's chaos tests.
+//!
+//! A [`FaultPlan`] is an ordered script of [`FaultAction`]s consumed one
+//! per request: the k-th blind-rotate request a node sees gets the k-th
+//! action, and a node whose plan is exhausted behaves normally — which is
+//! exactly what makes recovery (breaker half-open probes, readmission)
+//! testable without wall-clock races. The same plan drives two harnesses:
+//!
+//! - **In-process**: [`ChaosNode`] wraps any [`ServiceNode`] and applies
+//!   the plan to its calls, so scheduler-level chaos tests need no
+//!   sockets at all.
+//! - **Over a real socket**: `heap-node-serve --fault-plan PLAN` (and
+//!   [`crate::ServeOptions::fault_plan`]) applies the plan server-side —
+//!   error frames, delayed replies, hung connections, corrupt frames, and
+//!   dropped connections all exercised against the client's deadlines.
+//!
+//! The plan grammar is a comma-separated action list, each optionally
+//! repeated with `*N`:
+//!
+//! ```text
+//! pass | fail | drop | corrupt | hang | hang:MS | delay:MS
+//! e.g.  --fault-plan 'fail*2,delay:50,hang,corrupt,drop'
+//! ```
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use heap_ckks::CkksContext;
+use heap_core::Bootstrapper;
+use heap_tfhe::{LweCiphertext, RlweCiphertext};
+
+use crate::node::{NodeError, ServiceNode};
+
+/// What a faulty node does to one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Serve the request normally.
+    Pass,
+    /// Report a failure: an `Error` frame over the wire, a transport
+    /// error in-process.
+    Fail,
+    /// Serve normally after sleeping this long (latency injection, not a
+    /// failure).
+    Delay(Duration),
+    /// Go silent: never reply. The client's read deadline must fire. An
+    /// explicit duration bounds the hang (in-process chaos uses the
+    /// [`ChaosNode`] default when absent; the server default is
+    /// effectively forever).
+    Hang(Option<Duration>),
+    /// Reply with garbage: a bad frame on the wire, a short batch
+    /// in-process.
+    Corrupt,
+    /// Drop the connection without replying.
+    Drop,
+}
+
+impl FaultAction {
+    /// Whether this action makes the request fail (from the scheduler's
+    /// point of view). `Delay` is slow but correct.
+    pub fn is_failure(self) -> bool {
+        !matches!(self, FaultAction::Pass | FaultAction::Delay(_))
+    }
+}
+
+impl std::fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultAction::Pass => f.write_str("pass"),
+            FaultAction::Fail => f.write_str("fail"),
+            FaultAction::Delay(d) => write!(f, "delay:{}", d.as_millis()),
+            FaultAction::Hang(None) => f.write_str("hang"),
+            FaultAction::Hang(Some(d)) => write!(f, "hang:{}", d.as_millis()),
+            FaultAction::Corrupt => f.write_str("corrupt"),
+            FaultAction::Drop => f.write_str("drop"),
+        }
+    }
+}
+
+/// An ordered, finite script of fault actions; requests beyond the end
+/// pass untouched.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    actions: Vec<FaultAction>,
+}
+
+impl FaultPlan {
+    /// A plan from explicit actions.
+    pub fn new(actions: Vec<FaultAction>) -> Self {
+        Self { actions }
+    }
+
+    /// The scripted actions, in consumption order.
+    pub fn actions(&self) -> &[FaultAction] {
+        &self.actions
+    }
+
+    /// Actions in the script (requests beyond this index pass).
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut actions = Vec::new();
+        for token in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (spec, count) = match token.split_once('*') {
+                Some((spec, n)) => (
+                    spec.trim(),
+                    n.trim()
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad repeat in '{token}': {e}"))?,
+                ),
+                None => (token, 1),
+            };
+            let millis = |what: &str, v: &str| {
+                v.parse::<u64>()
+                    .map(Duration::from_millis)
+                    .map_err(|e| format!("bad {what} milliseconds in '{token}': {e}"))
+            };
+            let action = match spec.split_once(':') {
+                Some(("delay", ms)) => FaultAction::Delay(millis("delay", ms)?),
+                Some(("hang", ms)) => FaultAction::Hang(Some(millis("hang", ms)?)),
+                None => match spec {
+                    "pass" => FaultAction::Pass,
+                    "fail" => FaultAction::Fail,
+                    "hang" => FaultAction::Hang(None),
+                    "corrupt" => FaultAction::Corrupt,
+                    "drop" => FaultAction::Drop,
+                    other => {
+                        return Err(format!(
+                            "unknown fault action '{other}' \
+                             (pass|fail|delay:MS|hang[:MS]|corrupt|drop)"
+                        ))
+                    }
+                },
+                Some((other, _)) => return Err(format!("unknown fault action '{other}:'")),
+            };
+            actions.extend(std::iter::repeat_n(action, count));
+        }
+        Ok(Self { actions })
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A plan plus its consumption cursor, shared across connections (the
+/// server) or calls (a [`ChaosNode`]).
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    cursor: AtomicUsize,
+}
+
+impl FaultState {
+    /// Fresh state at the start of the plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Consumes and returns the next action ([`FaultAction::Pass`] once
+    /// the script is exhausted).
+    pub fn next_action(&self) -> FaultAction {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        self.plan
+            .actions
+            .get(i)
+            .copied()
+            .unwrap_or(FaultAction::Pass)
+    }
+
+    /// Scripted actions consumed so far (clamped to the plan length).
+    pub fn consumed(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed).min(self.plan.len())
+    }
+
+    /// Failure actions among the consumed prefix — the number of request
+    /// failures this state has injected so far.
+    pub fn failures_consumed(&self) -> usize {
+        self.plan.actions[..self.consumed()]
+            .iter()
+            .filter(|a| a.is_failure())
+            .count()
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+/// In-process chaos wrapper: applies a [`FaultPlan`] to every call on the
+/// wrapped node. What each action surfaces mirrors the real transport:
+/// `Fail`/`Drop` become transport errors, `Hang` sleeps then surfaces the
+/// timeout a socket deadline would have produced, and `Corrupt` returns a
+/// short batch (the scheduler's reply-shape check must catch it).
+pub struct ChaosNode {
+    inner: Box<dyn ServiceNode>,
+    state: Arc<FaultState>,
+    hang_for: Duration,
+}
+
+impl ChaosNode {
+    /// Wraps `inner` with `plan`; hangs resolve as timeouts after 50 ms
+    /// unless the action or [`ChaosNode::with_hang_for`] says otherwise.
+    pub fn new(inner: Box<dyn ServiceNode>, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            state: Arc::new(FaultState::new(plan)),
+            hang_for: Duration::from_millis(50),
+        }
+    }
+
+    /// Overrides the simulated read deadline for `hang` actions.
+    pub fn with_hang_for(mut self, hang_for: Duration) -> Self {
+        self.hang_for = hang_for;
+        self
+    }
+
+    /// The shared consumption state (tests assert counters against it).
+    pub fn state(&self) -> Arc<FaultState> {
+        Arc::clone(&self.state)
+    }
+}
+
+impl ServiceNode for ChaosNode {
+    fn try_blind_rotate_batch(
+        &self,
+        ctx: &CkksContext,
+        boot: &Bootstrapper,
+        lwes: &[LweCiphertext],
+    ) -> Result<Vec<RlweCiphertext>, NodeError> {
+        match self.state.next_action() {
+            FaultAction::Pass => self.inner.try_blind_rotate_batch(ctx, boot, lwes),
+            FaultAction::Fail => Err(NodeError::Io("injected fault: fail".into())),
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                self.inner.try_blind_rotate_batch(ctx, boot, lwes)
+            }
+            FaultAction::Hang(d) => {
+                let after = d.unwrap_or(self.hang_for);
+                std::thread::sleep(after);
+                Err(NodeError::Timeout {
+                    phase: "read",
+                    after,
+                })
+            }
+            FaultAction::Corrupt => {
+                let mut accs = self.inner.try_blind_rotate_batch(ctx, boot, lwes)?;
+                accs.pop();
+                Ok(accs)
+            }
+            FaultAction::Drop => Err(NodeError::Io("injected fault: connection dropped".into())),
+        }
+    }
+
+    /// A probe consumes one scripted action too: the node "recovers" once
+    /// its injected faults are spent, exactly like a peer that answers
+    /// pings again.
+    fn probe(&self) -> Result<(), NodeError> {
+        match self.state.next_action() {
+            FaultAction::Pass => self.inner.probe(),
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                self.inner.probe()
+            }
+            action => Err(NodeError::Io(format!("injected fault: {action}"))),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("chaos({})", self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_parses_and_round_trips() {
+        let plan: FaultPlan = "fail*2, delay:50, hang, hang:10, corrupt, drop, pass"
+            .parse()
+            .unwrap();
+        assert_eq!(
+            plan.actions(),
+            &[
+                FaultAction::Fail,
+                FaultAction::Fail,
+                FaultAction::Delay(Duration::from_millis(50)),
+                FaultAction::Hang(None),
+                FaultAction::Hang(Some(Duration::from_millis(10))),
+                FaultAction::Corrupt,
+                FaultAction::Drop,
+                FaultAction::Pass,
+            ]
+        );
+        let shown = plan.to_string();
+        assert_eq!(shown.parse::<FaultPlan>().unwrap(), plan);
+    }
+
+    #[test]
+    fn plan_rejects_malformed_input() {
+        assert!("explode".parse::<FaultPlan>().is_err());
+        assert!("delay".parse::<FaultPlan>().is_err());
+        assert!("delay:abc".parse::<FaultPlan>().is_err());
+        assert!("fail*x".parse::<FaultPlan>().is_err());
+        assert!("sleep:10".parse::<FaultPlan>().is_err());
+        assert!("".parse::<FaultPlan>().unwrap().is_empty());
+    }
+
+    #[test]
+    fn state_consumes_then_passes_forever() {
+        let state = FaultState::new("fail,drop".parse().unwrap());
+        assert_eq!(state.next_action(), FaultAction::Fail);
+        assert_eq!(state.next_action(), FaultAction::Drop);
+        for _ in 0..4 {
+            assert_eq!(state.next_action(), FaultAction::Pass);
+        }
+        assert_eq!(state.consumed(), 2);
+        assert_eq!(state.failures_consumed(), 2);
+    }
+
+    #[test]
+    fn failure_classification_matches_actions() {
+        assert!(FaultAction::Fail.is_failure());
+        assert!(FaultAction::Hang(None).is_failure());
+        assert!(FaultAction::Corrupt.is_failure());
+        assert!(FaultAction::Drop.is_failure());
+        assert!(!FaultAction::Pass.is_failure());
+        assert!(!FaultAction::Delay(Duration::ZERO).is_failure());
+    }
+}

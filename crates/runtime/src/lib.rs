@@ -19,6 +19,15 @@
 //!    `heap-node-serve` process, using the `heap-tfhe` wire encodings, so
 //!    a `TransferLedger` fed by it records bytes *measured on a real
 //!    socket* rather than modeled.
+//! 4. **Fault tolerance** ([`scheduler`], [`fault`]) — every node sits
+//!    behind a circuit breaker (Closed → Open → HalfOpen); failed shards
+//!    are retried with exponential backoff and deterministic jitter, a
+//!    background prober pings Open nodes and readmits recovered ones,
+//!    socket operations all carry deadlines (hung peers surface as typed
+//!    [`NodeError::Timeout`]s, never wedged shards), and an optional
+//!    local fallback node keeps batches completing when remote capacity
+//!    degrades. A deterministic [`FaultPlan`] / [`ChaosNode`] harness
+//!    drives the chaos test suite.
 //!
 //! The primary/secondary split mirrors the paper exactly: extraction,
 //!  modulus switching, and repacking stay on the primary (this process);
@@ -28,12 +37,14 @@
 //! use heap_runtime::{BootstrapService, ParamPreset, RuntimeConfig};
 //!
 //! let setup = heap_runtime::deterministic_setup(ParamPreset::Tiny, 42);
-//! let service = BootstrapService::start(setup.ctx, setup.boot, RuntimeConfig::default());
+//! let service =
+//!     BootstrapService::start(setup.ctx, setup.boot, RuntimeConfig::default()).unwrap();
 //! // submit jobs from any number of client threads, then:
 //! service.shutdown();
 //! ```
 
 mod batch;
+mod fault;
 mod job;
 mod node;
 mod preset;
@@ -43,11 +54,12 @@ mod scheduler;
 mod service;
 
 pub use batch::BatchPolicy;
+pub use fault::{ChaosNode, FaultAction, FaultPlan, FaultState};
 pub use job::{JobHandle, JobId, JobOutput, JobRequest, Priority};
 pub use node::{LocalServiceNode, NodeError, ServiceNode};
 pub use preset::{deterministic_setup, DeterministicSetup, ParamPreset};
-pub use remote::{serve, RemoteNode, ServeOptions};
-pub use scheduler::{Scheduler, SchedulerStats};
+pub use remote::{serve, NodeTimeouts, RemoteNode, ServeOptions};
+pub use scheduler::{RetryPolicy, Scheduler, SchedulerStats};
 pub use service::{BootstrapService, RuntimeConfig, RuntimeStats};
 
 /// Errors surfaced to clients of the runtime.
@@ -60,6 +72,9 @@ pub enum RuntimeError {
     Shutdown,
     /// The request failed validation at submission time.
     Invalid(&'static str),
+    /// A service or scheduler was configured with no compute nodes at
+    /// all (no regular nodes and no fallback).
+    NoNodes,
     /// Every node failed while executing the job's batch; the message
     /// carries the last node error observed.
     AllNodesFailed(String),
@@ -71,6 +86,7 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::QueueFull => write!(f, "submission queue full"),
             RuntimeError::Shutdown => write!(f, "service shut down"),
             RuntimeError::Invalid(why) => write!(f, "invalid request: {why}"),
+            RuntimeError::NoNodes => write!(f, "no compute nodes configured"),
             RuntimeError::AllNodesFailed(last) => {
                 write!(f, "all compute nodes failed (last error: {last})")
             }

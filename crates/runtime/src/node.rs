@@ -7,6 +7,8 @@
 //! reassign its shard". [`LocalServiceNode`] adapts the in-process
 //! executor; [`crate::RemoteNode`] implements both traits.
 
+use std::time::Duration;
+
 use heap_ckks::CkksContext;
 use heap_core::{Bootstrapper, ComputeNode};
 use heap_parallel::Parallelism;
@@ -17,6 +19,15 @@ use heap_tfhe::{LweCiphertext, RlweCiphertext};
 pub enum NodeError {
     /// Transport failure (connect, read, write, or peer hangup).
     Io(String),
+    /// A socket deadline expired: the peer is hung or unreachable rather
+    /// than erroring. `phase` names the operation (`connect`, `hello`,
+    /// `read`, `write`, `ping`), `after` the deadline that fired.
+    Timeout {
+        /// The operation that timed out.
+        phase: &'static str,
+        /// The configured deadline that expired.
+        after: Duration,
+    },
     /// The peer sent bytes that do not decode as the expected frame.
     Protocol(String),
     /// The peer reported an error frame of its own.
@@ -29,6 +40,9 @@ impl std::fmt::Display for NodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NodeError::Io(e) => write!(f, "transport error: {e}"),
+            NodeError::Timeout { phase, after } => {
+                write!(f, "{phase} timed out after {:?}", after)
+            }
             NodeError::Protocol(e) => write!(f, "protocol error: {e}"),
             NodeError::Remote(e) => write!(f, "remote node error: {e}"),
             NodeError::Mismatch(why) => write!(f, "reply mismatch: {why}"),
@@ -48,6 +62,14 @@ pub trait ServiceNode: Send + Sync {
         boot: &Bootstrapper,
         lwes: &[LweCiphertext],
     ) -> Result<Vec<RlweCiphertext>, NodeError>;
+
+    /// Cheap liveness check used by the scheduler's health prober to
+    /// decide whether an open-circuit node can be readmitted. Remote
+    /// nodes reconnect, re-run the Hello handshake, and ping; in-process
+    /// nodes are always alive.
+    fn probe(&self) -> Result<(), NodeError> {
+        Ok(())
+    }
 
     /// Human-readable node name (diagnostics and stats).
     fn name(&self) -> String {

@@ -7,30 +7,46 @@
 //! serialized verbatim in the evaluation domain, so a remote round trip
 //! is bit-identical to local execution — the E2E tests assert it.
 //!
+//! Every socket operation runs under a deadline ([`NodeTimeouts`]):
+//! connect uses `TcpStream::connect_timeout` and reads/writes carry
+//! `set_read_timeout`/`set_write_timeout`, so a peer that *hangs* (rather
+//! than errors) surfaces as a typed [`NodeError::Timeout`] instead of a
+//! wedged shard. A node whose connection broke re-dials and re-runs the
+//! Hello handshake on its next use — which is how the scheduler's health
+//! prober readmits a recovered peer via [`RemoteNode::ping`].
+//!
 //! # Frame format
 //!
 //! Every frame is a 13-byte header followed by a payload:
 //!
 //! ```text
 //! magic  "HRT1"  u32 LE   (protocol + version in one)
-//! kind            u8      (Hello … Shutdown, below)
+//! kind            u8      (Hello … Pong, below)
 //! len             u64 LE  (payload bytes)
 //! ```
 //!
 //! A session is `Hello → HelloAck` (both directions validate the ring
 //! shape: `N`, boot limbs, `q_0`) followed by any number of
-//! `BlindRotateReq → BlindRotateResp` exchanges. Either side may send
-//! `Error` (UTF-8 reason) and hang up; `Shutdown` ends the session
-//! cleanly.
+//! `BlindRotateReq → BlindRotateResp` and `Ping → Pong` exchanges.
+//! Either side may send `Error` (UTF-8 reason) and hang up; `Shutdown`
+//! ends the session cleanly.
 //!
 //! When a [`TransferLedger`] is attached, the node records the bytes it
 //! *actually* writes to and reads from the socket — headers included —
 //! turning the ledger from a model into a measurement.
+//!
+//! The server applies an optional [`FaultPlan`]
+//! ([`ServeOptions::fault_plan`], `heap-node-serve --fault-plan`) to its
+//! blind-rotate requests: scripted error frames, delays, hangs, corrupt
+//! frames, and dropped connections, consumed one action per request
+//! across all connections — the socket half of the deterministic
+//! fault-injection harness.
 
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use heap_ckks::CkksContext;
 use heap_core::{Bootstrapper, ComputeNode, TransferLedger};
@@ -40,6 +56,7 @@ use heap_tfhe::{
     LweCiphertext, RlweCiphertext,
 };
 
+use crate::fault::{FaultAction, FaultPlan, FaultState};
 use crate::node::{NodeError, ServiceNode};
 
 /// `"HRT1"` — HEAP runtime transport, version 1.
@@ -50,6 +67,9 @@ pub(crate) const FRAME_HEADER_BYTES: u64 = 4 + 1 + 8;
 const MAX_FRAME: u64 = 1 << 30;
 /// Hello payload: `u32 n, u32 boot_limbs, u64 q0`.
 const HELLO_BYTES: usize = 16;
+/// How long a server-side `hang` action sleeps when the plan gives no
+/// duration: far beyond any client deadline, i.e. "forever".
+const HANG_FOREVER: Duration = Duration::from_secs(600);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FrameKind {
@@ -59,6 +79,8 @@ enum FrameKind {
     BlindRotateResp = 3,
     Error = 4,
     Shutdown = 5,
+    Ping = 6,
+    Pong = 7,
 }
 
 impl FrameKind {
@@ -70,7 +92,77 @@ impl FrameKind {
             3 => Some(FrameKind::BlindRotateResp),
             4 => Some(FrameKind::Error),
             5 => Some(FrameKind::Shutdown),
+            6 => Some(FrameKind::Ping),
+            7 => Some(FrameKind::Pong),
             _ => None,
+        }
+    }
+}
+
+/// Deadlines applied to every socket operation of a [`RemoteNode`].
+///
+/// A duration of zero means "no deadline" for that operation. The read
+/// deadline must cover the server's blind-rotation compute time for the
+/// largest shard it will be handed, not just network latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeTimeouts {
+    /// Deadline for `TcpStream::connect_timeout`.
+    pub connect: Duration,
+    /// Deadline for every read (handshake, response, pong).
+    pub read: Duration,
+    /// Deadline for every write (handshake, request, ping).
+    pub write: Duration,
+}
+
+impl Default for NodeTimeouts {
+    fn default() -> Self {
+        Self {
+            connect: Duration::from_secs(5),
+            read: Duration::from_secs(30),
+            write: Duration::from_secs(10),
+        }
+    }
+}
+
+impl NodeTimeouts {
+    /// The same deadline for connect, read, and write — handy in tests.
+    pub fn uniform(d: Duration) -> Self {
+        Self {
+            connect: d,
+            read: d,
+            write: d,
+        }
+    }
+}
+
+/// Zero means unbounded for the `set_*_timeout` APIs.
+fn bounded(d: Duration) -> Option<Duration> {
+    (d > Duration::ZERO).then_some(d)
+}
+
+/// Maps an I/O error to the typed node error for `phase`, turning the
+/// deadline kinds (`WouldBlock` on Unix, `TimedOut` elsewhere) into
+/// [`NodeError::Timeout`].
+fn io_error(phase: &'static str, after: Duration, e: std::io::Error) -> NodeError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            NodeError::Timeout { phase, after }
+        }
+        _ => NodeError::Io(format!("{phase}: {e}")),
+    }
+}
+
+/// A frame-level failure, before phase/deadline context is attached.
+enum FrameError {
+    Io(std::io::Error),
+    Protocol(String),
+}
+
+impl FrameError {
+    fn into_node(self, phase: &'static str, after: Duration) -> NodeError {
+        match self {
+            FrameError::Io(e) => io_error(phase, after, e),
+            FrameError::Protocol(p) => NodeError::Protocol(p),
         }
     }
 }
@@ -88,27 +180,25 @@ fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> std::io::
 }
 
 /// Reads one frame; returns kind, payload, and total bytes consumed.
-fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>, u64), NodeError> {
+fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>, u64), FrameError> {
     let mut header = [0u8; FRAME_HEADER_BYTES as usize];
-    r.read_exact(&mut header)
-        .map_err(|e| NodeError::Io(e.to_string()))?;
+    r.read_exact(&mut header).map_err(FrameError::Io)?;
     let magic = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
     if magic != FRAME_MAGIC {
-        return Err(NodeError::Protocol(format!(
+        return Err(FrameError::Protocol(format!(
             "bad frame magic {magic:#010x}"
         )));
     }
     let kind = FrameKind::from_u8(header[4])
-        .ok_or_else(|| NodeError::Protocol(format!("unknown frame kind {}", header[4])))?;
+        .ok_or_else(|| FrameError::Protocol(format!("unknown frame kind {}", header[4])))?;
     let len = u64::from_le_bytes(header[5..].try_into().expect("8 bytes"));
     if len > MAX_FRAME {
-        return Err(NodeError::Protocol(format!(
+        return Err(FrameError::Protocol(format!(
             "oversized frame ({len} bytes)"
         )));
     }
     let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)
-        .map_err(|e| NodeError::Io(e.to_string()))?;
+    r.read_exact(&mut payload).map_err(FrameError::Io)?;
     Ok((kind, payload, FRAME_HEADER_BYTES + len))
 }
 
@@ -121,21 +211,26 @@ fn hello_payload(ctx: &CkksContext) -> Vec<u8> {
     p
 }
 
-fn check_hello(ctx: &CkksContext, payload: &[u8]) -> Result<(), String> {
+/// Decodes a hello payload for diagnostics.
+fn describe_hello(payload: &[u8]) -> String {
     if payload.len() != HELLO_BYTES {
-        return Err(format!("hello payload is {} bytes", payload.len()));
+        return format!("{} bytes", payload.len());
     }
     let n = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes"));
     let limbs = u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes"));
     let q0 = u64::from_le_bytes(payload[8..].try_into().expect("8 bytes"));
-    if n as usize != ctx.n() || limbs as usize != ctx.boot_limbs() || q0 != ctx.q_modulus(0).value()
-    {
+    format!("(N={n}, limbs={limbs}, q0={q0})")
+}
+
+fn check_hello(local: &[u8], payload: &[u8]) -> Result<(), String> {
+    if payload.len() != HELLO_BYTES {
+        return Err(format!("hello payload is {} bytes", payload.len()));
+    }
+    if payload != local {
         return Err(format!(
-            "ring shape mismatch: peer (N={n}, limbs={limbs}, q0={q0}) \
-             vs local (N={}, limbs={}, q0={})",
-            ctx.n(),
-            ctx.boot_limbs(),
-            ctx.q_modulus(0).value()
+            "ring shape mismatch: peer {} vs local {}",
+            describe_hello(payload),
+            describe_hello(local)
         ));
     }
     Ok(())
@@ -145,26 +240,98 @@ fn check_hello(ctx: &CkksContext, payload: &[u8]) -> Result<(), String> {
 ///
 /// The connection is request–response under an internal lock, so a
 /// `RemoteNode` is safe to share; the scheduler gives each node one shard
-/// per batch anyway.
+/// per batch anyway. A failed exchange drops the connection, and the next
+/// call (or [`RemoteNode::ping`] from the health prober) re-dials and
+/// re-runs the Hello handshake — a restarted peer at the same address is
+/// picked back up transparently.
 pub struct RemoteNode {
     name: String,
-    stream: Mutex<TcpStream>,
+    addr: String,
+    /// The local ring shape, sent as `Hello` and expected back verbatim.
+    hello: Vec<u8>,
+    timeouts: NodeTimeouts,
+    stream: Mutex<Option<TcpStream>>,
     ledger: Option<Arc<TransferLedger>>,
 }
 
 impl RemoteNode {
-    /// Connects and handshakes with the server at `addr`, validating that
-    /// it serves the same ring shape as `ctx`.
+    /// Connects and handshakes with the server at `addr` under
+    /// [`NodeTimeouts::default`], validating that it serves the same ring
+    /// shape as `ctx`.
     pub fn connect(addr: &str, ctx: &CkksContext) -> Result<Self, NodeError> {
-        let mut stream = TcpStream::connect(addr).map_err(|e| NodeError::Io(e.to_string()))?;
+        Self::connect_with(addr, ctx, NodeTimeouts::default())
+    }
+
+    /// [`RemoteNode::connect`] with explicit socket deadlines.
+    pub fn connect_with(
+        addr: &str,
+        ctx: &CkksContext,
+        timeouts: NodeTimeouts,
+    ) -> Result<Self, NodeError> {
+        let node = Self {
+            name: format!("remote-{addr}"),
+            addr: addr.to_string(),
+            hello: hello_payload(ctx),
+            timeouts,
+            stream: Mutex::new(None),
+            ledger: None,
+        };
+        let stream = node.dial()?;
+        *node.lock_stream() = Some(stream);
+        Ok(node)
+    }
+
+    /// Attaches a ledger; subsequent batches record measured socket bytes.
+    pub fn with_ledger(mut self, ledger: Arc<TransferLedger>) -> Self {
+        self.ledger = Some(ledger);
+        self
+    }
+
+    /// The deadlines this node applies to its socket operations.
+    pub fn timeouts(&self) -> NodeTimeouts {
+        self.timeouts
+    }
+
+    /// A lock poisoned by a panicking peer thread still guards a valid
+    /// `Option<TcpStream>`; recover it rather than cascading the panic.
+    fn lock_stream(&self) -> std::sync::MutexGuard<'_, Option<TcpStream>> {
+        self.stream
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Dials, applies deadlines, and runs the Hello handshake.
+    fn dial(&self) -> Result<TcpStream, NodeError> {
+        let t = self.timeouts;
+        let sock = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| NodeError::Io(format!("resolve {}: {e}", self.addr)))?
+            .next()
+            .ok_or_else(|| NodeError::Io(format!("{} resolves to no address", self.addr)))?;
+        let mut stream = match bounded(t.connect) {
+            Some(d) => {
+                TcpStream::connect_timeout(&sock, d).map_err(|e| io_error("connect", d, e))?
+            }
+            None => TcpStream::connect(sock).map_err(|e| io_error("connect", t.connect, e))?,
+        };
         stream
             .set_nodelay(true)
             .map_err(|e| NodeError::Io(e.to_string()))?;
-        write_frame(&mut stream, FrameKind::Hello, &hello_payload(ctx))
+        stream
+            .set_read_timeout(bounded(t.read))
             .map_err(|e| NodeError::Io(e.to_string()))?;
-        let (kind, payload, _) = read_frame(&mut stream)?;
+        stream
+            .set_write_timeout(bounded(t.write))
+            .map_err(|e| NodeError::Io(e.to_string()))?;
+        write_frame(&mut stream, FrameKind::Hello, &self.hello)
+            .map_err(|e| io_error("hello", t.write, e))?;
+        let (kind, payload, _) =
+            read_frame(&mut stream).map_err(|e| e.into_node("hello", t.read))?;
         match kind {
-            FrameKind::HelloAck => check_hello(ctx, &payload).map_err(NodeError::Protocol)?,
+            FrameKind::HelloAck => {
+                check_hello(&self.hello, &payload).map_err(NodeError::Protocol)?
+            }
             FrameKind::Error => {
                 return Err(NodeError::Remote(
                     String::from_utf8_lossy(&payload).into_owned(),
@@ -176,23 +343,65 @@ impl RemoteNode {
                 )))
             }
         }
-        Ok(Self {
-            name: format!("remote-{addr}"),
-            stream: Mutex::new(stream),
-            ledger: None,
-        })
+        Ok(stream)
     }
 
-    /// Attaches a ledger; subsequent batches record measured socket bytes.
-    pub fn with_ledger(mut self, ledger: Arc<TransferLedger>) -> Self {
-        self.ledger = Some(ledger);
-        self
+    /// One request–response exchange, (re)dialing first when no live
+    /// connection is held. Any transport or framing failure drops the
+    /// connection so the next call starts fresh; a well-formed `Error`
+    /// frame keeps it (the session is still in sync).
+    fn exchange(
+        &self,
+        request: FrameKind,
+        payload: &[u8],
+        expect: FrameKind,
+    ) -> Result<(Vec<u8>, u64, u64), NodeError> {
+        let t = self.timeouts;
+        let mut guard = self.lock_stream();
+        if guard.is_none() {
+            *guard = Some(self.dial()?);
+        }
+        let stream = guard.as_mut().expect("stream just ensured");
+        let result = (|| {
+            let sent =
+                write_frame(stream, request, payload).map_err(|e| io_error("write", t.write, e))?;
+            let (kind, reply, received) =
+                read_frame(stream).map_err(|e| e.into_node("read", t.read))?;
+            match kind {
+                k if k == expect => Ok((reply, sent, received)),
+                FrameKind::Error => Err(NodeError::Remote(
+                    String::from_utf8_lossy(&reply).into_owned(),
+                )),
+                other => Err(NodeError::Protocol(format!(
+                    "expected {expect:?}, got {other:?}"
+                ))),
+            }
+        })();
+        if !matches!(result, Ok(_) | Err(NodeError::Remote(_))) {
+            *guard = None;
+        }
+        result
+    }
+
+    /// Liveness round trip: reconnect + re-handshake if needed, then
+    /// `Ping → Pong`. This is what the scheduler's health prober calls to
+    /// decide readmission.
+    pub fn ping(&self) -> Result<(), NodeError> {
+        let (reply, _, _) = self.exchange(FrameKind::Ping, &[], FrameKind::Pong)?;
+        if reply.is_empty() {
+            Ok(())
+        } else {
+            Err(NodeError::Protocol(format!(
+                "pong carried {} unexpected bytes",
+                reply.len()
+            )))
+        }
     }
 
     /// Best-effort clean session end (the server closes the connection).
     pub fn shutdown(&self) {
-        if let Ok(mut stream) = self.stream.lock() {
-            let _ = write_frame(&mut *stream, FrameKind::Shutdown, &[]);
+        if let Some(stream) = self.lock_stream().as_mut() {
+            let _ = write_frame(stream, FrameKind::Shutdown, &[]);
         }
     }
 }
@@ -201,6 +410,7 @@ impl std::fmt::Debug for RemoteNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RemoteNode")
             .field("name", &self.name)
+            .field("timeouts", &self.timeouts)
             .finish()
     }
 }
@@ -213,27 +423,16 @@ impl ServiceNode for RemoteNode {
         lwes: &[LweCiphertext],
     ) -> Result<Vec<RlweCiphertext>, NodeError> {
         let request = lwe_batch_to_wire(lwes);
-        let mut stream = self.stream.lock().expect("remote stream poisoned");
-        let sent = write_frame(&mut *stream, FrameKind::BlindRotateReq, &request)
-            .map_err(|e| NodeError::Io(e.to_string()))?;
+        let (payload, sent, received) = self.exchange(
+            FrameKind::BlindRotateReq,
+            &request,
+            FrameKind::BlindRotateResp,
+        )?;
         if let Some(ledger) = &self.ledger {
             ledger.record_scatter(lwes.len() as u64, sent);
         }
-        let (kind, payload, received) = read_frame(&mut *stream)?;
-        let accs = match kind {
-            FrameKind::BlindRotateResp => rlwe_batch_from_wire(&payload)
-                .map_err(|e| NodeError::Protocol(format!("bad accumulator batch: {e:?}")))?,
-            FrameKind::Error => {
-                return Err(NodeError::Remote(
-                    String::from_utf8_lossy(&payload).into_owned(),
-                ))
-            }
-            other => {
-                return Err(NodeError::Protocol(format!(
-                    "expected BlindRotateResp, got {other:?}"
-                )))
-            }
-        };
+        let accs = rlwe_batch_from_wire(&payload)
+            .map_err(|e| NodeError::Protocol(format!("bad accumulator batch: {e:?}")))?;
         if accs.len() != lwes.len() {
             return Err(NodeError::Mismatch("accumulator count != request count"));
         }
@@ -241,6 +440,10 @@ impl ServiceNode for RemoteNode {
             ledger.record_gather(accs.len() as u64, received);
         }
         Ok(accs)
+    }
+
+    fn probe(&self) -> Result<(), NodeError> {
+        self.ping()
     }
 
     fn name(&self) -> String {
@@ -271,94 +474,136 @@ impl ComputeNode for RemoteNode {
 }
 
 /// Server-side knobs for [`serve`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Default)]
 pub struct ServeOptions {
     /// Thread budget for this node's blind rotations (one FPGA's worth of
     /// compute in the paper's terms).
     pub parallelism: Parallelism,
     /// Failure injection: serve this many blind-rotate requests, then die
     /// — drop the in-flight connection without replying and refuse all
-    /// future ones. `None` serves forever.
+    /// future ones. `None` serves forever. For *transient* faults use
+    /// [`ServeOptions::fault_plan`] instead.
     pub fail_after: Option<u64>,
-}
-
-impl Default for ServeOptions {
-    fn default() -> Self {
-        Self {
-            parallelism: Parallelism::max(),
-            fail_after: None,
-        }
-    }
+    /// Scripted fault injection: one [`FaultAction`] consumed per
+    /// blind-rotate request (across all connections); requests beyond the
+    /// plan are served normally, so the node "recovers".
+    pub fault_plan: Option<FaultPlan>,
 }
 
 /// Serves blind-rotation requests on `listener` until the process exits.
 ///
-/// Each connection gets its own thread; all share the node's key material
-/// and thread budget. Callable in-process (benches spawn it on a
-/// background thread) or from the `heap-node-serve` binary.
+/// Each connection gets its own thread; all share the node's key
+/// material, thread budget, and fault-injection state. Callable
+/// in-process (benches spawn it on a background thread) or from the
+/// `heap-node-serve` binary.
 pub fn serve(
     listener: TcpListener,
     ctx: Arc<CkksContext>,
     boot: Arc<Bootstrapper>,
     opts: ServeOptions,
 ) -> std::io::Result<()> {
-    let served = Arc::new(AtomicU64::new(0));
-    let poisoned = Arc::new(AtomicBool::new(false));
+    let state = Arc::new(ServerState {
+        parallelism: opts.parallelism,
+        fail_after: opts.fail_after,
+        fault: opts.fault_plan.map(FaultState::new),
+        served: AtomicU64::new(0),
+        poisoned: AtomicBool::new(false),
+    });
     for conn in listener.incoming() {
         let stream = conn?;
-        if poisoned.load(Ordering::Relaxed) {
+        if state.poisoned.load(Ordering::Relaxed) {
             // A "dead" node: accept() succeeded at the OS level but the
             // session is dropped before the handshake, so clients see EOF.
             drop(stream);
             continue;
         }
-        let (ctx, boot, served, poisoned) = (
-            Arc::clone(&ctx),
-            Arc::clone(&boot),
-            Arc::clone(&served),
-            Arc::clone(&poisoned),
-        );
+        let (ctx, boot, state) = (Arc::clone(&ctx), Arc::clone(&boot), Arc::clone(&state));
         std::thread::spawn(move || {
-            let _ = handle_connection(stream, &ctx, &boot, opts, &served, &poisoned);
+            let _ = handle_connection(stream, &ctx, &boot, &state);
         });
     }
     Ok(())
+}
+
+/// Per-listener state shared by every connection thread.
+struct ServerState {
+    parallelism: Parallelism,
+    fail_after: Option<u64>,
+    fault: Option<FaultState>,
+    served: AtomicU64,
+    poisoned: AtomicBool,
+}
+
+/// Maps a server-side frame failure (no deadlines are armed on the
+/// server's reads) to a [`NodeError`] for the connection result.
+fn server_frame_err(e: FrameError) -> NodeError {
+    e.into_node("read", Duration::ZERO)
 }
 
 fn handle_connection(
     mut stream: TcpStream,
     ctx: &CkksContext,
     boot: &Bootstrapper,
-    opts: ServeOptions,
-    served: &AtomicU64,
-    poisoned: &AtomicBool,
+    state: &ServerState,
 ) -> Result<(), NodeError> {
     stream
         .set_nodelay(true)
         .map_err(|e| NodeError::Io(e.to_string()))?;
-    let (kind, payload, _) = read_frame(&mut stream)?;
+    // A dead or stalled *client* must not wedge this connection thread
+    // forever on a blocked write; reads stay unbounded (idle sessions —
+    // e.g. a prober holding a connection open — are normal).
+    stream
+        .set_write_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| NodeError::Io(e.to_string()))?;
+    let local_hello = hello_payload(ctx);
+    let (kind, payload, _) = read_frame(&mut stream).map_err(server_frame_err)?;
     if kind != FrameKind::Hello {
         let _ = write_frame(&mut stream, FrameKind::Error, b"expected Hello");
         return Err(NodeError::Protocol("expected Hello".into()));
     }
-    if let Err(why) = check_hello(ctx, &payload) {
+    if let Err(why) = check_hello(&local_hello, &payload) {
         let _ = write_frame(&mut stream, FrameKind::Error, why.as_bytes());
         return Err(NodeError::Protocol(why));
     }
-    write_frame(&mut stream, FrameKind::HelloAck, &hello_payload(ctx))
+    write_frame(&mut stream, FrameKind::HelloAck, &local_hello)
         .map_err(|e| NodeError::Io(e.to_string()))?;
     let moduli: Vec<u64> = (0..ctx.boot_limbs())
         .map(|j| ctx.rns().modulus(j).value())
         .collect();
     loop {
-        let (kind, payload, _) = read_frame(&mut stream)?;
+        let (kind, payload, _) = read_frame(&mut stream).map_err(server_frame_err)?;
         match kind {
             FrameKind::BlindRotateReq => {
-                if let Some(limit) = opts.fail_after {
-                    if served.fetch_add(1, Ordering::Relaxed) >= limit {
-                        poisoned.store(true, Ordering::Relaxed);
+                if let Some(limit) = state.fail_after {
+                    if state.served.fetch_add(1, Ordering::Relaxed) >= limit {
+                        state.poisoned.store(true, Ordering::Relaxed);
                         // Die mid-request: no reply, connection dropped.
                         return Ok(());
+                    }
+                }
+                if let Some(fault) = &state.fault {
+                    match fault.next_action() {
+                        FaultAction::Pass => {}
+                        FaultAction::Fail => {
+                            write_frame(&mut stream, FrameKind::Error, b"injected fault: fail")
+                                .map_err(|e| NodeError::Io(e.to_string()))?;
+                            continue;
+                        }
+                        FaultAction::Delay(d) => std::thread::sleep(d),
+                        FaultAction::Hang(d) => {
+                            // Go silent: the client's read deadline, not
+                            // this server, must end the exchange.
+                            std::thread::sleep(d.unwrap_or(HANG_FOREVER));
+                            return Ok(());
+                        }
+                        FaultAction::Corrupt => {
+                            // A garbage header: wrong magic, then close.
+                            let junk = [0xDEu8, 0xAD, 0xBE, 0xEF, 0xFF, 1, 2, 3, 4, 5, 6, 7, 8];
+                            let _ = stream.write_all(&junk);
+                            let _ = stream.flush();
+                            return Ok(());
+                        }
+                        FaultAction::Drop => return Ok(()),
                     }
                 }
                 let lwes = match lwe_batch_from_wire(&payload) {
@@ -369,9 +614,13 @@ fn handle_connection(
                         return Err(NodeError::Protocol(why));
                     }
                 };
-                let accs = boot.blind_rotate_batch_par(ctx, &lwes, opts.parallelism);
+                let accs = boot.blind_rotate_batch_par(ctx, &lwes, state.parallelism);
                 let resp = rlwe_batch_to_wire(&accs, &moduli);
                 write_frame(&mut stream, FrameKind::BlindRotateResp, &resp)
+                    .map_err(|e| NodeError::Io(e.to_string()))?;
+            }
+            FrameKind::Ping => {
+                write_frame(&mut stream, FrameKind::Pong, &[])
                     .map_err(|e| NodeError::Io(e.to_string()))?;
             }
             FrameKind::Shutdown => return Ok(()),
@@ -424,7 +673,7 @@ mod tests {
         let s = setup();
         let addr = spawn_server(ServeOptions {
             parallelism: Parallelism::with_threads(2),
-            fail_after: None,
+            ..ServeOptions::default()
         });
         let node = RemoteNode::connect(&addr, &s.ctx).expect("connect");
         let lwes = test_lwes(5);
@@ -479,6 +728,7 @@ mod tests {
         let addr = spawn_server(ServeOptions {
             parallelism: Parallelism::serial(),
             fail_after: Some(1),
+            ..ServeOptions::default()
         });
         let node = RemoteNode::connect(&addr, &s.ctx).expect("connect");
         let lwes = test_lwes(2);
@@ -488,8 +738,9 @@ mod tests {
             .try_blind_rotate_batch(&s.ctx, &s.boot, &lwes)
             .expect_err("second batch must fail");
         assert!(matches!(err, NodeError::Io(_)), "got {err:?}");
-        // The node is dead for new connections too.
-        assert!(RemoteNode::connect(&addr, &s.ctx).is_err());
+        // The node is dead for new connections too (the next attempt
+        // re-dials internally and sees EOF before HelloAck).
+        assert!(node.ping().is_err());
     }
 
     #[test]
@@ -501,7 +752,9 @@ mod tests {
         let mut bogus = hello_payload(&s.ctx);
         bogus[0] ^= 0xFF;
         write_frame(&mut stream, FrameKind::Hello, &bogus).expect("write hello");
-        let (kind, payload, _) = read_frame(&mut stream).expect("read reply");
+        let (kind, payload, _) = read_frame(&mut stream)
+            .map_err(server_frame_err)
+            .expect("read reply");
         assert_eq!(kind, FrameKind::Error);
         assert!(String::from_utf8_lossy(&payload).contains("mismatch"));
     }
@@ -518,5 +771,104 @@ mod tests {
             RemoteNode::connect(&addr, &s.ctx),
             Err(NodeError::Io(_))
         ));
+    }
+
+    #[test]
+    fn ping_pong_round_trips_and_survives_reconnect() {
+        let s = setup();
+        let addr = spawn_server(ServeOptions::default());
+        let node = RemoteNode::connect(&addr, &s.ctx).expect("connect");
+        node.ping().expect("first ping");
+        // Break the held connection; ping must transparently re-dial and
+        // re-handshake.
+        *node.lock_stream() = None;
+        node.ping().expect("ping after reconnect");
+        assert!(ServiceNode::probe(&node).is_ok());
+        node.shutdown();
+    }
+
+    #[test]
+    fn hung_server_surfaces_as_read_timeout() {
+        let s = setup();
+        let addr = spawn_server(ServeOptions {
+            parallelism: Parallelism::serial(),
+            fault_plan: Some("hang".parse().expect("plan")),
+            ..ServeOptions::default()
+        });
+        let timeouts = NodeTimeouts {
+            read: Duration::from_millis(200),
+            ..NodeTimeouts::default()
+        };
+        let node = RemoteNode::connect_with(&addr, &s.ctx, timeouts).expect("connect");
+        let err = node
+            .try_blind_rotate_batch(&s.ctx, &s.boot, &test_lwes(1))
+            .expect_err("hung server must time out");
+        assert_eq!(
+            err,
+            NodeError::Timeout {
+                phase: "read",
+                after: Duration::from_millis(200)
+            }
+        );
+    }
+
+    #[test]
+    fn connect_to_unroutable_peer_times_out() {
+        let s = setup();
+        // RFC 5737 TEST-NET-1: guaranteed unroutable, so connect hangs
+        // until the deadline rather than being refused.
+        let timeouts = NodeTimeouts {
+            connect: Duration::from_millis(150),
+            ..NodeTimeouts::default()
+        };
+        match RemoteNode::connect_with("192.0.2.1:7001", &s.ctx, timeouts) {
+            Err(NodeError::Timeout { phase, after }) => {
+                assert_eq!(phase, "connect");
+                assert_eq!(after, Duration::from_millis(150));
+            }
+            // Some sandboxed environments refuse instead of dropping.
+            Err(NodeError::Io(_)) => {}
+            other => panic!("expected connect timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_plan_error_frame_is_typed_remote_error() {
+        let s = setup();
+        let addr = spawn_server(ServeOptions {
+            parallelism: Parallelism::serial(),
+            fault_plan: Some("fail".parse().expect("plan")),
+            ..ServeOptions::default()
+        });
+        let node = RemoteNode::connect(&addr, &s.ctx).expect("connect");
+        let err = node
+            .try_blind_rotate_batch(&s.ctx, &s.boot, &test_lwes(1))
+            .expect_err("injected fail");
+        assert!(
+            matches!(err, NodeError::Remote(ref m) if m.contains("injected")),
+            "{err:?}"
+        );
+        // The plan is spent: the same node now serves correctly, on the
+        // same session (Error frames keep the connection).
+        node.try_blind_rotate_batch(&s.ctx, &s.boot, &test_lwes(1))
+            .expect("served after plan exhausted");
+    }
+
+    #[test]
+    fn fault_plan_corrupt_frame_is_protocol_error_then_recovers() {
+        let s = setup();
+        let addr = spawn_server(ServeOptions {
+            parallelism: Parallelism::serial(),
+            fault_plan: Some("corrupt".parse().expect("plan")),
+            ..ServeOptions::default()
+        });
+        let node = RemoteNode::connect(&addr, &s.ctx).expect("connect");
+        let err = node
+            .try_blind_rotate_batch(&s.ctx, &s.boot, &test_lwes(1))
+            .expect_err("corrupt frame");
+        assert!(matches!(err, NodeError::Protocol(_)), "{err:?}");
+        // Reconnect picks the node back up once the plan is exhausted.
+        node.try_blind_rotate_batch(&s.ctx, &s.boot, &test_lwes(1))
+            .expect("served after reconnect");
     }
 }

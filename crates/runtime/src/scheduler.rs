@@ -1,16 +1,40 @@
-//! Sharding, least-loaded dispatch, and failure reassignment.
+//! Sharding, least-loaded dispatch, and fault-tolerant reassignment.
 //!
 //! A flushed batch of LWE ciphertexts is split into contiguous shards —
-//! one per healthy node, mirroring `LocalCluster`'s contiguous chunking so
-//! results reassemble in input order by construction. Shards go to nodes
-//! least-loaded-first (load = blind rotations currently in flight on that
-//! node, which matters when several batches overlap or nodes differ in
-//! speed). A node that returns an error is marked unhealthy and *stays*
-//! unhealthy — a TCP peer that dropped mid-batch is gone — and its shard
-//! is reassigned to the surviving nodes. Only when every node has failed
-//! does the batch itself fail.
+//! one per dispatchable node, mirroring `LocalCluster`'s contiguous
+//! chunking so results reassemble in input order by construction. Shards
+//! go to nodes least-loaded-first (load = blind rotations currently in
+//! flight on that node, which matters when several batches overlap or
+//! nodes differ in speed).
+//!
+//! Failure handling is a per-node circuit breaker plus per-shard retry
+//! with exponential backoff:
+//!
+//! ```text
+//!            failure (threshold consecutive)
+//!   Closed ────────────────────────────────▶ Open
+//!     ▲                                       │ open_for elapses
+//!     │ success (readmission)                 ▼ (prober)
+//!     └───────────────────────────────── HalfOpen
+//!                 failure: back to Open, doubled duration
+//! ```
+//!
+//! A node whose breaker is `Open` receives no shards. A background
+//! health prober wakes every `probe_interval`, moves due `Open` breakers
+//! to `HalfOpen`, and probes the node ([`ServiceNode::probe`] — for a
+//! remote node: reconnect, re-handshake, ping). A successful probe (or a
+//! successful `HalfOpen` shard) *readmits* the node into dispatch; a
+//! failed one re-opens the breaker with doubled duration. Failed shards
+//! are reassigned to the surviving nodes with exponential backoff and
+//! deterministic jitter between rounds. When dispatchable capacity drops
+//! below [`RetryPolicy::min_dispatch_nodes`] and a *fallback* node is
+//! configured, the fallback joins the rotation — a batch never fails
+//! while the host itself can still compute. Only when nothing can serve
+//! a shard does the batch fail, with a typed [`RuntimeError`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use heap_ckks::CkksContext;
 use heap_core::Bootstrapper;
@@ -18,6 +42,183 @@ use heap_tfhe::{LweCiphertext, RlweCiphertext};
 
 use crate::node::{NodeError, ServiceNode};
 use crate::RuntimeError;
+
+/// Retry, circuit-breaker, probing, and degradation knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-dispatch rounds per batch before giving up (round 0 is the
+    /// initial dispatch).
+    pub max_rounds: usize,
+    /// Backoff before re-dispatch round `r` is
+    /// `min(base_backoff · 2^(r-1), max_backoff)`, stretched by up to
+    /// +50% deterministic jitter. Zero disables backoff sleeps.
+    pub base_backoff: Duration,
+    /// Cap on the exponential backoff.
+    pub max_backoff: Duration,
+    /// Consecutive failures that open a node's breaker.
+    pub breaker_threshold: u32,
+    /// How long a breaker stays open before the prober half-opens it;
+    /// doubles on each consecutive re-open.
+    pub breaker_open_for: Duration,
+    /// Cap on the doubled open duration.
+    pub breaker_max_open: Duration,
+    /// Health-prober wake interval (zero disables the prober).
+    pub probe_interval: Duration,
+    /// When fewer than this many regular nodes are dispatchable and a
+    /// fallback is configured, the fallback joins the rotation.
+    pub min_dispatch_nodes: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_rounds: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            breaker_threshold: 1,
+            breaker_open_for: Duration::from_millis(250),
+            breaker_max_open: Duration::from_secs(5),
+            probe_interval: Duration::from_millis(100),
+            min_dispatch_nodes: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Millisecond-scale breaker/probe timings for fast deterministic
+    /// tests: failures open immediately, probes run every 10 ms, and
+    /// backoff sleeps stay negligible.
+    pub fn test_fast() -> Self {
+        Self {
+            max_rounds: 8,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            breaker_threshold: 1,
+            breaker_open_for: Duration::from_millis(20),
+            breaker_max_open: Duration::from_millis(200),
+            probe_interval: Duration::from_millis(10),
+            min_dispatch_nodes: 1,
+        }
+    }
+
+    /// [`RetryPolicy::test_fast`] with breakers that never half-open
+    /// within a test's lifetime — for asserting that failed nodes *stay*
+    /// out of dispatch.
+    pub fn test_no_readmission() -> Self {
+        Self {
+            breaker_open_for: Duration::from_secs(3600),
+            breaker_max_open: Duration::from_secs(3600),
+            probe_interval: Duration::from_secs(3600),
+            ..Self::test_fast()
+        }
+    }
+}
+
+/// splitmix64: the deterministic jitter source (no global RNG, no wall
+/// clock — identical runs jitter identically).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A jitter factor in `[0, 1)` derived from `(batch, round)`.
+fn jitter01(batch: u64, round: usize) -> f64 {
+    (splitmix64(batch.wrapping_mul(31).wrapping_add(round as u64)) >> 11) as f64
+        / (1u64 << 53) as f64
+}
+
+/// Circuit-breaker state for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Dispatchable; counts consecutive failures toward the threshold.
+    Closed { consecutive: u32 },
+    /// Out of dispatch until `until`; `streak` consecutive opens scale
+    /// the next open duration.
+    Open { until: Instant, streak: u32 },
+    /// Trial mode: one probe or shard decides readmission vs re-open.
+    HalfOpen { streak: u32 },
+}
+
+#[derive(Debug)]
+struct Breaker {
+    state: Mutex<BreakerState>,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(BreakerState::Closed { consecutive: 0 }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Closed or HalfOpen nodes accept shards.
+    fn is_dispatchable(&self) -> bool {
+        !matches!(*self.lock(), BreakerState::Open { .. })
+    }
+
+    /// Records a successful call. Returns `true` when this *readmitted*
+    /// the node (HalfOpen → Closed).
+    fn on_success(&self) -> bool {
+        let mut state = self.lock();
+        let was_half_open = matches!(*state, BreakerState::HalfOpen { .. });
+        *state = BreakerState::Closed { consecutive: 0 };
+        was_half_open
+    }
+
+    /// Records a failed call. Returns `true` when this opened the
+    /// breaker (Closed past threshold, or a failed HalfOpen trial).
+    fn on_failure(&self, policy: &RetryPolicy, now: Instant) -> bool {
+        let mut state = self.lock();
+        match *state {
+            BreakerState::Closed { consecutive } => {
+                let consecutive = consecutive + 1;
+                if consecutive >= policy.breaker_threshold {
+                    *state = BreakerState::Open {
+                        until: now + policy.breaker_open_for,
+                        streak: 1,
+                    };
+                    true
+                } else {
+                    *state = BreakerState::Closed { consecutive };
+                    false
+                }
+            }
+            BreakerState::HalfOpen { streak } | BreakerState::Open { streak, .. } => {
+                let streak = streak.saturating_add(1);
+                let open_for = policy
+                    .breaker_open_for
+                    .saturating_mul(1u32 << (streak - 1).min(16))
+                    .min(policy.breaker_max_open);
+                *state = BreakerState::Open {
+                    until: now + open_for,
+                    streak,
+                };
+                true
+            }
+        }
+    }
+
+    /// Open past its deadline → HalfOpen; returns `true` if the caller
+    /// should now probe the node.
+    fn half_open_if_due(&self, now: Instant) -> bool {
+        let mut state = self.lock();
+        if let BreakerState::Open { until, streak } = *state {
+            if now >= until {
+                *state = BreakerState::HalfOpen { streak };
+                return true;
+            }
+        }
+        false
+    }
+}
 
 /// One resolved shard: `(node, output slot, shard, outcome)`.
 type ShardResult<'a> = (
@@ -32,107 +233,227 @@ type ShardResult<'a> = (
 pub struct SchedulerStats {
     /// Batches executed to completion (success or failure).
     pub batches: u64,
-    /// Shards dispatched, including reassigned ones.
+    /// Shards dispatched, including reassigned and fallback ones.
     pub shards: u64,
-    /// Shards that had to be reassigned after a node failure.
+    /// Shards re-dispatched after a failed attempt.
     pub reassignments: u64,
-    /// Nodes marked unhealthy.
+    /// Failed node calls (transport, protocol, timeout, short reply).
     pub node_failures: u64,
+    /// Breaker transitions into `Open`.
+    pub breaker_opens: u64,
+    /// Nodes readmitted into dispatch (HalfOpen → Closed).
+    pub readmissions: u64,
+    /// Shards served by the fallback node.
+    pub fallback_shards: u64,
 }
 
 struct NodeSlot {
     node: Box<dyn ServiceNode>,
-    healthy: AtomicBool,
+    breaker: Breaker,
     /// Blind rotations currently in flight on this node.
     inflight: AtomicUsize,
 }
 
-/// Dispatches LWE batches across a fixed set of [`ServiceNode`]s.
-pub struct Scheduler {
+/// Sentinel node index for the fallback in an assignment round.
+const FALLBACK: usize = usize::MAX;
+
+/// State shared between the scheduler handle and its prober thread.
+struct Inner {
     slots: Vec<NodeSlot>,
+    /// Local last resort when remote capacity degrades; never breaker-
+    /// gated, but abandoned for good if it ever fails.
+    fallback: Option<Box<dyn ServiceNode>>,
+    fallback_failed: AtomicBool,
+    fallback_inflight: AtomicUsize,
+    policy: RetryPolicy,
     batches: AtomicU64,
     shards: AtomicU64,
     reassignments: AtomicU64,
     node_failures: AtomicU64,
+    breaker_opens: AtomicU64,
+    readmissions: AtomicU64,
+    fallback_shards: AtomicU64,
+    /// Prober shutdown latch: flag + condvar so `Drop` is prompt.
+    stop: Mutex<bool>,
+    stop_cv: Condvar,
+}
+
+impl Inner {
+    /// One prober pass: half-open due breakers and probe those nodes.
+    fn probe_round(&self) {
+        for slot in &self.slots {
+            let now = Instant::now();
+            if !slot.breaker.half_open_if_due(now) {
+                continue;
+            }
+            match slot.node.probe() {
+                Ok(()) => {
+                    if slot.breaker.on_success() {
+                        self.readmissions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => {
+                    // HalfOpen failure always re-opens; already counted
+                    // as an open the first time, but each re-open is a
+                    // distinct transition worth counting.
+                    if slot.breaker.on_failure(&self.policy, Instant::now()) {
+                        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches LWE batches across a fixed set of [`ServiceNode`]s with
+/// circuit breaking, retry, readmission, and graceful degradation.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    prober: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Scheduler {
-    /// Builds a scheduler over `nodes` (all initially healthy).
+    /// Builds a scheduler over `nodes` (all initially dispatchable) with
+    /// the default [`RetryPolicy`] and no fallback.
     ///
-    /// # Panics
-    ///
-    /// Panics if `nodes` is empty.
-    pub fn new(nodes: Vec<Box<dyn ServiceNode>>) -> Self {
-        assert!(!nodes.is_empty(), "scheduler needs at least one node");
-        Self {
+    /// Fails with [`RuntimeError::NoNodes`] when `nodes` is empty.
+    pub fn new(nodes: Vec<Box<dyn ServiceNode>>) -> Result<Self, RuntimeError> {
+        Self::with_policy(nodes, None, RetryPolicy::default())
+    }
+
+    /// Builds a scheduler with an explicit policy and an optional local
+    /// fallback node used when remote capacity degrades below
+    /// [`RetryPolicy::min_dispatch_nodes`].
+    pub fn with_policy(
+        nodes: Vec<Box<dyn ServiceNode>>,
+        fallback: Option<Box<dyn ServiceNode>>,
+        policy: RetryPolicy,
+    ) -> Result<Self, RuntimeError> {
+        if nodes.is_empty() && fallback.is_none() {
+            return Err(RuntimeError::NoNodes);
+        }
+        let inner = Arc::new(Inner {
             slots: nodes
                 .into_iter()
                 .map(|node| NodeSlot {
                     node,
-                    healthy: AtomicBool::new(true),
+                    breaker: Breaker::new(),
                     inflight: AtomicUsize::new(0),
                 })
                 .collect(),
+            fallback,
+            fallback_failed: AtomicBool::new(false),
+            fallback_inflight: AtomicUsize::new(0),
+            policy,
             batches: AtomicU64::new(0),
             shards: AtomicU64::new(0),
             reassignments: AtomicU64::new(0),
             node_failures: AtomicU64::new(0),
-        }
+            breaker_opens: AtomicU64::new(0),
+            readmissions: AtomicU64::new(0),
+            fallback_shards: AtomicU64::new(0),
+            stop: Mutex::new(false),
+            stop_cv: Condvar::new(),
+        });
+        let prober = (policy.probe_interval > Duration::ZERO && !inner.slots.is_empty())
+            .then(|| spawn_prober(&inner));
+        Ok(Self {
+            inner,
+            prober: Mutex::new(prober),
+        })
     }
 
-    /// Total node count (healthy or not).
+    /// Total node count (fallback excluded, dispatchable or not).
     pub fn node_count(&self) -> usize {
-        self.slots.len()
+        self.inner.slots.len()
     }
 
-    /// Nodes currently healthy.
+    /// Nodes currently dispatchable (breaker Closed or HalfOpen).
     pub fn healthy_count(&self) -> usize {
-        self.slots
+        self.inner
+            .slots
             .iter()
-            .filter(|s| s.healthy.load(Ordering::Relaxed))
+            .filter(|s| s.breaker.is_dispatchable())
             .count()
     }
 
-    /// Names of the nodes still healthy.
+    /// Names of the dispatchable nodes.
     pub fn healthy_names(&self) -> Vec<String> {
-        self.slots
+        self.inner
+            .slots
             .iter()
-            .filter(|s| s.healthy.load(Ordering::Relaxed))
+            .filter(|s| s.breaker.is_dispatchable())
             .map(|s| s.node.name())
             .collect()
     }
 
+    /// Whether a fallback node is configured and still trusted.
+    pub fn has_fallback(&self) -> bool {
+        self.inner.fallback.is_some() && !self.inner.fallback_failed.load(Ordering::Relaxed)
+    }
+
     /// Snapshot of the lifetime counters.
     pub fn stats(&self) -> SchedulerStats {
+        let i = &self.inner;
         SchedulerStats {
-            batches: self.batches.load(Ordering::Relaxed),
-            shards: self.shards.load(Ordering::Relaxed),
-            reassignments: self.reassignments.load(Ordering::Relaxed),
-            node_failures: self.node_failures.load(Ordering::Relaxed),
+            batches: i.batches.load(Ordering::Relaxed),
+            shards: i.shards.load(Ordering::Relaxed),
+            reassignments: i.reassignments.load(Ordering::Relaxed),
+            node_failures: i.node_failures.load(Ordering::Relaxed),
+            breaker_opens: i.breaker_opens.load(Ordering::Relaxed),
+            readmissions: i.readmissions.load(Ordering::Relaxed),
+            fallback_shards: i.fallback_shards.load(Ordering::Relaxed),
         }
     }
 
-    /// Healthy node indices, least-loaded first (stable on ties).
-    fn ranked_healthy(&self) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.slots.len())
-            .filter(|&i| self.slots[i].healthy.load(Ordering::Relaxed))
+    /// Dispatchable node indices, least-loaded first (stable on ties),
+    /// with the [`FALLBACK`] sentinel appended when capacity has degraded
+    /// below the policy floor and a fallback is available.
+    fn ranked_dispatchable(&self) -> Vec<usize> {
+        let inner = &self.inner;
+        let mut idx: Vec<usize> = (0..inner.slots.len())
+            .filter(|&i| inner.slots[i].breaker.is_dispatchable())
             .collect();
-        idx.sort_by_key(|&i| self.slots[i].inflight.load(Ordering::Relaxed));
+        idx.sort_by_key(|&i| inner.slots[i].inflight.load(Ordering::Relaxed));
+        if idx.len() < inner.policy.min_dispatch_nodes
+            && inner.fallback.is_some()
+            && !inner.fallback_failed.load(Ordering::Relaxed)
+        {
+            idx.push(FALLBACK);
+        }
         idx
     }
 
-    /// Executes a batch of blind rotations across the healthy nodes,
+    fn node(&self, idx: usize) -> &dyn ServiceNode {
+        if idx == FALLBACK {
+            self.inner.fallback.as_deref().expect("fallback configured")
+        } else {
+            self.inner.slots[idx].node.as_ref()
+        }
+    }
+
+    fn inflight(&self, idx: usize) -> &AtomicUsize {
+        if idx == FALLBACK {
+            &self.inner.fallback_inflight
+        } else {
+            &self.inner.slots[idx].inflight
+        }
+    }
+
+    /// Executes a batch of blind rotations across the dispatchable nodes,
     /// returning one accumulator per input LWE in input order.
     ///
-    /// Failed shards are reassigned to surviving nodes until they succeed
-    /// or no healthy node remains.
+    /// Failed shards are retried on surviving nodes (and the fallback)
+    /// with exponential backoff until they succeed, the round budget is
+    /// exhausted, or no node remains.
     pub fn execute(
         &self,
         ctx: &CkksContext,
         boot: &Bootstrapper,
         lwes: &[LweCiphertext],
     ) -> Result<Vec<RlweCiphertext>, RuntimeError> {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        let inner = &self.inner;
+        let batch_no = inner.batches.fetch_add(1, Ordering::Relaxed);
         if lwes.is_empty() {
             return Ok(Vec::new());
         }
@@ -140,9 +461,9 @@ impl Scheduler {
         // (output slot, shard) pairs still awaiting a successful node.
         let mut pending: Vec<(usize, &[LweCiphertext])> = Vec::new();
         {
-            let ranked = self.ranked_healthy();
+            let ranked = self.ranked_dispatchable();
             if ranked.is_empty() {
-                return Err(RuntimeError::AllNodesFailed("no healthy nodes".into()));
+                return Err(RuntimeError::AllNodesFailed("no dispatchable nodes".into()));
             }
             let chunk = lwes.len().div_ceil(ranked.len());
             for (slot, shard) in lwes.chunks(chunk).enumerate() {
@@ -153,27 +474,38 @@ impl Scheduler {
         let mut last_err = String::new();
         let mut round = 0usize;
         while !pending.is_empty() {
-            let ranked = self.ranked_healthy();
+            if round > inner.policy.max_rounds {
+                return Err(RuntimeError::AllNodesFailed(format!(
+                    "retry budget exhausted after {} rounds (last error: {last_err})",
+                    inner.policy.max_rounds
+                )));
+            }
+            let ranked = self.ranked_dispatchable();
             if ranked.is_empty() {
                 return Err(RuntimeError::AllNodesFailed(last_err));
             }
             if round > 0 {
-                self.reassignments
+                inner
+                    .reassignments
                     .fetch_add(pending.len() as u64, Ordering::Relaxed);
+                self.backoff(batch_no, round);
             }
             // Shard j of this round goes to the j-th least-loaded node
-            // (wrapping when shards outnumber healthy nodes).
+            // (wrapping when shards outnumber dispatchable nodes).
             let assignments: Vec<(usize, usize, &[LweCiphertext])> = pending
                 .iter()
                 .enumerate()
                 .map(|(j, &(slot, shard))| (ranked[j % ranked.len()], slot, shard))
                 .collect();
             for &(node_idx, _, shard) in &assignments {
-                self.slots[node_idx]
-                    .inflight
+                self.inflight(node_idx)
                     .fetch_add(shard.len(), Ordering::Relaxed);
+                if node_idx == FALLBACK {
+                    inner.fallback_shards.fetch_add(1, Ordering::Relaxed);
+                }
             }
-            self.shards
+            inner
+                .shards
                 .fetch_add(assignments.len() as u64, Ordering::Relaxed);
             let mut results: Vec<ShardResult<'_>> = Vec::new();
             std::thread::scope(|s| {
@@ -181,31 +513,45 @@ impl Scheduler {
                     .iter()
                     .map(|&(node_idx, slot, shard)| {
                         s.spawn(move || {
-                            let r = self.slots[node_idx]
-                                .node
-                                .try_blind_rotate_batch(ctx, boot, shard);
-                            self.slots[node_idx]
-                                .inflight
+                            let r = self.node(node_idx).try_blind_rotate_batch(ctx, boot, shard);
+                            self.inflight(node_idx)
                                 .fetch_sub(shard.len(), Ordering::Relaxed);
                             (node_idx, slot, shard, r)
                         })
                     })
                     .collect();
+                // A panicking node must not take the whole batch down:
+                // treat it as that shard failing and let retry handle it.
                 results = handles
                     .into_iter()
-                    .map(|h| h.join().expect("scheduler shard thread panicked"))
+                    .zip(&assignments)
+                    .map(|(h, &(node_idx, slot, shard))| {
+                        h.join().unwrap_or_else(|_| {
+                            self.inflight(node_idx)
+                                .fetch_sub(shard.len(), Ordering::Relaxed);
+                            (
+                                node_idx,
+                                slot,
+                                shard,
+                                Err(NodeError::Io("node panicked".into())),
+                            )
+                        })
+                    })
                     .collect();
             });
             pending.clear();
             for (node_idx, slot, shard, result) in results {
                 match result {
-                    Ok(accs) if accs.len() == shard.len() => out[slot] = Some(accs),
+                    Ok(accs) if accs.len() == shard.len() => {
+                        self.record_success(node_idx);
+                        out[slot] = Some(accs);
+                    }
                     Ok(_) => {
-                        self.fail_node(node_idx, "short reply", &mut last_err);
+                        self.record_failure(node_idx, "short reply", &mut last_err);
                         pending.push((slot, shard));
                     }
                     Err(e) => {
-                        self.fail_node(node_idx, &e.to_string(), &mut last_err);
+                        self.record_failure(node_idx, &e.to_string(), &mut last_err);
                         pending.push((slot, shard));
                     }
                 }
@@ -218,18 +564,97 @@ impl Scheduler {
             .collect())
     }
 
-    fn fail_node(&self, node_idx: usize, why: &str, last_err: &mut String) {
-        let slot = &self.slots[node_idx];
-        if slot.healthy.swap(false, Ordering::Relaxed) {
-            self.node_failures.fetch_add(1, Ordering::Relaxed);
+    /// Exponential backoff before re-dispatch round `round`, stretched by
+    /// up to +50% deterministic jitter so retry storms from concurrent
+    /// batches decorrelate reproducibly.
+    fn backoff(&self, batch_no: u64, round: usize) {
+        let policy = &self.inner.policy;
+        if policy.base_backoff.is_zero() {
+            return;
+        }
+        let exp = policy
+            .base_backoff
+            .saturating_mul(1u32 << (round - 1).min(16))
+            .min(policy.max_backoff);
+        let jittered = exp.mul_f64(1.0 + 0.5 * jitter01(batch_no, round));
+        std::thread::sleep(jittered);
+    }
+
+    fn record_success(&self, node_idx: usize) {
+        if node_idx == FALLBACK {
+            return;
+        }
+        if self.inner.slots[node_idx].breaker.on_success() {
+            self.inner.readmissions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn record_failure(&self, node_idx: usize, why: &str, last_err: &mut String) {
+        let inner = &self.inner;
+        inner.node_failures.fetch_add(1, Ordering::Relaxed);
+        if node_idx == FALLBACK {
+            inner.fallback_failed.store(true, Ordering::Relaxed);
+            *last_err = format!(
+                "{}: {why}",
+                inner.fallback.as_ref().expect("fallback configured").name()
+            );
+            return;
+        }
+        let slot = &inner.slots[node_idx];
+        if slot.breaker.on_failure(&inner.policy, Instant::now()) {
+            inner.breaker_opens.fetch_add(1, Ordering::Relaxed);
         }
         *last_err = format!("{}: {why}", slot.node.name());
     }
 }
 
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        *self
+            .inner
+            .stop
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        self.inner.stop_cv.notify_all();
+        if let Some(handle) = self
+            .prober
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The background health prober: readmits recovered nodes.
+fn spawn_prober(inner: &Arc<Inner>) -> std::thread::JoinHandle<()> {
+    let inner = Arc::clone(inner);
+    std::thread::Builder::new()
+        .name("heap-health-prober".into())
+        .spawn(move || loop {
+            {
+                let stopped = inner
+                    .stop
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let (stopped, _) = inner
+                    .stop_cv
+                    .wait_timeout(stopped, inner.policy.probe_interval)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if *stopped {
+                    return;
+                }
+            }
+            inner.probe_round();
+        })
+        .expect("spawn health prober")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{ChaosNode, FaultPlan};
     use crate::node::{LocalServiceNode, NodeError};
     use heap_ckks::{CkksContext, CkksParams, SecretKey};
     use heap_core::{BootstrapConfig, Bootstrapper};
@@ -268,6 +693,7 @@ mod tests {
         inner: LocalServiceNode,
         fail_first: usize,
         calls: AtomicUsize,
+        probe_ok: bool,
     }
 
     impl ServiceNode for FlakyNode {
@@ -281,6 +707,14 @@ mod tests {
                 return Err(NodeError::Io("injected failure".into()));
             }
             self.inner.try_blind_rotate_batch(ctx, boot, lwes)
+        }
+
+        fn probe(&self) -> Result<(), NodeError> {
+            if self.probe_ok && self.calls.load(Ordering::Relaxed) >= self.fail_first {
+                Ok(())
+            } else {
+                Err(NodeError::Io("probe refused".into()))
+            }
         }
 
         fn name(&self) -> String {
@@ -317,36 +751,61 @@ mod tests {
                     as Box<dyn ServiceNode>
             })
             .collect();
-        let sched = Scheduler::new(nodes);
+        let sched = Scheduler::new(nodes).unwrap();
         let accs = sched.execute(&fix.ctx, &fix.boot, &fix.lwes).unwrap();
         assert_eq!(wire(fix, &accs), serial_reference(fix));
         let stats = sched.stats();
         assert_eq!(stats.batches, 1);
         assert_eq!(stats.shards, 3);
         assert_eq!(stats.reassignments, 0);
+        assert_eq!(stats.breaker_opens, 0);
+        assert_eq!(stats.fallback_shards, 0);
     }
 
     #[test]
-    fn failed_node_shard_is_reassigned() {
+    fn empty_node_list_is_a_typed_error() {
+        assert!(matches!(
+            Scheduler::new(Vec::new()),
+            Err(RuntimeError::NoNodes)
+        ));
+        // A fallback alone is a valid (degraded-from-birth) cluster.
+        let sched = Scheduler::with_policy(
+            Vec::new(),
+            Some(Box::new(LocalServiceNode::default())),
+            RetryPolicy::test_fast(),
+        )
+        .unwrap();
+        let fix = fixture();
+        let accs = sched.execute(&fix.ctx, &fix.boot, &fix.lwes).unwrap();
+        assert_eq!(wire(fix, &accs), serial_reference(fix));
+        assert!(sched.stats().fallback_shards >= 1);
+    }
+
+    #[test]
+    fn failed_node_shard_is_reassigned_and_breaker_stays_open() {
         let fix = fixture();
         let nodes: Vec<Box<dyn ServiceNode>> = vec![
             Box::new(FlakyNode {
                 inner: LocalServiceNode::new(0, Parallelism::serial()),
                 fail_first: usize::MAX,
                 calls: AtomicUsize::new(0),
+                probe_ok: false,
             }),
             Box::new(LocalServiceNode::new(1, Parallelism::serial())),
         ];
-        let sched = Scheduler::new(nodes);
+        let sched =
+            Scheduler::with_policy(nodes, None, RetryPolicy::test_no_readmission()).unwrap();
         let accs = sched.execute(&fix.ctx, &fix.boot, &fix.lwes).unwrap();
         // Result still bit-identical despite the reassignment.
         assert_eq!(wire(fix, &accs), serial_reference(fix));
         let stats = sched.stats();
         assert_eq!(stats.node_failures, 1);
+        assert_eq!(stats.breaker_opens, 1);
         assert!(stats.reassignments >= 1);
         assert_eq!(sched.healthy_count(), 1);
         assert_eq!(sched.healthy_names(), vec!["local-1".to_string()]);
-        // The failed node stays out: a second batch never touches it.
+        // The open breaker keeps the node out: a second batch never
+        // touches it.
         let accs2 = sched.execute(&fix.ctx, &fix.boot, &fix.lwes).unwrap();
         assert_eq!(wire(fix, &accs2), serial_reference(fix));
         assert_eq!(sched.stats().node_failures, 1);
@@ -359,15 +818,17 @@ mod tests {
             inner: LocalServiceNode::new(0, Parallelism::serial()),
             fail_first: usize::MAX,
             calls: AtomicUsize::new(0),
+            probe_ok: false,
         })];
-        let sched = Scheduler::new(nodes);
+        let sched =
+            Scheduler::with_policy(nodes, None, RetryPolicy::test_no_readmission()).unwrap();
         match sched.execute(&fix.ctx, &fix.boot, &fix.lwes) {
             Err(RuntimeError::AllNodesFailed(msg)) => {
                 assert!(msg.contains("injected failure"), "got: {msg}")
             }
             other => panic!("expected AllNodesFailed, got {other:?}"),
         }
-        // Later batches fail fast with no healthy nodes.
+        // Later batches fail fast with no dispatchable nodes.
         assert!(matches!(
             sched.execute(&fix.ctx, &fix.boot, &fix.lwes),
             Err(RuntimeError::AllNodesFailed(_))
@@ -375,11 +836,107 @@ mod tests {
     }
 
     #[test]
+    fn prober_readmits_recovered_node() {
+        let fix = fixture();
+        let flaky_calls = Arc::new(());
+        let _ = flaky_calls;
+        let nodes: Vec<Box<dyn ServiceNode>> = vec![
+            Box::new(FlakyNode {
+                inner: LocalServiceNode::new(0, Parallelism::serial()),
+                fail_first: 1,
+                calls: AtomicUsize::new(0),
+                probe_ok: true,
+            }),
+            Box::new(LocalServiceNode::new(1, Parallelism::serial())),
+        ];
+        let sched = Scheduler::with_policy(nodes, None, RetryPolicy::test_fast()).unwrap();
+        // First batch: the flaky node fails once, its breaker opens, the
+        // survivor carries the batch.
+        let accs = sched.execute(&fix.ctx, &fix.boot, &fix.lwes).unwrap();
+        assert_eq!(wire(fix, &accs), serial_reference(fix));
+        assert_eq!(sched.stats().breaker_opens, 1);
+        // The prober half-opens the breaker and the probe succeeds.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while sched.stats().readmissions == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(sched.stats().readmissions, 1, "node never readmitted");
+        assert_eq!(sched.healthy_count(), 2);
+        // The readmitted node serves shards again.
+        let before = sched.stats().shards;
+        let accs2 = sched.execute(&fix.ctx, &fix.boot, &fix.lwes).unwrap();
+        assert_eq!(wire(fix, &accs2), serial_reference(fix));
+        assert_eq!(sched.stats().shards, before + 2);
+        assert_eq!(sched.stats().node_failures, 1);
+    }
+
+    #[test]
+    fn fallback_carries_batch_when_all_nodes_fail() {
+        let fix = fixture();
+        let nodes: Vec<Box<dyn ServiceNode>> = vec![Box::new(ChaosNode::new(
+            Box::new(LocalServiceNode::new(0, Parallelism::serial())),
+            "fail*20".parse::<FaultPlan>().unwrap(),
+        ))];
+        let sched = Scheduler::with_policy(
+            nodes,
+            Some(Box::new(LocalServiceNode::new(9, Parallelism::serial()))),
+            RetryPolicy::test_no_readmission(),
+        )
+        .unwrap();
+        let accs = sched.execute(&fix.ctx, &fix.boot, &fix.lwes).unwrap();
+        assert_eq!(wire(fix, &accs), serial_reference(fix));
+        let stats = sched.stats();
+        assert!(stats.fallback_shards >= 1, "{stats:?}");
+        assert!(stats.node_failures >= 1);
+        assert!(sched.has_fallback());
+    }
+
+    #[test]
     fn empty_batch_is_trivial() {
         let fix = fixture();
         let sched = Scheduler::new(vec![
             Box::new(LocalServiceNode::default()) as Box<dyn ServiceNode>
-        ]);
+        ])
+        .unwrap();
         assert!(sched.execute(&fix.ctx, &fix.boot, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn jitter_is_deterministic() {
+        for batch in 0..4u64 {
+            for round in 1..4usize {
+                let a = jitter01(batch, round);
+                let b = jitter01(batch, round);
+                assert_eq!(a, b);
+                assert!((0.0..1.0).contains(&a));
+            }
+        }
+        assert_ne!(jitter01(0, 1), jitter01(0, 2));
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let policy = RetryPolicy {
+            breaker_threshold: 2,
+            ..RetryPolicy::test_fast()
+        };
+        let b = Breaker::new();
+        let t0 = Instant::now();
+        assert!(b.is_dispatchable());
+        assert!(!b.on_failure(&policy, t0), "below threshold stays closed");
+        assert!(b.is_dispatchable());
+        assert!(b.on_failure(&policy, t0), "threshold opens");
+        assert!(!b.is_dispatchable());
+        // Not due yet.
+        assert!(!b.half_open_if_due(t0));
+        assert!(b.half_open_if_due(t0 + policy.breaker_open_for));
+        assert!(b.is_dispatchable(), "half-open accepts a trial");
+        // A failed trial re-opens with a doubled window.
+        assert!(b.on_failure(&policy, t0));
+        assert!(!b.half_open_if_due(t0 + policy.breaker_open_for));
+        assert!(b.half_open_if_due(t0 + 2 * policy.breaker_open_for));
+        assert!(b.on_success(), "half-open success readmits");
+        assert!(b.is_dispatchable());
+        assert!(!b.on_success(), "closed success is not a readmission");
     }
 }

@@ -22,7 +22,7 @@ use crate::batch::{collect_batch, BatchPolicy};
 use crate::job::{JobHandle, JobId, JobOutput, JobRequest, JobState, PendingJob, Priority};
 use crate::node::{LocalServiceNode, ServiceNode};
 use crate::queue::SubmissionQueue;
-use crate::scheduler::{Scheduler, SchedulerStats};
+use crate::scheduler::{RetryPolicy, Scheduler, SchedulerStats};
 use crate::RuntimeError;
 
 /// Service-level configuration.
@@ -33,6 +33,8 @@ pub struct RuntimeConfig {
     pub queue_capacity: usize,
     /// When the dynamic batcher flushes.
     pub batch: BatchPolicy,
+    /// Retry, circuit-breaker, and degradation policy for the scheduler.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -40,6 +42,7 @@ impl Default for RuntimeConfig {
         Self {
             queue_capacity: 64,
             batch: BatchPolicy::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -76,7 +79,11 @@ pub struct BootstrapService {
 impl BootstrapService {
     /// Starts a service backed by a single in-process node using every
     /// hardware thread.
-    pub fn start(ctx: Arc<CkksContext>, boot: Arc<Bootstrapper>, config: RuntimeConfig) -> Self {
+    pub fn start(
+        ctx: Arc<CkksContext>,
+        boot: Arc<Bootstrapper>,
+        config: RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
         Self::start_with_nodes(
             ctx,
             boot,
@@ -86,19 +93,32 @@ impl BootstrapService {
     }
 
     /// Starts a service over an explicit node set (local, remote, or
-    /// mixed).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `nodes` is empty.
+    /// mixed). Fails with [`RuntimeError::NoNodes`] when `nodes` is
+    /// empty and [`RuntimeError::Invalid`] on a zero-capacity queue.
     pub fn start_with_nodes(
         ctx: Arc<CkksContext>,
         boot: Arc<Bootstrapper>,
         nodes: Vec<Box<dyn ServiceNode>>,
         config: RuntimeConfig,
-    ) -> Self {
+    ) -> Result<Self, RuntimeError> {
+        Self::start_with_cluster(ctx, boot, nodes, None, config)
+    }
+
+    /// Starts a service over an explicit node set plus an optional local
+    /// fallback node, used by the scheduler when dispatchable capacity
+    /// drops below [`RetryPolicy::min_dispatch_nodes`].
+    pub fn start_with_cluster(
+        ctx: Arc<CkksContext>,
+        boot: Arc<Bootstrapper>,
+        nodes: Vec<Box<dyn ServiceNode>>,
+        fallback: Option<Box<dyn ServiceNode>>,
+        config: RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        if config.queue_capacity == 0 {
+            return Err(RuntimeError::Invalid("queue capacity must be at least 1"));
+        }
         let queue = Arc::new(SubmissionQueue::new(config.queue_capacity));
-        let scheduler = Arc::new(Scheduler::new(nodes));
+        let scheduler = Arc::new(Scheduler::with_policy(nodes, fallback, config.retry)?);
         let counters = Arc::new(Counters {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -119,14 +139,14 @@ impl BootstrapService {
                 }
             })
         };
-        Self {
+        Ok(Self {
             ctx,
             queue,
             scheduler,
             counters,
             next_id: AtomicU64::new(0),
             dispatcher: Mutex::new(Some(dispatcher)),
-        }
+        })
     }
 
     /// Submits a job, blocking while the queue is full (backpressure).
@@ -228,8 +248,15 @@ impl BootstrapService {
     /// Idempotent.
     pub fn shutdown(&self) {
         self.queue.close();
-        if let Some(handle) = self.dispatcher.lock().expect("dispatcher lock").take() {
-            handle.join().expect("dispatcher thread panicked");
+        let handle = self
+            .dispatcher
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(handle) = handle {
+            // A panicked dispatcher already completed every reachable job
+            // with an error; don't propagate the panic into shutdown.
+            let _ = handle.join();
         }
     }
 }
@@ -331,6 +358,32 @@ mod tests {
             boxed,
             RuntimeConfig::default(),
         )
+        .unwrap()
+    }
+
+    #[test]
+    fn degenerate_configs_are_typed_errors() {
+        let s = setup();
+        match BootstrapService::start_with_nodes(
+            Arc::clone(&s.ctx),
+            Arc::clone(&s.boot),
+            Vec::new(),
+            RuntimeConfig::default(),
+        ) {
+            Err(RuntimeError::NoNodes) => {}
+            other => panic!("expected NoNodes, got {:?}", other.err()),
+        }
+        match BootstrapService::start(
+            Arc::clone(&s.ctx),
+            Arc::clone(&s.boot),
+            RuntimeConfig {
+                queue_capacity: 0,
+                ..RuntimeConfig::default()
+            },
+        ) {
+            Err(RuntimeError::Invalid(_)) => {}
+            other => panic!("expected Invalid, got {:?}", other.err()),
+        }
     }
 
     #[test]

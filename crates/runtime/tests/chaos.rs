@@ -1,0 +1,271 @@
+//! In-process chaos suite: every [`FaultPlan`] action driven through the
+//! scheduler via [`ChaosNode`], asserting the fault-tolerance invariant —
+//! under any plan the runtime returns results **bit-identical** to serial
+//! execution or a **clean typed error**; never a hang, panic, or silent
+//! wrong answer.
+//!
+//! The companion multi-process suite (`chaos_cluster.rs`) exercises the
+//! same plans over real sockets via `heap-node-serve --fault-plan`.
+
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use heap_parallel::Parallelism;
+use heap_runtime::{
+    deterministic_setup, BatchPolicy, BootstrapService, ChaosNode, DeterministicSetup, FaultPlan,
+    FaultState, JobRequest, LocalServiceNode, ParamPreset, Priority, RetryPolicy, RuntimeConfig,
+    RuntimeError, Scheduler, ServiceNode,
+};
+use heap_tfhe::LweCiphertext;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 99;
+/// Blind rotations per chaos batch (kept small; every retry round redoes
+/// real rotations).
+const BATCH_LWES: usize = 8;
+
+struct Fixture {
+    setup: DeterministicSetup,
+    lwes: Vec<LweCiphertext>,
+    /// Serial wire encodings of the batch's accumulators.
+    reference: Vec<Vec<u8>>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let setup = deterministic_setup(ParamPreset::Tiny, SEED);
+        let mut rng = StdRng::seed_from_u64(17);
+        let delta = setup.ctx.fresh_scale();
+        let coeffs: Vec<i64> = (0..setup.ctx.n())
+            .map(|i| (((i % 5) as f64 - 2.0) / 40.0 * delta).round() as i64)
+            .collect();
+        let ct = setup
+            .ctx
+            .encrypt_coeffs_sk(&coeffs, delta, 1, &setup.sk, &mut rng);
+        let indices: Vec<usize> = (0..BATCH_LWES).collect();
+        let lwes = setup.boot.modulus_switch(
+            &setup.ctx,
+            &setup.boot.extract_lwes(&setup.ctx, &ct, &indices),
+        );
+        let reference = wires(
+            &setup,
+            &setup
+                .boot
+                .blind_rotate_batch_par(&setup.ctx, &lwes, Parallelism::serial()),
+        );
+        Fixture {
+            setup,
+            lwes,
+            reference,
+        }
+    })
+}
+
+fn wires(setup: &DeterministicSetup, accs: &[heap_tfhe::RlweCiphertext]) -> Vec<Vec<u8>> {
+    let moduli: Vec<u64> = (0..setup.ctx.boot_limbs())
+        .map(|j| setup.ctx.rns().modulus(j).value())
+        .collect();
+    accs.iter().map(|acc| acc.to_wire(&moduli)).collect()
+}
+
+fn chaos(plan: &str) -> (Box<dyn ServiceNode>, Arc<FaultState>) {
+    let node = ChaosNode::new(
+        Box::new(LocalServiceNode::new(0, Parallelism::serial())),
+        plan.parse::<FaultPlan>().expect("plan"),
+    )
+    .with_hang_for(Duration::from_millis(5));
+    let state = node.state();
+    (Box::new(node), state)
+}
+
+fn healthy(index: usize) -> Box<dyn ServiceNode> {
+    Box::new(LocalServiceNode::new(index, Parallelism::serial()))
+}
+
+/// Every shipped action kind, with a healthy survivor: the batch must
+/// come back bit-identical, and the failure counters must match exactly
+/// what the plan injected.
+#[test]
+fn every_action_kind_with_survivor_is_bit_identical() {
+    let fix = fixture();
+    for plan in ["fail", "delay:5", "hang", "corrupt", "drop", "fail*2,drop"] {
+        let (chaos_node, state) = chaos(plan);
+        let sched = Scheduler::with_policy(
+            vec![chaos_node, healthy(1)],
+            None,
+            RetryPolicy::test_no_readmission(),
+        )
+        .expect("scheduler");
+        let accs = sched
+            .execute(&fix.setup.ctx, &fix.setup.boot, &fix.lwes)
+            .unwrap_or_else(|e| panic!("plan '{plan}': {e}"));
+        assert_eq!(wires(&fix.setup, &accs), fix.reference, "plan '{plan}'");
+        let stats = sched.stats();
+        // With breaker threshold 1 and no readmission the chaos node is
+        // dispatched to at most once per batch, so it consumes at most
+        // one action — which either passed (delay) or failed.
+        assert_eq!(
+            stats.node_failures as usize,
+            state.failures_consumed(),
+            "plan '{plan}': {stats:?}"
+        );
+        assert_eq!(stats.reassignments, stats.node_failures, "plan '{plan}'");
+    }
+}
+
+/// A sole faulty node with no fallback must produce a *typed* error,
+/// quickly, for every failure kind — including hangs.
+#[test]
+fn sole_faulty_node_is_a_clean_typed_error() {
+    let fix = fixture();
+    for plan in ["fail*99", "hang*99", "corrupt*99", "drop*99"] {
+        let (chaos_node, _) = chaos(plan);
+        let sched =
+            Scheduler::with_policy(vec![chaos_node], None, RetryPolicy::test_no_readmission())
+                .expect("scheduler");
+        let t0 = Instant::now();
+        match sched.execute(&fix.setup.ctx, &fix.setup.boot, &fix.lwes) {
+            Err(RuntimeError::AllNodesFailed(_)) => {}
+            other => panic!("plan '{plan}': expected AllNodesFailed, got {other:?}"),
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "plan '{plan}' took {:?}",
+            t0.elapsed()
+        );
+    }
+}
+
+/// A node whose faults are transient (finite plan) is readmitted by the
+/// background prober once its plan is exhausted, and serves shards again.
+#[test]
+fn prober_readmits_node_after_plan_exhaustion() {
+    let fix = fixture();
+    let (chaos_node, state) = chaos("fail*2");
+    let sched =
+        Scheduler::with_policy(vec![chaos_node, healthy(1)], None, RetryPolicy::test_fast())
+            .expect("scheduler");
+    // Batch 1: the chaos node fails (action 1 of 2), breaker opens, the
+    // survivor carries the batch.
+    let accs = sched
+        .execute(&fix.setup.ctx, &fix.setup.boot, &fix.lwes)
+        .expect("batch with survivor");
+    assert_eq!(wires(&fix.setup, &accs), fix.reference);
+    assert!(sched.stats().breaker_opens >= 1);
+    // The prober's probes consume action 2 (fails → breaker reopens),
+    // then hit the exhausted plan and succeed → readmission.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while sched.stats().readmissions == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = sched.stats();
+    assert!(stats.readmissions >= 1, "never readmitted: {stats:?}");
+    assert_eq!(sched.healthy_count(), 2);
+    assert!(state.consumed() >= 2, "plan not exhausted");
+    // The readmitted node serves its shard of the next batch.
+    let before = sched.stats().shards;
+    let accs = sched
+        .execute(&fix.setup.ctx, &fix.setup.boot, &fix.lwes)
+        .expect("batch after readmission");
+    assert_eq!(wires(&fix.setup, &accs), fix.reference);
+    assert_eq!(sched.stats().shards, before + 2, "both nodes sharded");
+}
+
+/// Acceptance: with every remote-style node failing and a local fallback
+/// configured, full service batches still complete bit-identically.
+#[test]
+fn service_with_all_nodes_failing_falls_back_bit_identically() {
+    let fix = fixture();
+    let direct = {
+        let mut rng = StdRng::seed_from_u64(23);
+        let delta = fix.setup.ctx.fresh_scale();
+        let coeffs: Vec<i64> = (0..fix.setup.ctx.n())
+            .map(|i| (((i % 7) as f64 - 3.0) / 40.0 * delta).round() as i64)
+            .collect();
+        let ct = fix
+            .setup
+            .ctx
+            .encrypt_coeffs_sk(&coeffs, delta, 1, &fix.setup.sk, &mut rng);
+        (ct.clone(), fix.setup.boot.bootstrap(&fix.setup.ctx, &ct))
+    };
+    let (ct, reference) = direct;
+    let nodes: Vec<Box<dyn ServiceNode>> = vec![chaos("fail*99").0, chaos("drop*99").0];
+    let svc = BootstrapService::start_with_cluster(
+        Arc::clone(&fix.setup.ctx),
+        Arc::clone(&fix.setup.boot),
+        nodes,
+        Some(Box::new(LocalServiceNode::new(7, Parallelism::max()))),
+        RuntimeConfig {
+            queue_capacity: 4,
+            batch: BatchPolicy::immediate(),
+            retry: RetryPolicy::test_no_readmission(),
+        },
+    )
+    .expect("start service");
+    let fresh = svc
+        .submit(JobRequest::Bootstrap { ct }, Priority::Normal)
+        .expect("submit")
+        .wait()
+        .expect("bootstrap completes degraded")
+        .into_ciphertext();
+    assert_eq!(fresh.c0(), reference.c0());
+    assert_eq!(fresh.c1(), reference.c1());
+    let stats = svc.stats();
+    assert!(stats.scheduler.fallback_shards >= 1, "{stats:?}");
+    assert_eq!(svc.scheduler().healthy_count(), 0);
+    assert!(svc.scheduler().has_fallback());
+    svc.shutdown();
+}
+
+/// Maps a proptest-drawn index to a fault action token.
+fn action_token(idx: usize) -> &'static str {
+    ["pass", "fail", "delay:2", "hang", "corrupt", "drop"][idx]
+}
+
+fn plan_from(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| action_token(i))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The scheduler invariant under *random* fault plans on both nodes
+    /// (healthy fallback behind them): output bit-identical to serial,
+    /// and the stats counters exactly consistent with what the plans
+    /// injected — `node_failures` equals the failure actions actually
+    /// consumed, each failed shard reassigned exactly once.
+    #[test]
+    fn random_fault_plans_keep_results_bitwise_and_stats_consistent(
+        plan_a in prop::collection::vec(0usize..6, 0..5),
+        plan_b in prop::collection::vec(0usize..6, 0..5),
+    ) {
+        let fix = fixture();
+        let (node_a, state_a) = chaos(&plan_from(&plan_a));
+        let (node_b, state_b) = chaos(&plan_from(&plan_b));
+        // Breakers never half-open during the run, so the only plan
+        // consumers are real dispatches — the counters stay exactly
+        // predictable.
+        let sched = Scheduler::with_policy(
+            vec![node_a, node_b],
+            Some(Box::new(LocalServiceNode::new(9, Parallelism::serial()))),
+            RetryPolicy::test_no_readmission(),
+        )
+        .expect("scheduler");
+        let accs = sched
+            .execute(&fix.setup.ctx, &fix.setup.boot, &fix.lwes)
+            .expect("fallback guarantees completion");
+        prop_assert_eq!(wires(&fix.setup, &accs), fix.reference.clone());
+        let stats = sched.stats();
+        let injected = (state_a.failures_consumed() + state_b.failures_consumed()) as u64;
+        prop_assert_eq!(stats.node_failures, injected);
+        prop_assert_eq!(stats.reassignments, injected);
+        prop_assert_eq!(stats.batches, 1);
+    }
+}

@@ -1,0 +1,337 @@
+//! Multi-process chaos suite: real `heap-node-serve --fault-plan`
+//! processes on 127.0.0.1 driven through the full service stack.
+//!
+//! Where `chaos.rs` exercises the fault actions in-process, this suite
+//! proves the same invariants over real sockets: error frames, hung
+//! connections (client deadlines), corrupt frames, dropped connections,
+//! killed-and-restarted processes — the service must return bit-identical
+//! results or clean typed errors, open breakers on faulty peers, and
+//! readmit them once they recover.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use heap_parallel::Parallelism;
+use heap_runtime::{
+    deterministic_setup, BatchPolicy, BootstrapService, DeterministicSetup, JobRequest,
+    LocalServiceNode, NodeTimeouts, ParamPreset, Priority, RemoteNode, RetryPolicy, RuntimeConfig,
+    ServiceNode,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 31;
+
+/// A `heap-node-serve` child killed on drop (tests must not leak
+/// processes on assertion failure).
+struct NodeProc {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for NodeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl NodeProc {
+    fn kill(&mut self) {
+        self.child.kill().expect("kill node");
+        self.child.wait().expect("reap node");
+    }
+}
+
+/// Spawns a server and waits for its readiness line. `addr` pins the
+/// listen address (restart-on-same-port tests); `None` uses an ephemeral
+/// port.
+fn try_spawn_node(addr: Option<&str>, extra_args: &[&str]) -> Option<NodeProc> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_heap-node-serve"))
+        .args([
+            "--addr",
+            addr.unwrap_or("127.0.0.1:0"),
+            "--preset",
+            "tiny",
+            "--seed",
+            &SEED.to_string(),
+            "--threads",
+            "2",
+        ])
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn heap-node-serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    match lines.next() {
+        Some(Ok(ready)) => {
+            let addr = ready
+                .strip_prefix("LISTENING ")
+                .unwrap_or_else(|| panic!("unexpected readiness line: {ready}"))
+                .to_string();
+            Some(NodeProc { child, addr })
+        }
+        // Bind failed (e.g. the port is still in TIME_WAIT after a
+        // restart) — reap and let the caller retry.
+        _ => {
+            let _ = child.kill();
+            let _ = child.wait();
+            None
+        }
+    }
+}
+
+fn spawn_node(extra_args: &[&str]) -> NodeProc {
+    try_spawn_node(None, extra_args).expect("ephemeral-port spawn cannot fail to bind")
+}
+
+/// Respawns a node on a fixed address, retrying while the port drains.
+fn spawn_node_at(addr: &str, extra_args: &[&str]) -> NodeProc {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(node) = try_spawn_node(Some(addr), extra_args) {
+            return node;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "could not rebind {addr} within 30s"
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+struct Client {
+    setup: DeterministicSetup,
+    lwes: Vec<heap_tfhe::LweCiphertext>,
+    /// Serial wire encodings of the blind-rotate reference.
+    reference: Vec<Vec<u8>>,
+}
+
+fn client() -> Client {
+    let setup = deterministic_setup(ParamPreset::Tiny, SEED);
+    let mut rng = StdRng::seed_from_u64(7);
+    let delta = setup.ctx.fresh_scale();
+    let coeffs: Vec<i64> = (0..setup.ctx.n())
+        .map(|i| (((i % 7) as f64 - 3.0) / 40.0 * delta).round() as i64)
+        .collect();
+    let ct = setup
+        .ctx
+        .encrypt_coeffs_sk(&coeffs, delta, 1, &setup.sk, &mut rng);
+    let indices: Vec<usize> = (0..8).collect();
+    let lwes = setup.boot.modulus_switch(
+        &setup.ctx,
+        &setup.boot.extract_lwes(&setup.ctx, &ct, &indices),
+    );
+    let reference = wires(
+        &setup,
+        &setup
+            .boot
+            .blind_rotate_batch_par(&setup.ctx, &lwes, Parallelism::serial()),
+    );
+    Client {
+        setup,
+        lwes,
+        reference,
+    }
+}
+
+fn wires(setup: &DeterministicSetup, accs: &[heap_tfhe::RlweCiphertext]) -> Vec<Vec<u8>> {
+    let moduli: Vec<u64> = (0..setup.ctx.boot_limbs())
+        .map(|j| setup.ctx.rns().modulus(j).value())
+        .collect();
+    accs.iter().map(|acc| acc.to_wire(&moduli)).collect()
+}
+
+/// Short client-side deadlines so hung peers fail over in test time. The
+/// read deadline covers the server computing a whole shard, so it must
+/// comfortably exceed a shard's blind-rotation time on the tiny preset.
+fn fast_timeouts() -> NodeTimeouts {
+    NodeTimeouts {
+        connect: Duration::from_secs(5),
+        read: Duration::from_secs(3),
+        write: Duration::from_secs(5),
+    }
+}
+
+fn service_over(
+    client: &Client,
+    procs: &[&NodeProc],
+    fallback: Option<Box<dyn ServiceNode>>,
+    retry: RetryPolicy,
+) -> BootstrapService {
+    let nodes: Vec<Box<dyn ServiceNode>> = procs
+        .iter()
+        .map(|p| {
+            Box::new(
+                RemoteNode::connect_with(&p.addr, &client.setup.ctx, fast_timeouts())
+                    .expect("connect to node"),
+            ) as Box<dyn ServiceNode>
+        })
+        .collect();
+    BootstrapService::start_with_cluster(
+        Arc::clone(&client.setup.ctx),
+        Arc::clone(&client.setup.boot),
+        nodes,
+        fallback,
+        RuntimeConfig {
+            queue_capacity: 16,
+            batch: BatchPolicy::immediate(),
+            retry,
+        },
+    )
+    .expect("start service")
+}
+
+/// Submits the reference blind-rotate batch and asserts bit-identity.
+fn rotate_and_check(svc: &BootstrapService, client: &Client) {
+    let accs = svc
+        .submit(
+            JobRequest::BlindRotate {
+                lwes: client.lwes.clone(),
+            },
+            Priority::Normal,
+        )
+        .expect("submit")
+        .wait()
+        .expect("blind-rotate job")
+        .into_accumulators();
+    assert_eq!(wires(&client.setup, &accs), client.reference);
+}
+
+/// Acceptance: a node that fails transiently (`--fault-plan fail*2`) is
+/// readmitted by the prober and observed serving shards afterward.
+#[test]
+fn transiently_failing_node_is_readmitted_and_serves() {
+    let faulty = spawn_node(&["--fault-plan", "fail*2"]);
+    let steady = spawn_node(&[]);
+    let client = client();
+    let svc = service_over(&client, &[&faulty, &steady], None, RetryPolicy::test_fast());
+    // First batch: the faulty node answers with an error frame, its
+    // breaker opens, the survivor carries the batch bit-identically.
+    rotate_and_check(&svc, &client);
+    assert!(svc.stats().scheduler.breaker_opens >= 1);
+    // The prober pings the (alive, just erroring) peer and readmits it;
+    // further batches burn through the remaining plan until the node
+    // serves cleanly again.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = svc.stats().scheduler;
+        if stats.readmissions >= 1 && stats.node_failures >= 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "node never recovered: {stats:?}");
+        rotate_and_check(&svc, &client);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Plan exhausted: wait for both nodes dispatchable, then observe the
+    // readmitted node actually serving its shard.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while svc.scheduler().healthy_count() < 2 {
+        assert!(Instant::now() < deadline, "readmission never completed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let before = svc.stats().scheduler.shards;
+    rotate_and_check(&svc, &client);
+    let stats = svc.stats().scheduler;
+    assert_eq!(stats.shards, before + 2, "readmitted node took a shard");
+    assert!(stats.node_failures >= 2, "both plan failures observed");
+    svc.shutdown();
+}
+
+/// A peer that hangs (never replies) must surface as a client-side read
+/// timeout and fail over — not wedge the shard.
+#[test]
+fn hung_node_times_out_and_fails_over() {
+    let hung = spawn_node(&["--fault-plan", "hang"]);
+    let steady = spawn_node(&[]);
+    let client = client();
+    let svc = service_over(
+        &client,
+        &[&hung, &steady],
+        None,
+        RetryPolicy::test_no_readmission(),
+    );
+    let t0 = Instant::now();
+    rotate_and_check(&svc, &client);
+    let stats = svc.stats().scheduler;
+    assert!(stats.node_failures >= 1, "{stats:?}");
+    assert_eq!(svc.scheduler().healthy_count(), 1);
+    // Bounded by the 500 ms read deadline, not the server's hang.
+    assert!(t0.elapsed() < Duration::from_secs(30), "{:?}", t0.elapsed());
+    svc.shutdown();
+}
+
+/// A corrupt reply frame is a protocol error: the breaker opens and the
+/// batch is still served bit-identically by the survivor.
+#[test]
+fn corrupt_frame_opens_breaker_and_batch_survives() {
+    let corrupt = spawn_node(&["--fault-plan", "corrupt"]);
+    let steady = spawn_node(&[]);
+    let client = client();
+    let svc = service_over(
+        &client,
+        &[&corrupt, &steady],
+        None,
+        RetryPolicy::test_no_readmission(),
+    );
+    rotate_and_check(&svc, &client);
+    let stats = svc.stats().scheduler;
+    assert!(stats.node_failures >= 1, "{stats:?}");
+    assert!(stats.breaker_opens >= 1, "{stats:?}");
+    assert_eq!(svc.scheduler().healthy_count(), 1);
+    svc.shutdown();
+}
+
+/// A killed process restarted on the same port is rediscovered by the
+/// prober (fresh connection + Hello handshake) and readmitted.
+#[test]
+fn killed_node_restarted_on_same_port_is_readmitted() {
+    let mut victim = spawn_node(&[]);
+    let steady = spawn_node(&[]);
+    let client = client();
+    let svc = service_over(&client, &[&victim, &steady], None, RetryPolicy::test_fast());
+    rotate_and_check(&svc, &client);
+    let addr = victim.addr.clone();
+    victim.kill();
+    // The dead peer's shard fails over; its breaker opens.
+    rotate_and_check(&svc, &client);
+    assert!(svc.stats().scheduler.node_failures >= 1);
+    // Bring the node back on the same address with the same keys.
+    let readmit_floor = svc.stats().scheduler.readmissions;
+    let _revived = spawn_node_at(&addr, &[]);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while svc.stats().scheduler.readmissions <= readmit_floor {
+        assert!(Instant::now() < deadline, "restarted node never readmitted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let before = svc.stats().scheduler.shards;
+    rotate_and_check(&svc, &client);
+    assert_eq!(svc.stats().scheduler.shards, before + 2);
+    svc.shutdown();
+}
+
+/// Acceptance: with every remote down and a local fallback configured,
+/// batches still complete bit-identically.
+#[test]
+fn all_remotes_down_fallback_completes_bit_identically() {
+    let mut procs = [spawn_node(&[]), spawn_node(&[])];
+    let client = client();
+    let svc = service_over(
+        &client,
+        &[&procs[0], &procs[1]],
+        Some(Box::new(LocalServiceNode::new(0, Parallelism::max()))),
+        RetryPolicy::test_fast(),
+    );
+    rotate_and_check(&svc, &client);
+    procs[0].kill();
+    procs[1].kill();
+    rotate_and_check(&svc, &client);
+    let stats = svc.stats().scheduler;
+    assert!(stats.fallback_shards >= 1, "{stats:?}");
+    assert!(svc.scheduler().has_fallback());
+    svc.shutdown();
+}

@@ -57,8 +57,10 @@ fn measured_loopback_bytes_match_hw_model_exactly() {
         RuntimeConfig {
             queue_capacity: 4,
             batch: BatchPolicy::immediate(),
+            ..RuntimeConfig::default()
         },
-    );
+    )
+    .expect("start service");
 
     // One fully-packed bootstrap = n LWEs out, n accumulators back,
     // carried by exactly one request/response frame pair (single node).
@@ -135,7 +137,7 @@ fn local_cluster_ledger_agrees_with_remote_measurement_per_ciphertext() {
                 boot,
                 ServeOptions {
                     parallelism: Parallelism::serial(),
-                    fail_after: None,
+                    ..ServeOptions::default()
                 },
             )
         });

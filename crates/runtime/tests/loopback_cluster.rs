@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use heap_runtime::{
     deterministic_setup, BatchPolicy, BootstrapService, JobRequest, ParamPreset, Priority,
-    RemoteNode, RuntimeConfig, ServiceNode,
+    RemoteNode, RetryPolicy, RuntimeConfig, ServiceNode,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -110,8 +110,12 @@ fn service_over(client: &Client, procs: &[NodeProc]) -> BootstrapService {
         RuntimeConfig {
             queue_capacity: 16,
             batch: BatchPolicy::immediate(),
+            // These tests assert that failed nodes *stay* out of
+            // dispatch, so keep the prober from readmitting them.
+            retry: RetryPolicy::test_no_readmission(),
         },
     )
+    .expect("start service")
 }
 
 fn bootstrap_via(svc: &BootstrapService, client: &Client) -> heap_ckks::Ciphertext {

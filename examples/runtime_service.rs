@@ -49,18 +49,22 @@ fn main() {
             ) as Box<dyn ServiceNode>
         })
         .collect();
-    let svc = Arc::new(BootstrapService::start_with_nodes(
-        Arc::clone(&setup.ctx),
-        Arc::clone(&setup.boot),
-        nodes,
-        RuntimeConfig {
-            queue_capacity: 16,
-            batch: BatchPolicy {
-                max_lwes: 2 * setup.ctx.n(),
-                max_delay: Duration::from_millis(5),
+    let svc = Arc::new(
+        BootstrapService::start_with_nodes(
+            Arc::clone(&setup.ctx),
+            Arc::clone(&setup.boot),
+            nodes,
+            RuntimeConfig {
+                queue_capacity: 16,
+                batch: BatchPolicy {
+                    max_lwes: 2 * setup.ctx.n(),
+                    max_delay: Duration::from_millis(5),
+                },
+                ..RuntimeConfig::default()
             },
-        },
-    ));
+        )
+        .expect("start service"),
+    );
 
     // Three concurrent clients, each bootstrapping its own ciphertext.
     let handles: Vec<_> = (0..3u64)
