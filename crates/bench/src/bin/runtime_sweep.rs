@@ -16,6 +16,13 @@
 //! again after the plan is exhausted (healed throughput) — so
 //! `BENCH_runtime.json` records the cost of a failure and of healing.
 //!
+//! Every sample also carries per-stage latency columns from the
+//! telemetry stage histograms (mean microseconds per batch call of each
+//! Algorithm 2 stage, over that configuration's window) and the queue
+//! wait p50. The blind-rotate mix only exercises the `blind_rotate`
+//! stage; a final `pipeline` row pushes full `Bootstrap` jobs so every
+//! stage column is populated.
+//!
 //! ```sh
 //! cargo run --release -p heap-bench --bin runtime_sweep
 //! ```
@@ -24,12 +31,16 @@ use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use heap_core::PIPELINE_STAGES;
 use heap_parallel::Parallelism;
 use heap_runtime::{
     deterministic_setup, serve, BatchPolicy, BootstrapService, DeterministicSetup, FaultPlan,
     JobRequest, ParamPreset, Priority, RemoteNode, RuntimeConfig, ServeOptions, ServiceNode,
 };
+use heap_telemetry::HistogramSnapshot;
 use heap_tfhe::LweCiphertext;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Jobs pushed through the service per configuration.
 const JOBS: usize = 24;
@@ -37,6 +48,15 @@ const JOBS: usize = 24;
 const LWES_PER_JOB: usize = 8;
 /// Client threads submitting concurrently.
 const CLIENTS: usize = 4;
+
+/// What each client thread submits in a configuration.
+#[derive(Clone, Copy, PartialEq)]
+enum Mix {
+    /// `JobRequest::BlindRotate` jobs (the throughput mix).
+    BlindRotate,
+    /// Full `JobRequest::Bootstrap` jobs — every pipeline stage runs.
+    Bootstrap,
+}
 
 struct Sample {
     mode: &'static str,
@@ -46,6 +66,13 @@ struct Sample {
     jobs_per_sec: f64,
     p50_ms: f64,
     p99_ms: f64,
+    /// Queue-wait p50 in µs (telemetry `heap_queue_wait_ns`).
+    queue_p50_us: f64,
+    /// Mean µs per batch call of each pipeline stage during this
+    /// configuration's window, in [`PIPELINE_STAGES`] order (0 when a
+    /// stage did not run). Aggregated across the client and the
+    /// in-process servers, which share one bootstrapper.
+    stage_mean_us: Vec<(&'static str, f64)>,
 }
 
 /// Starts one loopback server (optionally on a fault plan), returning
@@ -83,9 +110,22 @@ fn job_lwes(setup: &DeterministicSetup, seed: usize) -> Vec<LweCiphertext> {
 }
 
 fn print_sample(s: &Sample) {
+    let blind_rotate_us = s
+        .stage_mean_us
+        .iter()
+        .find(|(name, _)| *name == "blind_rotate")
+        .map_or(0.0, |&(_, us)| us);
     println!(
-        "{:>9} {:>6} {:>10} {:>10.3} {:>12.2} {:>10.2} {:>10.2}",
-        s.mode, s.nodes, s.max_lwes, s.secs, s.jobs_per_sec, s.p50_ms, s.p99_ms
+        "{:>9} {:>6} {:>10} {:>10.3} {:>12.2} {:>10.2} {:>10.2} {:>10.1} {:>10.1}",
+        s.mode,
+        s.nodes,
+        s.max_lwes,
+        s.secs,
+        s.jobs_per_sec,
+        s.p50_ms,
+        s.p99_ms,
+        s.queue_p50_us,
+        blind_rotate_us
     );
 }
 
@@ -96,12 +136,24 @@ fn percentile(sorted: &[Duration], p: f64) -> f64 {
     sorted[idx].as_secs_f64() * 1e3
 }
 
+/// Snapshots every stage histogram (for `since()` deltas per config).
+fn stage_snapshots(setup: &DeterministicSetup) -> Vec<(&'static str, HistogramSnapshot)> {
+    PIPELINE_STAGES
+        .iter()
+        .map(|&s| {
+            let h = setup.boot.stage_metrics().stage(s).expect("known stage");
+            (s, h.snapshot())
+        })
+        .collect()
+}
+
 /// Runs the fixed job mix through one service configuration.
 fn run_config(
     setup: &DeterministicSetup,
     addrs: &[String],
     max_lwes: usize,
     mode: &'static str,
+    mix: Mix,
 ) -> Sample {
     let nodes: Vec<Box<dyn ServiceNode>> = addrs
         .iter()
@@ -127,6 +179,19 @@ fn run_config(
         )
         .expect("start service"),
     );
+    // Bootstrap jobs reuse one pre-encrypted ciphertext (key setup is
+    // client work, not service work); each client submits one.
+    let boot_ct = (mix == Mix::Bootstrap).then(|| {
+        let mut rng = StdRng::seed_from_u64(101);
+        let delta = setup.ctx.fresh_scale();
+        let coeffs: Vec<i64> = (0..setup.ctx.n())
+            .map(|i| (((i % 5) as f64 - 2.0) / 40.0 * delta).round() as i64)
+            .collect();
+        setup
+            .ctx
+            .encrypt_coeffs_sk(&coeffs, delta, 1, &setup.sk, &mut rng)
+    });
+    let stage_before = stage_snapshots(setup);
     let t0 = Instant::now();
     let workers: Vec<_> = (0..CLIENTS)
         .map(|c| {
@@ -134,15 +199,18 @@ fn run_config(
             // Inputs are synthesized inside the timed region on purpose:
             // submission cost is part of the service picture, and an LWE
             // is cheap next to its blind rotation.
-            let jobs: Vec<Vec<LweCiphertext>> = (0..JOBS / CLIENTS)
-                .map(|j| job_lwes(setup, c * 1000 + j))
-                .collect();
+            let jobs: Vec<JobRequest> = match &boot_ct {
+                Some(ct) => vec![JobRequest::Bootstrap { ct: ct.clone() }],
+                None => (0..JOBS / CLIENTS)
+                    .map(|j| JobRequest::BlindRotate {
+                        lwes: job_lwes(setup, c * 1000 + j),
+                    })
+                    .collect(),
+            };
             std::thread::spawn(move || {
                 jobs.into_iter()
-                    .map(|lwes| {
-                        let handle = svc
-                            .submit(JobRequest::BlindRotate { lwes }, Priority::Normal)
-                            .expect("submit");
+                    .map(|request| {
+                        let handle = svc.submit(request, Priority::Normal).expect("submit");
                         let (result, latency) = handle.wait_timed();
                         result.expect("job failed");
                         latency
@@ -156,6 +224,24 @@ fn run_config(
         .flat_map(|w| w.join().expect("client thread"))
         .collect();
     let secs = t0.elapsed().as_secs_f64();
+    let queue_p50_us = svc
+        .metrics()
+        .snapshot()
+        .histogram("heap_queue_wait_ns")
+        .map_or(0.0, |h| h.quantile(0.5) as f64 / 1e3);
+    let stage_mean_us = stage_before
+        .into_iter()
+        .map(|(s, before)| {
+            let h = setup.boot.stage_metrics().stage(s).expect("known stage");
+            let delta = h.snapshot().since(&before);
+            let us = if delta.count == 0 {
+                0.0
+            } else {
+                delta.mean() / 1e3
+            };
+            (s, us)
+        })
+        .collect();
     svc.shutdown();
     latencies.sort_unstable();
     Sample {
@@ -166,6 +252,8 @@ fn run_config(
         jobs_per_sec: latencies.len() as f64 / secs,
         p50_ms: percentile(&latencies, 0.50),
         p99_ms: percentile(&latencies, 0.99),
+        queue_p50_us,
+        stage_mean_us,
     }
 }
 
@@ -184,13 +272,13 @@ fn main() {
     );
     println!();
     println!(
-        "{:>9} {:>6} {:>10} {:>10} {:>12} {:>10} {:>10}",
-        "mode", "nodes", "max_lwes", "secs", "jobs/sec", "p50 ms", "p99 ms"
+        "{:>9} {:>6} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "mode", "nodes", "max_lwes", "secs", "jobs/sec", "p50 ms", "p99 ms", "qwait us", "br us"
     );
     let mut samples = Vec::new();
     for &k in &node_counts {
         for &max_lwes in &batch_sizes {
-            let s = run_config(&setup, &addrs[..k], max_lwes, "scaling");
+            let s = run_config(&setup, &addrs[..k], max_lwes, "scaling", Mix::BlindRotate);
             print_sample(&s);
             samples.push(s);
         }
@@ -204,18 +292,51 @@ fn main() {
         spawn_server(&setup, None),
     ];
     for mode in ["degraded", "healed"] {
-        let s = run_config(&setup, &degraded_addrs, 4 * LWES_PER_JOB, mode);
+        let s = run_config(
+            &setup,
+            &degraded_addrs,
+            4 * LWES_PER_JOB,
+            mode,
+            Mix::BlindRotate,
+        );
         print_sample(&s);
         samples.push(s);
     }
 
+    // Full-pipeline row: Bootstrap jobs run mod-switch, extract, blind
+    // rotate, repack, and rescale, so every stage column is populated.
+    let k = 2.min(max_servers);
+    let s = run_config(
+        &setup,
+        &addrs[..k],
+        setup.ctx.n(),
+        "pipeline",
+        Mix::Bootstrap,
+    );
+    print_sample(&s);
+    samples.push(s);
+
     let rows: Vec<String> = samples
         .iter()
         .map(|s| {
+            let stages: Vec<String> = s
+                .stage_mean_us
+                .iter()
+                .map(|(name, us)| format!("\"{name}\": {us:.1}"))
+                .collect();
             format!(
                 "    {{\"mode\": \"{}\", \"nodes\": {}, \"max_lwes\": {}, \"secs\": {:.6}, \
-                 \"jobs_per_sec\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
-                s.mode, s.nodes, s.max_lwes, s.secs, s.jobs_per_sec, s.p50_ms, s.p99_ms
+                 \"jobs_per_sec\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+                 \"queue_wait_p50_us\": {:.1}, \"stage_mean_us\": {{{}}}}}",
+                s.mode,
+                s.nodes,
+                s.max_lwes,
+                s.secs,
+                s.jobs_per_sec,
+                s.p50_ms,
+                s.p99_ms,
+                s.queue_p50_us,
+                stages.join(", ")
             )
         })
         .collect();
@@ -226,7 +347,11 @@ fn main() {
          \"note\": \"latency is submit-to-complete; larger max_lwes trades p50 latency for \
          throughput; node scaling is bounded by host_cores; degraded = 1 of 2 nodes on a \
          fail*4 fault plan (breaker + reassignment overhead), healed = same cluster after \
-         readmission\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+         readmission; stage_mean_us = mean microseconds per batch call of each Algorithm 2 \
+         stage during the window (client + in-process servers combined; 0 when the stage \
+         did not run), queue_wait_p50_us = median submit-to-dispatch queue wait; the \
+         pipeline row pushes full Bootstrap jobs so all stages populate\",\n  \
+         \"samples\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");

@@ -35,6 +35,7 @@ use heap_tfhe::{
 };
 
 use crate::repack::{pack_lwes, repack_exponents, repack_factor};
+use crate::stage::StageMetrics;
 
 /// Configuration of the scheme-switched bootstrap.
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +107,9 @@ pub struct Bootstrapper {
     test_poly: RnsPoly,
     /// Final plain scalar `t = round(p / (2N·N))`.
     t_scalar: i64,
+    /// Always-on per-stage latency histograms (recording is
+    /// allocation-free, so there is no "off" mode to maintain).
+    stages: StageMetrics,
 }
 
 impl Bootstrapper {
@@ -155,7 +159,13 @@ impl Bootstrapper {
             monomials,
             test_poly,
             t_scalar,
+            stages: StageMetrics::new(),
         }
+    }
+
+    /// Per-stage latency histograms accumulated by this bootstrapper.
+    pub fn stage_metrics(&self) -> &StageMetrics {
+        &self.stages
     }
 
     /// The configuration used at generation time.
@@ -269,6 +279,7 @@ impl Bootstrapper {
             1,
             "bootstrap expects an exhausted (single-limb) ciphertext"
         );
+        let _span = self.stages.extract.time();
         let rns = ctx.rns();
         let q0 = ctx.q_modulus(0);
         let mut c0 = ct.c0().clone();
@@ -285,6 +296,7 @@ impl Bootstrapper {
 
     /// Step 2 — `ModulusSwitch` every LWE from `q_0` to `2N`.
     pub fn modulus_switch(&self, ctx: &CkksContext, lwes: &[LweCiphertext]) -> Vec<LweCiphertext> {
+        let _span = self.stages.mod_switch.time();
         let two_n = 2 * ctx.n() as u64;
         par_map(self.config.parallelism, lwes, |_, l| {
             l.modulus_switch(two_n)
@@ -311,6 +323,7 @@ impl Bootstrapper {
         lwes: &[LweCiphertext],
         par: Parallelism,
     ) -> Vec<RlweCiphertext> {
+        let _span = self.stages.blind_rotate.time();
         par_map_init(par, lwes, BlindRotateScratch::default, |scratch, _, l| {
             self.brk
                 .blind_rotate_with(ctx.rns(), &self.test_poly, l, scratch)
@@ -346,10 +359,12 @@ impl Bootstrapper {
         leaves: Vec<Option<RnsLweCiphertext>>,
         input_scale: f64,
     ) -> Ciphertext {
+        let repack_span = self.stages.repack.time();
         let (mut a, mut b) = pack_lwes(ctx, &leaves, &self.gks, &self.monomials);
         let rns = ctx.rns();
         a.scalar_mul_assign(self.t_scalar, rns);
         b.scalar_mul_assign(self.t_scalar, rns);
+        drop(repack_span);
         // Packed phase per coefficient: N · q_0 · u ≈ N · 2N · (Δ·m),
         // so after ·t and rescale-by-p the scale is Δ·(N·2N·t/p).
         let n = ctx.n() as f64;
@@ -360,7 +375,9 @@ impl Bootstrapper {
             input_scale * factor * ctx.aux_modulus().value() as f64,
         );
         // Rescale divides the tracked scale by the dropped prime (= aux).
+        let rescale_span = self.stages.rescale.time();
         let ctx_rescaled = ctx.rescale(&tmp);
+        drop(rescale_span);
         debug_assert_eq!(ctx_rescaled.limbs(), ctx.max_limbs());
         ctx_rescaled
     }

@@ -85,6 +85,13 @@ pub struct TransferLedger {
     rlwe_received: AtomicU64,
     lwe_bytes_sent: AtomicU64,
     rlwe_bytes_received: AtomicU64,
+    // Control traffic (handshakes, pings, errors, stats): these frames
+    // carry no ciphertexts but do ride the same links, so an exact
+    // "measured socket bytes" figure must include them.
+    control_frames_sent: AtomicU64,
+    control_frames_received: AtomicU64,
+    control_bytes_sent: AtomicU64,
+    control_bytes_received: AtomicU64,
 }
 
 impl TransferLedger {
@@ -120,6 +127,49 @@ impl TransferLedger {
     pub fn record_gather(&self, count: u64, bytes: u64) {
         self.rlwe_received.fetch_add(count, Ordering::Relaxed);
         self.rlwe_bytes_received.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Control frames (Hello/Ping/Error/Stats/…) sent to secondaries.
+    pub fn control_frames_sent(&self) -> u64 {
+        self.control_frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Control frames received from secondaries.
+    pub fn control_frames_received(&self) -> u64 {
+        self.control_frames_received.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of control frames sent to secondaries.
+    pub fn control_bytes_sent(&self) -> u64 {
+        self.control_bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of control frames received from secondaries.
+    pub fn control_bytes_received(&self) -> u64 {
+        self.control_bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// All bytes sent (LWE payload + control frames).
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.lwe_bytes_sent() + self.control_bytes_sent()
+    }
+
+    /// All bytes received (accumulator payload + control frames).
+    pub fn total_bytes_received(&self) -> u64 {
+        self.rlwe_bytes_received() + self.control_bytes_received()
+    }
+
+    /// Records one outbound control frame of `bytes` total wire size.
+    pub fn record_control_sent(&self, bytes: u64) {
+        self.control_frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.control_bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one inbound control frame of `bytes` total wire size.
+    pub fn record_control_received(&self, bytes: u64) {
+        self.control_frames_received.fetch_add(1, Ordering::Relaxed);
+        self.control_bytes_received
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 }
 

@@ -32,6 +32,7 @@ pub mod bootstrap;
 pub mod cluster;
 pub mod noise;
 pub mod repack;
+pub mod stage;
 pub mod stats;
 pub mod switch;
 
@@ -39,5 +40,6 @@ pub use bootstrap::{BootstrapConfig, Bootstrapper};
 pub use cluster::{ComputeNode, LocalCluster, LocalNode, TransferLedger};
 pub use heap_parallel::Parallelism;
 pub use noise::{measure_coeff_error, predicted_bootstrap_rel_error, ErrorStats};
+pub use stage::{stage_metric_name, StageMetrics, PIPELINE_STAGES};
 pub use stats::{repack_key_switch_count, BootstrapStats};
 pub use switch::SchemeSwitch;

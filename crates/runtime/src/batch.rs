@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 
 use crate::job::PendingJob;
 use crate::queue::{Popped, SubmissionQueue};
+use crate::telemetry::BatcherTelemetry;
 
 /// When to flush a forming batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,24 +47,39 @@ impl BatchPolicy {
 /// Blocks for the next batch: the first job opens the batch and starts
 /// the delay clock; further jobs join until the policy says flush.
 /// Returns `None` once the queue is closed and drained.
+///
+/// Admission is peek-based: a queued job whose cost would push the batch
+/// past `max_lwes` stays queued for the next batch instead of being
+/// admitted and overshooting the cap (only the batch-opening job may
+/// exceed it — that is the "oversized job flushes alone" rule).
 pub(crate) fn collect_batch(
     queue: &SubmissionQueue,
     policy: &BatchPolicy,
+    telemetry: Option<&BatcherTelemetry>,
 ) -> Option<Vec<PendingJob>> {
     let first = queue.pop_wait()?;
-    let deadline = Instant::now() + policy.max_delay;
+    let opened = Instant::now();
+    let deadline = opened + policy.max_delay;
     let mut cost = first.cost;
     let mut batch = vec![first];
     while cost < policy.max_lwes {
-        match queue.pop_deadline(deadline) {
+        match queue.pop_deadline_within(deadline, policy.max_lwes - cost) {
             Popped::Job(job) => {
                 cost += job.cost;
                 batch.push(job);
             }
-            // Closed still flushes what we have; the *next* call returns
-            // `None` and ends the dispatcher.
-            Popped::TimedOut | Popped::Closed => break,
+            // Oversized: the queue head cannot fit; flush now, it opens
+            // the next batch. Closed still flushes what we have; the
+            // *next* call returns `None` and ends the dispatcher.
+            Popped::Oversized | Popped::TimedOut | Popped::Closed => break,
         }
+    }
+    if let Some(t) = telemetry {
+        for job in &batch {
+            t.queue_wait_ns.record_duration(job.state.queue_age());
+        }
+        t.batch_linger_ns.record_duration(opened.elapsed());
+        t.batch_size_lwes.record(cost as u64);
     }
     Some(batch)
 }
@@ -96,7 +112,7 @@ mod tests {
             max_lwes: 6,
             max_delay: Duration::from_secs(10),
         };
-        let batch = collect_batch(&q, &policy).unwrap();
+        let batch = collect_batch(&q, &policy, None).unwrap();
         // 2 + 2 + 2 = 6 reaches the threshold; the rest stay queued.
         assert_eq!(batch.len(), 3);
         assert_eq!(q.len(), 2);
@@ -111,7 +127,7 @@ mod tests {
             max_delay: Duration::from_millis(10),
         };
         let start = Instant::now();
-        let batch = collect_batch(&q, &policy).unwrap();
+        let batch = collect_batch(&q, &policy, None).unwrap();
         assert_eq!(batch.len(), 1);
         assert!(start.elapsed() >= Duration::from_millis(10));
     }
@@ -125,9 +141,71 @@ mod tests {
             max_lwes: 8,
             max_delay: Duration::from_secs(10),
         };
-        let batch = collect_batch(&q, &policy).unwrap();
+        let batch = collect_batch(&q, &policy, None).unwrap();
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].id.0, 0);
+    }
+
+    #[test]
+    fn large_follower_never_overshoots_the_cap() {
+        // Regression: the old batcher admitted any popped job while
+        // `cost < max_lwes`, so a 1-cost opener followed by a cap-sized
+        // job produced a batch of max_lwes + 1 rotations. Peek-based
+        // admission keeps the big job queued for the next batch.
+        let q = SubmissionQueue::new(16);
+        q.submit(job(0, 1)).unwrap();
+        q.submit(job(1, 8)).unwrap();
+        let policy = BatchPolicy {
+            max_lwes: 8,
+            max_delay: Duration::from_secs(10),
+        };
+        let batch = collect_batch(&q, &policy, None).unwrap();
+        let cost: usize = batch.iter().map(|j| j.cost).sum();
+        assert!(cost <= policy.max_lwes, "batch overshot: {cost} LWEs");
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].id.0, 0);
+        assert_eq!(q.len(), 1, "deferred job stays queued");
+        // The deferred job opens (and fills) the next batch.
+        let next = collect_batch(&q, &policy, None).unwrap();
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].id.0, 1);
+    }
+
+    #[test]
+    fn exact_fit_follower_is_admitted() {
+        // Budget admission is `cost <= remaining`, not strict-less:
+        // a follower that lands the batch exactly on the cap joins it.
+        let q = SubmissionQueue::new(16);
+        q.submit(job(0, 3)).unwrap();
+        q.submit(job(1, 5)).unwrap();
+        let policy = BatchPolicy {
+            max_lwes: 8,
+            max_delay: Duration::from_secs(10),
+        };
+        let batch = collect_batch(&q, &policy, None).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.iter().map(|j| j.cost).sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn telemetry_records_wait_linger_and_size() {
+        let registry = heap_telemetry::Registry::new("test");
+        let telemetry = BatcherTelemetry::new(&registry);
+        let q = SubmissionQueue::new(16);
+        q.submit(job(0, 2)).unwrap();
+        q.submit(job(1, 2)).unwrap();
+        let policy = BatchPolicy {
+            max_lwes: 4,
+            max_delay: Duration::from_secs(10),
+        };
+        let batch = collect_batch(&q, &policy, Some(&telemetry)).unwrap();
+        assert_eq!(batch.len(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("heap_queue_wait_ns").unwrap().count, 2);
+        assert_eq!(snap.histogram("heap_batch_linger_ns").unwrap().count, 1);
+        let sizes = snap.histogram("heap_batch_size_lwes").unwrap();
+        assert_eq!(sizes.count, 1);
+        assert_eq!(sizes.sum, 4);
     }
 
     #[test]
@@ -140,8 +218,8 @@ mod tests {
             max_lwes: 100,
             max_delay: Duration::from_secs(10),
         };
-        let batch = collect_batch(&q, &policy).unwrap();
+        let batch = collect_batch(&q, &policy, None).unwrap();
         assert_eq!(batch.len(), 2);
-        assert!(collect_batch(&q, &policy).is_none());
+        assert!(collect_batch(&q, &policy, None).is_none());
     }
 }

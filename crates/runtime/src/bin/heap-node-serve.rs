@@ -27,12 +27,20 @@
 //!   request, e.g. `fail*2,delay:50,hang,corrupt,drop`; after the plan
 //!   is exhausted the node serves normally (so a prober can observe it
 //!   recover). See `heap_runtime::FaultPlan` for the grammar.
+//! - `--metrics-addr HOST:PORT` — also serve a metrics endpoint
+//!   (`GET /metrics` Prometheus text, `GET /metrics.json`) exposing the
+//!   node's request counters and per-stage bootstrap histograms. The
+//!   bound address is printed as `METRICS <addr>` on stdout, *after* the
+//!   `LISTENING` line.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
 
 use heap_parallel::Parallelism;
-use heap_runtime::{deterministic_setup, serve, FaultPlan, ParamPreset, ServeOptions};
+use heap_runtime::{
+    deterministic_setup, serve, FaultPlan, NodeTelemetry, ParamPreset, ServeOptions,
+};
+use heap_telemetry::{Exposition, MetricsServer};
 
 struct Args {
     addr: String,
@@ -41,6 +49,7 @@ struct Args {
     threads: Option<usize>,
     fail_after: Option<u64>,
     fault_plan: Option<FaultPlan>,
+    metrics_addr: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         fail_after: None,
         fault_plan: None,
+        metrics_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,10 +94,12 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--fault-plan: {e}"))?,
                 )
             }
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
             "--help" | "-h" => {
                 return Err(
                     "usage: heap-node-serve [--addr HOST:PORT] [--preset tiny|small|medium] \
-                            [--seed N] [--threads N] [--fail-after N] [--fault-plan PLAN]"
+                            [--seed N] [--threads N] [--fail-after N] [--fault-plan PLAN] \
+                            [--metrics-addr HOST:PORT]"
                         .to_string(),
                 )
             }
@@ -125,14 +137,37 @@ fn main() -> ExitCode {
         .local_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| args.addr.clone());
-    // The readiness line scripts and tests wait for.
+    // The readiness line scripts and tests wait for (always first).
     println!("LISTENING {addr}");
     use std::io::Write;
     let _ = std::io::stdout().flush();
+    let telemetry = NodeTelemetry::new();
+    // Held for the life of the process; dropping it would stop the
+    // scrape endpoint.
+    let _metrics_server = match &args.metrics_addr {
+        Some(metrics_addr) => {
+            let exposition = Exposition::new()
+                .with_registry(telemetry.registry())
+                .with_registry(setup.boot.stage_metrics().registry());
+            match MetricsServer::serve(metrics_addr, exposition) {
+                Ok(server) => {
+                    println!("METRICS {}", server.addr());
+                    let _ = std::io::stdout().flush();
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("heap-node-serve: cannot bind metrics {metrics_addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
     let opts = ServeOptions {
         parallelism,
         fail_after: args.fail_after,
         fault_plan: args.fault_plan,
+        telemetry: Some(telemetry),
     };
     match serve(listener, setup.ctx, setup.boot, opts) {
         Ok(()) => ExitCode::SUCCESS,

@@ -105,6 +105,12 @@ impl JobState {
         })
     }
 
+    /// How long the job has been waiting since submission (the batcher
+    /// records this into `heap_queue_wait_ns` at admission time).
+    pub(crate) fn queue_age(&self) -> Duration {
+        self.submitted.elapsed()
+    }
+
     /// Fulfills the job; the latency clock stops here.
     pub(crate) fn complete(&self, result: Result<JobOutput, RuntimeError>) {
         let latency = self.submitted.elapsed();

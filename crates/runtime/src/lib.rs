@@ -52,13 +52,14 @@ mod queue;
 mod remote;
 mod scheduler;
 mod service;
+mod telemetry;
 
 pub use batch::BatchPolicy;
 pub use fault::{ChaosNode, FaultAction, FaultPlan, FaultState};
 pub use job::{JobHandle, JobId, JobOutput, JobRequest, Priority};
 pub use node::{LocalServiceNode, NodeError, ServiceNode};
 pub use preset::{deterministic_setup, DeterministicSetup, ParamPreset};
-pub use remote::{serve, NodeTimeouts, RemoteNode, ServeOptions};
+pub use remote::{serve, NodeTelemetry, NodeTimeouts, RemoteNode, ServeOptions};
 pub use scheduler::{RetryPolicy, Scheduler, SchedulerStats};
 pub use service::{BootstrapService, RuntimeConfig, RuntimeStats};
 

@@ -52,6 +52,11 @@ struct Inner {
 pub(crate) enum Popped {
     /// A job was available (or arrived) in time.
     Job(PendingJob),
+    /// The highest-priority job costs more than the caller's remaining
+    /// budget; it stays queued (peek-based admission). Skipping past it
+    /// to a cheaper job behind it would violate priority order, so the
+    /// caller should flush and come back.
+    Oversized,
     /// The deadline passed with the queue empty.
     TimedOut,
     /// The queue is closed and fully drained.
@@ -140,11 +145,19 @@ impl SubmissionQueue {
         }
     }
 
-    /// Pops a job, waiting at most until `deadline`.
-    pub fn pop_deadline(&self, deadline: Instant) -> Popped {
+    /// Pops the highest-priority job, waiting at most until `deadline`,
+    /// but only if its cost fits within `budget` — an oversized head is
+    /// *peeked*, left queued, and reported as [`Popped::Oversized`]. This
+    /// is how the batcher respects its size cap without ever dequeuing a
+    /// job it cannot admit.
+    pub fn pop_deadline_within(&self, deadline: Instant, budget: usize) -> Popped {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
-            if let Some(e) = inner.heap.pop() {
+            if let Some(top) = inner.heap.peek() {
+                if top.job.cost > budget {
+                    return Popped::Oversized;
+                }
+                let e = inner.heap.pop().expect("peeked entry vanished");
                 self.space.notify_one();
                 return Popped::Job(e.job);
             }
@@ -236,11 +249,32 @@ mod tests {
     fn deadline_pop_times_out_then_delivers() {
         let q = SubmissionQueue::new(4);
         let deadline = Instant::now() + Duration::from_millis(10);
-        assert!(matches!(q.pop_deadline(deadline), Popped::TimedOut));
+        assert!(matches!(
+            q.pop_deadline_within(deadline, usize::MAX),
+            Popped::TimedOut
+        ));
         q.submit(job(5, Priority::Normal)).unwrap();
-        match q.pop_deadline(Instant::now() + Duration::from_secs(5)) {
+        match q.pop_deadline_within(Instant::now() + Duration::from_secs(5), usize::MAX) {
             Popped::Job(j) => assert_eq!(j.id.0, 5),
             _ => panic!("expected job"),
+        }
+    }
+
+    #[test]
+    fn budgeted_pop_leaves_oversized_head_queued() {
+        let q = SubmissionQueue::new(4);
+        let mut big = job(0, Priority::Normal);
+        big.cost = 10;
+        q.submit(big).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(5);
+        assert!(matches!(
+            q.pop_deadline_within(deadline, 9),
+            Popped::Oversized
+        ));
+        assert_eq!(q.len(), 1, "oversized head must stay queued");
+        match q.pop_deadline_within(Instant::now() + Duration::from_millis(5), 10) {
+            Popped::Job(j) => assert_eq!(j.id.0, 0),
+            _ => panic!("expected the job once the budget fits"),
         }
     }
 
@@ -256,7 +290,7 @@ mod tests {
         assert!(q.pop_wait().is_some());
         assert!(q.pop_wait().is_none());
         assert!(matches!(
-            q.pop_deadline(Instant::now() + Duration::from_millis(5)),
+            q.pop_deadline_within(Instant::now() + Duration::from_millis(5), usize::MAX),
             Popped::Closed
         ));
     }

@@ -27,13 +27,24 @@
 //!
 //! A session is `Hello → HelloAck` (both directions validate the ring
 //! shape: `N`, boot limbs, `q_0`) followed by any number of
-//! `BlindRotateReq → BlindRotateResp` and `Ping → Pong` exchanges.
-//! Either side may send `Error` (UTF-8 reason) and hang up; `Shutdown`
-//! ends the session cleanly.
+//! `BlindRotateReq → BlindRotateResp`, `Ping → Pong`, and
+//! `StatsReq → StatsResp` exchanges. Either side may send `Error`
+//! (UTF-8 reason) and hang up; `Shutdown` ends the session cleanly.
+//!
+//! `StatsResp` carries the server's telemetry counters (see
+//! [`NodeTelemetry`]) as a flat `name → u64` table, so a client can read
+//! a remote node's request/LWE/ping tallies and per-stage histogram
+//! totals without scraping its metrics endpoint — this is what
+//! [`RemoteNode::fetch_stats`] returns.
 //!
 //! When a [`TransferLedger`] is attached, the node records the bytes it
 //! *actually* writes to and reads from the socket — headers included —
-//! turning the ledger from a model into a measurement.
+//! turning the ledger from a model into a measurement. Scatter/gather
+//! payload frames land in the payload counters; Hello/HelloAck, Ping/
+//! Pong, Stats, Shutdown, and Error frames land in the *control* frame
+//! counters, so framing overhead is measured rather than invisible. Use
+//! [`RemoteNode::connect_with_ledger`] (not [`RemoteNode::with_ledger`])
+//! when the handshake itself must be on the books.
 //!
 //! The server applies an optional [`FaultPlan`]
 //! ([`ServeOptions::fault_plan`], `heap-node-serve --fault-plan`) to its
@@ -51,6 +62,7 @@ use std::time::Duration;
 use heap_ckks::CkksContext;
 use heap_core::{Bootstrapper, ComputeNode, TransferLedger};
 use heap_parallel::Parallelism;
+use heap_telemetry::{Counter, MetricValue, Registry, Snapshot};
 use heap_tfhe::{
     lwe_batch_from_wire, lwe_batch_to_wire, rlwe_batch_from_wire, rlwe_batch_to_wire,
     LweCiphertext, RlweCiphertext,
@@ -81,6 +93,8 @@ enum FrameKind {
     Shutdown = 5,
     Ping = 6,
     Pong = 7,
+    StatsReq = 8,
+    StatsResp = 9,
 }
 
 impl FrameKind {
@@ -94,6 +108,8 @@ impl FrameKind {
             5 => Some(FrameKind::Shutdown),
             6 => Some(FrameKind::Ping),
             7 => Some(FrameKind::Pong),
+            8 => Some(FrameKind::StatsReq),
+            9 => Some(FrameKind::StatsResp),
             _ => None,
         }
     }
@@ -202,6 +218,125 @@ fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>, u64), FrameError
     Ok((kind, payload, FRAME_HEADER_BYTES + len))
 }
 
+/// Server-side telemetry for one listener: what a node has served.
+///
+/// Shared by every connection thread of a [`serve`] call and exposed two
+/// ways: flattened into `StatsResp` frames (so a client's
+/// [`RemoteNode::fetch_stats`] sees it over HRT1) and via the registry
+/// handle for a local metrics endpoint (`heap-node-serve
+/// --metrics-addr`). Cloning shares the same underlying atomics.
+#[derive(Clone)]
+pub struct NodeTelemetry {
+    registry: Arc<Registry>,
+    pub(crate) requests: Arc<Counter>,
+    pub(crate) lwes: Arc<Counter>,
+    pub(crate) pings: Arc<Counter>,
+    pub(crate) errors: Arc<Counter>,
+}
+
+impl NodeTelemetry {
+    /// Fresh counters under a `node`-scoped registry.
+    pub fn new() -> Self {
+        let registry = Arc::new(Registry::new("node"));
+        Self {
+            requests: registry.counter(
+                "heap_node_requests_total",
+                "Blind-rotate requests this node served",
+            ),
+            lwes: registry.counter(
+                "heap_node_lwes_total",
+                "LWE ciphertexts this node blind-rotated",
+            ),
+            pings: registry.counter("heap_node_pings_total", "Ping frames answered"),
+            errors: registry.counter("heap_node_errors_total", "Error frames sent to peers"),
+            registry,
+        }
+    }
+
+    /// The registry backing these counters (for a metrics endpoint).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}
+
+impl Default for NodeTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for NodeTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeTelemetry")
+            .field("requests", &self.requests.get())
+            .field("lwes", &self.lwes.get())
+            .field("pings", &self.pings.get())
+            .field("errors", &self.errors.get())
+            .finish()
+    }
+}
+
+/// Flattens a registry snapshot into `(scoped name, u64)` stats entries:
+/// counters and gauges verbatim, histograms as `_count` and `_sum`.
+fn flatten_snapshot(snap: &Snapshot, out: &mut Vec<(String, u64)>) {
+    for e in &snap.entries {
+        match &e.value {
+            MetricValue::Counter(v) => out.push((format!("{}_{}", snap.scope, e.name), *v)),
+            MetricValue::Gauge(v) => out.push((format!("{}_{}", snap.scope, e.name), *v as u64)),
+            MetricValue::Histogram(h) => {
+                out.push((format!("{}_{}_count", snap.scope, e.name), h.count));
+                out.push((format!("{}_{}_sum", snap.scope, e.name), h.sum));
+            }
+        }
+    }
+}
+
+/// `StatsResp` payload: `u32 LE` entry count, then per entry a
+/// `u16 LE` name length, the UTF-8 name, and a `u64 LE` value.
+fn encode_stats(entries: &[(String, u64)]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(4 + entries.iter().map(|(n, _)| 2 + n.len() + 8).sum::<usize>());
+    p.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (name, value) in entries {
+        p.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        p.extend_from_slice(name.as_bytes());
+        p.extend_from_slice(&value.to_le_bytes());
+    }
+    p
+}
+
+fn decode_stats(payload: &[u8]) -> Result<Vec<(String, u64)>, String> {
+    let take = |p: &[u8], at: usize, n: usize| -> Result<Vec<u8>, String> {
+        p.get(at..at + n)
+            .map(<[u8]>::to_vec)
+            .ok_or_else(|| "truncated stats payload".to_string())
+    };
+    let count = u32::from_le_bytes(take(payload, 0, 4)?.try_into().expect("4 bytes just taken"));
+    let mut at = 4;
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let len = u16::from_le_bytes(
+            take(payload, at, 2)?
+                .try_into()
+                .expect("2 bytes just taken"),
+        ) as usize;
+        at += 2;
+        let name = String::from_utf8(take(payload, at, len)?)
+            .map_err(|_| "stats name is not UTF-8".to_string())?;
+        at += len;
+        let value = u64::from_le_bytes(
+            take(payload, at, 8)?
+                .try_into()
+                .expect("8 bytes just taken"),
+        );
+        at += 8;
+        entries.push((name, value));
+    }
+    if at != payload.len() {
+        return Err(format!("{} trailing stats bytes", payload.len() - at));
+    }
+    Ok(entries)
+}
+
 /// The ring shape both sides must agree on before any ciphertext moves.
 fn hello_payload(ctx: &CkksContext) -> Vec<u8> {
     let mut p = Vec::with_capacity(HELLO_BYTES);
@@ -268,13 +403,36 @@ impl RemoteNode {
         ctx: &CkksContext,
         timeouts: NodeTimeouts,
     ) -> Result<Self, NodeError> {
+        Self::connect_inner(addr, ctx, timeouts, None)
+    }
+
+    /// [`RemoteNode::connect_with`], with the ledger attached *before*
+    /// the first dial so the `Hello → HelloAck` handshake bytes are
+    /// recorded as control frames. [`RemoteNode::with_ledger`] attaches
+    /// after the constructor's handshake already happened, so exactness
+    /// tests that account for every frame must use this instead.
+    pub fn connect_with_ledger(
+        addr: &str,
+        ctx: &CkksContext,
+        timeouts: NodeTimeouts,
+        ledger: Arc<TransferLedger>,
+    ) -> Result<Self, NodeError> {
+        Self::connect_inner(addr, ctx, timeouts, Some(ledger))
+    }
+
+    fn connect_inner(
+        addr: &str,
+        ctx: &CkksContext,
+        timeouts: NodeTimeouts,
+        ledger: Option<Arc<TransferLedger>>,
+    ) -> Result<Self, NodeError> {
         let node = Self {
             name: format!("remote-{addr}"),
             addr: addr.to_string(),
             hello: hello_payload(ctx),
             timeouts,
             stream: Mutex::new(None),
-            ledger: None,
+            ledger,
         };
         let stream = node.dial()?;
         *node.lock_stream() = Some(stream);
@@ -324,10 +482,16 @@ impl RemoteNode {
         stream
             .set_write_timeout(bounded(t.write))
             .map_err(|e| NodeError::Io(e.to_string()))?;
-        write_frame(&mut stream, FrameKind::Hello, &self.hello)
+        let sent = write_frame(&mut stream, FrameKind::Hello, &self.hello)
             .map_err(|e| io_error("hello", t.write, e))?;
-        let (kind, payload, _) =
+        let (kind, payload, received) =
             read_frame(&mut stream).map_err(|e| e.into_node("hello", t.read))?;
+        if let Some(ledger) = &self.ledger {
+            // Handshake frames in both directions are control traffic —
+            // the reply counts whether it is a HelloAck or an Error.
+            ledger.record_control_sent(sent);
+            ledger.record_control_received(received);
+        }
         match kind {
             FrameKind::HelloAck => {
                 check_hello(&self.hello, &payload).map_err(NodeError::Protocol)?
@@ -369,9 +533,16 @@ impl RemoteNode {
                 read_frame(stream).map_err(|e| e.into_node("read", t.read))?;
             match kind {
                 k if k == expect => Ok((reply, sent, received)),
-                FrameKind::Error => Err(NodeError::Remote(
-                    String::from_utf8_lossy(&reply).into_owned(),
-                )),
+                FrameKind::Error => {
+                    // An Error frame is control traffic regardless of
+                    // what the request was; keep it visible.
+                    if let Some(ledger) = &self.ledger {
+                        ledger.record_control_received(received);
+                    }
+                    Err(NodeError::Remote(
+                        String::from_utf8_lossy(&reply).into_owned(),
+                    ))
+                }
                 other => Err(NodeError::Protocol(format!(
                     "expected {expect:?}, got {other:?}"
                 ))),
@@ -387,7 +558,11 @@ impl RemoteNode {
     /// `Ping → Pong`. This is what the scheduler's health prober calls to
     /// decide readmission.
     pub fn ping(&self) -> Result<(), NodeError> {
-        let (reply, _, _) = self.exchange(FrameKind::Ping, &[], FrameKind::Pong)?;
+        let (reply, sent, received) = self.exchange(FrameKind::Ping, &[], FrameKind::Pong)?;
+        if let Some(ledger) = &self.ledger {
+            ledger.record_control_sent(sent);
+            ledger.record_control_received(received);
+        }
         if reply.is_empty() {
             Ok(())
         } else {
@@ -398,10 +573,28 @@ impl RemoteNode {
         }
     }
 
+    /// Fetches the server's telemetry counters over the session
+    /// (`StatsReq → StatsResp`): the node's [`NodeTelemetry`] tallies
+    /// plus its per-stage histogram `_count`/`_sum` totals, as flat
+    /// `(name, value)` pairs in the server's registration order.
+    pub fn fetch_stats(&self) -> Result<Vec<(String, u64)>, NodeError> {
+        let (reply, sent, received) =
+            self.exchange(FrameKind::StatsReq, &[], FrameKind::StatsResp)?;
+        if let Some(ledger) = &self.ledger {
+            ledger.record_control_sent(sent);
+            ledger.record_control_received(received);
+        }
+        decode_stats(&reply).map_err(NodeError::Protocol)
+    }
+
     /// Best-effort clean session end (the server closes the connection).
     pub fn shutdown(&self) {
         if let Some(stream) = self.lock_stream().as_mut() {
-            let _ = write_frame(stream, FrameKind::Shutdown, &[]);
+            if let Ok(sent) = write_frame(stream, FrameKind::Shutdown, &[]) {
+                if let Some(ledger) = &self.ledger {
+                    ledger.record_control_sent(sent);
+                }
+            }
         }
     }
 }
@@ -488,6 +681,12 @@ pub struct ServeOptions {
     /// blind-rotate request (across all connections); requests beyond the
     /// plan are served normally, so the node "recovers".
     pub fault_plan: Option<FaultPlan>,
+    /// Counters the server updates as it serves. Pass a handle you keep
+    /// (e.g. one backing a [`heap_telemetry::MetricsServer`], as
+    /// `heap-node-serve --metrics-addr` does) to observe them from
+    /// outside; `None` creates private counters, still reachable via
+    /// `StatsReq`.
+    pub telemetry: Option<NodeTelemetry>,
 }
 
 /// Serves blind-rotation requests on `listener` until the process exits.
@@ -508,6 +707,7 @@ pub fn serve(
         fault: opts.fault_plan.map(FaultState::new),
         served: AtomicU64::new(0),
         poisoned: AtomicBool::new(false),
+        telemetry: opts.telemetry.unwrap_or_default(),
     });
     for conn in listener.incoming() {
         let stream = conn?;
@@ -532,6 +732,7 @@ struct ServerState {
     fault: Option<FaultState>,
     served: AtomicU64,
     poisoned: AtomicBool,
+    telemetry: NodeTelemetry,
 }
 
 /// Maps a server-side frame failure (no deadlines are armed on the
@@ -558,10 +759,12 @@ fn handle_connection(
     let local_hello = hello_payload(ctx);
     let (kind, payload, _) = read_frame(&mut stream).map_err(server_frame_err)?;
     if kind != FrameKind::Hello {
+        state.telemetry.errors.inc();
         let _ = write_frame(&mut stream, FrameKind::Error, b"expected Hello");
         return Err(NodeError::Protocol("expected Hello".into()));
     }
     if let Err(why) = check_hello(&local_hello, &payload) {
+        state.telemetry.errors.inc();
         let _ = write_frame(&mut stream, FrameKind::Error, why.as_bytes());
         return Err(NodeError::Protocol(why));
     }
@@ -585,6 +788,7 @@ fn handle_connection(
                     match fault.next_action() {
                         FaultAction::Pass => {}
                         FaultAction::Fail => {
+                            state.telemetry.errors.inc();
                             write_frame(&mut stream, FrameKind::Error, b"injected fault: fail")
                                 .map_err(|e| NodeError::Io(e.to_string()))?;
                             continue;
@@ -610,6 +814,7 @@ fn handle_connection(
                     Ok(lwes) => lwes,
                     Err(e) => {
                         let why = format!("bad LWE batch: {e:?}");
+                        state.telemetry.errors.inc();
                         let _ = write_frame(&mut stream, FrameKind::Error, why.as_bytes());
                         return Err(NodeError::Protocol(why));
                     }
@@ -618,14 +823,28 @@ fn handle_connection(
                 let resp = rlwe_batch_to_wire(&accs, &moduli);
                 write_frame(&mut stream, FrameKind::BlindRotateResp, &resp)
                     .map_err(|e| NodeError::Io(e.to_string()))?;
+                state.telemetry.requests.inc();
+                state.telemetry.lwes.add(lwes.len() as u64);
             }
             FrameKind::Ping => {
                 write_frame(&mut stream, FrameKind::Pong, &[])
+                    .map_err(|e| NodeError::Io(e.to_string()))?;
+                state.telemetry.pings.inc();
+            }
+            FrameKind::StatsReq => {
+                // Node counters first, then the bootstrapper's per-stage
+                // histograms — the same registries a local metrics
+                // endpoint would expose.
+                let mut entries = Vec::new();
+                flatten_snapshot(&state.telemetry.registry.snapshot(), &mut entries);
+                flatten_snapshot(&boot.stage_metrics().registry().snapshot(), &mut entries);
+                write_frame(&mut stream, FrameKind::StatsResp, &encode_stats(&entries))
                     .map_err(|e| NodeError::Io(e.to_string()))?;
             }
             FrameKind::Shutdown => return Ok(()),
             other => {
                 let why = format!("unexpected frame {other:?}");
+                state.telemetry.errors.inc();
                 let _ = write_frame(&mut stream, FrameKind::Error, why.as_bytes());
                 return Err(NodeError::Protocol(why));
             }
@@ -718,6 +937,113 @@ mod tests {
         assert_eq!(
             ledger.rlwe_bytes_received(),
             FRAME_HEADER_BYTES + heap_tfhe::rlwe_batch_wire_size(&accs, &moduli) as u64
+        );
+        node.shutdown();
+    }
+
+    #[test]
+    fn stats_round_trip_reports_served_work() {
+        let s = setup();
+        let telemetry = NodeTelemetry::new();
+        let addr = spawn_server(ServeOptions {
+            parallelism: Parallelism::serial(),
+            telemetry: Some(telemetry.clone()),
+            ..ServeOptions::default()
+        });
+        let node = RemoteNode::connect(&addr, &s.ctx).expect("connect");
+        node.try_blind_rotate_batch(&s.ctx, &s.boot, &test_lwes(3))
+            .expect("batch");
+        node.ping().expect("ping");
+        let stats = node.fetch_stats().expect("stats");
+        let get = |name: &str| {
+            stats
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("stat '{name}' missing from {stats:?}"))
+                .1
+        };
+        assert_eq!(get("node_heap_node_requests_total"), 1);
+        assert_eq!(get("node_heap_node_lwes_total"), 3);
+        assert_eq!(get("node_heap_node_pings_total"), 1);
+        assert_eq!(get("node_heap_node_errors_total"), 0);
+        // The remote report reads the same atomics as the local handle.
+        assert_eq!(telemetry.requests.get(), 1);
+        assert_eq!(telemetry.lwes.get(), 3);
+        // Per-stage histograms ride along. The bootstrapper (and hence
+        // its stage registry) is shared by every test in this module, so
+        // only lower-bound the count.
+        assert!(get("core_heap_stage_blind_rotate_ns_count") >= 1);
+        assert!(get("core_heap_stage_blind_rotate_ns_sum") > 0);
+        node.shutdown();
+    }
+
+    #[test]
+    fn stats_encoding_round_trips() {
+        let entries = vec![
+            ("a".to_string(), 0u64),
+            ("heap_node_requests_total".to_string(), u64::MAX),
+            ("x_y".to_string(), 42),
+        ];
+        assert_eq!(decode_stats(&encode_stats(&entries)).unwrap(), entries);
+        assert_eq!(decode_stats(&encode_stats(&[])).unwrap(), vec![]);
+        assert!(decode_stats(&[1, 0, 0, 0]).is_err(), "truncated");
+        let mut trailing = encode_stats(&entries);
+        trailing.push(0);
+        assert!(decode_stats(&trailing).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn ledger_records_control_frames_including_handshake() {
+        let s = setup();
+        let addr = spawn_server(ServeOptions::default());
+        let ledger = Arc::new(TransferLedger::default());
+        let node = RemoteNode::connect_with_ledger(
+            &addr,
+            &s.ctx,
+            NodeTimeouts::default(),
+            Arc::clone(&ledger),
+        )
+        .expect("connect");
+        // Handshake: Hello out, HelloAck back — both 16-byte payloads.
+        assert_eq!(ledger.control_frames_sent(), 1);
+        assert_eq!(ledger.control_frames_received(), 1);
+        assert_eq!(ledger.control_bytes_sent(), FRAME_HEADER_BYTES + 16);
+        assert_eq!(ledger.control_bytes_received(), FRAME_HEADER_BYTES + 16);
+        // Ping/Pong: empty payloads, header-only frames.
+        node.ping().expect("ping");
+        assert_eq!(ledger.control_frames_sent(), 2);
+        assert_eq!(ledger.control_frames_received(), 2);
+        assert_eq!(ledger.control_bytes_sent(), 2 * FRAME_HEADER_BYTES + 16);
+        // Payload counters stay untouched by control traffic.
+        assert_eq!(ledger.lwe_bytes_sent(), 0);
+        assert_eq!(ledger.rlwe_bytes_received(), 0);
+        node.shutdown();
+        assert_eq!(ledger.control_frames_sent(), 3);
+    }
+
+    #[test]
+    fn ledger_counts_error_frames_as_control() {
+        let s = setup();
+        let addr = spawn_server(ServeOptions {
+            parallelism: Parallelism::serial(),
+            fault_plan: Some("fail".parse().expect("plan")),
+            ..ServeOptions::default()
+        });
+        let ledger = Arc::new(TransferLedger::default());
+        let node = RemoteNode::connect_with_ledger(
+            &addr,
+            &s.ctx,
+            NodeTimeouts::default(),
+            Arc::clone(&ledger),
+        )
+        .expect("connect");
+        let before = ledger.control_frames_received();
+        node.try_blind_rotate_batch(&s.ctx, &s.boot, &test_lwes(1))
+            .expect_err("injected fail");
+        assert_eq!(
+            ledger.control_frames_received(),
+            before + 1,
+            "the Error frame must be visible as control traffic"
         );
         node.shutdown();
     }

@@ -41,6 +41,7 @@ use heap_core::Bootstrapper;
 use heap_tfhe::{LweCiphertext, RlweCiphertext};
 
 use crate::node::{NodeError, ServiceNode};
+use crate::telemetry::SchedulerTelemetry;
 use crate::RuntimeError;
 
 /// Retry, circuit-breaker, probing, and degradation knobs.
@@ -266,13 +267,12 @@ struct Inner {
     fallback_failed: AtomicBool,
     fallback_inflight: AtomicUsize,
     policy: RetryPolicy,
-    batches: AtomicU64,
-    shards: AtomicU64,
-    reassignments: AtomicU64,
-    node_failures: AtomicU64,
-    breaker_opens: AtomicU64,
-    readmissions: AtomicU64,
-    fallback_shards: AtomicU64,
+    /// Batch sequence for deterministic jitter seeding (distinct from the
+    /// telemetry counter so concurrent batches never share a seed).
+    batch_seq: AtomicU64,
+    /// Lifetime counters and fault events; shared with the owning
+    /// service's registry when there is one, standalone otherwise.
+    telemetry: SchedulerTelemetry,
     /// Prober shutdown latch: flag + condvar so `Drop` is prompt.
     stop: Mutex<bool>,
     stop_cv: Condvar,
@@ -289,15 +289,25 @@ impl Inner {
             match slot.node.probe() {
                 Ok(()) => {
                     if slot.breaker.on_success() {
-                        self.readmissions.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.readmissions.inc();
+                        self.telemetry.events.record(
+                            "readmission",
+                            &slot.node.name(),
+                            "probe succeeded",
+                        );
                     }
                 }
-                Err(_) => {
+                Err(e) => {
                     // HalfOpen failure always re-opens; already counted
                     // as an open the first time, but each re-open is a
                     // distinct transition worth counting.
                     if slot.breaker.on_failure(&self.policy, Instant::now()) {
-                        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+                        self.telemetry.breaker_opens.inc();
+                        self.telemetry.events.record(
+                            "breaker_open",
+                            &slot.node.name(),
+                            &format!("probe failed: {e}"),
+                        );
                     }
                 }
             }
@@ -329,6 +339,18 @@ impl Scheduler {
         fallback: Option<Box<dyn ServiceNode>>,
         policy: RetryPolicy,
     ) -> Result<Self, RuntimeError> {
+        Self::with_telemetry(nodes, fallback, policy, SchedulerTelemetry::standalone())
+    }
+
+    /// [`Scheduler::with_policy`] recording into an externally owned
+    /// metric set (how [`crate::BootstrapService`] shares one registry
+    /// between its own counters and the scheduler's).
+    pub(crate) fn with_telemetry(
+        nodes: Vec<Box<dyn ServiceNode>>,
+        fallback: Option<Box<dyn ServiceNode>>,
+        policy: RetryPolicy,
+        telemetry: SchedulerTelemetry,
+    ) -> Result<Self, RuntimeError> {
         if nodes.is_empty() && fallback.is_none() {
             return Err(RuntimeError::NoNodes);
         }
@@ -345,13 +367,8 @@ impl Scheduler {
             fallback_failed: AtomicBool::new(false),
             fallback_inflight: AtomicUsize::new(0),
             policy,
-            batches: AtomicU64::new(0),
-            shards: AtomicU64::new(0),
-            reassignments: AtomicU64::new(0),
-            node_failures: AtomicU64::new(0),
-            breaker_opens: AtomicU64::new(0),
-            readmissions: AtomicU64::new(0),
-            fallback_shards: AtomicU64::new(0),
+            batch_seq: AtomicU64::new(0),
+            telemetry,
             stop: Mutex::new(false),
             stop_cv: Condvar::new(),
         });
@@ -392,17 +409,19 @@ impl Scheduler {
         self.inner.fallback.is_some() && !self.inner.fallback_failed.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of the lifetime counters.
+    /// Snapshot of the lifetime counters. These read the *same* atomics
+    /// the telemetry registry exposes, so a scraped `/metrics` endpoint
+    /// and this struct can never disagree.
     pub fn stats(&self) -> SchedulerStats {
-        let i = &self.inner;
+        let t = &self.inner.telemetry;
         SchedulerStats {
-            batches: i.batches.load(Ordering::Relaxed),
-            shards: i.shards.load(Ordering::Relaxed),
-            reassignments: i.reassignments.load(Ordering::Relaxed),
-            node_failures: i.node_failures.load(Ordering::Relaxed),
-            breaker_opens: i.breaker_opens.load(Ordering::Relaxed),
-            readmissions: i.readmissions.load(Ordering::Relaxed),
-            fallback_shards: i.fallback_shards.load(Ordering::Relaxed),
+            batches: t.batches.get(),
+            shards: t.shards.get(),
+            reassignments: t.reassignments.get(),
+            node_failures: t.node_failures.get(),
+            breaker_opens: t.breaker_opens.get(),
+            readmissions: t.readmissions.get(),
+            fallback_shards: t.fallback_shards.get(),
         }
     }
 
@@ -453,7 +472,8 @@ impl Scheduler {
         lwes: &[LweCiphertext],
     ) -> Result<Vec<RlweCiphertext>, RuntimeError> {
         let inner = &self.inner;
-        let batch_no = inner.batches.fetch_add(1, Ordering::Relaxed);
+        let batch_no = inner.batch_seq.fetch_add(1, Ordering::Relaxed);
+        inner.telemetry.batches.inc();
         if lwes.is_empty() {
             return Ok(Vec::new());
         }
@@ -485,9 +505,12 @@ impl Scheduler {
                 return Err(RuntimeError::AllNodesFailed(last_err));
             }
             if round > 0 {
-                inner
-                    .reassignments
-                    .fetch_add(pending.len() as u64, Ordering::Relaxed);
+                inner.telemetry.reassignments.add(pending.len() as u64);
+                inner.telemetry.events.record(
+                    "retry",
+                    &format!("batch-{batch_no}"),
+                    &format!("round {round}: {} shards re-dispatched", pending.len()),
+                );
                 self.backoff(batch_no, round);
             }
             // Shard j of this round goes to the j-th least-loaded node
@@ -501,19 +524,21 @@ impl Scheduler {
                 self.inflight(node_idx)
                     .fetch_add(shard.len(), Ordering::Relaxed);
                 if node_idx == FALLBACK {
-                    inner.fallback_shards.fetch_add(1, Ordering::Relaxed);
+                    inner.telemetry.fallback_shards.inc();
                 }
             }
-            inner
-                .shards
-                .fetch_add(assignments.len() as u64, Ordering::Relaxed);
+            inner.telemetry.shards.add(assignments.len() as u64);
             let mut results: Vec<ShardResult<'_>> = Vec::new();
             std::thread::scope(|s| {
                 let handles: Vec<_> = assignments
                     .iter()
                     .map(|&(node_idx, slot, shard)| {
                         s.spawn(move || {
+                            // The span covers the full scatter → compute →
+                            // gather round trip as seen from the primary.
+                            let span = inner.telemetry.shard_round_trip_ns.time();
                             let r = self.node(node_idx).try_blind_rotate_batch(ctx, boot, shard);
+                            drop(span);
                             self.inflight(node_idx)
                                 .fetch_sub(shard.len(), Ordering::Relaxed);
                             (node_idx, slot, shard, r)
@@ -584,14 +609,20 @@ impl Scheduler {
         if node_idx == FALLBACK {
             return;
         }
-        if self.inner.slots[node_idx].breaker.on_success() {
-            self.inner.readmissions.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.inner.slots[node_idx];
+        if slot.breaker.on_success() {
+            self.inner.telemetry.readmissions.inc();
+            self.inner.telemetry.events.record(
+                "readmission",
+                &slot.node.name(),
+                "half-open shard succeeded",
+            );
         }
     }
 
     fn record_failure(&self, node_idx: usize, why: &str, last_err: &mut String) {
         let inner = &self.inner;
-        inner.node_failures.fetch_add(1, Ordering::Relaxed);
+        inner.telemetry.node_failures.inc();
         if node_idx == FALLBACK {
             inner.fallback_failed.store(true, Ordering::Relaxed);
             *last_err = format!(
@@ -602,7 +633,11 @@ impl Scheduler {
         }
         let slot = &inner.slots[node_idx];
         if slot.breaker.on_failure(&inner.policy, Instant::now()) {
-            inner.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            inner.telemetry.breaker_opens.inc();
+            inner
+                .telemetry
+                .events
+                .record("breaker_open", &slot.node.name(), why);
         }
         *last_err = format!("{}: {why}", slot.node.name());
     }

@@ -10,12 +10,14 @@
 //! its slice of the returned accumulators. Per-job results are delivered
 //! through the handle with submit-to-complete latency attached.
 
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use heap_ckks::CkksContext;
 use heap_core::Bootstrapper;
 use heap_parallel::Parallelism;
+use heap_telemetry::{EventLog, Exposition, MetricsServer, Registry};
 use heap_tfhe::LweCiphertext;
 
 use crate::batch::{collect_batch, BatchPolicy};
@@ -23,6 +25,7 @@ use crate::job::{JobHandle, JobId, JobOutput, JobRequest, JobState, PendingJob, 
 use crate::node::{LocalServiceNode, ServiceNode};
 use crate::queue::SubmissionQueue;
 use crate::scheduler::{RetryPolicy, Scheduler, SchedulerStats};
+use crate::telemetry::ServiceTelemetry;
 use crate::RuntimeError;
 
 /// Service-level configuration.
@@ -60,20 +63,16 @@ pub struct RuntimeStats {
     pub scheduler: SchedulerStats,
 }
 
-struct Counters {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-}
-
 /// A running bootstrapping service (the primary node).
 pub struct BootstrapService {
     ctx: Arc<CkksContext>,
+    boot: Arc<Bootstrapper>,
     queue: Arc<SubmissionQueue>,
     scheduler: Arc<Scheduler>,
-    counters: Arc<Counters>,
+    telemetry: Arc<ServiceTelemetry>,
     next_id: AtomicU64,
     dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    metrics_server: Mutex<Option<MetricsServer>>,
 }
 
 impl BootstrapService {
@@ -118,34 +117,37 @@ impl BootstrapService {
             return Err(RuntimeError::Invalid("queue capacity must be at least 1"));
         }
         let queue = Arc::new(SubmissionQueue::new(config.queue_capacity));
-        let scheduler = Arc::new(Scheduler::with_policy(nodes, fallback, config.retry)?);
-        let counters = Arc::new(Counters {
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-        });
+        let telemetry = Arc::new(ServiceTelemetry::new());
+        let scheduler = Arc::new(Scheduler::with_telemetry(
+            nodes,
+            fallback,
+            config.retry,
+            telemetry.scheduler.clone(),
+        )?);
         let dispatcher = {
-            let (ctx, boot, queue, scheduler, counters) = (
+            let (ctx, boot, queue, scheduler, telemetry) = (
                 Arc::clone(&ctx),
                 Arc::clone(&boot),
                 Arc::clone(&queue),
                 Arc::clone(&scheduler),
-                Arc::clone(&counters),
+                Arc::clone(&telemetry),
             );
             let policy = config.batch;
             std::thread::spawn(move || {
-                while let Some(batch) = collect_batch(&queue, &policy) {
-                    run_batch(&ctx, &boot, &scheduler, &counters, batch);
+                while let Some(batch) = collect_batch(&queue, &policy, Some(&telemetry.batcher)) {
+                    run_batch(&ctx, &boot, &scheduler, &telemetry, batch);
                 }
             })
         };
         Ok(Self {
             ctx,
+            boot,
             queue,
             scheduler,
-            counters,
+            telemetry,
             next_id: AtomicU64::new(0),
             dispatcher: Mutex::new(Some(dispatcher)),
+            metrics_server: Mutex::new(None),
         })
     }
 
@@ -157,7 +159,7 @@ impl BootstrapService {
     ) -> Result<JobHandle, RuntimeError> {
         let (job, handle) = self.prepare(request, priority)?;
         self.queue.submit(job)?;
-        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.submitted.inc();
         Ok(handle)
     }
 
@@ -169,7 +171,7 @@ impl BootstrapService {
     ) -> Result<JobHandle, RuntimeError> {
         let (job, handle) = self.prepare(request, priority)?;
         self.queue.try_submit(job)?;
-        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.submitted.inc();
         Ok(handle)
     }
 
@@ -234,20 +236,61 @@ impl BootstrapService {
         &self.scheduler
     }
 
-    /// Snapshot of the service counters.
+    /// Snapshot of the service counters (the same atomics the metrics
+    /// registry exposes).
     pub fn stats(&self) -> RuntimeStats {
         RuntimeStats {
-            submitted: self.counters.submitted.load(Ordering::Relaxed),
-            completed: self.counters.completed.load(Ordering::Relaxed),
-            failed: self.counters.failed.load(Ordering::Relaxed),
+            submitted: self.telemetry.submitted.get(),
+            completed: self.telemetry.completed.get(),
+            failed: self.telemetry.failed.get(),
             scheduler: self.scheduler.stats(),
         }
+    }
+
+    /// The service's metric registry (jobs, batcher, scheduler counters
+    /// and histograms).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.telemetry.registry
+    }
+
+    /// The structured fault-event log (retries, breaker transitions,
+    /// readmissions).
+    pub fn events(&self) -> &Arc<EventLog> {
+        &self.telemetry.events
+    }
+
+    /// An exposition covering the full service: its own registry, the
+    /// bootstrapper's per-stage pipeline histograms, and the event log.
+    pub fn exposition(&self) -> Exposition {
+        Exposition::new()
+            .with_registry(&self.telemetry.registry)
+            .with_registry(self.boot.stage_metrics().registry())
+            .with_events(&self.telemetry.events)
+    }
+
+    /// Serves [`BootstrapService::exposition`] over HTTP at `addr`
+    /// (`GET /metrics` Prometheus text, `GET /metrics.json` JSON). Pass
+    /// port 0 for an ephemeral port; the bound address is returned. The
+    /// endpoint stops at [`BootstrapService::shutdown`]. Starting a
+    /// second endpoint replaces (and stops) the first.
+    pub fn serve_metrics(&self, addr: &str) -> std::io::Result<SocketAddr> {
+        let server = MetricsServer::serve(addr, self.exposition())?;
+        let bound = server.addr();
+        *self
+            .metrics_server
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(server);
+        Ok(bound)
     }
 
     /// Stops accepting jobs, drains the queue, and joins the dispatcher.
     /// Idempotent.
     pub fn shutdown(&self) {
         self.queue.close();
+        self.metrics_server
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
         let handle = self
             .dispatcher
             .lock()
@@ -273,7 +316,7 @@ fn run_batch(
     ctx: &CkksContext,
     boot: &Bootstrapper,
     scheduler: &Scheduler,
-    counters: &Counters,
+    telemetry: &ServiceTelemetry,
     batch: Vec<PendingJob>,
 ) {
     // Primary role, step 1–2: extract + modulus-switch per bootstrap job,
@@ -296,9 +339,7 @@ fn run_batch(
     let rotated = match scheduler.execute(ctx, boot, &mega) {
         Ok(rotated) => rotated,
         Err(e) => {
-            counters
-                .failed
-                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            telemetry.failed.add(batch.len() as u64);
             for job in batch {
                 job.state.complete(Err(e.clone()));
             }
@@ -315,7 +356,7 @@ fn run_batch(
             }
             JobRequest::BlindRotate { .. } => JobOutput::Accumulators(accs.to_vec()),
         };
-        counters.completed.fetch_add(1, Ordering::Relaxed);
+        telemetry.completed.inc();
         job.state.complete(Ok(output));
     }
 }

@@ -1,0 +1,170 @@
+//! Runtime metric handles: one registry per service, shared by the
+//! submission queue, dynamic batcher, and scheduler.
+//!
+//! Metric names are documented in DESIGN.md §9. Everything here is
+//! registered once at service start; the handles are plain atomics from
+//! `heap-telemetry`, so recording on the dispatch path is allocation-free.
+
+use std::sync::Arc;
+
+use heap_telemetry::{Counter, EventLog, Histogram, Registry};
+
+/// How many fault events the service retains (oldest evicted first).
+const EVENT_CAPACITY: usize = 1024;
+
+/// Counters and spans owned by the scheduler (cloned `Arc`s, so a
+/// service-level snapshot and [`crate::SchedulerStats`] read the same
+/// atomics).
+#[derive(Debug, Clone)]
+pub(crate) struct SchedulerTelemetry {
+    pub batches: Arc<Counter>,
+    pub shards: Arc<Counter>,
+    pub reassignments: Arc<Counter>,
+    pub node_failures: Arc<Counter>,
+    pub breaker_opens: Arc<Counter>,
+    pub readmissions: Arc<Counter>,
+    pub fallback_shards: Arc<Counter>,
+    /// Wall-clock of one shard's scatter → compute → gather round trip.
+    pub shard_round_trip_ns: Arc<Histogram>,
+    /// Fault events: retries, breaker transitions, readmissions.
+    pub events: Arc<EventLog>,
+}
+
+impl SchedulerTelemetry {
+    /// Registers the scheduler metrics in `registry`.
+    pub fn new(registry: &Registry, events: Arc<EventLog>) -> Self {
+        Self {
+            batches: registry.counter(
+                "heap_scheduler_batches_total",
+                "batches executed to completion (success or failure)",
+            ),
+            shards: registry.counter(
+                "heap_scheduler_shards_total",
+                "shards dispatched, including reassigned and fallback ones",
+            ),
+            reassignments: registry.counter(
+                "heap_scheduler_reassignments_total",
+                "shards re-dispatched after a failed attempt",
+            ),
+            node_failures: registry.counter(
+                "heap_scheduler_node_failures_total",
+                "failed node calls (transport, protocol, timeout, short reply)",
+            ),
+            breaker_opens: registry.counter(
+                "heap_scheduler_breaker_opens_total",
+                "circuit-breaker transitions into Open",
+            ),
+            readmissions: registry.counter(
+                "heap_scheduler_readmissions_total",
+                "nodes readmitted into dispatch (HalfOpen to Closed)",
+            ),
+            fallback_shards: registry.counter(
+                "heap_scheduler_fallback_shards_total",
+                "shards served by the fallback node",
+            ),
+            shard_round_trip_ns: registry.histogram(
+                "heap_shard_round_trip_ns",
+                "per-shard scatter/compute/gather round trip in nanoseconds",
+            ),
+            events,
+        }
+    }
+
+    /// A self-contained instance for schedulers constructed without a
+    /// service (the registry is dropped; the counters keep working).
+    pub fn standalone() -> Self {
+        Self::new(
+            &Registry::new("scheduler"),
+            Arc::new(EventLog::new(EVENT_CAPACITY)),
+        )
+    }
+}
+
+/// Histogram handles the dynamic batcher records into while forming a
+/// batch.
+#[derive(Debug, Clone)]
+pub(crate) struct BatcherTelemetry {
+    /// Submit → admitted-into-a-batch wait per job.
+    pub queue_wait_ns: Arc<Histogram>,
+    /// Batch open (first job popped) → flush.
+    pub batch_linger_ns: Arc<Histogram>,
+    /// Blind rotations per flushed batch.
+    pub batch_size_lwes: Arc<Histogram>,
+}
+
+impl BatcherTelemetry {
+    /// Registers the batcher metrics in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            queue_wait_ns: registry.histogram(
+                "heap_queue_wait_ns",
+                "submit to batch-admission wait per job in nanoseconds",
+            ),
+            batch_linger_ns: registry.histogram(
+                "heap_batch_linger_ns",
+                "batch open to flush linger in nanoseconds",
+            ),
+            batch_size_lwes: registry
+                .histogram("heap_batch_size_lwes", "blind rotations per flushed batch"),
+        }
+    }
+}
+
+/// Everything a [`crate::BootstrapService`] measures, rooted in one
+/// registry so a single exposition covers the whole service.
+#[derive(Debug)]
+pub(crate) struct ServiceTelemetry {
+    pub registry: Arc<Registry>,
+    pub events: Arc<EventLog>,
+    pub submitted: Arc<Counter>,
+    pub completed: Arc<Counter>,
+    pub failed: Arc<Counter>,
+    pub batcher: BatcherTelemetry,
+    pub scheduler: SchedulerTelemetry,
+}
+
+impl ServiceTelemetry {
+    /// Registers the full service metric set in a fresh registry.
+    pub fn new() -> Self {
+        let registry = Arc::new(Registry::new("service"));
+        let events = Arc::new(EventLog::new(EVENT_CAPACITY));
+        Self {
+            submitted: registry
+                .counter("heap_jobs_submitted_total", "jobs accepted into the queue"),
+            completed: registry.counter("heap_jobs_completed_total", "jobs completed successfully"),
+            failed: registry.counter("heap_jobs_failed_total", "jobs completed with an error"),
+            batcher: BatcherTelemetry::new(&registry),
+            scheduler: SchedulerTelemetry::new(&registry, Arc::clone(&events)),
+            registry,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_telemetry_registers_the_documented_names() {
+        let t = ServiceTelemetry::new();
+        t.submitted.inc();
+        t.scheduler.batches.add(2);
+        t.batcher.batch_size_lwes.record(7);
+        let snap = t.registry.snapshot();
+        assert_eq!(snap.counter("heap_jobs_submitted_total"), Some(1));
+        assert_eq!(snap.counter("heap_scheduler_batches_total"), Some(2));
+        assert_eq!(snap.histogram("heap_batch_size_lwes").unwrap().count, 1);
+        assert!(snap.histogram("heap_queue_wait_ns").is_some());
+        assert!(snap.histogram("heap_shard_round_trip_ns").is_some());
+    }
+
+    #[test]
+    fn standalone_scheduler_counters_work_without_a_registry() {
+        let t = SchedulerTelemetry::standalone();
+        t.node_failures.inc();
+        assert_eq!(t.node_failures.get(), 1);
+        t.events.record("breaker_open", "node-0", "1 failure");
+        assert_eq!(t.events.total(), 1);
+    }
+}

@@ -6,8 +6,10 @@
 //! must leave exactly the payload the `heap-hw` `MemoryLayout` model
 //! prices for the CMAC links: `n` LWE ciphertexts scattered at the
 //! post-modulus-switch width, `n` RLWE accumulators gathered at the boot
-//! basis width. Any drift between the wire format and the model breaks
-//! this test.
+//! basis width. Control traffic (the `Hello → HelloAck` handshake here)
+//! is accounted separately and exactly, so *every* byte the socket
+//! carried is attributed. Any drift between the wire format and the
+//! model breaks this test.
 
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -16,8 +18,8 @@ use heap_core::TransferLedger;
 use heap_hw::MemoryLayout;
 use heap_parallel::Parallelism;
 use heap_runtime::{
-    deterministic_setup, serve, BatchPolicy, BootstrapService, JobRequest, ParamPreset, Priority,
-    RemoteNode, RuntimeConfig, ServeOptions, ServiceNode,
+    deterministic_setup, serve, BatchPolicy, BootstrapService, JobRequest, NodeTimeouts,
+    ParamPreset, Priority, RemoteNode, RuntimeConfig, ServeOptions, ServiceNode,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,6 +32,8 @@ const BATCH_HEADER: u64 = 8;
 const LWE_ITEM_HEADER: u64 = 16;
 /// Per-accumulator item header: u32 magic + u32 limbs + u32 n.
 const ACC_ITEM_HEADER: u64 = 12;
+/// Hello/HelloAck payload: u32 n + u32 boot limbs + u64 q0.
+const HELLO_PAYLOAD: u64 = 16;
 
 #[test]
 fn measured_loopback_bytes_match_hw_model_exactly() {
@@ -47,9 +51,9 @@ fn measured_loopback_bytes_match_hw_model_exactly() {
         std::thread::spawn(move || serve(listener, ctx, boot, ServeOptions::default()));
     }
     let ledger = Arc::new(TransferLedger::default());
-    let node = RemoteNode::connect(&addr, ctx)
-        .expect("connect")
-        .with_ledger(Arc::clone(&ledger));
+    let node =
+        RemoteNode::connect_with_ledger(&addr, ctx, NodeTimeouts::default(), Arc::clone(&ledger))
+            .expect("connect");
     let svc = BootstrapService::start_with_nodes(
         Arc::clone(&setup.ctx),
         Arc::clone(&setup.boot),
@@ -109,6 +113,26 @@ fn measured_loopback_bytes_match_hw_model_exactly() {
         - BATCH_HEADER
         - n * (ACC_ITEM_HEADER + 8 * boot_limbs);
     assert_eq!(measured_gather_payload, n * rlwe_model.rlwe_bytes());
+
+    // Control traffic is exactly the session handshake: one Hello out,
+    // one HelloAck back. Nothing else ran (the health prober only pings
+    // tripped nodes, and nothing failed), so ledger totals account for
+    // every byte the socket carried, both directions.
+    assert_eq!(ledger.control_frames_sent(), 1);
+    assert_eq!(ledger.control_frames_received(), 1);
+    assert_eq!(ledger.control_bytes_sent(), FRAME_HEADER + HELLO_PAYLOAD);
+    assert_eq!(
+        ledger.control_bytes_received(),
+        FRAME_HEADER + HELLO_PAYLOAD
+    );
+    assert_eq!(
+        ledger.total_bytes_sent(),
+        ledger.lwe_bytes_sent() + ledger.control_bytes_sent()
+    );
+    assert_eq!(
+        ledger.total_bytes_received(),
+        ledger.rlwe_bytes_received() + ledger.control_bytes_received()
+    );
 
     // Sanity on the headline asymmetry the paper leans on: gathers dwarf
     // scatters, which is why HEAP repacks on the primary.

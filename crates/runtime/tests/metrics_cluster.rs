@@ -1,0 +1,243 @@
+//! Multi-process metrics E2E: a loopback cluster of real
+//! `heap-node-serve` processes with `--metrics-addr`, plus the client
+//! service's own endpoint, scraped over HTTP while work flows.
+//!
+//! This is the acceptance test for the observability layer: both
+//! exposition formats parse, the node processes' scraped counters agree
+//! with what they report over HRT1 `StatsReq`, and the client-side
+//! counters account for every shard the nodes claim to have served.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use heap_runtime::{
+    deterministic_setup, BatchPolicy, BootstrapService, JobRequest, ParamPreset, Priority,
+    RemoteNode, RetryPolicy, RuntimeConfig, ServiceNode,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 4040;
+
+/// A `heap-node-serve --metrics-addr` child killed on drop.
+struct NodeProc {
+    child: Child,
+    addr: String,
+    metrics_addr: String,
+}
+
+impl Drop for NodeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns a node with a metrics endpoint; waits for both readiness lines
+/// (`LISTENING` strictly first, then `METRICS`).
+fn spawn_node() -> NodeProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_heap-node-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--preset",
+            "tiny",
+            "--seed",
+            &SEED.to_string(),
+            "--threads",
+            "2",
+            "--metrics-addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn heap-node-serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let mut next = || {
+        lines
+            .next()
+            .expect("server exited before readiness")
+            .expect("read readiness line")
+    };
+    let listening = next();
+    let addr = listening
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("first line must be LISTENING, got: {listening}"))
+        .to_string();
+    let metrics = next();
+    let metrics_addr = metrics
+        .strip_prefix("METRICS ")
+        .unwrap_or_else(|| panic!("second line must be METRICS, got: {metrics}"))
+        .to_string();
+    NodeProc {
+        child,
+        addr,
+        metrics_addr,
+    }
+}
+
+/// HTTP GET against a metrics endpoint; returns the response body.
+fn scrape(addr: &str, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    body.to_string()
+}
+
+/// Parses Prometheus text format 0.0.4 into `name{labels} → value`,
+/// validating the line grammar as it goes (`# HELP`/`# TYPE` comments,
+/// then `name[{labels}] value` samples).
+fn parse_prometheus(body: &str) -> HashMap<String, f64> {
+    let mut samples = HashMap::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            let marker = words.next().unwrap_or_default();
+            assert!(
+                marker == "HELP" || marker == "TYPE",
+                "unknown comment marker in line: {line}"
+            );
+            assert!(words.next().is_some(), "comment names no metric: {line}");
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line has no value");
+        let name = series.split('{').next().expect("series name");
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "invalid metric name in line: {line}"
+        );
+        let value: f64 = value.parse().unwrap_or_else(|_| {
+            assert_eq!(value, "+Inf", "unparseable sample value in line: {line}");
+            f64::INFINITY
+        });
+        samples.insert(series.to_string(), value);
+    }
+    assert!(!samples.is_empty(), "exposition had no samples");
+    samples
+}
+
+#[test]
+fn cluster_metrics_scrape_end_to_end() {
+    let procs = [spawn_node(), spawn_node()];
+    let setup = deterministic_setup(ParamPreset::Tiny, SEED);
+    let ctx = &setup.ctx;
+
+    let nodes: Vec<Box<dyn ServiceNode>> = procs
+        .iter()
+        .map(|p| {
+            Box::new(RemoteNode::connect(&p.addr, ctx).expect("connect node"))
+                as Box<dyn ServiceNode>
+        })
+        .collect();
+    // Keep a side-channel connection to each node for StatsReq.
+    let stats_probes: Vec<RemoteNode> = procs
+        .iter()
+        .map(|p| RemoteNode::connect(&p.addr, ctx).expect("connect stats probe"))
+        .collect();
+    let svc = BootstrapService::start_with_nodes(
+        Arc::clone(&setup.ctx),
+        Arc::clone(&setup.boot),
+        nodes,
+        RuntimeConfig {
+            queue_capacity: 8,
+            batch: BatchPolicy::immediate(),
+            retry: RetryPolicy::test_no_readmission(),
+        },
+    )
+    .expect("start service");
+    let client_metrics = svc
+        .serve_metrics("127.0.0.1:0")
+        .expect("bind client metrics");
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let delta = ctx.fresh_scale();
+    let coeffs: Vec<i64> = (0..ctx.n())
+        .map(|i| (((i % 7) as f64 - 3.0) / 40.0 * delta).round() as i64)
+        .collect();
+    let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &setup.sk, &mut rng);
+    svc.submit(JobRequest::Bootstrap { ct }, Priority::Normal)
+        .expect("submit")
+        .wait()
+        .expect("bootstrap");
+
+    // --- Client endpoint: parseable, and consistent with typed stats.
+    let client_scrape = parse_prometheus(&scrape(&client_metrics.to_string(), "/metrics"));
+    let stats = svc.stats();
+    assert_eq!(
+        client_scrape["heap_jobs_completed_total"],
+        stats.completed as f64
+    );
+    assert_eq!(
+        client_scrape["heap_scheduler_shards_total"],
+        stats.scheduler.shards as f64
+    );
+    // The client ran the primary-side pipeline stages locally.
+    for stage in heap_core::PIPELINE_STAGES {
+        let metric = heap_core::stage_metric_name(stage);
+        assert!(
+            client_scrape.contains_key(&format!("{metric}_count")),
+            "client exposition missing stage '{stage}'"
+        );
+    }
+    // JSON flavor parses at least superficially on the same state.
+    let json = scrape(&client_metrics.to_string(), "/metrics.json");
+    assert!(json.trim_start().starts_with('{'), "{json}");
+    assert!(json.contains("\"heap_jobs_completed_total\""), "{json}");
+
+    // --- Node endpoints: every process exposes its own counters, and
+    // the scrape agrees with the HRT1 StatsResp view of the same node.
+    let mut scraped_requests_total = 0.0;
+    let mut scraped_lwes_total = 0.0;
+    for (proc_, probe) in procs.iter().zip(&stats_probes) {
+        let node_scrape = parse_prometheus(&scrape(&proc_.metrics_addr, "/metrics"));
+        let hrt1: HashMap<String, u64> =
+            probe.fetch_stats().expect("StatsReq").into_iter().collect();
+        for key in [
+            "heap_node_requests_total",
+            "heap_node_lwes_total",
+            "heap_node_pings_total",
+            "heap_node_errors_total",
+        ] {
+            assert_eq!(
+                node_scrape[key],
+                hrt1[&format!("node_{key}")] as f64,
+                "scrape vs StatsResp disagree on {key} for {}",
+                proc_.addr
+            );
+        }
+        // Remote stage timing: the node's blind rotations show up in its
+        // own stage histogram, cross-process.
+        assert_eq!(
+            node_scrape["heap_stage_blind_rotate_ns_count"],
+            hrt1["core_heap_stage_blind_rotate_ns_count"] as f64
+        );
+        scraped_requests_total += node_scrape["heap_node_requests_total"];
+        scraped_lwes_total += node_scrape["heap_node_lwes_total"];
+    }
+
+    // --- Cross-process accounting: the shards the client dispatched are
+    // exactly the requests the nodes served, and every LWE of the batch
+    // landed on some node.
+    assert_eq!(scraped_requests_total, stats.scheduler.shards as f64);
+    assert_eq!(scraped_lwes_total, ctx.n() as f64);
+
+    svc.shutdown();
+}

@@ -1,0 +1,123 @@
+//! Bounded structured event log for off-hot-path occurrences.
+//!
+//! Fault-layer happenings — retries, circuit-breaker transitions, shard
+//! readmissions — are rare and carry context strings, so they go through
+//! this allocating (but bounded) ring rather than the metric atomics.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number, starting at 0; survives ring eviction
+    /// so readers can detect gaps.
+    pub seq: u64,
+    /// Event category, e.g. `"retry"`, `"breaker_open"`, `"readmission"`.
+    pub kind: String,
+    /// What the event is about, e.g. a node address or shard id.
+    pub subject: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// A bounded ring of [`Event`]s.
+///
+/// `record` takes a mutex and allocates; it must only be called from
+/// slow paths (fault handling, lifecycle transitions), never per-sample.
+#[derive(Debug)]
+pub struct EventLog {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    ring: VecDeque<Event>,
+    next_seq: u64,
+}
+
+impl EventLog {
+    /// A ring holding at most `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event log capacity must be positive");
+        Self {
+            inner: Mutex::new(Inner {
+                ring: VecDeque::with_capacity(capacity),
+                next_seq: 0,
+            }),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Appends an event, evicting the oldest if full. Returns the
+    /// assigned sequence number.
+    pub fn record(&self, kind: &str, subject: &str, detail: &str) -> u64 {
+        let mut inner = self.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(Event {
+            seq,
+            kind: kind.to_string(),
+            subject: subject.to_string(),
+            detail: detail.to_string(),
+        });
+        seq
+    }
+
+    /// The most recent events still in the ring, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        self.lock().ring.iter().cloned().collect()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.lock().next_seq
+    }
+
+    /// Count of retained events whose kind matches.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.lock().ring.iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_sequence_numbers() {
+        let log = EventLog::new(8);
+        log.record("retry", "node-0", "attempt 1");
+        log.record("breaker_open", "node-0", "3 failures");
+        let events = log.recent();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[0].kind, "retry");
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(log.total(), 2);
+        assert_eq!(log.count_kind("retry"), 1);
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let log = EventLog::new(2);
+        for i in 0..5 {
+            log.record("k", "s", &format!("{i}"));
+        }
+        let events = log.recent();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 3);
+        assert_eq!(events[1].seq, 4);
+        assert_eq!(log.total(), 5);
+    }
+}

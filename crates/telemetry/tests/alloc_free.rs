@@ -1,0 +1,72 @@
+//! Proves that recording into telemetry metrics is allocation-free.
+//!
+//! The metrics are wired into the bootstrap pipeline's hot paths (per-LWE
+//! stage spans, per-shard round-trips), so a stray allocation in `record`
+//! would show up thousands of times per batch. Registration is allowed to
+//! allocate; recording is not. Same counting-global-allocator technique as
+//! `heap-tfhe`'s external-product test.
+//!
+//! The test lives alone in its own integration binary so no concurrent
+//! test can allocate while the counter window is open.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use heap_telemetry::Registry;
+
+struct CountingAlloc;
+
+static TRACK: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACK.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACK.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn metric_recording_is_allocation_free() {
+    // Registration phase: allowed to allocate.
+    let registry = Registry::new("alloc_test");
+    let counter = registry.counter("ops_total", "operations");
+    let gauge = registry.gauge("depth", "queue depth");
+    let histogram = registry.histogram("lat_ns", "latency");
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    TRACK.store(true, Ordering::SeqCst);
+    for i in 0..1000u64 {
+        counter.inc();
+        counter.add(3);
+        gauge.set(i as i64);
+        gauge.add(-1);
+        histogram.record(i * 17);
+        histogram.record_duration(Duration::from_nanos(i));
+        let _span = histogram.time(); // records on drop
+    }
+    TRACK.store(false, Ordering::SeqCst);
+    let count = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        count, 0,
+        "metric recording allocated {count} times on the hot path"
+    );
+    assert_eq!(counter.get(), 4000);
+}
