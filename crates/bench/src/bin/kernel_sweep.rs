@@ -1,0 +1,263 @@
+//! Reference-vs-optimized sweep of the three hot kernels, emitting
+//! `BENCH_kernels.json` (machine-readable) plus a human-readable table.
+//!
+//! Measures single-threaded ns/op of each optimized kernel against its
+//! retained `*_reference` oracle:
+//!
+//! - `ntt_forward` / `ntt_inverse` — Harvey lazy-reduction butterflies
+//!   ([`heap_math::NttTable::forward_lazy`]) vs the strict seed kernels,
+//!   at `n ∈ {2^10, 2^13}`;
+//! - `external_product` — the lazy `u128`-MAC datapath
+//!   (`external_product_into`) vs `external_product_reference`, at
+//!   `n = 2^13` over the paper's gadget (`d = 2`, base `2^18`);
+//! - `blind_rotate` (single LWE) and `blind_rotate_batch_key_major`
+//!   (batch) — the restructured CMux vs `blind_rotate_reference`.
+//!
+//! Every optimized/reference pair is also asserted bit-identical here, so
+//! a speedup row can never come from a divergent datapath (the exhaustive
+//! parity arguments live in `tests/kernel_parity.rs`).
+//!
+//! ```sh
+//! cargo run --release -p heap-bench --bin kernel_sweep
+//! ```
+
+use std::time::Instant;
+
+use heap_math::ntt::NttTable;
+use heap_math::prime::ntt_primes;
+use heap_math::{Modulus, RnsContext};
+use heap_tfhe::lwe::LweSecretKey;
+use heap_tfhe::rlwe::{RingSecretKey, RlweCiphertext};
+use heap_tfhe::{
+    external_product_into, external_product_reference, test_polynomial_from_fn, BlindRotateKey,
+    ExternalProductScratch, LweCiphertext, RgswCiphertext, RgswParams,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One reference-vs-optimized row.
+struct Row {
+    kernel: &'static str,
+    n: usize,
+    ops: usize,
+    reference_ns: f64,
+    optimized_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.reference_ns / self.optimized_ns
+    }
+}
+
+/// Best-of-3 ns per op of `iters` back-to-back calls (one warm-up first).
+fn measure_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best * 1e9 / iters as f64
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "{:<28} {:>6} {:>5} {:>14.0} {:>14.0} {:>9.2}x",
+        r.kernel,
+        r.n,
+        r.ops,
+        r.reference_ns,
+        r.optimized_ns,
+        r.speedup()
+    );
+}
+
+/// NTT rows for one ring size: forward and inverse, lazy vs strict.
+fn ntt_rows(n: usize, rows: &mut Vec<Row>) {
+    let q = Modulus::new(ntt_primes(n as u64, 36, 1)[0]).expect("valid NTT prime");
+    let table = NttTable::new(n, q);
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    let base: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+
+    // Bit-identity sanity: the lazy kernels produce canonical residues.
+    let mut lazy = base.clone();
+    let mut strict = base.clone();
+    table.forward_lazy(&mut lazy);
+    table.forward_reference(&mut strict);
+    assert_eq!(lazy, strict, "forward_lazy diverged at n = {n}");
+    table.inverse_lazy(&mut lazy);
+    table.inverse_reference(&mut strict);
+    assert_eq!(lazy, strict, "inverse_lazy diverged at n = {n}");
+
+    let iters = (1 << 21) / n; // ~2M butterflies' worth per timing loop
+    let mut buf = base.clone();
+    let reference_ns = measure_ns(iters, || table.forward_reference(&mut buf));
+    let optimized_ns = measure_ns(iters, || table.forward_lazy(&mut buf));
+    rows.push(Row {
+        kernel: "ntt_forward",
+        n,
+        ops: 1,
+        reference_ns,
+        optimized_ns,
+    });
+    let reference_ns = measure_ns(iters, || table.inverse_reference(&mut buf));
+    let optimized_ns = measure_ns(iters, || table.inverse_lazy(&mut buf));
+    rows.push(Row {
+        kernel: "ntt_inverse",
+        n,
+        ops: 1,
+        reference_ns,
+        optimized_ns,
+    });
+}
+
+fn main() {
+    // Single-thread on purpose: the sweep isolates datapath wins from
+    // scheduling wins (BENCH_parallel.json covers the latter).
+    heap_parallel::set_global_threads(1);
+    let host_cores = heap_parallel::available_threads();
+    println!("kernel_sweep: single-threaded, host cores = {host_cores}");
+    println!();
+    println!(
+        "{:<28} {:>6} {:>5} {:>14} {:>14} {:>10}",
+        "kernel", "n", "ops", "reference ns", "optimized ns", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for n in [1usize << 10, 1 << 13] {
+        ntt_rows(n, &mut rows);
+    }
+
+    // Shared n = 2^13 TFHE setup for the product/rotation rows: two
+    // 36-bit limbs (the raised-basis shape), paper gadget d = 2 / 2^18.
+    let n = 1usize << 13;
+    let ctx = RnsContext::new(n, &ntt_primes(n as u64, 36, 2));
+    let limbs = 2;
+    let params = RgswParams::paper();
+    let mut rng = StdRng::seed_from_u64(2024);
+    let ring_sk = RingSecretKey::generate(&ctx, limbs, &mut rng);
+
+    // External product row.
+    let msg: Vec<i64> = (0..n).map(|i| ((i % 97) as i64) - 48).collect();
+    let ct = RlweCiphertext::encrypt(
+        &ctx,
+        &ring_sk,
+        &heap_math::RnsPoly::from_signed(&ctx, &msg, limbs),
+        &mut rng,
+    );
+    let rgsw = RgswCiphertext::encrypt_scalar(&ctx, &ring_sk, 1, limbs, &params, &mut rng);
+    let mut scratch = ExternalProductScratch::default();
+    let mut out = RlweCiphertext::zero(&ctx, limbs);
+    external_product_into(&ct, &rgsw, &ctx, &params, &mut scratch, &mut out);
+    let oracle = external_product_reference(&ct, &rgsw, &ctx, &params);
+    assert!(
+        out.a == oracle.a && out.b == oracle.b,
+        "lazy external product diverged"
+    );
+    let reference_ns = measure_ns(2, || {
+        std::hint::black_box(external_product_reference(&ct, &rgsw, &ctx, &params));
+    });
+    let optimized_ns = measure_ns(2, || {
+        external_product_into(&ct, &rgsw, &ctx, &params, &mut scratch, &mut out);
+    });
+    let r = Row {
+        kernel: "external_product",
+        n,
+        ops: 1,
+        reference_ns,
+        optimized_ns,
+    };
+    rows.push(r);
+
+    // Blind-rotate rows: 8 mask elements, batch of 4 LWEs.
+    let n_t = 8;
+    let batch = 4;
+    let lwe_sk = LweSecretKey::generate(&mut rng, n_t);
+    let brk = BlindRotateKey::generate(&ctx, &lwe_sk, &ring_sk, limbs, params, &mut rng);
+    let two_n = 2 * n as u64;
+    let f = test_polynomial_from_fn(&ctx, limbs, |u| u << 40);
+    let lwes: Vec<LweCiphertext> = (0..batch)
+        .map(|_| LweCiphertext {
+            a: (0..n_t).map(|_| rng.gen_range(0..two_n)).collect(),
+            b: rng.gen_range(0..two_n),
+            modulus: two_n,
+        })
+        .collect();
+
+    let opt_single = brk.blind_rotate(&ctx, &f, &lwes[0]);
+    let ref_single = brk.blind_rotate_reference(&ctx, &f, &lwes[0]);
+    assert!(
+        opt_single.a == ref_single.a && opt_single.b == ref_single.b,
+        "restructured CMux diverged"
+    );
+    let reference_ns = measure_ns(1, || {
+        std::hint::black_box(brk.blind_rotate_reference(&ctx, &f, &lwes[0]));
+    });
+    let optimized_ns = measure_ns(1, || {
+        std::hint::black_box(brk.blind_rotate(&ctx, &f, &lwes[0]));
+    });
+    rows.push(Row {
+        kernel: "blind_rotate",
+        n,
+        ops: 1,
+        reference_ns,
+        optimized_ns,
+    });
+
+    let (opt_batch, _) = brk.blind_rotate_batch_key_major(&ctx, &f, &lwes);
+    for (o, lwe) in opt_batch.iter().zip(&lwes) {
+        let r = brk.blind_rotate_reference(&ctx, &f, lwe);
+        assert!(o.a == r.a && o.b == r.b, "key-major batch diverged");
+    }
+    let reference_ns = measure_ns(1, || {
+        for lwe in &lwes {
+            std::hint::black_box(brk.blind_rotate_reference(&ctx, &f, lwe));
+        }
+    });
+    let optimized_ns = measure_ns(1, || {
+        std::hint::black_box(brk.blind_rotate_batch_key_major(&ctx, &f, &lwes));
+    });
+    rows.push(Row {
+        kernel: "blind_rotate_batch_key_major",
+        n,
+        ops: batch,
+        reference_ns,
+        optimized_ns,
+    });
+
+    for r in &rows {
+        print_row(r);
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"kernel\": \"{}\", \"n\": {}, \"ops\": {}, \"reference_ns\": {:.0}, \
+                 \"optimized_ns\": {:.0}, \"speedup\": {:.3}}}",
+                r.kernel,
+                r.n,
+                r.ops,
+                r.reference_ns,
+                r.optimized_ns,
+                r.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"host_cores\": {host_cores},\n  \"threads\": 1,\n  \
+         \"note\": \"ns per call (best of 3, single thread); reference = strict seed \
+         kernels retained as oracles (forward/inverse_reference, \
+         external_product_reference, blind_rotate_reference), optimized = lazy-reduction \
+         NTT + u128-MAC external product + restructured CMux; every pair asserted \
+         bit-identical before timing; blind-rotate rows use 8 mask elements, batch row \
+         rotates 4 LWEs per call\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("\nwrote BENCH_kernels.json");
+}

@@ -31,7 +31,7 @@ use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use heap_core::PIPELINE_STAGES;
+use heap_core::{KERNEL_STAGES, PIPELINE_STAGES};
 use heap_parallel::Parallelism;
 use heap_runtime::{
     deterministic_setup, serve, BatchPolicy, BootstrapService, DeterministicSetup, FaultPlan,
@@ -136,10 +136,12 @@ fn percentile(sorted: &[Duration], p: f64) -> f64 {
     sorted[idx].as_secs_f64() * 1e3
 }
 
-/// Snapshots every stage histogram (for `since()` deltas per config).
+/// Snapshots every stage histogram (for `since()` deltas per config),
+/// including the process-wide NTT kernel histograms.
 fn stage_snapshots(setup: &DeterministicSetup) -> Vec<(&'static str, HistogramSnapshot)> {
     PIPELINE_STAGES
         .iter()
+        .chain(KERNEL_STAGES.iter())
         .map(|&s| {
             let h = setup.boot.stage_metrics().stage(s).expect("known stage");
             (s, h.snapshot())
@@ -349,8 +351,10 @@ fn main() {
          fail*4 fault plan (breaker + reassignment overhead), healed = same cluster after \
          readmission; stage_mean_us = mean microseconds per batch call of each Algorithm 2 \
          stage during the window (client + in-process servers combined; 0 when the stage \
-         did not run), queue_wait_p50_us = median submit-to-dispatch queue wait; the \
-         pipeline row pushes full Bootstrap jobs so all stages populate\",\n  \
+         did not run; ntt_forward/ntt_inverse are the process-wide kernel histograms, \
+         mean ns-scale per transform), queue_wait_p50_us = median submit-to-dispatch \
+         queue wait; the pipeline row pushes full Bootstrap jobs so all stages \
+         populate\",\n  \
          \"samples\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );

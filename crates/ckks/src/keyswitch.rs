@@ -56,9 +56,12 @@ pub fn key_switch(ctx: &CkksContext, d: &RnsPoly, key: &KeySwitchKey) -> (RnsPol
     // extended basis splits across the limb-level thread budget (this is
     // the key-switch inner-product parallelism of HEAP's MAC array); the
     // per-position digit loop keeps its serial order, so results are
-    // bit-identical for any thread count.
-    let mut accs: Vec<(Vec<u64>, Vec<u64>)> =
-        (0..=l).map(|_| (vec![0u64; n], vec![0u64; n])).collect();
+    // bit-identical for any thread count. The `l` digit MACs per position
+    // accumulate *unreduced* in `u128` (lazy-reduction MAC datapath, HEAP
+    // §IV-A; overflow bound documented on `pointwise_mac_lazy`) and are
+    // Barrett-reduced once per coefficient before `ModDown`.
+    let mut accs: Vec<(Vec<u128>, Vec<u128>)> =
+        (0..=l).map(|_| (vec![0u128; n], vec![0u128; n])).collect();
 
     let chain_idx = |pos: usize| if pos == l { sp } else { pos };
 
@@ -75,15 +78,41 @@ pub fn key_switch(ctx: &CkksContext, d: &RnsPoly, key: &KeySwitchKey) -> (RnsPol
             }
             ntt.forward(&mut spread);
             let comp = &key.comps[i];
-            ntt.pointwise_acc(&spread, &comp.a[j], aa);
-            ntt.pointwise_acc(&spread, &comp.b[j], ab);
+            ntt.pointwise_mac_lazy(&spread, &comp.a[j], aa);
+            ntt.pointwise_mac_lazy(&spread, &comp.b[j], ab);
         }
     });
 
-    let (acc_a, acc_b): (Vec<Vec<u64>>, Vec<Vec<u64>>) = accs.into_iter().unzip();
+    let (acc_a, acc_b) = reduce_ext_accs(ctx, accs, l);
     let a = mod_down(ctx, acc_a, l);
     let b = mod_down(ctx, acc_b, l);
     (a, b)
+}
+
+/// Reduces extended-basis `u128` lazy accumulators to canonical residues
+/// (one Barrett reduction per coefficient — the deferred reduction of the
+/// lazy MAC datapath).
+fn reduce_ext_accs(
+    ctx: &CkksContext,
+    accs: Vec<(Vec<u128>, Vec<u128>)>,
+    l: usize,
+) -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
+    let rns = ctx.rns();
+    let sp = ctx.special_idx();
+    let n = ctx.n();
+    let mut acc_a = Vec::with_capacity(accs.len());
+    let mut acc_b = Vec::with_capacity(accs.len());
+    for (pos, (aa, ab)) in accs.iter().enumerate() {
+        let j = if pos == l { sp } else { pos };
+        let ntt = rns.ntt(j);
+        let mut ra = vec![0u64; n];
+        let mut rb = vec![0u64; n];
+        ntt.reduce_acc_into(aa, &mut ra);
+        ntt.reduce_acc_into(ab, &mut rb);
+        acc_a.push(ra);
+        acc_b.push(rb);
+    }
+    (acc_a, acc_b)
 }
 
 /// Divides the special prime out of an extended-basis accumulator (last
@@ -158,8 +187,8 @@ pub fn apply_galois_hoisted(
             let digit_polys: Vec<Vec<u64>> = (0..l)
                 .map(|i| poly::automorphism(c1_coeff.limb(i), g, rns.modulus(i)))
                 .collect();
-            let mut accs: Vec<(Vec<u64>, Vec<u64>)> =
-                (0..=l).map(|_| (vec![0u64; n], vec![0u64; n])).collect();
+            let mut accs: Vec<(Vec<u128>, Vec<u128>)> =
+                (0..=l).map(|_| (vec![0u128; n], vec![0u128; n])).collect();
             par_each_mut(ext_basis_par(n, l + 1), &mut accs, |pos, (aa, ab)| {
                 let j = chain_idx(pos);
                 let m = rns.modulus(j);
@@ -171,11 +200,11 @@ pub fn apply_galois_hoisted(
                     }
                     ntt.forward(&mut spread);
                     let comp = &key.comps[i];
-                    ntt.pointwise_acc(&spread, &comp.a[j], aa);
-                    ntt.pointwise_acc(&spread, &comp.b[j], ab);
+                    ntt.pointwise_mac_lazy(&spread, &comp.a[j], aa);
+                    ntt.pointwise_mac_lazy(&spread, &comp.b[j], ab);
                 }
             });
-            let (acc_a, acc_b): (Vec<Vec<u64>>, Vec<Vec<u64>>) = accs.into_iter().unzip();
+            let (acc_a, acc_b) = reduce_ext_accs(ctx, accs, l);
             let ka = mod_down(ctx, acc_a, l);
             let kb = mod_down(ctx, acc_b, l);
             let mut out_b = c0_coeff.automorphism(g, rns);

@@ -9,7 +9,11 @@
 //! (the factor `N` is divided away by the bootstrap's final rescale).
 //!
 //! The automorphism key switches reuse the CKKS hybrid key-switching
-//! machinery over the raised basis `Q·p`.
+//! machinery over the raised basis `Q·p` — and with it the lazy-reduction
+//! datapaths: the key-switch inner products accumulate in `u128` and the
+//! NTTs run the Harvey lazy kernels, so repacking inherits the optimized
+//! kernels with no changes here (outputs are bit-identical; see the
+//! kernel parity CI step).
 
 use heap_ckks::keyswitch::key_switch;
 use heap_ckks::{CkksContext, GaloisKeys};

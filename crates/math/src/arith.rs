@@ -277,13 +277,31 @@ impl ShoupMul {
     #[inline]
     pub fn mul(&self, x: u64, q: &Modulus) -> u64 {
         let qv = q.value();
-        let hi = (((self.quotient as u128) * (x as u128)) >> 64) as u64;
-        let r = (self.operand.wrapping_mul(x)).wrapping_sub(hi.wrapping_mul(qv));
+        let r = self.mul_lazy(x, qv);
         if r >= qv {
             r - qv
         } else {
             r
         }
+    }
+
+    /// Computes `self.operand * x mod q` *without* the final correction:
+    /// the result is a representative in `[0, 2q)`.
+    ///
+    /// Unlike [`Self::mul`], `x` may be **any** `u64`, not only a reduced
+    /// residue: with `hi = floor(quotient * x / 2^64)` the difference
+    /// `operand*x - hi*q` always lies in `[0, 2q)` because
+    /// `quotient = floor(operand * 2^64 / q)` under-approximates the true
+    /// ratio by less than one. This is the building block of the Harvey
+    /// lazy-reduction butterflies ([`crate::ntt::NttTable::forward_lazy`] /
+    /// [`crate::ntt::NttTable::inverse_lazy`]), where operands ride in
+    /// `[0, 4q)` between stages (`q < 2^62` keeps `4q` inside a `u64`).
+    #[inline]
+    pub fn mul_lazy(&self, x: u64, q_value: u64) -> u64 {
+        let hi = (((self.quotient as u128) * (x as u128)) >> 64) as u64;
+        self.operand
+            .wrapping_mul(x)
+            .wrapping_sub(hi.wrapping_mul(q_value))
     }
 }
 
@@ -369,6 +387,22 @@ mod tests {
         let w = ShoupMul::new(0xdead_beefu64 % Q36, &q);
         for x in [0u64, 1, Q36 - 1, 12345, 1 << 35] {
             assert_eq!(w.mul(x, &q), q.mul(w.operand, x));
+        }
+    }
+
+    #[test]
+    fn shoup_lazy_stays_below_two_q() {
+        // mul_lazy accepts *any* u64 operand (not just reduced residues)
+        // and must land in [0, 2q) congruent to the exact product.
+        for qv in [Q36, Q60] {
+            let q = Modulus::new(qv).unwrap();
+            let w = ShoupMul::new(0x1234_5678u64 % qv, &q);
+            for x in [0u64, 1, qv - 1, 2 * qv - 1, 4 * qv - 1, u64::MAX] {
+                let r = w.mul_lazy(x, qv);
+                assert!(r < 2 * qv, "lazy result {r} out of [0, 2q) for x={x}");
+                let expect = ((w.operand as u128 * x as u128) % qv as u128) as u64;
+                assert_eq!(r % qv, expect);
+            }
         }
     }
 

@@ -157,6 +157,48 @@ impl Gadget {
         debug_assert_eq!(mag, 0, "value exceeded gadget range");
     }
 
+    /// Signed decomposition of a whole coefficient slice straight into
+    /// digit-major buffers: `out[k][i]` receives digit `k` of `coeffs[i]`.
+    ///
+    /// This is the allocation-free form the external-product hot path
+    /// uses — digits are written to their destination as the carry chain
+    /// produces them, with no per-coefficient temporary and no transpose
+    /// pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.digits()` or any `out[k].len()`
+    /// differs from `coeffs.len()`.
+    pub fn decompose_slice_signed_into(&self, coeffs: &[u64], out: &mut [Vec<i64>]) {
+        assert_eq!(out.len(), self.digits);
+        for row in out.iter() {
+            assert_eq!(row.len(), coeffs.len());
+        }
+        let base = self.base();
+        let half = base >> 1;
+        let mask = base - 1;
+        for (i, &c) in coeffs.iter().enumerate() {
+            debug_assert!(c < self.modulus.value());
+            let signed = self.modulus.to_signed(c);
+            let neg = signed < 0;
+            let mut mag = signed.unsigned_abs();
+            for row in out.iter_mut() {
+                let mut digit = mag & mask;
+                mag >>= self.base_bits;
+                if digit > half {
+                    digit = digit.wrapping_sub(base);
+                    mag += 1;
+                }
+                let mut d = digit as i64;
+                if neg {
+                    d = -d;
+                }
+                row[i] = d;
+            }
+            debug_assert_eq!(mag, 0, "value exceeded gadget range");
+        }
+    }
+
     /// Decomposes every coefficient of a polynomial into signed digit
     /// polynomials (digit-major layout).
     pub fn decompose_poly_signed(&self, poly: &[u64]) -> Vec<Vec<i64>> {
@@ -261,6 +303,22 @@ mod tests {
         for i in 0..poly.len() {
             let digits: Vec<u64> = ds.iter().map(|d| d[i]).collect();
             assert_eq!(g.recompose(&digits), poly[i]);
+        }
+    }
+
+    #[test]
+    fn slice_decomposition_matches_scalar() {
+        let g = gadget(18, 2);
+        let q = g.modulus().value();
+        let coeffs: Vec<u64> = (0..257u64).map(|i| (i * 769_129 + 31) % q).collect();
+        let mut out = vec![vec![0i64; coeffs.len()]; g.digits()];
+        g.decompose_slice_signed_into(&coeffs, &mut out);
+        let mut scalar = vec![0i64; g.digits()];
+        for (i, &c) in coeffs.iter().enumerate() {
+            g.decompose_scalar_signed_into(c, &mut scalar);
+            for (k, &d) in scalar.iter().enumerate() {
+                assert_eq!(out[k][i], d, "coeff {i} digit {k}");
+            }
         }
     }
 

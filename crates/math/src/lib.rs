@@ -45,5 +45,5 @@ pub mod wire;
 pub use arith::Modulus;
 pub use bigint::BigUint;
 pub use gadget::Gadget;
-pub use ntt::NttTable;
+pub use ntt::{ntt_forward_histogram, ntt_inverse_histogram, NttTable};
 pub use rns::{BasisConverter, Domain, RnsContext, RnsPoly};

@@ -6,16 +6,53 @@
 //! `address = i_g + i_nc * 2^cs` and twiddles can optionally be generated on
 //! the fly when on-chip memory is scarce.
 //!
-//! This module provides both the conventional table-driven transform
-//! ([`NttTable::forward`] / [`NttTable::inverse`]) and the paper's grouped
-//! schedule ([`NttTable::forward_grouped`]) with an on-the-fly twiddle mode
-//! ([`TwiddleMode`]). All variants compute the same bijection; unit and
-//! property tests assert they agree and that
-//! `inverse(forward(x)) == x` and that pointwise products implement
-//! negacyclic convolution.
+//! The hot path ([`NttTable::forward`] / [`NttTable::inverse`]) uses
+//! Harvey-style *lazy reduction*: butterfly operands ride in `[0, 2q)` (and
+//! transiently `[0, 4q)`), with a single correction pass at the end — the
+//! software analogue of the lazy reduction HEAP applies in its modular MAC
+//! datapath (§IV-A). The strict, eagerly-normalizing kernels are retained as
+//! [`NttTable::forward_reference`] / [`NttTable::inverse_reference`]: they
+//! are the oracles the parity tests and `kernel_sweep` bench compare
+//! against. The paper's grouped schedule ([`NttTable::forward_grouped`])
+//! with an on-the-fly twiddle mode ([`TwiddleMode`]) is also provided. All
+//! variants compute the same bijection — bit-identically, since every
+//! output is fully normalized — and unit and property tests assert they
+//! agree, that `inverse(forward(x)) == x`, and that pointwise products
+//! implement negacyclic convolution.
+
+use std::sync::{Arc, LazyLock};
+
+use heap_telemetry::Histogram;
 
 use crate::arith::{Modulus, ShoupMul};
 use crate::prime::primitive_root;
+
+/// Process-wide latency histogram for hot-path forward NTT calls (one
+/// sample per [`NttTable::forward`] invocation, in nanoseconds).
+///
+/// NTT time is the paper's headline kernel cost, but the transforms run
+/// far below the per-`Bootstrapper` stage instrumentation, inside
+/// `heap-math` — so the histograms live here as process-wide statics and
+/// `heap-core`'s `StageMetrics` registers these same handles into its
+/// registry for exposition. The lazy kernels themselves
+/// ([`NttTable::forward_lazy`] / [`NttTable::inverse_lazy`]) and the
+/// `*_reference` oracles are deliberately *not* instrumented, so
+/// kernel-vs-kernel benches compare pure arithmetic.
+static NTT_FORWARD_NS: LazyLock<Arc<Histogram>> = LazyLock::new(|| Arc::new(Histogram::default()));
+
+/// Process-wide latency histogram for hot-path inverse NTT calls (see
+/// [`ntt_forward_histogram`]).
+static NTT_INVERSE_NS: LazyLock<Arc<Histogram>> = LazyLock::new(|| Arc::new(Histogram::default()));
+
+/// The process-wide [`NttTable::forward`] latency histogram.
+pub fn ntt_forward_histogram() -> &'static Arc<Histogram> {
+    &NTT_FORWARD_NS
+}
+
+/// The process-wide [`NttTable::inverse`] latency histogram.
+pub fn ntt_inverse_histogram() -> &'static Arc<Histogram> {
+    &NTT_INVERSE_NS
+}
 
 /// Whether butterfly twiddles come from a precomputed table or are generated
 /// on the fly (paper §IV-D: "by setting an appropriate control signal, we can
@@ -139,10 +176,47 @@ impl NttTable {
 
     /// In-place forward negacyclic NTT (coefficient → evaluation domain).
     ///
+    /// This is the hot-path entry point: it runs the lazy-reduction kernel
+    /// ([`Self::forward_lazy`]) and records the call latency into the
+    /// process-wide [`ntt_forward_histogram`]. Outputs are fully
+    /// normalized, so results are bit-identical to
+    /// [`Self::forward_reference`].
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.n()`.
     pub fn forward(&self, a: &mut [u64]) {
+        let _span = NTT_FORWARD_NS.time();
+        self.forward_lazy(a);
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient domain).
+    ///
+    /// Hot-path entry point over [`Self::inverse_lazy`], instrumented via
+    /// [`ntt_inverse_histogram`]; bit-identical to
+    /// [`Self::inverse_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        let _span = NTT_INVERSE_NS.time();
+        self.inverse_lazy(a);
+    }
+
+    /// Strict forward NTT: every butterfly eagerly normalizes into
+    /// `[0, q)` (Shoup multiply with correction, add/sub with conditional
+    /// subtraction).
+    ///
+    /// Kept as the *reference oracle* for the lazy hot path — the parity
+    /// suites assert `forward_lazy` matches it bit-for-bit and the
+    /// `kernel_sweep` bench measures the speedup against it. Not used on
+    /// any production path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward_reference(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "length mismatch");
         let q = &self.modulus;
         let mut t = self.n;
@@ -163,12 +237,13 @@ impl NttTable {
         }
     }
 
-    /// In-place inverse negacyclic NTT (evaluation → coefficient domain).
+    /// Strict inverse NTT (see [`Self::forward_reference`]): the reference
+    /// oracle for [`Self::inverse_lazy`].
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.n()`.
-    pub fn inverse(&self, a: &mut [u64]) {
+    pub fn inverse_reference(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "length mismatch");
         let q = &self.modulus;
         let mut t = 1usize;
@@ -199,8 +274,14 @@ impl NttTable {
     /// comparisons for a final correction pass — the software analogue of
     /// the "lazy reduction" HEAP applies in its MAC datapath (§IV-A).
     ///
-    /// Computes exactly the same transform as [`Self::forward`]; requires
-    /// `q < 2^62` (guaranteed by [`crate::arith::Modulus`]).
+    /// Operand-bound invariant: entering each stage, every slot is
+    /// `< 4q`; the upper butterfly input is folded into `[0, 2q)` with one
+    /// conditional subtraction, the lower input feeds
+    /// [`ShoupMul::mul_lazy`] *unreduced* (valid for any `u64`, result in
+    /// `[0, 2q)`), so both outputs are `< 4q` and `q < 2^62` keeps all
+    /// intermediates inside a `u64`. The final pass folds `[0, 4q) → [0,
+    /// q)` with two conditional subtractions, so outputs are canonical —
+    /// bit-identical to [`Self::forward_reference`].
     ///
     /// # Panics
     ///
@@ -223,9 +304,7 @@ impl NttTable {
                         x -= two_q;
                     }
                     // Shoup product without the final correction: [0, 2q).
-                    let y = a[j + t];
-                    let hi = (((s.quotient as u128) * (y as u128)) >> 64) as u64;
-                    let v = s.operand.wrapping_mul(y).wrapping_sub(hi.wrapping_mul(q));
+                    let v = s.mul_lazy(a[j + t], q);
                     a[j] = x + v; // < 4q
                     a[j + t] = x + two_q - v; // < 4q
                 }
@@ -239,6 +318,55 @@ impl NttTable {
             if *x >= q {
                 *x -= q;
             }
+        }
+    }
+
+    /// Inverse NTT with lazy reduction, the Gentleman–Sande counterpart of
+    /// [`Self::forward_lazy`].
+    ///
+    /// Operand-bound invariant: every slot stays in `[0, 2q)` across
+    /// stages. The butterfly sum `u + v < 4q` is folded back into
+    /// `[0, 2q)` with one conditional subtraction; the difference is
+    /// computed as `u + 2q - v ∈ (0, 4q)` (no underflow) and fed to
+    /// [`ShoupMul::mul_lazy`], landing in `[0, 2q)`. The final `N^{-1}`
+    /// pass uses the lazy Shoup product plus one correction, so outputs
+    /// are canonical — bit-identical to [`Self::inverse_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse_lazy(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        let q = self.modulus.value();
+        let two_q = 2 * q;
+        let mut t = 1usize;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let s = self.ipsi_br[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    let mut w = u + v; // < 4q
+                    if w >= two_q {
+                        w -= two_q;
+                    }
+                    a[j] = w;
+                    a[j + t] = s.mul_lazy(u + two_q - v, q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            let mut r = self.n_inv.mul_lazy(*x, q);
+            if r >= q {
+                r -= q;
+            }
+            *x = r;
         }
     }
 
@@ -303,6 +431,50 @@ impl NttTable {
         assert!(a.len() == self.n && b.len() == self.n && acc.len() == self.n);
         for i in 0..self.n {
             acc[i] = self.modulus.mul_add(a[i], b[i], acc[i]);
+        }
+    }
+
+    /// Lazy pointwise multiply-accumulate into `u128` accumulators:
+    /// `acc[i] += a[i] * b[i]` with **no per-term modular reduction** —
+    /// the software form of HEAP's lazy-reduction MAC units (§IV-A).
+    /// Reduce once at the end with [`Self::reduce_acc_into`].
+    ///
+    /// Bound argument: operands are reduced residues, so each product is
+    /// `< q^2 < 2^124` (`q < 2^62`). The accumulator is kept `< 2^127` by
+    /// folding with a full Barrett reduction whenever a term would push it
+    /// past `2^127` — so `acc + product < 2^127 + 2^124 < 2^128` never
+    /// overflows. For the 36-bit limbs the parameter sets use, the fold
+    /// branch is unreachable before ~`2^55` accumulated terms; an external
+    /// product accumulates `limbs × digits ≤ 8` terms. The fold point
+    /// depends only on operand values, never on timing, so results are
+    /// deterministic and the final reduced value is bit-identical to the
+    /// eager [`Self::pointwise_acc`] chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from `self.n()`.
+    pub fn pointwise_mac_lazy(&self, a: &[u64], b: &[u64], acc: &mut [u128]) {
+        assert!(a.len() == self.n && b.len() == self.n && acc.len() == self.n);
+        for i in 0..self.n {
+            let mut s = acc[i] + (a[i] as u128) * (b[i] as u128);
+            if s >> 127 != 0 {
+                s = self.modulus.reduce_u128(s) as u128;
+            }
+            acc[i] = s;
+        }
+    }
+
+    /// Reduces `u128` lazy accumulators (built by
+    /// [`Self::pointwise_mac_lazy`]) to canonical residues in `out` —
+    /// the single deferred reduction per coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from `self.n()`.
+    pub fn reduce_acc_into(&self, acc: &[u128], out: &mut [u64]) {
+        assert!(acc.len() == self.n && out.len() == self.n);
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            *o = self.modulus.reduce_u128(a);
         }
     }
 }
@@ -379,29 +551,127 @@ mod tests {
     }
 
     #[test]
-    fn lazy_forward_matches_standard() {
+    fn lazy_forward_matches_reference() {
         for log_n in [3u32, 6, 9] {
             let t = table(log_n);
             let n = t.n();
             let q = t.modulus().value();
             let base: Vec<u64> = (0..n as u64).map(|i| (i * 97 + 13) % q).collect();
-            let mut std_out = base.clone();
-            t.forward(&mut std_out);
+            let mut strict = base.clone();
+            t.forward_reference(&mut strict);
             let mut lazy_out = base.clone();
             t.forward_lazy(&mut lazy_out);
-            assert_eq!(lazy_out, std_out, "log_n = {log_n}");
+            assert_eq!(lazy_out, strict, "log_n = {log_n}");
+            let mut hot = base.clone();
+            t.forward(&mut hot);
+            assert_eq!(
+                hot, strict,
+                "hot path must be bit-identical, log_n = {log_n}"
+            );
         }
     }
 
     #[test]
-    fn lazy_forward_handles_extremes() {
+    fn lazy_inverse_matches_reference() {
+        for log_n in [3u32, 6, 9] {
+            let t = table(log_n);
+            let n = t.n();
+            let q = t.modulus().value();
+            let base: Vec<u64> = (0..n as u64).map(|i| (i * 41 + 3) % q).collect();
+            let mut strict = base.clone();
+            t.inverse_reference(&mut strict);
+            let mut lazy_out = base.clone();
+            t.inverse_lazy(&mut lazy_out);
+            assert_eq!(lazy_out, strict, "log_n = {log_n}");
+            let mut hot = base.clone();
+            t.inverse(&mut hot);
+            assert_eq!(
+                hot, strict,
+                "hot path must be bit-identical, log_n = {log_n}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_kernels_handle_extremes() {
         let t = table(4);
         let q = t.modulus().value();
         let mut a = vec![q - 1; t.n()];
         let mut b = a.clone();
-        t.forward(&mut a);
+        t.forward_reference(&mut a);
         t.forward_lazy(&mut b);
         assert_eq!(a, b);
+        let mut a = vec![q - 1; t.n()];
+        let mut b = a.clone();
+        t.inverse_reference(&mut a);
+        t.inverse_lazy(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hot_path_records_latency_histograms() {
+        let t = table(4);
+        let fwd_before = ntt_forward_histogram().count();
+        let inv_before = ntt_inverse_histogram().count();
+        let mut a = vec![1u64; t.n()];
+        t.forward(&mut a);
+        t.inverse(&mut a);
+        // Process-wide counters shared with concurrently running tests:
+        // assert growth, not exact counts.
+        assert!(ntt_forward_histogram().count() > fwd_before);
+        assert!(ntt_inverse_histogram().count() > inv_before);
+    }
+
+    #[test]
+    fn lazy_mac_matches_eager_chain() {
+        let t = table(5);
+        let n = t.n();
+        let q = *t.modulus();
+        let rows: Vec<(Vec<u64>, Vec<u64>)> = (0..6u64)
+            .map(|r| {
+                (
+                    (0..n as u64)
+                        .map(|i| (i * 13 + r * 7 + 1) % q.value())
+                        .collect(),
+                    (0..n as u64)
+                        .map(|i| (i * 29 + r * 3 + 2) % q.value())
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut eager = vec![0u64; n];
+        for (a, b) in &rows {
+            t.pointwise_acc(a, b, &mut eager);
+        }
+        let mut acc = vec![0u128; n];
+        for (a, b) in &rows {
+            t.pointwise_mac_lazy(a, b, &mut acc);
+        }
+        let mut lazy = vec![0u64; n];
+        t.reduce_acc_into(&acc, &mut lazy);
+        assert_eq!(lazy, eager);
+    }
+
+    #[test]
+    fn lazy_mac_fold_keeps_residue() {
+        // Force the 2^127 overflow-guard fold with a near-maximal modulus
+        // and check the residue is still exact.
+        let n = 2usize;
+        let q = Modulus::new(ntt_primes(n as u64, 61, 1)[0]).unwrap();
+        let t = NttTable::new(n, q);
+        let a = vec![q.value() - 1; n];
+        let b = vec![q.value() - 1; n];
+        let mut acc = vec![0u128; n];
+        let mut expect = vec![0u64; n];
+        // Each product is ~2^122; nine terms exceed 2^125... keep going
+        // until the fold branch must have fired (>= 33 terms > 2^127).
+        for _ in 0..40 {
+            t.pointwise_mac_lazy(&a, &b, &mut acc);
+            t.pointwise_acc(&a, &b, &mut expect);
+        }
+        let mut got = vec![0u64; n];
+        t.reduce_acc_into(&acc, &mut got);
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -87,10 +87,25 @@ pub fn to_signed(coeffs: &[u64], q: &Modulus) -> Vec<i64> {
 /// assert_eq!(monomial_mul(&p, 4, &q), vec![96, 95, 94, 93]);
 /// ```
 pub fn monomial_mul(poly: &[u64], k: i64, q: &Modulus) -> Vec<u64> {
+    let mut out = vec![0u64; poly.len()];
+    monomial_mul_into(poly, k, q, &mut out);
+    out
+}
+
+/// [`monomial_mul`] into a caller-provided buffer (allocation-free; the
+/// blind-rotate accumulator initialization reuses one buffer per limb).
+///
+/// `out` is overwritten entirely.
+///
+/// # Panics
+///
+/// Panics if `out.len() != poly.len()`.
+pub fn monomial_mul_into(poly: &[u64], k: i64, q: &Modulus, out: &mut [u64]) {
     let n = poly.len();
+    assert_eq!(out.len(), n);
     let two_n = 2 * n as i64;
     let k = k.rem_euclid(two_n) as usize;
-    let mut out = vec![0u64; n];
+    out.fill(0);
     for (i, &c) in poly.iter().enumerate() {
         if c == 0 {
             continue;
@@ -104,7 +119,6 @@ pub fn monomial_mul(poly: &[u64], k: i64, q: &Modulus) -> Vec<u64> {
             out[pos - 2 * n] = c;
         }
     }
-    out
 }
 
 /// Applies the ring automorphism `X ↦ X^g` for odd `g` in coefficient

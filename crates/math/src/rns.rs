@@ -292,6 +292,19 @@ impl RnsPoly {
         self.domain = domain;
     }
 
+    /// Re-tags the representation domain without transforming or touching
+    /// coefficient data.
+    ///
+    /// For hot paths that overwrite every limb wholesale (e.g. the lazy
+    /// external product reduces its `u128` accumulators straight into the
+    /// output limbs): the write already establishes the new
+    /// representation, so a [`Self::clear`] zero-fill beforehand would be
+    /// wasted work. The caller asserts the data really is in `domain`.
+    #[inline]
+    pub fn set_domain(&mut self, domain: Domain) {
+        self.domain = domain;
+    }
+
     fn check_compatible(&self, other: &RnsPoly) {
         assert_eq!(self.limbs.len(), other.limbs.len(), "limb count mismatch");
         assert_eq!(self.domain, other.domain, "domain mismatch");

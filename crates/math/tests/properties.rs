@@ -98,6 +98,48 @@ proptest! {
     }
 
     #[test]
+    fn lazy_forward_bit_identical_to_strict(coeffs in prop::collection::vec(0u64..Q36, 64)) {
+        // The lazy-reduction hot path must return *canonical* residues
+        // identical to the strict reference kernel — not merely congruent
+        // ones — so downstream serialization and digests never see a
+        // datapath-dependent representative.
+        let t = NttTable::new(64, q());
+        let mut lazy = coeffs.clone();
+        let mut strict = coeffs;
+        t.forward_lazy(&mut lazy);
+        t.forward_reference(&mut strict);
+        prop_assert_eq!(lazy, strict);
+    }
+
+    #[test]
+    fn lazy_inverse_bit_identical_to_strict(coeffs in prop::collection::vec(0u64..Q36, 64)) {
+        let t = NttTable::new(64, q());
+        let mut lazy = coeffs.clone();
+        let mut strict = coeffs;
+        t.inverse_lazy(&mut lazy);
+        t.inverse_reference(&mut strict);
+        prop_assert_eq!(lazy, strict);
+    }
+
+    #[test]
+    fn lazy_parity_holds_at_61_bits(coeffs in prop::collection::vec(any::<u64>(), 32)) {
+        // Largest supported modulus class (q < 2^62, so 4q < 2^64): the
+        // lazy operand bound is tightest here.
+        let m = Modulus::new(ntt_primes(32, 61, 1)[0]).unwrap();
+        let qv = m.value();
+        let reduced: Vec<u64> = coeffs.iter().map(|&c| c % qv).collect();
+        let t = NttTable::new(32, m);
+        let mut lazy = reduced.clone();
+        let mut strict = reduced;
+        t.forward_lazy(&mut lazy);
+        t.forward_reference(&mut strict);
+        prop_assert_eq!(&lazy, &strict);
+        t.inverse_lazy(&mut lazy);
+        t.inverse_reference(&mut strict);
+        prop_assert_eq!(lazy, strict);
+    }
+
+    #[test]
     fn grouped_schedule_matches_standard(coeffs in prop::collection::vec(0u64..Q36, 128)) {
         let m = q();
         let t = NttTable::new(128, m);

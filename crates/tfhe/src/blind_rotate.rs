@@ -2,12 +2,30 @@
 //!
 //! A blind rotation turns an LWE ciphertext `(a⃗, b) ∈ Z_2N^{n_t+1}` into an
 //! RLWE encryption of `f · X^{-phase}`: the accumulator starts at the test
-//! polynomial rotated by the body and is multiplied, per mask element, by
-//! `RGSW(1) + (X^{∓a_i} − 1)·RGSW(s_i^+) + (X^{±a_i} − 1)·RGSW(s_i^-)`
-//! through one external product. The constant coefficient of the result is
-//! the lookup `f[phase]` — which is how the scheme switch evaluates the
-//! wrap-removal function during CKKS bootstrapping, and how standalone TFHE
-//! evaluates arbitrary negacyclic LUTs.
+//! polynomial rotated by the body and is updated once per mask element by
+//! the ternary CMux. Algorithm 1 writes the update as one external product
+//! by `RGSW(1) + (X^{-a_i} − 1)·RGSW(s_i^+) + (X^{a_i} − 1)·RGSW(s_i^-)`;
+//! the hot path here computes the algebraically equal
+//!
+//! ```text
+//! acc ← acc + (X^{-a_i} − 1)·EP(acc, brk_i^+) + (X^{a_i} − 1)·EP(acc, brk_i^-)
+//! ```
+//!
+//! which needs **zero** RGSW-sized copies or additions and scales only two
+//! RLWE outputs (2 polynomials each) by the monomial factors instead of
+//! two RGSW matrices (`2·ℓ·2` polynomials each). The rewrite is exact —
+//! external products are linear in the RGSW operand over exact mod-`q`
+//! arithmetic, `EP(acc, RGSW_triv(1)) = acc` exactly by gadget
+//! recomposition, and the evaluation-domain monomial factors commute with
+//! the pointwise MACs — so outputs are *bit-identical* to the one-product
+//! form, which is retained as [`BlindRotateKey::blind_rotate_reference`]
+//! and asserted against in `tests/kernel_parity.rs`. The two external
+//! products share one gadget decomposition and one spread-NTT per digit
+//! ([`crate::rgsw::external_product_pair_into`]), so the NTT count per
+//! step is unchanged. The constant coefficient of the result is the
+//! lookup `f[phase]` — which is how the scheme switch evaluates the
+//! wrap-removal function during CKKS bootstrapping, and how standalone
+//! TFHE evaluates arbitrary negacyclic LUTs.
 //!
 //! The monomial factors are applied in evaluation domain via precomputed
 //! root-power tables (HEAP's rotation unit + NTT datapath combination).
@@ -18,7 +36,10 @@ use heap_math::ntt::NttTable;
 use heap_math::{poly, Domain, RnsContext, RnsPoly};
 
 use crate::lwe::{LweCiphertext, LweSecretKey};
-use crate::rgsw::{external_product_into, ExternalProductScratch, RgswCiphertext, RgswParams};
+use crate::rgsw::{
+    external_product_pair_into, external_product_reference, ExternalProductScratch, RgswCiphertext,
+    RgswParams,
+};
 use crate::rlwe::{RingSecretKey, RlweCiphertext};
 
 /// Reverses the low `bits` bits of `x` (the NTT butterfly ordering).
@@ -103,20 +124,23 @@ impl MonomialEvals {
         }
     }
 
-    /// Evaluation-domain `X^a - 1` per limb.
-    pub fn factor(&self, a: usize, ctx: &RnsContext) -> Vec<Vec<u64>> {
+    /// Evaluation-domain `X^a - 1`, flat across limbs (limb `j` occupies
+    /// `[j·n, (j+1)·n)`).
+    pub fn factor(&self, a: usize, ctx: &RnsContext) -> Vec<u64> {
         let mut out = Vec::new();
         self.factor_into(a, ctx, &mut out);
         out
     }
 
-    /// [`MonomialEvals::factor`] into a caller-provided buffer
-    /// (allocation-free once the buffer has the right shape).
-    pub fn factor_into(&self, a: usize, ctx: &RnsContext, out: &mut Vec<Vec<u64>>) {
-        out.resize_with(self.tables.len(), Vec::new);
-        for (j, (t, o)) in self.tables.iter().zip(out.iter_mut()).enumerate() {
-            o.resize(ctx.n(), 0);
-            t.monomial_minus_one(a, ctx.modulus(j), o);
+    /// [`MonomialEvals::factor`] into a caller-provided flat buffer — one
+    /// contiguous `Vec<u64>` reused across limbs, so repeat exponents are
+    /// allocation-free once the buffer is warm (asserted by
+    /// `tests/alloc_free.rs`).
+    pub fn factor_into(&self, a: usize, ctx: &RnsContext, out: &mut Vec<u64>) {
+        let n = ctx.n();
+        out.resize(self.tables.len() * n, 0);
+        for (j, t) in self.tables.iter().enumerate() {
+            t.monomial_minus_one(a, ctx.modulus(j), &mut out[j * n..(j + 1) * n]);
         }
     }
 
@@ -235,10 +259,10 @@ impl BlindRotateKey {
     /// [`BlindRotateKey::blind_rotate`] with caller-provided scratch.
     ///
     /// After the first call warms the scratch, the per-mask-element loop —
-    /// `n_t` CMux assemblies and external products — runs with no heap
-    /// allocation: RGSW terms are copied into reused buffers, the CMux
-    /// identity `RGSW(1)` is built once and reused, and the accumulator
-    /// ping-pongs between two preallocated ciphertexts. This is the hot
+    /// `n_t` restructured CMux updates — runs with no heap allocation: the
+    /// paired external product and the two scaled RLWE outputs live in
+    /// reused buffers, and the accumulator is updated in place (no
+    /// ping-pong ciphertext, no RGSW-sized copies at all). This is the hot
     /// path the parallel engine runs with one scratch per worker thread.
     pub fn blind_rotate_with(
         &self,
@@ -255,6 +279,35 @@ impl BlindRotateKey {
         let mut acc = self.initial_accumulator(ctx, test_poly, lwe, scratch);
         for i in 0..lwe.a.len() {
             self.cmux_step(ctx, lwe.a[i], i, &mut acc, scratch);
+        }
+        acc
+    }
+
+    /// Strict-datapath blind rotation: Algorithm 1 exactly as the seed
+    /// implemented it — per step, assemble
+    /// `RGSW(1) + (X^{-a_i}−1)·RGSW(s_i^+) + (X^{a_i}−1)·RGSW(s_i^-)`
+    /// (two RGSW copies, two full-RGSW monomial scalings, two RGSW adds)
+    /// and run **one** external product over the strict reference kernels.
+    ///
+    /// Kept as the oracle for the restructured hot path: the parity suite
+    /// asserts [`BlindRotateKey::blind_rotate`] is bit-identical to this,
+    /// and `kernel_sweep` measures the speedup over it. Allocates freely;
+    /// not used on any production path.
+    pub fn blind_rotate_reference(
+        &self,
+        ctx: &RnsContext,
+        test_poly: &RnsPoly,
+        lwe: &LweCiphertext,
+    ) -> RlweCiphertext {
+        assert_eq!(lwe.dim(), self.lwe_dim(), "LWE dimension mismatch");
+        let two_n = 2 * ctx.n() as u64;
+        assert_eq!(lwe.modulus, two_n, "blind rotation expects modulus 2N");
+        assert_eq!(test_poly.limb_count(), self.limbs, "limb mismatch");
+
+        let mut scratch = BlindRotateScratch::default();
+        let mut acc = self.initial_accumulator(ctx, test_poly, lwe, &mut scratch);
+        for i in 0..lwe.a.len() {
+            self.cmux_step_reference(ctx, lwe.a[i], i, &mut acc);
         }
         acc
     }
@@ -276,14 +329,17 @@ impl BlindRotateKey {
         };
         f.to_coeff(ctx);
         let shift = -(lwe.b as i64);
-        let rotated_limbs: Vec<Vec<u64>> = (0..self.limbs)
-            .map(|j| poly::monomial_mul(f.limb(j), shift, ctx.modulus(j)))
-            .collect();
-        RlweCiphertext::trivial(ctx, RnsPoly::from_limbs(rotated_limbs, Domain::Coeff))
+        let mut rotated = RnsPoly::zero(ctx, self.limbs, Domain::Coeff);
+        for j in 0..self.limbs {
+            poly::monomial_mul_into(f.limb(j), shift, ctx.modulus(j), rotated.limb_mut(j));
+        }
+        RlweCiphertext::trivial(ctx, rotated)
     }
 
-    /// One Algorithm-1 accumulator update:
-    /// `ACC ⊡ (RGSW(1) + (X^{-a_i}−1)·RGSW(s_i^+) + (X^{a_i}−1)·RGSW(s_i^-))`.
+    /// One restructured accumulator update:
+    /// `ACC += (X^{-a_i}−1)·EP(ACC, brk_i^+) + (X^{a_i}−1)·EP(ACC, brk_i^-)`
+    /// (see the module docs for why this equals the Algorithm-1 product
+    /// bit-for-bit).
     fn cmux_step(
         &self,
         ctx: &RnsContext,
@@ -296,62 +352,79 @@ impl BlindRotateKey {
         let ai = (a_i % two_n as u64) as usize;
         if ai == 0 {
             // (X^0 - 1) terms vanish; accumulator passes through the
-            // exact trivial identity, so skip the product entirely.
+            // exact trivial identity, so skip the products entirely.
             return;
         }
-        let identity = match &scratch.identity {
-            Some((key, id)) if *key == (self.limbs, self.params) => id,
-            _ => {
-                let id = RgswCiphertext::trivial_one(ctx, self.limbs, &self.params);
-                &scratch.identity.insert(((self.limbs, self.params), id)).1
-            }
-        };
         // Rotation by -a_i·s_i: s=+1 wants X^{-a_i}, s=-1 wants X^{+a_i}.
-        let neg_exp = (two_n - ai) % two_n;
-        let combined = match &mut scratch.combined {
-            Some(c) => {
-                c.copy_from(identity);
-                c
-            }
-            slot => slot.insert(identity.clone()),
-        };
-        for (term_slot, source, exp) in [
-            (&mut scratch.pos_term, &self.pos[i], neg_exp),
-            (&mut scratch.neg_term, &self.neg[i], ai),
-        ] {
-            let term = match term_slot {
-                Some(t) => {
-                    t.copy_from(source);
-                    t
-                }
-                slot => slot.insert(source.clone()),
-            };
-            self.monomials.factor_into(exp, ctx, &mut scratch.factor);
-            term.mul_eval_factor_assign(&scratch.factor, ctx);
-            combined.add_assign(term, ctx);
+        let neg_exp = two_n - ai;
+        let BlindRotateScratch {
+            ep,
+            ep_pos,
+            ep_neg,
+            factor,
+            ..
+        } = scratch;
+        let ep_pos = ep_pos.get_or_insert_with(|| RlweCiphertext::zero(ctx, self.limbs));
+        let ep_neg = ep_neg.get_or_insert_with(|| RlweCiphertext::zero(ctx, self.limbs));
+        // One shared decomposition of ACC feeds both products.
+        external_product_pair_into(
+            acc,
+            &self.pos[i],
+            &self.neg[i],
+            ctx,
+            &self.params,
+            ep,
+            ep_pos,
+            ep_neg,
+        );
+        self.monomials.factor_into(neg_exp, ctx, factor);
+        ep_pos.mul_eval_factor_assign(factor, ctx);
+        acc.add_assign(ep_pos, ctx);
+        self.monomials.factor_into(ai, ctx, factor);
+        ep_neg.mul_eval_factor_assign(factor, ctx);
+        acc.add_assign(ep_neg, ctx);
+    }
+
+    /// One Algorithm-1 accumulator update in its original one-product
+    /// form: `ACC ⊡ (RGSW(1) + (X^{-a_i}−1)·RGSW(s_i^+) +
+    /// (X^{a_i}−1)·RGSW(s_i^-))` over the strict kernels (the oracle for
+    /// [`Self::cmux_step`]).
+    fn cmux_step_reference(&self, ctx: &RnsContext, a_i: u64, i: usize, acc: &mut RlweCiphertext) {
+        let two_n = 2 * ctx.n();
+        let ai = (a_i % two_n as u64) as usize;
+        if ai == 0 {
+            return;
         }
-        let next = scratch
-            .acc_next
-            .get_or_insert_with(|| RlweCiphertext::zero(ctx, self.limbs));
-        external_product_into(acc, combined, ctx, &self.params, &mut scratch.ep, next);
-        std::mem::swap(acc, next);
+        let neg_exp = two_n - ai;
+        let mut combined = RgswCiphertext::trivial_one(ctx, self.limbs, &self.params);
+        for (source, exp) in [(&self.pos[i], neg_exp), (&self.neg[i], ai)] {
+            let mut term = source.clone();
+            let factor = self.monomials.factor(exp, ctx);
+            term.mul_eval_factor_assign(&factor, ctx);
+            combined.add_assign(&term, ctx);
+        }
+        *acc = external_product_reference(acc, &combined, ctx, &self.params);
     }
 }
 
 /// Scratch state for [`BlindRotateKey::blind_rotate_with`]: every buffer the
 /// per-mask-element loop needs, allocated once and reused for the whole
 /// batch a worker thread processes.
+///
+/// The restructured CMux shrank this considerably: the old path carried a
+/// cached `RGSW(1)` identity, three full RGSW ciphertext buffers
+/// (`combined`, `pos_term`, `neg_term` — `2·2·ℓ·d` polynomials each) and a
+/// ping-pong accumulator; the new one needs only the two RLWE-sized
+/// external-product outputs and one flat monomial-factor buffer.
 #[derive(Debug, Default)]
 pub struct BlindRotateScratch {
     ep: ExternalProductScratch,
-    /// Cached `RGSW(1)` identity, keyed by the (limbs, params) it was
-    /// built for.
-    identity: Option<((usize, RgswParams), RgswCiphertext)>,
-    combined: Option<RgswCiphertext>,
-    pos_term: Option<RgswCiphertext>,
-    neg_term: Option<RgswCiphertext>,
-    factor: Vec<Vec<u64>>,
-    acc_next: Option<RlweCiphertext>,
+    /// `EP(acc, brk_i^+)` output, reused across steps.
+    ep_pos: Option<RlweCiphertext>,
+    /// `EP(acc, brk_i^-)` output, reused across steps.
+    ep_neg: Option<RlweCiphertext>,
+    /// Flat evaluation-domain monomial factor (limb `j` at `[j·n, (j+1)·n)`).
+    factor: Vec<u64>,
     test_coeff: Option<RnsPoly>,
 }
 

@@ -50,8 +50,9 @@ pub use blind_rotate::{
 pub use extract::{extract_coefficient, extract_constant_rns, lwe_to_rlwe, RnsLweCiphertext};
 pub use lwe::{LweCiphertext, LweKeySwitchKey, LweSecretKey};
 pub use rgsw::{
-    external_product, external_product_into, external_product_with, ExternalProductScratch,
-    RgswCiphertext, RgswParams,
+    external_product, external_product_into, external_product_pair_into,
+    external_product_reference, external_product_with, ExternalProductScratch, RgswCiphertext,
+    RgswParams,
 };
 pub use rlwe::{RingSecretKey, RlweCiphertext};
 pub use wire::{

@@ -8,6 +8,12 @@
 //! external products, and `CMux`/`InternalProduct` reduce to external
 //! products. This module packages those pieces into a single-limb TFHE
 //! context so the claim is executable.
+//!
+//! Everything here rides the optimized kernel datapaths for free: the
+//! blind rotation runs the restructured CMux, and every external product
+//! and NTT below it uses the lazy-reduction kernels (bit-identical to the
+//! strict references — see `tests/kernel_parity.rs`), so the standalone
+//! TFHE path needs no code of its own to benefit.
 
 use rand::Rng;
 

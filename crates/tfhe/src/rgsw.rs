@@ -4,8 +4,10 @@
 //! `m` can be multiplied into any RLWE ciphertext (the **ExternalProduct**),
 //! scaling the RLWE phase by `m` while adding only gadget-bounded noise.
 //! HEAP executes these products on dedicated MAC units with dual-port BRAM
-//! accumulation (paper §IV-A/§IV-E); here they are NTT pointwise
-//! multiply-accumulates over the RNS basis.
+//! accumulation and lazy reduction (paper §IV-A/§IV-E); here they are NTT
+//! pointwise multiply-accumulates over the RNS basis, accumulated
+//! unreduced in `u128` with one deferred Barrett reduction per output
+//! coefficient (see [`external_product_into`]).
 //!
 //! The gadget is the RNS-hybrid one: rows are indexed by `(limb i, digit
 //! k)` with gadget constants `g_{i,k} ≡ δ_{ij}·B^k (mod q_j)` — the digit
@@ -150,15 +152,21 @@ impl RgswCiphertext {
         }
     }
 
-    /// Multiplies every row by an evaluation-domain polynomial factor (one
-    /// vector per limb). Used for the `(X^a − 1)` terms of Algorithm 1.
-    pub fn mul_eval_factor_assign(&mut self, factor: &[Vec<u64>], ctx: &RnsContext) {
+    /// Multiplies every row by an evaluation-domain polynomial factor
+    /// (flat layout: limb `j` at `factor[j*n..(j+1)*n]`). Used by the
+    /// *reference* CMux to scale whole RGSW matrices — the restructured
+    /// hot path scales RLWE outputs instead
+    /// ([`crate::rlwe::RlweCiphertext::mul_eval_factor_assign`]).
+    pub fn mul_eval_factor_assign(&mut self, factor: &[u64], ctx: &RnsContext) {
+        let n = ctx.n();
         for rows in [&mut self.rows_s, &mut self.rows_1] {
             for row in rows.iter_mut() {
                 for part in [&mut row.a, &mut row.b] {
                     let limbs = part.limb_count();
-                    for (j, f) in factor.iter().enumerate().take(limbs) {
+                    assert!(factor.len() >= limbs * n, "factor too short");
+                    for j in 0..limbs {
                         let m = ctx.modulus(j);
+                        let f = &factor[j * n..(j + 1) * n];
                         for (x, &fx) in part.limb_mut(j).iter_mut().zip(f) {
                             *x = m.mul(*x, fx);
                         }
@@ -182,15 +190,20 @@ fn add_constant(limb: &mut [u64], c: u64, q: u64) {
 /// on-chip BRAM between steps).
 ///
 /// Once warmed up for a `(params, limbs)` shape, every buffer — the signed
-/// digit polynomials, the per-limb spread, the coefficient-domain operand
-/// copies, and the gadget tables — is reused, so
-/// [`external_product_into`] performs **zero heap allocations** per call
-/// (asserted by `tests/alloc_free.rs`).
+/// digit polynomials, the per-limb spread, the `u128` lazy MAC
+/// accumulators, the coefficient-domain operand copies, and the gadget
+/// tables — is reused, so [`external_product_into`] and
+/// [`external_product_pair_into`] perform **zero heap allocations** per
+/// call (asserted by `tests/alloc_free.rs`).
 #[derive(Debug, Default)]
 pub struct ExternalProductScratch {
     digit_signed: Vec<Vec<i64>>,
-    digit_buf: Vec<i64>,
     spread: Vec<u64>,
+    /// Lazy accumulators for the primary output: `[a limbs | b limbs]`,
+    /// each limb a `n`-long window.
+    acc_main: Vec<u128>,
+    /// Second accumulator set for [`external_product_pair_into`].
+    acc_alt: Vec<u128>,
     a_coeff: Option<RnsPoly>,
     b_coeff: Option<RnsPoly>,
     gadgets: Vec<Gadget>,
@@ -198,14 +211,19 @@ pub struct ExternalProductScratch {
 }
 
 impl ExternalProductScratch {
-    fn prepare(&mut self, ctx: &RnsContext, params: &RgswParams, limbs: usize) {
+    fn prepare(&mut self, ctx: &RnsContext, params: &RgswParams, limbs: usize, pair: bool) {
         let n = ctx.n();
         self.digit_signed.resize_with(params.digits, Vec::new);
         for d in &mut self.digit_signed {
             d.resize(n, 0);
         }
-        self.digit_buf.resize(params.digits, 0);
         self.spread.resize(n, 0);
+        self.acc_main.resize(2 * limbs * n, 0);
+        self.acc_main.fill(0);
+        if pair {
+            self.acc_alt.resize(2 * limbs * n, 0);
+            self.acc_alt.fill(0);
+        }
         let key = (params.base_bits, params.digits, limbs);
         if self.gadget_key != Some(key) {
             self.gadgets = params.gadgets(ctx, limbs);
@@ -258,6 +276,16 @@ pub fn external_product_with(
 /// heap allocation at all — the accumulator loop of blind rotation runs
 /// entirely in preallocated buffers.
 ///
+/// The MAC datapath is *lazy* (HEAP §IV-A): every pointwise product of a
+/// spread-digit NTT with a key row is accumulated **unreduced** in `u128`
+/// ([`heap_math::NttTable::pointwise_mac_lazy`], which documents the
+/// overflow bound), and each output coefficient is Barrett-reduced exactly
+/// once at the end ([`heap_math::NttTable::reduce_acc_into`]) instead of
+/// once per digit row. `2·limbs·digits` terms of `< 2^124` each sit far
+/// below the `2^127` fold threshold, so the deferred reduction is exact
+/// and the canonical output is bit-identical to
+/// [`external_product_reference`].
+///
 /// # Panics
 ///
 /// Panics on RGSW row count mismatch or if `out` has a different limb
@@ -277,13 +305,14 @@ pub fn external_product_into(
         "RGSW row count mismatch"
     );
     assert_eq!(out.limbs(), limbs, "output limb count mismatch");
-    scratch.prepare(ctx, params, limbs);
+    scratch.prepare(ctx, params, limbs, false);
     copy_into_slot(&mut scratch.a_coeff, &ct.a);
     copy_into_slot(&mut scratch.b_coeff, &ct.b);
+    let n = ctx.n();
     let ExternalProductScratch {
         digit_signed,
-        digit_buf,
         spread,
+        acc_main,
         a_coeff,
         b_coeff,
         gadgets,
@@ -293,33 +322,191 @@ pub fn external_product_into(
     let b_coeff = b_coeff.as_mut().expect("slot filled above");
     a_coeff.to_coeff(ctx);
     b_coeff.to_coeff(ctx);
-    out.a.clear(Domain::Eval);
-    out.b.clear(Domain::Eval);
+    let (acc_a, acc_b) = acc_main.split_at_mut(limbs * n);
 
     for (part_coeff, rows) in [(&*a_coeff, &rgsw.rows_s), (&*b_coeff, &rgsw.rows_1)] {
         for i in 0..limbs {
-            // Decompose limb i into signed digit polynomials.
-            let limb = part_coeff.limb(i);
-            for (c_idx, &c) in limb.iter().enumerate() {
-                gadgets[i].decompose_scalar_signed_into(c, digit_buf);
-                for (k, &d) in digit_buf.iter().enumerate() {
-                    digit_signed[k][c_idx] = d;
-                }
-            }
+            // Decompose limb i into signed digit polynomials (digit-major,
+            // no per-coefficient temporary).
+            gadgets[i].decompose_slice_signed_into(part_coeff.limb(i), digit_signed);
             for (k, digits) in digit_signed.iter().enumerate() {
                 let row = &rows[i * params.digits + k];
-                // Spread the signed digit under every limb, NTT, MAC.
+                // Spread the signed digit under every limb, NTT, lazy MAC.
                 for j in 0..limbs {
                     let m = ctx.modulus(j);
                     let ntt = ctx.ntt(j);
                     poly::from_signed_into(digits, m, spread);
                     ntt.forward(spread);
-                    ntt.pointwise_acc(spread, row.a.limb(j), out.a.limb_mut(j));
-                    ntt.pointwise_acc(spread, row.b.limb(j), out.b.limb_mut(j));
+                    ntt.pointwise_mac_lazy(spread, row.a.limb(j), &mut acc_a[j * n..(j + 1) * n]);
+                    ntt.pointwise_mac_lazy(spread, row.b.limb(j), &mut acc_b[j * n..(j + 1) * n]);
                 }
             }
         }
     }
+    // Single deferred reduction per coefficient; the writes cover every
+    // limb wholesale, so re-tagging the domain suffices (no zero-fill).
+    for j in 0..limbs {
+        let ntt = ctx.ntt(j);
+        ntt.reduce_acc_into(&acc_a[j * n..(j + 1) * n], out.a.limb_mut(j));
+        ntt.reduce_acc_into(&acc_b[j * n..(j + 1) * n], out.b.limb_mut(j));
+    }
+    out.a.set_domain(Domain::Eval);
+    out.b.set_domain(Domain::Eval);
+}
+
+/// Two external products of the *same* RLWE ciphertext against two RGSW
+/// operands, sharing one gadget decomposition and one spread-NTT per
+/// `(part, limb, digit, target-limb)` — each forward NTT feeds **four**
+/// lazy MACs (`pos.a`, `pos.b`, `neg.a`, `neg.b`) instead of two.
+///
+/// This is the shape the restructured CMux needs: Algorithm 1 multiplies
+/// the accumulator by both `RGSW(s_i^+)` and `RGSW(s_i^-)` per mask
+/// element, and the decomposition/NTT work depends only on the
+/// accumulator, so doing the products separately would double it.
+///
+/// Same laziness/exactness argument as [`external_product_into`];
+/// allocation-free with a warm `scratch`.
+///
+/// # Panics
+///
+/// Panics on RGSW row count mismatch or if either output has a different
+/// limb count than `ct` (output contents are overwritten, not read).
+#[allow(clippy::too_many_arguments)] // kernel entry point: two keys, two outputs, shared scratch
+pub fn external_product_pair_into(
+    ct: &RlweCiphertext,
+    rgsw_pos: &RgswCiphertext,
+    rgsw_neg: &RgswCiphertext,
+    ctx: &RnsContext,
+    params: &RgswParams,
+    scratch: &mut ExternalProductScratch,
+    out_pos: &mut RlweCiphertext,
+    out_neg: &mut RlweCiphertext,
+) {
+    let limbs = ct.limbs();
+    for rgsw in [rgsw_pos, rgsw_neg] {
+        assert_eq!(
+            rgsw.row_count(),
+            params.rows(limbs),
+            "RGSW row count mismatch"
+        );
+    }
+    assert_eq!(out_pos.limbs(), limbs, "output limb count mismatch");
+    assert_eq!(out_neg.limbs(), limbs, "output limb count mismatch");
+    scratch.prepare(ctx, params, limbs, true);
+    copy_into_slot(&mut scratch.a_coeff, &ct.a);
+    copy_into_slot(&mut scratch.b_coeff, &ct.b);
+    let n = ctx.n();
+    let ExternalProductScratch {
+        digit_signed,
+        spread,
+        acc_main,
+        acc_alt,
+        a_coeff,
+        b_coeff,
+        gadgets,
+        ..
+    } = scratch;
+    let a_coeff = a_coeff.as_mut().expect("slot filled above");
+    let b_coeff = b_coeff.as_mut().expect("slot filled above");
+    a_coeff.to_coeff(ctx);
+    b_coeff.to_coeff(ctx);
+    let (pos_a, pos_b) = acc_main.split_at_mut(limbs * n);
+    let (neg_a, neg_b) = acc_alt.split_at_mut(limbs * n);
+
+    for (part_coeff, rows_pos, rows_neg) in [
+        (&*a_coeff, &rgsw_pos.rows_s, &rgsw_neg.rows_s),
+        (&*b_coeff, &rgsw_pos.rows_1, &rgsw_neg.rows_1),
+    ] {
+        for i in 0..limbs {
+            gadgets[i].decompose_slice_signed_into(part_coeff.limb(i), digit_signed);
+            for (k, digits) in digit_signed.iter().enumerate() {
+                let row_p = &rows_pos[i * params.digits + k];
+                let row_n = &rows_neg[i * params.digits + k];
+                for j in 0..limbs {
+                    let m = ctx.modulus(j);
+                    let ntt = ctx.ntt(j);
+                    poly::from_signed_into(digits, m, spread);
+                    ntt.forward(spread);
+                    let w = j * n..(j + 1) * n;
+                    ntt.pointwise_mac_lazy(spread, row_p.a.limb(j), &mut pos_a[w.clone()]);
+                    ntt.pointwise_mac_lazy(spread, row_p.b.limb(j), &mut pos_b[w.clone()]);
+                    ntt.pointwise_mac_lazy(spread, row_n.a.limb(j), &mut neg_a[w.clone()]);
+                    ntt.pointwise_mac_lazy(spread, row_n.b.limb(j), &mut neg_b[w]);
+                }
+            }
+        }
+    }
+    for j in 0..limbs {
+        let ntt = ctx.ntt(j);
+        let w = j * n..(j + 1) * n;
+        ntt.reduce_acc_into(&pos_a[w.clone()], out_pos.a.limb_mut(j));
+        ntt.reduce_acc_into(&pos_b[w.clone()], out_pos.b.limb_mut(j));
+        ntt.reduce_acc_into(&neg_a[w.clone()], out_neg.a.limb_mut(j));
+        ntt.reduce_acc_into(&neg_b[w], out_neg.b.limb_mut(j));
+    }
+    out_pos.a.set_domain(Domain::Eval);
+    out_pos.b.set_domain(Domain::Eval);
+    out_neg.a.set_domain(Domain::Eval);
+    out_neg.b.set_domain(Domain::Eval);
+}
+
+/// Strict-datapath external product: eager per-digit Barrett MACs
+/// ([`heap_math::NttTable::pointwise_acc`]) over the strict reference NTT
+/// kernels, allocating its buffers per call.
+///
+/// This is the *oracle* the lazy [`external_product_into`] is proven
+/// bit-identical against (`tests/kernel_parity.rs`) and the baseline the
+/// `kernel_sweep` bench measures speedups over. Not used on any
+/// production path.
+///
+/// # Panics
+///
+/// Panics on RGSW row count mismatch.
+pub fn external_product_reference(
+    ct: &RlweCiphertext,
+    rgsw: &RgswCiphertext,
+    ctx: &RnsContext,
+    params: &RgswParams,
+) -> RlweCiphertext {
+    let limbs = ct.limbs();
+    assert_eq!(
+        rgsw.row_count(),
+        params.rows(limbs),
+        "RGSW row count mismatch"
+    );
+    let gadgets = params.gadgets(ctx, limbs);
+    let n = ctx.n();
+    let mut a_coeff = ct.a.clone();
+    let mut b_coeff = ct.b.clone();
+    for part in [&mut a_coeff, &mut b_coeff] {
+        if part.domain() == Domain::Eval {
+            for j in 0..limbs {
+                ctx.ntt(j).inverse_reference(part.limb_mut(j));
+            }
+            part.set_domain(Domain::Coeff);
+        }
+    }
+    let mut out = RlweCiphertext::zero(ctx, limbs);
+    let mut digit_signed = vec![vec![0i64; n]; params.digits];
+    let mut spread = vec![0u64; n];
+
+    for (part_coeff, rows) in [(&a_coeff, &rgsw.rows_s), (&b_coeff, &rgsw.rows_1)] {
+        for i in 0..limbs {
+            gadgets[i].decompose_slice_signed_into(part_coeff.limb(i), &mut digit_signed);
+            for (k, digits) in digit_signed.iter().enumerate() {
+                let row = &rows[i * params.digits + k];
+                for j in 0..limbs {
+                    let m = ctx.modulus(j);
+                    let ntt = ctx.ntt(j);
+                    poly::from_signed_into(digits, m, &mut spread);
+                    ntt.forward_reference(&mut spread);
+                    ntt.pointwise_acc(&spread, row.a.limb(j), out.a.limb_mut(j));
+                    ntt.pointwise_acc(&spread, row.b.limb(j), out.b.limb_mut(j));
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -15,8 +15,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use heap_math::prime::ntt_primes;
 use heap_math::{RnsContext, RnsPoly};
 use heap_tfhe::{
-    external_product_into, ExternalProductScratch, RgswCiphertext, RgswParams, RingSecretKey,
-    RlweCiphertext,
+    external_product_into, external_product_pair_into, ExternalProductScratch, MonomialEvals,
+    RgswCiphertext, RgswParams, RingSecretKey, RlweCiphertext,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -77,5 +77,52 @@ fn external_product_into_is_allocation_free_when_warm() {
     assert_eq!(
         count, 0,
         "external_product_into allocated {count} times after warm-up"
+    );
+
+    // The restructured CMux's per-step work: one paired external product
+    // plus two flat monomial-factor fills. Same warm-then-count protocol
+    // (kept inside this single test so no concurrent test taints the
+    // allocation window).
+    let rgsw_neg = RgswCiphertext::encrypt_scalar(&ctx, &sk, 0, 2, &params, &mut rng);
+    let monomials = MonomialEvals::new(&ctx, 2);
+    let mut pair_scratch = ExternalProductScratch::default();
+    let mut out_pos = RlweCiphertext::zero(&ctx, 2);
+    let mut out_neg = RlweCiphertext::zero(&ctx, 2);
+    let mut factor = Vec::new();
+    external_product_pair_into(
+        &ct,
+        &rgsw,
+        &rgsw_neg,
+        &ctx,
+        &params,
+        &mut pair_scratch,
+        &mut out_pos,
+        &mut out_neg,
+    );
+    monomials.factor_into(1, &ctx, &mut factor);
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    TRACK.store(true, Ordering::SeqCst);
+    for step in 0..8 {
+        external_product_pair_into(
+            &ct,
+            &rgsw,
+            &rgsw_neg,
+            &ctx,
+            &params,
+            &mut pair_scratch,
+            &mut out_pos,
+            &mut out_neg,
+        );
+        monomials.factor_into(step + 1, &ctx, &mut factor);
+        out_pos.mul_eval_factor_assign(&factor, &ctx);
+        monomials.factor_into(255 - step, &ctx, &mut factor);
+        out_neg.mul_eval_factor_assign(&factor, &ctx);
+    }
+    TRACK.store(false, Ordering::SeqCst);
+    let count = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        count, 0,
+        "paired product + factor path allocated {count} times after warm-up"
     );
 }

@@ -1,0 +1,116 @@
+//! Bit-identity parity suite: every optimized kernel against its retained
+//! strict oracle.
+//!
+//! The lazy-reduction NTT, the `u128`-MAC external product, and the
+//! restructured CMux are *exact* rewrites — same canonical output, not
+//! just the same phase up to noise. This suite pins that claim on random
+//! inputs: lazy external products vs [`external_product_reference`], and
+//! the restructured [`BlindRotateKey::blind_rotate`] (plus the key-major
+//! batch schedule) vs [`BlindRotateKey::blind_rotate_reference`],
+//! including the `a_i = 0` skip and `a_i = N` negacyclic-wrap edges.
+
+use heap_math::prime::ntt_primes;
+use heap_math::{RnsContext, RnsPoly};
+use heap_tfhe::lwe::LweSecretKey;
+use heap_tfhe::rlwe::{RingSecretKey, RlweCiphertext};
+use heap_tfhe::{
+    external_product, external_product_reference, test_polynomial_from_fn, BlindRotateKey,
+    LweCiphertext, RgswCiphertext, RgswParams,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 64;
+const LIMBS: usize = 2;
+const N_T: usize = 8;
+
+fn ctx() -> RnsContext {
+    RnsContext::new(N, &ntt_primes(N as u64, 30, LIMBS))
+}
+
+fn params() -> RgswParams {
+    RgswParams {
+        base_bits: 15,
+        digits: 2,
+    }
+}
+
+fn assert_bit_identical(a: &RlweCiphertext, b: &RlweCiphertext, what: &str) {
+    assert!(a.a == b.a && a.b == b.b, "{what} diverged from oracle");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Lazy u128-MAC external product == strict reference, on a fresh
+    /// encryption of a random message against RGSW(m) for m ∈ {0, 1, -1}
+    /// (the ternary blind-rotate key alphabet).
+    #[test]
+    fn external_product_matches_reference(seed in any::<u64>(), scalar in -1i64..=1) {
+        let c = ctx();
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = RingSecretKey::generate(&c, LIMBS, &mut rng);
+        let msg: Vec<i64> = (0..N).map(|_| rng.gen_range(-500..500)).collect();
+        let ct = RlweCiphertext::encrypt(&c, &sk, &RnsPoly::from_signed(&c, &msg, LIMBS), &mut rng);
+        let rgsw = RgswCiphertext::encrypt_scalar(&c, &sk, scalar, LIMBS, &p, &mut rng);
+        let lazy = external_product(&ct, &rgsw, &c, &p);
+        let strict = external_product_reference(&ct, &rgsw, &c, &p);
+        assert_bit_identical(&lazy, &strict, "external_product");
+    }
+
+    /// Restructured CMux blind rotation == one-product Algorithm 1 over
+    /// strict kernels, on a random ternary key and random mask elements —
+    /// with `a_0` forced through the `{0, N}` edge cases (the trivial-skip
+    /// branch and the negacyclic wrap `X^N = -1`).
+    #[test]
+    fn blind_rotate_matches_reference(seed in any::<u64>(), edge in 0usize..3) {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ring_sk = RingSecretKey::generate(&c, LIMBS, &mut rng);
+        let lwe_sk = LweSecretKey::generate(&mut rng, N_T);
+        let brk = BlindRotateKey::generate(&c, &lwe_sk, &ring_sk, LIMBS, params(), &mut rng);
+        let two_n = 2 * N as u64;
+        let f = test_polynomial_from_fn(&c, LIMBS, |u| u << 40);
+        let mut a: Vec<u64> = (0..N_T).map(|_| rng.gen_range(0..two_n)).collect();
+        a[0] = match edge {
+            0 => 0,            // (X^0 − 1) terms vanish: the skip branch
+            1 => N as u64,     // X^N = −1: negacyclic wrap
+            _ => a[0],         // generic element
+        };
+        let lwe = LweCiphertext { a, b: rng.gen_range(0..two_n), modulus: two_n };
+        let hot = brk.blind_rotate(&c, &f, &lwe);
+        let oracle = brk.blind_rotate_reference(&c, &f, &lwe);
+        assert_bit_identical(&hot, &oracle, "blind_rotate");
+    }
+
+    /// The key-major batch schedule is bit-identical to rotating each LWE
+    /// through the strict reference independently (scratch reuse across
+    /// interleaved accumulators leaks no state).
+    #[test]
+    fn key_major_batch_matches_reference(seed in any::<u64>()) {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ring_sk = RingSecretKey::generate(&c, LIMBS, &mut rng);
+        let lwe_sk = LweSecretKey::generate(&mut rng, N_T);
+        let brk = BlindRotateKey::generate(&c, &lwe_sk, &ring_sk, LIMBS, params(), &mut rng);
+        let two_n = 2 * N as u64;
+        let f = test_polynomial_from_fn(&c, LIMBS, |u| u << 40);
+        let lwes: Vec<LweCiphertext> = (0..3)
+            .map(|i| LweCiphertext {
+                // Give one ciphertext a zero element so the skip branch
+                // interleaves with active steps inside the batch.
+                a: (0..N_T).map(|j| if i == 1 && j == 0 { 0 } else { rng.gen_range(0..two_n) }).collect(),
+                b: rng.gen_range(0..two_n),
+                modulus: two_n,
+            })
+            .collect();
+        let (batched, fetches) = brk.blind_rotate_batch_key_major(&c, &f, &lwes);
+        prop_assert_eq!(fetches, N_T as u64);
+        for (got, lwe) in batched.iter().zip(&lwes) {
+            let oracle = brk.blind_rotate_reference(&c, &f, lwe);
+            assert_bit_identical(got, &oracle, "blind_rotate_batch_key_major");
+        }
+    }
+}
