@@ -5,23 +5,32 @@
 //! `heap-runtime` servers on ephemeral loopback ports (in-process threads
 //! speaking the same frame protocol as `heap-node-serve`), connects
 //! `RemoteNode`s, and pushes a fixed job mix through the full service
-//! stack — bounded queue, dynamic batcher, least-loaded scheduler. It
-//! reports jobs/sec plus p50/p99 submit-to-complete latency, so the
-//! batching trade (larger batches amortize transport, smaller ones cut
-//! queueing delay) is visible in one table.
+//! stack — bounded queue, dynamic batcher, staged streaming pipeline,
+//! least-loaded scheduler. It reports jobs/sec plus p50/p99
+//! submit-to-complete latency, so the batching trade (larger batches
+//! amortize transport, smaller ones cut queueing delay) is visible in
+//! one table.
 //!
-//! A final degraded-mode pair runs the same mix against a 2-node cluster
-//! where one node starts on a `fail*N` fault plan (throughput while the
-//! breaker trips, shards reassign, and the prober readmits it), then
-//! again after the plan is exhausted (healed throughput) — so
-//! `BENCH_runtime.json` records the cost of a failure and of healing.
+//! Row groups:
+//!
+//! - `scaling` — full `Bootstrap` jobs across node counts and batch
+//!   caps, so every Algorithm 2 stage column populates in every row.
+//! - `degraded`/`healed` — a 2-node cluster where one node starts on a
+//!   `fail*N` fault plan (throughput while the breaker trips, shards
+//!   reassign, and the prober readmits it), then the same cluster after
+//!   the plan is exhausted.
+//! - `pipeline` — the same `Bootstrap` mix at increasing per-stage
+//!   worker counts, showing the staged pipeline overlapping batch k+1's
+//!   prep with batch k's blind rotation.
+//! - `direct`/`sessions` — the same blind-rotate workload submitted
+//!   in-process versus through ≥100 multiplexed TCP sessions (one
+//!   socket per client, tagged jobs, out-of-order completion), so the
+//!   session layer's overhead is a single table comparison.
 //!
 //! Every sample also carries per-stage latency columns from the
 //! telemetry stage histograms (mean microseconds per batch call of each
 //! Algorithm 2 stage, over that configuration's window) and the queue
-//! wait p50. The blind-rotate mix only exercises the `blind_rotate`
-//! stage; a final `pipeline` row pushes full `Bootstrap` jobs so every
-//! stage column is populated.
+//! wait p50 (`null` when nothing waited — never a sentinel number).
 //!
 //! ```sh
 //! cargo run --release -p heap-bench --bin runtime_sweep
@@ -35,19 +44,22 @@ use heap_core::{KERNEL_STAGES, PIPELINE_STAGES};
 use heap_parallel::Parallelism;
 use heap_runtime::{
     deterministic_setup, serve, BatchPolicy, BootstrapService, DeterministicSetup, FaultPlan,
-    JobRequest, ParamPreset, Priority, RemoteNode, RuntimeConfig, ServeOptions, ServiceNode,
+    JobRequest, ParamPreset, PipelineConfig, Priority, RemoteNode, RuntimeConfig, ServeOptions,
+    ServiceNode, SessionClient, SubmitOptions, TenantId,
 };
 use heap_telemetry::HistogramSnapshot;
 use heap_tfhe::LweCiphertext;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Jobs pushed through the service per configuration.
+/// Blind-rotate jobs pushed through the service per configuration.
 const JOBS: usize = 24;
-/// LWEs per job (blind rotations each job contributes).
+/// LWEs per blind-rotate job.
 const LWES_PER_JOB: usize = 8;
-/// Client threads submitting concurrently.
+/// Client threads submitting concurrently (non-session rows).
 const CLIENTS: usize = 4;
+/// Concurrent multiplexed sessions in the `sessions` row.
+const SESSIONS: usize = 100;
 
 /// What each client thread submits in a configuration.
 #[derive(Clone, Copy, PartialEq)]
@@ -55,19 +67,25 @@ enum Mix {
     /// `JobRequest::BlindRotate` jobs (the throughput mix).
     BlindRotate,
     /// Full `JobRequest::Bootstrap` jobs — every pipeline stage runs.
-    Bootstrap,
+    /// The payload is `jobs_per_client` bootstraps per client.
+    Bootstrap { jobs_per_client: usize },
 }
 
 struct Sample {
     mode: &'static str,
     nodes: usize,
     max_lwes: usize,
+    /// Per-stage pipeline workers (prep/rotate/finish all equal here).
+    workers: usize,
+    /// Concurrent submitters (threads or sessions).
+    clients: usize,
     secs: f64,
     jobs_per_sec: f64,
     p50_ms: f64,
     p99_ms: f64,
-    /// Queue-wait p50 in µs (telemetry `heap_queue_wait_ns`).
-    queue_p50_us: f64,
+    /// Queue-wait p50 in µs (telemetry `heap_queue_wait_ns`), `None`
+    /// when the histogram recorded nothing.
+    queue_p50_us: Option<f64>,
     /// Mean µs per batch call of each pipeline stage during this
     /// configuration's window, in [`PIPELINE_STAGES`] order (0 when a
     /// stage did not run). Aggregated across the client and the
@@ -95,6 +113,16 @@ fn spawn_servers(setup: &DeterministicSetup, count: usize) -> Vec<String> {
     (0..count).map(|_| spawn_server(setup, None)).collect()
 }
 
+fn connect_nodes(setup: &DeterministicSetup, addrs: &[String]) -> Vec<Box<dyn ServiceNode>> {
+    addrs
+        .iter()
+        .map(|addr| {
+            Box::new(RemoteNode::connect(addr, &setup.ctx).expect("connect"))
+                as Box<dyn ServiceNode>
+        })
+        .collect()
+}
+
 fn job_lwes(setup: &DeterministicSetup, seed: usize) -> Vec<LweCiphertext> {
     let two_n = 2 * setup.ctx.n() as u64;
     let n_t = setup.boot.config().n_t;
@@ -109,6 +137,17 @@ fn job_lwes(setup: &DeterministicSetup, seed: usize) -> Vec<LweCiphertext> {
         .collect()
 }
 
+fn bootstrap_ct(setup: &DeterministicSetup) -> heap_ckks::Ciphertext {
+    let mut rng = StdRng::seed_from_u64(101);
+    let delta = setup.ctx.fresh_scale();
+    let coeffs: Vec<i64> = (0..setup.ctx.n())
+        .map(|i| (((i % 5) as f64 - 2.0) / 40.0 * delta).round() as i64)
+        .collect();
+    setup
+        .ctx
+        .encrypt_coeffs_sk(&coeffs, delta, 1, &setup.sk, &mut rng)
+}
+
 fn print_sample(s: &Sample) {
     let blind_rotate_us = s
         .stage_mean_us
@@ -116,15 +155,18 @@ fn print_sample(s: &Sample) {
         .find(|(name, _)| *name == "blind_rotate")
         .map_or(0.0, |&(_, us)| us);
     println!(
-        "{:>9} {:>6} {:>10} {:>10.3} {:>12.2} {:>10.2} {:>10.2} {:>10.1} {:>10.1}",
+        "{:>9} {:>6} {:>8} {:>8} {:>8} {:>8.3} {:>10.2} {:>9.2} {:>9.2} {:>9} {:>9.1}",
         s.mode,
         s.nodes,
         s.max_lwes,
+        s.workers,
+        s.clients,
         s.secs,
         s.jobs_per_sec,
         s.p50_ms,
         s.p99_ms,
-        s.queue_p50_us,
+        s.queue_p50_us
+            .map_or("-".to_string(), |us| format!("{us:.1}")),
         blind_rotate_us
     );
 }
@@ -149,21 +191,44 @@ fn stage_snapshots(setup: &DeterministicSetup) -> Vec<(&'static str, HistogramSn
         .collect()
 }
 
+/// Drains a window's worth of stage histogram deltas into mean-µs rows.
+fn stage_deltas(
+    setup: &DeterministicSetup,
+    before: Vec<(&'static str, HistogramSnapshot)>,
+) -> Vec<(&'static str, f64)> {
+    before
+        .into_iter()
+        .map(|(s, before)| {
+            let h = setup.boot.stage_metrics().stage(s).expect("known stage");
+            let delta = h.snapshot().since(&before);
+            let us = if delta.count == 0 {
+                0.0
+            } else {
+                delta.mean() / 1e3
+            };
+            (s, us)
+        })
+        .collect()
+}
+
+fn queue_p50_us(svc: &BootstrapService) -> Option<f64> {
+    svc.metrics()
+        .snapshot()
+        .histogram("heap_queue_wait_ns")
+        .and_then(|h| h.try_quantile(0.5))
+        .map(|ns| ns as f64 / 1e3)
+}
+
 /// Runs the fixed job mix through one service configuration.
 fn run_config(
     setup: &DeterministicSetup,
     addrs: &[String],
     max_lwes: usize,
+    workers: usize,
     mode: &'static str,
     mix: Mix,
 ) -> Sample {
-    let nodes: Vec<Box<dyn ServiceNode>> = addrs
-        .iter()
-        .map(|addr| {
-            Box::new(RemoteNode::connect(addr, &setup.ctx).expect("connect"))
-                as Box<dyn ServiceNode>
-        })
-        .collect();
+    let nodes = connect_nodes(setup, addrs);
     let node_count = nodes.len();
     let svc = Arc::new(
         BootstrapService::start_with_nodes(
@@ -171,39 +236,33 @@ fn run_config(
             Arc::clone(&setup.boot),
             nodes,
             RuntimeConfig {
-                queue_capacity: JOBS,
+                queue_capacity: JOBS.max(CLIENTS * 8),
                 batch: BatchPolicy {
                     max_lwes,
                     max_delay: Duration::from_millis(2),
                 },
+                pipeline: PipelineConfig::workers(workers),
                 ..RuntimeConfig::default()
             },
         )
         .expect("start service"),
     );
     // Bootstrap jobs reuse one pre-encrypted ciphertext (key setup is
-    // client work, not service work); each client submits one.
-    let boot_ct = (mix == Mix::Bootstrap).then(|| {
-        let mut rng = StdRng::seed_from_u64(101);
-        let delta = setup.ctx.fresh_scale();
-        let coeffs: Vec<i64> = (0..setup.ctx.n())
-            .map(|i| (((i % 5) as f64 - 2.0) / 40.0 * delta).round() as i64)
-            .collect();
-        setup
-            .ctx
-            .encrypt_coeffs_sk(&coeffs, delta, 1, &setup.sk, &mut rng)
-    });
+    // client work, not service work).
+    let boot_ct = matches!(mix, Mix::Bootstrap { .. }).then(|| bootstrap_ct(setup));
     let stage_before = stage_snapshots(setup);
     let t0 = Instant::now();
-    let workers: Vec<_> = (0..CLIENTS)
+    let threads: Vec<_> = (0..CLIENTS)
         .map(|c| {
             let svc = Arc::clone(&svc);
             // Inputs are synthesized inside the timed region on purpose:
             // submission cost is part of the service picture, and an LWE
             // is cheap next to its blind rotation.
-            let jobs: Vec<JobRequest> = match &boot_ct {
-                Some(ct) => vec![JobRequest::Bootstrap { ct: ct.clone() }],
-                None => (0..JOBS / CLIENTS)
+            let jobs: Vec<JobRequest> = match (mix, &boot_ct) {
+                (Mix::Bootstrap { jobs_per_client }, Some(ct)) => (0..jobs_per_client)
+                    .map(|_| JobRequest::Bootstrap { ct: ct.clone() })
+                    .collect(),
+                _ => (0..JOBS / CLIENTS)
                     .map(|j| JobRequest::BlindRotate {
                         lwes: job_lwes(setup, c * 1000 + j),
                     })
@@ -221,35 +280,162 @@ fn run_config(
             })
         })
         .collect();
-    let mut latencies: Vec<Duration> = workers
+    let mut latencies: Vec<Duration> = threads
         .into_iter()
         .flat_map(|w| w.join().expect("client thread"))
         .collect();
     let secs = t0.elapsed().as_secs_f64();
-    let queue_p50_us = svc
-        .metrics()
-        .snapshot()
-        .histogram("heap_queue_wait_ns")
-        .map_or(0.0, |h| h.quantile(0.5) as f64 / 1e3);
-    let stage_mean_us = stage_before
-        .into_iter()
-        .map(|(s, before)| {
-            let h = setup.boot.stage_metrics().stage(s).expect("known stage");
-            let delta = h.snapshot().since(&before);
-            let us = if delta.count == 0 {
-                0.0
-            } else {
-                delta.mean() / 1e3
-            };
-            (s, us)
-        })
-        .collect();
+    let queue_p50_us = queue_p50_us(&svc);
+    let stage_mean_us = stage_deltas(setup, stage_before);
     svc.shutdown();
     latencies.sort_unstable();
     Sample {
         mode,
         nodes: node_count,
         max_lwes,
+        workers,
+        clients: CLIENTS,
+        secs,
+        jobs_per_sec: latencies.len() as f64 / secs,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        queue_p50_us,
+        stage_mean_us,
+    }
+}
+
+/// The `sessions` row: the blind-rotate workload of [`run_sessions_pair`]
+/// submitted through `SESSIONS` concurrent multiplexed TCP sessions
+/// against one service (clients connect before the clock starts; the
+/// timed region is submit-to-complete over the sockets).
+fn run_sessions(setup: &DeterministicSetup, addrs: &[String]) -> Sample {
+    let nodes = connect_nodes(setup, addrs);
+    let node_count = nodes.len();
+    let svc = Arc::new(
+        BootstrapService::start_with_nodes(
+            Arc::clone(&setup.ctx),
+            Arc::clone(&setup.boot),
+            nodes,
+            RuntimeConfig {
+                queue_capacity: SESSIONS * 2,
+                batch: BatchPolicy {
+                    max_lwes: 4 * LWES_PER_JOB,
+                    max_delay: Duration::from_millis(2),
+                },
+                ..RuntimeConfig::default()
+            },
+        )
+        .expect("start service"),
+    );
+    let server =
+        heap_runtime::SessionServer::serve("127.0.0.1:0", Arc::clone(&svc)).expect("sessions bind");
+    let addr = server.addr().to_string();
+    let clients: Vec<_> = (0..SESSIONS)
+        .map(|_| SessionClient::connect(addr.as_str(), &setup.ctx).expect("session connect"))
+        .collect();
+    let stage_before = stage_snapshots(setup);
+    let t0 = Instant::now();
+    let threads: Vec<_> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(c, client)| {
+            let lwes = job_lwes(setup, c);
+            std::thread::spawn(move || {
+                let opts = SubmitOptions {
+                    tenant: TenantId(c as u64 % 8),
+                    ..SubmitOptions::default()
+                };
+                let t = Instant::now();
+                let job = client
+                    .submit(&JobRequest::BlindRotate { lwes }, opts)
+                    .expect("session submit");
+                job.wait().expect("session job");
+                t.elapsed()
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = threads
+        .into_iter()
+        .map(|t| t.join().expect("session thread"))
+        .collect();
+    let secs = t0.elapsed().as_secs_f64();
+    let queue_p50_us = queue_p50_us(&svc);
+    let stage_mean_us = stage_deltas(setup, stage_before);
+    drop(server);
+    svc.shutdown();
+    latencies.sort_unstable();
+    Sample {
+        mode: "sessions",
+        nodes: node_count,
+        max_lwes: 4 * LWES_PER_JOB,
+        workers: 1,
+        clients: SESSIONS,
+        secs,
+        jobs_per_sec: latencies.len() as f64 / secs,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        queue_p50_us,
+        stage_mean_us,
+    }
+}
+
+/// The `direct` row paired with [`run_sessions`]: the identical 1-job-
+/// per-client blind-rotate workload submitted in-process (no sockets,
+/// no session framing), so the session layer's cost is the delta.
+fn run_direct(setup: &DeterministicSetup, addrs: &[String]) -> Sample {
+    let nodes = connect_nodes(setup, addrs);
+    let node_count = nodes.len();
+    let svc = Arc::new(
+        BootstrapService::start_with_nodes(
+            Arc::clone(&setup.ctx),
+            Arc::clone(&setup.boot),
+            nodes,
+            RuntimeConfig {
+                queue_capacity: SESSIONS * 2,
+                batch: BatchPolicy {
+                    max_lwes: 4 * LWES_PER_JOB,
+                    max_delay: Duration::from_millis(2),
+                },
+                ..RuntimeConfig::default()
+            },
+        )
+        .expect("start service"),
+    );
+    let stage_before = stage_snapshots(setup);
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..SESSIONS)
+        .map(|c| {
+            let svc = Arc::clone(&svc);
+            let lwes = job_lwes(setup, c);
+            std::thread::spawn(move || {
+                let opts = SubmitOptions {
+                    tenant: TenantId(c as u64 % 8),
+                    ..SubmitOptions::default()
+                };
+                let handle = svc
+                    .submit_opts(JobRequest::BlindRotate { lwes }, opts)
+                    .expect("submit");
+                let (result, latency) = handle.wait_timed();
+                result.expect("job failed");
+                latency
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+    let secs = t0.elapsed().as_secs_f64();
+    let queue_p50_us = queue_p50_us(&svc);
+    let stage_mean_us = stage_deltas(setup, stage_before);
+    svc.shutdown();
+    latencies.sort_unstable();
+    Sample {
+        mode: "direct",
+        nodes: node_count,
+        max_lwes: 4 * LWES_PER_JOB,
+        workers: 1,
+        clients: SESSIONS,
         secs,
         jobs_per_sec: latencies.len() as f64 / secs,
         p50_ms: percentile(&latencies, 0.50),
@@ -266,21 +452,41 @@ fn main() {
     node_counts.retain(|&k| k <= host_cores.max(1) * 4);
     let max_servers = *node_counts.iter().max().expect("non-empty");
     let addrs = spawn_servers(&setup, max_servers);
-    let batch_sizes = [LWES_PER_JOB, 4 * LWES_PER_JOB, JOBS * LWES_PER_JOB];
+    let n = setup.ctx.n();
 
     println!(
-        "runtime_sweep: {} jobs x {} LWEs, {} clients, host cores = {}",
-        JOBS, LWES_PER_JOB, CLIENTS, host_cores
+        "runtime_sweep: {} sessions, {} clients, host cores = {}",
+        SESSIONS, CLIENTS, host_cores
     );
     println!();
     println!(
-        "{:>9} {:>6} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
-        "mode", "nodes", "max_lwes", "secs", "jobs/sec", "p50 ms", "p99 ms", "qwait us", "br us"
+        "{:>9} {:>6} {:>8} {:>8} {:>8} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "mode",
+        "nodes",
+        "max_lwes",
+        "workers",
+        "clients",
+        "secs",
+        "jobs/sec",
+        "p50 ms",
+        "p99 ms",
+        "qwait us",
+        "br us"
     );
     let mut samples = Vec::new();
+    // Scaling rows submit full Bootstrap jobs (1 per client) so every
+    // stage column — mod-switch, extract, blind rotate, repack, rescale
+    // — populates in every row, not just the blind-rotate column.
     for &k in &node_counts {
-        for &max_lwes in &batch_sizes {
-            let s = run_config(&setup, &addrs[..k], max_lwes, "scaling", Mix::BlindRotate);
+        for &max_lwes in &[n, 4 * n] {
+            let s = run_config(
+                &setup,
+                &addrs[..k],
+                max_lwes,
+                1,
+                "scaling",
+                Mix::Bootstrap { jobs_per_client: 1 },
+            );
             print_sample(&s);
             samples.push(s);
         }
@@ -298,6 +504,7 @@ fn main() {
             &setup,
             &degraded_addrs,
             4 * LWES_PER_JOB,
+            1,
             mode,
             Mix::BlindRotate,
         );
@@ -305,16 +512,31 @@ fn main() {
         samples.push(s);
     }
 
-    // Full-pipeline row: Bootstrap jobs run mod-switch, extract, blind
-    // rotate, repack, and rescale, so every stage column is populated.
+    // Pipeline rows: the same Bootstrap mix at increasing per-stage
+    // worker depth. With >1 worker per stage the streaming pipeline
+    // preps batch k+1 while batch k blind-rotates, so jobs/sec should
+    // rise with depth on multi-core hosts (on a single core the rows
+    // record the overlap's scheduling cost honestly instead).
     let k = 2.min(max_servers);
-    let s = run_config(
-        &setup,
-        &addrs[..k],
-        setup.ctx.n(),
-        "pipeline",
-        Mix::Bootstrap,
-    );
+    for workers in [1usize, 2, 3] {
+        let s = run_config(
+            &setup,
+            &addrs[..k],
+            n,
+            workers,
+            "pipeline",
+            Mix::Bootstrap { jobs_per_client: 2 },
+        );
+        print_sample(&s);
+        samples.push(s);
+    }
+
+    // Session pair: identical workload in-process vs through 100
+    // multiplexed TCP sessions.
+    let s = run_direct(&setup, &addrs[..k]);
+    print_sample(&s);
+    samples.push(s);
+    let s = run_sessions(&setup, &addrs[..k]);
     print_sample(&s);
     samples.push(s);
 
@@ -327,17 +549,21 @@ fn main() {
                 .map(|(name, us)| format!("\"{name}\": {us:.1}"))
                 .collect();
             format!(
-                "    {{\"mode\": \"{}\", \"nodes\": {}, \"max_lwes\": {}, \"secs\": {:.6}, \
+                "    {{\"mode\": \"{}\", \"nodes\": {}, \"max_lwes\": {}, \"workers\": {}, \
+                 \"clients\": {}, \"secs\": {:.6}, \
                  \"jobs_per_sec\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
-                 \"queue_wait_p50_us\": {:.1}, \"stage_mean_us\": {{{}}}}}",
+                 \"queue_wait_p50_us\": {}, \"stage_mean_us\": {{{}}}}}",
                 s.mode,
                 s.nodes,
                 s.max_lwes,
+                s.workers,
+                s.clients,
                 s.secs,
                 s.jobs_per_sec,
                 s.p50_ms,
                 s.p99_ms,
-                s.queue_p50_us,
+                s.queue_p50_us
+                    .map_or("null".to_string(), |us| format!("{us:.1}")),
                 stages.join(", ")
             )
         })
@@ -345,16 +571,20 @@ fn main() {
     let json = format!(
         "{{\n  \"host_cores\": {host_cores},\n  \"jobs\": {JOBS},\n  \
          \"lwes_per_job\": {LWES_PER_JOB},\n  \"clients\": {CLIENTS},\n  \
+         \"sessions\": {SESSIONS},\n  \
          \"transport\": \"loopback TCP (in-process servers, heap-node-serve protocol)\",\n  \
          \"note\": \"latency is submit-to-complete; larger max_lwes trades p50 latency for \
-         throughput; node scaling is bounded by host_cores; degraded = 1 of 2 nodes on a \
+         throughput; node scaling is bounded by host_cores; scaling rows submit full \
+         Bootstrap jobs so every stage column populates; degraded = 1 of 2 nodes on a \
          fail*4 fault plan (breaker + reassignment overhead), healed = same cluster after \
-         readmission; stage_mean_us = mean microseconds per batch call of each Algorithm 2 \
+         readmission; pipeline rows sweep per-stage worker depth of the streaming pipeline \
+         (overlap wins need >1 host core — single-core hosts record scheduling cost); \
+         direct vs sessions = identical workload in-process vs through 100 multiplexed \
+         TCP sessions; stage_mean_us = mean microseconds per batch call of each Algorithm 2 \
          stage during the window (client + in-process servers combined; 0 when the stage \
          did not run; ntt_forward/ntt_inverse are the process-wide kernel histograms, \
          mean ns-scale per transform), queue_wait_p50_us = median submit-to-dispatch \
-         queue wait; the pipeline row pushes full Bootstrap jobs so all stages \
-         populate\",\n  \
+         queue wait (null when nothing was recorded)\",\n  \
          \"samples\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );

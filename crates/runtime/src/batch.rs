@@ -59,7 +59,11 @@ pub(crate) fn collect_batch(
 ) -> Option<Vec<PendingJob>> {
     let first = queue.pop_wait()?;
     let opened = Instant::now();
-    let deadline = opened + policy.max_delay;
+    // The delay clock starts at the first job's *enqueue* time, not at
+    // batch open: a job that already sat `max_delay` in a backed-up
+    // queue has spent its linger budget and must flush immediately, not
+    // wait another full `max_delay` for co-travellers.
+    let deadline = first.state.submitted_at() + policy.max_delay;
     let mut cost = first.cost;
     let mut batch = vec![first];
     while cost < policy.max_lwes {
@@ -94,6 +98,7 @@ mod tests {
         PendingJob {
             id: JobId(id),
             priority: Priority::Normal,
+            tenant: crate::job::TenantId::default(),
             request: JobRequest::BlindRotate {
                 lwes: vec![LweCiphertext::trivial(0, 4, 64); cost],
             },
@@ -130,6 +135,29 @@ mod tests {
         let batch = collect_batch(&q, &policy, None).unwrap();
         assert_eq!(batch.len(), 1);
         assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn delay_clock_anchors_to_first_job_enqueue_not_batch_open() {
+        // Regression: the old batcher started the flush timer when it
+        // *popped* the first job, so a job that had already waited out
+        // `max_delay` in a backed-up queue lingered a second full
+        // `max_delay`. The deadline must anchor to enqueue time.
+        let q = SubmissionQueue::new(16);
+        q.submit(job(0, 1)).unwrap();
+        std::thread::sleep(Duration::from_millis(250));
+        let policy = BatchPolicy {
+            max_lwes: 1000,
+            max_delay: Duration::from_millis(200),
+        };
+        let start = Instant::now();
+        let batch = collect_batch(&q, &policy, None).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "pre-aged job must flush immediately, lingered {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

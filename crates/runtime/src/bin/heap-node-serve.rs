@@ -32,13 +32,24 @@
 //!   node's request counters and per-stage bootstrap histograms. The
 //!   bound address is printed as `METRICS <addr>` on stdout, *after* the
 //!   `LISTENING` line.
+//! - `--session-addr HOST:PORT` — also run a full in-process
+//!   `BootstrapService` (staged pipeline backed by this node's threads)
+//!   fronted by a multiplexed session listener: any number of
+//!   `SessionClient`s submit tagged jobs over one socket each and
+//!   completions stream back out of order. The bound address is printed
+//!   as `SESSIONS <addr>` after the `LISTENING` line.
+//! - `--slo-ms N` — with `--session-addr`: enable SLO admission control
+//!   with an `N`-millisecond deadline; over-SLO submissions get a typed
+//!   rejection with a retry hint instead of queueing.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use heap_parallel::Parallelism;
 use heap_runtime::{
-    deterministic_setup, serve, FaultPlan, NodeTelemetry, ParamPreset, ServeOptions,
+    deterministic_setup, serve, BootstrapService, FaultPlan, NodeTelemetry, ParamPreset,
+    RuntimeConfig, ServeOptions, SessionServer, SloPolicy,
 };
 use heap_telemetry::{Exposition, MetricsServer};
 
@@ -50,6 +61,8 @@ struct Args {
     fail_after: Option<u64>,
     fault_plan: Option<FaultPlan>,
     metrics_addr: Option<String>,
+    session_addr: Option<String>,
+    slo_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -61,6 +74,8 @@ fn parse_args() -> Result<Args, String> {
         fail_after: None,
         fault_plan: None,
         metrics_addr: None,
+        session_addr: None,
+        slo_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -95,11 +110,19 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
+            "--session-addr" => args.session_addr = Some(value("--session-addr")?),
+            "--slo-ms" => {
+                args.slo_ms = Some(
+                    value("--slo-ms")?
+                        .parse()
+                        .map_err(|e| format!("--slo-ms: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: heap-node-serve [--addr HOST:PORT] [--preset tiny|small|medium] \
                             [--seed N] [--threads N] [--fail-after N] [--fault-plan PLAN] \
-                            [--metrics-addr HOST:PORT]"
+                            [--metrics-addr HOST:PORT] [--session-addr HOST:PORT] [--slo-ms N]"
                         .to_string(),
                 )
             }
@@ -157,6 +180,46 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("heap-node-serve: cannot bind metrics {metrics_addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    // Held for the life of the process: the in-process service and its
+    // session front-end, when requested.
+    let _session = match &args.session_addr {
+        Some(session_addr) => {
+            let config = RuntimeConfig {
+                queue_capacity: 256,
+                admission: args.slo_ms.map(|ms| SloPolicy {
+                    slo: std::time::Duration::from_millis(ms),
+                }),
+                ..RuntimeConfig::default()
+            };
+            let service = match BootstrapService::start_with_nodes(
+                Arc::clone(&setup.ctx),
+                Arc::clone(&setup.boot),
+                vec![Box::new(heap_runtime::LocalServiceNode::new(
+                    0,
+                    parallelism,
+                ))],
+                config,
+            ) {
+                Ok(svc) => Arc::new(svc),
+                Err(e) => {
+                    eprintln!("heap-node-serve: cannot start service: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match SessionServer::serve(session_addr, Arc::clone(&service)) {
+                Ok(server) => {
+                    println!("SESSIONS {}", server.addr());
+                    let _ = std::io::stdout().flush();
+                    Some((service, server))
+                }
+                Err(e) => {
+                    eprintln!("heap-node-serve: cannot bind sessions {session_addr}: {e}");
                     return ExitCode::FAILURE;
                 }
             }

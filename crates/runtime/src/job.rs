@@ -24,6 +24,22 @@ impl std::fmt::Display for JobId {
     }
 }
 
+/// The tenant (client account, session group) a job is billed to.
+///
+/// The submission queue keeps one sub-queue per tenant and serves them
+/// with weighted deficit round-robin, so one tenant flooding the service
+/// cannot starve the others. The default tenant `0` is what the plain
+/// [`crate::BootstrapService::submit`] path uses; with a single tenant
+/// the fair queue degenerates to the old global priority queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(pub u64);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
 /// Scheduling priority. Higher drains first; ties drain in submission
 /// order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
@@ -89,11 +105,23 @@ impl JobOutput {
 }
 
 /// Shared completion slot between the service and a [`JobHandle`].
-#[derive(Debug)]
 pub(crate) struct JobState {
     slot: Mutex<Option<(Result<JobOutput, RuntimeError>, Duration)>>,
     done: Condvar,
     submitted: Instant,
+    /// Completion hook: the session server installs a closure (before
+    /// the job is queued) that enqueues the job's wire tag into the
+    /// connection's outbox, so completions stream out of order without
+    /// a blocked waiter thread per job.
+    notify: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl std::fmt::Debug for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobState")
+            .field("submitted", &self.submitted)
+            .finish_non_exhaustive()
+    }
 }
 
 impl JobState {
@@ -102,6 +130,7 @@ impl JobState {
             slot: Mutex::new(None),
             done: Condvar::new(),
             submitted: Instant::now(),
+            notify: Mutex::new(None),
         })
     }
 
@@ -111,13 +140,81 @@ impl JobState {
         self.submitted.elapsed()
     }
 
-    /// Fulfills the job; the latency clock stops here.
+    /// When the job was submitted — the dynamic batcher anchors its
+    /// flush deadline here, not at batch-open time.
+    pub(crate) fn submitted_at(&self) -> Instant {
+        self.submitted
+    }
+
+    /// Installs the completion hook. If the job already completed (the
+    /// race is possible because completion runs on pipeline threads),
+    /// the hook fires immediately instead of being stored.
+    pub(crate) fn set_notifier(&self, f: Box<dyn FnOnce() + Send>) {
+        let run_now = {
+            let slot = self.slot.lock().expect("job slot poisoned");
+            if slot.is_some() {
+                true
+            } else {
+                *self.notify.lock().expect("job notifier poisoned") = Some(f);
+                return;
+            }
+        };
+        if run_now {
+            f();
+        }
+    }
+
+    /// Fulfills the job, asserting nobody beat us to it (tests; the
+    /// pipeline's completion paths all race-tolerantly use
+    /// [`JobState::complete_if_pending`]).
+    #[cfg(test)]
     pub(crate) fn complete(&self, result: Result<JobOutput, RuntimeError>) {
+        assert!(self.complete_if_pending(result), "job completed twice");
+    }
+
+    /// Fulfills the job unless it already completed; returns whether this
+    /// call won. Racing with a normal completion is harmless (tests; the
+    /// service always settles accounting via [`JobState::complete_and`]).
+    #[cfg(test)]
+    pub(crate) fn complete_if_pending(&self, result: Result<JobOutput, RuntimeError>) -> bool {
+        self.complete_and(result, || {})
+    }
+
+    /// Like [`JobState::complete_if_pending`], but runs `on_win` under
+    /// the slot lock when this call wins — *before* any waiter can
+    /// observe the completion. The service settles its counters and
+    /// in-flight gauges there, so a client that just woke from `wait`
+    /// always reads post-completion stats.
+    pub(crate) fn complete_and(
+        &self,
+        result: Result<JobOutput, RuntimeError>,
+        on_win: impl FnOnce(),
+    ) -> bool {
         let latency = self.submitted.elapsed();
-        let mut slot = self.slot.lock().expect("job slot poisoned");
-        assert!(slot.is_none(), "job completed twice");
-        *slot = Some((result, latency));
-        self.done.notify_all();
+        {
+            let mut slot = self.slot.lock().expect("job slot poisoned");
+            if slot.is_some() {
+                return false;
+            }
+            *slot = Some((result, latency));
+            on_win();
+            self.done.notify_all();
+        }
+        // Fire the hook outside the slot lock: it may take other locks
+        // (the session outbox) and must see the filled slot.
+        if let Some(f) = self.notify.lock().expect("job notifier poisoned").take() {
+            f();
+        }
+        true
+    }
+
+    /// Takes the result if the job already finished (non-blocking).
+    pub(crate) fn take_result(&self) -> Option<Result<JobOutput, RuntimeError>> {
+        self.slot
+            .lock()
+            .expect("job slot poisoned")
+            .take()
+            .map(|(r, _)| r)
     }
 }
 
@@ -153,12 +250,7 @@ impl JobHandle {
 
     /// Returns the result if the job already finished (non-blocking).
     pub fn try_take(&self) -> Option<Result<JobOutput, RuntimeError>> {
-        self.state
-            .slot
-            .lock()
-            .expect("job slot poisoned")
-            .take()
-            .map(|(r, _)| r)
+        self.state.take_result()
     }
 }
 
@@ -171,6 +263,8 @@ pub(crate) struct PendingJob {
     #[allow(dead_code)]
     pub id: JobId,
     pub priority: Priority,
+    /// Which fair-queue sub-queue the job drains from.
+    pub tenant: TenantId,
     pub request: JobRequest,
     /// Blind rotations this job will contribute to a batch (`N` for a
     /// fully-packed bootstrap, the batch length for raw rotations).
@@ -205,5 +299,43 @@ mod tests {
         t.join().unwrap();
         assert!(matches!(result, Err(RuntimeError::Shutdown)));
         assert!(latency <= Instant::now().elapsed() + Duration::from_secs(60));
+    }
+
+    #[test]
+    fn notifier_fires_on_completion() {
+        let state = JobState::new();
+        let fired = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let f = Arc::clone(&fired);
+        state.set_notifier(Box::new(move || {
+            f.store(true, std::sync::atomic::Ordering::SeqCst)
+        }));
+        assert!(!fired.load(std::sync::atomic::Ordering::SeqCst));
+        state.complete(Err(RuntimeError::Shutdown));
+        assert!(fired.load(std::sync::atomic::Ordering::SeqCst));
+        // The slot was filled before the hook ran; take it.
+        assert!(state.take_result().is_some());
+    }
+
+    #[test]
+    fn notifier_installed_after_completion_fires_immediately() {
+        let state = JobState::new();
+        state.complete(Err(RuntimeError::Shutdown));
+        let fired = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let f = Arc::clone(&fired);
+        state.set_notifier(Box::new(move || {
+            f.store(true, std::sync::atomic::Ordering::SeqCst)
+        }));
+        assert!(fired.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn complete_if_pending_loses_to_first_completion() {
+        let state = JobState::new();
+        assert!(state.complete_if_pending(Err(RuntimeError::Shutdown)));
+        assert!(!state.complete_if_pending(Err(RuntimeError::QueueFull)));
+        assert!(matches!(
+            state.take_result(),
+            Some(Err(RuntimeError::Shutdown))
+        ));
     }
 }

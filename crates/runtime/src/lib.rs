@@ -9,17 +9,30 @@
 //!    [`JobRequest::BlindRotate`]) carrying a [`JobId`] and [`Priority`],
 //!    submitted into a bounded queue with backpressure and completed
 //!    through a [`JobHandle`].
-//! 2. **Batching + scheduling** ([`batch`], [`scheduler`]) — a dynamic
-//!    batcher coalesces queued jobs into LWE mega-batches (flushing on
-//!    size or deadline), and the scheduler shards each batch across
-//!    [`ServiceNode`]s least-loaded-first, reassembling results in input
-//!    order and reassigning a shard when a node fails.
-//! 3. **Remote backend** ([`remote`]) — [`RemoteNode`] speaks the
+//! 2. **Admission + fair queueing** ([`queue`], [`service`]) — an
+//!    optional [`SloPolicy`] projects each submission's completion from
+//!    an EWMA of measured rotation cost and refuses jobs that would blow
+//!    the deadline with a typed [`RuntimeError::Rejected`] carrying a
+//!    retry hint; within the bounded queue, per-tenant weighted
+//!    deficit-round-robin ([`FairnessPolicy`], keyed by
+//!    [`SubmitOptions::tenant`]) keeps a flooding tenant from starving
+//!    light ones.
+//! 3. **Streaming pipeline** ([`service`], [`batch`], [`scheduler`]) — a
+//!    dynamic batcher coalesces queued jobs into LWE mega-batches
+//!    (flushing on size or deadline) and feeds a staged pipeline whose
+//!    stage groups (extract/mod-switch prep, blind rotation, repack/
+//!    rescale finish) each run in their own worker pool connected by
+//!    bounded channels ([`PipelineConfig`]), so batch k+1's prep
+//!    overlaps batch k's rotations. The rotate stage shards each batch
+//!    across [`ServiceNode`]s least-loaded-first, reassembling results
+//!    in input order and reassigning a shard when a node fails; the
+//!    pipeline is bit-identical to serial execution.
+//! 4. **Remote backend** ([`remote`]) — [`RemoteNode`] speaks the
 //!    [`remote`] frame protocol over `std::net::TcpStream` to a
 //!    `heap-node-serve` process, using the `heap-tfhe` wire encodings, so
 //!    a `TransferLedger` fed by it records bytes *measured on a real
 //!    socket* rather than modeled.
-//! 4. **Fault tolerance** ([`scheduler`], [`fault`]) — every node sits
+//! 5. **Fault tolerance** ([`scheduler`], [`fault`]) — every node sits
 //!    behind a circuit breaker (Closed → Open → HalfOpen); failed shards
 //!    are retried with exponential backoff and deterministic jitter, a
 //!    background prober pings Open nodes and readmits recovered ones,
@@ -28,6 +41,11 @@
 //!    local fallback node keeps batches completing when remote capacity
 //!    degrades. A deterministic [`FaultPlan`] / [`ChaosNode`] harness
 //!    drives the chaos test suite.
+//! 6. **Sessions** ([`session`]) — a [`SessionServer`] fronts the
+//!    service with connection multiplexing over the same frame protocol
+//!    (one socket carries many tagged in-flight jobs; completions stream
+//!    back out of order), and [`SessionClient`] mirrors it with
+//!    [`SessionJob`] handles resolved by a reader thread.
 //!
 //! The primary/secondary split mirrors the paper exactly: extraction,
 //!  modulus switching, and repacking stay on the primary (this process);
@@ -44,6 +62,7 @@
 //! ```
 
 mod batch;
+mod channel;
 mod fault;
 mod job;
 mod node;
@@ -52,16 +71,21 @@ mod queue;
 mod remote;
 mod scheduler;
 mod service;
+mod session;
 mod telemetry;
 
 pub use batch::BatchPolicy;
 pub use fault::{ChaosNode, FaultAction, FaultPlan, FaultState};
-pub use job::{JobHandle, JobId, JobOutput, JobRequest, Priority};
+pub use job::{JobHandle, JobId, JobOutput, JobRequest, Priority, TenantId};
 pub use node::{LocalServiceNode, NodeError, ServiceNode};
 pub use preset::{deterministic_setup, DeterministicSetup, ParamPreset};
+pub use queue::FairnessPolicy;
 pub use remote::{serve, NodeTelemetry, NodeTimeouts, RemoteNode, ServeOptions};
 pub use scheduler::{RetryPolicy, Scheduler, SchedulerStats};
-pub use service::{BootstrapService, RuntimeConfig, RuntimeStats};
+pub use service::{
+    BootstrapService, PipelineConfig, RuntimeConfig, RuntimeStats, SloPolicy, SubmitOptions,
+};
+pub use session::{SessionClient, SessionJob, SessionServer};
 
 /// Errors surfaced to clients of the runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +103,16 @@ pub enum RuntimeError {
     /// Every node failed while executing the job's batch; the message
     /// carries the last node error observed.
     AllNodesFailed(String),
+    /// SLO admission control refused the job: the deadline model says
+    /// the current backlog would blow the configured SLO. The job was
+    /// *not* queued; retry after the hinted delay.
+    Rejected {
+        /// How long the client should back off before resubmitting.
+        retry_after: std::time::Duration,
+    },
+    /// A session-transport failure (broken socket, protocol violation,
+    /// or a server-side error that has no structured mapping).
+    Transport(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -91,6 +125,13 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::AllNodesFailed(last) => {
                 write!(f, "all compute nodes failed (last error: {last})")
             }
+            RuntimeError::Rejected { retry_after } => {
+                write!(
+                    f,
+                    "admission refused (SLO would be blown); retry after {retry_after:?}"
+                )
+            }
+            RuntimeError::Transport(why) => write!(f, "session transport: {why}"),
         }
     }
 }

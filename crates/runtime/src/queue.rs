@@ -1,19 +1,51 @@
-//! Bounded priority submission queue with backpressure.
+//! Bounded fair submission queue with backpressure.
 //!
 //! Producers ([`crate::BootstrapService::submit`]) block when the queue is
 //! at capacity — heavy traffic slows clients down instead of growing an
 //! unbounded backlog — or use the non-blocking `try_` path and handle
-//! [`RuntimeError::QueueFull`] themselves. The single consumer (the
-//! dispatcher) pops in `(priority desc, submission order)` and supports a
-//! deadline-bounded pop, which is what the dynamic batcher's flush timer
-//! is built from.
+//! [`RuntimeError::QueueFull`] themselves. Consumers (the batcher thread)
+//! pop through a *weighted deficit round-robin* over per-tenant
+//! sub-queues: each tenant keeps its own priority heap (priority desc,
+//! submission order within a class), and the DRR ring decides which
+//! tenant's head drains next. Every visit tops a backlogged tenant's
+//! deficit up by `quantum × weight` blind rotations and serves while the
+//! deficit covers the head job's cost, so long-run service is
+//! proportional to weight and a flooding tenant cannot starve the rest.
+//! With a single tenant the ring degenerates to the old global priority
+//! queue.
+//!
+//! The deadline-bounded pop (what the dynamic batcher's flush timer is
+//! built from) still supports peek-based budget admission: an oversized
+//! head stays queued and is reported as [`Popped::Oversized`].
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
-use crate::job::{PendingJob, Priority};
+use crate::job::{PendingJob, Priority, TenantId};
 use crate::RuntimeError;
+
+/// How the fair queue shares service between tenants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FairnessPolicy {
+    /// Deficit replenished per DRR visit, in blind rotations (scaled by
+    /// the tenant's weight). Smaller quanta interleave tenants more
+    /// finely; larger ones favor batch locality.
+    pub quantum_lwes: usize,
+    /// Per-tenant weights; tenants not listed get weight 1. A weight-2
+    /// tenant drains twice the rotations of a weight-1 tenant under
+    /// contention.
+    pub weights: Vec<(TenantId, u32)>,
+}
+
+impl Default for FairnessPolicy {
+    fn default() -> Self {
+        Self {
+            quantum_lwes: 64,
+            weights: Vec::new(),
+        }
+    }
+}
 
 /// Heap entry: priority first, then FIFO within a priority class.
 struct Entry {
@@ -42,8 +74,19 @@ impl Ord for Entry {
     }
 }
 
-struct Inner {
+/// One tenant's backlog plus its DRR accounting.
+struct TenantQueue {
     heap: BinaryHeap<Entry>,
+    /// Rotations this tenant may drain before yielding the ring.
+    deficit: u64,
+    weight: u32,
+}
+
+struct Inner {
+    tenants: HashMap<TenantId, TenantQueue>,
+    /// DRR visit order over tenants with queued jobs.
+    ring: VecDeque<TenantId>,
+    total: usize,
     next_seq: u64,
     closed: bool,
 }
@@ -52,10 +95,10 @@ struct Inner {
 pub(crate) enum Popped {
     /// A job was available (or arrived) in time.
     Job(PendingJob),
-    /// The highest-priority job costs more than the caller's remaining
+    /// The DRR-selected head job costs more than the caller's remaining
     /// budget; it stays queued (peek-based admission). Skipping past it
-    /// to a cheaper job behind it would violate priority order, so the
-    /// caller should flush and come back.
+    /// would violate both priority order and fairness, so the caller
+    /// should flush and come back.
     Oversized,
     /// The deadline passed with the queue empty.
     TimedOut,
@@ -63,7 +106,14 @@ pub(crate) enum Popped {
     Closed,
 }
 
-/// The bounded priority queue; see module docs.
+/// What the DRR scan found, under the lock.
+enum Head {
+    Job(PendingJob),
+    Oversized,
+    Empty,
+}
+
+/// The bounded fair queue; see module docs.
 pub(crate) struct SubmissionQueue {
     inner: Mutex<Inner>,
     /// Signals consumers: a job arrived or the queue closed.
@@ -71,32 +121,45 @@ pub(crate) struct SubmissionQueue {
     /// Signals producers: capacity freed up.
     space: Condvar,
     capacity: usize,
+    quantum: u64,
+    weights: HashMap<TenantId, u32>,
 }
 
 impl SubmissionQueue {
+    /// Default fairness (tests; the service always passes its policy).
+    #[cfg(test)]
     pub fn new(capacity: usize) -> Self {
+        Self::with_fairness(capacity, &FairnessPolicy::default())
+    }
+
+    pub fn with_fairness(capacity: usize, fairness: &FairnessPolicy) -> Self {
         assert!(capacity >= 1, "queue needs capacity for at least one job");
+        assert!(fairness.quantum_lwes >= 1, "quantum must be at least 1");
         Self {
             inner: Mutex::new(Inner {
-                heap: BinaryHeap::new(),
+                tenants: HashMap::new(),
+                ring: VecDeque::new(),
+                total: 0,
                 next_seq: 0,
                 closed: false,
             }),
             ready: Condvar::new(),
             space: Condvar::new(),
             capacity,
+            quantum: fairness.quantum_lwes as u64,
+            weights: fairness.weights.iter().copied().collect(),
         }
     }
 
     /// Queued (not yet dispatched) job count.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").heap.len()
+        self.inner.lock().expect("queue poisoned").total
     }
 
     /// Blocking submit: waits for capacity (backpressure).
     pub fn submit(&self, job: PendingJob) -> Result<(), RuntimeError> {
         let mut inner = self.inner.lock().expect("queue poisoned");
-        while inner.heap.len() >= self.capacity && !inner.closed {
+        while inner.total >= self.capacity && !inner.closed {
             inner = self.space.wait(inner).expect("queue poisoned");
         }
         self.push_locked(inner, job)
@@ -105,7 +168,7 @@ impl SubmissionQueue {
     /// Non-blocking submit: fails fast when at capacity.
     pub fn try_submit(&self, job: PendingJob) -> Result<(), RuntimeError> {
         let inner = self.inner.lock().expect("queue poisoned");
-        if !inner.closed && inner.heap.len() >= self.capacity {
+        if !inner.closed && inner.total >= self.capacity {
             return Err(RuntimeError::QueueFull);
         }
         self.push_locked(inner, job)
@@ -121,22 +184,76 @@ impl SubmissionQueue {
         }
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        inner.heap.push(Entry {
+        let tenant = job.tenant;
+        let weight = self.weights.get(&tenant).copied().unwrap_or(1).max(1);
+        let tq = inner.tenants.entry(tenant).or_insert_with(|| TenantQueue {
+            heap: BinaryHeap::new(),
+            deficit: 0,
+            weight,
+        });
+        let was_idle = tq.heap.is_empty();
+        tq.heap.push(Entry {
             priority: job.priority,
             seq,
             job,
         });
+        if was_idle {
+            inner.ring.push_back(tenant);
+        }
+        inner.total += 1;
         self.ready.notify_one();
         Ok(())
+    }
+
+    /// One weighted-DRR scan: finds the next tenant whose deficit covers
+    /// its head job and pops it, topping deficits up ring-visit by
+    /// ring-visit. A lone backlogged tenant is served immediately (there
+    /// is nobody to be fair against).
+    fn take_locked(&self, inner: &mut Inner, budget: usize) -> Head {
+        loop {
+            let Some(&tenant) = inner.ring.front() else {
+                return Head::Empty;
+            };
+            let tq = inner.tenants.get_mut(&tenant).expect("ring tenant exists");
+            let Some(head) = tq.heap.peek() else {
+                inner.ring.pop_front();
+                continue;
+            };
+            let cost = head.job.cost as u64;
+            if tq.deficit < cost {
+                if inner.ring.len() == 1 {
+                    tq.deficit = cost;
+                } else {
+                    tq.deficit += self.quantum * u64::from(tq.weight);
+                    inner.ring.rotate_left(1);
+                }
+                continue;
+            }
+            if head.job.cost > budget {
+                return Head::Oversized;
+            }
+            let e = tq.heap.pop().expect("peeked entry vanished");
+            tq.deficit -= cost;
+            if tq.heap.is_empty() {
+                // Standard DRR: an idling tenant forfeits its deficit, so
+                // it cannot bank service while absent.
+                tq.deficit = 0;
+                inner.ring.pop_front();
+            }
+            inner.total -= 1;
+            self.space.notify_one();
+            return Head::Job(e.job);
+        }
     }
 
     /// Blocks until a job is available; `None` once closed and drained.
     pub fn pop_wait(&self) -> Option<PendingJob> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
-            if let Some(e) = inner.heap.pop() {
-                self.space.notify_one();
-                return Some(e.job);
+            match self.take_locked(&mut inner, usize::MAX) {
+                Head::Job(job) => return Some(job),
+                Head::Oversized => unreachable!("unbounded budget"),
+                Head::Empty => {}
             }
             if inner.closed {
                 return None;
@@ -145,7 +262,7 @@ impl SubmissionQueue {
         }
     }
 
-    /// Pops the highest-priority job, waiting at most until `deadline`,
+    /// Pops the next fair-queue job, waiting at most until `deadline`,
     /// but only if its cost fits within `budget` — an oversized head is
     /// *peeked*, left queued, and reported as [`Popped::Oversized`]. This
     /// is how the batcher respects its size cap without ever dequeuing a
@@ -153,13 +270,10 @@ impl SubmissionQueue {
     pub fn pop_deadline_within(&self, deadline: Instant, budget: usize) -> Popped {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
-            if let Some(top) = inner.heap.peek() {
-                if top.job.cost > budget {
-                    return Popped::Oversized;
-                }
-                let e = inner.heap.pop().expect("peeked entry vanished");
-                self.space.notify_one();
-                return Popped::Job(e.job);
+            match self.take_locked(&mut inner, budget) {
+                Head::Job(job) => return Popped::Job(job),
+                Head::Oversized => return Popped::Oversized,
+                Head::Empty => {}
             }
             if inner.closed {
                 return Popped::Closed;
@@ -173,7 +287,7 @@ impl SubmissionQueue {
                 .wait_timeout(inner, deadline - now)
                 .expect("queue poisoned");
             inner = guard;
-            if timeout.timed_out() && inner.heap.is_empty() {
+            if timeout.timed_out() && inner.total == 0 {
                 return if inner.closed {
                     Popped::Closed
                 } else {
@@ -200,11 +314,16 @@ mod tests {
     use std::time::Duration;
 
     fn job(id: u64, priority: Priority) -> PendingJob {
+        job_for(id, priority, TenantId::default(), 1)
+    }
+
+    fn job_for(id: u64, priority: Priority, tenant: TenantId, cost: usize) -> PendingJob {
         PendingJob {
             id: JobId(id),
             priority,
+            tenant,
             request: JobRequest::BlindRotate { lwes: vec![] },
-            cost: 1,
+            cost,
             state: JobState::new(),
         }
     }
@@ -293,5 +412,99 @@ mod tests {
             q.pop_deadline_within(Instant::now() + Duration::from_millis(5), usize::MAX),
             Popped::Closed
         ));
+    }
+
+    #[test]
+    fn drr_interleaves_backlogged_tenants() {
+        // Two equal-weight tenants, each flooding: drains must alternate
+        // in quantum-sized runs rather than FIFO by submission order.
+        let q = SubmissionQueue::with_fairness(
+            64,
+            &FairnessPolicy {
+                quantum_lwes: 1,
+                weights: Vec::new(),
+            },
+        );
+        let (a, b) = (TenantId(1), TenantId(2));
+        for i in 0..6 {
+            q.submit(job_for(i, Priority::Normal, a, 1)).unwrap();
+        }
+        for i in 6..12 {
+            q.submit(job_for(i, Priority::Normal, b, 1)).unwrap();
+        }
+        let tenants: Vec<u64> = (0..12).map(|_| q.pop_wait().unwrap().tenant.0).collect();
+        // First four pops must cover both tenants (no 6-deep head start
+        // for the earlier submitter).
+        assert!(
+            tenants[..4].contains(&1) && tenants[..4].contains(&2),
+            "{tenants:?}"
+        );
+        assert_eq!(tenants.iter().filter(|&&t| t == 1).count(), 6);
+        assert_eq!(tenants.iter().filter(|&&t| t == 2).count(), 6);
+    }
+
+    #[test]
+    fn drr_respects_weights_two_to_one() {
+        let (a, b) = (TenantId(1), TenantId(2));
+        let q = SubmissionQueue::with_fairness(
+            128,
+            &FairnessPolicy {
+                quantum_lwes: 1,
+                weights: vec![(a, 2), (b, 1)],
+            },
+        );
+        for i in 0..30 {
+            q.submit(job_for(i, Priority::Normal, a, 1)).unwrap();
+            q.submit(job_for(100 + i, Priority::Normal, b, 1)).unwrap();
+        }
+        // While both stay backlogged, the first 18 pops split ~2:1.
+        let first: Vec<u64> = (0..18).map(|_| q.pop_wait().unwrap().tenant.0).collect();
+        let a_share = first.iter().filter(|&&t| t == 1).count();
+        assert_eq!(
+            a_share, 12,
+            "weight-2 tenant gets 2/3 of service: {first:?}"
+        );
+    }
+
+    #[test]
+    fn lone_tenant_is_served_without_deficit_stalls() {
+        // A single backlogged tenant must not spin waiting for quanta,
+        // even when its job cost dwarfs the quantum.
+        let q = SubmissionQueue::with_fairness(
+            4,
+            &FairnessPolicy {
+                quantum_lwes: 1,
+                weights: Vec::new(),
+            },
+        );
+        q.submit(job_for(0, Priority::Normal, TenantId(9), 4096))
+            .unwrap();
+        assert_eq!(q.pop_wait().unwrap().id.0, 0);
+    }
+
+    #[test]
+    fn idle_tenant_forfeits_banked_deficit() {
+        let (a, b) = (TenantId(1), TenantId(2));
+        let q = SubmissionQueue::with_fairness(
+            64,
+            &FairnessPolicy {
+                quantum_lwes: 1,
+                weights: Vec::new(),
+            },
+        );
+        // Tenant a drains fully (deficit resets on idle), then both
+        // return: service still interleaves instead of a burning banked
+        // credit from its earlier round.
+        q.submit(job_for(0, Priority::Normal, a, 1)).unwrap();
+        q.pop_wait().unwrap();
+        for i in 0..4 {
+            q.submit(job_for(10 + i, Priority::Normal, a, 1)).unwrap();
+            q.submit(job_for(20 + i, Priority::Normal, b, 1)).unwrap();
+        }
+        let first_four: Vec<u64> = (0..4).map(|_| q.pop_wait().unwrap().tenant.0).collect();
+        assert!(
+            first_four.contains(&1) && first_four.contains(&2),
+            "{first_four:?}"
+        );
     }
 }

@@ -84,7 +84,7 @@ const HELLO_BYTES: usize = 16;
 const HANG_FOREVER: Duration = Duration::from_secs(600);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FrameKind {
+pub(crate) enum FrameKind {
     Hello = 0,
     HelloAck = 1,
     BlindRotateReq = 2,
@@ -95,6 +95,14 @@ enum FrameKind {
     Pong = 7,
     StatsReq = 8,
     StatsResp = 9,
+    /// Session multiplexing (`crate::session`): submit a tagged job.
+    SubmitReq = 10,
+    /// Session: submission refused (SLO, invalid, shutdown) — carries
+    /// the tag, a status byte, and the refusal detail. *Only* sent on
+    /// refusal; acceptance is implied by the eventual `JobDone`.
+    SubmitAck = 11,
+    /// Session: a tagged job finished (out-of-order completion stream).
+    JobDone = 12,
 }
 
 impl FrameKind {
@@ -110,6 +118,9 @@ impl FrameKind {
             7 => Some(FrameKind::Pong),
             8 => Some(FrameKind::StatsReq),
             9 => Some(FrameKind::StatsResp),
+            10 => Some(FrameKind::SubmitReq),
+            11 => Some(FrameKind::SubmitAck),
+            12 => Some(FrameKind::JobDone),
             _ => None,
         }
     }
@@ -169,13 +180,13 @@ fn io_error(phase: &'static str, after: Duration, e: std::io::Error) -> NodeErro
 }
 
 /// A frame-level failure, before phase/deadline context is attached.
-enum FrameError {
+pub(crate) enum FrameError {
     Io(std::io::Error),
     Protocol(String),
 }
 
 impl FrameError {
-    fn into_node(self, phase: &'static str, after: Duration) -> NodeError {
+    pub(crate) fn into_node(self, phase: &'static str, after: Duration) -> NodeError {
         match self {
             FrameError::Io(e) => io_error(phase, after, e),
             FrameError::Protocol(p) => NodeError::Protocol(p),
@@ -184,7 +195,11 @@ impl FrameError {
 }
 
 /// Writes one frame; returns total bytes put on the wire.
-fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> std::io::Result<u64> {
+pub(crate) fn write_frame(
+    w: &mut impl Write,
+    kind: FrameKind,
+    payload: &[u8],
+) -> std::io::Result<u64> {
     let mut header = [0u8; FRAME_HEADER_BYTES as usize];
     header[..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
     header[4] = kind as u8;
@@ -196,7 +211,7 @@ fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> std::io::
 }
 
 /// Reads one frame; returns kind, payload, and total bytes consumed.
-fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>, u64), FrameError> {
+pub(crate) fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>, u64), FrameError> {
     let mut header = [0u8; FRAME_HEADER_BYTES as usize];
     r.read_exact(&mut header).map_err(FrameError::Io)?;
     let magic = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
@@ -338,7 +353,7 @@ fn decode_stats(payload: &[u8]) -> Result<Vec<(String, u64)>, String> {
 }
 
 /// The ring shape both sides must agree on before any ciphertext moves.
-fn hello_payload(ctx: &CkksContext) -> Vec<u8> {
+pub(crate) fn hello_payload(ctx: &CkksContext) -> Vec<u8> {
     let mut p = Vec::with_capacity(HELLO_BYTES);
     p.extend_from_slice(&(ctx.n() as u32).to_le_bytes());
     p.extend_from_slice(&(ctx.boot_limbs() as u32).to_le_bytes());
@@ -357,7 +372,7 @@ fn describe_hello(payload: &[u8]) -> String {
     format!("(N={n}, limbs={limbs}, q0={q0})")
 }
 
-fn check_hello(local: &[u8], payload: &[u8]) -> Result<(), String> {
+pub(crate) fn check_hello(local: &[u8], payload: &[u8]) -> Result<(), String> {
     if payload.len() != HELLO_BYTES {
         return Err(format!("hello payload is {} bytes", payload.len()));
     }

@@ -1,35 +1,109 @@
-//! The bootstrapping service: submission API + dispatcher loop.
+//! The bootstrapping service: submission API + staged streaming pipeline.
 //!
 //! [`BootstrapService`] is the primary node. Client threads call
-//! [`BootstrapService::submit`] and block on the returned [`JobHandle`];
-//! a single dispatcher thread drains the bounded queue through the
-//! dynamic batcher, runs the primary-side stages (extract, modulus
-//! switch) for each job, concatenates everything into one LWE mega-batch,
-//! hands it to the [`Scheduler`] — which shards it across the configured
-//! [`ServiceNode`]s — and finishes each bootstrap (repack + rescale) from
-//! its slice of the returned accumulators. Per-job results are delivered
-//! through the handle with submit-to-complete latency attached.
+//! [`BootstrapService::submit`] and block on the returned [`JobHandle`].
+//! Dispatch is a *pipeline*, not a monolithic loop: a batcher thread
+//! drains the bounded fair queue through the dynamic batcher, then each
+//! Algorithm-2 stage group runs in its own worker pool connected by
+//! bounded channels —
+//!
+//! ```text
+//! submit → fair queue → batcher ─ch─ prep workers  (extract + mod-switch)
+//!                                 ─ch─ rotate workers (scheduler shards
+//!                                        blind rotations across nodes)
+//!                                 ─ch─ finish workers (repack + rescale)
+//! ```
+//!
+//! so the prep of batch `k+1` overlaps the blind rotation of batch `k`
+//! and the repack of batch `k-1` — the paper's parallelized-bootstrapping
+//! shape, with the scheduler's retry/breaker/fallback semantics intact in
+//! the rotate stage. Bounded channels propagate backpressure batch by
+//! batch all the way to the submission queue; shutdown closes stage by
+//! stage in topological order so every accepted job still completes.
+//!
+//! When [`RuntimeConfig::admission`] is set, submissions are gated by an
+//! SLO deadline model: projected completion (accepted-but-unfinished
+//! rotations × a measured per-rotation EWMA) beyond the SLO yields a
+//! typed [`RuntimeError::Rejected`] with a retry hint instead of silently
+//! queueing work that cannot meet its deadline.
 
 use std::net::SocketAddr;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use heap_ckks::CkksContext;
 use heap_core::Bootstrapper;
 use heap_parallel::Parallelism;
 use heap_telemetry::{EventLog, Exposition, MetricsServer, Registry};
-use heap_tfhe::LweCiphertext;
+use heap_tfhe::{LweCiphertext, RlweCiphertext};
 
 use crate::batch::{collect_batch, BatchPolicy};
-use crate::job::{JobHandle, JobId, JobOutput, JobRequest, JobState, PendingJob, Priority};
+use crate::channel::Channel;
+use crate::job::{
+    JobHandle, JobId, JobOutput, JobRequest, JobState, PendingJob, Priority, TenantId,
+};
 use crate::node::{LocalServiceNode, ServiceNode};
-use crate::queue::SubmissionQueue;
+use crate::queue::{FairnessPolicy, SubmissionQueue};
 use crate::scheduler::{RetryPolicy, Scheduler, SchedulerStats};
 use crate::telemetry::ServiceTelemetry;
 use crate::RuntimeError;
 
+/// Worker-pool shape of the staged pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Extract + modulus-switch workers (CPU-bound primary work).
+    pub prep_workers: usize,
+    /// Blind-rotate dispatch workers; each drives one in-flight
+    /// mega-batch through the scheduler, so >1 keeps the node fleet busy
+    /// while another batch's shards are still in flight.
+    pub rotate_workers: usize,
+    /// Repack + rescale workers (CPU-bound primary work).
+    pub finish_workers: usize,
+    /// Capacity of each inter-stage channel, in batches. Small values
+    /// bound memory and propagate backpressure promptly.
+    pub channel_capacity: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            prep_workers: 1,
+            rotate_workers: 1,
+            finish_workers: 1,
+            channel_capacity: 4,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// `n` workers in every stage with a matching channel budget.
+    pub fn workers(n: usize) -> Self {
+        Self {
+            prep_workers: n,
+            rotate_workers: n,
+            finish_workers: n,
+            channel_capacity: n.max(2),
+        }
+    }
+}
+
+/// SLO-aware admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloPolicy {
+    /// Target submit-to-complete deadline. A submission whose projected
+    /// completion (current backlog × measured per-rotation EWMA) exceeds
+    /// this is refused with [`RuntimeError::Rejected`].
+    pub slo: Duration,
+}
+
+/// Floor for the `retry_after` hint carried by a rejection.
+const MIN_RETRY_AFTER: Duration = Duration::from_millis(1);
+
 /// Service-level configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Submission queue capacity; blocking submits beyond it apply
     /// backpressure, non-blocking ones get [`RuntimeError::QueueFull`].
@@ -38,6 +112,12 @@ pub struct RuntimeConfig {
     pub batch: BatchPolicy,
     /// Retry, circuit-breaker, and degradation policy for the scheduler.
     pub retry: RetryPolicy,
+    /// Worker pools and channel capacities of the staged pipeline.
+    pub pipeline: PipelineConfig,
+    /// Weighted deficit-round-robin sharing between tenants.
+    pub fairness: FairnessPolicy,
+    /// SLO admission control; `None` admits everything capacity allows.
+    pub admission: Option<SloPolicy>,
 }
 
 impl Default for RuntimeConfig {
@@ -46,6 +126,28 @@ impl Default for RuntimeConfig {
             queue_capacity: 64,
             batch: BatchPolicy::default(),
             retry: RetryPolicy::default(),
+            pipeline: PipelineConfig::default(),
+            fairness: FairnessPolicy::default(),
+            admission: None,
+        }
+    }
+}
+
+/// Who a submission is for. [`Default`] is the anonymous tenant at
+/// [`Priority::Normal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubmitOptions {
+    /// Scheduling priority within the tenant's sub-queue.
+    pub priority: Priority,
+    /// Fair-queue tenant the job drains from.
+    pub tenant: TenantId,
+}
+
+impl From<Priority> for SubmitOptions {
+    fn from(priority: Priority) -> Self {
+        Self {
+            priority,
+            tenant: TenantId::default(),
         }
     }
 }
@@ -59,8 +161,33 @@ pub struct RuntimeStats {
     pub completed: u64,
     /// Jobs completed with an error.
     pub failed: u64,
+    /// Jobs refused by SLO admission control (never queued).
+    pub rejected: u64,
     /// The scheduler's counters.
     pub scheduler: SchedulerStats,
+}
+
+/// A batch after primary-side prep: one mega-batch of rotations plus
+/// each job's slice of it.
+struct PreparedBatch {
+    jobs: Vec<PendingJob>,
+    mega: Vec<LweCiphertext>,
+    ranges: Vec<Range<usize>>,
+}
+
+/// A batch after the rotate stage, carrying the accumulators.
+struct RotatedBatch {
+    jobs: Vec<PendingJob>,
+    rotated: Vec<RlweCiphertext>,
+    ranges: Vec<Range<usize>>,
+}
+
+/// Join handles of every pipeline thread, in shutdown order.
+struct PipelineThreads {
+    batcher: std::thread::JoinHandle<()>,
+    prep: Vec<std::thread::JoinHandle<()>>,
+    rotate: Vec<std::thread::JoinHandle<()>>,
+    finish: Vec<std::thread::JoinHandle<()>>,
 }
 
 /// A running bootstrapping service (the primary node).
@@ -71,7 +198,15 @@ pub struct BootstrapService {
     scheduler: Arc<Scheduler>,
     telemetry: Arc<ServiceTelemetry>,
     next_id: AtomicU64,
-    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    admission: Option<SloPolicy>,
+    /// Measured blind-rotation cost (EWMA of batch wall-clock ÷ batch
+    /// rotations, in ns) — the admission model's unit rate. Zero until
+    /// the first batch completes.
+    ns_per_lwe: Arc<AtomicU64>,
+    prep_ch: Arc<Channel<Vec<PendingJob>>>,
+    rotate_ch: Arc<Channel<PreparedBatch>>,
+    finish_ch: Arc<Channel<RotatedBatch>>,
+    threads: Mutex<Option<PipelineThreads>>,
     metrics_server: Mutex<Option<MetricsServer>>,
 }
 
@@ -93,7 +228,7 @@ impl BootstrapService {
 
     /// Starts a service over an explicit node set (local, remote, or
     /// mixed). Fails with [`RuntimeError::NoNodes`] when `nodes` is
-    /// empty and [`RuntimeError::Invalid`] on a zero-capacity queue.
+    /// empty and [`RuntimeError::Invalid`] on a degenerate config.
     pub fn start_with_nodes(
         ctx: Arc<CkksContext>,
         boot: Arc<Bootstrapper>,
@@ -116,7 +251,24 @@ impl BootstrapService {
         if config.queue_capacity == 0 {
             return Err(RuntimeError::Invalid("queue capacity must be at least 1"));
         }
-        let queue = Arc::new(SubmissionQueue::new(config.queue_capacity));
+        let p = config.pipeline;
+        if p.prep_workers == 0 || p.rotate_workers == 0 || p.finish_workers == 0 {
+            return Err(RuntimeError::Invalid(
+                "every pipeline stage needs at least one worker",
+            ));
+        }
+        if p.channel_capacity == 0 {
+            return Err(RuntimeError::Invalid(
+                "pipeline channels need capacity for at least one batch",
+            ));
+        }
+        if config.fairness.quantum_lwes == 0 {
+            return Err(RuntimeError::Invalid("fairness quantum must be at least 1"));
+        }
+        let queue = Arc::new(SubmissionQueue::with_fairness(
+            config.queue_capacity,
+            &config.fairness,
+        ));
         let telemetry = Arc::new(ServiceTelemetry::new());
         let scheduler = Arc::new(Scheduler::with_telemetry(
             nodes,
@@ -124,21 +276,112 @@ impl BootstrapService {
             config.retry,
             telemetry.scheduler.clone(),
         )?);
-        let dispatcher = {
-            let (ctx, boot, queue, scheduler, telemetry) = (
-                Arc::clone(&ctx),
-                Arc::clone(&boot),
+        let prep_ch = Arc::new(Channel::new(p.channel_capacity));
+        let rotate_ch = Arc::new(Channel::new(p.channel_capacity));
+        let finish_ch = Arc::new(Channel::new(p.channel_capacity));
+        let ns_per_lwe = Arc::new(AtomicU64::new(0));
+
+        let batcher = {
+            let (queue, telemetry, prep_ch) = (
                 Arc::clone(&queue),
-                Arc::clone(&scheduler),
                 Arc::clone(&telemetry),
+                Arc::clone(&prep_ch),
             );
             let policy = config.batch;
-            std::thread::spawn(move || {
-                while let Some(batch) = collect_batch(&queue, &policy, Some(&telemetry.batcher)) {
-                    run_batch(&ctx, &boot, &scheduler, &telemetry, batch);
-                }
-            })
+            std::thread::Builder::new()
+                .name("heap-batcher".into())
+                .spawn(move || {
+                    while let Some(batch) = collect_batch(&queue, &policy, Some(&telemetry.batcher))
+                    {
+                        if let Err(batch) = prep_ch.send(batch) {
+                            abandon(&telemetry, batch);
+                        }
+                        telemetry.pipeline.prep_depth.set(prep_ch.len() as i64);
+                    }
+                })
+                .expect("spawn batcher")
         };
+        let prep = (0..p.prep_workers)
+            .map(|i| {
+                let (ctx, boot, telemetry, prep_ch, rotate_ch) = (
+                    Arc::clone(&ctx),
+                    Arc::clone(&boot),
+                    Arc::clone(&telemetry),
+                    Arc::clone(&prep_ch),
+                    Arc::clone(&rotate_ch),
+                );
+                std::thread::Builder::new()
+                    .name(format!("heap-prep-{i}"))
+                    .spawn(move || {
+                        while let Some(jobs) = prep_ch.recv() {
+                            telemetry.pipeline.prep_depth.set(prep_ch.len() as i64);
+                            run_stage(&telemetry, jobs, |jobs| {
+                                let prepared = prep_batch(&ctx, &boot, jobs);
+                                if let Err(b) = rotate_ch.send(prepared) {
+                                    abandon(&telemetry, b.jobs);
+                                }
+                                telemetry.pipeline.rotate_depth.set(rotate_ch.len() as i64);
+                            });
+                        }
+                    })
+                    .expect("spawn prep worker")
+            })
+            .collect();
+        let rotate = (0..p.rotate_workers)
+            .map(|i| {
+                let (ctx, boot, scheduler, telemetry, rotate_ch, finish_ch, rate) = (
+                    Arc::clone(&ctx),
+                    Arc::clone(&boot),
+                    Arc::clone(&scheduler),
+                    Arc::clone(&telemetry),
+                    Arc::clone(&rotate_ch),
+                    Arc::clone(&finish_ch),
+                    Arc::clone(&ns_per_lwe),
+                );
+                std::thread::Builder::new()
+                    .name(format!("heap-rotate-{i}"))
+                    .spawn(move || {
+                        while let Some(prepared) = rotate_ch.recv() {
+                            telemetry.pipeline.rotate_depth.set(rotate_ch.len() as i64);
+                            run_stage(&telemetry, prepared.jobs, |jobs| {
+                                let prepared = PreparedBatch { jobs, ..prepared };
+                                rotate_batch(
+                                    &ctx, &boot, &scheduler, &telemetry, &finish_ch, &rate,
+                                    prepared,
+                                );
+                            });
+                        }
+                    })
+                    .expect("spawn rotate worker")
+            })
+            .collect();
+        let finish = (0..p.finish_workers)
+            .map(|i| {
+                let (ctx, boot, telemetry, finish_ch) = (
+                    Arc::clone(&ctx),
+                    Arc::clone(&boot),
+                    Arc::clone(&telemetry),
+                    Arc::clone(&finish_ch),
+                );
+                std::thread::Builder::new()
+                    .name(format!("heap-finish-{i}"))
+                    .spawn(move || {
+                        while let Some(rotated) = finish_ch.recv() {
+                            telemetry.pipeline.finish_depth.set(finish_ch.len() as i64);
+                            run_stage(&telemetry, rotated.jobs, |jobs| {
+                                finish_batch(
+                                    &ctx,
+                                    &boot,
+                                    &telemetry,
+                                    RotatedBatch { jobs, ..rotated },
+                                );
+                            });
+                        }
+                    })
+                    .expect("spawn finish worker")
+            })
+            .collect();
+
         Ok(Self {
             ctx,
             boot,
@@ -146,7 +389,17 @@ impl BootstrapService {
             scheduler,
             telemetry,
             next_id: AtomicU64::new(0),
-            dispatcher: Mutex::new(Some(dispatcher)),
+            admission: config.admission,
+            ns_per_lwe,
+            prep_ch,
+            rotate_ch,
+            finish_ch,
+            threads: Mutex::new(Some(PipelineThreads {
+                batcher,
+                prep,
+                rotate,
+                finish,
+            })),
             metrics_server: Mutex::new(None),
         })
     }
@@ -157,10 +410,7 @@ impl BootstrapService {
         request: JobRequest,
         priority: Priority,
     ) -> Result<JobHandle, RuntimeError> {
-        let (job, handle) = self.prepare(request, priority)?;
-        self.queue.submit(job)?;
-        self.telemetry.submitted.inc();
-        Ok(handle)
+        self.submit_opts(request, priority.into())
     }
 
     /// Non-blocking submit; [`RuntimeError::QueueFull`] when at capacity.
@@ -169,18 +419,68 @@ impl BootstrapService {
         request: JobRequest,
         priority: Priority,
     ) -> Result<JobHandle, RuntimeError> {
-        let (job, handle) = self.prepare(request, priority)?;
-        self.queue.try_submit(job)?;
-        self.telemetry.submitted.inc();
+        self.try_submit_opts(request, priority.into())
+    }
+
+    /// [`BootstrapService::submit`] with an explicit tenant. When
+    /// admission control is configured, an over-SLO projection returns
+    /// [`RuntimeError::Rejected`] *instead of blocking*.
+    pub fn submit_opts(
+        &self,
+        request: JobRequest,
+        opts: SubmitOptions,
+    ) -> Result<JobHandle, RuntimeError> {
+        let (job, handle) = self.prepare(request, opts)?;
+        let cost = job.cost;
+        self.queue.submit(job)?;
+        self.accepted(cost);
         Ok(handle)
+    }
+
+    /// [`BootstrapService::try_submit`] with an explicit tenant.
+    pub fn try_submit_opts(
+        &self,
+        request: JobRequest,
+        opts: SubmitOptions,
+    ) -> Result<JobHandle, RuntimeError> {
+        let (job, handle) = self.prepare(request, opts)?;
+        let cost = job.cost;
+        self.queue.try_submit(job)?;
+        self.accepted(cost);
+        Ok(handle)
+    }
+
+    /// Session-server submit: `register` runs after validation and
+    /// admission but *before* the job is queued, so the caller can index
+    /// the completion slot (and install its notifier) without racing the
+    /// pipeline. Blocking, like [`BootstrapService::submit`].
+    pub(crate) fn submit_registered(
+        &self,
+        request: JobRequest,
+        opts: SubmitOptions,
+        register: impl FnOnce(JobId, &Arc<JobState>),
+    ) -> Result<JobId, RuntimeError> {
+        let (job, handle) = self.prepare(request, opts)?;
+        let cost = job.cost;
+        register(handle.id(), &job.state);
+        self.queue.submit(job)?;
+        self.accepted(cost);
+        Ok(handle.id())
+    }
+
+    fn accepted(&self, cost: usize) {
+        self.telemetry.submitted.inc();
+        self.telemetry.pipeline.inflight_jobs.add(1);
+        self.telemetry.pipeline.inflight_lwes.add(cost as i64);
     }
 
     fn prepare(
         &self,
         request: JobRequest,
-        priority: Priority,
+        opts: SubmitOptions,
     ) -> Result<(PendingJob, JobHandle), RuntimeError> {
         let cost = self.validate(&request)?;
+        self.admit(cost)?;
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let state = JobState::new();
         let handle = JobHandle {
@@ -190,7 +490,8 @@ impl BootstrapService {
         Ok((
             PendingJob {
                 id,
-                priority,
+                priority: opts.priority,
+                tenant: opts.tenant,
                 request,
                 cost,
                 state,
@@ -199,7 +500,36 @@ impl BootstrapService {
         ))
     }
 
-    /// Shape checks at the door, so the dispatcher never panics on client
+    /// The SLO deadline model: projected completion of this job is the
+    /// accepted-but-unfinished rotations (plus its own) times the
+    /// measured per-rotation rate. Over-SLO projections are refused with
+    /// a typed retry hint. Until the first batch lands there is no
+    /// measurement and everything capacity allows is admitted.
+    fn admit(&self, cost: usize) -> Result<(), RuntimeError> {
+        let Some(policy) = self.admission else {
+            return Ok(());
+        };
+        let rate = self.ns_per_lwe.load(Ordering::Relaxed);
+        if rate == 0 {
+            return Ok(());
+        }
+        let backlog = self.telemetry.pipeline.inflight_lwes.get().max(0) as u64 + cost as u64;
+        let projected = Duration::from_nanos(backlog.saturating_mul(rate));
+        if projected <= policy.slo {
+            return Ok(());
+        }
+        self.telemetry.rejected.inc();
+        self.telemetry.events.record(
+            "admission_rejected",
+            "service",
+            &format!("projected {projected:?} > slo {:?}", policy.slo),
+        );
+        Ok(()).and(Err(RuntimeError::Rejected {
+            retry_after: (projected - policy.slo).max(MIN_RETRY_AFTER),
+        }))
+    }
+
+    /// Shape checks at the door, so the pipeline never panics on client
     /// data. Returns the job's blind-rotation cost.
     fn validate(&self, request: &JobRequest) -> Result<usize, RuntimeError> {
         match request {
@@ -231,6 +561,11 @@ impl BootstrapService {
         self.queue.len()
     }
 
+    /// The CKKS context the service was started with.
+    pub(crate) fn context(&self) -> &Arc<CkksContext> {
+        &self.ctx
+    }
+
     /// The scheduler (node health, names).
     pub fn scheduler(&self) -> &Scheduler {
         &self.scheduler
@@ -243,18 +578,19 @@ impl BootstrapService {
             submitted: self.telemetry.submitted.get(),
             completed: self.telemetry.completed.get(),
             failed: self.telemetry.failed.get(),
+            rejected: self.telemetry.rejected.get(),
             scheduler: self.scheduler.stats(),
         }
     }
 
     /// The service's metric registry (jobs, batcher, scheduler counters
-    /// and histograms).
+    /// and histograms, pipeline gauges).
     pub fn metrics(&self) -> &Arc<Registry> {
         &self.telemetry.registry
     }
 
     /// The structured fault-event log (retries, breaker transitions,
-    /// readmissions).
+    /// readmissions, admission rejections).
     pub fn events(&self) -> &Arc<EventLog> {
         &self.telemetry.events
     }
@@ -283,23 +619,37 @@ impl BootstrapService {
         Ok(bound)
     }
 
-    /// Stops accepting jobs, drains the queue, and joins the dispatcher.
-    /// Idempotent.
+    /// Stops accepting jobs, then drains and joins the pipeline stage by
+    /// stage in topological order — every job accepted before the close
+    /// still completes. Idempotent.
     pub fn shutdown(&self) {
         self.queue.close();
         self.metrics_server
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .take();
-        let handle = self
-            .dispatcher
+        let threads = self
+            .threads
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .take();
-        if let Some(handle) = handle {
-            // A panicked dispatcher already completed every reachable job
-            // with an error; don't propagate the panic into shutdown.
-            let _ = handle.join();
+        let Some(threads) = threads else {
+            return;
+        };
+        // A panicked worker already completed every job it could reach
+        // with an error (see `run_stage`); don't propagate panics here.
+        let _ = threads.batcher.join();
+        self.prep_ch.close();
+        for t in threads.prep {
+            let _ = t.join();
+        }
+        self.rotate_ch.close();
+        for t in threads.rotate {
+            let _ = t.join();
+        }
+        self.finish_ch.close();
+        for t in threads.finish {
+            let _ = t.join();
         }
     }
 }
@@ -310,21 +660,64 @@ impl Drop for BootstrapService {
     }
 }
 
-/// One dispatcher iteration: primary-side prep, sharded execution,
-/// per-job finish.
-fn run_batch(
-    ctx: &CkksContext,
-    boot: &Bootstrapper,
-    scheduler: &Scheduler,
+/// Completes one job and settles its in-flight accounting — under the
+/// job's slot lock, so a woken waiter always sees the settled counters.
+fn settle(telemetry: &ServiceTelemetry, job: &PendingJob, result: Result<JobOutput, RuntimeError>) {
+    let ok = result.is_ok();
+    job.state.complete_and(result, || {
+        if ok {
+            telemetry.completed.inc();
+        } else {
+            telemetry.failed.inc();
+        }
+        telemetry.pipeline.inflight_jobs.add(-1);
+        telemetry.pipeline.inflight_lwes.add(-(job.cost as i64));
+    });
+}
+
+/// Fails every job of a batch that could not enter the next stage
+/// (shutdown race: its channel closed first).
+fn abandon(telemetry: &ServiceTelemetry, jobs: Vec<PendingJob>) {
+    for job in jobs {
+        settle(telemetry, &job, Err(RuntimeError::Shutdown));
+    }
+}
+
+/// Runs one stage body panic-safely: if `body` panics, every job of the
+/// batch that is still pending is completed with a typed error, so a
+/// poisoned batch never wedges its clients or the counters.
+fn run_stage(
     telemetry: &ServiceTelemetry,
-    batch: Vec<PendingJob>,
+    jobs: Vec<PendingJob>,
+    body: impl FnOnce(Vec<PendingJob>),
 ) {
-    // Primary role, step 1–2: extract + modulus-switch per bootstrap job,
-    // then concatenate every job's LWEs into one mega-batch.
+    let states: Vec<_> = jobs
+        .iter()
+        .map(|j| (Arc::clone(&j.state), j.cost))
+        .collect();
+    if catch_unwind(AssertUnwindSafe(|| body(jobs))).is_err() {
+        for (state, cost) in states {
+            state.complete_and(
+                Err(RuntimeError::AllNodesFailed(
+                    "pipeline stage panicked".into(),
+                )),
+                || {
+                    telemetry.failed.inc();
+                    telemetry.pipeline.inflight_jobs.add(-1);
+                    telemetry.pipeline.inflight_lwes.add(-(cost as i64));
+                },
+            );
+        }
+    }
+}
+
+/// Primary role, steps 1–2: extract + modulus-switch per bootstrap job,
+/// then concatenate every job's LWEs into one mega-batch.
+fn prep_batch(ctx: &CkksContext, boot: &Bootstrapper, jobs: Vec<PendingJob>) -> PreparedBatch {
     let all_indices: Vec<usize> = (0..ctx.n()).collect();
     let mut mega: Vec<LweCiphertext> = Vec::new();
-    let mut ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(batch.len());
-    for job in &batch {
+    let mut ranges: Vec<Range<usize>> = Vec::with_capacity(jobs.len());
+    for job in &jobs {
         let start = mega.len();
         match &job.request {
             JobRequest::Bootstrap { ct } => {
@@ -335,29 +728,72 @@ fn run_batch(
         }
         ranges.push(start..mega.len());
     }
-    // Step 3, sharded across nodes (the only stage that travels).
-    let rotated = match scheduler.execute(ctx, boot, &mega) {
+    PreparedBatch { jobs, mega, ranges }
+}
+
+/// Step 3, sharded across nodes (the only stage that travels). Updates
+/// the admission model's per-rotation EWMA on success.
+#[allow(clippy::too_many_arguments)]
+fn rotate_batch(
+    ctx: &CkksContext,
+    boot: &Bootstrapper,
+    scheduler: &Scheduler,
+    telemetry: &ServiceTelemetry,
+    finish_ch: &Channel<RotatedBatch>,
+    ns_per_lwe: &AtomicU64,
+    prepared: PreparedBatch,
+) {
+    let t0 = Instant::now();
+    let rotated = match scheduler.execute(ctx, boot, &prepared.mega) {
         Ok(rotated) => rotated,
         Err(e) => {
-            telemetry.failed.add(batch.len() as u64);
-            for job in batch {
-                job.state.complete(Err(e.clone()));
+            for job in prepared.jobs {
+                settle(telemetry, &job, Err(e.clone()));
             }
             return;
         }
     };
-    // Primary role, steps 4–5: repack + rescale per job from its slice.
-    for (job, range) in batch.into_iter().zip(ranges) {
-        let accs = &rotated[range];
-        let output = match job.request {
+    if !prepared.mega.is_empty() {
+        let sample = (t0.elapsed().as_nanos() as u64) / prepared.mega.len() as u64;
+        // Racy read-modify-write is fine: the EWMA only feeds the
+        // admission heuristic, and every writer converges it.
+        let old = ns_per_lwe.load(Ordering::Relaxed);
+        let next = if old == 0 {
+            sample
+        } else {
+            (3 * old + sample) / 4
+        };
+        ns_per_lwe.store(next.max(1), Ordering::Relaxed);
+    }
+    let batch = RotatedBatch {
+        jobs: prepared.jobs,
+        rotated,
+        ranges: prepared.ranges,
+    };
+    if let Err(b) = finish_ch.send(batch) {
+        abandon(telemetry, b.jobs);
+    }
+    telemetry.pipeline.finish_depth.set(finish_ch.len() as i64);
+}
+
+/// Primary role, steps 4–5: repack + rescale per job from its slice.
+fn finish_batch(
+    ctx: &CkksContext,
+    boot: &Bootstrapper,
+    telemetry: &ServiceTelemetry,
+    batch: RotatedBatch,
+) {
+    let all_indices: Vec<usize> = (0..ctx.n()).collect();
+    for (job, range) in batch.jobs.into_iter().zip(batch.ranges) {
+        let accs = &batch.rotated[range];
+        let output = match &job.request {
             JobRequest::Bootstrap { ct } => {
                 let leaves = boot.to_leaves(ctx, accs, &all_indices);
                 JobOutput::Bootstrapped(boot.finish(ctx, leaves, ct.scale()))
             }
             JobRequest::BlindRotate { .. } => JobOutput::Accumulators(accs.to_vec()),
         };
-        telemetry.completed.inc();
-        job.state.complete(Ok(output));
+        settle(telemetry, &job, Ok(output));
     }
 }
 
@@ -386,6 +822,10 @@ mod tests {
     }
 
     fn service(nodes: usize) -> BootstrapService {
+        service_with(nodes, RuntimeConfig::default())
+    }
+
+    fn service_with(nodes: usize, config: RuntimeConfig) -> BootstrapService {
         let s = setup();
         let boxed: Vec<Box<dyn ServiceNode>> = (0..nodes)
             .map(|i| {
@@ -393,13 +833,8 @@ mod tests {
                     as Box<dyn ServiceNode>
             })
             .collect();
-        BootstrapService::start_with_nodes(
-            Arc::clone(&s.ctx),
-            Arc::clone(&s.boot),
-            boxed,
-            RuntimeConfig::default(),
-        )
-        .unwrap()
+        BootstrapService::start_with_nodes(Arc::clone(&s.ctx), Arc::clone(&s.boot), boxed, config)
+            .unwrap()
     }
 
     #[test]
@@ -414,16 +849,37 @@ mod tests {
             Err(RuntimeError::NoNodes) => {}
             other => panic!("expected NoNodes, got {:?}", other.err()),
         }
-        match BootstrapService::start(
-            Arc::clone(&s.ctx),
-            Arc::clone(&s.boot),
+        for broken in [
             RuntimeConfig {
                 queue_capacity: 0,
                 ..RuntimeConfig::default()
             },
-        ) {
-            Err(RuntimeError::Invalid(_)) => {}
-            other => panic!("expected Invalid, got {:?}", other.err()),
+            RuntimeConfig {
+                pipeline: PipelineConfig {
+                    rotate_workers: 0,
+                    ..PipelineConfig::default()
+                },
+                ..RuntimeConfig::default()
+            },
+            RuntimeConfig {
+                pipeline: PipelineConfig {
+                    channel_capacity: 0,
+                    ..PipelineConfig::default()
+                },
+                ..RuntimeConfig::default()
+            },
+            RuntimeConfig {
+                fairness: FairnessPolicy {
+                    quantum_lwes: 0,
+                    weights: Vec::new(),
+                },
+                ..RuntimeConfig::default()
+            },
+        ] {
+            match BootstrapService::start(Arc::clone(&s.ctx), Arc::clone(&s.boot), broken) {
+                Err(RuntimeError::Invalid(_)) => {}
+                other => panic!("expected Invalid, got {:?}", other.err()),
+            }
         }
     }
 
@@ -445,6 +901,7 @@ mod tests {
         assert_eq!(stats.submitted, 1);
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.failed, 0);
+        assert_eq!(stats.rejected, 0);
     }
 
     #[test]
@@ -536,5 +993,90 @@ mod tests {
                 .err(),
             Some(RuntimeError::Shutdown)
         );
+    }
+
+    #[test]
+    fn deep_pipeline_matches_single_worker_results() {
+        let s = setup();
+        let (ct, _) = exhausted_ct(s, 33);
+        let direct = s.boot.bootstrap(&s.ctx, &ct);
+        let svc = service_with(
+            2,
+            RuntimeConfig {
+                pipeline: PipelineConfig::workers(3),
+                batch: BatchPolicy::immediate(),
+                ..RuntimeConfig::default()
+            },
+        );
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                svc.submit(JobRequest::Bootstrap { ct: ct.clone() }, Priority::Normal)
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            let fresh = h.wait().unwrap().into_ciphertext();
+            assert_eq!(fresh.c0(), direct.c0());
+            assert_eq!(fresh.c1(), direct.c1());
+        }
+        assert_eq!(svc.stats().completed, 4);
+    }
+
+    #[test]
+    fn slo_admission_rejects_with_typed_retry_hint() {
+        let s = setup();
+        // Impossible SLO: once the first job has measured the rotation
+        // rate, everything else must be refused while backlog exists.
+        let svc = service_with(
+            1,
+            RuntimeConfig {
+                admission: Some(SloPolicy {
+                    slo: Duration::from_nanos(1),
+                }),
+                ..RuntimeConfig::default()
+            },
+        );
+        let (ct, _) = exhausted_ct(s, 5);
+        // First job: no measurement yet, admitted, completes.
+        let h = svc
+            .submit(JobRequest::Bootstrap { ct: ct.clone() }, Priority::Normal)
+            .unwrap();
+        assert!(h.wait().is_ok());
+        // Rate is now measured and any projection exceeds 1ns.
+        let lwes = s
+            .boot
+            .modulus_switch(&s.ctx, &s.boot.extract_lwes(&s.ctx, &ct, &[0, 1]));
+        match svc.submit(JobRequest::BlindRotate { lwes }, Priority::Normal) {
+            Err(RuntimeError::Rejected { retry_after }) => {
+                assert!(retry_after >= Duration::from_millis(1));
+            }
+            other => panic!("expected Rejected, got {:?}", other.err()),
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.submitted, 1, "rejected job was never queued");
+        assert_eq!(
+            svc.metrics().snapshot().counter("heap_jobs_rejected_total"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn inflight_gauges_return_to_zero_after_drain() {
+        let s = setup();
+        let svc = service(2);
+        let (ct, _) = exhausted_ct(s, 44);
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                svc.submit(JobRequest::Bootstrap { ct: ct.clone() }, Priority::Normal)
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let snap = svc.metrics().snapshot();
+        assert_eq!(snap.gauge("heap_jobs_inflight"), Some(0));
+        assert_eq!(snap.gauge("heap_lwes_inflight"), Some(0));
     }
 }

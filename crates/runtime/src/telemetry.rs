@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use heap_telemetry::{Counter, EventLog, Histogram, Registry};
+use heap_telemetry::{Counter, EventLog, Gauge, Histogram, Registry};
 
 /// How many fault events the service retains (oldest evicted first).
 const EVENT_CAPACITY: usize = 1024;
@@ -110,6 +110,51 @@ impl BatcherTelemetry {
     }
 }
 
+/// Gauges tracking the streaming pipeline's live state: how deep each
+/// inter-stage channel sits and how much accepted-but-unfinished work is
+/// in the system (what the SLO admission model reads).
+#[derive(Debug, Clone)]
+pub(crate) struct PipelineTelemetry {
+    /// Batches parked between the batcher and the prep workers.
+    pub prep_depth: Arc<Gauge>,
+    /// Prepared mega-batches parked before the rotate workers.
+    pub rotate_depth: Arc<Gauge>,
+    /// Rotated batches parked before the finish workers.
+    pub finish_depth: Arc<Gauge>,
+    /// Jobs accepted and not yet completed (queued or in any stage).
+    pub inflight_jobs: Arc<Gauge>,
+    /// Blind rotations accepted and not yet completed.
+    pub inflight_lwes: Arc<Gauge>,
+}
+
+impl PipelineTelemetry {
+    /// Registers the pipeline gauges in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            prep_depth: registry.gauge(
+                "heap_pipeline_prep_depth",
+                "batches buffered between batcher and prep workers",
+            ),
+            rotate_depth: registry.gauge(
+                "heap_pipeline_rotate_depth",
+                "prepared batches buffered before the rotate workers",
+            ),
+            finish_depth: registry.gauge(
+                "heap_pipeline_finish_depth",
+                "rotated batches buffered before the finish workers",
+            ),
+            inflight_jobs: registry.gauge(
+                "heap_jobs_inflight",
+                "jobs accepted and not yet completed (queued or in-stage)",
+            ),
+            inflight_lwes: registry.gauge(
+                "heap_lwes_inflight",
+                "blind rotations accepted and not yet completed",
+            ),
+        }
+    }
+}
+
 /// Everything a [`crate::BootstrapService`] measures, rooted in one
 /// registry so a single exposition covers the whole service.
 #[derive(Debug)]
@@ -119,8 +164,11 @@ pub(crate) struct ServiceTelemetry {
     pub submitted: Arc<Counter>,
     pub completed: Arc<Counter>,
     pub failed: Arc<Counter>,
+    /// Jobs refused by SLO admission control (never queued).
+    pub rejected: Arc<Counter>,
     pub batcher: BatcherTelemetry,
     pub scheduler: SchedulerTelemetry,
+    pub pipeline: PipelineTelemetry,
 }
 
 impl ServiceTelemetry {
@@ -133,8 +181,13 @@ impl ServiceTelemetry {
                 .counter("heap_jobs_submitted_total", "jobs accepted into the queue"),
             completed: registry.counter("heap_jobs_completed_total", "jobs completed successfully"),
             failed: registry.counter("heap_jobs_failed_total", "jobs completed with an error"),
+            rejected: registry.counter(
+                "heap_jobs_rejected_total",
+                "jobs refused by SLO admission control (never queued)",
+            ),
             batcher: BatcherTelemetry::new(&registry),
             scheduler: SchedulerTelemetry::new(&registry, Arc::clone(&events)),
+            pipeline: PipelineTelemetry::new(&registry),
             registry,
             events,
         }
@@ -151,9 +204,18 @@ mod tests {
         t.submitted.inc();
         t.scheduler.batches.add(2);
         t.batcher.batch_size_lwes.record(7);
+        t.rejected.inc();
+        t.pipeline.inflight_jobs.add(3);
+        t.pipeline.rotate_depth.set(2);
         let snap = t.registry.snapshot();
         assert_eq!(snap.counter("heap_jobs_submitted_total"), Some(1));
         assert_eq!(snap.counter("heap_scheduler_batches_total"), Some(2));
+        assert_eq!(snap.counter("heap_jobs_rejected_total"), Some(1));
+        assert_eq!(snap.gauge("heap_jobs_inflight"), Some(3));
+        assert_eq!(snap.gauge("heap_pipeline_rotate_depth"), Some(2));
+        assert!(snap.gauge("heap_pipeline_prep_depth").is_some());
+        assert!(snap.gauge("heap_pipeline_finish_depth").is_some());
+        assert!(snap.gauge("heap_lwes_inflight").is_some());
         assert_eq!(snap.histogram("heap_batch_size_lwes").unwrap().count, 1);
         assert!(snap.histogram("heap_queue_wait_ns").is_some());
         assert!(snap.histogram("heap_shard_round_trip_ns").is_some());

@@ -202,6 +202,7 @@ fn service_with_all_nodes_failing_falls_back_bit_identically() {
             queue_capacity: 4,
             batch: BatchPolicy::immediate(),
             retry: RetryPolicy::test_no_readmission(),
+            ..RuntimeConfig::default()
         },
     )
     .expect("start service");

@@ -181,6 +181,7 @@ fn service_over(
             queue_capacity: 16,
             batch: BatchPolicy::immediate(),
             retry,
+            ..RuntimeConfig::default()
         },
     )
     .expect("start service")

@@ -113,6 +113,7 @@ fn service_over(client: &Client, procs: &[NodeProc]) -> BootstrapService {
             // These tests assert that failed nodes *stay* out of
             // dispatch, so keep the prober from readmitting them.
             retry: RetryPolicy::test_no_readmission(),
+            ..RuntimeConfig::default()
         },
     )
     .expect("start service")

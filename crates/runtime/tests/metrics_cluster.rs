@@ -160,6 +160,7 @@ fn cluster_metrics_scrape_end_to_end() {
             queue_capacity: 8,
             batch: BatchPolicy::immediate(),
             retry: RetryPolicy::test_no_readmission(),
+            ..RuntimeConfig::default()
         },
     )
     .expect("start service");

@@ -1,0 +1,364 @@
+//! Streaming-pipeline correctness suite.
+//!
+//! The staged pipeline (batcher → prep → rotate → finish over bounded
+//! channels) must be *invisible* semantically: whatever the worker
+//! counts and channel capacities, results are bit-identical to the
+//! serial oracle (`Bootstrapper::bootstrap` / serial blind rotation) —
+//! pinned by digest so a cross-config drift and a cross-run drift are
+//! both loud — and faults injected under it produce clean typed errors
+//! or bit-identical recoveries, never a deadlock on a full or empty
+//! stage channel.
+
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use heap_parallel::Parallelism;
+use heap_runtime::{
+    deterministic_setup, BatchPolicy, BootstrapService, ChaosNode, DeterministicSetup, FaultPlan,
+    JobRequest, LocalServiceNode, ParamPreset, PipelineConfig, Priority, RetryPolicy,
+    RuntimeConfig, RuntimeError, ServiceNode, SloPolicy, SubmitOptions, TenantId,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 7777;
+
+/// The pinned FNV-1a digest of the full workload's outputs (in
+/// submission order, wire encoding). Any change to the numerics, the
+/// wire formats, or the pipeline's ordering shows up here.
+const PINNED_DIGEST: u64 = 0x6891_a911_e0c5_dcb2;
+
+struct Fixture {
+    setup: DeterministicSetup,
+    /// The workload: every job's request, in submission order.
+    requests: Vec<JobRequest>,
+    /// Serial-oracle digest over the same workload.
+    oracle_digest: u64,
+}
+
+fn fnv1a(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= u64::from(b);
+        *digest = digest.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn moduli(setup: &DeterministicSetup) -> Vec<u64> {
+    (0..setup.ctx.boot_limbs())
+        .map(|j| setup.ctx.rns().modulus(j).value())
+        .collect()
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let setup = deterministic_setup(ParamPreset::Tiny, SEED);
+        let mut rng = StdRng::seed_from_u64(3);
+        let delta = setup.ctx.fresh_scale();
+        let mut requests = Vec::new();
+        // One fully-packed bootstrap...
+        let coeffs: Vec<i64> = (0..setup.ctx.n())
+            .map(|i| (((i % 5) as f64 - 2.0) / 40.0 * delta).round() as i64)
+            .collect();
+        let ct = setup
+            .ctx
+            .encrypt_coeffs_sk(&coeffs, delta, 1, &setup.sk, &mut rng);
+        requests.push(JobRequest::Bootstrap { ct: ct.clone() });
+        // ...and three raw blind-rotate batches cut from it.
+        for start in [0usize, 8, 16] {
+            let indices: Vec<usize> = (start..start + 8).collect();
+            let lwes = setup.boot.modulus_switch(
+                &setup.ctx,
+                &setup.boot.extract_lwes(&setup.ctx, &ct, &indices),
+            );
+            requests.push(JobRequest::BlindRotate { lwes });
+        }
+        let oracle_digest = {
+            let mut d = 0xcbf2_9ce4_8422_2325u64;
+            let moduli = moduli(&setup);
+            for request in &requests {
+                match request {
+                    JobRequest::Bootstrap { ct } => {
+                        let fresh = setup.boot.bootstrap(&setup.ctx, ct);
+                        fnv1a(&mut d, &setup.ctx.ciphertext_to_wire(&fresh));
+                    }
+                    JobRequest::BlindRotate { lwes } => {
+                        let accs = setup.boot.blind_rotate_batch_par(
+                            &setup.ctx,
+                            lwes,
+                            Parallelism::serial(),
+                        );
+                        for acc in &accs {
+                            fnv1a(&mut d, &acc.to_wire(&moduli));
+                        }
+                    }
+                }
+            }
+            d
+        };
+        Fixture {
+            setup,
+            requests,
+            oracle_digest,
+        }
+    })
+}
+
+/// Runs the fixture workload through `svc` and digests the outputs in
+/// submission order.
+fn run_workload(fix: &Fixture, svc: &BootstrapService) -> u64 {
+    let handles: Vec<_> = fix
+        .requests
+        .iter()
+        .map(|r| svc.submit(r.clone(), Priority::Normal).expect("submit"))
+        .collect();
+    let mut d = 0xcbf2_9ce4_8422_2325u64;
+    let moduli = moduli(&fix.setup);
+    for h in handles {
+        match h.wait().expect("job completes") {
+            heap_runtime::JobOutput::Bootstrapped(ct) => {
+                fnv1a(&mut d, &fix.setup.ctx.ciphertext_to_wire(&ct));
+            }
+            heap_runtime::JobOutput::Accumulators(accs) => {
+                for acc in &accs {
+                    fnv1a(&mut d, &acc.to_wire(&moduli));
+                }
+            }
+        }
+    }
+    d
+}
+
+fn service_with(
+    fix: &Fixture,
+    nodes: usize,
+    pipeline: PipelineConfig,
+    batch: BatchPolicy,
+) -> BootstrapService {
+    let boxed: Vec<Box<dyn ServiceNode>> = (0..nodes)
+        .map(|i| {
+            Box::new(LocalServiceNode::new(i, Parallelism::with_threads(2))) as Box<dyn ServiceNode>
+        })
+        .collect();
+    BootstrapService::start_with_nodes(
+        Arc::clone(&fix.setup.ctx),
+        Arc::clone(&fix.setup.boot),
+        boxed,
+        RuntimeConfig {
+            queue_capacity: 32,
+            batch,
+            pipeline,
+            ..RuntimeConfig::default()
+        },
+    )
+    .expect("start service")
+}
+
+/// Tentpole invariant: the same workload through shallow, deep, and
+/// tight-channel pipelines digests identically to the serial oracle —
+/// and to the pinned constant, so a regression in *any* run is loud.
+#[test]
+fn pipeline_is_bit_identical_to_serial_across_configs() {
+    let fix = fixture();
+    assert_eq!(
+        fix.oracle_digest, PINNED_DIGEST,
+        "serial oracle drifted from the pinned digest"
+    );
+    let configs = [
+        // The degenerate pipeline: one worker per stage, roomy channels.
+        PipelineConfig::default(),
+        // Deep: overlapping batches in every stage.
+        PipelineConfig::workers(3),
+        // Tight: capacity-1 channels force maximal backpressure.
+        PipelineConfig {
+            prep_workers: 2,
+            rotate_workers: 2,
+            finish_workers: 1,
+            channel_capacity: 1,
+        },
+    ];
+    for (i, pipeline) in configs.into_iter().enumerate() {
+        let svc = service_with(fix, 2, pipeline, BatchPolicy::immediate());
+        let digest = run_workload(fix, &svc);
+        assert_eq!(
+            digest, PINNED_DIGEST,
+            "config #{i} ({pipeline:?}) diverged from the serial oracle"
+        );
+        svc.shutdown();
+    }
+}
+
+/// Batched (non-immediate) flushing must not change results either —
+/// jobs coalesce into mega-batches yet slice back out bit-identically.
+#[test]
+fn coalesced_batches_digest_identically() {
+    let fix = fixture();
+    let svc = service_with(
+        fix,
+        2,
+        PipelineConfig::workers(2),
+        BatchPolicy {
+            max_lwes: 64,
+            max_delay: Duration::from_millis(20),
+        },
+    );
+    assert_eq!(run_workload(fix, &svc), PINNED_DIGEST);
+    svc.shutdown();
+}
+
+/// No-deadlock under chaos: capacity-1 channels, every node scripted to
+/// fail in assorted ways, a healthy fallback behind them. Every job must
+/// complete bit-identically (the fallback guarantees success) within a
+/// bounded wall-clock — a stall in any stage channel would hang here.
+#[test]
+fn chaos_faults_never_deadlock_bounded_channels() {
+    let fix = fixture();
+    let mk_chaos = |plan: &str| -> Box<dyn ServiceNode> {
+        Box::new(
+            ChaosNode::new(
+                Box::new(LocalServiceNode::new(0, Parallelism::serial())),
+                plan.parse::<FaultPlan>().expect("plan"),
+            )
+            .with_hang_for(Duration::from_millis(5)),
+        )
+    };
+    let svc = BootstrapService::start_with_cluster(
+        Arc::clone(&fix.setup.ctx),
+        Arc::clone(&fix.setup.boot),
+        vec![
+            mk_chaos("fail,delay:2,drop,corrupt,fail"),
+            mk_chaos("drop*2,hang,fail*2"),
+        ],
+        Some(Box::new(LocalServiceNode::new(7, Parallelism::serial()))),
+        RuntimeConfig {
+            queue_capacity: 8,
+            batch: BatchPolicy::immediate(),
+            retry: RetryPolicy::test_no_readmission(),
+            pipeline: PipelineConfig {
+                prep_workers: 2,
+                rotate_workers: 2,
+                finish_workers: 2,
+                channel_capacity: 1,
+            },
+            ..RuntimeConfig::default()
+        },
+    )
+    .expect("start service");
+    let t0 = Instant::now();
+    let digest = run_workload(fix, &svc);
+    assert_eq!(digest, PINNED_DIGEST, "chaos recovery must be bit-exact");
+    assert!(
+        t0.elapsed() < Duration::from_secs(60),
+        "workload under chaos took {:?}",
+        t0.elapsed()
+    );
+    svc.shutdown();
+}
+
+/// Admission control end to end: rejections are typed with a usable
+/// retry hint, they are counted (stats + metrics), and *accepted* jobs
+/// are never dropped — every handle that submission returned completes.
+#[test]
+fn slo_rejections_are_typed_and_accepted_jobs_all_complete() {
+    let fix = fixture();
+    let svc = BootstrapService::start_with_nodes(
+        Arc::clone(&fix.setup.ctx),
+        Arc::clone(&fix.setup.boot),
+        vec![Box::new(LocalServiceNode::new(
+            0,
+            Parallelism::with_threads(2),
+        ))],
+        RuntimeConfig {
+            queue_capacity: 32,
+            batch: BatchPolicy::immediate(),
+            admission: Some(SloPolicy {
+                slo: Duration::from_micros(50),
+            }),
+            ..RuntimeConfig::default()
+        },
+    )
+    .expect("start service");
+    let rotate = fix.requests[1].clone();
+    let opts = SubmitOptions {
+        priority: Priority::Normal,
+        tenant: TenantId(4),
+    };
+    // Warm-up: the deadline model admits everything until the first
+    // batch lands and the rotation rate is measured.
+    svc.submit_opts(rotate.clone(), opts)
+        .expect("warm-up admitted")
+        .wait()
+        .expect("warm-up completes");
+    let mut accepted = vec![];
+    let mut rejections = 0u64;
+    for _ in 0..24 {
+        match svc.submit_opts(rotate.clone(), opts) {
+            Ok(handle) => accepted.push(handle),
+            Err(RuntimeError::Rejected { retry_after }) => {
+                assert!(
+                    retry_after >= Duration::from_millis(1),
+                    "hint: {retry_after:?}"
+                );
+                rejections += 1;
+            }
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+    }
+    assert!(rejections > 0, "a 50µs SLO must reject under backlog");
+    let accepted_count = accepted.len() as u64;
+    for handle in accepted {
+        handle.wait().expect("accepted job must complete");
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.rejected, rejections);
+    assert_eq!(stats.submitted, accepted_count + 1);
+    assert_eq!(
+        stats.completed,
+        accepted_count + 1,
+        "no accepted job dropped"
+    );
+    assert_eq!(
+        svc.metrics().snapshot().counter("heap_jobs_rejected_total"),
+        Some(rejections)
+    );
+    svc.shutdown();
+}
+
+/// Fair queueing visible at the service boundary: two flooding tenants
+/// on a capacity-starved queue both make progress (no starvation of the
+/// second tenant behind the first's backlog).
+#[test]
+fn two_flooding_tenants_both_drain() {
+    let fix = fixture();
+    let svc = Arc::new(service_with(
+        fix,
+        1,
+        PipelineConfig::default(),
+        BatchPolicy::immediate(),
+    ));
+    let rotate = fix.requests[1].clone();
+    let workers: Vec<_> = [TenantId(1), TenantId(2)]
+        .into_iter()
+        .map(|tenant| {
+            let svc = Arc::clone(&svc);
+            let rotate = rotate.clone();
+            std::thread::spawn(move || {
+                let opts = SubmitOptions {
+                    priority: Priority::Normal,
+                    tenant,
+                };
+                let handles: Vec<_> = (0..6)
+                    .map(|_| svc.submit_opts(rotate.clone(), opts).expect("submit"))
+                    .collect();
+                for h in handles {
+                    h.wait().expect("job completes");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("tenant thread");
+    }
+    assert_eq!(svc.stats().completed, 12);
+    svc.shutdown();
+}

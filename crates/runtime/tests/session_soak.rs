@@ -1,0 +1,224 @@
+//! Multi-process session soak: a real `heap-node-serve --session-addr`
+//! process fronting the staged pipeline, with ≥100 concurrent
+//! multiplexed [`SessionClient`]s hammering it over real sockets.
+//!
+//! Invariants: no job is lost or duplicated (every submitted tag
+//! completes exactly once), results are bit-identical to the serial
+//! oracle computed locally from the same deterministic seed, rejections
+//! (none expected here — no SLO configured) never masquerade as
+//! completions, and tail latency stays bounded.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use heap_parallel::Parallelism;
+use heap_runtime::{
+    deterministic_setup, DeterministicSetup, JobOutput, JobRequest, ParamPreset, SessionClient,
+    SubmitOptions, TenantId,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 61;
+const CLIENTS: usize = 100;
+const JOBS_PER_CLIENT: usize = 3;
+
+/// A `heap-node-serve` child killed on drop.
+struct ServerProc {
+    child: Child,
+    sessions: String,
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns a session-serving node and waits for its `SESSIONS` line.
+fn spawn_session_server() -> ServerProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_heap-node-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--session-addr",
+            "127.0.0.1:0",
+            "--preset",
+            "tiny",
+            "--seed",
+            &SEED.to_string(),
+            "--threads",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn heap-node-serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut sessions = None;
+    for line in BufReader::new(stdout).lines() {
+        let line = line.expect("child stdout line");
+        if let Some(addr) = line.strip_prefix("SESSIONS ") {
+            sessions = Some(addr.to_string());
+            break;
+        }
+    }
+    ServerProc {
+        child,
+        sessions: sessions.expect("server printed SESSIONS"),
+    }
+}
+
+struct Fixture {
+    setup: DeterministicSetup,
+    lwes: Vec<heap_tfhe::LweCiphertext>,
+    /// Serial wire encodings of the blind-rotate reference.
+    reference: Vec<Vec<u8>>,
+}
+
+fn fixture() -> Fixture {
+    let setup = deterministic_setup(ParamPreset::Tiny, SEED);
+    let mut rng = StdRng::seed_from_u64(5);
+    let delta = setup.ctx.fresh_scale();
+    let coeffs: Vec<i64> = (0..setup.ctx.n())
+        .map(|i| (((i % 7) as f64 - 3.0) / 40.0 * delta).round() as i64)
+        .collect();
+    let ct = setup
+        .ctx
+        .encrypt_coeffs_sk(&coeffs, delta, 1, &setup.sk, &mut rng);
+    let indices: Vec<usize> = (0..8).collect();
+    let lwes = setup.boot.modulus_switch(
+        &setup.ctx,
+        &setup.boot.extract_lwes(&setup.ctx, &ct, &indices),
+    );
+    let moduli: Vec<u64> = (0..setup.ctx.boot_limbs())
+        .map(|j| setup.ctx.rns().modulus(j).value())
+        .collect();
+    let reference = setup
+        .boot
+        .blind_rotate_batch_par(&setup.ctx, &lwes, Parallelism::serial())
+        .iter()
+        .map(|acc| acc.to_wire(&moduli))
+        .collect();
+    Fixture {
+        setup,
+        lwes,
+        reference,
+    }
+}
+
+/// The soak: 100 sessions × 3 jobs each over one server process. Every
+/// tag completes exactly once with bit-identical accumulators, and the
+/// p99 submit-to-complete latency stays under a generous bound.
+#[test]
+fn hundred_concurrent_sessions_no_loss_no_dupes_bounded_p99() {
+    let fix = Arc::new(fixture());
+    let server = spawn_session_server();
+    let addr = server.sessions.clone();
+    let moduli: Vec<u64> = (0..fix.setup.ctx.boot_limbs())
+        .map(|j| fix.setup.ctx.rns().modulus(j).value())
+        .collect();
+    let latencies: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+    let completions: Arc<Mutex<Vec<(usize, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let (fix, addr, latencies, completions, moduli) = (
+                Arc::clone(&fix),
+                addr.clone(),
+                Arc::clone(&latencies),
+                Arc::clone(&completions),
+                moduli.clone(),
+            );
+            std::thread::spawn(move || {
+                let client =
+                    SessionClient::connect(addr.as_str(), &fix.setup.ctx).expect("session connect");
+                let opts = SubmitOptions {
+                    tenant: TenantId(c as u64 % 8),
+                    ..SubmitOptions::default()
+                };
+                // Submit everything up front: all jobs of this session
+                // are in flight on ONE socket simultaneously.
+                let submitted: Vec<_> = (0..JOBS_PER_CLIENT)
+                    .map(|_| {
+                        let req = JobRequest::BlindRotate {
+                            lwes: fix.lwes.clone(),
+                        };
+                        let t0 = Instant::now();
+                        let job = client.submit(&req, opts).expect("session submit");
+                        (job, t0)
+                    })
+                    .collect();
+                assert_eq!(client.in_flight(), JOBS_PER_CLIENT);
+                for (job, t0) in submitted {
+                    let tag = job.tag();
+                    let output = job.wait().expect("session job completes");
+                    latencies.lock().unwrap().push(t0.elapsed());
+                    completions.lock().unwrap().push((c, tag));
+                    match output {
+                        JobOutput::Accumulators(accs) => {
+                            let wires: Vec<Vec<u8>> =
+                                accs.iter().map(|a| a.to_wire(&moduli)).collect();
+                            assert_eq!(wires, fix.reference, "client {c} tag {tag}");
+                        }
+                        other => panic!("client {c}: unexpected output {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    // Zero lost, zero duplicated: every (client, tag) pair exactly once.
+    let mut seen = completions.lock().unwrap().clone();
+    assert_eq!(seen.len(), CLIENTS * JOBS_PER_CLIENT, "lost completions");
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(
+        seen.len(),
+        CLIENTS * JOBS_PER_CLIENT,
+        "duplicated completions"
+    );
+
+    // Bounded tail: p99 under a deliberately generous cap (the point is
+    // "no unbounded stragglers", not a performance number).
+    let mut lats = latencies.lock().unwrap().clone();
+    lats.sort_unstable();
+    let p99 = lats[(lats.len() * 99 / 100).min(lats.len() - 1)];
+    assert!(p99 < Duration::from_secs(60), "p99 {p99:?}");
+}
+
+/// A bootstrap job over a session round-trips bit-identically to the
+/// local serial oracle (the session layer adds framing, not noise).
+#[test]
+fn session_bootstrap_is_bit_identical_to_local_oracle() {
+    let setup = deterministic_setup(ParamPreset::Tiny, SEED);
+    let server = spawn_session_server();
+    let mut rng = StdRng::seed_from_u64(11);
+    let delta = setup.ctx.fresh_scale();
+    let coeffs: Vec<i64> = (0..setup.ctx.n())
+        .map(|i| (((i % 5) as f64 - 2.0) / 40.0 * delta).round() as i64)
+        .collect();
+    let ct = setup
+        .ctx
+        .encrypt_coeffs_sk(&coeffs, delta, 1, &setup.sk, &mut rng);
+    let oracle = setup.boot.bootstrap(&setup.ctx, &ct);
+
+    let client =
+        SessionClient::connect(server.sessions.as_str(), &setup.ctx).expect("session connect");
+    let job = client
+        .submit(&JobRequest::Bootstrap { ct }, SubmitOptions::default())
+        .expect("session submit");
+    let fresh = match job.wait().expect("bootstrap completes") {
+        JobOutput::Bootstrapped(ct) => ct,
+        other => panic!("unexpected output {other:?}"),
+    };
+    assert_eq!(fresh.c0(), oracle.c0());
+    assert_eq!(fresh.c1(), oracle.c1());
+    assert_eq!(fresh.scale(), oracle.scale());
+}

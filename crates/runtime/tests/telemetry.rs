@@ -50,6 +50,7 @@ fn chaos_run_counters_agree_across_all_views() {
                 queue_capacity: THREADS * JOBS_PER_THREAD,
                 batch: BatchPolicy::immediate(),
                 retry: RetryPolicy::test_no_readmission(),
+                ..RuntimeConfig::default()
             },
         )
         .expect("start service"),
@@ -173,6 +174,7 @@ fn service_metrics_endpoint_serves_stage_histograms() {
             queue_capacity: 2,
             batch: BatchPolicy::immediate(),
             retry: RetryPolicy::test_no_readmission(),
+            ..RuntimeConfig::default()
         },
     )
     .expect("start service");

@@ -126,10 +126,15 @@ impl Exposition {
                         let _ = write!(out, "\"type\":\"gauge\",\"value\":{v}}}");
                     }
                     MetricValue::Histogram(h) => {
+                        // `p50` is `null` (not a sentinel number) when no
+                        // samples were recorded.
+                        let p50 = h
+                            .try_quantile(0.5)
+                            .map_or_else(|| "null".to_string(), |v| v.to_string());
                         let _ = write!(
                             out,
-                            "\"type\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[",
-                            h.count, h.sum
+                            "\"type\":\"histogram\",\"count\":{},\"sum\":{},\"p50\":{},\"buckets\":[",
+                            h.count, h.sum, p50
                         );
                         let mut first = true;
                         for i in 0..HISTOGRAM_BUCKETS {
@@ -341,8 +346,23 @@ mod tests {
             "\"name\":\"demo_total\",\"help\":\"things\",\"type\":\"counter\",\"value\":3"
         ));
         assert!(json.contains("\"type\":\"gauge\",\"value\":-1"));
+        // 100 and 5000 recorded; p50 is the le=127 bucket bound.
+        assert!(json.contains("\"count\":2,\"sum\":5100,\"p50\":127"));
         assert!(json.contains("\"detail\":\"attempt \\\"1\\\"\""));
         assert!(json.ends_with("}"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_null_p50_not_a_sentinel() {
+        // Regression: an empty histogram must expose `p50: null`, never
+        // a bucket-bound stand-in that reads as a real latency.
+        let registry = Arc::new(Registry::new("empty"));
+        registry.histogram("never_recorded_ns", "no samples");
+        let json = Exposition::new().with_registry(&registry).render_json();
+        assert!(
+            json.contains("\"count\":0,\"sum\":0,\"p50\":null"),
+            "{json}"
+        );
     }
 
     fn http_get(addr: SocketAddr, path: &str) -> (String, String) {

@@ -187,6 +187,14 @@ impl HistogramSnapshot {
         bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
     }
 
+    /// The `q`-quantile, or `None` when the histogram is empty. Summary
+    /// emitters must use this (and print `null`/omit) rather than
+    /// [`HistogramSnapshot::quantile`]: a numeric stand-in for "no
+    /// samples" reads as a real latency in dashboards and benches.
+    pub fn try_quantile(&self, q: f64) -> Option<u64> {
+        (self.count > 0).then(|| self.quantile(q))
+    }
+
     /// Mean sample value (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -511,6 +519,12 @@ mod tests {
         assert_eq!(s.quantile(0.99), 127);
         assert_eq!(s.quantile(1.0), (1 << 20) - 1);
         assert_eq!(HistogramSnapshot::default_empty().quantile(0.5), 0);
+        assert_eq!(s.try_quantile(0.5), Some(127));
+        assert_eq!(
+            HistogramSnapshot::default_empty().try_quantile(0.5),
+            None,
+            "empty histograms must not fabricate a quantile"
+        );
     }
 
     impl HistogramSnapshot {
