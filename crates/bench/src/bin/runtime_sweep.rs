@@ -40,11 +40,12 @@ use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use heap_core::{KERNEL_STAGES, PIPELINE_STAGES};
+use heap_core::{TransferLedger, KERNEL_STAGES, PIPELINE_STAGES};
 use heap_parallel::Parallelism;
 use heap_runtime::{
-    deterministic_setup, serve, BatchPolicy, BootstrapService, DeterministicSetup, FaultPlan,
-    JobRequest, ParamPreset, PipelineConfig, Priority, RemoteNode, RuntimeConfig, ServeOptions,
+    insecure_deterministic_setup, keyed_setup, serve, serve_keyless, BatchPolicy, BootstrapService,
+    DeterministicSetup, EvalKeySet, FaultPlan, JobRequest, KeyPackage, KeyedSetup, NodeKeyStore,
+    NodeTimeouts, ParamPreset, PipelineConfig, Priority, RemoteNode, RuntimeConfig, ServeOptions,
     ServiceNode, SessionClient, SubmitOptions, TenantId,
 };
 use heap_telemetry::HistogramSnapshot;
@@ -123,9 +124,8 @@ fn connect_nodes(setup: &DeterministicSetup, addrs: &[String]) -> Vec<Box<dyn Se
         .collect()
 }
 
-fn job_lwes(setup: &DeterministicSetup, seed: usize) -> Vec<LweCiphertext> {
-    let two_n = 2 * setup.ctx.n() as u64;
-    let n_t = setup.boot.config().n_t;
+fn lwes_for(n: usize, n_t: usize, seed: usize) -> Vec<LweCiphertext> {
+    let two_n = 2 * n as u64;
     (0..LWES_PER_JOB)
         .map(|i| LweCiphertext {
             a: (0..n_t)
@@ -135,6 +135,10 @@ fn job_lwes(setup: &DeterministicSetup, seed: usize) -> Vec<LweCiphertext> {
             modulus: two_n,
         })
         .collect()
+}
+
+fn job_lwes(setup: &DeterministicSetup, seed: usize) -> Vec<LweCiphertext> {
+    lwes_for(setup.ctx.n(), setup.boot.config().n_t, seed)
 }
 
 fn bootstrap_ct(setup: &DeterministicSetup) -> heap_ckks::Ciphertext {
@@ -445,8 +449,94 @@ fn run_direct(setup: &DeterministicSetup, addrs: &[String]) -> Sample {
     }
 }
 
+/// One row of the key-distribution traffic table: a keyed client drives
+/// `batches` blind-rotate batches against a fresh keyless node, and the
+/// row records the key bytes its transfer ledger counted plus the reuse
+/// counters the node's key cache accumulated.
+struct KeyTrafficRow {
+    mode: &'static str,
+    batches: u64,
+    /// Encoded container size shipped on the cold upload.
+    container_bytes: u64,
+    key_bytes_sent: u64,
+    key_bytes_received: u64,
+    /// Sent key bytes amortized over the row's batches (offer/ack
+    /// framing included).
+    key_bytes_per_batch: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Runs one key-traffic row: fresh in-process keyless server, keyed
+/// client shipping `pkg`, ledger-counted key bytes, cache counters read
+/// back from the shared [`NodeKeyStore`].
+fn run_key_traffic(
+    mode: &'static str,
+    setup: &KeyedSetup,
+    pkg: &Arc<KeyPackage>,
+    batches: u64,
+) -> KeyTrafficRow {
+    let store = NodeKeyStore::new(None);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let (ctx, server_store) = (Arc::clone(&setup.ctx), store.clone());
+    std::thread::spawn(move || {
+        serve_keyless(
+            listener,
+            ctx,
+            ServeOptions {
+                parallelism: Parallelism::with_threads(2),
+                key_store: Some(server_store),
+                ..ServeOptions::default()
+            },
+        )
+    });
+    let ledger = Arc::new(TransferLedger::default());
+    let node = RemoteNode::connect_with_ledger(
+        &addr,
+        &setup.ctx,
+        NodeTimeouts::default(),
+        Arc::clone(&ledger),
+    )
+    .expect("connect")
+    .with_key(Arc::clone(pkg));
+    let lwes = lwes_for(setup.ctx.n(), setup.boot.config().n_t, 7);
+    for _ in 0..batches {
+        node.try_blind_rotate_batch(&setup.ctx, &setup.boot, &lwes)
+            .expect("keyed batch");
+    }
+    node.shutdown();
+    let snap = store.registry().snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let key_bytes_sent = ledger.key_bytes_sent();
+    KeyTrafficRow {
+        mode,
+        batches,
+        container_bytes: pkg.bytes.len() as u64,
+        key_bytes_sent,
+        key_bytes_received: ledger.key_bytes_received(),
+        key_bytes_per_batch: key_bytes_sent as f64 / batches as f64,
+        cache_hits: counter("heap_keycache_hits_total"),
+        cache_misses: counter("heap_keycache_misses_total"),
+    }
+}
+
+fn print_key_row(r: &KeyTrafficRow) {
+    println!(
+        "{:>12} {:>8} {:>12} {:>12} {:>10} {:>13.1} {:>6} {:>7}",
+        r.mode,
+        r.batches,
+        r.container_bytes,
+        r.key_bytes_sent,
+        r.key_bytes_received,
+        r.key_bytes_per_batch,
+        r.cache_hits,
+        r.cache_misses
+    );
+}
+
 fn main() {
-    let setup = deterministic_setup(ParamPreset::Tiny, 42);
+    let setup = insecure_deterministic_setup(ParamPreset::Tiny, 42);
     let host_cores = heap_parallel::available_threads();
     let mut node_counts = vec![1usize, 2, 4];
     node_counts.retain(|&k| k <= host_cores.max(1) * 4);
@@ -540,6 +630,43 @@ fn main() {
     print_sample(&s);
     samples.push(s);
 
+    // Key-distribution traffic: a keyed client against fresh keyless
+    // nodes. `strict_cold` ships the non-seeded container (the baseline
+    // a seedless encoding would pay every cold start), `seeded_cold`
+    // the seed-expandable one, `seeded_warm` amortizes one upload over
+    // 8 batches riding the node's key cache.
+    let keyed = keyed_setup(ParamPreset::Tiny, 42);
+    let strict_pkg = {
+        let set = EvalKeySet::from_wire(&keyed.ctx, &keyed.key.bytes).expect("decode container");
+        // `from_wire` drops the reseed, so this re-package is strict.
+        Arc::new(set.package(&keyed.ctx))
+    };
+    let key_rows = vec![
+        run_key_traffic("strict_cold", &keyed, &strict_pkg, 1),
+        run_key_traffic("seeded_cold", &keyed, &keyed.key, 1),
+        run_key_traffic("seeded_warm", &keyed, &keyed.key, 8),
+    ];
+    println!();
+    println!(
+        "{:>12} {:>8} {:>12} {:>12} {:>10} {:>13} {:>6} {:>7}",
+        "key mode",
+        "batches",
+        "container B",
+        "key B sent",
+        "key B rcv",
+        "key B/batch",
+        "hits",
+        "misses"
+    );
+    for r in &key_rows {
+        print_key_row(r);
+    }
+    println!(
+        "key distribution reduction vs strict-per-batch: {:.1}x cold, {:.1}x warm",
+        key_rows[0].key_bytes_per_batch / key_rows[1].key_bytes_per_batch,
+        key_rows[0].key_bytes_per_batch / key_rows[2].key_bytes_per_batch
+    );
+
     let rows: Vec<String> = samples
         .iter()
         .map(|s| {
@@ -585,8 +712,34 @@ fn main() {
          did not run; ntt_forward/ntt_inverse are the process-wide kernel histograms, \
          mean ns-scale per transform), queue_wait_p50_us = median submit-to-dispatch \
          queue wait (null when nothing was recorded)\",\n  \
-         \"samples\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+         \"samples\": [\n{}\n  ],\n  \
+         \"key_note\": \"key_traffic rows measure key-distribution bytes on the client's \
+         transfer ledger against a fresh keyless node each row (KeyOffer/KeyNeed/KeyUpload/\
+         KeyAck framing included): strict_cold = non-seeded container uploaded once, \
+         seeded_cold = seed-expandable container uploaded once, seeded_warm = one upload \
+         amortized over 8 batches riding the node's LRU key cache; cache_hits/cache_misses \
+         are the node's keycache counters for the row's workload\",\n  \
+         \"key_traffic\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        key_rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"mode\": \"{}\", \"batches\": {}, \"container_bytes\": {}, \
+                     \"key_bytes_sent\": {}, \"key_bytes_received\": {}, \
+                     \"key_bytes_per_batch\": {:.1}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+                    r.mode,
+                    r.batches,
+                    r.container_bytes,
+                    r.key_bytes_sent,
+                    r.key_bytes_received,
+                    r.key_bytes_per_batch,
+                    r.cache_hits,
+                    r.cache_misses
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
     );
     std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
     println!("\nwrote BENCH_runtime.json");

@@ -294,6 +294,24 @@ impl GaloisKeys {
         self.keys.get(&g)
     }
 
+    /// The stored automorphism exponents in ascending order (the canonical
+    /// traversal order used by the wire encoding and seed derivation).
+    pub fn exponents(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.keys.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Mutable access to a stored key (reseeding rewrites masks in place).
+    pub(crate) fn key_for_mut(&mut self, g: usize) -> Option<&mut KeySwitchKey> {
+        self.keys.get_mut(&g)
+    }
+
+    /// Inserts an already-built switching key (wire decoding uses this).
+    pub(crate) fn insert_key(&mut self, g: usize, key: KeySwitchKey) {
+        self.keys.insert(g, key);
+    }
+
     /// Number of stored keys.
     pub fn len(&self) -> usize {
         self.keys.len()

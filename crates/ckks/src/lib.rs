@@ -32,6 +32,7 @@ pub mod context;
 pub mod conventional;
 pub mod encoding;
 pub mod key;
+pub mod key_wire;
 pub mod keyswitch;
 pub mod linear;
 pub mod ops;
@@ -45,6 +46,10 @@ pub use context::CkksContext;
 pub use conventional::{ConvBootstrapConfig, ConventionalBootstrapper};
 pub use encoding::Encoder;
 pub use key::{GaloisKeys, KeySwitchKey, PublicKey, RelinearizationKey, SecretKey};
+pub use key_wire::{
+    cks_from_wire, cks_to_wire, cks_wire_size, gks_from_wire, gks_to_wire, gks_wire_size,
+    reseed_cks, reseed_galois_keys,
+};
 pub use linear::SlotMatrix;
 pub use params::{CkksParams, CkksParamsBuilder, ParamsError};
 pub use plaintext::Plaintext;

@@ -25,6 +25,7 @@
 use rand::Rng;
 
 use heap_ckks::{Ciphertext, CkksContext, GaloisKeys, SecretKey};
+use heap_math::wire::derive_seed;
 use heap_math::RnsPoly;
 use heap_parallel::{par_map, par_map_init, Parallelism};
 use heap_tfhe::blind_rotate::MonomialEvals;
@@ -87,6 +88,91 @@ impl BootstrapConfig {
     }
 }
 
+/// The public evaluation keys a bootstrapper runs on, separated from the
+/// precomputation so they can be serialized, reseeded, and shipped to
+/// remote nodes (`heap-keys` builds its wire bundles from this).
+#[derive(Debug, Clone)]
+pub struct GeneratedKeys {
+    /// LWE key switch: ring dimension `N` → `n_t`, over `q_0`.
+    pub ksk: LweKeySwitchKey,
+    /// Blind rotation key over the raised basis.
+    pub brk: BlindRotateKey,
+    /// Galois keys for the repacking automorphism tree.
+    pub gks: GaloisKeys,
+}
+
+/// Generates the bootstrap evaluation keys for `sk`.
+///
+/// The ephemeral TFHE LWE secret is sampled internally and dropped; only
+/// evaluation-key material is returned. The RNG stream is identical to
+/// [`Bootstrapper::generate`]'s (which delegates here), so fixed-seed key
+/// digests are stable across both entry points.
+pub fn generate_keys<R: Rng + ?Sized>(
+    ctx: &CkksContext,
+    sk: &SecretKey,
+    config: BootstrapConfig,
+    rng: &mut R,
+) -> GeneratedKeys {
+    let boot_limbs = ctx.boot_limbs();
+    let rns = ctx.rns();
+    let ring_sk = RingSecretKey::from_coeffs(rns, boot_limbs, sk.coeffs().to_vec());
+    let lwe_sk = LweSecretKey::generate(rng, config.n_t);
+    let ring_as_lwe = LweSecretKey::from_coeffs(sk.coeffs().to_vec());
+    let q0 = ctx.q_modulus(0);
+    let ksk = LweKeySwitchKey::generate(
+        &ring_as_lwe,
+        &lwe_sk,
+        q0,
+        config.ks_base_bits,
+        config.ks_digits,
+        rng,
+    );
+    let brk = BlindRotateKey::generate(rns, &lwe_sk, &ring_sk, boot_limbs, config.rgsw, rng);
+    let mut gks = GaloisKeys::new();
+    for g in repack_exponents(ctx.n()) {
+        gks.add_exponent(ctx, sk, g, rng);
+    }
+    GeneratedKeys { ksk, brk, gks }
+}
+
+/// [`generate_keys`] followed by the reseed transform: every uniform mask
+/// in every key is replaced by a PRG stream derived from `master`
+/// (sub-seeds `"ksk"`, `"brk"`, `"gks"` via
+/// [`heap_math::wire::derive_seed`]), with bodies corrected so all phases
+/// are preserved exactly. The result is seed-expandable: its wire encoding
+/// can ship only the seed plus the `b` halves (see `heap-keys`).
+pub fn generate_keys_reseeded<R: Rng + ?Sized>(
+    ctx: &CkksContext,
+    sk: &SecretKey,
+    config: BootstrapConfig,
+    master: u64,
+    rng: &mut R,
+) -> GeneratedKeys {
+    let boot_limbs = ctx.boot_limbs();
+    let rns = ctx.rns();
+    let ring_sk = RingSecretKey::from_coeffs(rns, boot_limbs, sk.coeffs().to_vec());
+    let lwe_sk = LweSecretKey::generate(rng, config.n_t);
+    let ring_as_lwe = LweSecretKey::from_coeffs(sk.coeffs().to_vec());
+    let q0 = ctx.q_modulus(0);
+    let mut ksk = LweKeySwitchKey::generate(
+        &ring_as_lwe,
+        &lwe_sk,
+        q0,
+        config.ks_base_bits,
+        config.ks_digits,
+        rng,
+    );
+    let mut brk = BlindRotateKey::generate(rns, &lwe_sk, &ring_sk, boot_limbs, config.rgsw, rng);
+    let mut gks = GaloisKeys::new();
+    for g in repack_exponents(ctx.n()) {
+        gks.add_exponent(ctx, sk, g, rng);
+    }
+    heap_tfhe::reseed_ksk(&mut ksk, &lwe_sk, q0, derive_seed(master, b"ksk"));
+    heap_tfhe::reseed_brk(&mut brk, rns, &ring_sk, derive_seed(master, b"brk"));
+    heap_ckks::reseed_galois_keys(&mut gks, ctx, sk, derive_seed(master, b"gks"));
+    GeneratedKeys { ksk, brk, gks }
+}
+
 /// Holds all (public) key material and precomputation for bootstrapping.
 ///
 /// # Examples
@@ -123,27 +209,17 @@ impl Bootstrapper {
         config: BootstrapConfig,
         rng: &mut R,
     ) -> Self {
+        Self::from_keys(ctx, config, generate_keys(ctx, sk, config, rng))
+    }
+
+    /// Builds a bootstrapper from already-generated (possibly
+    /// wire-distributed) evaluation keys, rebuilding the secret-free
+    /// precomputation (monomial tables, test polynomial, `t`).
+    pub fn from_keys(ctx: &CkksContext, config: BootstrapConfig, keys: GeneratedKeys) -> Self {
         let boot_limbs = ctx.boot_limbs();
         let rns = ctx.rns();
-        let ring_sk = RingSecretKey::from_coeffs(rns, boot_limbs, sk.coeffs().to_vec());
-        let lwe_sk = LweSecretKey::generate(rng, config.n_t);
-        let ring_as_lwe = LweSecretKey::from_coeffs(sk.coeffs().to_vec());
-        let q0 = ctx.q_modulus(0);
-        let ksk = LweKeySwitchKey::generate(
-            &ring_as_lwe,
-            &lwe_sk,
-            q0,
-            config.ks_base_bits,
-            config.ks_digits,
-            rng,
-        );
-        let brk = BlindRotateKey::generate(rns, &lwe_sk, &ring_sk, boot_limbs, config.rgsw, rng);
-        let mut gks = GaloisKeys::new();
-        for g in repack_exponents(ctx.n()) {
-            gks.add_exponent(ctx, sk, g, rng);
-        }
         let monomials = MonomialEvals::new(rns, boot_limbs);
-        let q0_val = q0.value() as i64;
+        let q0_val = ctx.q_modulus(0).value() as i64;
         let test_poly = test_polynomial_from_fn(rns, boot_limbs, |u| q0_val * u);
         let denom = 2 * ctx.n() as u64 * repack_factor(ctx.n());
         let t_scalar = ((ctx.aux_modulus().value() as f64) / denom as f64).round() as i64;
@@ -153,14 +229,24 @@ impl Bootstrapper {
         );
         Self {
             config,
-            ksk,
-            brk,
-            gks,
+            ksk: keys.ksk,
+            brk: keys.brk,
+            gks: keys.gks,
             monomials,
             test_poly,
             t_scalar,
             stages: StageMetrics::new(),
         }
+    }
+
+    /// The LWE key-switching key (wire bundling reads it back out).
+    pub fn ksk(&self) -> &LweKeySwitchKey {
+        &self.ksk
+    }
+
+    /// The repacking Galois keys.
+    pub fn galois_keys(&self) -> &GaloisKeys {
+        &self.gks
     }
 
     /// Per-stage latency histograms accumulated by this bootstrapper.
@@ -476,6 +562,56 @@ mod tests {
             assert_eq!(par.c0(), serial.c0(), "threads = {threads}");
             assert_eq!(par.c1(), serial.c1(), "threads = {threads}");
             assert_eq!(par.scale(), serial.scale(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn from_keys_matches_generate_bit_exactly() {
+        let ctx = CkksContext::new(CkksParams::test_tiny());
+        let mut rng = StdRng::seed_from_u64(321);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let config = BootstrapConfig::test_small();
+        let keys = generate_keys(&ctx, &sk, config, &mut rng);
+        let via_keys = Bootstrapper::from_keys(&ctx, config, keys);
+
+        let mut rng = StdRng::seed_from_u64(321);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let direct = Bootstrapper::generate(&ctx, &sk, config, &mut rng);
+
+        let delta = ctx.fresh_scale();
+        let coeffs: Vec<i64> = (0..ctx.n())
+            .map(|i| (((i % 7) as f64 - 3.0) / 40.0 * delta).round() as i64)
+            .collect();
+        let mut crng = StdRng::seed_from_u64(555);
+        let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut crng);
+        let a = via_keys.bootstrap(&ctx, &ct);
+        let b = direct.bootstrap(&ctx, &ct);
+        assert_eq!(a.c0(), b.c0());
+        assert_eq!(a.c1(), b.c1());
+    }
+
+    #[test]
+    fn reseeded_keys_bootstrap_correctly() {
+        let ctx = CkksContext::new(CkksParams::test_tiny());
+        let mut rng = StdRng::seed_from_u64(777);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let config = BootstrapConfig::test_small();
+        let keys = generate_keys_reseeded(&ctx, &sk, config, 0xBEEF, &mut rng);
+        let boot = Bootstrapper::from_keys(&ctx, config, keys);
+        let n = ctx.n();
+        let delta = ctx.fresh_scale();
+        let msg: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) / 50.0).collect();
+        let coeffs: Vec<i64> = msg.iter().map(|m| (m * delta).round() as i64).collect();
+        let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
+        let fresh = boot.bootstrap(&ctx, &ct);
+        let dec = ctx.decrypt_coeffs(&fresh, &sk);
+        for i in 0..n {
+            let got = dec[i] / fresh.scale();
+            assert!(
+                (got - msg[i]).abs() < 0.02,
+                "coeff {i}: got {got}, want {}",
+                msg[i]
+            );
         }
     }
 

@@ -92,6 +92,13 @@ pub struct TransferLedger {
     control_frames_received: AtomicU64,
     control_bytes_sent: AtomicU64,
     control_bytes_received: AtomicU64,
+    // Key-distribution traffic (KeyOffer/KeyNeed/KeyUpload/KeyAck): kept
+    // separate from both data and control so the §III-C key-traffic
+    // reduction is directly measurable per category.
+    key_frames_sent: AtomicU64,
+    key_frames_received: AtomicU64,
+    key_bytes_sent: AtomicU64,
+    key_bytes_received: AtomicU64,
 }
 
 impl TransferLedger {
@@ -149,14 +156,49 @@ impl TransferLedger {
         self.control_bytes_received.load(Ordering::Relaxed)
     }
 
-    /// All bytes sent (LWE payload + control frames).
-    pub fn total_bytes_sent(&self) -> u64 {
-        self.lwe_bytes_sent() + self.control_bytes_sent()
+    /// Key-distribution frames (KeyOffer/KeyUpload/…) sent to secondaries.
+    pub fn key_frames_sent(&self) -> u64 {
+        self.key_frames_sent.load(Ordering::Relaxed)
     }
 
-    /// All bytes received (accumulator payload + control frames).
+    /// Key-distribution frames received from secondaries.
+    pub fn key_frames_received(&self) -> u64 {
+        self.key_frames_received.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of key-distribution frames sent to secondaries.
+    pub fn key_bytes_sent(&self) -> u64 {
+        self.key_bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of key-distribution frames received from secondaries.
+    pub fn key_bytes_received(&self) -> u64 {
+        self.key_bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// All bytes sent (LWE payload + control + key distribution).
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.lwe_bytes_sent() + self.control_bytes_sent() + self.key_bytes_sent()
+    }
+
+    /// All bytes received (accumulator payload + control + key
+    /// distribution).
     pub fn total_bytes_received(&self) -> u64 {
-        self.rlwe_bytes_received() + self.control_bytes_received()
+        self.rlwe_bytes_received() + self.control_bytes_received() + self.key_bytes_received()
+    }
+
+    /// Records one outbound key-distribution frame of `bytes` total wire
+    /// size.
+    pub fn record_key_sent(&self, bytes: u64) {
+        self.key_frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.key_bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one inbound key-distribution frame of `bytes` total wire
+    /// size.
+    pub fn record_key_received(&self, bytes: u64) {
+        self.key_frames_received.fetch_add(1, Ordering::Relaxed);
+        self.key_bytes_received.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Records one outbound control frame of `bytes` total wire size.

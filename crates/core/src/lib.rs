@@ -36,7 +36,9 @@ pub mod stage;
 pub mod stats;
 pub mod switch;
 
-pub use bootstrap::{BootstrapConfig, Bootstrapper};
+pub use bootstrap::{
+    generate_keys, generate_keys_reseeded, BootstrapConfig, Bootstrapper, GeneratedKeys,
+};
 pub use cluster::{ComputeNode, LocalCluster, LocalNode, TransferLedger};
 pub use heap_parallel::Parallelism;
 pub use noise::{measure_coeff_error, predicted_bootstrap_rel_error, ErrorStats};

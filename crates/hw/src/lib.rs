@@ -27,6 +27,7 @@ pub mod units;
 
 pub use baselines::{Platform, SystemPoint};
 pub use device::FpgaDevice;
+pub use keytraffic::EvalKeyWireModel;
 pub use memory::MemoryLayout;
 pub use network::{CmacLink, OverlapSchedule};
 pub use perf::{t_mult_a_slot_us, BootstrapModel, NttModel, OpTimings};

@@ -1,0 +1,250 @@
+//! Node-side LRU key cache with a byte budget.
+//!
+//! Nodes hold expanded key material (typically an `Arc<Bootstrapper>`)
+//! keyed by [`KeyId`] so repeated sessions against the same key skip the
+//! upload. Reuse accounting (hits/misses/evictions/inserts plus resident
+//! gauges) lives in a `heap-telemetry` registry so the node's metrics
+//! endpoint and stats frames expose it alongside the stage histograms.
+
+use std::sync::Arc;
+
+use heap_telemetry::{Counter, Gauge, Registry};
+
+use crate::KeyId;
+
+struct Entry<V> {
+    id: KeyId,
+    value: V,
+    bytes: usize,
+    /// Logical clock of the last touch (insert or hit).
+    stamp: u64,
+}
+
+/// Byte-budgeted LRU cache of expanded key sets.
+///
+/// Eviction policy: on insert, least-recently-used entries are dropped
+/// until the resident total fits the budget. A single entry larger than
+/// the whole budget still inserts (the node cannot serve the batch
+/// without it) — it just evicts everything else and the next insert
+/// evicts it.
+pub struct KeyCache<V> {
+    entries: Vec<Entry<V>>,
+    budget_bytes: usize,
+    clock: u64,
+    registry: Arc<Registry>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    inserts: Arc<Counter>,
+    resident_bytes: Arc<Gauge>,
+    resident_keys: Arc<Gauge>,
+}
+
+impl<V> KeyCache<V> {
+    /// Creates an empty cache holding at most `budget_bytes` of encoded
+    /// key material.
+    pub fn new(budget_bytes: usize) -> Self {
+        let registry = Arc::new(Registry::new("keycache"));
+        let hits = registry.counter(
+            "heap_keycache_hits_total",
+            "key cache lookups served from cache",
+        );
+        let misses = registry.counter(
+            "heap_keycache_misses_total",
+            "key cache lookups requiring an upload",
+        );
+        let evictions = registry.counter(
+            "heap_keycache_evictions_total",
+            "entries evicted to fit the byte budget",
+        );
+        let inserts = registry.counter(
+            "heap_keycache_inserts_total",
+            "entries inserted after upload/expansion",
+        );
+        let resident_bytes = registry.gauge(
+            "heap_keycache_resident_bytes",
+            "bytes of cached key material",
+        );
+        let resident_keys =
+            registry.gauge("heap_keycache_resident_keys", "number of cached key sets");
+        Self {
+            entries: Vec::new(),
+            budget_bytes,
+            clock: 0,
+            registry,
+            hits,
+            misses,
+            evictions,
+            inserts,
+            resident_bytes,
+            resident_keys,
+        }
+    }
+
+    /// The telemetry registry (scope `keycache`) backing the counters.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Counted lookup: bumps recency and the hit/miss counters. This is
+    /// the entry point a `KeyOffer` drives — reuse accounting must match
+    /// the driven workload exactly, so nothing else counts.
+    pub fn lookup(&mut self, id: KeyId) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.iter_mut().find(|e| e.id == id) {
+            Some(e) => {
+                e.stamp = clock;
+                self.hits.inc();
+                Some(&e.value)
+            }
+            None => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Uncounted read: no counters, no recency bump (work execution after
+    /// the offer/ack exchange already accounted the lookup).
+    pub fn peek(&self, id: KeyId) -> Option<&V> {
+        self.entries.iter().find(|e| e.id == id).map(|e| &e.value)
+    }
+
+    /// Inserts (or replaces) an entry of `bytes` encoded size, evicting
+    /// least-recently-used entries until the budget holds.
+    pub fn insert(&mut self, id: KeyId, value: V, bytes: usize) {
+        self.clock += 1;
+        if let Some(pos) = self.entries.iter().position(|e| e.id == id) {
+            self.entries.remove(pos);
+        }
+        self.entries.push(Entry {
+            id,
+            value,
+            bytes,
+            stamp: self.clock,
+        });
+        self.inserts.inc();
+        while self.resident() > self.budget_bytes && self.entries.len() > 1 {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.remove(lru);
+            self.evictions.inc();
+        }
+        self.update_gauges();
+    }
+
+    /// Ids currently resident, most recently used first (what a node
+    /// advertises in its handshake).
+    pub fn ids(&self) -> Vec<KeyId> {
+        let mut with_stamp: Vec<(u64, KeyId)> =
+            self.entries.iter().map(|e| (e.stamp, e.id)).collect();
+        with_stamp.sort_by_key(|e| std::cmp::Reverse(e.0));
+        with_stamp.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Total encoded bytes resident.
+    pub fn resident(&self) -> usize {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn update_gauges(&self) {
+        self.resident_bytes.set(self.resident() as i64);
+        self.resident_keys.set(self.entries.len() as i64);
+    }
+}
+
+impl<V> std::fmt::Debug for KeyCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyCache")
+            .field("entries", &self.entries.len())
+            .field("resident", &self.resident())
+            .field("budget_bytes", &self.budget_bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot_counter(cache: &KeyCache<u32>, name: &str) -> u64 {
+        cache.registry().snapshot().counter(name).unwrap_or(0)
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let mut c = KeyCache::new(1000);
+        assert!(c.lookup(KeyId(1)).is_none());
+        c.insert(KeyId(1), 10, 100);
+        assert_eq!(c.lookup(KeyId(1)), Some(&10));
+        assert_eq!(snapshot_counter(&c, "heap_keycache_hits_total"), 1);
+        assert_eq!(snapshot_counter(&c, "heap_keycache_misses_total"), 1);
+        // peek counts nothing.
+        assert_eq!(c.peek(KeyId(1)), Some(&10));
+        assert_eq!(snapshot_counter(&c, "heap_keycache_hits_total"), 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_under_byte_budget() {
+        let mut c = KeyCache::new(250);
+        c.insert(KeyId(1), 1, 100);
+        c.insert(KeyId(2), 2, 100);
+        // Touch 1 so 2 is now least recent.
+        assert!(c.lookup(KeyId(1)).is_some());
+        c.insert(KeyId(3), 3, 100); // 300 > 250: evict id 2
+        assert!(c.peek(KeyId(2)).is_none());
+        assert!(c.peek(KeyId(1)).is_some());
+        assert!(c.peek(KeyId(3)).is_some());
+        assert_eq!(snapshot_counter(&c, "heap_keycache_evictions_total"), 1);
+        assert_eq!(c.resident(), 200);
+    }
+
+    #[test]
+    fn oversized_entry_still_inserts_alone() {
+        let mut c = KeyCache::new(50);
+        c.insert(KeyId(1), 1, 40);
+        c.insert(KeyId(2), 2, 400);
+        assert_eq!(c.len(), 1);
+        assert!(c.peek(KeyId(2)).is_some());
+    }
+
+    #[test]
+    fn ids_are_most_recent_first() {
+        let mut c = KeyCache::new(1000);
+        c.insert(KeyId(1), 1, 10);
+        c.insert(KeyId(2), 2, 10);
+        assert!(c.lookup(KeyId(1)).is_some());
+        assert_eq!(c.ids(), vec![KeyId(1), KeyId(2)]);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_count() {
+        let mut c = KeyCache::new(1000);
+        c.insert(KeyId(1), 1, 100);
+        c.insert(KeyId(1), 2, 120);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.resident(), 120);
+        assert_eq!(c.peek(KeyId(1)), Some(&2));
+    }
+}

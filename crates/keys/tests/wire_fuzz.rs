@@ -1,0 +1,101 @@
+//! Adversarial-input hardening of the `EKS1` evaluation-key container —
+//! same contract as the other `*_from_wire` suites: truncated prefixes
+//! must decode to `Err`, corrupted or noise buffers must never panic.
+
+use std::sync::OnceLock;
+
+use heap_ckks::{CkksContext, CkksParams, SecretKey};
+use heap_core::{generate_keys, generate_keys_reseeded, BootstrapConfig};
+use heap_keys::EvalKeySet;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Fixtures {
+    ctx: CkksContext,
+    strict: Vec<u8>,
+    seeded: Vec<u8>,
+}
+
+fn fixtures() -> &'static Fixtures {
+    static FIX: OnceLock<Fixtures> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ctx = CkksContext::new(CkksParams::test_tiny());
+        let config = BootstrapConfig::test_small();
+        let mut rng = StdRng::seed_from_u64(2024);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let strict_keys = generate_keys(&ctx, &sk, config, &mut rng);
+        let strict = EvalKeySet::new(&ctx, config, strict_keys, None).to_strict_wire(&ctx);
+        let mut rng = StdRng::seed_from_u64(2025);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let seeded_keys = generate_keys_reseeded(&ctx, &sk, config, 77, &mut rng);
+        let seeded = EvalKeySet::new(&ctx, config, seeded_keys, Some(77)).to_seeded_wire(&ctx);
+        Fixtures {
+            ctx,
+            strict,
+            seeded,
+        }
+    })
+}
+
+fn valid(kind: usize) -> &'static [u8] {
+    let f = fixtures();
+    if kind == 0 {
+        &f.strict
+    } else {
+        &f.seeded
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_prefixes_error_cleanly(kind in 0usize..2, cut in 0usize..1 << 24) {
+        let f = fixtures();
+        let bytes = valid(kind);
+        let cut = cut % bytes.len();
+        prop_assert!(
+            EvalKeySet::from_wire(&f.ctx, &bytes[..cut]).is_err(),
+            "kind {kind}: prefix of {cut}/{} bytes decoded",
+            bytes.len()
+        );
+        prop_assert!(EvalKeySet::from_wire(&f.ctx, bytes).is_ok(), "kind {kind}: full buffer");
+    }
+
+    #[test]
+    fn corrupted_copies_never_panic(
+        kind in 0usize..2,
+        pos in 0usize..1 << 24,
+        xor in 1u64..256,
+    ) {
+        let f = fixtures();
+        let bytes = valid(kind);
+        let mut bad = bytes.to_vec();
+        let pos = pos % bad.len();
+        bad[pos] ^= xor as u8;
+        let _ = EvalKeySet::from_wire(&f.ctx, &bad);
+    }
+
+    #[test]
+    fn pure_noise_never_panics(words in prop::collection::vec(any::<u64>(), 0..64)) {
+        let f = fixtures();
+        let noise: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let _ = EvalKeySet::from_wire(&f.ctx, &noise);
+    }
+
+    #[test]
+    fn noise_with_valid_header_never_panics(
+        kind in 0usize..2,
+        keep in 5usize..40,
+        words in prop::collection::vec(any::<u64>(), 2..48),
+    ) {
+        // Keep magic + version (+ some shape bytes) so decoding reaches
+        // the inner length-prefixed sections.
+        let bytes = valid(kind);
+        let keep = keep.min(bytes.len());
+        let mut buf = bytes[..keep].to_vec();
+        buf.extend(words.iter().flat_map(|w| w.to_le_bytes()));
+        let _ = EvalKeySet::from_wire(&fixtures().ctx, &buf);
+    }
+}

@@ -90,6 +90,30 @@ pub fn packed_size(count: usize, bits: u32) -> usize {
     (count * bits as usize).div_ceil(8)
 }
 
+/// FNV-1a over a byte slice — the repository's canonical 64-bit content
+/// fingerprint (the same constants the digest gates pin).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Derives a labeled sub-seed from a master seed (FNV-1a over the
+/// little-endian master followed by the label bytes).
+///
+/// Seed-expandable key encodings use this so the encoder (which reseeds
+/// the uniform halves) and the decoder (which regenerates them) agree on
+/// one PRG stream per key object without shipping more than the master.
+pub fn derive_seed(master: u64, label: &[u8]) -> u64 {
+    let mut buf = Vec::with_capacity(8 + label.len());
+    buf.extend_from_slice(&master.to_le_bytes());
+    buf.extend_from_slice(label);
+    fnv1a(&buf)
+}
+
 /// A growable wire writer with little-endian primitives.
 #[derive(Debug, Default)]
 pub struct WireWriter {

@@ -94,6 +94,18 @@ pub mod strategy {
         }
     }
 
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            (rng.next_u64() >> 48) as u16
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            (rng.next_u64() >> 56) as u8
+        }
+    }
+
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut StdRng) -> Self {
             rng.next_u64() & 1 == 1

@@ -1,22 +1,31 @@
 //! `heap-node-serve` — run one secondary compute node as a process.
 //!
 //! ```text
-//! heap-node-serve --addr 127.0.0.1:7001 --preset tiny --seed 42
+//! heap-node-serve --addr 127.0.0.1:7001 --preset tiny
 //! ```
 //!
-//! The node regenerates its key material deterministically from
-//! `(--preset, --seed)` — start every node and the client with the same
-//! pair and they agree bit-for-bit (see `heap_runtime::deterministic_setup`
-//! for the security caveat). Once keys are ready and the socket is bound
-//! it prints `LISTENING <addr>` on stdout, which is what the integration
-//! tests and the quick-start in README.md wait for.
+//! By default the node starts *keyless*: it holds no key material at all
+//! and serves whatever evaluation keys clients distribute over the wire
+//! (`KeyOffer`/`KeyUpload` frames, cached by content id in a
+//! byte-budgeted LRU — see `heap_runtime::NodeKeyStore`). The node never
+//! sees a secret key. Once the socket is bound it prints
+//! `LISTENING <addr>` on stdout, which is what the integration tests and
+//! the quick-start in README.md wait for.
 //!
 //! Options:
 //!
 //! - `--addr HOST:PORT` — listen address (default `127.0.0.1:0`,
 //!   an ephemeral port, printed in the `LISTENING` line)
 //! - `--preset tiny|small|medium` — parameter preset (default `tiny`)
-//! - `--seed N` — key-generation seed (default `42`)
+//! - `--key-cache-bytes N` — byte budget for the wire-distributed key
+//!   cache (default: unbounded); least-recently-used key sets are
+//!   evicted when uploads exceed it
+//! - `--insecure-seed N` — legacy shared-seed mode: regenerate *all*
+//!   key material (including the secret key!) deterministically from
+//!   `(--preset, N)` and serve it as the node's default key. Every node
+//!   and client started with the same pair agree bit-for-bit. Only for
+//!   reproduction runs on trusted hosts — the seed derives the secret
+//!   key, which is why the flag says so.
 //! - `--threads N` — blind-rotation thread budget (default: the
 //!   `HEAP_THREADS` env var, else all hardware threads)
 //! - `--fail-after N` — serve `N` blind-rotate requests, then drop the
@@ -29,15 +38,17 @@
 //!   recover). See `heap_runtime::FaultPlan` for the grammar.
 //! - `--metrics-addr HOST:PORT` — also serve a metrics endpoint
 //!   (`GET /metrics` Prometheus text, `GET /metrics.json`) exposing the
-//!   node's request counters and per-stage bootstrap histograms. The
-//!   bound address is printed as `METRICS <addr>` on stdout, *after* the
-//!   `LISTENING` line.
+//!   node's request counters, the key cache's hit/miss/eviction
+//!   counters, and (with `--insecure-seed`) the per-stage bootstrap
+//!   histograms. The bound address is printed as `METRICS <addr>` on
+//!   stdout, *after* the `LISTENING` line.
 //! - `--session-addr HOST:PORT` — also run a full in-process
 //!   `BootstrapService` (staged pipeline backed by this node's threads)
 //!   fronted by a multiplexed session listener: any number of
 //!   `SessionClient`s submit tagged jobs over one socket each and
-//!   completions stream back out of order. The bound address is printed
-//!   as `SESSIONS <addr>` after the `LISTENING` line.
+//!   completions stream back out of order. Requires `--insecure-seed`
+//!   (the in-process service needs local key material). The bound
+//!   address is printed as `SESSIONS <addr>` after the `LISTENING` line.
 //! - `--slo-ms N` — with `--session-addr`: enable SLO admission control
 //!   with an `N`-millisecond deadline; over-SLO submissions get a typed
 //!   rejection with a retry hint instead of queueing.
@@ -46,17 +57,19 @@ use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use heap_ckks::CkksContext;
 use heap_parallel::Parallelism;
 use heap_runtime::{
-    deterministic_setup, serve, BootstrapService, FaultPlan, NodeTelemetry, ParamPreset,
-    RuntimeConfig, ServeOptions, SessionServer, SloPolicy,
+    insecure_deterministic_setup, serve, serve_keyless, BootstrapService, FaultPlan, NodeKeyStore,
+    NodeTelemetry, ParamPreset, RuntimeConfig, ServeOptions, SessionServer, SloPolicy,
 };
 use heap_telemetry::{Exposition, MetricsServer};
 
 struct Args {
     addr: String,
     preset: ParamPreset,
-    seed: u64,
+    insecure_seed: Option<u64>,
+    key_cache_bytes: Option<usize>,
     threads: Option<usize>,
     fail_after: Option<u64>,
     fault_plan: Option<FaultPlan>,
@@ -69,7 +82,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:0".to_string(),
         preset: ParamPreset::Tiny,
-        seed: 42,
+        insecure_seed: None,
+        key_cache_bytes: None,
         threads: None,
         fail_after: None,
         fault_plan: None,
@@ -83,10 +97,27 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
             "--preset" => args.preset = value("--preset")?.parse()?,
+            "--insecure-seed" => {
+                args.insecure_seed = Some(
+                    value("--insecure-seed")?
+                        .parse()
+                        .map_err(|e| format!("--insecure-seed: {e}"))?,
+                )
+            }
             "--seed" => {
-                args.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
+                return Err(
+                    "--seed was renamed: shared-seed setup hands every node the secret key. \
+                     Pass --insecure-seed N if that is really what you want (trusted hosts, \
+                     reproduction runs); the default is now keyless wire-distributed keys."
+                        .to_string(),
+                )
+            }
+            "--key-cache-bytes" => {
+                args.key_cache_bytes = Some(
+                    value("--key-cache-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--key-cache-bytes: {e}"))?,
+                )
             }
             "--threads" => {
                 args.threads = Some(
@@ -121,8 +152,9 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: heap-node-serve [--addr HOST:PORT] [--preset tiny|small|medium] \
-                            [--seed N] [--threads N] [--fail-after N] [--fault-plan PLAN] \
-                            [--metrics-addr HOST:PORT] [--session-addr HOST:PORT] [--slo-ms N]"
+                            [--key-cache-bytes N] [--insecure-seed N] [--threads N] \
+                            [--fail-after N] [--fault-plan PLAN] [--metrics-addr HOST:PORT] \
+                            [--session-addr HOST:PORT] [--slo-ms N]"
                         .to_string(),
                 )
             }
@@ -144,11 +176,19 @@ fn main() -> ExitCode {
         Some(t) => Parallelism::with_threads(t),
         None => Parallelism::from_env(),
     };
-    eprintln!(
-        "heap-node-serve: generating keys (preset={}, seed={}) ...",
-        args.preset, args.seed
-    );
-    let setup = deterministic_setup(args.preset, args.seed);
+    let key_store = NodeKeyStore::new(args.key_cache_bytes);
+    let insecure = args.insecure_seed.map(|seed| {
+        eprintln!(
+            "heap-node-serve: INSECURE shared-seed mode — generating keys \
+             (preset={}, seed={seed}) ...",
+            args.preset
+        );
+        insecure_deterministic_setup(args.preset, seed)
+    });
+    let ctx = match &insecure {
+        Some(setup) => Arc::clone(&setup.ctx),
+        None => Arc::new(CkksContext::new(args.preset.ckks_params())),
+    };
     let listener = match TcpListener::bind(&args.addr) {
         Ok(l) => l,
         Err(e) => {
@@ -169,9 +209,12 @@ fn main() -> ExitCode {
     // scrape endpoint.
     let _metrics_server = match &args.metrics_addr {
         Some(metrics_addr) => {
-            let exposition = Exposition::new()
+            let mut exposition = Exposition::new()
                 .with_registry(telemetry.registry())
-                .with_registry(setup.boot.stage_metrics().registry());
+                .with_registry(&key_store.registry());
+            if let Some(setup) = &insecure {
+                exposition = exposition.with_registry(setup.boot.stage_metrics().registry());
+            }
             match MetricsServer::serve(metrics_addr, exposition) {
                 Ok(server) => {
                     println!("METRICS {}", server.addr());
@@ -190,6 +233,13 @@ fn main() -> ExitCode {
     // session front-end, when requested.
     let _session = match &args.session_addr {
         Some(session_addr) => {
+            let Some(setup) = &insecure else {
+                eprintln!(
+                    "heap-node-serve: --session-addr requires --insecure-seed \
+                     (the in-process service needs local key material)"
+                );
+                return ExitCode::FAILURE;
+            };
             let config = RuntimeConfig {
                 queue_capacity: 256,
                 admission: args.slo_ms.map(|ms| SloPolicy {
@@ -231,8 +281,13 @@ fn main() -> ExitCode {
         fail_after: args.fail_after,
         fault_plan: args.fault_plan,
         telemetry: Some(telemetry),
+        key_store: Some(key_store),
     };
-    match serve(listener, setup.ctx, setup.boot, opts) {
+    let result = match insecure {
+        Some(setup) => serve(listener, setup.ctx, setup.boot, opts),
+        None => serve_keyless(listener, ctx, opts),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("heap-node-serve: {e}");

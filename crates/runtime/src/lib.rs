@@ -54,7 +54,7 @@
 //! ```no_run
 //! use heap_runtime::{BootstrapService, ParamPreset, RuntimeConfig};
 //!
-//! let setup = heap_runtime::deterministic_setup(ParamPreset::Tiny, 42);
+//! let setup = heap_runtime::insecure_deterministic_setup(ParamPreset::Tiny, 42);
 //! let service =
 //!     BootstrapService::start(setup.ctx, setup.boot, RuntimeConfig::default()).unwrap();
 //! // submit jobs from any number of client threads, then:
@@ -78,14 +78,22 @@ pub use batch::BatchPolicy;
 pub use fault::{ChaosNode, FaultAction, FaultPlan, FaultState};
 pub use job::{JobHandle, JobId, JobOutput, JobRequest, Priority, TenantId};
 pub use node::{LocalServiceNode, NodeError, ServiceNode};
-pub use preset::{deterministic_setup, DeterministicSetup, ParamPreset};
+pub use preset::{
+    insecure_deterministic_setup, keyed_setup, DeterministicSetup, KeyedSetup, ParamPreset,
+};
 pub use queue::FairnessPolicy;
-pub use remote::{serve, NodeTelemetry, NodeTimeouts, RemoteNode, ServeOptions};
+pub use remote::{
+    serve, serve_keyless, NodeKeyStore, NodeTelemetry, NodeTimeouts, RemoteNode, ServeOptions,
+};
 pub use scheduler::{RetryPolicy, Scheduler, SchedulerStats};
 pub use service::{
     BootstrapService, PipelineConfig, RuntimeConfig, RuntimeStats, SloPolicy, SubmitOptions,
 };
 pub use session::{SessionClient, SessionJob, SessionServer};
+
+// The key-distribution vocabulary types, re-exported so runtime clients
+// need not depend on `heap-keys` directly.
+pub use heap_keys::{EvalKeySet, KeyId, KeyPackage};
 
 /// Errors surfaced to clients of the runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -71,6 +71,15 @@ pub trait ServiceNode: Send + Sync {
         Ok(())
     }
 
+    /// Whether this node already holds the evaluation key its next batch
+    /// runs under (no upload needed). The scheduler prefers key-holding
+    /// nodes when ranking dispatch targets. In-process nodes (and remote
+    /// nodes riding the server's default key) trivially do; a wire-keyed
+    /// [`crate::RemoteNode`] answers from its handshake/ack knowledge.
+    fn holds_key(&self) -> bool {
+        true
+    }
+
     /// Human-readable node name (diagnostics and stats).
     fn name(&self) -> String {
         "node".to_string()

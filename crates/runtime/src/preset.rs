@@ -1,19 +1,27 @@
-//! Named parameter presets and deterministic key setup.
+//! Named parameter presets and client/node key setup.
 //!
-//! A remote node must hold the *same* evaluation keys as the primary.
-//! Rather than shipping multi-megabyte key material over the wire, both
-//! sides regenerate it from a shared `(preset, seed)` pair: key generation
-//! is a deterministic function of the RNG stream, so identical seeds yield
-//! bit-identical `Bootstrapper`s in separate processes. This is a
-//! *reproduction convenience*, not a deployment pattern — a real service
-//! distributes public evaluation keys and never shares the seed that
-//! derives the secret key (see DESIGN.md).
+//! Two setup paths exist:
+//!
+//! - [`keyed_setup`] — the default. The client generates seed-expandable
+//!   evaluation keys locally ([`heap_core::generate_keys_reseeded`]) and
+//!   gets a [`KeyPackage`] to distribute over the wire
+//!   (`RemoteNode::with_key`); nodes run [`crate::serve_keyless`] and
+//!   never see a secret. This is how a real deployment keys a cluster.
+//! - [`insecure_deterministic_setup`] — the legacy reproduction
+//!   convenience: every process regenerates *all* key material
+//!   (including the secret key) from a shared `(preset, seed)` pair.
+//!   Handy for bit-identity digests and single-process tests, but the
+//!   shared seed derives the secret key, so it must never key a cluster
+//!   whose nodes are not fully trusted — hence the name, and the
+//!   `--insecure-seed` spelling in `heap-node-serve`.
 
 use std::str::FromStr;
 use std::sync::Arc;
 
 use heap_ckks::{CkksContext, CkksParams, SecretKey};
-use heap_core::{BootstrapConfig, Bootstrapper};
+use heap_core::{generate_keys_reseeded, BootstrapConfig, Bootstrapper};
+use heap_keys::{EvalKeySet, KeyPackage};
+use heap_math::wire::derive_seed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -73,7 +81,8 @@ impl std::fmt::Display for ParamPreset {
     }
 }
 
-/// Everything a process needs to act as primary or secondary.
+/// Everything a process needs to act as primary or secondary when the
+/// whole cluster regenerates keys from one shared seed.
 pub struct DeterministicSetup {
     /// The CKKS context for the preset.
     pub ctx: Arc<CkksContext>,
@@ -87,8 +96,10 @@ pub struct DeterministicSetup {
 
 /// Regenerates context, secret key, and bootstrap keys from `(preset,
 /// seed)`. Two processes calling this with equal arguments hold
-/// bit-identical key material.
-pub fn deterministic_setup(preset: ParamPreset, seed: u64) -> DeterministicSetup {
+/// bit-identical key material — *including the secret key*, which is why
+/// this must never key a cluster of untrusted nodes. Use [`keyed_setup`]
+/// plus wire distribution instead.
+pub fn insecure_deterministic_setup(preset: ParamPreset, seed: u64) -> DeterministicSetup {
     let ctx = Arc::new(CkksContext::new(preset.ckks_params()));
     let mut rng = StdRng::seed_from_u64(seed);
     let sk = SecretKey::generate(&ctx, &mut rng);
@@ -99,6 +110,38 @@ pub fn deterministic_setup(preset: ParamPreset, seed: u64) -> DeterministicSetup
         &mut rng,
     ));
     DeterministicSetup { ctx, sk, boot }
+}
+
+/// A client-side setup whose evaluation keys ship over the wire: the
+/// secret key stays here, nodes receive only the public [`KeyPackage`].
+pub struct KeyedSetup {
+    /// The CKKS context for the preset.
+    pub ctx: Arc<CkksContext>,
+    /// The secret key — never leaves this process.
+    pub sk: SecretKey,
+    /// The client's own bootstrapper, built from the same keys the
+    /// package encodes (reference executions are bit-identical to what a
+    /// node expands from the upload).
+    pub boot: Arc<Bootstrapper>,
+    /// Seed-expandable evaluation-key package for `RemoteNode::with_key`.
+    pub key: Arc<KeyPackage>,
+}
+
+/// Generates a secret key and *seed-expandable* evaluation keys for
+/// `(preset, seed)`, packaging them for wire distribution to keyless
+/// nodes. Deterministic: equal arguments yield the same [`heap_keys::KeyId`],
+/// so several clients of one logical tenant share a node's cache entry.
+pub fn keyed_setup(preset: ParamPreset, seed: u64) -> KeyedSetup {
+    let ctx = Arc::new(CkksContext::new(preset.ckks_params()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let config = preset.bootstrap_config();
+    let master = derive_seed(seed, b"heap-keys/master");
+    let keys = generate_keys_reseeded(&ctx, &sk, config, master, &mut rng);
+    let set = EvalKeySet::new(&ctx, config, keys, Some(master));
+    let key = Arc::new(set.package(&ctx));
+    let boot = Arc::new(set.into_bootstrapper(&ctx));
+    KeyedSetup { ctx, sk, boot, key }
 }
 
 #[cfg(test)]
@@ -116,8 +159,8 @@ mod tests {
 
     #[test]
     fn same_seed_regenerates_identical_keys() {
-        let a = deterministic_setup(ParamPreset::Tiny, 7);
-        let b = deterministic_setup(ParamPreset::Tiny, 7);
+        let a = insecure_deterministic_setup(ParamPreset::Tiny, 7);
+        let b = insecure_deterministic_setup(ParamPreset::Tiny, 7);
         assert_eq!(a.sk.coeffs(), b.sk.coeffs());
         // The evaluation keys must agree too: a blind rotation of the same
         // LWE through both bootstrappers is bit-identical.
@@ -136,8 +179,44 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = deterministic_setup(ParamPreset::Tiny, 1);
-        let b = deterministic_setup(ParamPreset::Tiny, 2);
+        let a = insecure_deterministic_setup(ParamPreset::Tiny, 1);
+        let b = insecure_deterministic_setup(ParamPreset::Tiny, 2);
         assert_ne!(a.sk.coeffs(), b.sk.coeffs());
+    }
+
+    #[test]
+    fn keyed_setup_is_deterministic_and_seed_expandable() {
+        let a = keyed_setup(ParamPreset::Tiny, 9);
+        let b = keyed_setup(ParamPreset::Tiny, 9);
+        assert_eq!(a.key.id, b.key.id, "same (preset, seed) → same KeyId");
+        assert_eq!(a.key.bytes, b.key.bytes);
+        assert!(
+            a.key.bytes.len() * 5 < a.key.strict_len * 3,
+            "package must use the seed-expandable encoding ({} vs strict {})",
+            a.key.bytes.len(),
+            a.key.strict_len
+        );
+        let c = keyed_setup(ParamPreset::Tiny, 10);
+        assert_ne!(a.key.id, c.key.id);
+    }
+
+    #[test]
+    fn keyed_setup_boot_matches_expanded_package() {
+        let s = keyed_setup(ParamPreset::Tiny, 11);
+        let expanded = EvalKeySet::from_wire(&s.ctx, &s.key.bytes)
+            .expect("package decodes")
+            .into_bootstrapper(&s.ctx);
+        let lwe = heap_tfhe::LweCiphertext {
+            a: (0..s.boot.config().n_t as u64).collect(),
+            b: 5,
+            modulus: 2 * s.ctx.n() as u64,
+        };
+        let moduli: Vec<u64> = (0..s.ctx.boot_limbs())
+            .map(|j| s.ctx.rns().modulus(j).value())
+            .collect();
+        assert_eq!(
+            s.boot.blind_rotate_one(&s.ctx, &lwe).to_wire(&moduli),
+            expanded.blind_rotate_one(&s.ctx, &lwe).to_wire(&moduli),
+        );
     }
 }

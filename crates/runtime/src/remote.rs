@@ -26,10 +26,27 @@
 //! ```
 //!
 //! A session is `Hello → HelloAck` (both directions validate the ring
-//! shape: `N`, boot limbs, `q_0`) followed by any number of
+//! shape: `N`, boot limbs, `q_0`; the ack additionally advertises the
+//! key ids the node caches) followed by any number of
 //! `BlindRotateReq → BlindRotateResp`, `Ping → Pong`, and
 //! `StatsReq → StatsResp` exchanges. Either side may send `Error`
 //! (UTF-8 reason) and hang up; `Shutdown` ends the session cleanly.
+//!
+//! # Key distribution
+//!
+//! Every `BlindRotateReq` payload leads with a `u64 LE` key id naming
+//! the evaluation-key set the batch must run under. Id `0` is the
+//! sentinel for the server's pre-loaded default key (the insecure-seed
+//! compatibility path); any other id must be resident in the server's
+//! [`heap_keys::KeyCache`] (see [`NodeKeyStore`]). A wire-keyed client
+//! ([`RemoteNode::with_key`]) precedes each batch with a `KeyOffer`
+//! carrying the id — the server's *one counted cache lookup per batch*,
+//! so hit/miss telemetry matches the driven workload exactly — and
+//! uploads the encoded [`heap_keys::EvalKeySet`] container only when the
+//! server answers `KeyNeed`. The server expands the (typically
+//! seed-expandable) container, verifies the recomputed content id
+//! against the offered one, and answers `KeyAck`. Key frames land in
+//! the ledger's dedicated key counters, separate from data and control.
 //!
 //! `StatsResp` carries the server's telemetry counters (see
 //! [`NodeTelemetry`]) as a flat `name → u64` table, so a client can read
@@ -53,6 +70,7 @@
 //! across all connections — the socket half of the deterministic
 //! fault-injection harness.
 
+use std::collections::HashSet;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -61,6 +79,7 @@ use std::time::Duration;
 
 use heap_ckks::CkksContext;
 use heap_core::{Bootstrapper, ComputeNode, TransferLedger};
+use heap_keys::{EvalKeySet, KeyCache, KeyId, KeyPackage};
 use heap_parallel::Parallelism;
 use heap_telemetry::{Counter, MetricValue, Registry, Snapshot};
 use heap_tfhe::{
@@ -103,6 +122,16 @@ pub(crate) enum FrameKind {
     SubmitAck = 11,
     /// Session: a tagged job finished (out-of-order completion stream).
     JobDone = 12,
+    /// Key distribution: `u64 LE` key id the client wants to run under.
+    KeyOffer = 13,
+    /// Key distribution: the offered id is not resident — upload it.
+    /// Payload echoes the id.
+    KeyNeed = 14,
+    /// Key distribution: `u64 LE` key id followed by the encoded
+    /// `EvalKeySet` container (seed-expandable or strict).
+    KeyUpload = 15,
+    /// Key distribution: the id (echoed in the payload) is now resident.
+    KeyAck = 16,
 }
 
 impl FrameKind {
@@ -121,6 +150,10 @@ impl FrameKind {
             10 => Some(FrameKind::SubmitReq),
             11 => Some(FrameKind::SubmitAck),
             12 => Some(FrameKind::JobDone),
+            13 => Some(FrameKind::KeyOffer),
+            14 => Some(FrameKind::KeyNeed),
+            15 => Some(FrameKind::KeyUpload),
+            16 => Some(FrameKind::KeyAck),
             _ => None,
         }
     }
@@ -386,6 +419,57 @@ pub(crate) fn check_hello(local: &[u8], payload: &[u8]) -> Result<(), String> {
     Ok(())
 }
 
+/// `HelloAck` payload: the ring shape followed by the key ids the node
+/// caches (`u32 LE` count, then `u64 LE` ids, most recently used first).
+fn hello_ack_payload(local_hello: &[u8], ids: &[KeyId]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(local_hello.len() + 4 + 8 * ids.len());
+    p.extend_from_slice(local_hello);
+    p.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+    for id in ids {
+        p.extend_from_slice(&id.0.to_le_bytes());
+    }
+    p
+}
+
+/// Validates a `HelloAck` against the local ring shape and returns the
+/// advertised cached key ids.
+pub(crate) fn check_hello_ack(local: &[u8], payload: &[u8]) -> Result<Vec<u64>, String> {
+    if payload.len() < HELLO_BYTES + 4 {
+        return Err(format!("hello-ack payload is {} bytes", payload.len()));
+    }
+    check_hello(local, &payload[..HELLO_BYTES])?;
+    let count = u32::from_le_bytes(
+        payload[HELLO_BYTES..HELLO_BYTES + 4]
+            .try_into()
+            .expect("4 bytes"),
+    ) as usize;
+    let ids = &payload[HELLO_BYTES + 4..];
+    if ids.len() != count.saturating_mul(8) {
+        return Err(format!(
+            "hello-ack advertises {count} keys but carries {} id bytes",
+            ids.len()
+        ));
+    }
+    Ok(ids
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect())
+}
+
+/// A `KeyAck`/`KeyNeed` reply payload is the echoed `u64 LE` key id.
+fn check_key_reply(expected: u64, payload: &[u8]) -> Result<(), NodeError> {
+    let bytes: [u8; 8] = payload
+        .try_into()
+        .map_err(|_| NodeError::Protocol(format!("key reply carried {} bytes", payload.len())))?;
+    let got = u64::from_le_bytes(bytes);
+    if got != expected {
+        return Err(NodeError::Protocol(format!(
+            "key reply echoed {got:016x}, offered {expected:016x}"
+        )));
+    }
+    Ok(())
+}
+
 /// A secondary compute node reached over TCP.
 ///
 /// The connection is request–response under an internal lock, so a
@@ -397,11 +481,18 @@ pub(crate) fn check_hello(local: &[u8], payload: &[u8]) -> Result<(), String> {
 pub struct RemoteNode {
     name: String,
     addr: String,
-    /// The local ring shape, sent as `Hello` and expected back verbatim.
+    /// The local ring shape, sent as `Hello` and expected back as the
+    /// `HelloAck` prefix.
     hello: Vec<u8>,
     timeouts: NodeTimeouts,
     stream: Mutex<Option<TcpStream>>,
     ledger: Option<Arc<TransferLedger>>,
+    /// The client's evaluation-key package; `None` rides the server's
+    /// pre-loaded default key (the insecure-seed compatibility path).
+    key: Option<Arc<KeyPackage>>,
+    /// Key ids the server is known to hold: seeded from each `HelloAck`,
+    /// extended by every `KeyAck`. Drives [`ServiceNode::holds_key`].
+    known: Mutex<HashSet<u64>>,
 }
 
 impl RemoteNode {
@@ -448,6 +539,8 @@ impl RemoteNode {
             timeouts,
             stream: Mutex::new(None),
             ledger,
+            key: None,
+            known: Mutex::new(HashSet::new()),
         };
         let stream = node.dial()?;
         *node.lock_stream() = Some(stream);
@@ -460,6 +553,19 @@ impl RemoteNode {
         self
     }
 
+    /// Attaches the evaluation-key package every batch must run under.
+    /// Each batch is preceded by a `KeyOffer`; the encoded container is
+    /// uploaded only when the server does not already cache the id.
+    pub fn with_key(mut self, key: Arc<KeyPackage>) -> Self {
+        self.key = Some(key);
+        self
+    }
+
+    /// The key id this node's batches run under (`None` = server default).
+    pub fn key_id(&self) -> Option<KeyId> {
+        self.key.as_ref().map(|k| k.id)
+    }
+
     /// The deadlines this node applies to its socket operations.
     pub fn timeouts(&self) -> NodeTimeouts {
         self.timeouts
@@ -469,6 +575,12 @@ impl RemoteNode {
     /// `Option<TcpStream>`; recover it rather than cascading the panic.
     fn lock_stream(&self) -> std::sync::MutexGuard<'_, Option<TcpStream>> {
         self.stream
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_known(&self) -> std::sync::MutexGuard<'_, HashSet<u64>> {
+        self.known
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
@@ -509,7 +621,12 @@ impl RemoteNode {
         }
         match kind {
             FrameKind::HelloAck => {
-                check_hello(&self.hello, &payload).map_err(NodeError::Protocol)?
+                let ids = check_hello_ack(&self.hello, &payload).map_err(NodeError::Protocol)?;
+                // A fresh handshake resets what we believe the server
+                // holds — a restarted peer starts with an empty cache.
+                let mut known = self.lock_known();
+                known.clear();
+                known.extend(ids);
             }
             FrameKind::Error => {
                 return Err(NodeError::Remote(
@@ -535,6 +652,18 @@ impl RemoteNode {
         payload: &[u8],
         expect: FrameKind,
     ) -> Result<(Vec<u8>, u64, u64), NodeError> {
+        let (_, reply, sent, received) = self.exchange_any(request, payload, &[expect])?;
+        Ok((reply, sent, received))
+    }
+
+    /// [`Self::exchange`] accepting any of several reply kinds — the key
+    /// handshake's offer legitimately gets either `KeyAck` or `KeyNeed`.
+    fn exchange_any(
+        &self,
+        request: FrameKind,
+        payload: &[u8],
+        expect: &[FrameKind],
+    ) -> Result<(FrameKind, Vec<u8>, u64, u64), NodeError> {
         let t = self.timeouts;
         let mut guard = self.lock_stream();
         if guard.is_none() {
@@ -547,7 +676,7 @@ impl RemoteNode {
             let (kind, reply, received) =
                 read_frame(stream).map_err(|e| e.into_node("read", t.read))?;
             match kind {
-                k if k == expect => Ok((reply, sent, received)),
+                k if expect.contains(&k) => Ok((k, reply, sent, received)),
                 FrameKind::Error => {
                     // An Error frame is control traffic regardless of
                     // what the request was; keep it visible.
@@ -559,7 +688,7 @@ impl RemoteNode {
                     ))
                 }
                 other => Err(NodeError::Protocol(format!(
-                    "expected {expect:?}, got {other:?}"
+                    "expected one of {expect:?}, got {other:?}"
                 ))),
             }
         })();
@@ -567,6 +696,41 @@ impl RemoteNode {
             *guard = None;
         }
         result
+    }
+
+    /// Ensures the server holds `key` before a batch: one `KeyOffer` per
+    /// batch — the server's single *counted* cache lookup, so its
+    /// hit/miss telemetry matches the driven workload one-to-one — and a
+    /// `KeyUpload` of the encoded container only on `KeyNeed`. All key
+    /// frames land in the ledger's key counters.
+    fn offer_key(&self, key: &KeyPackage) -> Result<(), NodeError> {
+        let offer = key.id.0.to_le_bytes();
+        let (kind, reply, sent, received) = self.exchange_any(
+            FrameKind::KeyOffer,
+            &offer,
+            &[FrameKind::KeyAck, FrameKind::KeyNeed],
+        )?;
+        if let Some(ledger) = &self.ledger {
+            ledger.record_key_sent(sent);
+            ledger.record_key_received(received);
+        }
+        check_key_reply(key.id.0, &reply)?;
+        if kind == FrameKind::KeyAck {
+            self.lock_known().insert(key.id.0);
+            return Ok(());
+        }
+        let mut upload = Vec::with_capacity(8 + key.bytes.len());
+        upload.extend_from_slice(&key.id.0.to_le_bytes());
+        upload.extend_from_slice(&key.bytes);
+        let (reply, sent, received) =
+            self.exchange(FrameKind::KeyUpload, &upload, FrameKind::KeyAck)?;
+        if let Some(ledger) = &self.ledger {
+            ledger.record_key_sent(sent);
+            ledger.record_key_received(received);
+        }
+        check_key_reply(key.id.0, &reply)?;
+        self.lock_known().insert(key.id.0);
+        Ok(())
     }
 
     /// Liveness round trip: reconnect + re-handshake if needed, then
@@ -630,7 +794,18 @@ impl ServiceNode for RemoteNode {
         _boot: &Bootstrapper,
         lwes: &[LweCiphertext],
     ) -> Result<Vec<RlweCiphertext>, NodeError> {
-        let request = lwe_batch_to_wire(lwes);
+        let key_id = match &self.key {
+            Some(key) => {
+                self.offer_key(key)?;
+                key.id.0
+            }
+            // Sentinel 0: run under the server's pre-loaded default key.
+            None => 0,
+        };
+        let batch = lwe_batch_to_wire(lwes);
+        let mut request = Vec::with_capacity(8 + batch.len());
+        request.extend_from_slice(&key_id.to_le_bytes());
+        request.extend_from_slice(&batch);
         let (payload, sent, received) = self.exchange(
             FrameKind::BlindRotateReq,
             &request,
@@ -652,6 +827,15 @@ impl ServiceNode for RemoteNode {
 
     fn probe(&self) -> Result<(), NodeError> {
         self.ping()
+    }
+
+    fn holds_key(&self) -> bool {
+        match &self.key {
+            // What the last HelloAck advertised plus every KeyAck since.
+            Some(key) => self.lock_known().contains(&key.id.0),
+            // Default-key batches never need an upload.
+            None => true,
+        }
     }
 
     fn name(&self) -> String {
@@ -681,6 +865,52 @@ impl ComputeNode for RemoteNode {
     }
 }
 
+/// Shared handle to a node's [`KeyCache`] of expanded bootstrappers.
+///
+/// Cloning shares the same cache and its telemetry registry (scope
+/// `keycache`), so `heap-node-serve` hands one handle to
+/// [`serve_keyless`] and exposes the same hit/miss/eviction counters on
+/// its metrics endpoint.
+#[derive(Clone)]
+pub struct NodeKeyStore {
+    cache: Arc<Mutex<KeyCache<Arc<Bootstrapper>>>>,
+}
+
+impl NodeKeyStore {
+    /// A store evicting down to `budget_bytes` of encoded key material;
+    /// `None` means unbounded.
+    pub fn new(budget_bytes: Option<usize>) -> Self {
+        Self {
+            cache: Arc::new(Mutex::new(KeyCache::new(
+                budget_bytes.unwrap_or(usize::MAX),
+            ))),
+        }
+    }
+
+    /// The telemetry registry behind the cache counters.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(self.lock().registry())
+    }
+
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, KeyCache<Arc<Bootstrapper>>> {
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Default for NodeKeyStore {
+    fn default() -> Self {
+        Self::new(None)
+    }
+}
+
+impl std::fmt::Debug for NodeKeyStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.lock().fmt(f)
+    }
+}
+
 /// Server-side knobs for [`serve`].
 #[derive(Debug, Clone, Default)]
 pub struct ServeOptions {
@@ -702,18 +932,53 @@ pub struct ServeOptions {
     /// outside; `None` creates private counters, still reachable via
     /// `StatsReq`.
     pub telemetry: Option<NodeTelemetry>,
+    /// Cache for wire-distributed evaluation keys. Pass a handle you
+    /// keep (as `heap-node-serve` does for its metrics endpoint) to
+    /// observe or bound it; `None` creates a private unbounded store.
+    pub key_store: Option<NodeKeyStore>,
 }
 
-/// Serves blind-rotation requests on `listener` until the process exits.
+/// Serves blind-rotation requests on `listener` until the process exits,
+/// with `boot` pre-loaded as the node's default key (what the `key_id 0`
+/// sentinel resolves to).
 ///
-/// Each connection gets its own thread; all share the node's key
-/// material, thread budget, and fault-injection state. Callable
-/// in-process (benches spawn it on a background thread) or from the
-/// `heap-node-serve` binary.
+/// Each connection gets its own thread; all share the node's key cache,
+/// thread budget, and fault-injection state. Callable in-process
+/// (benches spawn it on a background thread) or from the
+/// `heap-node-serve` binary. The default key is also registered in the
+/// key cache under its real content id, so wire-keyed clients holding
+/// the same key skip the upload and the handshake advertises what the
+/// node actually holds.
 pub fn serve(
     listener: TcpListener,
     ctx: Arc<CkksContext>,
     boot: Arc<Bootstrapper>,
+    mut opts: ServeOptions,
+) -> std::io::Result<()> {
+    let store = opts.key_store.take().unwrap_or_default();
+    let set = EvalKeySet::from_bootstrapper(&ctx, &boot);
+    let resident = set.to_strict_wire(&ctx).len();
+    store.lock().insert(set.id(), Arc::clone(&boot), resident);
+    opts.key_store = Some(store);
+    serve_inner(listener, ctx, Some(boot), opts)
+}
+
+/// [`serve`] without pre-loaded key material: every evaluation key
+/// arrives over the wire (`KeyOffer`/`KeyUpload`) and batches riding the
+/// default-key sentinel are refused with an `Error` frame. This is what
+/// `heap-node-serve` runs unless `--insecure-seed` is given.
+pub fn serve_keyless(
+    listener: TcpListener,
+    ctx: Arc<CkksContext>,
+    opts: ServeOptions,
+) -> std::io::Result<()> {
+    serve_inner(listener, ctx, None, opts)
+}
+
+fn serve_inner(
+    listener: TcpListener,
+    ctx: Arc<CkksContext>,
+    default_boot: Option<Arc<Bootstrapper>>,
     opts: ServeOptions,
 ) -> std::io::Result<()> {
     let state = Arc::new(ServerState {
@@ -723,6 +988,8 @@ pub fn serve(
         served: AtomicU64::new(0),
         poisoned: AtomicBool::new(false),
         telemetry: opts.telemetry.unwrap_or_default(),
+        default_boot,
+        keys: opts.key_store.unwrap_or_default(),
     });
     for conn in listener.incoming() {
         let stream = conn?;
@@ -732,9 +999,9 @@ pub fn serve(
             drop(stream);
             continue;
         }
-        let (ctx, boot, state) = (Arc::clone(&ctx), Arc::clone(&boot), Arc::clone(&state));
+        let (ctx, state) = (Arc::clone(&ctx), Arc::clone(&state));
         std::thread::spawn(move || {
-            let _ = handle_connection(stream, &ctx, &boot, &state);
+            let _ = handle_connection(stream, &ctx, &state);
         });
     }
     Ok(())
@@ -748,6 +1015,11 @@ struct ServerState {
     served: AtomicU64,
     poisoned: AtomicBool,
     telemetry: NodeTelemetry,
+    /// What the `key_id 0` sentinel resolves to (insecure-seed path);
+    /// `None` on keyless nodes.
+    default_boot: Option<Arc<Bootstrapper>>,
+    /// Wire-distributed keys by content id.
+    keys: NodeKeyStore,
 }
 
 /// Maps a server-side frame failure (no deadlines are armed on the
@@ -759,7 +1031,6 @@ fn server_frame_err(e: FrameError) -> NodeError {
 fn handle_connection(
     mut stream: TcpStream,
     ctx: &CkksContext,
-    boot: &Bootstrapper,
     state: &ServerState,
 ) -> Result<(), NodeError> {
     stream
@@ -783,7 +1054,8 @@ fn handle_connection(
         let _ = write_frame(&mut stream, FrameKind::Error, why.as_bytes());
         return Err(NodeError::Protocol(why));
     }
-    write_frame(&mut stream, FrameKind::HelloAck, &local_hello)
+    let ack = hello_ack_payload(&local_hello, &state.keys.lock().ids());
+    write_frame(&mut stream, FrameKind::HelloAck, &ack)
         .map_err(|e| NodeError::Io(e.to_string()))?;
     let moduli: Vec<u64> = (0..ctx.boot_limbs())
         .map(|j| ctx.rns().modulus(j).value())
@@ -825,7 +1097,32 @@ fn handle_connection(
                         FaultAction::Drop => return Ok(()),
                     }
                 }
-                let lwes = match lwe_batch_from_wire(&payload) {
+                if payload.len() < 8 {
+                    let why = "blind-rotate request missing key id".to_string();
+                    state.telemetry.errors.inc();
+                    let _ = write_frame(&mut stream, FrameKind::Error, why.as_bytes());
+                    return Err(NodeError::Protocol(why));
+                }
+                let key_id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+                // Uncounted resolution: the KeyOffer preceding a keyed
+                // batch already accounted the cache lookup.
+                let boot = if key_id == 0 {
+                    state.default_boot.clone()
+                } else {
+                    state.keys.lock().peek(KeyId(key_id)).cloned()
+                };
+                let Some(boot) = boot else {
+                    let why = if key_id == 0 {
+                        "keyless node has no default key; upload one".to_string()
+                    } else {
+                        format!("key {key_id:016x} not resident")
+                    };
+                    state.telemetry.errors.inc();
+                    write_frame(&mut stream, FrameKind::Error, why.as_bytes())
+                        .map_err(|e| NodeError::Io(e.to_string()))?;
+                    continue;
+                };
+                let lwes = match lwe_batch_from_wire(&payload[8..]) {
                     Ok(lwes) => lwes,
                     Err(e) => {
                         let why = format!("bad LWE batch: {e:?}");
@@ -841,18 +1138,85 @@ fn handle_connection(
                 state.telemetry.requests.inc();
                 state.telemetry.lwes.add(lwes.len() as u64);
             }
+            FrameKind::KeyOffer => {
+                let id = match <[u8; 8]>::try_from(payload.as_slice()) {
+                    Ok(b) => u64::from_le_bytes(b),
+                    Err(_) => {
+                        let why = format!("key offer carried {} bytes", payload.len());
+                        state.telemetry.errors.inc();
+                        let _ = write_frame(&mut stream, FrameKind::Error, why.as_bytes());
+                        return Err(NodeError::Protocol(why));
+                    }
+                };
+                // The one counted lookup per batch: hits/misses must
+                // match the driven workload one-to-one.
+                let hit = state.keys.lock().lookup(KeyId(id)).is_some();
+                let reply = if hit {
+                    FrameKind::KeyAck
+                } else {
+                    FrameKind::KeyNeed
+                };
+                write_frame(&mut stream, reply, &id.to_le_bytes())
+                    .map_err(|e| NodeError::Io(e.to_string()))?;
+            }
+            FrameKind::KeyUpload => {
+                if payload.len() < 8 {
+                    let why = "key upload missing id".to_string();
+                    state.telemetry.errors.inc();
+                    let _ = write_frame(&mut stream, FrameKind::Error, why.as_bytes());
+                    return Err(NodeError::Protocol(why));
+                }
+                let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+                let encoded = &payload[8..];
+                let set = match EvalKeySet::from_wire(ctx, encoded) {
+                    Ok(set) => set,
+                    Err(e) => {
+                        // Session stays in sync: Error frame, keep going.
+                        let why = format!("bad key upload: {e:?}");
+                        state.telemetry.errors.inc();
+                        write_frame(&mut stream, FrameKind::Error, why.as_bytes())
+                            .map_err(|e| NodeError::Io(e.to_string()))?;
+                        continue;
+                    }
+                };
+                // The parity oracle: the id recomputed from the strict
+                // re-encoding of the expanded keys must equal the offer.
+                if set.id().0 != id {
+                    let why = format!(
+                        "key id parity failure: offered {id:016x}, expanded to {}",
+                        set.id()
+                    );
+                    state.telemetry.errors.inc();
+                    write_frame(&mut stream, FrameKind::Error, why.as_bytes())
+                        .map_err(|e| NodeError::Io(e.to_string()))?;
+                    continue;
+                }
+                let bytes = encoded.len();
+                let boot = Arc::new(set.into_bootstrapper(ctx));
+                state.keys.lock().insert(KeyId(id), boot, bytes);
+                write_frame(&mut stream, FrameKind::KeyAck, &id.to_le_bytes())
+                    .map_err(|e| NodeError::Io(e.to_string()))?;
+            }
             FrameKind::Ping => {
                 write_frame(&mut stream, FrameKind::Pong, &[])
                     .map_err(|e| NodeError::Io(e.to_string()))?;
                 state.telemetry.pings.inc();
             }
             FrameKind::StatsReq => {
-                // Node counters first, then the bootstrapper's per-stage
-                // histograms — the same registries a local metrics
-                // endpoint would expose.
+                // Node counters, the key cache, then per-stage histograms
+                // from the default key's bootstrapper (or, keyless, the
+                // most recently used cached one) — the same registries a
+                // local metrics endpoint would expose.
                 let mut entries = Vec::new();
                 flatten_snapshot(&state.telemetry.registry.snapshot(), &mut entries);
-                flatten_snapshot(&boot.stage_metrics().registry().snapshot(), &mut entries);
+                flatten_snapshot(&state.keys.registry().snapshot(), &mut entries);
+                let stage_boot = state.default_boot.clone().or_else(|| {
+                    let cache = state.keys.lock();
+                    cache.ids().first().and_then(|id| cache.peek(*id).cloned())
+                });
+                if let Some(boot) = stage_boot {
+                    flatten_snapshot(&boot.stage_metrics().registry().snapshot(), &mut entries);
+                }
                 write_frame(&mut stream, FrameKind::StatsResp, &encode_stats(&entries))
                     .map_err(|e| NodeError::Io(e.to_string()))?;
             }
@@ -870,12 +1234,12 @@ fn handle_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::preset::{deterministic_setup, DeterministicSetup, ParamPreset};
+    use crate::preset::{insecure_deterministic_setup, DeterministicSetup, ParamPreset};
     use std::sync::OnceLock;
 
     fn setup() -> &'static DeterministicSetup {
         static SETUP: OnceLock<DeterministicSetup> = OnceLock::new();
-        SETUP.get_or_init(|| deterministic_setup(ParamPreset::Tiny, 99))
+        SETUP.get_or_init(|| insecure_deterministic_setup(ParamPreset::Tiny, 99))
     }
 
     /// Binds an ephemeral port, spawns the server, returns its address.
@@ -944,10 +1308,11 @@ mod tests {
             .collect();
         assert_eq!(ledger.lwe_sent(), 3);
         assert_eq!(ledger.rlwe_received(), 3);
-        // Measured bytes = frame header + the exact encoded payload.
+        // Measured bytes = frame header + the 8-byte key id + the exact
+        // encoded payload.
         assert_eq!(
             ledger.lwe_bytes_sent(),
-            FRAME_HEADER_BYTES + heap_tfhe::lwe_batch_wire_size(&lwes) as u64
+            FRAME_HEADER_BYTES + 8 + heap_tfhe::lwe_batch_wire_size(&lwes) as u64
         );
         assert_eq!(
             ledger.rlwe_bytes_received(),
@@ -1019,11 +1384,16 @@ mod tests {
             Arc::clone(&ledger),
         )
         .expect("connect");
-        // Handshake: Hello out, HelloAck back — both 16-byte payloads.
+        // Handshake: Hello out (16-byte shape), HelloAck back (shape +
+        // u32 count + one advertised key id — `serve` registers its
+        // default key in the cache).
         assert_eq!(ledger.control_frames_sent(), 1);
         assert_eq!(ledger.control_frames_received(), 1);
         assert_eq!(ledger.control_bytes_sent(), FRAME_HEADER_BYTES + 16);
-        assert_eq!(ledger.control_bytes_received(), FRAME_HEADER_BYTES + 16);
+        assert_eq!(
+            ledger.control_bytes_received(),
+            FRAME_HEADER_BYTES + 16 + 4 + 8
+        );
         // Ping/Pong: empty payloads, header-only frames.
         node.ping().expect("ping");
         assert_eq!(ledger.control_frames_sent(), 2);
@@ -1211,5 +1581,232 @@ mod tests {
         // Reconnect picks the node back up once the plan is exhausted.
         node.try_blind_rotate_batch(&s.ctx, &s.boot, &test_lwes(1))
             .expect("served after reconnect");
+    }
+
+    /// Binds an ephemeral port, spawns a *keyless* server, returns its
+    /// address.
+    fn spawn_keyless(opts: ServeOptions) -> String {
+        let s = setup();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let ctx = Arc::clone(&s.ctx);
+        std::thread::spawn(move || serve_keyless(listener, ctx, opts));
+        addr
+    }
+
+    /// A fresh seed-expandable key set, its upload package, and a local
+    /// bootstrapper built from the identical keys.
+    fn wire_key(master: u64, rng_seed: u64) -> (Arc<KeyPackage>, Bootstrapper) {
+        use heap_core::{generate_keys_reseeded, BootstrapConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = setup();
+        let config = BootstrapConfig::test_small();
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let sk = heap_ckks::SecretKey::generate(&s.ctx, &mut rng);
+        let keys = generate_keys_reseeded(&s.ctx, &sk, config, master, &mut rng);
+        let set = EvalKeySet::new(&s.ctx, config, keys, Some(master));
+        let pkg = Arc::new(set.package(&s.ctx));
+        (pkg, set.into_bootstrapper(&s.ctx))
+    }
+
+    #[test]
+    fn wire_distributed_key_is_bit_identical_and_cached() {
+        let s = setup();
+        let (pkg, local) = wire_key(0xBEEF, 4242);
+        let store = NodeKeyStore::new(None);
+        let addr = spawn_keyless(ServeOptions {
+            parallelism: Parallelism::serial(),
+            key_store: Some(store.clone()),
+            ..ServeOptions::default()
+        });
+        let ledger = Arc::new(TransferLedger::default());
+        let node = RemoteNode::connect_with_ledger(
+            &addr,
+            &s.ctx,
+            NodeTimeouts::default(),
+            Arc::clone(&ledger),
+        )
+        .expect("connect")
+        .with_key(Arc::clone(&pkg));
+        assert!(
+            !ServiceNode::holds_key(&node),
+            "fresh keyless node advertises nothing"
+        );
+        let lwes = test_lwes(4);
+        let remote = node
+            .try_blind_rotate_batch(&s.ctx, &s.boot, &lwes)
+            .expect("cold keyed batch");
+        let reference = local.blind_rotate_batch_par(&s.ctx, &lwes, Parallelism::serial());
+        let moduli: Vec<u64> = (0..s.ctx.boot_limbs())
+            .map(|j| s.ctx.rns().modulus(j).value())
+            .collect();
+        assert_eq!(remote.len(), reference.len());
+        for (r, l) in remote.iter().zip(&reference) {
+            assert_eq!(r.to_wire(&moduli), l.to_wire(&moduli));
+        }
+        assert!(ServiceNode::holds_key(&node), "KeyAck recorded");
+        // Cold batch: KeyOffer + KeyUpload out, KeyNeed + KeyAck back.
+        assert_eq!(ledger.key_frames_sent(), 2);
+        assert_eq!(ledger.key_frames_received(), 2);
+        assert_eq!(
+            ledger.key_bytes_sent(),
+            2 * (FRAME_HEADER_BYTES + 8) + pkg.bytes.len() as u64
+        );
+        assert_eq!(ledger.key_bytes_received(), 2 * (FRAME_HEADER_BYTES + 8));
+        // Warm batch: one KeyOffer/KeyAck, no upload.
+        node.try_blind_rotate_batch(&s.ctx, &s.boot, &lwes)
+            .expect("warm keyed batch");
+        assert_eq!(ledger.key_frames_sent(), 3);
+        assert_eq!(
+            ledger.key_bytes_sent(),
+            3 * (FRAME_HEADER_BYTES + 8) + pkg.bytes.len() as u64
+        );
+        // Server cache accounting matches the driven workload exactly.
+        let snap = store.registry().snapshot();
+        let counter = |name: &str| snap.counter(name).unwrap_or(0);
+        assert_eq!(counter("heap_keycache_misses_total"), 1);
+        assert_eq!(counter("heap_keycache_hits_total"), 1);
+        assert_eq!(counter("heap_keycache_inserts_total"), 1);
+        assert_eq!(counter("heap_keycache_evictions_total"), 0);
+        // A second client connecting now learns the id at handshake.
+        let node2 = RemoteNode::connect(&addr, &s.ctx)
+            .expect("connect")
+            .with_key(pkg);
+        assert!(ServiceNode::holds_key(&node2), "advertised in HelloAck");
+        node.shutdown();
+        node2.shutdown();
+    }
+
+    #[test]
+    fn keyless_server_refuses_default_key_batches() {
+        let s = setup();
+        let addr = spawn_keyless(ServeOptions::default());
+        let node = RemoteNode::connect(&addr, &s.ctx).expect("connect");
+        let err = node
+            .try_blind_rotate_batch(&s.ctx, &s.boot, &test_lwes(1))
+            .expect_err("no default key on a keyless node");
+        assert!(
+            matches!(err, NodeError::Remote(ref m) if m.contains("default key")),
+            "{err:?}"
+        );
+        node.shutdown();
+    }
+
+    #[test]
+    fn default_path_leaves_key_counters_untouched() {
+        let s = setup();
+        let addr = spawn_server(ServeOptions::default());
+        let ledger = Arc::new(TransferLedger::default());
+        let node = RemoteNode::connect_with_ledger(
+            &addr,
+            &s.ctx,
+            NodeTimeouts::default(),
+            Arc::clone(&ledger),
+        )
+        .expect("connect");
+        node.try_blind_rotate_batch(&s.ctx, &s.boot, &test_lwes(2))
+            .expect("default-key batch");
+        assert_eq!(ledger.key_frames_sent(), 0);
+        assert_eq!(ledger.key_frames_received(), 0);
+        assert_eq!(ledger.key_bytes_sent(), 0);
+        assert!(ServiceNode::holds_key(&node), "default path needs no key");
+        node.shutdown();
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_key_upload_is_rejected_session_survives() {
+        let s = setup();
+        let addr = spawn_keyless(ServeOptions::default());
+        // Speak the protocol directly.
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        let local = hello_payload(&s.ctx);
+        write_frame(&mut stream, FrameKind::Hello, &local).expect("hello");
+        let (kind, payload, _) = read_frame(&mut stream)
+            .map_err(server_frame_err)
+            .expect("ack");
+        assert_eq!(kind, FrameKind::HelloAck);
+        assert!(
+            check_hello_ack(&local, &payload)
+                .expect("valid ack")
+                .is_empty(),
+            "keyless node advertises no ids"
+        );
+        // Offer an id the server lacks → KeyNeed echoing the id.
+        write_frame(&mut stream, FrameKind::KeyOffer, &7u64.to_le_bytes()).expect("offer");
+        let (kind, reply, _) = read_frame(&mut stream)
+            .map_err(server_frame_err)
+            .expect("need");
+        assert_eq!(kind, FrameKind::KeyNeed);
+        assert_eq!(reply, 7u64.to_le_bytes());
+        // Garbage container under that id → Error, session keeps going.
+        let mut upload = 7u64.to_le_bytes().to_vec();
+        upload.extend_from_slice(b"not an EKS container");
+        write_frame(&mut stream, FrameKind::KeyUpload, &upload).expect("upload");
+        let (kind, reply, _) = read_frame(&mut stream)
+            .map_err(server_frame_err)
+            .expect("reject");
+        assert_eq!(kind, FrameKind::Error);
+        assert!(String::from_utf8_lossy(&reply).contains("bad key upload"));
+        // A *valid* container under the wrong id → parity failure.
+        let set = EvalKeySet::from_bootstrapper(&s.ctx, &s.boot);
+        let mut upload = 42u64.to_le_bytes().to_vec();
+        upload.extend_from_slice(&set.to_strict_wire(&s.ctx));
+        write_frame(&mut stream, FrameKind::KeyUpload, &upload).expect("upload");
+        let (kind, reply, _) = read_frame(&mut stream)
+            .map_err(server_frame_err)
+            .expect("reject");
+        assert_eq!(kind, FrameKind::Error);
+        assert!(String::from_utf8_lossy(&reply).contains("parity"));
+        // The session survived both rejections.
+        write_frame(&mut stream, FrameKind::Ping, &[]).expect("ping");
+        let (kind, _, _) = read_frame(&mut stream)
+            .map_err(server_frame_err)
+            .expect("pong");
+        assert_eq!(kind, FrameKind::Pong);
+    }
+
+    /// Adversarial-input hardening of the key-distribution frame payload
+    /// decoders — same contract as the other wire fuzz suites: truncated
+    /// prefixes error cleanly, arbitrary bytes never panic.
+    mod key_frame_fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn hello_ack_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+                let s = setup();
+                let local = hello_payload(&s.ctx);
+                let _ = check_hello_ack(&local, &bytes);
+            }
+
+            #[test]
+            fn hello_ack_roundtrips_and_rejects_prefixes(
+                ids in prop::collection::vec(any::<u64>(), 0..8),
+                cut in 0usize..1 << 16,
+            ) {
+                let s = setup();
+                let local = hello_payload(&s.ctx);
+                let key_ids: Vec<KeyId> = ids.iter().copied().map(KeyId).collect();
+                let payload = hello_ack_payload(&local, &key_ids);
+                prop_assert_eq!(check_hello_ack(&local, &payload).unwrap(), ids);
+                let cut = cut % payload.len();
+                prop_assert!(check_hello_ack(&local, &payload[..cut]).is_err());
+            }
+
+            #[test]
+            fn key_reply_decode_never_panics(
+                expected in any::<u64>(),
+                bytes in prop::collection::vec(any::<u8>(), 0..32),
+            ) {
+                let ok = check_key_reply(expected, &bytes).is_ok();
+                let valid = bytes.len() == 8
+                    && u64::from_le_bytes(bytes[..8].try_into().unwrap()) == expected;
+                prop_assert_eq!(ok, valid);
+            }
+        }
     }
 }

@@ -425,15 +425,23 @@ impl Scheduler {
         }
     }
 
-    /// Dispatchable node indices, least-loaded first (stable on ties),
-    /// with the [`FALLBACK`] sentinel appended when capacity has degraded
-    /// below the policy floor and a fallback is available.
+    /// Dispatchable node indices: key-holding nodes first (a node that
+    /// already caches the batch's evaluation key skips the upload), then
+    /// least-loaded (stable on ties), with the [`FALLBACK`] sentinel
+    /// appended when capacity has degraded below the policy floor and a
+    /// fallback is available.
     fn ranked_dispatchable(&self) -> Vec<usize> {
         let inner = &self.inner;
         let mut idx: Vec<usize> = (0..inner.slots.len())
             .filter(|&i| inner.slots[i].breaker.is_dispatchable())
             .collect();
-        idx.sort_by_key(|&i| inner.slots[i].inflight.load(Ordering::Relaxed));
+        idx.sort_by_key(|&i| {
+            let slot = &inner.slots[i];
+            (
+                !slot.node.holds_key(),
+                slot.inflight.load(Ordering::Relaxed),
+            )
+        });
         if idx.len() < inner.policy.min_dispatch_nodes
             && inner.fallback.is_some()
             && !inner.fallback_failed.load(Ordering::Relaxed)

@@ -800,13 +800,13 @@ fn finish_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::preset::{deterministic_setup, DeterministicSetup, ParamPreset};
+    use crate::preset::{insecure_deterministic_setup, DeterministicSetup, ParamPreset};
     use std::sync::OnceLock;
     use std::time::Duration;
 
     fn setup() -> &'static DeterministicSetup {
         static SETUP: OnceLock<DeterministicSetup> = OnceLock::new();
-        SETUP.get_or_init(|| deterministic_setup(ParamPreset::Tiny, 12))
+        SETUP.get_or_init(|| insecure_deterministic_setup(ParamPreset::Tiny, 12))
     }
 
     fn exhausted_ct(s: &DeterministicSetup, seed: u64) -> (heap_ckks::Ciphertext, Vec<f64>) {

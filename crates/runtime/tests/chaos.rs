@@ -12,9 +12,9 @@ use std::time::{Duration, Instant};
 
 use heap_parallel::Parallelism;
 use heap_runtime::{
-    deterministic_setup, BatchPolicy, BootstrapService, ChaosNode, DeterministicSetup, FaultPlan,
-    FaultState, JobRequest, LocalServiceNode, ParamPreset, Priority, RetryPolicy, RuntimeConfig,
-    RuntimeError, Scheduler, ServiceNode,
+    insecure_deterministic_setup, BatchPolicy, BootstrapService, ChaosNode, DeterministicSetup,
+    FaultPlan, FaultState, JobRequest, LocalServiceNode, ParamPreset, Priority, RetryPolicy,
+    RuntimeConfig, RuntimeError, Scheduler, ServiceNode,
 };
 use heap_tfhe::LweCiphertext;
 use proptest::prelude::*;
@@ -36,7 +36,7 @@ struct Fixture {
 fn fixture() -> &'static Fixture {
     static FIX: OnceLock<Fixture> = OnceLock::new();
     FIX.get_or_init(|| {
-        let setup = deterministic_setup(ParamPreset::Tiny, SEED);
+        let setup = insecure_deterministic_setup(ParamPreset::Tiny, SEED);
         let mut rng = StdRng::seed_from_u64(17);
         let delta = setup.ctx.fresh_scale();
         let coeffs: Vec<i64> = (0..setup.ctx.n())

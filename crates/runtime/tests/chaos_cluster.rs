@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use heap_parallel::Parallelism;
 use heap_runtime::{
-    deterministic_setup, BatchPolicy, BootstrapService, DeterministicSetup, JobRequest,
+    insecure_deterministic_setup, BatchPolicy, BootstrapService, DeterministicSetup, JobRequest,
     LocalServiceNode, NodeTimeouts, ParamPreset, Priority, RemoteNode, RetryPolicy, RuntimeConfig,
     ServiceNode,
 };
@@ -55,7 +55,7 @@ fn try_spawn_node(addr: Option<&str>, extra_args: &[&str]) -> Option<NodeProc> {
             addr.unwrap_or("127.0.0.1:0"),
             "--preset",
             "tiny",
-            "--seed",
+            "--insecure-seed",
             &SEED.to_string(),
             "--threads",
             "2",
@@ -112,7 +112,7 @@ struct Client {
 }
 
 fn client() -> Client {
-    let setup = deterministic_setup(ParamPreset::Tiny, SEED);
+    let setup = insecure_deterministic_setup(ParamPreset::Tiny, SEED);
     let mut rng = StdRng::seed_from_u64(7);
     let delta = setup.ctx.fresh_scale();
     let coeffs: Vec<i64> = (0..setup.ctx.n())

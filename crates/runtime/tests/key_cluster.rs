@@ -1,0 +1,299 @@
+//! Multi-process key-distribution E2E: real keyless `heap-node-serve`
+//! processes on 127.0.0.1, keyed clients shipping seed-expandable
+//! evaluation keys over the wire.
+//!
+//! Acceptance tests for the `heap-keys` subsystem at process scope:
+//!
+//! - a key uploads **once** per node and every later batch rides the
+//!   cache (key bytes counted exactly once, hit/miss counters scraped
+//!   from the node's metrics endpoint match the driven workload);
+//! - a tight `--key-cache-bytes` budget evicts LRU keys and the client
+//!   transparently re-uploads on the next batch;
+//! - results computed with wire-distributed keys are bit-identical to
+//!   the client's local keys, including while a chaos fault plan is
+//!   dropping and delaying shards.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use heap_core::TransferLedger;
+use heap_parallel::Parallelism;
+use heap_runtime::{
+    keyed_setup, BatchPolicy, BootstrapService, JobRequest, KeyedSetup, NodeTimeouts, ParamPreset,
+    Priority, RemoteNode, RetryPolicy, RuntimeConfig, ServiceNode,
+};
+
+/// Frame header: u32 magic + u8 kind + u64 payload length.
+const FRAME_HEADER: u64 = 13;
+/// Key frame payloads lead with (or consist of) the u64 key id.
+const KEY_ID: u64 = 8;
+
+struct NodeProc {
+    child: Child,
+    addr: String,
+    metrics_addr: Option<String>,
+}
+
+impl Drop for NodeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns a keyless node; with `metrics`, also waits for the `METRICS`
+/// readiness line.
+fn spawn_keyless(extra_args: &[&str], metrics: bool) -> NodeProc {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_heap-node-serve"));
+    cmd.args([
+        "--addr",
+        "127.0.0.1:0",
+        "--preset",
+        "tiny",
+        "--threads",
+        "2",
+    ]);
+    if metrics {
+        cmd.args(["--metrics-addr", "127.0.0.1:0"]);
+    }
+    let mut child = cmd
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn heap-node-serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let mut next = || {
+        lines
+            .next()
+            .expect("server exited before readiness")
+            .expect("read readiness line")
+    };
+    let listening = next();
+    let addr = listening
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("first line must be LISTENING, got: {listening}"))
+        .to_string();
+    let metrics_addr = metrics.then(|| {
+        let line = next();
+        line.strip_prefix("METRICS ")
+            .unwrap_or_else(|| panic!("second line must be METRICS, got: {line}"))
+            .to_string()
+    });
+    NodeProc {
+        child,
+        addr,
+        metrics_addr,
+    }
+}
+
+/// HTTP GET against a metrics endpoint; returns the response body.
+fn scrape(addr: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n").expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    body.to_string()
+}
+
+/// Parses Prometheus samples into `series → value`.
+fn parse_prometheus(body: &str) -> HashMap<String, f64> {
+    body.lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (series, value) = l.rsplit_once(' ').expect("sample line");
+            (series.to_string(), value.parse().unwrap_or(f64::INFINITY))
+        })
+        .collect()
+}
+
+fn test_lwes(setup: &KeyedSetup, count: usize, salt: u64) -> Vec<heap_tfhe::LweCiphertext> {
+    let n_t = setup.boot.config().n_t;
+    let two_n = 2 * setup.ctx.n() as u64;
+    (0..count)
+        .map(|i| heap_tfhe::LweCiphertext {
+            a: (0..n_t)
+                .map(|j| ((i as u64) * 29 + j as u64 + salt) % two_n)
+                .collect(),
+            b: (i as u64 + salt) % two_n,
+            modulus: two_n,
+        })
+        .collect()
+}
+
+#[test]
+fn key_uploads_once_then_batches_ride_the_cache() {
+    let node_proc = spawn_keyless(&[], true);
+    let setup = keyed_setup(ParamPreset::Tiny, 31);
+    let ledger = Arc::new(TransferLedger::default());
+    let node = RemoteNode::connect_with_ledger(
+        &node_proc.addr,
+        &setup.ctx,
+        NodeTimeouts::default(),
+        Arc::clone(&ledger),
+    )
+    .expect("connect")
+    .with_key(Arc::clone(&setup.key));
+
+    let lwes = test_lwes(&setup, 4, 0);
+    let reference = setup
+        .boot
+        .blind_rotate_batch_par(&setup.ctx, &lwes, Parallelism::serial());
+    const BATCHES: u64 = 3;
+    for round in 0..BATCHES {
+        let remote = node
+            .try_blind_rotate_batch(&setup.ctx, &setup.boot, &lwes)
+            .expect("keyed batch");
+        // Bit-identical to the client's local keys, every round.
+        let moduli: Vec<u64> = (0..setup.ctx.boot_limbs())
+            .map(|j| setup.ctx.rns().modulus(j).value())
+            .collect();
+        for (r, l) in remote.iter().zip(&reference) {
+            assert_eq!(r.to_wire(&moduli), l.to_wire(&moduli), "round {round}");
+        }
+    }
+
+    // The container crossed the wire exactly once: one cold round
+    // (KeyOffer + KeyUpload / KeyNeed + KeyAck), then offer/ack pairs.
+    assert_eq!(
+        ledger.key_bytes_sent(),
+        (BATCHES + 1) * (FRAME_HEADER + KEY_ID) + setup.key.bytes.len() as u64
+    );
+    assert_eq!(
+        ledger.key_bytes_received(),
+        (BATCHES + 1) * (FRAME_HEADER + KEY_ID)
+    );
+
+    // The node's scraped cache counters match the driven workload.
+    let samples = parse_prometheus(&scrape(node_proc.metrics_addr.as_deref().expect("metrics")));
+    assert_eq!(samples["heap_keycache_misses_total"], 1.0);
+    assert_eq!(samples["heap_keycache_inserts_total"], 1.0);
+    assert_eq!(samples["heap_keycache_hits_total"], (BATCHES - 1) as f64);
+    assert_eq!(samples["heap_keycache_evictions_total"], 0.0);
+    assert_eq!(samples["heap_keycache_resident_keys"], 1.0);
+    assert_eq!(
+        samples["heap_keycache_resident_bytes"],
+        setup.key.bytes.len() as f64
+    );
+    node.shutdown();
+}
+
+#[test]
+fn tight_cache_budget_evicts_lru_and_client_reuploads() {
+    let setup_a = keyed_setup(ParamPreset::Tiny, 41);
+    let setup_b = keyed_setup(ParamPreset::Tiny, 42);
+    assert_ne!(setup_a.key.id, setup_b.key.id);
+    // Budget fits either key alone but never both.
+    let budget = setup_a.key.bytes.len() + setup_b.key.bytes.len() / 2;
+    let node_proc = spawn_keyless(&["--key-cache-bytes", &budget.to_string()], true);
+
+    let ledger_a = Arc::new(TransferLedger::default());
+    let node_a = RemoteNode::connect_with_ledger(
+        &node_proc.addr,
+        &setup_a.ctx,
+        NodeTimeouts::default(),
+        Arc::clone(&ledger_a),
+    )
+    .expect("connect a")
+    .with_key(Arc::clone(&setup_a.key));
+    let node_b = RemoteNode::connect(&node_proc.addr, &setup_b.ctx)
+        .expect("connect b")
+        .with_key(Arc::clone(&setup_b.key));
+
+    let lwes_a = test_lwes(&setup_a, 2, 5);
+    let lwes_b = test_lwes(&setup_b, 2, 9);
+    // A cold-uploads; B cold-uploads and evicts A; A must transparently
+    // re-upload (its offer gets KeyNeed even though it uploaded before).
+    node_a
+        .try_blind_rotate_batch(&setup_a.ctx, &setup_a.boot, &lwes_a)
+        .expect("a cold");
+    node_b
+        .try_blind_rotate_batch(&setup_b.ctx, &setup_b.boot, &lwes_b)
+        .expect("b cold, evicts a");
+    node_a
+        .try_blind_rotate_batch(&setup_a.ctx, &setup_a.boot, &lwes_a)
+        .expect("a again after eviction");
+
+    // A's ledger shows two full uploads — eviction is invisible to
+    // correctness, visible to traffic.
+    assert_eq!(
+        ledger_a.key_bytes_sent(),
+        2 * (2 * (FRAME_HEADER + KEY_ID) + setup_a.key.bytes.len() as u64)
+    );
+    let samples = parse_prometheus(&scrape(node_proc.metrics_addr.as_deref().expect("metrics")));
+    assert_eq!(samples["heap_keycache_misses_total"], 3.0);
+    assert_eq!(samples["heap_keycache_inserts_total"], 3.0);
+    assert_eq!(samples["heap_keycache_hits_total"], 0.0);
+    assert_eq!(samples["heap_keycache_evictions_total"], 2.0);
+    assert_eq!(samples["heap_keycache_resident_keys"], 1.0);
+    node_a.shutdown();
+    node_b.shutdown();
+}
+
+#[test]
+fn chaos_fault_plan_on_keyed_cluster_stays_bit_identical() {
+    // One healthy node plus one whose fault plan fails, delays, then
+    // recovers — all keyless, keyed by wire. Every bootstrap must equal
+    // the client's local reference bit for bit.
+    let procs = [
+        spawn_keyless(&["--fault-plan", "fail*2,delay:30"], false),
+        spawn_keyless(&[], false),
+    ];
+    let setup = keyed_setup(ParamPreset::Tiny, 51);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(13);
+    let delta = setup.ctx.fresh_scale();
+    let coeffs: Vec<i64> = (0..setup.ctx.n())
+        .map(|i| (((i % 6) as f64 - 2.5) / 40.0 * delta).round() as i64)
+        .collect();
+    let ct = setup
+        .ctx
+        .encrypt_coeffs_sk(&coeffs, delta, 1, &setup.sk, &mut rng);
+    let reference = setup.boot.bootstrap(&setup.ctx, &ct);
+
+    let nodes: Vec<Box<dyn ServiceNode>> = procs
+        .iter()
+        .map(|p| {
+            Box::new(
+                RemoteNode::connect(&p.addr, &setup.ctx)
+                    .expect("connect")
+                    .with_key(Arc::clone(&setup.key)),
+            ) as Box<dyn ServiceNode>
+        })
+        .collect();
+    let svc = BootstrapService::start_with_nodes(
+        Arc::clone(&setup.ctx),
+        Arc::clone(&setup.boot),
+        nodes,
+        RuntimeConfig {
+            queue_capacity: 8,
+            batch: BatchPolicy::immediate(),
+            retry: RetryPolicy::default(),
+            ..RuntimeConfig::default()
+        },
+    )
+    .expect("start service");
+    for round in 0..2 {
+        let fresh = svc
+            .submit(JobRequest::Bootstrap { ct: ct.clone() }, Priority::Normal)
+            .expect("submit")
+            .wait()
+            .expect("bootstrap under faults")
+            .into_ciphertext();
+        assert_eq!(fresh.c0(), reference.c0(), "round {round}");
+        assert_eq!(fresh.c1(), reference.c1(), "round {round}");
+    }
+    assert_eq!(svc.stats().completed, 2);
+    svc.shutdown();
+}

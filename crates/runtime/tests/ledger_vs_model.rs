@@ -15,11 +15,12 @@ use std::net::TcpListener;
 use std::sync::Arc;
 
 use heap_core::TransferLedger;
-use heap_hw::MemoryLayout;
+use heap_hw::{EvalKeyWireModel, MemoryLayout};
 use heap_parallel::Parallelism;
 use heap_runtime::{
-    deterministic_setup, serve, BatchPolicy, BootstrapService, JobRequest, NodeTimeouts,
-    ParamPreset, Priority, RemoteNode, RuntimeConfig, ServeOptions, ServiceNode,
+    insecure_deterministic_setup, keyed_setup, serve, serve_keyless, BatchPolicy, BootstrapService,
+    JobRequest, NodeKeyStore, NodeTimeouts, ParamPreset, Priority, RemoteNode, RuntimeConfig,
+    ServeOptions, ServiceNode,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,10 +35,17 @@ const LWE_ITEM_HEADER: u64 = 16;
 const ACC_ITEM_HEADER: u64 = 12;
 /// Hello/HelloAck payload: u32 n + u32 boot limbs + u64 q0.
 const HELLO_PAYLOAD: u64 = 16;
+/// HelloAck additionally advertises the node's cached key ids:
+/// u32 count + count × u64 id. A pre-keyed `serve` node caches exactly
+/// its default key, so the ack carries one id.
+const HELLO_ACK_IDS: u64 = 4 + 8;
+/// Every BlindRotateReq payload leads with the u64 evaluation-key id
+/// (0 = the server's default key).
+const KEY_ID: u64 = 8;
 
 #[test]
 fn measured_loopback_bytes_match_hw_model_exactly() {
-    let setup = deterministic_setup(ParamPreset::Tiny, 55);
+    let setup = insecure_deterministic_setup(ParamPreset::Tiny, 55);
     let ctx = &setup.ctx;
     let n = ctx.n() as u64;
     let n_t = setup.boot.config().n_t;
@@ -92,7 +100,7 @@ fn measured_loopback_bytes_match_hw_model_exactly() {
         coeff_bits: two_n_bits,
     };
     let measured_scatter_payload =
-        ledger.lwe_bytes_sent() - FRAME_HEADER - BATCH_HEADER - n * LWE_ITEM_HEADER;
+        ledger.lwe_bytes_sent() - FRAME_HEADER - KEY_ID - BATCH_HEADER - n * LWE_ITEM_HEADER;
     assert_eq!(measured_scatter_payload, n * lwe_model.lwe_bytes(n_t));
 
     // Gather side: each accumulator is `boot_limbs` limbs of `N`
@@ -123,7 +131,7 @@ fn measured_loopback_bytes_match_hw_model_exactly() {
     assert_eq!(ledger.control_bytes_sent(), FRAME_HEADER + HELLO_PAYLOAD);
     assert_eq!(
         ledger.control_bytes_received(),
-        FRAME_HEADER + HELLO_PAYLOAD
+        FRAME_HEADER + HELLO_PAYLOAD + HELLO_ACK_IDS
     );
     assert_eq!(
         ledger.total_bytes_sent(),
@@ -145,7 +153,7 @@ fn local_cluster_ledger_agrees_with_remote_measurement_per_ciphertext() {
     // equal what a remote node's socket measurement attributes per
     // ciphertext once framing is removed — i.e. the model and the
     // measurement price the same encoding.
-    let setup = deterministic_setup(ParamPreset::Tiny, 56);
+    let setup = insecure_deterministic_setup(ParamPreset::Tiny, 56);
     let ctx = &setup.ctx;
     let n_t = setup.boot.config().n_t;
     let two_n = 2 * ctx.n() as u64;
@@ -185,7 +193,7 @@ fn local_cluster_ledger_agrees_with_remote_measurement_per_ciphertext() {
     // Measured scatter minus framing = Σ modeled wire_size per LWE.
     let modeled_scatter: u64 = lwes.iter().map(|l| l.wire_size() as u64).sum();
     assert_eq!(
-        ledger.lwe_bytes_sent() - FRAME_HEADER - BATCH_HEADER,
+        ledger.lwe_bytes_sent() - FRAME_HEADER - KEY_ID - BATCH_HEADER,
         modeled_scatter
     );
     let moduli: Vec<u64> = (0..ctx.boot_limbs())
@@ -195,6 +203,117 @@ fn local_cluster_ledger_agrees_with_remote_measurement_per_ciphertext() {
     assert_eq!(
         ledger.rlwe_bytes_received() - FRAME_HEADER - BATCH_HEADER,
         modeled_gather
+    );
+    node.shutdown();
+}
+
+#[test]
+fn measured_key_distribution_matches_wire_model_exactly() {
+    // A keyed client drives a keyless node: the socket-measured key
+    // traffic (container, id frames, framing — every byte) must equal
+    // the `heap-hw` `EvalKeyWireModel` exactly, the node's cache
+    // counters must match the driven workload, and the seeded-upload-
+    // plus-cache protocol must beat re-uploading strict keys every
+    // batch by at least 2×.
+    let setup = keyed_setup(ParamPreset::Tiny, 77);
+    let ctx = &setup.ctx;
+    let config = setup.boot.config();
+    let model = EvalKeyWireModel {
+        n: ctx.n(),
+        n_t: config.n_t,
+        ks_digits: config.ks_digits,
+        rgsw_digits: config.rgsw.digits,
+        boot_moduli: (0..ctx.boot_limbs())
+            .map(|j| ctx.rns().modulus(j).value())
+            .collect(),
+        chain_moduli: (0..ctx.rns().max_limbs())
+            .map(|j| ctx.rns().modulus(j).value())
+            .collect(),
+        galois_exponents: setup.boot.galois_keys().len(),
+    };
+    // The model prices the encoders exactly before any socket enters.
+    assert_eq!(model.container_bytes(true), setup.key.bytes.len() as u64);
+    assert_eq!(model.container_bytes(false), setup.key.strict_len as u64);
+
+    let store = NodeKeyStore::new(None);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    {
+        let sctx = Arc::clone(&setup.ctx);
+        let opts = ServeOptions {
+            parallelism: Parallelism::serial(),
+            key_store: Some(store.clone()),
+            ..ServeOptions::default()
+        };
+        std::thread::spawn(move || serve_keyless(listener, sctx, opts));
+    }
+    let ledger = Arc::new(TransferLedger::default());
+    let node =
+        RemoteNode::connect_with_ledger(&addr, ctx, NodeTimeouts::default(), Arc::clone(&ledger))
+            .expect("connect")
+            .with_key(Arc::clone(&setup.key));
+
+    let n_t = config.n_t;
+    let two_n = 2 * ctx.n() as u64;
+    let lwes: Vec<heap_tfhe::LweCiphertext> = (0..4)
+        .map(|i| heap_tfhe::LweCiphertext {
+            a: (0..n_t).map(|j| ((i * 31 + j) as u64) % two_n).collect(),
+            b: i as u64,
+            modulus: two_n,
+        })
+        .collect();
+    const BATCHES: u64 = 4;
+    for _ in 0..BATCHES {
+        node.try_blind_rotate_batch(ctx, &setup.boot, &lwes)
+            .expect("keyed batch");
+    }
+
+    // Measured key traffic = one cold round (offer, upload / need, ack)
+    // plus BATCHES−1 warm rounds (offer / ack) — byte-exact both ways.
+    assert_eq!(
+        ledger.key_bytes_sent(),
+        model.cold_key_bytes_sent(true) + (BATCHES - 1) * model.warm_key_bytes_sent()
+    );
+    assert_eq!(
+        ledger.key_bytes_received(),
+        model.cold_key_bytes_received() + (BATCHES - 1) * model.warm_key_bytes_received()
+    );
+    assert_eq!(ledger.key_frames_sent(), 2 + (BATCHES - 1));
+    assert_eq!(ledger.key_frames_received(), 2 + (BATCHES - 1));
+    let measured = ledger.key_bytes_sent() + ledger.key_bytes_received();
+    assert_eq!(measured, model.total_key_bytes(true, BATCHES));
+
+    // Acceptance bar: ≥2× fewer key bytes than strict full upload per
+    // batch, priced with the *measured* strict container length.
+    let strict_round =
+        2 * (FRAME_HEADER + KEY_ID) + setup.key.strict_len as u64 + 2 * (FRAME_HEADER + KEY_ID);
+    assert!(
+        2 * measured <= BATCHES * strict_round,
+        "seeded+cached {measured} vs strict-per-batch {}",
+        BATCHES * strict_round
+    );
+    assert!(model.distribution_reduction(BATCHES) >= 2.0);
+
+    // The node's cache saw exactly this workload: one miss-and-insert,
+    // then a hit per warm batch, nothing evicted.
+    let snap = store.registry().snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    assert_eq!(counter("heap_keycache_misses_total"), 1);
+    assert_eq!(counter("heap_keycache_inserts_total"), 1);
+    assert_eq!(counter("heap_keycache_hits_total"), BATCHES - 1);
+    assert_eq!(counter("heap_keycache_evictions_total"), 0);
+
+    // Every byte the socket carried is attributed to exactly one
+    // category: data (lwe out / rlwe back), control (handshake), key.
+    assert_eq!(
+        ledger.total_bytes_sent(),
+        ledger.lwe_bytes_sent() + ledger.control_bytes_sent() + ledger.key_bytes_sent()
+    );
+    assert_eq!(
+        ledger.total_bytes_received(),
+        ledger.rlwe_bytes_received()
+            + ledger.control_bytes_received()
+            + ledger.key_bytes_received()
     );
     node.shutdown();
 }

@@ -3,18 +3,22 @@
 //!
 //! These are the acceptance tests for the distributed runtime:
 //!
-//! - a bootstrap sharded over ≥2 remote processes is bit-identical to the
+//! - nodes start **keyless**; the client distributes its seed-expandable
+//!   evaluation keys over the wire (`RemoteNode::with_key`) and a
+//!   bootstrap sharded over ≥2 such processes is bit-identical to the
 //!   serial in-process pipeline;
 //! - killing a node mid-service reassigns its batch to a survivor and
-//!   still produces the identical result.
+//!   still produces the identical result;
+//! - the legacy `--insecure-seed` shared-seed mode keeps working for
+//!   reproduction runs.
 
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 
 use heap_runtime::{
-    deterministic_setup, BatchPolicy, BootstrapService, JobRequest, ParamPreset, Priority,
-    RemoteNode, RetryPolicy, RuntimeConfig, ServiceNode,
+    insecure_deterministic_setup, keyed_setup, BatchPolicy, BootstrapService, JobRequest,
+    KeyedSetup, ParamPreset, Priority, RemoteNode, RetryPolicy, RuntimeConfig, ServiceNode,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,7 +39,8 @@ impl Drop for NodeProc {
     }
 }
 
-/// Spawns a server on an ephemeral port and waits for its readiness line.
+/// Spawns a *keyless* server on an ephemeral port and waits for its
+/// readiness line.
 fn spawn_node(extra_args: &[&str]) -> NodeProc {
     let mut child = Command::new(env!("CARGO_BIN_EXE_heap-node-serve"))
         .args([
@@ -43,8 +48,6 @@ fn spawn_node(extra_args: &[&str]) -> NodeProc {
             "127.0.0.1:0",
             "--preset",
             "tiny",
-            "--seed",
-            &SEED.to_string(),
             "--threads",
             "2",
         ])
@@ -67,14 +70,16 @@ fn spawn_node(extra_args: &[&str]) -> NodeProc {
 }
 
 struct Client {
-    setup: heap_runtime::DeterministicSetup,
+    setup: KeyedSetup,
     ct: heap_ckks::Ciphertext,
     reference: heap_ckks::Ciphertext,
 }
 
 /// Client-side keys + input ciphertext + the serial reference output.
+/// The secret key never leaves this struct; nodes only ever see the
+/// public [`heap_runtime::KeyPackage`].
 fn client() -> Client {
-    let setup = deterministic_setup(ParamPreset::Tiny, SEED);
+    let setup = keyed_setup(ParamPreset::Tiny, SEED);
     let mut rng = StdRng::seed_from_u64(7);
     let n = setup.ctx.n();
     let delta = setup.ctx.fresh_scale();
@@ -96,8 +101,11 @@ fn remote_nodes(client: &Client, procs: &[NodeProc]) -> Vec<Box<dyn ServiceNode>
     procs
         .iter()
         .map(|p| {
-            Box::new(RemoteNode::connect(&p.addr, &client.setup.ctx).expect("connect to node"))
-                as Box<dyn ServiceNode>
+            Box::new(
+                RemoteNode::connect(&p.addr, &client.setup.ctx)
+                    .expect("connect to node")
+                    .with_key(Arc::clone(&client.setup.key)),
+            ) as Box<dyn ServiceNode>
         })
         .collect()
 }
@@ -133,7 +141,7 @@ fn bootstrap_via(svc: &BootstrapService, client: &Client) -> heap_ckks::Cipherte
 }
 
 #[test]
-fn two_process_cluster_bit_identical_to_serial() {
+fn two_keyless_processes_with_wire_keys_bit_identical_to_serial() {
     let procs = [spawn_node(&[]), spawn_node(&[])];
     let client = client();
     let svc = service_over(&client, &procs);
@@ -154,7 +162,7 @@ fn killed_node_batch_retried_on_survivor_with_same_result() {
     let procs = [spawn_node(&[]), spawn_node(&[])];
     let client = client();
     let svc = service_over(&client, &procs);
-    // Warm round: both nodes healthy.
+    // Warm round: both nodes healthy (and both now hold the wire key).
     let first = bootstrap_via(&svc, &client);
     assert_eq!(first.c0(), client.reference.c0());
     // Kill node 0's process; its next shard fails mid-batch and must be
@@ -175,8 +183,8 @@ fn killed_node_batch_retried_on_survivor_with_same_result() {
 
 #[test]
 fn fail_after_node_is_detected_and_replaced() {
-    // Node 0 dies on its very first request (--fail-after 0); node 1
-    // carries the whole batch after reassignment.
+    // Node 0 dies on its very first rotation request (--fail-after 0);
+    // node 1 carries the whole batch after reassignment.
     let procs = [spawn_node(&["--fail-after", "0"]), spawn_node(&[])];
     let client = client();
     let svc = service_over(&client, &procs);
@@ -186,5 +194,45 @@ fn fail_after_node_is_detected_and_replaced() {
     let stats = svc.stats();
     assert_eq!(stats.scheduler.node_failures, 1);
     assert!(stats.scheduler.reassignments >= 1);
+    svc.shutdown();
+}
+
+#[test]
+fn legacy_insecure_seed_cluster_still_serves_its_default_key() {
+    // The pre-key-distribution path: every process regenerates identical
+    // keys from the shared seed, clients send key id 0 ("your default").
+    let node = spawn_node(&["--insecure-seed", &SEED.to_string()]);
+    let setup = insecure_deterministic_setup(ParamPreset::Tiny, SEED);
+    let mut rng = StdRng::seed_from_u64(7);
+    let delta = setup.ctx.fresh_scale();
+    let coeffs: Vec<i64> = (0..setup.ctx.n())
+        .map(|i| (((i % 7) as f64 - 3.0) / 40.0 * delta).round() as i64)
+        .collect();
+    let ct = setup
+        .ctx
+        .encrypt_coeffs_sk(&coeffs, delta, 1, &setup.sk, &mut rng);
+    let reference = setup.boot.bootstrap(&setup.ctx, &ct);
+    let svc = BootstrapService::start_with_nodes(
+        Arc::clone(&setup.ctx),
+        Arc::clone(&setup.boot),
+        vec![
+            Box::new(RemoteNode::connect(&node.addr, &setup.ctx).expect("connect"))
+                as Box<dyn ServiceNode>,
+        ],
+        RuntimeConfig {
+            queue_capacity: 4,
+            batch: BatchPolicy::immediate(),
+            ..RuntimeConfig::default()
+        },
+    )
+    .expect("start service");
+    let fresh = svc
+        .submit(JobRequest::Bootstrap { ct }, Priority::Normal)
+        .expect("submit")
+        .wait()
+        .expect("bootstrap job")
+        .into_ciphertext();
+    assert_eq!(fresh.c0(), reference.c0());
+    assert_eq!(fresh.c1(), reference.c1());
     svc.shutdown();
 }

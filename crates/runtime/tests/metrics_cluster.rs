@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use heap_runtime::{
-    deterministic_setup, BatchPolicy, BootstrapService, JobRequest, ParamPreset, Priority,
+    insecure_deterministic_setup, BatchPolicy, BootstrapService, JobRequest, ParamPreset, Priority,
     RemoteNode, RetryPolicy, RuntimeConfig, ServiceNode,
 };
 use rand::rngs::StdRng;
@@ -46,7 +46,7 @@ fn spawn_node() -> NodeProc {
             "127.0.0.1:0",
             "--preset",
             "tiny",
-            "--seed",
+            "--insecure-seed",
             &SEED.to_string(),
             "--threads",
             "2",
@@ -137,7 +137,7 @@ fn parse_prometheus(body: &str) -> HashMap<String, f64> {
 #[test]
 fn cluster_metrics_scrape_end_to_end() {
     let procs = [spawn_node(), spawn_node()];
-    let setup = deterministic_setup(ParamPreset::Tiny, SEED);
+    let setup = insecure_deterministic_setup(ParamPreset::Tiny, SEED);
     let ctx = &setup.ctx;
 
     let nodes: Vec<Box<dyn ServiceNode>> = procs

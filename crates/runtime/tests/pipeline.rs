@@ -14,8 +14,8 @@ use std::time::{Duration, Instant};
 
 use heap_parallel::Parallelism;
 use heap_runtime::{
-    deterministic_setup, BatchPolicy, BootstrapService, ChaosNode, DeterministicSetup, FaultPlan,
-    JobRequest, LocalServiceNode, ParamPreset, PipelineConfig, Priority, RetryPolicy,
+    insecure_deterministic_setup, BatchPolicy, BootstrapService, ChaosNode, DeterministicSetup,
+    FaultPlan, JobRequest, LocalServiceNode, ParamPreset, PipelineConfig, Priority, RetryPolicy,
     RuntimeConfig, RuntimeError, ServiceNode, SloPolicy, SubmitOptions, TenantId,
 };
 use rand::rngs::StdRng;
@@ -52,7 +52,7 @@ fn moduli(setup: &DeterministicSetup) -> Vec<u64> {
 fn fixture() -> &'static Fixture {
     static FIX: OnceLock<Fixture> = OnceLock::new();
     FIX.get_or_init(|| {
-        let setup = deterministic_setup(ParamPreset::Tiny, SEED);
+        let setup = insecure_deterministic_setup(ParamPreset::Tiny, SEED);
         let mut rng = StdRng::seed_from_u64(3);
         let delta = setup.ctx.fresh_scale();
         let mut requests = Vec::new();

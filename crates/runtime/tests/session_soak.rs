@@ -15,8 +15,8 @@ use std::time::{Duration, Instant};
 
 use heap_parallel::Parallelism;
 use heap_runtime::{
-    deterministic_setup, DeterministicSetup, JobOutput, JobRequest, ParamPreset, SessionClient,
-    SubmitOptions, TenantId,
+    insecure_deterministic_setup, DeterministicSetup, JobOutput, JobRequest, ParamPreset,
+    SessionClient, SubmitOptions, TenantId,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -48,7 +48,7 @@ fn spawn_session_server() -> ServerProc {
             "127.0.0.1:0",
             "--preset",
             "tiny",
-            "--seed",
+            "--insecure-seed",
             &SEED.to_string(),
             "--threads",
             "2",
@@ -80,7 +80,7 @@ struct Fixture {
 }
 
 fn fixture() -> Fixture {
-    let setup = deterministic_setup(ParamPreset::Tiny, SEED);
+    let setup = insecure_deterministic_setup(ParamPreset::Tiny, SEED);
     let mut rng = StdRng::seed_from_u64(5);
     let delta = setup.ctx.fresh_scale();
     let coeffs: Vec<i64> = (0..setup.ctx.n())
@@ -197,7 +197,7 @@ fn hundred_concurrent_sessions_no_loss_no_dupes_bounded_p99() {
 /// local serial oracle (the session layer adds framing, not noise).
 #[test]
 fn session_bootstrap_is_bit_identical_to_local_oracle() {
-    let setup = deterministic_setup(ParamPreset::Tiny, SEED);
+    let setup = insecure_deterministic_setup(ParamPreset::Tiny, SEED);
     let server = spawn_session_server();
     let mut rng = StdRng::seed_from_u64(11);
     let delta = setup.ctx.fresh_scale();

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use heap_parallel::Parallelism;
 use heap_runtime::{
-    deterministic_setup, BatchPolicy, BootstrapService, ChaosNode, FaultPlan, JobRequest,
+    insecure_deterministic_setup, BatchPolicy, BootstrapService, ChaosNode, FaultPlan, JobRequest,
     LocalServiceNode, ParamPreset, Priority, RetryPolicy, RuntimeConfig, ServiceNode,
 };
 use rand::rngs::StdRng;
@@ -25,7 +25,7 @@ const JOBS_PER_THREAD: usize = 3;
 
 #[test]
 fn chaos_run_counters_agree_across_all_views() {
-    let setup = deterministic_setup(ParamPreset::Tiny, 77);
+    let setup = insecure_deterministic_setup(ParamPreset::Tiny, 77);
     let ctx = &setup.ctx;
 
     // One chaos node that fails its first dispatches, one healthy node,
@@ -163,7 +163,7 @@ fn chaos_run_counters_agree_across_all_views() {
 
 #[test]
 fn service_metrics_endpoint_serves_stage_histograms() {
-    let setup = deterministic_setup(ParamPreset::Tiny, 78);
+    let setup = insecure_deterministic_setup(ParamPreset::Tiny, 78);
     let ctx = &setup.ctx;
     let svc = BootstrapService::start_with_cluster(
         Arc::clone(&setup.ctx),

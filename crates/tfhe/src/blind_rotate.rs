@@ -179,7 +179,7 @@ impl MonomialEvals {
 
 /// Blind-rotation key: `{RGSW(s_i^+), RGSW(s_i^-)}` for every coefficient of
 /// the (ternary) LWE secret, encrypted under the ring secret (paper §II-B).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BlindRotateKey {
     pos: Vec<RgswCiphertext>,
     neg: Vec<RgswCiphertext>,
@@ -222,6 +222,42 @@ impl BlindRotateKey {
             limbs,
             monomials: MonomialEvals::new(ctx, limbs),
         }
+    }
+
+    /// Rebuilds a key from decoded RGSW ladders (wire decoding); the
+    /// monomial tables are pure functions of the basis and are rebuilt.
+    pub(crate) fn from_parts(
+        ctx: &RnsContext,
+        pos: Vec<RgswCiphertext>,
+        neg: Vec<RgswCiphertext>,
+        params: RgswParams,
+        limbs: usize,
+    ) -> Self {
+        Self {
+            pos,
+            neg,
+            params,
+            limbs,
+            monomials: MonomialEvals::new(ctx, limbs),
+        }
+    }
+
+    /// The positive-coefficient RGSW ladder (wire encoding).
+    #[inline]
+    pub(crate) fn pos(&self) -> &[RgswCiphertext] {
+        &self.pos
+    }
+
+    /// The negative-coefficient RGSW ladder (wire encoding).
+    #[inline]
+    pub(crate) fn neg(&self) -> &[RgswCiphertext] {
+        &self.neg
+    }
+
+    /// Mutable ladders in encoding order (seed-reseeding transform).
+    #[inline]
+    pub(crate) fn ladders_mut(&mut self) -> (&mut [RgswCiphertext], &mut [RgswCiphertext]) {
+        (&mut self.pos, &mut self.neg)
     }
 
     /// LWE mask dimension `n_t` this key supports.

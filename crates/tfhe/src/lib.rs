@@ -38,6 +38,7 @@
 pub mod blind_rotate;
 pub mod extract;
 pub mod gates;
+pub mod key_wire;
 pub mod lwe;
 pub mod pbs;
 pub mod rgsw;
@@ -48,6 +49,10 @@ pub use blind_rotate::{
     test_polynomial_from_fn, BlindRotateKey, BlindRotateScratch, MonomialEvals,
 };
 pub use extract::{extract_coefficient, extract_constant_rns, lwe_to_rlwe, RnsLweCiphertext};
+pub use key_wire::{
+    brk_from_wire, brk_to_wire, brk_wire_size, ksk_from_wire, ksk_to_wire, ksk_wire_size,
+    reseed_brk, reseed_ksk,
+};
 pub use lwe::{LweCiphertext, LweKeySwitchKey, LweSecretKey};
 pub use rgsw::{
     external_product, external_product_into, external_product_pair_into,

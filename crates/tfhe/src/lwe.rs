@@ -170,6 +170,45 @@ impl LweKeySwitchKey {
         }
     }
 
+    /// Rebuilds a key from decoded parts (wire decoding).
+    pub(crate) fn from_parts(
+        key: Vec<Vec<LweCiphertext>>,
+        q: &Modulus,
+        base_bits: u32,
+        digits: usize,
+        target_dim: usize,
+    ) -> Self {
+        Self {
+            key,
+            gadget: Gadget::new(base_bits, digits, *q),
+            target_dim,
+        }
+    }
+
+    /// The stored ciphertext grid `key[j][k]` (wire encoding).
+    #[inline]
+    pub(crate) fn cts(&self) -> &[Vec<LweCiphertext>] {
+        &self.key
+    }
+
+    /// Mutable ciphertext grid (seed-reseeding transform).
+    #[inline]
+    pub(crate) fn cts_mut(&mut self) -> &mut [Vec<LweCiphertext>] {
+        &mut self.key
+    }
+
+    /// Bits per gadget digit.
+    #[inline]
+    pub fn base_bits(&self) -> u32 {
+        self.gadget.base().trailing_zeros()
+    }
+
+    /// Gadget digit count `d`.
+    #[inline]
+    pub fn digits(&self) -> usize {
+        self.gadget.digits()
+    }
+
     /// Source dimension `N`.
     #[inline]
     pub fn source_dim(&self) -> usize {

@@ -10,8 +10,8 @@
 
 use heap::core::TransferLedger;
 use heap::runtime::{
-    deterministic_setup, serve, BatchPolicy, BootstrapService, JobRequest, ParamPreset, Priority,
-    RemoteNode, RuntimeConfig, ServeOptions, ServiceNode,
+    insecure_deterministic_setup, serve, BatchPolicy, BootstrapService, JobRequest, ParamPreset,
+    Priority, RemoteNode, RuntimeConfig, ServeOptions, ServiceNode,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,10 +21,10 @@ use std::time::Duration;
 
 fn main() {
     // Primary and secondaries regenerate identical keys from the shared
-    // (preset, seed) pair — see `deterministic_setup` for the caveat.
+    // (preset, seed) pair — see `insecure_deterministic_setup` for the caveat.
     const SEED: u64 = 42;
     println!("generating keys (preset=tiny, seed={SEED}) ...");
-    let setup = deterministic_setup(ParamPreset::Tiny, SEED);
+    let setup = insecure_deterministic_setup(ParamPreset::Tiny, SEED);
 
     // Two in-process servers on real loopback sockets; `heap-node-serve`
     // runs the same `serve` loop as a standalone process.
