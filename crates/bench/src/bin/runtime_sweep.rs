@@ -45,8 +45,8 @@ use heap_parallel::Parallelism;
 use heap_runtime::{
     insecure_deterministic_setup, keyed_setup, serve, serve_keyless, BatchPolicy, BootstrapService,
     DeterministicSetup, EvalKeySet, FaultPlan, JobRequest, KeyPackage, KeyedSetup, NodeKeyStore,
-    NodeTimeouts, ParamPreset, PipelineConfig, Priority, RemoteNode, RuntimeConfig, ServeOptions,
-    ServiceNode, SessionClient, SubmitOptions, TenantId,
+    NodeTimeouts, ParamPreset, PipelineConfig, Priority, RemoteNode, RetryPolicy, RuntimeConfig,
+    ServeOptions, ServiceNode, SessionClient, SubmitOptions, TenantId,
 };
 use heap_telemetry::HistogramSnapshot;
 use heap_tfhe::LweCiphertext;
@@ -231,6 +231,7 @@ fn run_config(
     workers: usize,
     mode: &'static str,
     mix: Mix,
+    retry: RetryPolicy,
 ) -> Sample {
     let nodes = connect_nodes(setup, addrs);
     let node_count = nodes.len();
@@ -246,6 +247,7 @@ fn run_config(
                     max_delay: Duration::from_millis(2),
                 },
                 pipeline: PipelineConfig::workers(workers),
+                retry,
                 ..RuntimeConfig::default()
             },
         )
@@ -576,6 +578,7 @@ fn main() {
                 1,
                 "scaling",
                 Mix::Bootstrap { jobs_per_client: 1 },
+                RetryPolicy::default(),
             );
             print_sample(&s);
             samples.push(s);
@@ -597,6 +600,7 @@ fn main() {
             1,
             mode,
             Mix::BlindRotate,
+            RetryPolicy::default(),
         );
         print_sample(&s);
         samples.push(s);
@@ -616,9 +620,46 @@ fn main() {
             workers,
             "pipeline",
             Mix::Bootstrap { jobs_per_client: 2 },
+            RetryPolicy::default(),
         );
         print_sample(&s);
         samples.push(s);
+    }
+
+    // Tail-latency pair: a 2-node cluster where one node stalls every
+    // request (correct replies, hundreds of ms late). `hedge_off` shows
+    // the straggler setting batch p99; `hedge_on` re-dispatches the
+    // straggling shard to the fast node once it exceeds 1.5× the fast
+    // node's latency EWMA, so p99 tracks the recompute, not the stall.
+    // Fresh servers per row so both rows see a full stall plan.
+    let mut tail_rows = Vec::new();
+    for (mode, retry) in [
+        ("hedge_off", RetryPolicy::default()),
+        (
+            "hedge_on",
+            RetryPolicy {
+                hedge_after: Some(1.5),
+                hedge_min_latency: Duration::from_millis(20),
+                hedge_min_samples: 1,
+                ..RetryPolicy::default()
+            },
+        ),
+    ] {
+        let stall_addrs = vec![
+            spawn_server(&setup, Some("stall:500*500".parse().expect("plan"))),
+            spawn_server(&setup, None),
+        ];
+        let s = run_config(
+            &setup,
+            &stall_addrs,
+            LWES_PER_JOB,
+            1,
+            mode,
+            Mix::BlindRotate,
+            retry,
+        );
+        print_sample(&s);
+        tail_rows.push(s);
     }
 
     // Session pair: identical workload in-process vs through 100
@@ -667,34 +708,33 @@ fn main() {
         key_rows[0].key_bytes_per_batch / key_rows[2].key_bytes_per_batch
     );
 
-    let rows: Vec<String> = samples
-        .iter()
-        .map(|s| {
-            let stages: Vec<String> = s
-                .stage_mean_us
-                .iter()
-                .map(|(name, us)| format!("\"{name}\": {us:.1}"))
-                .collect();
-            format!(
-                "    {{\"mode\": \"{}\", \"nodes\": {}, \"max_lwes\": {}, \"workers\": {}, \
-                 \"clients\": {}, \"secs\": {:.6}, \
-                 \"jobs_per_sec\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
-                 \"queue_wait_p50_us\": {}, \"stage_mean_us\": {{{}}}}}",
-                s.mode,
-                s.nodes,
-                s.max_lwes,
-                s.workers,
-                s.clients,
-                s.secs,
-                s.jobs_per_sec,
-                s.p50_ms,
-                s.p99_ms,
-                s.queue_p50_us
-                    .map_or("null".to_string(), |us| format!("{us:.1}")),
-                stages.join(", ")
-            )
-        })
-        .collect();
+    fn sample_json(s: &Sample) -> String {
+        let stages: Vec<String> = s
+            .stage_mean_us
+            .iter()
+            .map(|(name, us)| format!("\"{name}\": {us:.1}"))
+            .collect();
+        format!(
+            "    {{\"mode\": \"{}\", \"nodes\": {}, \"max_lwes\": {}, \"workers\": {}, \
+             \"clients\": {}, \"secs\": {:.6}, \
+             \"jobs_per_sec\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"queue_wait_p50_us\": {}, \"stage_mean_us\": {{{}}}}}",
+            s.mode,
+            s.nodes,
+            s.max_lwes,
+            s.workers,
+            s.clients,
+            s.secs,
+            s.jobs_per_sec,
+            s.p50_ms,
+            s.p99_ms,
+            s.queue_p50_us
+                .map_or("null".to_string(), |us| format!("{us:.1}")),
+            stages.join(", ")
+        )
+    }
+    let rows: Vec<String> = samples.iter().map(sample_json).collect();
+    let tail_json: Vec<String> = tail_rows.iter().map(sample_json).collect();
     let json = format!(
         "{{\n  \"host_cores\": {host_cores},\n  \"jobs\": {JOBS},\n  \
          \"lwes_per_job\": {LWES_PER_JOB},\n  \"clients\": {CLIENTS},\n  \
@@ -713,6 +753,12 @@ fn main() {
          mean ns-scale per transform), queue_wait_p50_us = median submit-to-dispatch \
          queue wait (null when nothing was recorded)\",\n  \
          \"samples\": [\n{}\n  ],\n  \
+         \"tail_note\": \"tail_latency rows run the same BlindRotate workload against a \
+         2-node cluster where one node stalls (stall:500*500 — correct replies, 500ms \
+         late) with hedged dispatch off vs on (hedge_after=1.5x the fastest peer EWMA); \
+         compare p50_ms/p99_ms across the two rows to see the straggler removed from the \
+         tail\",\n  \
+         \"tail_latency\": [\n{}\n  ],\n  \
          \"key_note\": \"key_traffic rows measure key-distribution bytes on the client's \
          transfer ledger against a fresh keyless node each row (KeyOffer/KeyNeed/KeyUpload/\
          KeyAck framing included): strict_cold = non-seeded container uploaded once, \
@@ -721,6 +767,7 @@ fn main() {
          are the node's keycache counters for the row's workload\",\n  \
          \"key_traffic\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),
+        tail_json.join(",\n"),
         key_rows
             .iter()
             .map(|r| {

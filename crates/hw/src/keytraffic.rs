@@ -102,8 +102,8 @@ pub fn brk_bytes_for(d: u64, h: u64) -> u64 {
 use heap_math::wire::packed_size;
 
 /// Frame header of the runtime's node protocol: u32 magic + u8 kind +
-/// u64 payload length.
-pub const KEY_FRAME_HEADER_BYTES: u64 = 13;
+/// u64 payload length + u32 CRC.
+pub const KEY_FRAME_HEADER_BYTES: u64 = 17;
 /// Every key frame payload leads with (or consists of) the u64 key id.
 pub const KEY_ID_BYTES: u64 = 8;
 

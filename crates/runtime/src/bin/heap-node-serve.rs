@@ -33,8 +33,12 @@
 //!   reassignment tests)
 //! - `--fault-plan PLAN` — deterministic fault injection: a comma-
 //!   separated action script consumed one action per blind-rotate
-//!   request, e.g. `fail*2,delay:50,hang,corrupt,drop`; after the plan
-//!   is exhausted the node serves normally (so a prober can observe it
+//!   request, e.g. `fail*2,delay:50,hang,corrupt,drop` or the silent
+//!   failure modes `flip` (compute correctly, flip one payload bit on
+//!   the wire — caught by the frame CRC), `truncate` (drop the last
+//!   accumulator — a shape mismatch) and `stall:MS` (correct reply,
+//!   `MS` ms late — only hedged dispatch beats it); after the plan is
+//!   exhausted the node serves normally (so a prober can observe it
 //!   recover). See `heap_runtime::FaultPlan` for the grammar.
 //! - `--metrics-addr HOST:PORT` — also serve a metrics endpoint
 //!   (`GET /metrics` Prometheus text, `GET /metrics.json`) exposing the

@@ -18,8 +18,8 @@
 //! repeated with `*N`:
 //!
 //! ```text
-//! pass | fail | drop | corrupt | hang | hang:MS | delay:MS
-//! e.g.  --fault-plan 'fail*2,delay:50,hang,corrupt,drop'
+//! pass | fail | drop | corrupt | flip | truncate | hang | hang:MS | delay:MS | stall:MS
+//! e.g.  --fault-plan 'fail*2,delay:50,hang,flip,stall:500,drop'
 //! ```
 
 use std::str::FromStr;
@@ -31,7 +31,7 @@ use heap_ckks::CkksContext;
 use heap_core::Bootstrapper;
 use heap_tfhe::{LweCiphertext, RlweCiphertext};
 
-use crate::node::{NodeError, ServiceNode};
+use crate::node::{attest_digest, AttestedBatch, NodeError, ServiceNode};
 
 /// What a faulty node does to one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,18 +49,36 @@ pub enum FaultAction {
     /// [`ChaosNode`] default when absent; the server default is
     /// effectively forever).
     Hang(Option<Duration>),
-    /// Reply with garbage: a bad frame on the wire, a short batch
-    /// in-process.
+    /// Reply with garbage: an unparseable frame on the wire, a silent
+    /// accumulator bit-flip in-process (the attestation digest check must
+    /// catch it).
     Corrupt,
+    /// Silently flip one payload bit. Over the wire the reply frame is
+    /// otherwise well-formed — the CRC layer must catch it; in-process
+    /// one accumulator limb is flipped under an unchanged node-side
+    /// digest — the scheduler's attestation check must catch it. Either
+    /// way: never wrong bits delivered.
+    Flip,
+    /// Reply with one accumulator missing but *internally consistent*
+    /// (digest computed over the short batch) — the old `corrupt` shape
+    /// semantics, caught by the reply-shape check rather than any
+    /// integrity layer.
+    Truncate,
+    /// Serve correctly, but only after this long: a straggler, not a
+    /// failure. Hedged dispatch should hide it from batch latency.
+    Stall(Duration),
     /// Drop the connection without replying.
     Drop,
 }
 
 impl FaultAction {
     /// Whether this action makes the request fail (from the scheduler's
-    /// point of view). `Delay` is slow but correct.
+    /// point of view). `Delay` and `Stall` are slow but correct.
     pub fn is_failure(self) -> bool {
-        !matches!(self, FaultAction::Pass | FaultAction::Delay(_))
+        !matches!(
+            self,
+            FaultAction::Pass | FaultAction::Delay(_) | FaultAction::Stall(_)
+        )
     }
 }
 
@@ -73,6 +91,9 @@ impl std::fmt::Display for FaultAction {
             FaultAction::Hang(None) => f.write_str("hang"),
             FaultAction::Hang(Some(d)) => write!(f, "hang:{}", d.as_millis()),
             FaultAction::Corrupt => f.write_str("corrupt"),
+            FaultAction::Flip => f.write_str("flip"),
+            FaultAction::Truncate => f.write_str("truncate"),
+            FaultAction::Stall(d) => write!(f, "stall:{}", d.as_millis()),
             FaultAction::Drop => f.write_str("drop"),
         }
     }
@@ -130,16 +151,19 @@ impl FromStr for FaultPlan {
             let action = match spec.split_once(':') {
                 Some(("delay", ms)) => FaultAction::Delay(millis("delay", ms)?),
                 Some(("hang", ms)) => FaultAction::Hang(Some(millis("hang", ms)?)),
+                Some(("stall", ms)) => FaultAction::Stall(millis("stall", ms)?),
                 None => match spec {
                     "pass" => FaultAction::Pass,
                     "fail" => FaultAction::Fail,
                     "hang" => FaultAction::Hang(None),
                     "corrupt" => FaultAction::Corrupt,
+                    "flip" => FaultAction::Flip,
+                    "truncate" => FaultAction::Truncate,
                     "drop" => FaultAction::Drop,
                     other => {
                         return Err(format!(
                             "unknown fault action '{other}' \
-                             (pass|fail|delay:MS|hang[:MS]|corrupt|drop)"
+                             (pass|fail|delay:MS|hang[:MS]|corrupt|flip|truncate|stall:MS|drop)"
                         ))
                     }
                 },
@@ -214,8 +238,11 @@ impl FaultState {
 /// In-process chaos wrapper: applies a [`FaultPlan`] to every call on the
 /// wrapped node. What each action surfaces mirrors the real transport:
 /// `Fail`/`Drop` become transport errors, `Hang` sleeps then surfaces the
-/// timeout a socket deadline would have produced, and `Corrupt` returns a
-/// short batch (the scheduler's reply-shape check must catch it).
+/// timeout a socket deadline would have produced, `Corrupt`/`Flip` flip
+/// one accumulator limb bit *without touching the attestation digest*
+/// (the scheduler's digest check must catch it), `Truncate` returns an
+/// internally consistent short batch (the reply-shape check must catch
+/// it), and `Stall` serves correctly but late.
 pub struct ChaosNode {
     inner: Box<dyn ServiceNode>,
     state: Arc<FaultState>,
@@ -252,12 +279,26 @@ impl ServiceNode for ChaosNode {
         boot: &Bootstrapper,
         lwes: &[LweCiphertext],
     ) -> Result<Vec<RlweCiphertext>, NodeError> {
+        self.try_blind_rotate_attested(ctx, boot, lwes)
+            .map(|batch| batch.accs)
+    }
+
+    /// All fault actions are applied here — the scheduler dispatches
+    /// through the attested call, and the plain batch call above
+    /// delegates to it, so either entry point consumes exactly one
+    /// scripted action.
+    fn try_blind_rotate_attested(
+        &self,
+        ctx: &CkksContext,
+        boot: &Bootstrapper,
+        lwes: &[LweCiphertext],
+    ) -> Result<AttestedBatch, NodeError> {
         match self.state.next_action() {
-            FaultAction::Pass => self.inner.try_blind_rotate_batch(ctx, boot, lwes),
+            FaultAction::Pass => self.inner.try_blind_rotate_attested(ctx, boot, lwes),
             FaultAction::Fail => Err(NodeError::Io("injected fault: fail".into())),
-            FaultAction::Delay(d) => {
+            FaultAction::Delay(d) | FaultAction::Stall(d) => {
                 std::thread::sleep(d);
-                self.inner.try_blind_rotate_batch(ctx, boot, lwes)
+                self.inner.try_blind_rotate_attested(ctx, boot, lwes)
             }
             FaultAction::Hang(d) => {
                 let after = d.unwrap_or(self.hang_for);
@@ -267,10 +308,27 @@ impl ServiceNode for ChaosNode {
                     after,
                 })
             }
-            FaultAction::Corrupt => {
-                let mut accs = self.inner.try_blind_rotate_batch(ctx, boot, lwes)?;
-                accs.pop();
-                Ok(accs)
+            FaultAction::Corrupt | FaultAction::Flip => {
+                // Silent corruption after the digest was computed: flip
+                // one limb bit and reduce (keeping the value canonical),
+                // leaving the stale digest attached. Only the scheduler's
+                // attestation check stands between this and wrong bits.
+                let mut batch = self.inner.try_blind_rotate_attested(ctx, boot, lwes)?;
+                if let Some(acc) = batch.accs.first_mut() {
+                    let q = ctx.rns().modulus(0).value();
+                    let limb = acc.b.limb_mut(0);
+                    limb[0] = (limb[0] ^ 1) % q;
+                }
+                Ok(batch)
+            }
+            FaultAction::Truncate => {
+                // The old `corrupt` shape-bug semantics: one accumulator
+                // missing, but digest recomputed over the short batch so
+                // no integrity layer fires — only the shape check can.
+                let mut batch = self.inner.try_blind_rotate_attested(ctx, boot, lwes)?;
+                batch.accs.pop();
+                batch.digest = attest_digest(ctx, &batch.accs);
+                Ok(batch)
             }
             FaultAction::Drop => Err(NodeError::Io("injected fault: connection dropped".into())),
         }
@@ -301,9 +359,10 @@ mod tests {
 
     #[test]
     fn plan_parses_and_round_trips() {
-        let plan: FaultPlan = "fail*2, delay:50, hang, hang:10, corrupt, drop, pass"
-            .parse()
-            .unwrap();
+        let plan: FaultPlan =
+            "fail*2, delay:50, hang, hang:10, corrupt, flip, truncate, stall:500, drop, pass"
+                .parse()
+                .unwrap();
         assert_eq!(
             plan.actions(),
             &[
@@ -313,6 +372,9 @@ mod tests {
                 FaultAction::Hang(None),
                 FaultAction::Hang(Some(Duration::from_millis(10))),
                 FaultAction::Corrupt,
+                FaultAction::Flip,
+                FaultAction::Truncate,
+                FaultAction::Stall(Duration::from_millis(500)),
                 FaultAction::Drop,
                 FaultAction::Pass,
             ]
@@ -328,6 +390,8 @@ mod tests {
         assert!("delay:abc".parse::<FaultPlan>().is_err());
         assert!("fail*x".parse::<FaultPlan>().is_err());
         assert!("sleep:10".parse::<FaultPlan>().is_err());
+        assert!("stall".parse::<FaultPlan>().is_err());
+        assert!("stall:abc".parse::<FaultPlan>().is_err());
         assert!("".parse::<FaultPlan>().unwrap().is_empty());
     }
 
@@ -348,8 +412,11 @@ mod tests {
         assert!(FaultAction::Fail.is_failure());
         assert!(FaultAction::Hang(None).is_failure());
         assert!(FaultAction::Corrupt.is_failure());
+        assert!(FaultAction::Flip.is_failure());
+        assert!(FaultAction::Truncate.is_failure());
         assert!(FaultAction::Drop.is_failure());
         assert!(!FaultAction::Pass.is_failure());
         assert!(!FaultAction::Delay(Duration::ZERO).is_failure());
+        assert!(!FaultAction::Stall(Duration::ZERO).is_failure());
     }
 }

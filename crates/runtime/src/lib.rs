@@ -39,8 +39,12 @@
 //!    socket operations all carry deadlines (hung peers surface as typed
 //!    [`NodeError::Timeout`]s, never wedged shards), and an optional
 //!    local fallback node keeps batches completing when remote capacity
-//!    degrades. A deterministic [`FaultPlan`] / [`ChaosNode`] harness
-//!    drives the chaos test suite.
+//!    degrades. Every reply is integrity-checked end to end (frame CRC,
+//!    attestation digest, optional redundant-dispatch audit — see
+//!    [`AttestedBatch`]), straggling shards can be speculatively hedged
+//!    onto a second node ([`RetryPolicy::hedge_after`]), and a node caught
+//!    lying is quarantined for good. A deterministic [`FaultPlan`] /
+//!    [`ChaosNode`] harness drives the chaos test suite.
 //! 6. **Sessions** ([`session`]) — a [`SessionServer`] fronts the
 //!    service with connection multiplexing over the same frame protocol
 //!    (one socket carries many tagged in-flight jobs; completions stream
@@ -77,7 +81,7 @@ mod telemetry;
 pub use batch::BatchPolicy;
 pub use fault::{ChaosNode, FaultAction, FaultPlan, FaultState};
 pub use job::{JobHandle, JobId, JobOutput, JobRequest, Priority, TenantId};
-pub use node::{LocalServiceNode, NodeError, ServiceNode};
+pub use node::{attest_digest, AttestedBatch, LocalServiceNode, NodeError, ServiceNode};
 pub use preset::{
     insecure_deterministic_setup, keyed_setup, DeterministicSetup, KeyedSetup, ParamPreset,
 };

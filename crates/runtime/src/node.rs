@@ -34,6 +34,16 @@ pub enum NodeError {
     Remote(String),
     /// The reply decoded but does not match the request shape.
     Mismatch(&'static str),
+    /// An integrity check caught corrupted data. `frame` names what was
+    /// corrupted (a frame kind or `"accumulators"`), `phase` the layer
+    /// that detected it: `"crc"` (wire checksum), `"attest"` (end-to-end
+    /// FNV-1a digest), or `"audit"` (redundant-dispatch bit comparison).
+    Corrupt {
+        /// What was corrupted (frame kind name or payload description).
+        frame: String,
+        /// Detection layer: `crc`, `attest`, or `audit`.
+        phase: &'static str,
+    },
 }
 
 impl std::fmt::Display for NodeError {
@@ -46,11 +56,45 @@ impl std::fmt::Display for NodeError {
             NodeError::Protocol(e) => write!(f, "protocol error: {e}"),
             NodeError::Remote(e) => write!(f, "remote node error: {e}"),
             NodeError::Mismatch(why) => write!(f, "reply mismatch: {why}"),
+            NodeError::Corrupt { frame, phase } => {
+                write!(
+                    f,
+                    "integrity failure: corrupt {frame} (detected at {phase} layer)"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for NodeError {}
+
+/// A shard result carrying the node-side attestation digest.
+///
+/// The digest is FNV-1a over the canonical wire encoding of the
+/// accumulators ([`attest_digest`]), computed *where the accumulators
+/// were produced*. The scheduler re-encodes what it received and
+/// recomputes the digest, so corruption anywhere between the node's
+/// compute and the client's memory — bad node RAM, a buggy backend, a
+/// flip the frame CRC window does not cover — surfaces as a typed
+/// [`NodeError::Corrupt`] instead of wrong bits.
+#[derive(Debug, Clone)]
+pub struct AttestedBatch {
+    /// One accumulator per input LWE, in order.
+    pub accs: Vec<RlweCiphertext>,
+    /// FNV-1a digest over the accumulators' canonical wire encoding.
+    pub digest: u64,
+}
+
+/// The canonical attestation digest of an accumulator batch: FNV-1a over
+/// the bit-packed wire encoding at `ctx`'s boot-basis moduli. The wire
+/// encoding is canonical (decode ∘ encode is the identity), so digesting
+/// the re-encoded batch equals digesting the received payload.
+pub fn attest_digest(ctx: &CkksContext, accs: &[RlweCiphertext]) -> u64 {
+    let moduli: Vec<u64> = (0..ctx.boot_limbs())
+        .map(|j| ctx.rns().modulus(j).value())
+        .collect();
+    heap_math::wire::fnv1a(&heap_tfhe::rlwe_batch_to_wire(accs, &moduli))
+}
 
 /// A compute node the scheduler can dispatch to, with failure reporting.
 pub trait ServiceNode: Send + Sync {
@@ -62,6 +106,27 @@ pub trait ServiceNode: Send + Sync {
         boot: &Bootstrapper,
         lwes: &[LweCiphertext],
     ) -> Result<Vec<RlweCiphertext>, NodeError>;
+
+    /// Like [`Self::try_blind_rotate_batch`], but the result carries the
+    /// node-side attestation digest. The scheduler dispatches through
+    /// this method and verifies the digest against what it received.
+    ///
+    /// The default computes the digest client-side after the plain batch
+    /// call — correct for in-process nodes, where the accumulators never
+    /// leave this address space. Transports ([`crate::RemoteNode`])
+    /// override it to carry the digest the *peer* computed.
+    fn try_blind_rotate_attested(
+        &self,
+        ctx: &CkksContext,
+        boot: &Bootstrapper,
+        lwes: &[LweCiphertext],
+    ) -> Result<AttestedBatch, NodeError> {
+        let accs = self.try_blind_rotate_batch(ctx, boot, lwes)?;
+        Ok(AttestedBatch {
+            digest: attest_digest(ctx, &accs),
+            accs,
+        })
+    }
 
     /// Cheap liveness check used by the scheduler's health prober to
     /// decide whether an open-circuit node can be readmitted. Remote

@@ -17,13 +17,32 @@
 //!
 //! # Frame format
 //!
-//! Every frame is a 13-byte header followed by a payload:
+//! Every frame is a 17-byte header followed by a payload:
 //!
 //! ```text
 //! magic  "HRT1"  u32 LE   (protocol + version in one)
 //! kind            u8      (Hello … Pong, below)
 //! len             u64 LE  (payload bytes)
+//! crc             u32 LE  (CRC-32 over kind, len, and payload)
 //! ```
+//!
+//! The checksum covers the kind and length fields as well as the
+//! payload, so a bit flip anywhere past the magic — including one that
+//! turns the kind into another *valid* kind — surfaces as a typed
+//! [`NodeError::Corrupt`] rather than a silently mis-decoded frame
+//! (magic flips fail the magic check; crc-field flips fail their own
+//! comparison). This is the wire-integrity layer; end-to-end content
+//! integrity is the attestation digest below.
+//!
+//! # Result attestation
+//!
+//! Every `BlindRotateResp` payload leads with a `u64 LE` FNV-1a digest
+//! of the accumulator batch's wire encoding, computed *server-side*
+//! where the accumulators were produced. The client recomputes the
+//! digest over the received payload (and the scheduler re-verifies over
+//! the re-encoded accumulators), catching corruption the frame CRC
+//! cannot see: bad node RAM, a buggy compute backend, anything between
+//! the peer's checksum computation and this process's memory.
 //!
 //! A session is `Hello → HelloAck` (both directions validate the ring
 //! shape: `N`, boot limbs, `q_0`; the ack additionally advertises the
@@ -66,9 +85,10 @@
 //! The server applies an optional [`FaultPlan`]
 //! ([`ServeOptions::fault_plan`], `heap-node-serve --fault-plan`) to its
 //! blind-rotate requests: scripted error frames, delays, hangs, corrupt
-//! frames, and dropped connections, consumed one action per request
-//! across all connections — the socket half of the deterministic
-//! fault-injection harness.
+//! frames, silent payload bit-flips, stalls, truncated replies, and
+//! dropped connections, consumed one action per request across all
+//! connections — the socket half of the deterministic fault-injection
+//! harness.
 
 use std::collections::HashSet;
 use std::io::{Read, Write};
@@ -88,12 +108,15 @@ use heap_tfhe::{
 };
 
 use crate::fault::{FaultAction, FaultPlan, FaultState};
-use crate::node::{NodeError, ServiceNode};
+use crate::node::{AttestedBatch, NodeError, ServiceNode};
 
 /// `"HRT1"` — HEAP runtime transport, version 1.
 const FRAME_MAGIC: u32 = 0x4852_5431;
-/// Header bytes preceding every payload (magic + kind + length).
-pub(crate) const FRAME_HEADER_BYTES: u64 = 4 + 1 + 8;
+/// Header bytes preceding every payload (magic + kind + length + crc).
+pub(crate) const FRAME_HEADER_BYTES: u64 = 4 + 1 + 8 + 4;
+/// Bytes of the FNV-1a attestation digest leading every
+/// `BlindRotateResp` payload.
+pub(crate) const RESP_DIGEST_BYTES: u64 = 8;
 /// Upper bound on a sane payload; anything larger is a corrupt peer.
 const MAX_FRAME: u64 = 1 << 30;
 /// Hello payload: `u32 n, u32 boot_limbs, u64 q0`.
@@ -213,9 +236,15 @@ fn io_error(phase: &'static str, after: Duration, e: std::io::Error) -> NodeErro
 }
 
 /// A frame-level failure, before phase/deadline context is attached.
+#[derive(Debug)]
 pub(crate) enum FrameError {
     Io(std::io::Error),
     Protocol(String),
+    /// The frame checksum did not match — bytes were flipped on the
+    /// wire. `frame` names the (claimed) frame kind.
+    Corrupt {
+        frame: String,
+    },
 }
 
 impl FrameError {
@@ -223,8 +252,32 @@ impl FrameError {
         match self {
             FrameError::Io(e) => io_error(phase, after, e),
             FrameError::Protocol(p) => NodeError::Protocol(p),
+            FrameError::Corrupt { frame } => NodeError::Corrupt {
+                frame,
+                phase: "crc",
+            },
         }
     }
+}
+
+/// The frame checksum: CRC-32 over the kind byte, the length field, and
+/// the payload (everything past the magic).
+fn frame_crc(kind_byte: u8, payload: &[u8]) -> u32 {
+    let mut crc = heap_math::wire::Crc32::new();
+    crc.update(&[kind_byte]);
+    crc.update(&(payload.len() as u64).to_le_bytes());
+    crc.update(payload);
+    crc.finalize()
+}
+
+/// Builds the 17-byte frame header for `payload`.
+fn frame_header(kind: FrameKind, payload: &[u8]) -> [u8; FRAME_HEADER_BYTES as usize] {
+    let mut header = [0u8; FRAME_HEADER_BYTES as usize];
+    header[..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+    header[4] = kind as u8;
+    header[5..13].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    header[13..].copy_from_slice(&frame_crc(kind as u8, payload).to_le_bytes());
+    header
 }
 
 /// Writes one frame; returns total bytes put on the wire.
@@ -233,11 +286,7 @@ pub(crate) fn write_frame(
     kind: FrameKind,
     payload: &[u8],
 ) -> std::io::Result<u64> {
-    let mut header = [0u8; FRAME_HEADER_BYTES as usize];
-    header[..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
-    header[4] = kind as u8;
-    header[5..].copy_from_slice(&(payload.len() as u64).to_le_bytes());
-    w.write_all(&header)?;
+    w.write_all(&frame_header(kind, payload))?;
     w.write_all(payload)?;
     w.flush()?;
     Ok(FRAME_HEADER_BYTES + payload.len() as u64)
@@ -255,14 +304,20 @@ pub(crate) fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>, u64),
     }
     let kind = FrameKind::from_u8(header[4])
         .ok_or_else(|| FrameError::Protocol(format!("unknown frame kind {}", header[4])))?;
-    let len = u64::from_le_bytes(header[5..].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(header[5..13].try_into().expect("8 bytes"));
     if len > MAX_FRAME {
         return Err(FrameError::Protocol(format!(
             "oversized frame ({len} bytes)"
         )));
     }
+    let crc = u32::from_le_bytes(header[13..].try_into().expect("4 bytes"));
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload).map_err(FrameError::Io)?;
+    if frame_crc(header[4], &payload) != crc {
+        return Err(FrameError::Corrupt {
+            frame: format!("{kind:?}"),
+        });
+    }
     Ok((kind, payload, FRAME_HEADER_BYTES + len))
 }
 
@@ -326,14 +381,23 @@ impl std::fmt::Debug for NodeTelemetry {
 
 /// Flattens a registry snapshot into `(scoped name, u64)` stats entries:
 /// counters and gauges verbatim, histograms as `_count` and `_sum`.
+/// Labeled series append their label *values* to the name (the stats wire
+/// format is a flat name → u64 map), so
+/// `heap_corruption_detected_total{layer="crc"}` travels as
+/// `service_heap_corruption_detected_total_crc`.
 fn flatten_snapshot(snap: &Snapshot, out: &mut Vec<(String, u64)>) {
     for e in &snap.entries {
+        let mut name = format!("{}_{}", snap.scope, e.name);
+        for (_, v) in &e.labels {
+            name.push('_');
+            name.push_str(v);
+        }
         match &e.value {
-            MetricValue::Counter(v) => out.push((format!("{}_{}", snap.scope, e.name), *v)),
-            MetricValue::Gauge(v) => out.push((format!("{}_{}", snap.scope, e.name), *v as u64)),
+            MetricValue::Counter(v) => out.push((name, *v)),
+            MetricValue::Gauge(v) => out.push((name, *v as u64)),
             MetricValue::Histogram(h) => {
-                out.push((format!("{}_{}_count", snap.scope, e.name), h.count));
-                out.push((format!("{}_{}_sum", snap.scope, e.name), h.sum));
+                out.push((format!("{name}_count"), h.count));
+                out.push((format!("{name}_sum"), h.sum));
             }
         }
     }
@@ -766,6 +830,58 @@ impl RemoteNode {
         decode_stats(&reply).map_err(NodeError::Protocol)
     }
 
+    /// One blind-rotate exchange: key offer (if keyed), request out,
+    /// attested response back. The response payload leads with the
+    /// server-computed FNV-1a digest; the digest is verified against the
+    /// received payload bytes *here*, before decoding, so a flip the
+    /// frame CRC window missed (or a corrupt server-side buffer) is a
+    /// typed error instead of garbage accumulators.
+    fn rotate_exchange(&self, lwes: &[LweCiphertext]) -> Result<AttestedBatch, NodeError> {
+        let key_id = match &self.key {
+            Some(key) => {
+                self.offer_key(key)?;
+                key.id.0
+            }
+            // Sentinel 0: run under the server's pre-loaded default key.
+            None => 0,
+        };
+        let batch = lwe_batch_to_wire(lwes);
+        let mut request = Vec::with_capacity(8 + batch.len());
+        request.extend_from_slice(&key_id.to_le_bytes());
+        request.extend_from_slice(&batch);
+        let (payload, sent, received) = self.exchange(
+            FrameKind::BlindRotateReq,
+            &request,
+            FrameKind::BlindRotateResp,
+        )?;
+        if let Some(ledger) = &self.ledger {
+            ledger.record_scatter(lwes.len() as u64, sent);
+        }
+        if payload.len() < RESP_DIGEST_BYTES as usize {
+            return Err(NodeError::Protocol(format!(
+                "blind-rotate response carried {} bytes, no digest",
+                payload.len()
+            )));
+        }
+        let (digest_bytes, body) = payload.split_at(RESP_DIGEST_BYTES as usize);
+        let digest = u64::from_le_bytes(digest_bytes.try_into().expect("8 bytes"));
+        if heap_math::wire::fnv1a(body) != digest {
+            return Err(NodeError::Corrupt {
+                frame: "BlindRotateResp".to_string(),
+                phase: "attest",
+            });
+        }
+        let accs = rlwe_batch_from_wire(body)
+            .map_err(|e| NodeError::Protocol(format!("bad accumulator batch: {e:?}")))?;
+        if accs.len() != lwes.len() {
+            return Err(NodeError::Mismatch("accumulator count != request count"));
+        }
+        if let Some(ledger) = &self.ledger {
+            ledger.record_gather(accs.len() as u64, received);
+        }
+        Ok(AttestedBatch { accs, digest })
+    }
+
     /// Best-effort clean session end (the server closes the connection).
     pub fn shutdown(&self) {
         if let Some(stream) = self.lock_stream().as_mut() {
@@ -794,35 +910,19 @@ impl ServiceNode for RemoteNode {
         _boot: &Bootstrapper,
         lwes: &[LweCiphertext],
     ) -> Result<Vec<RlweCiphertext>, NodeError> {
-        let key_id = match &self.key {
-            Some(key) => {
-                self.offer_key(key)?;
-                key.id.0
-            }
-            // Sentinel 0: run under the server's pre-loaded default key.
-            None => 0,
-        };
-        let batch = lwe_batch_to_wire(lwes);
-        let mut request = Vec::with_capacity(8 + batch.len());
-        request.extend_from_slice(&key_id.to_le_bytes());
-        request.extend_from_slice(&batch);
-        let (payload, sent, received) = self.exchange(
-            FrameKind::BlindRotateReq,
-            &request,
-            FrameKind::BlindRotateResp,
-        )?;
-        if let Some(ledger) = &self.ledger {
-            ledger.record_scatter(lwes.len() as u64, sent);
-        }
-        let accs = rlwe_batch_from_wire(&payload)
-            .map_err(|e| NodeError::Protocol(format!("bad accumulator batch: {e:?}")))?;
-        if accs.len() != lwes.len() {
-            return Err(NodeError::Mismatch("accumulator count != request count"));
-        }
-        if let Some(ledger) = &self.ledger {
-            ledger.record_gather(accs.len() as u64, received);
-        }
-        Ok(accs)
+        self.rotate_exchange(lwes).map(|attested| attested.accs)
+    }
+
+    /// The attested batch carries the digest the *server* computed (the
+    /// wire prefix), not a client-side recomputation — so the scheduler's
+    /// verification spans the whole transport.
+    fn try_blind_rotate_attested(
+        &self,
+        _ctx: &CkksContext,
+        _boot: &Bootstrapper,
+        lwes: &[LweCiphertext],
+    ) -> Result<AttestedBatch, NodeError> {
+        self.rotate_exchange(lwes)
     }
 
     fn probe(&self) -> Result<(), NodeError> {
@@ -1028,6 +1128,17 @@ fn server_frame_err(e: FrameError) -> NodeError {
     e.into_node("read", Duration::ZERO)
 }
 
+/// How a fault action tampers with a blind-rotate reply that is
+/// otherwise served normally.
+#[derive(PartialEq)]
+enum Tamper {
+    None,
+    /// Flip one payload bit after the header CRC is computed.
+    Flip,
+    /// Drop the last accumulator (internally-consistent short reply).
+    Truncate,
+}
+
 fn handle_connection(
     mut stream: TcpStream,
     ctx: &CkksContext,
@@ -1071,6 +1182,7 @@ fn handle_connection(
                         return Ok(());
                     }
                 }
+                let mut tamper = Tamper::None;
                 if let Some(fault) = &state.fault {
                     match fault.next_action() {
                         FaultAction::Pass => {}
@@ -1088,13 +1200,25 @@ fn handle_connection(
                             return Ok(());
                         }
                         FaultAction::Corrupt => {
-                            // A garbage header: wrong magic, then close.
-                            let junk = [0xDEu8, 0xAD, 0xBE, 0xEF, 0xFF, 1, 2, 3, 4, 5, 6, 7, 8];
+                            // A garbage header (full header-sized, wrong
+                            // magic), then close.
+                            let junk = [
+                                0xDEu8, 0xAD, 0xBE, 0xEF, 0xFF, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                12,
+                            ];
+                            debug_assert_eq!(junk.len() as u64, FRAME_HEADER_BYTES);
                             let _ = stream.write_all(&junk);
                             let _ = stream.flush();
                             return Ok(());
                         }
                         FaultAction::Drop => return Ok(()),
+                        // Silent wire corruption and shape truncation
+                        // tamper with the *reply*; the request is served
+                        // normally first. A stall is served normally too,
+                        // just late.
+                        FaultAction::Flip => tamper = Tamper::Flip,
+                        FaultAction::Truncate => tamper = Tamper::Truncate,
+                        FaultAction::Stall(d) => std::thread::sleep(d),
                     }
                 }
                 if payload.len() < 8 {
@@ -1131,10 +1255,36 @@ fn handle_connection(
                         return Err(NodeError::Protocol(why));
                     }
                 };
-                let accs = boot.blind_rotate_batch_par(ctx, &lwes, state.parallelism);
-                let resp = rlwe_batch_to_wire(&accs, &moduli);
-                write_frame(&mut stream, FrameKind::BlindRotateResp, &resp)
-                    .map_err(|e| NodeError::Io(e.to_string()))?;
+                let mut accs = boot.blind_rotate_batch_par(ctx, &lwes, state.parallelism);
+                if tamper == Tamper::Truncate {
+                    // The old shape-bug model: one accumulator short,
+                    // but internally consistent (the digest covers the
+                    // truncated batch), so only the client's count check
+                    // can catch it.
+                    accs.pop();
+                }
+                let body = rlwe_batch_to_wire(&accs, &moduli);
+                let mut resp = Vec::with_capacity(RESP_DIGEST_BYTES as usize + body.len());
+                resp.extend_from_slice(&heap_math::wire::fnv1a(&body).to_le_bytes());
+                resp.extend_from_slice(&body);
+                if tamper == Tamper::Flip {
+                    // Silent wire corruption: the header (and its CRC)
+                    // is computed over the *correct* payload, then one
+                    // payload bit is flipped on the way out. The stream
+                    // stays length-synced, so only the client's checksum
+                    // can tell.
+                    let header = frame_header(FrameKind::BlindRotateResp, &resp);
+                    let mid = resp.len() / 2;
+                    resp[mid] ^= 1;
+                    stream
+                        .write_all(&header)
+                        .and_then(|()| stream.write_all(&resp))
+                        .and_then(|()| stream.flush())
+                        .map_err(|e| NodeError::Io(e.to_string()))?;
+                } else {
+                    write_frame(&mut stream, FrameKind::BlindRotateResp, &resp)
+                        .map_err(|e| NodeError::Io(e.to_string()))?;
+                }
                 state.telemetry.requests.inc();
                 state.telemetry.lwes.add(lwes.len() as u64);
             }
@@ -1309,14 +1459,17 @@ mod tests {
         assert_eq!(ledger.lwe_sent(), 3);
         assert_eq!(ledger.rlwe_received(), 3);
         // Measured bytes = frame header + the 8-byte key id + the exact
-        // encoded payload.
+        // encoded payload (replies additionally lead with the 8-byte
+        // attestation digest).
         assert_eq!(
             ledger.lwe_bytes_sent(),
             FRAME_HEADER_BYTES + 8 + heap_tfhe::lwe_batch_wire_size(&lwes) as u64
         );
         assert_eq!(
             ledger.rlwe_bytes_received(),
-            FRAME_HEADER_BYTES + heap_tfhe::rlwe_batch_wire_size(&accs, &moduli) as u64
+            FRAME_HEADER_BYTES
+                + RESP_DIGEST_BYTES
+                + heap_tfhe::rlwe_batch_wire_size(&accs, &moduli) as u64
         );
         node.shutdown();
     }
@@ -1583,6 +1736,130 @@ mod tests {
             .expect("served after reconnect");
     }
 
+    #[test]
+    fn flip_plan_is_detected_at_crc_layer_then_recovers() {
+        let s = setup();
+        let addr = spawn_server(ServeOptions {
+            parallelism: Parallelism::serial(),
+            fault_plan: Some("flip".parse().expect("plan")),
+            ..ServeOptions::default()
+        });
+        let node = RemoteNode::connect(&addr, &s.ctx).expect("connect");
+        let err = node
+            .try_blind_rotate_batch(&s.ctx, &s.boot, &test_lwes(2))
+            .expect_err("flipped payload bit");
+        assert_eq!(
+            err,
+            NodeError::Corrupt {
+                frame: "BlindRotateResp".to_string(),
+                phase: "crc"
+            }
+        );
+        // The connection was dropped on the integrity failure; the next
+        // call re-dials and the exhausted plan serves correctly.
+        node.try_blind_rotate_batch(&s.ctx, &s.boot, &test_lwes(2))
+            .expect("served after plan exhausted");
+    }
+
+    #[test]
+    fn stall_plan_replies_correctly_just_late() {
+        let s = setup();
+        let addr = spawn_server(ServeOptions {
+            parallelism: Parallelism::serial(),
+            fault_plan: Some("stall:300".parse().expect("plan")),
+            ..ServeOptions::default()
+        });
+        let node = RemoteNode::connect(&addr, &s.ctx).expect("connect");
+        let lwes = test_lwes(2);
+        let t0 = std::time::Instant::now();
+        let stalled = node
+            .try_blind_rotate_batch(&s.ctx, &s.boot, &lwes)
+            .expect("stalled reply is still correct");
+        assert!(t0.elapsed() >= Duration::from_millis(300));
+        let reference = s
+            .boot
+            .blind_rotate_batch_par(&s.ctx, &lwes, Parallelism::serial());
+        let moduli: Vec<u64> = (0..s.ctx.boot_limbs())
+            .map(|j| s.ctx.rns().modulus(j).value())
+            .collect();
+        for (got, want) in stalled.iter().zip(&reference) {
+            assert_eq!(got.to_wire(&moduli), want.to_wire(&moduli));
+        }
+        node.shutdown();
+    }
+
+    #[test]
+    fn truncate_plan_is_a_shape_mismatch() {
+        let s = setup();
+        let addr = spawn_server(ServeOptions {
+            parallelism: Parallelism::serial(),
+            fault_plan: Some("truncate".parse().expect("plan")),
+            ..ServeOptions::default()
+        });
+        let node = RemoteNode::connect(&addr, &s.ctx).expect("connect");
+        // The truncated reply is internally consistent (CRC and digest
+        // both cover the short batch), so only the count check fires —
+        // the regression guard for the old `corrupt` pop-one semantics.
+        let err = node
+            .try_blind_rotate_batch(&s.ctx, &s.boot, &test_lwes(2))
+            .expect_err("short reply");
+        assert_eq!(
+            err,
+            NodeError::Mismatch("accumulator count != request count")
+        );
+    }
+
+    /// Attestation catches what the frame CRC cannot: corruption that
+    /// happens *before* the wire checksum is computed (bad node RAM, a
+    /// buggy backend). The rogue server here flips an accumulator bit
+    /// and then frames the tampered payload honestly — CRC valid,
+    /// digest stale.
+    #[test]
+    fn attestation_catches_corruption_the_crc_misses() {
+        let s = setup();
+        let moduli: Vec<u64> = (0..s.ctx.boot_limbs())
+            .map(|j| s.ctx.rns().modulus(j).value())
+            .collect();
+        let lwes = test_lwes(2);
+        let accs = s
+            .boot
+            .blind_rotate_batch_par(&s.ctx, &lwes, Parallelism::serial());
+        let body = rlwe_batch_to_wire(&accs, &moduli);
+        let digest = heap_math::wire::fnv1a(&body);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let local_hello = hello_payload(&s.ctx);
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let (kind, _, _) = read_frame(&mut stream).expect("hello");
+            assert_eq!(kind, FrameKind::Hello);
+            let ack = hello_ack_payload(&local_hello, &[]);
+            write_frame(&mut stream, FrameKind::HelloAck, &ack).expect("ack");
+            let (kind, _, _) = read_frame(&mut stream).expect("request");
+            assert_eq!(kind, FrameKind::BlindRotateReq);
+            // Corrupt the accumulators, keep the stale digest, frame
+            // honestly: the CRC covers the tampered bytes and passes.
+            let mut resp = digest.to_le_bytes().to_vec();
+            let mut tampered = body.clone();
+            let at = tampered.len() / 3;
+            tampered[at] ^= 0x10;
+            resp.extend_from_slice(&tampered);
+            write_frame(&mut stream, FrameKind::BlindRotateResp, &resp).expect("resp");
+        });
+        let node = RemoteNode::connect(&addr, &s.ctx).expect("connect");
+        let err = node
+            .try_blind_rotate_batch(&s.ctx, &s.boot, &lwes)
+            .expect_err("stale digest must be caught");
+        assert_eq!(
+            err,
+            NodeError::Corrupt {
+                frame: "BlindRotateResp".to_string(),
+                phase: "attest"
+            }
+        );
+        server.join().expect("rogue server");
+    }
+
     /// Binds an ephemeral port, spawns a *keyless* server, returns its
     /// address.
     fn spawn_keyless(opts: ServeOptions) -> String {
@@ -1764,6 +2041,52 @@ mod tests {
             .map_err(server_frame_err)
             .expect("pong");
         assert_eq!(kind, FrameKind::Pong);
+    }
+
+    /// The frame-integrity contract: a single bit flipped *anywhere* in
+    /// an encoded HRT1 frame — magic, kind, length, CRC field, payload —
+    /// yields a typed error from `read_frame`. Never a panic, never a
+    /// silently-decoded frame.
+    mod frame_flip_fuzz {
+        use super::*;
+        use proptest::prelude::*;
+        use std::io::Cursor;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn any_single_bit_flip_is_a_typed_error(
+                payload in prop::collection::vec(any::<u8>(), 0..64),
+                kind_byte in 0u8..17,
+                bit_seed in any::<u64>(),
+            ) {
+                let kind = FrameKind::from_u8(kind_byte).expect("valid kind");
+                let mut buf = Vec::new();
+                write_frame(&mut buf, kind, &payload).expect("encode");
+                let bit = (bit_seed % (buf.len() as u64 * 8)) as usize;
+                buf[bit / 8] ^= 1 << (bit % 8);
+                prop_assert!(
+                    read_frame(&mut Cursor::new(&buf)).is_err(),
+                    "flip at bit {bit} decoded silently"
+                );
+            }
+
+            #[test]
+            fn untampered_frames_round_trip(
+                payload in prop::collection::vec(any::<u8>(), 0..64),
+                kind_byte in 0u8..17,
+            ) {
+                let kind = FrameKind::from_u8(kind_byte).expect("valid kind");
+                let mut buf = Vec::new();
+                write_frame(&mut buf, kind, &payload).expect("encode");
+                let (got_kind, got_payload, consumed) =
+                    read_frame(&mut Cursor::new(&buf)).expect("decode");
+                prop_assert_eq!(got_kind, kind);
+                prop_assert_eq!(got_payload, payload);
+                prop_assert_eq!(consumed, buf.len() as u64);
+            }
+        }
     }
 
     /// Adversarial-input hardening of the key-distribution frame payload

@@ -44,8 +44,8 @@ use crate::node::{NodeError, ServiceNode};
 use crate::telemetry::SchedulerTelemetry;
 use crate::RuntimeError;
 
-/// Retry, circuit-breaker, probing, and degradation knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Retry, circuit-breaker, probing, hedging, and degradation knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Re-dispatch rounds per batch before giving up (round 0 is the
     /// initial dispatch).
@@ -68,6 +68,23 @@ pub struct RetryPolicy {
     /// When fewer than this many regular nodes are dispatchable and a
     /// fallback is configured, the fallback joins the rotation.
     pub min_dispatch_nodes: usize,
+    /// Straggler hedging: when `Some(m)`, a shard still unresolved after
+    /// `max(hedge_min_latency, m × fastest-other-node shard EWMA)` is
+    /// speculatively re-dispatched to the best node that has not yet
+    /// tried it; the first bit-valid result wins and the loser is
+    /// discarded (and counted). `None` disables hedging.
+    pub hedge_after: Option<f64>,
+    /// Floor on the hedge trigger, so tiny EWMAs never cause a hedge
+    /// storm on healthy fleets.
+    pub hedge_min_latency: Duration,
+    /// Shard-latency samples a candidate node needs before its EWMA may
+    /// serve as the hedge reference (cold nodes neither trigger nor
+    /// anchor hedges).
+    pub hedge_min_samples: u64,
+    /// Fraction of shards (deterministically sampled) redundantly
+    /// dispatched to a second node and bit-compared; a digest mismatch
+    /// quarantines both nodes. `0.0` disables auditing.
+    pub audit_fraction: f64,
 }
 
 impl Default for RetryPolicy {
@@ -81,6 +98,10 @@ impl Default for RetryPolicy {
             breaker_max_open: Duration::from_secs(5),
             probe_interval: Duration::from_millis(100),
             min_dispatch_nodes: 1,
+            hedge_after: None,
+            hedge_min_latency: Duration::from_millis(25),
+            hedge_min_samples: 3,
+            audit_fraction: 0.0,
         }
     }
 }
@@ -99,6 +120,7 @@ impl RetryPolicy {
             breaker_max_open: Duration::from_millis(200),
             probe_interval: Duration::from_millis(10),
             min_dispatch_nodes: 1,
+            ..Self::default()
         }
     }
 
@@ -130,6 +152,18 @@ fn jitter01(batch: u64, round: usize) -> f64 {
         / (1u64 << 53) as f64
 }
 
+/// An audit-sampling draw in `[0, 1)` derived from `(batch, slot)` —
+/// deterministic like the jitter, but on an independent stream so audit
+/// picks never correlate with backoff stretching.
+fn audit01(batch: u64, slot: usize) -> f64 {
+    (splitmix64(
+        batch
+            .wrapping_mul(0x517C_C1B7_2722_0A95)
+            .wrapping_add(slot as u64),
+    ) >> 11) as f64
+        / (1u64 << 53) as f64
+}
+
 /// Circuit-breaker state for one node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BreakerState {
@@ -140,6 +174,10 @@ enum BreakerState {
     Open { until: Instant, streak: u32 },
     /// Trial mode: one probe or shard decides readmission vs re-open.
     HalfOpen { streak: u32 },
+    /// Caught returning wrong bits (audit mismatch): permanently out of
+    /// dispatch — the prober never half-opens it and successes never
+    /// readmit it. Corruption is not a transient a retry can outwait.
+    Quarantined,
 }
 
 #[derive(Debug)]
@@ -162,13 +200,31 @@ impl Breaker {
 
     /// Closed or HalfOpen nodes accept shards.
     fn is_dispatchable(&self) -> bool {
-        !matches!(*self.lock(), BreakerState::Open { .. })
+        !matches!(
+            *self.lock(),
+            BreakerState::Open { .. } | BreakerState::Quarantined
+        )
+    }
+
+    /// Permanently removes the node from dispatch (audit mismatch).
+    /// Returns `true` when the node was not already quarantined.
+    fn quarantine(&self) -> bool {
+        let mut state = self.lock();
+        if matches!(*state, BreakerState::Quarantined) {
+            return false;
+        }
+        *state = BreakerState::Quarantined;
+        true
     }
 
     /// Records a successful call. Returns `true` when this *readmitted*
-    /// the node (HalfOpen → Closed).
+    /// the node (HalfOpen → Closed). Quarantine is sticky: a success
+    /// from a quarantined node (a late hedge loser) changes nothing.
     fn on_success(&self) -> bool {
         let mut state = self.lock();
+        if matches!(*state, BreakerState::Quarantined) {
+            return false;
+        }
         let was_half_open = matches!(*state, BreakerState::HalfOpen { .. });
         *state = BreakerState::Closed { consecutive: 0 };
         was_half_open
@@ -179,6 +235,7 @@ impl Breaker {
     fn on_failure(&self, policy: &RetryPolicy, now: Instant) -> bool {
         let mut state = self.lock();
         match *state {
+            BreakerState::Quarantined => false,
             BreakerState::Closed { consecutive } => {
                 let consecutive = consecutive + 1;
                 if consecutive >= policy.breaker_threshold {
@@ -221,24 +278,18 @@ impl Breaker {
     }
 }
 
-/// One resolved shard: `(node, output slot, shard, outcome)`.
-type ShardResult<'a> = (
-    usize,
-    usize,
-    &'a [LweCiphertext],
-    Result<Vec<RlweCiphertext>, NodeError>,
-);
-
 /// Counters accumulated across a scheduler's lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SchedulerStats {
     /// Batches executed to completion (success or failure).
     pub batches: u64,
-    /// Shards dispatched, including reassigned and fallback ones.
+    /// Shards dispatched, including reassigned, hedged, audit-twin, and
+    /// fallback ones.
     pub shards: u64,
     /// Shards re-dispatched after a failed attempt.
     pub reassignments: u64,
-    /// Failed node calls (transport, protocol, timeout, short reply).
+    /// Failed node calls (transport, protocol, timeout, short reply,
+    /// integrity).
     pub node_failures: u64,
     /// Breaker transitions into `Open`.
     pub breaker_opens: u64,
@@ -246,6 +297,20 @@ pub struct SchedulerStats {
     pub readmissions: u64,
     /// Shards served by the fallback node.
     pub fallback_shards: u64,
+    /// Speculative hedge attempts dispatched for straggling shards.
+    pub hedges_issued: u64,
+    /// Shards whose winning result came from a hedge attempt.
+    pub hedges_won: u64,
+    /// Valid results discarded because another attempt already won.
+    pub hedges_wasted: u64,
+    /// Corruption caught by the wire CRC layer.
+    pub corruption_crc: u64,
+    /// Corruption caught by the end-to-end attestation digest.
+    pub corruption_attest: u64,
+    /// Corruption caught by redundant-dispatch audit comparison.
+    pub corruption_audit: u64,
+    /// Nodes permanently quarantined after an audit mismatch.
+    pub quarantines: u64,
 }
 
 struct NodeSlot {
@@ -253,6 +318,65 @@ struct NodeSlot {
     breaker: Breaker,
     /// Blind rotations currently in flight on this node.
     inflight: AtomicUsize,
+    /// EWMA of this node's shard round-trip latency in nanoseconds
+    /// (`(3·old + sample) / 4`, successes only) — the hedge trigger's
+    /// reference clock.
+    ewma_ns: AtomicU64,
+    /// Successful shard samples folded into the EWMA.
+    ewma_samples: AtomicU64,
+}
+
+/// One shard's bookkeeping within a dispatch round. Attempts (primary,
+/// audit twin, hedge) race to resolve it; workers mutate this under the
+/// round lock.
+struct ShardRound {
+    /// Output slot in the batch.
+    slot: usize,
+    /// The shard's LWE index range.
+    range: std::ops::Range<usize>,
+    /// Attempts currently in flight.
+    outstanding: usize,
+    /// Node indices already attempted (never hedge to one of these).
+    tried: Vec<usize>,
+    /// Audit shard: resolves only on two bit-equal validated results
+    /// (or one, if every other attempt failed outright).
+    audit: bool,
+    /// A hedge was issued for this shard.
+    hedged: bool,
+    /// When the round's first attempt was dispatched (hedge timing).
+    started: Instant,
+    /// First validated result, held for audit comparison.
+    held: Option<(usize, u64, Vec<RlweCiphertext>)>,
+    /// The winning accumulators once resolved.
+    winner: Option<Vec<RlweCiphertext>>,
+    /// A validated result won; late arrivals are discarded.
+    resolved: bool,
+    /// Every attempt failed; the shard re-enters `pending` next round.
+    failed: bool,
+}
+
+struct RoundState {
+    shards: Vec<ShardRound>,
+    /// Shards neither resolved nor failed yet; the round ends at zero.
+    unresolved: usize,
+    last_err: String,
+}
+
+/// Shared between the dispatching batch loop and its detached workers.
+/// Workers from a *previous* round may still be running (stragglers,
+/// hedge losers); they hold their own round's `Arc` and can never touch
+/// a later round's state.
+struct Round {
+    state: Mutex<RoundState>,
+    cv: Condvar,
+}
+
+impl Round {
+    fn lock(&self) -> std::sync::MutexGuard<'_, RoundState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// Sentinel node index for the fallback in an assignment round.
@@ -279,6 +403,300 @@ struct Inner {
 }
 
 impl Inner {
+    /// Dispatchable node indices: key-holding nodes first (a node that
+    /// already caches the batch's evaluation key skips the upload), then
+    /// least-loaded (stable on ties), with the [`FALLBACK`] sentinel
+    /// appended when capacity has degraded below the policy floor and a
+    /// fallback is available.
+    fn ranked_dispatchable(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.slots[i].breaker.is_dispatchable())
+            .collect();
+        idx.sort_by_key(|&i| {
+            let slot = &self.slots[i];
+            (
+                !slot.node.holds_key(),
+                slot.inflight.load(Ordering::Relaxed),
+            )
+        });
+        if idx.len() < self.policy.min_dispatch_nodes
+            && self.fallback.is_some()
+            && !self.fallback_failed.load(Ordering::Relaxed)
+        {
+            idx.push(FALLBACK);
+        }
+        idx
+    }
+
+    fn node(&self, idx: usize) -> &dyn ServiceNode {
+        if idx == FALLBACK {
+            self.fallback.as_deref().expect("fallback configured")
+        } else {
+            self.slots[idx].node.as_ref()
+        }
+    }
+
+    fn inflight(&self, idx: usize) -> &AtomicUsize {
+        if idx == FALLBACK {
+            &self.fallback_inflight
+        } else {
+            &self.slots[idx].inflight
+        }
+    }
+
+    fn record_success(&self, node_idx: usize) {
+        if node_idx == FALLBACK {
+            return;
+        }
+        let slot = &self.slots[node_idx];
+        if slot.breaker.on_success() {
+            self.telemetry.readmissions.inc();
+            self.telemetry.events.record(
+                "readmission",
+                &slot.node.name(),
+                "half-open shard succeeded",
+            );
+        }
+    }
+
+    /// Books a failed attempt: failure counter, corruption-layer counter
+    /// for integrity failures, breaker transition. Returns the
+    /// `node: why` string the batch keeps as its last error.
+    fn record_failure(&self, node_idx: usize, err: &NodeError) -> String {
+        self.telemetry.node_failures.inc();
+        let why = err.to_string();
+        if let NodeError::Corrupt { phase, .. } = err {
+            match *phase {
+                "crc" => self.telemetry.corruption_crc.inc(),
+                "audit" => self.telemetry.corruption_audit.inc(),
+                _ => self.telemetry.corruption_attest.inc(),
+            }
+            let name = if node_idx == FALLBACK {
+                self.fallback.as_ref().expect("fallback configured").name()
+            } else {
+                self.slots[node_idx].node.name()
+            };
+            self.telemetry.events.record("corruption", &name, &why);
+        }
+        if node_idx == FALLBACK {
+            self.fallback_failed.store(true, Ordering::Relaxed);
+            return format!(
+                "{}: {why}",
+                self.fallback.as_ref().expect("fallback configured").name()
+            );
+        }
+        let slot = &self.slots[node_idx];
+        if slot.breaker.on_failure(&self.policy, Instant::now()) {
+            self.telemetry.breaker_opens.inc();
+            self.telemetry
+                .events
+                .record("breaker_open", &slot.node.name(), &why);
+        }
+        format!("{}: {why}", slot.node.name())
+    }
+
+    /// Permanently removes a node from dispatch after it was caught
+    /// returning wrong bits (audit mismatch). Idempotent: a node is
+    /// counted and logged once.
+    fn quarantine(&self, node_idx: usize, why: &str) {
+        if node_idx == FALLBACK {
+            if !self.fallback_failed.swap(true, Ordering::Relaxed) {
+                self.telemetry.quarantines.inc();
+                self.telemetry.events.record("quarantine", "fallback", why);
+            }
+            return;
+        }
+        let slot = &self.slots[node_idx];
+        if slot.breaker.quarantine() {
+            self.telemetry.quarantines.inc();
+            self.telemetry
+                .events
+                .record("quarantine", &slot.node.name(), why);
+        }
+    }
+
+    /// Dispatches one attempt of one shard on a detached worker thread.
+    /// The caller holds the round lock (`st`) so attempt bookkeeping and
+    /// the spawn are atomic with respect to other workers.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_attempt(
+        self: &Arc<Self>,
+        ctx: &Arc<CkksContext>,
+        boot: &Arc<Bootstrapper>,
+        lwes: &Arc<Vec<LweCiphertext>>,
+        round: &Arc<Round>,
+        st: &mut RoundState,
+        shard_idx: usize,
+        node_idx: usize,
+        hedge: bool,
+    ) {
+        let sh = &mut st.shards[shard_idx];
+        let range = sh.range.clone();
+        sh.outstanding += 1;
+        sh.tried.push(node_idx);
+        if hedge {
+            sh.hedged = true;
+            self.telemetry.hedges_issued.inc();
+        }
+        self.inflight(node_idx)
+            .fetch_add(range.len(), Ordering::Relaxed);
+        self.telemetry.shards.inc();
+        if node_idx == FALLBACK {
+            self.telemetry.fallback_shards.inc();
+        }
+        let (inner, ctx, boot, lwes, round) = (
+            Arc::clone(self),
+            Arc::clone(ctx),
+            Arc::clone(boot),
+            Arc::clone(lwes),
+            Arc::clone(round),
+        );
+        std::thread::Builder::new()
+            .name("heap-shard".into())
+            .spawn(move || {
+                inner.shard_attempt(
+                    &ctx, &boot, &lwes, &round, shard_idx, node_idx, hedge, range,
+                )
+            })
+            .expect("spawn shard worker");
+    }
+
+    /// One attempt, worker-side: call the node, validate shape and
+    /// attestation, then settle into the round state. Late results for
+    /// already-resolved shards (hedge losers, stragglers) are discarded
+    /// here — they never reach the caller.
+    #[allow(clippy::too_many_arguments)]
+    fn shard_attempt(
+        &self,
+        ctx: &Arc<CkksContext>,
+        boot: &Arc<Bootstrapper>,
+        lwes: &Arc<Vec<LweCiphertext>>,
+        round: &Round,
+        shard_idx: usize,
+        node_idx: usize,
+        hedge: bool,
+        range: std::ops::Range<usize>,
+    ) {
+        let shard = &lwes[range];
+        let t0 = Instant::now();
+        // A panicking node must not take the whole batch down: treat it
+        // as that attempt failing and let retry/hedging handle it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.node(node_idx)
+                .try_blind_rotate_attested(ctx, boot, shard)
+        }))
+        .unwrap_or_else(|_| Err(NodeError::Io("node panicked".into())));
+        let elapsed = t0.elapsed();
+        self.telemetry
+            .shard_round_trip_ns
+            .record(elapsed.as_nanos() as u64);
+        self.inflight(node_idx)
+            .fetch_sub(shard.len(), Ordering::Relaxed);
+        let result = result.and_then(|batch| {
+            if batch.accs.len() != shard.len() {
+                return Err(NodeError::Mismatch("short reply"));
+            }
+            // Re-encode what we received and recompute the digest: the
+            // wire encoding is canonical, so this equals digesting the
+            // bytes the node sent — end-to-end, transport-independent.
+            if crate::node::attest_digest(ctx, &batch.accs) != batch.digest {
+                return Err(NodeError::Corrupt {
+                    frame: "accumulators".into(),
+                    phase: "attest",
+                });
+            }
+            Ok(batch)
+        });
+        let mut st = round.lock();
+        st.shards[shard_idx].outstanding -= 1;
+        match result {
+            Ok(batch) => {
+                if node_idx != FALLBACK {
+                    let slot = &self.slots[node_idx];
+                    let sample = (elapsed.as_nanos() as u64).max(1);
+                    // Racy read-modify-write is fine: the EWMA only
+                    // anchors the hedge trigger, and writers converge it.
+                    let old = slot.ewma_ns.load(Ordering::Relaxed);
+                    let next = if old == 0 {
+                        sample
+                    } else {
+                        (3 * old + sample) / 4
+                    };
+                    slot.ewma_ns.store(next, Ordering::Relaxed);
+                    slot.ewma_samples.fetch_add(1, Ordering::Relaxed);
+                }
+                self.record_success(node_idx);
+                let sh = &mut st.shards[shard_idx];
+                if sh.resolved || sh.failed {
+                    // A racer already settled this shard; this valid
+                    // result is the discarded loser.
+                    if sh.hedged {
+                        self.telemetry.hedges_wasted.inc();
+                    }
+                } else if sh.audit {
+                    match sh.held.take() {
+                        None if sh.outstanding > 0 => {
+                            sh.held = Some((node_idx, batch.digest, batch.accs));
+                        }
+                        None => {
+                            // The twin failed outright earlier; a single
+                            // validated result stands.
+                            sh.winner = Some(batch.accs);
+                            sh.resolved = true;
+                            st.unresolved -= 1;
+                            round.cv.notify_all();
+                        }
+                        Some((_, other_digest, other_accs)) if other_digest == batch.digest => {
+                            sh.winner = Some(other_accs);
+                            sh.resolved = true;
+                            st.unresolved -= 1;
+                            round.cv.notify_all();
+                        }
+                        Some((other_node, _, _)) => {
+                            // Two "valid" results that disagree: at least
+                            // one node lied convincingly (digest
+                            // consistent with wrong bits). Trust neither;
+                            // quarantine both.
+                            sh.failed = true;
+                            self.telemetry.corruption_audit.inc();
+                            self.quarantine(node_idx, "audit digest mismatch");
+                            self.quarantine(other_node, "audit digest mismatch");
+                            st.last_err = NodeError::Corrupt {
+                                frame: "accumulators".into(),
+                                phase: "audit",
+                            }
+                            .to_string();
+                            st.unresolved -= 1;
+                            round.cv.notify_all();
+                        }
+                    }
+                } else {
+                    sh.winner = Some(batch.accs);
+                    sh.resolved = true;
+                    if hedge {
+                        self.telemetry.hedges_won.inc();
+                    }
+                    st.unresolved -= 1;
+                    round.cv.notify_all();
+                }
+            }
+            Err(e) => {
+                st.last_err = self.record_failure(node_idx, &e);
+                let sh = &mut st.shards[shard_idx];
+                if !sh.resolved && !sh.failed && sh.outstanding == 0 {
+                    if let Some((_, _, accs)) = sh.held.take() {
+                        sh.winner = Some(accs);
+                        sh.resolved = true;
+                    } else {
+                        sh.failed = true;
+                    }
+                    st.unresolved -= 1;
+                    round.cv.notify_all();
+                }
+            }
+        }
+    }
+
     /// One prober pass: half-open due breakers and probe those nodes.
     fn probe_round(&self) {
         for slot in &self.slots {
@@ -361,6 +779,8 @@ impl Scheduler {
                     node,
                     breaker: Breaker::new(),
                     inflight: AtomicUsize::new(0),
+                    ewma_ns: AtomicU64::new(0),
+                    ewma_samples: AtomicU64::new(0),
                 })
                 .collect(),
             fallback,
@@ -422,61 +842,33 @@ impl Scheduler {
             breaker_opens: t.breaker_opens.get(),
             readmissions: t.readmissions.get(),
             fallback_shards: t.fallback_shards.get(),
-        }
-    }
-
-    /// Dispatchable node indices: key-holding nodes first (a node that
-    /// already caches the batch's evaluation key skips the upload), then
-    /// least-loaded (stable on ties), with the [`FALLBACK`] sentinel
-    /// appended when capacity has degraded below the policy floor and a
-    /// fallback is available.
-    fn ranked_dispatchable(&self) -> Vec<usize> {
-        let inner = &self.inner;
-        let mut idx: Vec<usize> = (0..inner.slots.len())
-            .filter(|&i| inner.slots[i].breaker.is_dispatchable())
-            .collect();
-        idx.sort_by_key(|&i| {
-            let slot = &inner.slots[i];
-            (
-                !slot.node.holds_key(),
-                slot.inflight.load(Ordering::Relaxed),
-            )
-        });
-        if idx.len() < inner.policy.min_dispatch_nodes
-            && inner.fallback.is_some()
-            && !inner.fallback_failed.load(Ordering::Relaxed)
-        {
-            idx.push(FALLBACK);
-        }
-        idx
-    }
-
-    fn node(&self, idx: usize) -> &dyn ServiceNode {
-        if idx == FALLBACK {
-            self.inner.fallback.as_deref().expect("fallback configured")
-        } else {
-            self.inner.slots[idx].node.as_ref()
-        }
-    }
-
-    fn inflight(&self, idx: usize) -> &AtomicUsize {
-        if idx == FALLBACK {
-            &self.inner.fallback_inflight
-        } else {
-            &self.inner.slots[idx].inflight
+            hedges_issued: t.hedges_issued.get(),
+            hedges_won: t.hedges_won.get(),
+            hedges_wasted: t.hedges_wasted.get(),
+            corruption_crc: t.corruption_crc.get(),
+            corruption_attest: t.corruption_attest.get(),
+            corruption_audit: t.corruption_audit.get(),
+            quarantines: t.quarantines.get(),
         }
     }
 
     /// Executes a batch of blind rotations across the dispatchable nodes,
     /// returning one accumulator per input LWE in input order.
     ///
-    /// Failed shards are retried on surviving nodes (and the fallback)
-    /// with exponential backoff until they succeed, the round budget is
-    /// exhausted, or no node remains.
+    /// Every shard result is validated (shape + attestation digest)
+    /// before it is accepted. Failed shards are retried on surviving
+    /// nodes (and the fallback) with exponential backoff until they
+    /// succeed, the round budget is exhausted, or no node remains. With
+    /// [`RetryPolicy::hedge_after`] set, a shard stuck past the hedge
+    /// threshold is speculatively re-dispatched and the first valid
+    /// result wins — a straggling node stops setting batch latency. With
+    /// [`RetryPolicy::audit_fraction`] set, a sampled fraction of shards
+    /// runs on two nodes whose results must agree bit-for-bit; a
+    /// disagreement quarantines both.
     pub fn execute(
         &self,
-        ctx: &CkksContext,
-        boot: &Bootstrapper,
+        ctx: &Arc<CkksContext>,
+        boot: &Arc<Bootstrapper>,
         lwes: &[LweCiphertext],
     ) -> Result<Vec<RlweCiphertext>, RuntimeError> {
         let inner = &self.inner;
@@ -485,116 +877,192 @@ impl Scheduler {
         if lwes.is_empty() {
             return Ok(Vec::new());
         }
+        // Workers are detached (a stalled loser must not block the
+        // batch), so they share the inputs by `Arc` rather than borrow.
+        let lwes: Arc<Vec<LweCiphertext>> = Arc::new(lwes.to_vec());
         let mut out: Vec<Option<Vec<RlweCiphertext>>> = Vec::new();
-        // (output slot, shard) pairs still awaiting a successful node.
-        let mut pending: Vec<(usize, &[LweCiphertext])> = Vec::new();
+        // (output slot, shard range) pairs still awaiting a valid result.
+        let mut pending: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
         {
-            let ranked = self.ranked_dispatchable();
+            let ranked = inner.ranked_dispatchable();
             if ranked.is_empty() {
                 return Err(RuntimeError::AllNodesFailed("no dispatchable nodes".into()));
             }
             let chunk = lwes.len().div_ceil(ranked.len());
-            for (slot, shard) in lwes.chunks(chunk).enumerate() {
-                pending.push((slot, shard));
+            let mut start = 0;
+            while start < lwes.len() {
+                let end = (start + chunk).min(lwes.len());
+                pending.push((out.len(), start..end));
                 out.push(None);
+                start = end;
             }
         }
         let mut last_err = String::new();
-        let mut round = 0usize;
+        let mut round_no = 0usize;
         while !pending.is_empty() {
-            if round > inner.policy.max_rounds {
+            if round_no > inner.policy.max_rounds {
                 return Err(RuntimeError::AllNodesFailed(format!(
                     "retry budget exhausted after {} rounds (last error: {last_err})",
                     inner.policy.max_rounds
                 )));
             }
-            let ranked = self.ranked_dispatchable();
+            let ranked = inner.ranked_dispatchable();
             if ranked.is_empty() {
                 return Err(RuntimeError::AllNodesFailed(last_err));
             }
-            if round > 0 {
+            if round_no > 0 {
                 inner.telemetry.reassignments.add(pending.len() as u64);
                 inner.telemetry.events.record(
                     "retry",
                     &format!("batch-{batch_no}"),
-                    &format!("round {round}: {} shards re-dispatched", pending.len()),
+                    &format!("round {round_no}: {} shards re-dispatched", pending.len()),
                 );
-                self.backoff(batch_no, round);
+                self.backoff(batch_no, round_no);
             }
-            // Shard j of this round goes to the j-th least-loaded node
-            // (wrapping when shards outnumber dispatchable nodes).
-            let assignments: Vec<(usize, usize, &[LweCiphertext])> = pending
-                .iter()
-                .enumerate()
-                .map(|(j, &(slot, shard))| (ranked[j % ranked.len()], slot, shard))
-                .collect();
-            for &(node_idx, _, shard) in &assignments {
-                self.inflight(node_idx)
-                    .fetch_add(shard.len(), Ordering::Relaxed);
-                if node_idx == FALLBACK {
-                    inner.telemetry.fallback_shards.inc();
-                }
-            }
-            inner.telemetry.shards.add(assignments.len() as u64);
-            let mut results: Vec<ShardResult<'_>> = Vec::new();
-            std::thread::scope(|s| {
-                let handles: Vec<_> = assignments
-                    .iter()
-                    .map(|&(node_idx, slot, shard)| {
-                        s.spawn(move || {
-                            // The span covers the full scatter → compute →
-                            // gather round trip as seen from the primary.
-                            let span = inner.telemetry.shard_round_trip_ns.time();
-                            let r = self.node(node_idx).try_blind_rotate_batch(ctx, boot, shard);
-                            drop(span);
-                            self.inflight(node_idx)
-                                .fetch_sub(shard.len(), Ordering::Relaxed);
-                            (node_idx, slot, shard, r)
+            // Audit sampling happens on the initial round only — retries
+            // of a failed shard should converge, not multiply.
+            let audit_on = round_no == 0 && inner.policy.audit_fraction > 0.0 && ranked.len() >= 2;
+            let round = Arc::new(Round {
+                state: Mutex::new(RoundState {
+                    shards: pending
+                        .iter()
+                        .map(|(slot, range)| ShardRound {
+                            slot: *slot,
+                            range: range.clone(),
+                            outstanding: 0,
+                            tried: Vec::new(),
+                            audit: false,
+                            hedged: false,
+                            started: Instant::now(),
+                            held: None,
+                            winner: None,
+                            resolved: false,
+                            failed: false,
                         })
-                    })
-                    .collect();
-                // A panicking node must not take the whole batch down:
-                // treat it as that shard failing and let retry handle it.
-                results = handles
-                    .into_iter()
-                    .zip(&assignments)
-                    .map(|(h, &(node_idx, slot, shard))| {
-                        h.join().unwrap_or_else(|_| {
-                            self.inflight(node_idx)
-                                .fetch_sub(shard.len(), Ordering::Relaxed);
-                            (
-                                node_idx,
-                                slot,
-                                shard,
-                                Err(NodeError::Io("node panicked".into())),
-                            )
-                        })
-                    })
-                    .collect();
+                        .collect(),
+                    unresolved: pending.len(),
+                    last_err: String::new(),
+                }),
+                cv: Condvar::new(),
             });
-            pending.clear();
-            for (node_idx, slot, shard, result) in results {
-                match result {
-                    Ok(accs) if accs.len() == shard.len() => {
-                        self.record_success(node_idx);
-                        out[slot] = Some(accs);
-                    }
-                    Ok(_) => {
-                        self.record_failure(node_idx, "short reply", &mut last_err);
-                        pending.push((slot, shard));
-                    }
-                    Err(e) => {
-                        self.record_failure(node_idx, &e.to_string(), &mut last_err);
-                        pending.push((slot, shard));
+            {
+                // Shard j of this round goes to the j-th least-loaded
+                // node (wrapping when shards outnumber dispatchable
+                // nodes); an audited shard also goes to the next node.
+                let mut st = round.lock();
+                for j in 0..st.shards.len() {
+                    let node_idx = ranked[j % ranked.len()];
+                    let audit = audit_on
+                        && audit01(batch_no, st.shards[j].slot) < inner.policy.audit_fraction;
+                    st.shards[j].audit = audit;
+                    inner.spawn_attempt(ctx, boot, &lwes, &round, &mut st, j, node_idx, false);
+                    if audit {
+                        let twin = ranked[(j + 1) % ranked.len()];
+                        inner.spawn_attempt(ctx, boot, &lwes, &round, &mut st, j, twin, false);
                     }
                 }
             }
-            round += 1;
+            // Wait for the round to settle, firing hedges for stragglers.
+            let tick = if inner.policy.hedge_after.is_some() {
+                (inner.policy.hedge_min_latency / 4).max(Duration::from_millis(1))
+            } else {
+                Duration::from_secs(60)
+            };
+            loop {
+                let st = round.lock();
+                if st.unresolved == 0 {
+                    break;
+                }
+                let (st, _) = round
+                    .cv
+                    .wait_timeout(st, tick)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if st.unresolved == 0 {
+                    break;
+                }
+                drop(st);
+                if inner.policy.hedge_after.is_some() {
+                    self.hedge_stragglers(ctx, boot, &lwes, &round);
+                }
+            }
+            // Collect: winners into the output, the rest back to pending.
+            let mut st = round.lock();
+            if !st.last_err.is_empty() {
+                last_err = std::mem::take(&mut st.last_err);
+            }
+            pending.clear();
+            for sh in st.shards.iter_mut() {
+                if sh.resolved {
+                    out[sh.slot] = Some(sh.winner.take().expect("resolved shard has winner"));
+                } else {
+                    pending.push((sh.slot, sh.range.clone()));
+                }
+            }
+            drop(st);
+            round_no += 1;
         }
         Ok(out
             .into_iter()
             .flat_map(|o| o.expect("every shard resolved"))
             .collect())
+    }
+
+    /// Fires at most one hedge per straggling shard: a shard whose round
+    /// has run past `max(hedge_min_latency, hedge_after × fastest other
+    /// node's EWMA)` is re-dispatched to that fastest untried node. The
+    /// reference is the *best other node's* EWMA rather than a fleet
+    /// p99 — one straggler in a small fleet drags the p99 up to its own
+    /// latency, which would disable exactly the hedge meant to beat it.
+    fn hedge_stragglers(
+        &self,
+        ctx: &Arc<CkksContext>,
+        boot: &Arc<Bootstrapper>,
+        lwes: &Arc<Vec<LweCiphertext>>,
+        round: &Arc<Round>,
+    ) {
+        let inner = &self.inner;
+        let Some(multiple) = inner.policy.hedge_after else {
+            return;
+        };
+        let now = Instant::now();
+        let mut st = round.lock();
+        for j in 0..st.shards.len() {
+            let sh = &st.shards[j];
+            if sh.resolved || sh.failed || sh.audit || sh.hedged || sh.outstanding == 0 {
+                continue;
+            }
+            let tried = sh.tried.clone();
+            let elapsed = now.saturating_duration_since(sh.started);
+            // Fastest dispatchable node this shard has not tried, with a
+            // warmed-up EWMA; it is both the trigger reference and the
+            // hedge target.
+            let candidate = inner
+                .ranked_dispatchable()
+                .into_iter()
+                .filter(|&i| i != FALLBACK && !tried.contains(&i))
+                .filter_map(|i| {
+                    let slot = &inner.slots[i];
+                    (slot.ewma_samples.load(Ordering::Relaxed) >= inner.policy.hedge_min_samples)
+                        .then(|| (slot.ewma_ns.load(Ordering::Relaxed), i))
+                })
+                .min();
+            let Some((ewma_ns, target)) = candidate else {
+                continue;
+            };
+            let threshold = inner
+                .policy
+                .hedge_min_latency
+                .max(Duration::from_nanos((ewma_ns as f64 * multiple) as u64));
+            if elapsed < threshold {
+                continue;
+            }
+            inner.telemetry.events.record(
+                "hedge",
+                &inner.node(target).name(),
+                &format!("shard stuck {elapsed:?} (threshold {threshold:?})"),
+            );
+            inner.spawn_attempt(ctx, boot, lwes, round, &mut st, j, target, true);
+        }
     }
 
     /// Exponential backoff before re-dispatch round `round`, stretched by
@@ -611,43 +1079,6 @@ impl Scheduler {
             .min(policy.max_backoff);
         let jittered = exp.mul_f64(1.0 + 0.5 * jitter01(batch_no, round));
         std::thread::sleep(jittered);
-    }
-
-    fn record_success(&self, node_idx: usize) {
-        if node_idx == FALLBACK {
-            return;
-        }
-        let slot = &self.inner.slots[node_idx];
-        if slot.breaker.on_success() {
-            self.inner.telemetry.readmissions.inc();
-            self.inner.telemetry.events.record(
-                "readmission",
-                &slot.node.name(),
-                "half-open shard succeeded",
-            );
-        }
-    }
-
-    fn record_failure(&self, node_idx: usize, why: &str, last_err: &mut String) {
-        let inner = &self.inner;
-        inner.telemetry.node_failures.inc();
-        if node_idx == FALLBACK {
-            inner.fallback_failed.store(true, Ordering::Relaxed);
-            *last_err = format!(
-                "{}: {why}",
-                inner.fallback.as_ref().expect("fallback configured").name()
-            );
-            return;
-        }
-        let slot = &inner.slots[node_idx];
-        if slot.breaker.on_failure(&inner.policy, Instant::now()) {
-            inner.telemetry.breaker_opens.inc();
-            inner
-                .telemetry
-                .events
-                .record("breaker_open", &slot.node.name(), why);
-        }
-        *last_err = format!("{}: {why}", slot.node.name());
     }
 }
 
@@ -708,8 +1139,8 @@ mod tests {
     use std::sync::OnceLock;
 
     struct Fixture {
-        ctx: CkksContext,
-        boot: Bootstrapper,
+        ctx: Arc<CkksContext>,
+        boot: Arc<Bootstrapper>,
         lwes: Vec<LweCiphertext>,
     }
 
@@ -727,7 +1158,11 @@ mod tests {
             let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
             let indices: Vec<usize> = (0..16).collect();
             let lwes = boot.modulus_switch(&ctx, &boot.extract_lwes(&ctx, &ct, &indices));
-            Fixture { ctx, boot, lwes }
+            Fixture {
+                ctx: Arc::new(ctx),
+                boot: Arc::new(boot),
+                lwes,
+            }
         })
     }
 
@@ -981,5 +1416,145 @@ mod tests {
         assert!(b.on_success(), "half-open success readmits");
         assert!(b.is_dispatchable());
         assert!(!b.on_success(), "closed success is not a readmission");
+    }
+
+    #[test]
+    fn quarantine_is_sticky() {
+        let policy = RetryPolicy::test_fast();
+        let b = Breaker::new();
+        assert!(b.quarantine(), "first quarantine counts");
+        assert!(!b.quarantine(), "re-quarantine is idempotent");
+        assert!(!b.is_dispatchable());
+        assert!(!b.on_success(), "success never readmits a quarantined node");
+        assert!(!b.is_dispatchable());
+        assert!(!b.on_failure(&policy, Instant::now()));
+        assert!(
+            !b.half_open_if_due(Instant::now() + Duration::from_secs(3600)),
+            "the prober never half-opens a quarantined node"
+        );
+    }
+
+    /// An in-process flip (stale digest, flipped limb) must be caught by
+    /// the scheduler's attestation check, counted under the `attest`
+    /// layer, and the shard recomputed elsewhere — bit-exact output.
+    #[test]
+    fn flip_is_caught_by_attestation_and_recovered() {
+        let fix = fixture();
+        let nodes: Vec<Box<dyn ServiceNode>> = vec![
+            Box::new(ChaosNode::new(
+                Box::new(LocalServiceNode::new(0, Parallelism::serial())),
+                "flip".parse::<FaultPlan>().unwrap(),
+            )),
+            Box::new(LocalServiceNode::new(1, Parallelism::serial())),
+        ];
+        let sched =
+            Scheduler::with_policy(nodes, None, RetryPolicy::test_no_readmission()).unwrap();
+        let accs = sched.execute(&fix.ctx, &fix.boot, &fix.lwes).unwrap();
+        assert_eq!(wire(fix, &accs), serial_reference(fix));
+        let stats = sched.stats();
+        assert_eq!(stats.corruption_attest, 1, "{stats:?}");
+        assert_eq!(stats.node_failures, 1);
+        assert_eq!(stats.reassignments, 1);
+        assert_eq!(
+            stats.quarantines, 0,
+            "flips trip the breaker, not quarantine"
+        );
+    }
+
+    /// Returns correct results except for one flipped limb — with the
+    /// digest recomputed over the flipped batch, so the attestation
+    /// layer cannot see anything wrong. Only redundant-dispatch audit
+    /// comparison can catch this node.
+    struct LyingNode {
+        inner: LocalServiceNode,
+    }
+
+    impl ServiceNode for LyingNode {
+        fn try_blind_rotate_batch(
+            &self,
+            ctx: &CkksContext,
+            boot: &Bootstrapper,
+            lwes: &[LweCiphertext],
+        ) -> Result<Vec<RlweCiphertext>, NodeError> {
+            let mut accs = self.inner.try_blind_rotate_batch(ctx, boot, lwes)?;
+            if let Some(acc) = accs.first_mut() {
+                let q = ctx.rns().modulus(0).value();
+                let limb = acc.b.limb_mut(0);
+                limb[0] = (limb[0] ^ 1) % q;
+            }
+            Ok(accs)
+        }
+
+        fn name(&self) -> String {
+            "liar".to_string()
+        }
+    }
+
+    #[test]
+    fn audit_mismatch_quarantines_both_nodes() {
+        let fix = fixture();
+        let nodes: Vec<Box<dyn ServiceNode>> = vec![
+            Box::new(LyingNode {
+                inner: LocalServiceNode::new(0, Parallelism::serial()),
+            }),
+            Box::new(LocalServiceNode::new(1, Parallelism::serial())),
+        ];
+        let policy = RetryPolicy {
+            audit_fraction: 1.0,
+            ..RetryPolicy::test_no_readmission()
+        };
+        let sched = Scheduler::with_policy(nodes, None, policy).unwrap();
+        // Wrong bits must never come back: with the only nodes disagreeing
+        // and quarantined, the batch fails rather than guessing.
+        match sched.execute(&fix.ctx, &fix.boot, &fix.lwes) {
+            Err(RuntimeError::AllNodesFailed(msg)) => {
+                assert!(msg.contains("audit"), "got: {msg}")
+            }
+            other => panic!("expected AllNodesFailed, got {other:?}"),
+        }
+        let stats = sched.stats();
+        assert!(stats.corruption_audit >= 1, "{stats:?}");
+        assert_eq!(stats.quarantines, 2, "{stats:?}");
+        assert_eq!(sched.healthy_count(), 0, "both nodes quarantined");
+    }
+
+    /// A stalled (alive but slow) node must stop setting batch latency
+    /// once hedging is on: the stuck shard is re-dispatched to the fast
+    /// node and the batch completes bit-identically, long before the
+    /// straggler would have returned.
+    #[test]
+    fn hedge_rescues_stalled_shard() {
+        let fix = fixture();
+        let nodes: Vec<Box<dyn ServiceNode>> = vec![
+            Box::new(ChaosNode::new(
+                Box::new(LocalServiceNode::new(0, Parallelism::serial())),
+                "pass,stall:60000".parse::<FaultPlan>().unwrap(),
+            )),
+            Box::new(LocalServiceNode::new(1, Parallelism::serial())),
+        ];
+        let policy = RetryPolicy {
+            hedge_after: Some(1.5),
+            hedge_min_latency: Duration::from_millis(20),
+            hedge_min_samples: 1,
+            ..RetryPolicy::test_no_readmission()
+        };
+        let sched = Scheduler::with_policy(nodes, None, policy).unwrap();
+        // Warm-up: both nodes serve a shard, seeding their EWMAs.
+        let accs = sched.execute(&fix.ctx, &fix.boot, &fix.lwes).unwrap();
+        assert_eq!(wire(fix, &accs), serial_reference(fix));
+        assert_eq!(sched.stats().hedges_issued, 0, "healthy fleet never hedges");
+        // Stall batch: node 0 sleeps 60 s; the hedge must win far sooner.
+        let t0 = Instant::now();
+        let accs = sched.execute(&fix.ctx, &fix.boot, &fix.lwes).unwrap();
+        let elapsed = t0.elapsed();
+        assert_eq!(wire(fix, &accs), serial_reference(fix));
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "stalled node set batch latency: {elapsed:?}"
+        );
+        let stats = sched.stats();
+        assert!(stats.hedges_issued >= 1, "{stats:?}");
+        assert!(stats.hedges_won >= 1, "{stats:?}");
+        assert_eq!(stats.node_failures, 0, "a stall is not a failure");
     }
 }

@@ -735,8 +735,8 @@ fn prep_batch(ctx: &CkksContext, boot: &Bootstrapper, jobs: Vec<PendingJob>) -> 
 /// the admission model's per-rotation EWMA on success.
 #[allow(clippy::too_many_arguments)]
 fn rotate_batch(
-    ctx: &CkksContext,
-    boot: &Bootstrapper,
+    ctx: &Arc<CkksContext>,
+    boot: &Arc<Bootstrapper>,
     scheduler: &Scheduler,
     telemetry: &ServiceTelemetry,
     finish_ch: &Channel<RotatedBatch>,

@@ -24,6 +24,21 @@ pub(crate) struct SchedulerTelemetry {
     pub breaker_opens: Arc<Counter>,
     pub readmissions: Arc<Counter>,
     pub fallback_shards: Arc<Counter>,
+    /// Speculative duplicate attempts started for straggling shards.
+    pub hedges_issued: Arc<Counter>,
+    /// Hedged attempts whose result resolved the shard.
+    pub hedges_won: Arc<Counter>,
+    /// Attempts (original or hedge) that completed after the shard was
+    /// already resolved or failed — work discarded.
+    pub hedges_wasted: Arc<Counter>,
+    /// Corruption caught by the wire frame CRC.
+    pub corruption_crc: Arc<Counter>,
+    /// Corruption caught by the end-to-end attestation digest.
+    pub corruption_attest: Arc<Counter>,
+    /// Corruption caught by redundant-dispatch audit comparison.
+    pub corruption_audit: Arc<Counter>,
+    /// Nodes permanently removed from dispatch after an audit mismatch.
+    pub quarantines: Arc<Counter>,
     /// Wall-clock of one shard's scatter → compute → gather round trip.
     pub shard_round_trip_ns: Arc<Histogram>,
     /// Fault events: retries, breaker transitions, readmissions.
@@ -61,6 +76,37 @@ impl SchedulerTelemetry {
             fallback_shards: registry.counter(
                 "heap_scheduler_fallback_shards_total",
                 "shards served by the fallback node",
+            ),
+            hedges_issued: registry.counter(
+                "heap_hedges_issued_total",
+                "speculative duplicate attempts started for straggling shards",
+            ),
+            hedges_won: registry.counter(
+                "heap_hedges_won_total",
+                "hedged attempts whose result resolved the shard",
+            ),
+            hedges_wasted: registry.counter(
+                "heap_hedges_wasted_total",
+                "attempts discarded because the shard was already settled",
+            ),
+            corruption_crc: registry.labeled_counter(
+                "heap_corruption_detected_total",
+                "corrupted replies caught, by detection layer",
+                &[("layer", "crc")],
+            ),
+            corruption_attest: registry.labeled_counter(
+                "heap_corruption_detected_total",
+                "corrupted replies caught, by detection layer",
+                &[("layer", "attest")],
+            ),
+            corruption_audit: registry.labeled_counter(
+                "heap_corruption_detected_total",
+                "corrupted replies caught, by detection layer",
+                &[("layer", "audit")],
+            ),
+            quarantines: registry.counter(
+                "heap_quarantines_total",
+                "nodes permanently removed from dispatch after an audit mismatch",
             ),
             shard_round_trip_ns: registry.histogram(
                 "heap_shard_round_trip_ns",
@@ -219,6 +265,32 @@ mod tests {
         assert_eq!(snap.histogram("heap_batch_size_lwes").unwrap().count, 1);
         assert!(snap.histogram("heap_queue_wait_ns").is_some());
         assert!(snap.histogram("heap_shard_round_trip_ns").is_some());
+    }
+
+    #[test]
+    fn integrity_counters_register_as_one_labeled_family() {
+        let t = ServiceTelemetry::new();
+        t.scheduler.corruption_crc.inc();
+        t.scheduler.corruption_audit.add(2);
+        t.scheduler.hedges_issued.inc();
+        t.scheduler.quarantines.inc();
+        let snap = t.registry.snapshot();
+        assert_eq!(
+            snap.labeled_counter("heap_corruption_detected_total", &[("layer", "crc")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.labeled_counter("heap_corruption_detected_total", &[("layer", "attest")]),
+            Some(0)
+        );
+        assert_eq!(
+            snap.labeled_counter("heap_corruption_detected_total", &[("layer", "audit")]),
+            Some(2)
+        );
+        assert_eq!(snap.counter("heap_hedges_issued_total"), Some(1));
+        assert_eq!(snap.counter("heap_hedges_won_total"), Some(0));
+        assert_eq!(snap.counter("heap_hedges_wasted_total"), Some(0));
+        assert_eq!(snap.counter("heap_quarantines_total"), Some(1));
     }
 
     #[test]

@@ -91,7 +91,17 @@ fn healthy(index: usize) -> Box<dyn ServiceNode> {
 #[test]
 fn every_action_kind_with_survivor_is_bit_identical() {
     let fix = fixture();
-    for plan in ["fail", "delay:5", "hang", "corrupt", "drop", "fail*2,drop"] {
+    for plan in [
+        "fail",
+        "delay:5",
+        "hang",
+        "corrupt",
+        "flip",
+        "truncate",
+        "stall:2",
+        "drop",
+        "fail*2,drop",
+    ] {
         let (chaos_node, state) = chaos(plan);
         let sched = Scheduler::with_policy(
             vec![chaos_node, healthy(1)],
@@ -121,7 +131,14 @@ fn every_action_kind_with_survivor_is_bit_identical() {
 #[test]
 fn sole_faulty_node_is_a_clean_typed_error() {
     let fix = fixture();
-    for plan in ["fail*99", "hang*99", "corrupt*99", "drop*99"] {
+    for plan in [
+        "fail*99",
+        "hang*99",
+        "corrupt*99",
+        "flip*99",
+        "truncate*99",
+        "drop*99",
+    ] {
         let (chaos_node, _) = chaos(plan);
         let sched =
             Scheduler::with_policy(vec![chaos_node], None, RetryPolicy::test_no_readmission())
@@ -221,9 +238,68 @@ fn service_with_all_nodes_failing_falls_back_bit_identically() {
     svc.shutdown();
 }
 
+/// A silent flip must be *detected* (attestation layer), never delivered:
+/// the batch is reassigned and comes back bit-identical, with the
+/// corruption counter attributing the catch to the digest check.
+#[test]
+fn flip_is_detected_never_delivered_and_counted() {
+    let fix = fixture();
+    let (chaos_node, state) = chaos("flip");
+    let sched = Scheduler::with_policy(
+        vec![chaos_node, healthy(1)],
+        None,
+        RetryPolicy::test_no_readmission(),
+    )
+    .expect("scheduler");
+    let accs = sched
+        .execute(&fix.setup.ctx, &fix.setup.boot, &fix.lwes)
+        .expect("survivor carries the batch");
+    assert_eq!(
+        wires(&fix.setup, &accs),
+        fix.reference,
+        "wrong bits delivered"
+    );
+    let stats = sched.stats();
+    assert_eq!(stats.corruption_attest, 1, "{stats:?}");
+    assert_eq!(stats.corruption_crc, 0, "{stats:?}");
+    assert_eq!(stats.node_failures, 1, "{stats:?}");
+    assert_eq!(state.failures_consumed(), 1);
+}
+
+/// Regression for the old `Corrupt` in-process semantics (`accs.pop()`):
+/// that shape bug is now the `truncate` action, surfaces as a reply
+/// *mismatch* (count check), and trips none of the corruption layers —
+/// the truncated batch is internally consistent, so only the shape check
+/// can catch it.
+#[test]
+fn truncate_is_a_shape_mismatch_not_a_corruption() {
+    let fix = fixture();
+    let (chaos_node, state) = chaos("truncate");
+    let sched = Scheduler::with_policy(
+        vec![chaos_node, healthy(1)],
+        None,
+        RetryPolicy::test_no_readmission(),
+    )
+    .expect("scheduler");
+    let accs = sched
+        .execute(&fix.setup.ctx, &fix.setup.boot, &fix.lwes)
+        .expect("survivor carries the batch");
+    assert_eq!(wires(&fix.setup, &accs), fix.reference);
+    let stats = sched.stats();
+    assert_eq!(stats.node_failures, 1, "{stats:?}");
+    assert_eq!(
+        stats.corruption_crc + stats.corruption_attest + stats.corruption_audit,
+        0,
+        "truncation must be caught by shape, not integrity: {stats:?}"
+    );
+    assert_eq!(state.failures_consumed(), 1);
+}
+
 /// Maps a proptest-drawn index to a fault action token.
 fn action_token(idx: usize) -> &'static str {
-    ["pass", "fail", "delay:2", "hang", "corrupt", "drop"][idx]
+    [
+        "pass", "fail", "delay:2", "hang", "corrupt", "flip", "truncate", "stall:2", "drop",
+    ][idx]
 }
 
 fn plan_from(indices: &[usize]) -> String {
@@ -244,8 +320,8 @@ proptest! {
     /// consumed, each failed shard reassigned exactly once.
     #[test]
     fn random_fault_plans_keep_results_bitwise_and_stats_consistent(
-        plan_a in prop::collection::vec(0usize..6, 0..5),
-        plan_b in prop::collection::vec(0usize..6, 0..5),
+        plan_a in prop::collection::vec(0usize..9, 0..5),
+        plan_b in prop::collection::vec(0usize..9, 0..5),
     ) {
         let fix = fixture();
         let (node_a, state_a) = chaos(&plan_from(&plan_a));

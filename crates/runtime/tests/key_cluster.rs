@@ -27,8 +27,8 @@ use heap_runtime::{
     Priority, RemoteNode, RetryPolicy, RuntimeConfig, ServiceNode,
 };
 
-/// Frame header: u32 magic + u8 kind + u64 payload length.
-const FRAME_HEADER: u64 = 13;
+/// Frame header: u32 magic + u8 kind + u64 payload length + u32 CRC.
+const FRAME_HEADER: u64 = 17;
 /// Key frame payloads lead with (or consist of) the u64 key id.
 const KEY_ID: u64 = 8;
 

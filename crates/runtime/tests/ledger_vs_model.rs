@@ -25,8 +25,11 @@ use heap_runtime::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Frame header: u32 magic + u8 kind + u64 payload length.
-const FRAME_HEADER: u64 = 13;
+/// Frame header: u32 magic + u8 kind + u64 payload length + u32 CRC.
+const FRAME_HEADER: u64 = 17;
+/// Every BlindRotateResp payload leads with the node's u64 FNV-1a
+/// attestation digest over the accumulator encoding.
+const RESP_DIGEST: u64 = 8;
 /// Batch header inside a request/response payload: u32 magic + u32 count.
 const BATCH_HEADER: u64 = 8;
 /// Per-LWE item header: u32 magic + u64 modulus + u32 dimension.
@@ -118,6 +121,7 @@ fn measured_loopback_bytes_match_hw_model_exactly() {
     };
     let measured_gather_payload = ledger.rlwe_bytes_received()
         - FRAME_HEADER
+        - RESP_DIGEST
         - BATCH_HEADER
         - n * (ACC_ITEM_HEADER + 8 * boot_limbs);
     assert_eq!(measured_gather_payload, n * rlwe_model.rlwe_bytes());
@@ -201,7 +205,7 @@ fn local_cluster_ledger_agrees_with_remote_measurement_per_ciphertext() {
         .collect();
     let modeled_gather: u64 = accs.iter().map(|a| a.wire_size(&moduli) as u64).sum();
     assert_eq!(
-        ledger.rlwe_bytes_received() - FRAME_HEADER - BATCH_HEADER,
+        ledger.rlwe_bytes_received() - FRAME_HEADER - RESP_DIGEST - BATCH_HEADER,
         modeled_gather
     );
     node.shutdown();

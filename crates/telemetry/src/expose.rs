@@ -55,21 +55,42 @@ impl Exposition {
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for snap in self.snapshots() {
+            // HELP/TYPE describe a metric *family*: emit them once per
+            // name even when several labeled series share it.
+            let mut described: Vec<String> = Vec::new();
             for entry in &snap.entries {
-                if !entry.help.is_empty() {
-                    let _ = writeln!(out, "# HELP {} {}", entry.name, entry.help);
+                let first_of_family = !described.contains(&entry.name);
+                if first_of_family {
+                    described.push(entry.name.clone());
+                    if !entry.help.is_empty() {
+                        let _ = writeln!(out, "# HELP {} {}", entry.name, entry.help);
+                    }
                 }
+                let labels = prom_labels(&entry.labels);
                 match &entry.value {
                     MetricValue::Counter(v) => {
-                        let _ = writeln!(out, "# TYPE {} counter", entry.name);
-                        let _ = writeln!(out, "{} {}", entry.name, v);
+                        if first_of_family {
+                            let _ = writeln!(out, "# TYPE {} counter", entry.name);
+                        }
+                        let _ = writeln!(out, "{}{} {}", entry.name, labels, v);
                     }
                     MetricValue::Gauge(v) => {
-                        let _ = writeln!(out, "# TYPE {} gauge", entry.name);
-                        let _ = writeln!(out, "{} {}", entry.name, v);
+                        if first_of_family {
+                            let _ = writeln!(out, "# TYPE {} gauge", entry.name);
+                        }
+                        let _ = writeln!(out, "{}{} {}", entry.name, labels, v);
                     }
                     MetricValue::Histogram(h) => {
-                        let _ = writeln!(out, "# TYPE {} histogram", entry.name);
+                        if first_of_family {
+                            let _ = writeln!(out, "# TYPE {} histogram", entry.name);
+                        }
+                        // Bucket series merge the entry's labels with `le`.
+                        let le_prefix = if entry.labels.is_empty() {
+                            String::new()
+                        } else {
+                            let inner = labels.trim_start_matches('{').trim_end_matches('}');
+                            format!("{inner},")
+                        };
                         let mut cumulative = 0u64;
                         for i in 0..HISTOGRAM_BUCKETS {
                             if h.buckets[i] == 0 {
@@ -78,15 +99,20 @@ impl Exposition {
                             cumulative += h.buckets[i];
                             let _ = writeln!(
                                 out,
-                                "{}_bucket{{le=\"{}\"}} {}",
+                                "{}_bucket{{{}le=\"{}\"}} {}",
                                 entry.name,
+                                le_prefix,
                                 bucket_upper_bound(i),
                                 cumulative
                             );
                         }
-                        let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", entry.name, h.count);
-                        let _ = writeln!(out, "{}_sum {}", entry.name, h.sum);
-                        let _ = writeln!(out, "{}_count {}", entry.name, h.count);
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{{{}le=\"+Inf\"}} {}",
+                            entry.name, le_prefix, h.count
+                        );
+                        let _ = writeln!(out, "{}_sum{} {}", entry.name, labels, h.sum);
+                        let _ = writeln!(out, "{}_count{} {}", entry.name, labels, h.count);
                     }
                 }
             }
@@ -118,6 +144,16 @@ impl Exposition {
                     json_str(&entry.name),
                     json_str(&entry.help)
                 );
+                if !entry.labels.is_empty() {
+                    out.push_str("\"labels\":{");
+                    for (li, (k, v)) in entry.labels.iter().enumerate() {
+                        if li > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{}:{}", json_str(k), json_str(v));
+                    }
+                    out.push_str("},");
+                }
                 match &entry.value {
                     MetricValue::Counter(v) => {
                         let _ = write!(out, "\"type\":\"counter\",\"value\":{v}}}");
@@ -179,6 +215,27 @@ impl Exposition {
         out.push('}');
         out
     }
+}
+
+/// Renders a label set as `{k="v",...}` with Prometheus value escaping
+/// (backslash, double quote, newline), or `""` when there are no labels.
+fn prom_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped = v
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        let _ = write!(out, "{k}=\"{escaped}\"");
+    }
+    out.push('}');
+    out
 }
 
 /// JSON string literal with the escapes required by RFC 8259.
@@ -350,6 +407,34 @@ mod tests {
         assert!(json.contains("\"count\":2,\"sum\":5100,\"p50\":127"));
         assert!(json.contains("\"detail\":\"attempt \\\"1\\\"\""));
         assert!(json.ends_with("}"));
+    }
+
+    #[test]
+    fn labeled_counters_render_as_one_family() {
+        let registry = Arc::new(Registry::new("lab"));
+        registry
+            .labeled_counter("det_total", "detections by layer", &[("layer", "crc")])
+            .add(3);
+        registry
+            .labeled_counter("det_total", "detections by layer", &[("layer", "attest")])
+            .inc();
+        let expo = Exposition::new().with_registry(&registry);
+
+        let text = expo.render_prometheus();
+        assert!(text.contains("det_total{layer=\"crc\"} 3"), "{text}");
+        assert!(text.contains("det_total{layer=\"attest\"} 1"), "{text}");
+        assert_eq!(
+            text.matches("# TYPE det_total counter").count(),
+            1,
+            "HELP/TYPE must appear once per family: {text}"
+        );
+        assert_eq!(text.matches("# HELP det_total").count(), 1, "{text}");
+
+        let json = expo.render_json();
+        assert!(
+            json.contains("\"labels\":{\"layer\":\"crc\"},\"type\":\"counter\",\"value\":3"),
+            "{json}"
+        );
     }
 
     #[test]

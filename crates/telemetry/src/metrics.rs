@@ -232,6 +232,10 @@ enum Metric {
 struct Entry {
     name: String,
     help: String,
+    /// Label pairs distinguishing series that share a name (empty for
+    /// plain metrics). Order is significant: `{layer="crc"}` registered
+    /// as `[("layer","crc")]` is one series, keyed by exactly that list.
+    labels: Vec<(String, String)>,
     metric: Metric,
 }
 
@@ -282,19 +286,40 @@ impl Registry {
         &self,
         name: &str,
         help: &str,
+        labels: &[(&str, &str)],
         as_type: impl Fn(&Metric) -> Option<Arc<T>>,
         make: impl Fn() -> (Arc<T>, Metric),
     ) -> Arc<T> {
         assert!(valid_metric_name(name), "invalid metric name '{name}'");
+        for (k, _) in labels {
+            assert!(valid_metric_name(k), "invalid label name '{k}'");
+        }
         let mut entries = self.lock();
-        if let Some(e) = entries.iter().find(|e| e.name == name) {
-            return as_type(&e.metric)
+        for e in entries.iter() {
+            if e.name != name {
+                continue;
+            }
+            // Every series under one name must share a type (Prometheus
+            // exposition rule), whether or not the labels match.
+            let handle = as_type(&e.metric)
                 .unwrap_or_else(|| panic!("metric '{name}' registered with a different type"));
+            if e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|(a, b)| a.0 == b.0 && a.1 == b.1)
+            {
+                return handle;
+            }
         }
         let (handle, metric) = make();
         entries.push(Entry {
             name: name.to_string(),
             help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
             metric,
         });
         handle
@@ -306,9 +331,23 @@ impl Registry {
     ///
     /// Panics on an invalid name or if `name` names a non-counter.
     pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.labeled_counter(name, help, &[])
+    }
+
+    /// Get-or-create one labeled series of a counter family, keyed by
+    /// `(name, labels)`. All series under one name must be counters and
+    /// should share `help` (the first registration's help text wins in
+    /// exposition). An empty label list is the plain [`Registry::counter`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric/label name or if `name` already names
+    /// a non-counter.
+    pub fn labeled_counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         self.get_or_insert(
             name,
             help,
+            labels,
             |m| match m {
                 Metric::Counter(c) => Some(Arc::clone(c)),
                 _ => None,
@@ -329,6 +368,7 @@ impl Registry {
         self.get_or_insert(
             name,
             help,
+            &[],
             |m| match m {
                 Metric::Gauge(g) => Some(Arc::clone(g)),
                 _ => None,
@@ -349,6 +389,7 @@ impl Registry {
         self.get_or_insert(
             name,
             help,
+            &[],
             |m| match m {
                 Metric::Histogram(h) => Some(Arc::clone(h)),
                 _ => None,
@@ -379,6 +420,7 @@ impl Registry {
         self.get_or_insert(
             name,
             help,
+            &[],
             |m| match m {
                 Metric::Histogram(h) => Some(Arc::clone(h)),
                 _ => None,
@@ -398,6 +440,7 @@ impl Registry {
                 .map(|e| SnapshotEntry {
                     name: e.name.clone(),
                     help: e.help.clone(),
+                    labels: e.labels.clone(),
                     value: match &e.metric {
                         Metric::Counter(c) => MetricValue::Counter(c.get()),
                         Metric::Gauge(g) => MetricValue::Gauge(g.get()),
@@ -427,6 +470,8 @@ pub struct SnapshotEntry {
     pub name: String,
     /// Help text.
     pub help: String,
+    /// Label pairs (empty for plain metrics), in registration order.
+    pub labels: Vec<(String, String)>,
     /// The value at snapshot time.
     pub value: MetricValue,
 }
@@ -441,15 +486,39 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// The named counter's value, if present.
+    /// The named *unlabeled* counter's value, if present.
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.entries.iter().find(|e| e.name == name).and_then(|e| {
-            if let MetricValue::Counter(v) = e.value {
-                Some(v)
-            } else {
-                None
-            }
-        })
+        self.entries
+            .iter()
+            .find(|e| e.name == name && e.labels.is_empty())
+            .and_then(|e| {
+                if let MetricValue::Counter(v) = e.value {
+                    Some(v)
+                } else {
+                    None
+                }
+            })
+    }
+
+    /// The counter series with exactly `(name, labels)`, if present.
+    pub fn labeled_counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| {
+                e.name == name
+                    && e.labels.len() == labels.len()
+                    && e.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|(a, b)| a.0 == b.0 && a.1 == b.1)
+            })
+            .and_then(|e| {
+                if let MetricValue::Counter(v) = e.value {
+                    Some(v)
+                } else {
+                    None
+                }
+            })
     }
 
     /// The named gauge's value, if present.
@@ -572,6 +641,40 @@ mod tests {
         b.inc();
         assert_eq!(r.snapshot().counter("x_total"), Some(2));
         assert_eq!(r.snapshot().counter("missing"), None);
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct_series() {
+        let r = Registry::new("test");
+        let crc = r.labeled_counter("det_total", "detections", &[("layer", "crc")]);
+        let attest = r.labeled_counter("det_total", "detections", &[("layer", "attest")]);
+        let crc_again = r.labeled_counter("det_total", "detections", &[("layer", "crc")]);
+        assert!(Arc::ptr_eq(&crc, &crc_again));
+        assert!(!Arc::ptr_eq(&crc, &attest));
+        crc.add(2);
+        attest.inc();
+        let s = r.snapshot();
+        assert_eq!(s.labeled_counter("det_total", &[("layer", "crc")]), Some(2));
+        assert_eq!(
+            s.labeled_counter("det_total", &[("layer", "attest")]),
+            Some(1)
+        );
+        assert_eq!(s.labeled_counter("det_total", &[("layer", "audit")]), None);
+        assert_eq!(s.counter("det_total"), None, "no unlabeled series exists");
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn labeled_series_share_the_name_type() {
+        let r = Registry::new("test");
+        r.labeled_counter("m", "", &[("layer", "crc")]);
+        r.gauge("m", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid label name")]
+    fn registry_rejects_bad_label_names() {
+        Registry::new("test").labeled_counter("ok_total", "", &[("9bad", "v")]);
     }
 
     #[test]
