@@ -1,21 +1,27 @@
 //! Reference-vs-optimized sweep of the three hot kernels, emitting
 //! `BENCH_kernels.json` (machine-readable) plus a human-readable table.
 //!
-//! Measures single-threaded ns/op of each optimized kernel against its
-//! retained `*_reference` oracle:
+//! Measures single-threaded ns/op of each kernel at three datapath tiers:
 //!
-//! - `ntt_forward` / `ntt_inverse` — Harvey lazy-reduction butterflies
-//!   ([`heap_math::NttTable::forward_lazy`]) vs the strict seed kernels,
-//!   at `n ∈ {2^10, 2^13}`;
-//! - `external_product` — the lazy `u128`-MAC datapath
-//!   (`external_product_into`) vs `external_product_reference`, at
-//!   `n = 2^13` over the paper's gadget (`d = 2`, base `2^18`);
-//! - `blind_rotate` (single LWE) and `blind_rotate_batch_key_major`
-//!   (batch) — the restructured CMux vs `blind_rotate_reference`.
+//! - `reference` — the strict seed kernels retained as oracles
+//!   (`forward/inverse_reference`, `external_product_reference`,
+//!   `blind_rotate_reference`);
+//! - `scalar` — the Harvey lazy-reduction scalar kernels
+//!   ([`heap_math::NttTable::forward_lazy_scalar`], the `u128`-MAC
+//!   external product, the restructured CMux with SIMD force-disabled);
+//! - `simd` — the dispatching kernels on the active vector backend
+//!   (AVX2/NEON lazy butterflies, the Shoup-precomputed u64 FMA external
+//!   product). On a host without a vector unit this column equals the
+//!   scalar column and the reported backend is `scalar`.
 //!
-//! Every optimized/reference pair is also asserted bit-identical here, so
-//! a speedup row can never come from a divergent datapath (the exhaustive
-//! parity arguments live in `tests/kernel_parity.rs`).
+//! Rows: `ntt_forward` / `ntt_inverse` at `n ∈ {2^10, 2^13}`,
+//! `external_product` at `n = 2^13` over the paper's gadget (`d = 2`,
+//! base `2^18`), and `blind_rotate` single/batched.
+//!
+//! Every pair of tiers is also asserted bit-identical here, so a speedup
+//! row can never come from a divergent datapath (the exhaustive parity
+//! arguments live in `tests/kernel_parity.rs` and the `heap-math`
+//! property suite).
 //!
 //! ```sh
 //! cargo run --release -p heap-bench --bin kernel_sweep
@@ -29,24 +35,32 @@ use heap_math::{Modulus, RnsContext};
 use heap_tfhe::lwe::LweSecretKey;
 use heap_tfhe::rlwe::{RingSecretKey, RlweCiphertext};
 use heap_tfhe::{
-    external_product_into, external_product_reference, test_polynomial_from_fn, BlindRotateKey,
-    ExternalProductScratch, LweCiphertext, RgswCiphertext, RgswParams,
+    external_product_into, external_product_prepared_into, external_product_reference,
+    test_polynomial_from_fn, BlindRotateKey, ExternalProductScratch, LweCiphertext, PreparedRgsw,
+    RgswCiphertext, RgswParams,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// One reference-vs-optimized row.
+/// One kernel row: strict oracle vs scalar lazy vs SIMD dispatch.
 struct Row {
     kernel: &'static str,
     n: usize,
     ops: usize,
     reference_ns: f64,
-    optimized_ns: f64,
+    scalar_ns: f64,
+    simd_ns: f64,
 }
 
 impl Row {
+    /// End-to-end win of the dispatching kernel over the strict oracle.
     fn speedup(&self) -> f64 {
-        self.reference_ns / self.optimized_ns
+        self.reference_ns / self.simd_ns
+    }
+
+    /// Win of the vector datapath over the scalar lazy kernel alone.
+    fn simd_speedup(&self) -> f64 {
+        self.scalar_ns / self.simd_ns
     }
 }
 
@@ -66,52 +80,63 @@ fn measure_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
 
 fn print_row(r: &Row) {
     println!(
-        "{:<28} {:>6} {:>5} {:>14.0} {:>14.0} {:>9.2}x",
+        "{:<28} {:>6} {:>5} {:>13.0} {:>13.0} {:>13.0} {:>8.2}x {:>8.2}x",
         r.kernel,
         r.n,
         r.ops,
         r.reference_ns,
-        r.optimized_ns,
+        r.scalar_ns,
+        r.simd_ns,
+        r.simd_speedup(),
         r.speedup()
     );
 }
 
-/// NTT rows for one ring size: forward and inverse, lazy vs strict.
+/// NTT rows for one ring size: forward and inverse, three tiers each.
 fn ntt_rows(n: usize, rows: &mut Vec<Row>) {
     let q = Modulus::new(ntt_primes(n as u64, 36, 1)[0]).expect("valid NTT prime");
     let table = NttTable::new(n, q);
     let mut rng = StdRng::seed_from_u64(n as u64);
     let base: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
 
-    // Bit-identity sanity: the lazy kernels produce canonical residues.
-    let mut lazy = base.clone();
+    // Bit-identity sanity: both lazy kernels produce canonical residues.
+    let mut simd = base.clone();
+    let mut scalar = base.clone();
     let mut strict = base.clone();
-    table.forward_lazy(&mut lazy);
+    table.forward_lazy(&mut simd);
+    table.forward_lazy_scalar(&mut scalar);
     table.forward_reference(&mut strict);
-    assert_eq!(lazy, strict, "forward_lazy diverged at n = {n}");
-    table.inverse_lazy(&mut lazy);
+    assert_eq!(simd, strict, "forward_lazy diverged at n = {n}");
+    assert_eq!(scalar, strict, "forward_lazy_scalar diverged at n = {n}");
+    table.inverse_lazy(&mut simd);
+    table.inverse_lazy_scalar(&mut scalar);
     table.inverse_reference(&mut strict);
-    assert_eq!(lazy, strict, "inverse_lazy diverged at n = {n}");
+    assert_eq!(simd, strict, "inverse_lazy diverged at n = {n}");
+    assert_eq!(scalar, strict, "inverse_lazy_scalar diverged at n = {n}");
 
     let iters = (1 << 21) / n; // ~2M butterflies' worth per timing loop
     let mut buf = base.clone();
     let reference_ns = measure_ns(iters, || table.forward_reference(&mut buf));
-    let optimized_ns = measure_ns(iters, || table.forward_lazy(&mut buf));
+    let scalar_ns = measure_ns(iters, || table.forward_lazy_scalar(&mut buf));
+    let simd_ns = measure_ns(iters, || table.forward_lazy(&mut buf));
     rows.push(Row {
         kernel: "ntt_forward",
         n,
         ops: 1,
         reference_ns,
-        optimized_ns,
+        scalar_ns,
+        simd_ns,
     });
     let reference_ns = measure_ns(iters, || table.inverse_reference(&mut buf));
-    let optimized_ns = measure_ns(iters, || table.inverse_lazy(&mut buf));
+    let scalar_ns = measure_ns(iters, || table.inverse_lazy_scalar(&mut buf));
+    let simd_ns = measure_ns(iters, || table.inverse_lazy(&mut buf));
     rows.push(Row {
         kernel: "ntt_inverse",
         n,
         ops: 1,
         reference_ns,
-        optimized_ns,
+        scalar_ns,
+        simd_ns,
     });
 }
 
@@ -120,11 +145,12 @@ fn main() {
     // scheduling wins (BENCH_parallel.json covers the latter).
     heap_parallel::set_global_threads(1);
     let host_cores = heap_parallel::available_threads();
-    println!("kernel_sweep: single-threaded, host cores = {host_cores}");
+    let backend = heap_math::simd::active().name();
+    println!("kernel_sweep: single-threaded, host cores = {host_cores}, simd backend = {backend}");
     println!();
     println!(
-        "{:<28} {:>6} {:>5} {:>14} {:>14} {:>10}",
-        "kernel", "n", "ops", "reference ns", "optimized ns", "speedup"
+        "{:<28} {:>6} {:>5} {:>13} {:>13} {:>13} {:>9} {:>9}",
+        "kernel", "n", "ops", "reference ns", "scalar ns", "simd ns", "simd x", "total x"
     );
 
     let mut rows = Vec::new();
@@ -141,7 +167,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2024);
     let ring_sk = RingSecretKey::generate(&ctx, limbs, &mut rng);
 
-    // External product row.
+    // External product row: strict oracle vs u128-MAC scalar path vs the
+    // Shoup-precomputed (PreparedRgsw) SIMD path.
     let msg: Vec<i64> = (0..n).map(|i| ((i % 97) as i64) - 48).collect();
     let ct = RlweCiphertext::encrypt(
         &ctx,
@@ -150,10 +177,16 @@ fn main() {
         &mut rng,
     );
     let rgsw = RgswCiphertext::encrypt_scalar(&ctx, &ring_sk, 1, limbs, &params, &mut rng);
+    let prep = PreparedRgsw::new(&rgsw, &ctx);
     let mut scratch = ExternalProductScratch::default();
     let mut out = RlweCiphertext::zero(&ctx, limbs);
-    external_product_into(&ct, &rgsw, &ctx, &params, &mut scratch, &mut out);
+    external_product_prepared_into(&ct, &rgsw, &prep, &ctx, &params, &mut scratch, &mut out);
     let oracle = external_product_reference(&ct, &rgsw, &ctx, &params);
+    assert!(
+        out.a == oracle.a && out.b == oracle.b,
+        "prepared external product diverged"
+    );
+    external_product_into(&ct, &rgsw, &ctx, &params, &mut scratch, &mut out);
     assert!(
         out.a == oracle.a && out.b == oracle.b,
         "lazy external product diverged"
@@ -161,19 +194,26 @@ fn main() {
     let reference_ns = measure_ns(2, || {
         std::hint::black_box(external_product_reference(&ct, &rgsw, &ctx, &params));
     });
-    let optimized_ns = measure_ns(2, || {
+    heap_math::simd::force_scalar(true);
+    let scalar_ns = measure_ns(2, || {
         external_product_into(&ct, &rgsw, &ctx, &params, &mut scratch, &mut out);
     });
-    let r = Row {
+    heap_math::simd::force_scalar(false);
+    let simd_ns = measure_ns(2, || {
+        external_product_prepared_into(&ct, &rgsw, &prep, &ctx, &params, &mut scratch, &mut out);
+    });
+    rows.push(Row {
         kernel: "external_product",
         n,
         ops: 1,
         reference_ns,
-        optimized_ns,
-    };
-    rows.push(r);
+        scalar_ns,
+        simd_ns,
+    });
 
-    // Blind-rotate rows: 8 mask elements, batch of 4 LWEs.
+    // Blind-rotate rows: 8 mask elements, batch of 4 LWEs. SIMD toggled
+    // around the whole rotation, so the scalar tier runs the scalar lazy
+    // NTT + u128 MAC end to end.
     let n_t = 8;
     let batch = 4;
     let lwe_sk = LweSecretKey::generate(&mut rng, n_t);
@@ -197,7 +237,12 @@ fn main() {
     let reference_ns = measure_ns(1, || {
         std::hint::black_box(brk.blind_rotate_reference(&ctx, &f, &lwes[0]));
     });
-    let optimized_ns = measure_ns(1, || {
+    heap_math::simd::force_scalar(true);
+    let scalar_ns = measure_ns(1, || {
+        std::hint::black_box(brk.blind_rotate(&ctx, &f, &lwes[0]));
+    });
+    heap_math::simd::force_scalar(false);
+    let simd_ns = measure_ns(1, || {
         std::hint::black_box(brk.blind_rotate(&ctx, &f, &lwes[0]));
     });
     rows.push(Row {
@@ -205,7 +250,8 @@ fn main() {
         n,
         ops: 1,
         reference_ns,
-        optimized_ns,
+        scalar_ns,
+        simd_ns,
     });
 
     let (opt_batch, _) = brk.blind_rotate_batch_key_major(&ctx, &f, &lwes);
@@ -218,7 +264,12 @@ fn main() {
             std::hint::black_box(brk.blind_rotate_reference(&ctx, &f, lwe));
         }
     });
-    let optimized_ns = measure_ns(1, || {
+    heap_math::simd::force_scalar(true);
+    let scalar_ns = measure_ns(1, || {
+        std::hint::black_box(brk.blind_rotate_batch_key_major(&ctx, &f, &lwes));
+    });
+    heap_math::simd::force_scalar(false);
+    let simd_ns = measure_ns(1, || {
         std::hint::black_box(brk.blind_rotate_batch_key_major(&ctx, &f, &lwes));
     });
     rows.push(Row {
@@ -226,7 +277,8 @@ fn main() {
         n,
         ops: batch,
         reference_ns,
-        optimized_ns,
+        scalar_ns,
+        simd_ns,
     });
 
     for r in &rows {
@@ -238,24 +290,29 @@ fn main() {
         .map(|r| {
             format!(
                 "    {{\"kernel\": \"{}\", \"n\": {}, \"ops\": {}, \"reference_ns\": {:.0}, \
-                 \"optimized_ns\": {:.0}, \"speedup\": {:.3}}}",
+                 \"scalar_ns\": {:.0}, \"simd_ns\": {:.0}, \"simd_speedup\": {:.3}, \
+                 \"speedup\": {:.3}}}",
                 r.kernel,
                 r.n,
                 r.ops,
                 r.reference_ns,
-                r.optimized_ns,
+                r.scalar_ns,
+                r.simd_ns,
+                r.simd_speedup(),
                 r.speedup()
             )
         })
         .collect();
     let json = format!(
         "{{\n  \"host_cores\": {host_cores},\n  \"threads\": 1,\n  \
+         \"simd_backend\": \"{backend}\",\n  \
          \"note\": \"ns per call (best of 3, single thread); reference = strict seed \
-         kernels retained as oracles (forward/inverse_reference, \
-         external_product_reference, blind_rotate_reference), optimized = lazy-reduction \
-         NTT + u128-MAC external product + restructured CMux; every pair asserted \
-         bit-identical before timing; blind-rotate rows use 8 mask elements, batch row \
-         rotates 4 LWEs per call\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+         kernels retained as oracles, scalar = Harvey lazy scalar kernels (u128-MAC \
+         external product, SIMD force-disabled), simd = dispatching kernels on the \
+         listed backend (Shoup-precomputed u64 FMA external product); every tier \
+         asserted bit-identical before timing; blind-rotate rows use 8 mask elements, \
+         batch row rotates 4 LWEs per call; simd_speedup = scalar/simd, speedup = \
+         reference/simd\",\n  \"rows\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");

@@ -51,6 +51,7 @@ pub fn reseed_cks(ksk: &mut KeySwitchKey, ctx: &CkksContext, sk: &SecretKey, see
             poly::add_assign(&mut comp.b[j], &prod, m);
             a_j.copy_from_slice(&fresh);
         }
+        comp.rebuild_shoup(ctx.rns());
     }
 }
 
@@ -150,7 +151,7 @@ pub fn cks_from_wire(buf: &[u8], ctx: &CkksContext) -> Result<KeySwitchKey, Wire
             a.push(aj);
             b.push(bj);
         }
-        out.push(KsComponent { a, b });
+        out.push(KsComponent::new(a, b, ctx.rns()));
     }
     Ok(KeySwitchKey { comps: out })
 }

@@ -26,6 +26,21 @@ fn ext_basis_par(n: usize, positions: usize) -> Parallelism {
     }
 }
 
+/// Whether the Shoup-precomputed u64 MAC datapath may replace the `u128`
+/// lazy accumulators: a vector backend must be active (scalar Shoup is
+/// slower than the single-multiply `u128` MAC) and all `l` lazy terms
+/// (each `< 2q`) must fit a `u64` accumulator at every chain modulus,
+/// special prime included.
+fn shoup_ks_ok(ctx: &CkksContext, l: usize) -> bool {
+    if heap_math::simd::active() == heap_math::simd::Backend::Scalar {
+        return false;
+    }
+    let rns = ctx.rns();
+    (0..l)
+        .chain(std::iter::once(ctx.special_idx()))
+        .all(|j| l as u64 <= rns.ntt(j).shoup_mac_term_limit())
+}
+
 /// Switches `d·w` into a pair decryptable under `s`.
 ///
 /// `d` may be in either domain; the result is in evaluation domain with the
@@ -60,30 +75,56 @@ pub fn key_switch(ctx: &CkksContext, d: &RnsPoly, key: &KeySwitchKey) -> (RnsPol
     // accumulate *unreduced* in `u128` (lazy-reduction MAC datapath, HEAP
     // §IV-A; overflow bound documented on `pointwise_mac_lazy`) and are
     // Barrett-reduced once per coefficient before `ModDown`.
-    let mut accs: Vec<(Vec<u128>, Vec<u128>)> =
-        (0..=l).map(|_| (vec![0u128; n], vec![0u128; n])).collect();
-
     let chain_idx = |pos: usize| if pos == l { sp } else { pos };
 
-    par_each_mut(ext_basis_par(n, l + 1), &mut accs, |pos, (aa, ab)| {
-        let j = chain_idx(pos);
-        let m = rns.modulus(j);
-        let ntt = rns.ntt(j);
-        let mut spread = vec![0u64; n];
-        for i in 0..l {
-            let digits = d_coeff.limb(i); // residues < q_i
-                                          // ModUp: reinterpret the [0, q_i) representative mod q_j.
-            for (s, &c) in spread.iter_mut().zip(digits) {
-                *s = m.reduce_u64(c);
+    let (acc_a, acc_b) = if shoup_ks_ok(ctx, l) {
+        // Shoup-FMA datapath: each MAC term is produced already folded to
+        // [0, 2q) by the precomputed-quotient multiply, so the running sum
+        // fits a u64 (`shoup_ks_ok` checked the term bound) and a single
+        // word-sized Barrett fold per coefficient finishes the job. The
+        // reduced residues are canonical, so the result is bit-identical
+        // to the u128 path.
+        let mut accs: Vec<(Vec<u64>, Vec<u64>)> =
+            (0..=l).map(|_| (vec![0u64; n], vec![0u64; n])).collect();
+        par_each_mut(ext_basis_par(n, l + 1), &mut accs, |pos, (aa, ab)| {
+            let j = chain_idx(pos);
+            let m = rns.modulus(j);
+            let ntt = rns.ntt(j);
+            let mut spread = vec![0u64; n];
+            for i in 0..l {
+                let digits = d_coeff.limb(i); // residues < q_i
+                for (s, &c) in spread.iter_mut().zip(digits) {
+                    *s = m.reduce_u64(c);
+                }
+                ntt.forward(&mut spread);
+                let comp = &key.comps[i];
+                ntt.pointwise_mac_shoup(&spread, &comp.a[j], &comp.a_shoup[j], aa);
+                ntt.pointwise_mac_shoup(&spread, &comp.b[j], &comp.b_shoup[j], ab);
             }
-            ntt.forward(&mut spread);
-            let comp = &key.comps[i];
-            ntt.pointwise_mac_lazy(&spread, &comp.a[j], aa);
-            ntt.pointwise_mac_lazy(&spread, &comp.b[j], ab);
-        }
-    });
-
-    let (acc_a, acc_b) = reduce_ext_accs(ctx, accs, l);
+        });
+        reduce_ext_accs_u64(ctx, accs, l)
+    } else {
+        let mut accs: Vec<(Vec<u128>, Vec<u128>)> =
+            (0..=l).map(|_| (vec![0u128; n], vec![0u128; n])).collect();
+        par_each_mut(ext_basis_par(n, l + 1), &mut accs, |pos, (aa, ab)| {
+            let j = chain_idx(pos);
+            let m = rns.modulus(j);
+            let ntt = rns.ntt(j);
+            let mut spread = vec![0u64; n];
+            for i in 0..l {
+                let digits = d_coeff.limb(i); // residues < q_i
+                                              // ModUp: reinterpret the [0, q_i) representative mod q_j.
+                for (s, &c) in spread.iter_mut().zip(digits) {
+                    *s = m.reduce_u64(c);
+                }
+                ntt.forward(&mut spread);
+                let comp = &key.comps[i];
+                ntt.pointwise_mac_lazy(&spread, &comp.a[j], aa);
+                ntt.pointwise_mac_lazy(&spread, &comp.b[j], ab);
+            }
+        });
+        reduce_ext_accs(ctx, accs, l)
+    };
     let a = mod_down(ctx, acc_a, l);
     let b = mod_down(ctx, acc_b, l);
     (a, b)
@@ -109,6 +150,32 @@ fn reduce_ext_accs(
         let mut rb = vec![0u64; n];
         ntt.reduce_acc_into(aa, &mut ra);
         ntt.reduce_acc_into(ab, &mut rb);
+        acc_a.push(ra);
+        acc_b.push(rb);
+    }
+    (acc_a, acc_b)
+}
+
+/// `u64` twin of [`reduce_ext_accs`] for the Shoup datapath: accumulators
+/// hold sums of `[0, 2q)` lazy products, finished with one word-sized
+/// Barrett fold per coefficient.
+fn reduce_ext_accs_u64(
+    ctx: &CkksContext,
+    accs: Vec<(Vec<u64>, Vec<u64>)>,
+    l: usize,
+) -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
+    let rns = ctx.rns();
+    let sp = ctx.special_idx();
+    let n = ctx.n();
+    let mut acc_a = Vec::with_capacity(accs.len());
+    let mut acc_b = Vec::with_capacity(accs.len());
+    for (pos, (aa, ab)) in accs.iter().enumerate() {
+        let j = if pos == l { sp } else { pos };
+        let ntt = rns.ntt(j);
+        let mut ra = vec![0u64; n];
+        let mut rb = vec![0u64; n];
+        ntt.reduce_shoup_acc_into(aa, &mut ra);
+        ntt.reduce_shoup_acc_into(ab, &mut rb);
         acc_a.push(ra);
         acc_b.push(rb);
     }
@@ -171,6 +238,7 @@ pub fn apply_galois_hoisted(
     let mut c0_coeff = ct.c0().clone();
     c0_coeff.to_coeff(rns);
     let chain_idx = |pos: usize| if pos == l { sp } else { pos };
+    let use_shoup = shoup_ks_ok(ctx, l);
 
     exponents
         .iter()
@@ -187,24 +255,45 @@ pub fn apply_galois_hoisted(
             let digit_polys: Vec<Vec<u64>> = (0..l)
                 .map(|i| poly::automorphism(c1_coeff.limb(i), g, rns.modulus(i)))
                 .collect();
-            let mut accs: Vec<(Vec<u128>, Vec<u128>)> =
-                (0..=l).map(|_| (vec![0u128; n], vec![0u128; n])).collect();
-            par_each_mut(ext_basis_par(n, l + 1), &mut accs, |pos, (aa, ab)| {
-                let j = chain_idx(pos);
-                let m = rns.modulus(j);
-                let ntt = rns.ntt(j);
-                let mut spread = vec![0u64; n];
-                for (i, digits) in digit_polys.iter().enumerate() {
-                    for (s, &c) in spread.iter_mut().zip(digits) {
-                        *s = m.reduce_u64(c);
+            let (acc_a, acc_b) = if use_shoup {
+                let mut accs: Vec<(Vec<u64>, Vec<u64>)> =
+                    (0..=l).map(|_| (vec![0u64; n], vec![0u64; n])).collect();
+                par_each_mut(ext_basis_par(n, l + 1), &mut accs, |pos, (aa, ab)| {
+                    let j = chain_idx(pos);
+                    let m = rns.modulus(j);
+                    let ntt = rns.ntt(j);
+                    let mut spread = vec![0u64; n];
+                    for (i, digits) in digit_polys.iter().enumerate() {
+                        for (s, &c) in spread.iter_mut().zip(digits) {
+                            *s = m.reduce_u64(c);
+                        }
+                        ntt.forward(&mut spread);
+                        let comp = &key.comps[i];
+                        ntt.pointwise_mac_shoup(&spread, &comp.a[j], &comp.a_shoup[j], aa);
+                        ntt.pointwise_mac_shoup(&spread, &comp.b[j], &comp.b_shoup[j], ab);
                     }
-                    ntt.forward(&mut spread);
-                    let comp = &key.comps[i];
-                    ntt.pointwise_mac_lazy(&spread, &comp.a[j], aa);
-                    ntt.pointwise_mac_lazy(&spread, &comp.b[j], ab);
-                }
-            });
-            let (acc_a, acc_b) = reduce_ext_accs(ctx, accs, l);
+                });
+                reduce_ext_accs_u64(ctx, accs, l)
+            } else {
+                let mut accs: Vec<(Vec<u128>, Vec<u128>)> =
+                    (0..=l).map(|_| (vec![0u128; n], vec![0u128; n])).collect();
+                par_each_mut(ext_basis_par(n, l + 1), &mut accs, |pos, (aa, ab)| {
+                    let j = chain_idx(pos);
+                    let m = rns.modulus(j);
+                    let ntt = rns.ntt(j);
+                    let mut spread = vec![0u64; n];
+                    for (i, digits) in digit_polys.iter().enumerate() {
+                        for (s, &c) in spread.iter_mut().zip(digits) {
+                            *s = m.reduce_u64(c);
+                        }
+                        ntt.forward(&mut spread);
+                        let comp = &key.comps[i];
+                        ntt.pointwise_mac_lazy(&spread, &comp.a[j], aa);
+                        ntt.pointwise_mac_lazy(&spread, &comp.b[j], ab);
+                    }
+                });
+                reduce_ext_accs(ctx, accs, l)
+            };
             let ka = mod_down(ctx, acc_a, l);
             let kb = mod_down(ctx, acc_b, l);
             let mut out_b = c0_coeff.automorphism(g, rns);

@@ -34,8 +34,7 @@ fn fnv1a(polys: &[&RnsPoly]) -> u64 {
     h
 }
 
-#[test]
-fn fixed_seed_bootstrap_digest_is_pinned() {
+fn bootstrap_digest() -> u64 {
     let ctx = CkksContext::new(CkksParams::test_tiny());
     let mut rng = StdRng::seed_from_u64(0xD16E57);
     let sk = SecretKey::generate(&ctx, &mut rng);
@@ -47,10 +46,41 @@ fn fixed_seed_bootstrap_digest_is_pinned() {
     let ct = ctx.encrypt_coeffs_sk(&coeffs, delta, 1, &sk, &mut rng);
 
     let out = boot.bootstrap(&ctx, &ct);
-    let digest = fnv1a(&[out.c0(), out.c1()]);
+    fnv1a(&[out.c0(), out.c1()])
+}
+
+const PINNED_DIGEST: u64 = 0xee06_81da_6947_5b7c;
+
+#[test]
+fn fixed_seed_bootstrap_digest_is_pinned() {
+    let digest = bootstrap_digest();
     assert_eq!(
-        digest, 0xee06_81da_6947_5b7c,
+        digest, PINNED_DIGEST,
         "bootstrap output digest changed: got {digest:#018x} — the kernel \
          datapath is no longer bit-identical to the pinned reference run"
+    );
+}
+
+/// The same pinned digest with SIMD force-disabled: the scalar fallback
+/// kernels must produce the identical bootstrap bit-for-bit, so the pin
+/// holds on every host regardless of which backend dispatches. Restores
+/// native dispatch on exit (safe either way — the paths are bit-identical,
+/// so a concurrently running digest test sees the same result).
+#[test]
+fn fixed_seed_bootstrap_digest_is_pinned_forced_scalar() {
+    struct RestoreSimd;
+    impl Drop for RestoreSimd {
+        fn drop(&mut self) {
+            heap_math::simd::force_scalar(false);
+        }
+    }
+    let _restore = RestoreSimd;
+    heap_math::simd::force_scalar(true);
+    assert_eq!(heap_math::simd::active(), heap_math::simd::Backend::Scalar);
+    let digest = bootstrap_digest();
+    assert_eq!(
+        digest, PINNED_DIGEST,
+        "forced-scalar bootstrap digest changed: got {digest:#018x} — the \
+         scalar fallback diverged from the pinned reference run"
     );
 }

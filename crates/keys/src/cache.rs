@@ -121,7 +121,11 @@ impl<V> KeyCache<V> {
     pub fn insert(&mut self, id: KeyId, value: V, bytes: usize) {
         self.clock += 1;
         if let Some(pos) = self.entries.iter().position(|e| e.id == id) {
+            // The displaced entry leaves residency, so it must count as an
+            // eviction — otherwise `inserts - evictions` drifts away from
+            // the resident-keys gauge on every replace.
             self.entries.remove(pos);
+            self.evictions.inc();
         }
         self.entries.push(Entry {
             id,
@@ -246,5 +250,37 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert_eq!(c.resident(), 120);
         assert_eq!(c.peek(KeyId(1)), Some(&2));
+        // The displaced first copy counts as an eviction.
+        assert_eq!(snapshot_counter(&c, "heap_keycache_evictions_total"), 1);
+        assert_eq!(snapshot_counter(&c, "heap_keycache_inserts_total"), 2);
+    }
+
+    /// `inserts - evictions == resident_keys` must hold through any mix of
+    /// replaces and budget evictions (the ledger a dashboard reconciles).
+    #[test]
+    fn insert_eviction_ledger_matches_residency() {
+        let mut c = KeyCache::new(250);
+        let check = |c: &KeyCache<u32>| {
+            let inserts = snapshot_counter(c, "heap_keycache_inserts_total");
+            let evictions = snapshot_counter(c, "heap_keycache_evictions_total");
+            assert_eq!(
+                inserts - evictions,
+                c.len() as u64,
+                "ledger drift: {inserts} inserts, {evictions} evictions, {} resident",
+                c.len()
+            );
+        };
+        c.insert(KeyId(1), 1, 100);
+        check(&c);
+        c.insert(KeyId(2), 2, 100);
+        check(&c);
+        c.insert(KeyId(1), 10, 100); // replace
+        check(&c);
+        c.insert(KeyId(3), 3, 100); // budget eviction
+        check(&c);
+        c.insert(KeyId(3), 30, 240); // replace that also forces evictions
+        check(&c);
+        c.insert(KeyId(4), 4, 400); // oversized: evicts everything else
+        check(&c);
     }
 }

@@ -165,11 +165,34 @@ impl Gadget {
     /// produces them, with no per-coefficient temporary and no transpose
     /// pass.
     ///
+    /// Dispatches to the active SIMD backend ([`crate::simd`]) when one
+    /// applies, falling back to [`Self::decompose_slice_signed_into_scalar`];
+    /// the two paths are bit-identical.
+    ///
     /// # Panics
     ///
     /// Panics if `out.len() != self.digits()` or any `out[k].len()`
     /// differs from `coeffs.len()`.
     pub fn decompose_slice_signed_into(&self, coeffs: &[u64], out: &mut [Vec<i64>]) {
+        assert_eq!(out.len(), self.digits);
+        for row in out.iter() {
+            assert_eq!(row.len(), coeffs.len());
+        }
+        if crate::simd::try_decompose_signed(coeffs, self.modulus.value(), self.base_bits, out) {
+            return;
+        }
+        self.decompose_slice_signed_into_scalar(coeffs, out);
+    }
+
+    /// The scalar digit-chain kernel behind
+    /// [`Self::decompose_slice_signed_into`]. Public so parity suites can
+    /// pin the SIMD path against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.digits()` or any `out[k].len()`
+    /// differs from `coeffs.len()`.
+    pub fn decompose_slice_signed_into_scalar(&self, coeffs: &[u64], out: &mut [Vec<i64>]) {
         assert_eq!(out.len(), self.digits);
         for row in out.iter() {
             assert_eq!(row.len(), coeffs.len());

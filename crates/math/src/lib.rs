@@ -40,9 +40,10 @@ pub mod poly;
 pub mod prime;
 pub mod rns;
 pub mod sample;
+pub mod simd;
 pub mod wire;
 
-pub use arith::Modulus;
+pub use arith::{Modulus, ShoupPoly};
 pub use bigint::BigUint;
 pub use gadget::Gadget;
 pub use ntt::{ntt_forward_histogram, ntt_inverse_histogram, NttTable};

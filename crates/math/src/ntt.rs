@@ -24,7 +24,7 @@ use std::sync::{Arc, LazyLock};
 
 use heap_telemetry::Histogram;
 
-use crate::arith::{Modulus, ShoupMul};
+use crate::arith::{Modulus, ShoupMul, ShoupPoly};
 use crate::prime::primitive_root;
 
 /// Process-wide latency histogram for hot-path forward NTT calls (one
@@ -94,6 +94,15 @@ pub struct NttTable {
     psi_br: Vec<ShoupMul>,
     /// psi^{-brv(i)} in Shoup form.
     ipsi_br: Vec<ShoupMul>,
+    /// `psi_br` operands in structure-of-arrays form for the SIMD kernels
+    /// (contiguous twiddle loads in the t = 1 / t = 2 stages).
+    psi_ops: Vec<u64>,
+    /// `psi_br` Shoup quotients, same indexing.
+    psi_quots: Vec<u64>,
+    /// `ipsi_br` operands.
+    ipsi_ops: Vec<u64>,
+    /// `ipsi_br` Shoup quotients.
+    ipsi_quots: Vec<u64>,
     /// N^{-1} mod q in Shoup form.
     n_inv: ShoupMul,
     /// Raw primitive 2N-th root (for on-the-fly generation).
@@ -138,12 +147,20 @@ impl NttTable {
             ipsi_br.push(ShoupMul::new(ipow[j], &modulus));
         }
         let n_inv = ShoupMul::new(modulus.inv(n as u64).expect("n < q"), &modulus);
+        let psi_ops = psi_br.iter().map(|s| s.operand).collect();
+        let psi_quots = psi_br.iter().map(|s| s.quotient).collect();
+        let ipsi_ops = ipsi_br.iter().map(|s| s.operand).collect();
+        let ipsi_quots = ipsi_br.iter().map(|s| s.quotient).collect();
         Self {
             n,
             log_n,
             modulus,
             psi_br,
             ipsi_br,
+            psi_ops,
+            psi_quots,
+            ipsi_ops,
+            ipsi_quots,
             n_inv,
             psi,
             psi_inv,
@@ -283,10 +300,30 @@ impl NttTable {
     /// q)` with two conditional subtractions, so outputs are canonical —
     /// bit-identical to [`Self::forward_reference`].
     ///
+    /// Dispatches to the active SIMD backend (AVX2/NEON, see
+    /// [`crate::simd`]) when the ring and modulus qualify; the scalar
+    /// kernel [`Self::forward_lazy_scalar`] is the always-available
+    /// fallback and the two paths are bit-identical.
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.n()`.
     pub fn forward_lazy(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        if crate::simd::try_ntt_forward(a, &self.psi_ops, &self.psi_quots, self.modulus.value()) {
+            return;
+        }
+        self.forward_lazy_scalar(a);
+    }
+
+    /// The scalar lazy forward kernel (see [`Self::forward_lazy`] for the
+    /// operand-bound invariants). Public so parity suites and benches can
+    /// pin the SIMD path against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward_lazy_scalar(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "length mismatch");
         let q = self.modulus.value();
         let two_q = 2 * q;
@@ -332,10 +369,36 @@ impl NttTable {
     /// pass uses the lazy Shoup product plus one correction, so outputs
     /// are canonical — bit-identical to [`Self::inverse_reference`].
     ///
+    /// Dispatches to the active SIMD backend when the ring and modulus
+    /// qualify, falling back to [`Self::inverse_lazy_scalar`]; the two
+    /// paths are bit-identical.
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.n()`.
     pub fn inverse_lazy(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        if crate::simd::try_ntt_inverse(
+            a,
+            &self.ipsi_ops,
+            &self.ipsi_quots,
+            self.modulus.value(),
+            self.n_inv.operand,
+            self.n_inv.quotient,
+        ) {
+            return;
+        }
+        self.inverse_lazy_scalar(a);
+    }
+
+    /// The scalar lazy inverse kernel (see [`Self::inverse_lazy`] for the
+    /// operand-bound invariants). Public so parity suites and benches can
+    /// pin the SIMD path against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse_lazy_scalar(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "length mismatch");
         let q = self.modulus.value();
         let two_q = 2 * q;
@@ -475,6 +538,79 @@ impl NttTable {
         assert!(acc.len() == self.n && out.len() == self.n);
         for (o, &a) in out.iter_mut().zip(acc.iter()) {
             *o = self.modulus.reduce_u128(a);
+        }
+    }
+
+    /// Maximum number of lazy Shoup terms (each `< 2q`) a `u64` accumulator
+    /// can absorb without overflowing: `floor(u64::MAX / (2q - 1))`.
+    ///
+    /// Callers of [`Self::pointwise_mac_shoup`] must keep their term count
+    /// at or below this and fall back to the `u128` path
+    /// ([`Self::pointwise_mac_lazy`]) otherwise — e.g. 60-bit limbs exceed
+    /// the bound after 7 terms, while the 36-bit production limbs allow
+    /// ~2^27 terms.
+    #[inline]
+    pub fn shoup_mac_term_limit(&self) -> u64 {
+        u64::MAX / (2 * self.modulus.value() - 1)
+    }
+
+    /// Shoup pointwise multiply-accumulate into `u64` accumulators:
+    /// `acc[i] += ops[i] * x[i]` as a lazy Shoup product in `[0, 2q)` with
+    /// **no per-term reduction** — the `ShoupMatrixFMA` key-switching inner
+    /// loop. `ops` is the raw (canonical) key row and `shoup` its
+    /// precomputed quotients ([`ShoupPoly`]); `x` may be any residues
+    /// (including lazy `[0, 2q)` values).
+    ///
+    /// Each term is `< 2q`, so the caller must bound the number of
+    /// accumulated terms by [`Self::shoup_mac_term_limit`]; reduce once at
+    /// the end with [`Self::reduce_shoup_acc_into`]. Dispatches to the
+    /// active SIMD backend, falling back to an identical scalar loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from `self.n()`.
+    pub fn pointwise_mac_shoup(&self, x: &[u64], ops: &[u64], shoup: &ShoupPoly, acc: &mut [u64]) {
+        assert!(
+            x.len() == self.n && ops.len() == self.n && shoup.len() == self.n,
+            "length mismatch"
+        );
+        assert_eq!(acc.len(), self.n, "length mismatch");
+        let q = self.modulus.value();
+        let quots = shoup.quotients();
+        if crate::simd::try_mac_shoup(x, ops, quots, q, acc) {
+            return;
+        }
+        for i in 0..self.n {
+            acc[i] += crate::simd::mul_lazy_scalar(x[i], ops[i], quots[i], q);
+        }
+    }
+
+    /// Reduces `u64` lazy accumulators (built by
+    /// [`Self::pointwise_mac_shoup`]) to canonical residues in `out`.
+    ///
+    /// The SIMD path uses a single-word Barrett step (`x - mulhi(x,
+    /// floor(2^64/q))*q` lands in `[0, 2q)`, one conditional subtract
+    /// canonicalizes); the scalar fallback divides. Both are exact, so the
+    /// results are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from `self.n()`.
+    pub fn reduce_shoup_acc_into(&self, acc: &[u64], out: &mut [u64]) {
+        assert!(
+            acc.len() == self.n && out.len() == self.n,
+            "length mismatch"
+        );
+        if crate::simd::try_reduce_barrett(
+            acc,
+            out,
+            self.modulus.value(),
+            self.modulus.barrett_single_word(),
+        ) {
+            return;
+        }
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            *o = self.modulus.reduce_u64(a);
         }
     }
 }

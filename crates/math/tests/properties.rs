@@ -294,6 +294,168 @@ proptest! {
     }
 }
 
+/// SIMD/scalar parity: the dispatching kernels must be bit-identical to
+/// the always-available scalar kernels for every qualifying modulus class
+/// and the full lazy operand range — `[0, 4q)` into the forward NTT,
+/// `[0, 2q)` into the inverse. On hosts without a vector unit the
+/// dispatchers fall back to the scalar kernels and these hold trivially.
+mod simd_parity {
+    use super::*;
+    use heap_math::ShoupPoly;
+
+    /// A 60-bit NTT prime valid for every ring size used below
+    /// (`q ≡ 1 mod 512`).
+    fn q60v() -> u64 {
+        ntt_primes(256, 60, 1)[0]
+    }
+
+    fn q60() -> Modulus {
+        Modulus::new(q60v()).unwrap()
+    }
+
+    /// Deterministic edge vector for modulus `q`: operand-bound corners
+    /// (`0`, `q-1`, `2q-1`, `2q`, `4q-1`, `q/2` boundaries) padded to `n`.
+    fn edge_vector(qv: u64, bound: u64, n: usize) -> Vec<u64> {
+        let edges = [
+            0,
+            1,
+            qv / 2,
+            qv / 2 + 1,
+            qv - 1,
+            qv,
+            2 * qv - 1,
+            2 * qv,
+            4 * qv - 1,
+        ];
+        (0..n).map(|i| edges[i % edges.len()] % bound).collect()
+    }
+
+    fn assert_forward_parity(m: Modulus, mut input: Vec<u64>) {
+        let t = NttTable::new(input.len(), m);
+        let mut scalar = input.clone();
+        t.forward_lazy(&mut input);
+        t.forward_lazy_scalar(&mut scalar);
+        assert_eq!(input, scalar);
+    }
+
+    fn assert_inverse_parity(m: Modulus, mut input: Vec<u64>) {
+        let t = NttTable::new(input.len(), m);
+        let mut scalar = input.clone();
+        t.inverse_lazy(&mut input);
+        t.inverse_lazy_scalar(&mut scalar);
+        assert_eq!(input, scalar);
+    }
+
+    #[test]
+    fn ntt_parity_at_operand_bound_edges() {
+        for n in [8usize, 64, 256] {
+            assert_forward_parity(q(), edge_vector(Q36, 4 * Q36, n));
+            assert_inverse_parity(q(), edge_vector(Q36, 2 * Q36, n));
+            assert_forward_parity(q60(), edge_vector(q60v(), 4 * q60v(), n));
+            assert_inverse_parity(q60(), edge_vector(q60v(), 2 * q60v(), n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn forward_parity_36bit_lazy_range(coeffs in prop::collection::vec(0..4 * Q36, 64)) {
+            assert_forward_parity(q(), coeffs);
+        }
+
+        #[test]
+        fn inverse_parity_36bit_lazy_range(coeffs in prop::collection::vec(0..2 * Q36, 64)) {
+            assert_inverse_parity(q(), coeffs);
+        }
+
+        #[test]
+        fn forward_parity_60bit_lazy_range(raw in prop::collection::vec(any::<u64>(), 32)) {
+            let coeffs: Vec<u64> = raw.iter().map(|&c| c % (4 * q60v())).collect();
+            assert_forward_parity(q60(), coeffs);
+        }
+
+        #[test]
+        fn inverse_parity_60bit_lazy_range(raw in prop::collection::vec(any::<u64>(), 32)) {
+            let coeffs: Vec<u64> = raw.iter().map(|&c| c % (2 * q60v())).collect();
+            assert_inverse_parity(q60(), coeffs);
+        }
+
+        /// `ShoupMul::new` reduces its operand, so precomputing from *any*
+        /// `u64` must agree with Barrett multiplication by the reduced
+        /// residue — at both supported modulus widths.
+        #[test]
+        fn shoup_precompute_from_any_u64(op in any::<u64>(), b36 in 0..Q36, b60 in 0..q60v()) {
+            let m = q();
+            prop_assert_eq!(ShoupMul::new(op, &m).mul(b36, &m), m.mul(m.reduce_u64(op), b36));
+            let m = q60();
+            prop_assert_eq!(ShoupMul::new(op, &m).mul(b60, &m), m.mul(m.reduce_u64(op), b60));
+        }
+
+        /// The Shoup u64 MAC + single-word Barrett reduction must land on
+        /// the same canonical residues as the u128 lazy MAC it replaces,
+        /// including lazy `[0, 2q)` inputs.
+        #[test]
+        fn mac_shoup_matches_u128_mac(
+            x1 in prop::collection::vec(0..2 * Q36, 32),
+            x2 in prop::collection::vec(0..2 * Q36, 32),
+            ops1 in prop::collection::vec(0..Q36, 32),
+            ops2 in prop::collection::vec(0..Q36, 32),
+        ) {
+            let t = NttTable::new(32, q());
+            prop_assert!(t.shoup_mac_term_limit() >= 2);
+            let s1 = ShoupPoly::new(&ops1, &q());
+            let s2 = ShoupPoly::new(&ops2, &q());
+            let mut acc64 = vec![0u64; 32];
+            t.pointwise_mac_shoup(&x1, &ops1, &s1, &mut acc64);
+            t.pointwise_mac_shoup(&x2, &ops2, &s2, &mut acc64);
+            let mut acc128 = vec![0u128; 32];
+            t.pointwise_mac_lazy(&x1, &ops1, &mut acc128);
+            t.pointwise_mac_lazy(&x2, &ops2, &mut acc128);
+            let mut got = vec![0u64; 32];
+            let mut want = vec![0u64; 32];
+            t.reduce_shoup_acc_into(&acc64, &mut got);
+            t.reduce_acc_into(&acc128, &mut want);
+            prop_assert_eq!(got, want);
+        }
+
+        /// Signed gadget decomposition: SIMD dispatch vs scalar kernel over
+        /// canonical residues (the `q/2` sign boundary is exercised by the
+        /// deterministic edge test above).
+        #[test]
+        fn decompose_signed_parity(coeffs in prop::collection::vec(0..Q36, 32)) {
+            let g = Gadget::new(13, 3, q());
+            let mut simd_out = vec![vec![0i64; 32]; 3];
+            let mut scalar_out = vec![vec![0i64; 32]; 3];
+            g.decompose_slice_signed_into(&coeffs, &mut simd_out);
+            g.decompose_slice_signed_into_scalar(&coeffs, &mut scalar_out);
+            prop_assert_eq!(simd_out, scalar_out);
+        }
+
+        /// Signed-lift parity: the branchless SIMD lift (gadget digits,
+        /// `|c| < q`) and its out-of-range scalar fallback must both land on
+        /// the canonical `rem_euclid` residue for *any* `i64`, at both
+        /// supported modulus widths. Odd lengths exercise the vector tail.
+        #[test]
+        fn from_signed_parity_any_i64(
+            small in prop::collection::vec(-(Q36 as i64 - 1)..Q36 as i64, 37),
+            wild_bits in prop::collection::vec(any::<u64>(), 37),
+        ) {
+            let wild: Vec<i64> = wild_bits.iter().map(|&b| b as i64).collect();
+            for qv in [Q36, q60v()] {
+                let m = Modulus::new(qv).unwrap();
+                for src in [&small, &wild] {
+                    let mut out = vec![0u64; src.len()];
+                    poly::from_signed_into(src, &m, &mut out);
+                    for (&o, &c) in out.iter().zip(src.iter()) {
+                        prop_assert_eq!(o, c.rem_euclid(qv as i64) as u64);
+                    }
+                }
+            }
+        }
+    }
+}
+
 mod wire_props {
     use heap_math::wire::{pack_bits, packed_size, unpack_bits};
     use proptest::prelude::*;

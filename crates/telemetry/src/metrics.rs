@@ -106,7 +106,20 @@ impl Histogram {
     pub fn record(&self, value: u64) {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
+        // The running sum saturates rather than wrapping: `record_duration`
+        // already clamps each sample to `u64::MAX`, and a wrapped total
+        // would report a tiny mean after ~2^64 ns of accumulated latency.
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(value);
+            match self
+                .sum
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
     /// Records a duration in nanoseconds (saturating at `u64::MAX`).
@@ -558,6 +571,21 @@ mod tests {
         g.set(7);
         g.add(-3);
         assert_eq!(g.get(), 4);
+    }
+
+    /// Two near-MAX samples: the sum must pin at `u64::MAX`, not wrap to a
+    /// small value that would make the mean nonsensical.
+    #[test]
+    fn histogram_sum_saturates_instead_of_wrapping() {
+        let h = Histogram::default();
+        h.record(u64::MAX - 1);
+        h.record(u64::MAX - 1);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, u64::MAX);
+        // Further samples keep it pinned.
+        h.record(12345);
+        assert_eq!(h.snapshot().sum, u64::MAX);
     }
 
     #[test]

@@ -37,8 +37,8 @@ use heap_math::{poly, Domain, RnsContext, RnsPoly};
 
 use crate::lwe::{LweCiphertext, LweSecretKey};
 use crate::rgsw::{
-    external_product_pair_into, external_product_reference, ExternalProductScratch, RgswCiphertext,
-    RgswParams,
+    external_product_pair_prepared_into, external_product_reference, ExternalProductScratch,
+    PreparedRgsw, RgswCiphertext, RgswParams,
 };
 use crate::rlwe::{RingSecretKey, RlweCiphertext};
 
@@ -186,6 +186,14 @@ pub struct BlindRotateKey {
     params: RgswParams,
     limbs: usize,
     monomials: MonomialEvals,
+    /// Shoup quotients for every `pos` row limb, precomputed at key
+    /// construction (the `ShoupMatrixFMA` idiom) so the CMux external
+    /// products run the vectorized `u64`-accumulator datapath. Kept at the
+    /// key level (not inside [`RgswCiphertext`]) because the reseed
+    /// transform mutates rows in place and rebuilds these afterwards.
+    prepared_pos: Vec<PreparedRgsw>,
+    /// Shoup quotients for every `neg` row limb.
+    prepared_neg: Vec<PreparedRgsw>,
 }
 
 impl BlindRotateKey {
@@ -215,17 +223,13 @@ impl BlindRotateKey {
                 RgswCiphertext::encrypt_scalar(ctx, ring_sk, bit, limbs, &params, rng)
             })
             .collect();
-        Self {
-            pos,
-            neg,
-            params,
-            limbs,
-            monomials: MonomialEvals::new(ctx, limbs),
-        }
+        Self::from_parts(ctx, pos, neg, params, limbs)
     }
 
     /// Rebuilds a key from decoded RGSW ladders (wire decoding); the
-    /// monomial tables are pure functions of the basis and are rebuilt.
+    /// monomial tables are pure functions of the basis and are rebuilt,
+    /// and the Shoup precomputes are derived from the decoded rows — so
+    /// node-side expansion of wire keys gets the prepared form for free.
     pub(crate) fn from_parts(
         ctx: &RnsContext,
         pos: Vec<RgswCiphertext>,
@@ -233,13 +237,26 @@ impl BlindRotateKey {
         params: RgswParams,
         limbs: usize,
     ) -> Self {
+        let prepared_pos = pos.iter().map(|r| PreparedRgsw::new(r, ctx)).collect();
+        let prepared_neg = neg.iter().map(|r| PreparedRgsw::new(r, ctx)).collect();
         Self {
             pos,
             neg,
             params,
             limbs,
             monomials: MonomialEvals::new(ctx, limbs),
+            prepared_pos,
+            prepared_neg,
         }
+    }
+
+    /// Rebuilds the Shoup precomputes from the current rows. Must be called
+    /// after any in-place mutation of the RGSW ladders (the wire reseed
+    /// transform) — quotients are only valid for the exact operand values
+    /// they were derived from.
+    pub(crate) fn rebuild_prepared(&mut self, ctx: &RnsContext) {
+        self.prepared_pos = self.pos.iter().map(|r| PreparedRgsw::new(r, ctx)).collect();
+        self.prepared_neg = self.neg.iter().map(|r| PreparedRgsw::new(r, ctx)).collect();
     }
 
     /// The positive-coefficient RGSW ladder (wire encoding).
@@ -402,11 +419,15 @@ impl BlindRotateKey {
         } = scratch;
         let ep_pos = ep_pos.get_or_insert_with(|| RlweCiphertext::zero(ctx, self.limbs));
         let ep_neg = ep_neg.get_or_insert_with(|| RlweCiphertext::zero(ctx, self.limbs));
-        // One shared decomposition of ACC feeds both products.
-        external_product_pair_into(
+        // One shared decomposition of ACC feeds both products; the
+        // precomputed Shoup quotients route them onto the vectorized
+        // u64-accumulator datapath when it applies.
+        external_product_pair_prepared_into(
             acc,
             &self.pos[i],
             &self.neg[i],
+            &self.prepared_pos[i],
+            &self.prepared_neg[i],
             ctx,
             &self.params,
             ep,

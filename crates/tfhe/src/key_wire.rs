@@ -271,6 +271,9 @@ pub fn reseed_brk(brk: &mut BlindRotateKey, ctx: &RnsContext, ring_sk: &RingSecr
             a_j.copy_from_slice(&fresh);
         }
     });
+    // The rows just changed under the key's Shoup precomputes; rebuild them
+    // so the prepared external-product path stays exact.
+    brk.rebuild_prepared(ctx);
 }
 
 /// Serializes a blind-rotate key (see [`ksk_to_wire`] for the

@@ -56,8 +56,9 @@ pub use key_wire::{
 pub use lwe::{LweCiphertext, LweKeySwitchKey, LweSecretKey};
 pub use rgsw::{
     external_product, external_product_into, external_product_pair_into,
-    external_product_reference, external_product_with, ExternalProductScratch, RgswCiphertext,
-    RgswParams,
+    external_product_pair_prepared_into, external_product_prepared_into,
+    external_product_reference, external_product_with, ExternalProductScratch, PreparedRgsw,
+    RgswCiphertext, RgswParams,
 };
 pub use rlwe::{RingSecretKey, RlweCiphertext};
 pub use wire::{

@@ -15,7 +15,7 @@
 
 use rand::Rng;
 
-use heap_math::{poly, Domain, Gadget, RnsContext, RnsPoly};
+use heap_math::{poly, Domain, Gadget, RnsContext, RnsPoly, ShoupPoly};
 
 use crate::rlwe::{RingSecretKey, RlweCiphertext};
 
@@ -177,6 +177,72 @@ impl RgswCiphertext {
     }
 }
 
+/// Precomputed Shoup quotients for every limb of every row of an RGSW
+/// ciphertext — the `ShoupMatrixFMA` idiom: key material is converted once
+/// at key load (or reseed) so the external-product MAC inner loop is a pure
+/// multiply-high/subtract into `u64` accumulators, with no per-term Barrett
+/// state and no `u128` arithmetic.
+///
+/// Only quotients are stored ([`ShoupPoly`]); the MAC reads operands from
+/// the original key rows. Each ladder's quotients are indexed
+/// `[row * limbs + limb]`, mirroring the row layout of [`RgswCiphertext`].
+#[derive(Debug, Clone)]
+pub struct PreparedRgsw {
+    /// Quotients for `rows_s[r].a` / `rows_s[r].b`.
+    s_a: Vec<ShoupPoly>,
+    s_b: Vec<ShoupPoly>,
+    /// Quotients for `rows_1[r].a` / `rows_1[r].b`.
+    o_a: Vec<ShoupPoly>,
+    o_b: Vec<ShoupPoly>,
+    limbs: usize,
+}
+
+impl PreparedRgsw {
+    /// Precomputes quotients for every row limb of `rgsw`.
+    ///
+    /// Must be rebuilt whenever the underlying rows change (e.g. after a
+    /// wire-format reseed) — the quotients are only valid for the exact
+    /// operand values they were derived from.
+    pub fn new(rgsw: &RgswCiphertext, ctx: &RnsContext) -> Self {
+        let limbs = rgsw.rows_s.first().map_or(0, |r| r.a.limb_count());
+        let prep_ladder = |rows: &[RlweCiphertext]| {
+            let mut qa = Vec::with_capacity(rows.len() * limbs);
+            let mut qb = Vec::with_capacity(rows.len() * limbs);
+            for row in rows {
+                for j in 0..limbs {
+                    let m = ctx.modulus(j);
+                    qa.push(ShoupPoly::new(row.a.limb(j), m));
+                    qb.push(ShoupPoly::new(row.b.limb(j), m));
+                }
+            }
+            (qa, qb)
+        };
+        let (s_a, s_b) = prep_ladder(&rgsw.rows_s);
+        let (o_a, o_b) = prep_ladder(&rgsw.rows_1);
+        Self {
+            s_a,
+            s_b,
+            o_a,
+            o_b,
+            limbs,
+        }
+    }
+}
+
+/// Whether the Shoup `u64`-accumulator datapath applies: a vector backend
+/// must be active (the scalar Shoup product costs three multiplies versus
+/// the `u128` path's one, so it only wins vectorized), and the
+/// `2·limbs·digits` accumulated terms — each `< 2q` — must fit a `u64`
+/// accumulator under every limb modulus. 60-bit limbs exceed the bound at 8
+/// terms and fall back to the `u128` path by design.
+fn shoup_path_ok(ctx: &RnsContext, params: &RgswParams, limbs: usize) -> bool {
+    if heap_math::simd::active() == heap_math::simd::Backend::Scalar {
+        return false;
+    }
+    let terms = (2 * limbs * params.digits) as u64;
+    (0..limbs).all(|j| terms <= ctx.ntt(j).shoup_mac_term_limit())
+}
+
 fn add_constant(limb: &mut [u64], c: u64, q: u64) {
     // In evaluation domain the constant polynomial is the constant vector.
     for x in limb.iter_mut() {
@@ -204,6 +270,11 @@ pub struct ExternalProductScratch {
     acc_main: Vec<u128>,
     /// Second accumulator set for [`external_product_pair_into`].
     acc_alt: Vec<u128>,
+    /// `u64` accumulators for the Shoup datapath
+    /// ([`external_product_prepared_into`]), same layout as `acc_main`.
+    acc_u64_main: Vec<u64>,
+    /// Second `u64` accumulator set for the pair variant.
+    acc_u64_alt: Vec<u64>,
     a_coeff: Option<RnsPoly>,
     b_coeff: Option<RnsPoly>,
     gadgets: Vec<Gadget>,
@@ -223,6 +294,28 @@ impl ExternalProductScratch {
         if pair {
             self.acc_alt.resize(2 * limbs * n, 0);
             self.acc_alt.fill(0);
+        }
+        let key = (params.base_bits, params.digits, limbs);
+        if self.gadget_key != Some(key) {
+            self.gadgets = params.gadgets(ctx, limbs);
+            self.gadget_key = Some(key);
+        }
+    }
+
+    /// [`Self::prepare`] for the Shoup datapath: `u64` accumulators instead
+    /// of `u128`.
+    fn prepare_shoup(&mut self, ctx: &RnsContext, params: &RgswParams, limbs: usize, pair: bool) {
+        let n = ctx.n();
+        self.digit_signed.resize_with(params.digits, Vec::new);
+        for d in &mut self.digit_signed {
+            d.resize(n, 0);
+        }
+        self.spread.resize(n, 0);
+        self.acc_u64_main.resize(2 * limbs * n, 0);
+        self.acc_u64_main.fill(0);
+        if pair {
+            self.acc_u64_alt.resize(2 * limbs * n, 0);
+            self.acc_u64_alt.fill(0);
         }
         let key = (params.base_bits, params.digits, limbs);
         if self.gadget_key != Some(key) {
@@ -354,6 +447,101 @@ pub fn external_product_into(
     out.b.set_domain(Domain::Eval);
 }
 
+/// [`external_product_into`] over a precomputed key ([`PreparedRgsw`]):
+/// when a SIMD backend is active and the `2·limbs·digits` terms fit a
+/// `u64` accumulator, the MAC inner loop runs the Shoup datapath
+/// ([`heap_math::NttTable::pointwise_mac_shoup`]) — each term is a lazy
+/// Shoup product in `[0, 2q)` from the precomputed quotients, accumulated
+/// unreduced in `u64` and canonically reduced once per coefficient
+/// ([`heap_math::NttTable::reduce_shoup_acc_into`]). Otherwise it delegates
+/// to the `u128` path unchanged. Both paths produce canonical residues of
+/// the same congruence class, so outputs are bit-identical.
+///
+/// # Panics
+///
+/// Panics on RGSW row count mismatch, on a `prep` built for a different
+/// limb count, or if `out` has a different limb count than `ct`.
+pub fn external_product_prepared_into(
+    ct: &RlweCiphertext,
+    rgsw: &RgswCiphertext,
+    prep: &PreparedRgsw,
+    ctx: &RnsContext,
+    params: &RgswParams,
+    scratch: &mut ExternalProductScratch,
+    out: &mut RlweCiphertext,
+) {
+    let limbs = ct.limbs();
+    if !shoup_path_ok(ctx, params, limbs) {
+        external_product_into(ct, rgsw, ctx, params, scratch, out);
+        return;
+    }
+    assert_eq!(
+        rgsw.row_count(),
+        params.rows(limbs),
+        "RGSW row count mismatch"
+    );
+    assert_eq!(prep.limbs, limbs, "prepared key limb count mismatch");
+    assert_eq!(out.limbs(), limbs, "output limb count mismatch");
+    scratch.prepare_shoup(ctx, params, limbs, false);
+    copy_into_slot(&mut scratch.a_coeff, &ct.a);
+    copy_into_slot(&mut scratch.b_coeff, &ct.b);
+    let n = ctx.n();
+    let ExternalProductScratch {
+        digit_signed,
+        spread,
+        acc_u64_main,
+        a_coeff,
+        b_coeff,
+        gadgets,
+        ..
+    } = scratch;
+    let a_coeff = a_coeff.as_mut().expect("slot filled above");
+    let b_coeff = b_coeff.as_mut().expect("slot filled above");
+    a_coeff.to_coeff(ctx);
+    b_coeff.to_coeff(ctx);
+    let (acc_a, acc_b) = acc_u64_main.split_at_mut(limbs * n);
+
+    for (part_coeff, rows, quots_a, quots_b) in [
+        (&*a_coeff, &rgsw.rows_s, &prep.s_a, &prep.s_b),
+        (&*b_coeff, &rgsw.rows_1, &prep.o_a, &prep.o_b),
+    ] {
+        for (i, gadget) in gadgets.iter().enumerate().take(limbs) {
+            gadget.decompose_slice_signed_into(part_coeff.limb(i), digit_signed);
+            for (k, digits) in digit_signed.iter().enumerate() {
+                let r = i * params.digits + k;
+                let row = &rows[r];
+                for j in 0..limbs {
+                    let m = ctx.modulus(j);
+                    let ntt = ctx.ntt(j);
+                    poly::from_signed_into(digits, m, spread);
+                    ntt.forward(spread);
+                    let w = j * n..(j + 1) * n;
+                    ntt.pointwise_mac_shoup(
+                        spread,
+                        row.a.limb(j),
+                        &quots_a[r * limbs + j],
+                        &mut acc_a[w.clone()],
+                    );
+                    ntt.pointwise_mac_shoup(
+                        spread,
+                        row.b.limb(j),
+                        &quots_b[r * limbs + j],
+                        &mut acc_b[w],
+                    );
+                }
+            }
+        }
+    }
+    for j in 0..limbs {
+        let ntt = ctx.ntt(j);
+        let w = j * n..(j + 1) * n;
+        ntt.reduce_shoup_acc_into(&acc_a[w.clone()], out.a.limb_mut(j));
+        ntt.reduce_shoup_acc_into(&acc_b[w], out.b.limb_mut(j));
+    }
+    out.a.set_domain(Domain::Eval);
+    out.b.set_domain(Domain::Eval);
+}
+
 /// Two external products of the *same* RLWE ciphertext against two RGSW
 /// operands, sharing one gadget decomposition and one spread-NTT per
 /// `(part, limb, digit, target-limb)` — each forward NTT feeds **four**
@@ -417,8 +605,8 @@ pub fn external_product_pair_into(
         (&*a_coeff, &rgsw_pos.rows_s, &rgsw_neg.rows_s),
         (&*b_coeff, &rgsw_pos.rows_1, &rgsw_neg.rows_1),
     ] {
-        for i in 0..limbs {
-            gadgets[i].decompose_slice_signed_into(part_coeff.limb(i), digit_signed);
+        for (i, gadget) in gadgets.iter().enumerate().take(limbs) {
+            gadget.decompose_slice_signed_into(part_coeff.limb(i), digit_signed);
             for (k, digits) in digit_signed.iter().enumerate() {
                 let row_p = &rows_pos[i * params.digits + k];
                 let row_n = &rows_neg[i * params.digits + k];
@@ -443,6 +631,135 @@ pub fn external_product_pair_into(
         ntt.reduce_acc_into(&pos_b[w.clone()], out_pos.b.limb_mut(j));
         ntt.reduce_acc_into(&neg_a[w.clone()], out_neg.a.limb_mut(j));
         ntt.reduce_acc_into(&neg_b[w], out_neg.b.limb_mut(j));
+    }
+    out_pos.a.set_domain(Domain::Eval);
+    out_pos.b.set_domain(Domain::Eval);
+    out_neg.a.set_domain(Domain::Eval);
+    out_neg.b.set_domain(Domain::Eval);
+}
+
+/// [`external_product_pair_into`] over precomputed keys — the CMux hot
+/// path. Runs the Shoup `u64`-accumulator datapath when it applies (see
+/// [`external_product_prepared_into`] for the gate and the bit-identity
+/// argument), sharing one decomposition and one spread-NTT across **four**
+/// Shoup MACs; delegates to the `u128` pair variant otherwise.
+///
+/// # Panics
+///
+/// Panics on RGSW row count mismatch, prepared-key limb mismatch, or
+/// output limb mismatch.
+#[allow(clippy::too_many_arguments)] // kernel entry point: two keys + their precomputes, two outputs
+pub fn external_product_pair_prepared_into(
+    ct: &RlweCiphertext,
+    rgsw_pos: &RgswCiphertext,
+    rgsw_neg: &RgswCiphertext,
+    prep_pos: &PreparedRgsw,
+    prep_neg: &PreparedRgsw,
+    ctx: &RnsContext,
+    params: &RgswParams,
+    scratch: &mut ExternalProductScratch,
+    out_pos: &mut RlweCiphertext,
+    out_neg: &mut RlweCiphertext,
+) {
+    let limbs = ct.limbs();
+    if !shoup_path_ok(ctx, params, limbs) {
+        external_product_pair_into(
+            ct, rgsw_pos, rgsw_neg, ctx, params, scratch, out_pos, out_neg,
+        );
+        return;
+    }
+    for rgsw in [rgsw_pos, rgsw_neg] {
+        assert_eq!(
+            rgsw.row_count(),
+            params.rows(limbs),
+            "RGSW row count mismatch"
+        );
+    }
+    for prep in [prep_pos, prep_neg] {
+        assert_eq!(prep.limbs, limbs, "prepared key limb count mismatch");
+    }
+    assert_eq!(out_pos.limbs(), limbs, "output limb count mismatch");
+    assert_eq!(out_neg.limbs(), limbs, "output limb count mismatch");
+    scratch.prepare_shoup(ctx, params, limbs, true);
+    copy_into_slot(&mut scratch.a_coeff, &ct.a);
+    copy_into_slot(&mut scratch.b_coeff, &ct.b);
+    let n = ctx.n();
+    let ExternalProductScratch {
+        digit_signed,
+        spread,
+        acc_u64_main,
+        acc_u64_alt,
+        a_coeff,
+        b_coeff,
+        gadgets,
+        ..
+    } = scratch;
+    let a_coeff = a_coeff.as_mut().expect("slot filled above");
+    let b_coeff = b_coeff.as_mut().expect("slot filled above");
+    a_coeff.to_coeff(ctx);
+    b_coeff.to_coeff(ctx);
+    let (pos_a, pos_b) = acc_u64_main.split_at_mut(limbs * n);
+    let (neg_a, neg_b) = acc_u64_alt.split_at_mut(limbs * n);
+
+    for (part_coeff, rows_pos, rows_neg, qp, qn) in [
+        (
+            &*a_coeff,
+            &rgsw_pos.rows_s,
+            &rgsw_neg.rows_s,
+            (&prep_pos.s_a, &prep_pos.s_b),
+            (&prep_neg.s_a, &prep_neg.s_b),
+        ),
+        (
+            &*b_coeff,
+            &rgsw_pos.rows_1,
+            &rgsw_neg.rows_1,
+            (&prep_pos.o_a, &prep_pos.o_b),
+            (&prep_neg.o_a, &prep_neg.o_b),
+        ),
+    ] {
+        for (i, gadget) in gadgets.iter().enumerate().take(limbs) {
+            gadget.decompose_slice_signed_into(part_coeff.limb(i), digit_signed);
+            for (k, digits) in digit_signed.iter().enumerate() {
+                let r = i * params.digits + k;
+                let row_p = &rows_pos[r];
+                let row_n = &rows_neg[r];
+                for j in 0..limbs {
+                    let m = ctx.modulus(j);
+                    let ntt = ctx.ntt(j);
+                    poly::from_signed_into(digits, m, spread);
+                    ntt.forward(spread);
+                    let w = j * n..(j + 1) * n;
+                    let rj = r * limbs + j;
+                    ntt.pointwise_mac_shoup(
+                        spread,
+                        row_p.a.limb(j),
+                        &qp.0[rj],
+                        &mut pos_a[w.clone()],
+                    );
+                    ntt.pointwise_mac_shoup(
+                        spread,
+                        row_p.b.limb(j),
+                        &qp.1[rj],
+                        &mut pos_b[w.clone()],
+                    );
+                    ntt.pointwise_mac_shoup(
+                        spread,
+                        row_n.a.limb(j),
+                        &qn.0[rj],
+                        &mut neg_a[w.clone()],
+                    );
+                    ntt.pointwise_mac_shoup(spread, row_n.b.limb(j), &qn.1[rj], &mut neg_b[w]);
+                }
+            }
+        }
+    }
+    for j in 0..limbs {
+        let ntt = ctx.ntt(j);
+        let w = j * n..(j + 1) * n;
+        ntt.reduce_shoup_acc_into(&pos_a[w.clone()], out_pos.a.limb_mut(j));
+        ntt.reduce_shoup_acc_into(&pos_b[w.clone()], out_pos.b.limb_mut(j));
+        ntt.reduce_shoup_acc_into(&neg_a[w.clone()], out_neg.a.limb_mut(j));
+        ntt.reduce_shoup_acc_into(&neg_b[w], out_neg.b.limb_mut(j));
     }
     out_pos.a.set_domain(Domain::Eval);
     out_pos.b.set_domain(Domain::Eval);

@@ -15,8 +15,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use heap_math::prime::ntt_primes;
 use heap_math::{RnsContext, RnsPoly};
 use heap_tfhe::{
-    external_product_into, external_product_pair_into, ExternalProductScratch, MonomialEvals,
-    RgswCiphertext, RgswParams, RingSecretKey, RlweCiphertext,
+    external_product_into, external_product_pair_into, external_product_pair_prepared_into,
+    ExternalProductScratch, MonomialEvals, PreparedRgsw, RgswCiphertext, RgswParams, RingSecretKey,
+    RlweCiphertext,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -124,5 +125,47 @@ fn external_product_into_is_allocation_free_when_warm() {
     assert_eq!(
         count, 0,
         "paired product + factor path allocated {count} times after warm-up"
+    );
+
+    // The Shoup-precomputed pair path (the CMux step the blind rotation
+    // actually drives): quotients come from the key-load-time
+    // `PreparedRgsw`, u64 accumulators from the scratch — still zero
+    // allocations once warm, on every backend.
+    let prep_pos = PreparedRgsw::new(&rgsw, &ctx);
+    let prep_neg = PreparedRgsw::new(&rgsw_neg, &ctx);
+    external_product_pair_prepared_into(
+        &ct,
+        &rgsw,
+        &rgsw_neg,
+        &prep_pos,
+        &prep_neg,
+        &ctx,
+        &params,
+        &mut pair_scratch,
+        &mut out_pos,
+        &mut out_neg,
+    );
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    TRACK.store(true, Ordering::SeqCst);
+    for _ in 0..8 {
+        external_product_pair_prepared_into(
+            &ct,
+            &rgsw,
+            &rgsw_neg,
+            &prep_pos,
+            &prep_neg,
+            &ctx,
+            &params,
+            &mut pair_scratch,
+            &mut out_pos,
+            &mut out_neg,
+        );
+    }
+    TRACK.store(false, Ordering::SeqCst);
+    let count = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        count, 0,
+        "prepared pair product allocated {count} times after warm-up"
     );
 }

@@ -14,8 +14,9 @@ use heap_math::{RnsContext, RnsPoly};
 use heap_tfhe::lwe::LweSecretKey;
 use heap_tfhe::rlwe::{RingSecretKey, RlweCiphertext};
 use heap_tfhe::{
-    external_product, external_product_reference, test_polynomial_from_fn, BlindRotateKey,
-    LweCiphertext, RgswCiphertext, RgswParams,
+    external_product, external_product_prepared_into, external_product_reference,
+    test_polynomial_from_fn, BlindRotateKey, ExternalProductScratch, LweCiphertext, PreparedRgsw,
+    RgswCiphertext, RgswParams,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -85,6 +86,26 @@ proptest! {
         assert_bit_identical(&hot, &oracle, "blind_rotate");
     }
 
+    /// Shoup-precomputed (u64-accumulator) external product == strict
+    /// reference: the SIMD FMA datapath with key-load-time quotients must
+    /// produce the same canonical residues as the u128 lazy MAC.
+    #[test]
+    fn prepared_external_product_matches_reference(seed in any::<u64>(), scalar in -1i64..=1) {
+        let c = ctx();
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = RingSecretKey::generate(&c, LIMBS, &mut rng);
+        let msg: Vec<i64> = (0..N).map(|_| rng.gen_range(-500..500)).collect();
+        let ct = RlweCiphertext::encrypt(&c, &sk, &RnsPoly::from_signed(&c, &msg, LIMBS), &mut rng);
+        let rgsw = RgswCiphertext::encrypt_scalar(&c, &sk, scalar, LIMBS, &p, &mut rng);
+        let prep = PreparedRgsw::new(&rgsw, &c);
+        let mut scratch = ExternalProductScratch::default();
+        let mut prepared = RlweCiphertext::zero(&c, LIMBS);
+        external_product_prepared_into(&ct, &rgsw, &prep, &c, &p, &mut scratch, &mut prepared);
+        let strict = external_product_reference(&ct, &rgsw, &c, &p);
+        assert_bit_identical(&prepared, &strict, "external_product_prepared");
+    }
+
     /// The key-major batch schedule is bit-identical to rotating each LWE
     /// through the strict reference independently (scratch reuse across
     /// interleaved accumulators leaks no state).
@@ -113,4 +134,42 @@ proptest! {
             assert_bit_identical(got, &oracle, "blind_rotate_batch_key_major");
         }
     }
+}
+
+/// Full blind rotation with SIMD force-disabled == the same rotation on
+/// whatever backend the host dispatches (on a vector host this pins the
+/// whole AVX2/NEON + Shoup datapath against the scalar kernels; on a
+/// scalar host it is a no-op identity). `force_scalar` is restored even on
+/// panic so concurrent tests keep their native dispatch — which is safe
+/// either way, precisely because the paths are bit-identical.
+#[test]
+fn blind_rotate_forced_scalar_is_bit_identical() {
+    struct RestoreSimd;
+    impl Drop for RestoreSimd {
+        fn drop(&mut self) {
+            heap_math::simd::force_scalar(false);
+        }
+    }
+
+    let c = ctx();
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let ring_sk = RingSecretKey::generate(&c, LIMBS, &mut rng);
+    let lwe_sk = LweSecretKey::generate(&mut rng, N_T);
+    let brk = BlindRotateKey::generate(&c, &lwe_sk, &ring_sk, LIMBS, params(), &mut rng);
+    let two_n = 2 * N as u64;
+    let f = test_polynomial_from_fn(&c, LIMBS, |u| u << 40);
+    let lwe = LweCiphertext {
+        a: (0..N_T).map(|_| rng.gen_range(0..two_n)).collect(),
+        b: rng.gen_range(0..two_n),
+        modulus: two_n,
+    };
+
+    let native = brk.blind_rotate(&c, &f, &lwe);
+
+    let _restore = RestoreSimd;
+    heap_math::simd::force_scalar(true);
+    assert_eq!(heap_math::simd::active(), heap_math::simd::Backend::Scalar);
+    let scalar = brk.blind_rotate(&c, &f, &lwe);
+
+    assert_bit_identical(&native, &scalar, "blind_rotate (forced scalar)");
 }
