@@ -31,8 +31,8 @@ use heap_parallel::{par_map, par_map_init, Parallelism};
 use heap_tfhe::blind_rotate::MonomialEvals;
 use heap_tfhe::extract::{extract_coefficient, extract_constant_rns, RnsLweCiphertext};
 use heap_tfhe::{
-    test_polynomial_from_fn, BlindRotateKey, BlindRotateScratch, LweCiphertext, LweKeySwitchKey,
-    LweSecretKey, RgswParams, RingSecretKey, RlweCiphertext,
+    test_polynomial_from_fn, AutoBlindRotateKey, BlindRotateKey, BrBackend, BrKeys, LweCiphertext,
+    LweKeySwitchKey, LweSecretKey, RgswParams, RingSecretKey, RlweCiphertext,
 };
 
 use crate::repack::{pack_lwes, repack_exponents, repack_factor};
@@ -49,6 +49,10 @@ pub struct BootstrapConfig {
     pub ks_digits: usize,
     /// RGSW gadget for blind rotation (paper: `d = 2`).
     pub rgsw: RgswParams,
+    /// Which blind-rotate datapath the keys are generated for and the
+    /// bootstrapper runs: per-mask-element CMUX or automorphism grouping
+    /// with Galois key switching.
+    pub backend: BrBackend,
     /// Ciphertext-level data parallelism for the extract / mod-switch /
     /// blind-rotate pipeline (the loop HEAP spreads across FPGAs).
     /// Results are bit-identical for every thread count.
@@ -63,6 +67,7 @@ impl BootstrapConfig {
             ks_base_bits: 12,
             ks_digits: 3,
             rgsw: RgswParams::paper(),
+            backend: BrBackend::Cmux,
             parallelism: Parallelism::default(),
         }
     }
@@ -77,6 +82,7 @@ impl BootstrapConfig {
                 base_bits: 15,
                 digits: 2,
             },
+            backend: BrBackend::Cmux,
             parallelism: Parallelism::default(),
         }
     }
@@ -84,6 +90,12 @@ impl BootstrapConfig {
     /// Returns the config with a different [`Parallelism`] setting.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Returns the config with a different blind-rotate backend.
+    pub fn with_backend(mut self, backend: BrBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -95,8 +107,9 @@ impl BootstrapConfig {
 pub struct GeneratedKeys {
     /// LWE key switch: ring dimension `N` → `n_t`, over `q_0`.
     pub ksk: LweKeySwitchKey,
-    /// Blind rotation key over the raised basis.
-    pub brk: BlindRotateKey,
+    /// Blind rotation key over the raised basis, in whichever backend
+    /// variant the config selected.
+    pub br: BrKeys,
     /// Galois keys for the repacking automorphism tree.
     pub gks: GaloisKeys,
 }
@@ -127,12 +140,32 @@ pub fn generate_keys<R: Rng + ?Sized>(
         config.ks_digits,
         rng,
     );
-    let brk = BlindRotateKey::generate(rns, &lwe_sk, &ring_sk, boot_limbs, config.rgsw, rng);
+    // Backend match AFTER the ksk draw: the CMUX arm consumes the exact
+    // RNG stream the pre-backend code did, keeping fixed-seed key digests
+    // stable.
+    let br = match config.backend {
+        BrBackend::Cmux => BrKeys::Cmux(BlindRotateKey::generate(
+            rns,
+            &lwe_sk,
+            &ring_sk,
+            boot_limbs,
+            config.rgsw,
+            rng,
+        )),
+        BrBackend::Auto => BrKeys::Auto(AutoBlindRotateKey::generate(
+            rns,
+            &lwe_sk,
+            &ring_sk,
+            boot_limbs,
+            config.rgsw,
+            rng,
+        )),
+    };
     let mut gks = GaloisKeys::new();
     for g in repack_exponents(ctx.n()) {
         gks.add_exponent(ctx, sk, g, rng);
     }
-    GeneratedKeys { ksk, brk, gks }
+    GeneratedKeys { ksk, br, gks }
 }
 
 /// [`generate_keys`] followed by the reseed transform: every uniform mask
@@ -162,15 +195,35 @@ pub fn generate_keys_reseeded<R: Rng + ?Sized>(
         config.ks_digits,
         rng,
     );
-    let mut brk = BlindRotateKey::generate(rns, &lwe_sk, &ring_sk, boot_limbs, config.rgsw, rng);
+    let mut br = match config.backend {
+        BrBackend::Cmux => BrKeys::Cmux(BlindRotateKey::generate(
+            rns,
+            &lwe_sk,
+            &ring_sk,
+            boot_limbs,
+            config.rgsw,
+            rng,
+        )),
+        BrBackend::Auto => BrKeys::Auto(AutoBlindRotateKey::generate(
+            rns,
+            &lwe_sk,
+            &ring_sk,
+            boot_limbs,
+            config.rgsw,
+            rng,
+        )),
+    };
     let mut gks = GaloisKeys::new();
     for g in repack_exponents(ctx.n()) {
         gks.add_exponent(ctx, sk, g, rng);
     }
     heap_tfhe::reseed_ksk(&mut ksk, &lwe_sk, q0, derive_seed(master, b"ksk"));
-    heap_tfhe::reseed_brk(&mut brk, rns, &ring_sk, derive_seed(master, b"brk"));
+    match &mut br {
+        BrKeys::Cmux(brk) => heap_tfhe::reseed_brk(brk, rns, &ring_sk, derive_seed(master, b"brk")),
+        BrKeys::Auto(abk) => heap_tfhe::reseed_abk(abk, rns, &ring_sk, derive_seed(master, b"abk")),
+    }
     heap_ckks::reseed_galois_keys(&mut gks, ctx, sk, derive_seed(master, b"gks"));
-    GeneratedKeys { ksk, brk, gks }
+    GeneratedKeys { ksk, br, gks }
 }
 
 /// Holds all (public) key material and precomputation for bootstrapping.
@@ -183,8 +236,8 @@ pub struct Bootstrapper {
     config: BootstrapConfig,
     /// LWE key switch: ring dimension `N` → `n_t`, over `q_0`.
     ksk: LweKeySwitchKey,
-    /// Blind rotation key over the raised basis.
-    brk: BlindRotateKey,
+    /// Blind rotation key over the raised basis (backend-variant).
+    br: BrKeys,
     /// Galois keys for the repacking automorphism tree.
     gks: GaloisKeys,
     /// Monomial evaluation tables for the boot basis.
@@ -227,10 +280,15 @@ impl Bootstrapper {
             t_scalar >= 1,
             "aux prime too small for N: increase aux_bits"
         );
+        assert_eq!(
+            keys.br.backend(),
+            config.backend,
+            "key material was generated for a different blind-rotate backend"
+        );
         Self {
             config,
             ksk: keys.ksk,
-            brk: keys.brk,
+            br: keys.br,
             gks: keys.gks,
             monomials,
             test_poly,
@@ -259,9 +317,10 @@ impl Bootstrapper {
         &self.config
     }
 
-    /// The blind-rotation key (used by the general scheme-switch API).
-    pub(crate) fn brk_ref(&self) -> &BlindRotateKey {
-        &self.brk
+    /// The blind-rotation key set (used by the general scheme-switch API
+    /// and key bundling).
+    pub fn br_keys(&self) -> &BrKeys {
+        &self.br
     }
 
     /// Refreshes every coefficient: the fully-packed bootstrap
@@ -334,11 +393,12 @@ impl Bootstrapper {
             let m_in = u as f64 * q0 / (2.0 * n * delta);
             (2.0 * n * delta * f(m_in)).round() as i64
         });
+        let be = self.br.as_backend();
         let rotated: Vec<RlweCiphertext> = par_map_init(
             self.config.parallelism,
             &switched,
-            BlindRotateScratch::default,
-            |scratch, _, l| self.brk.blind_rotate_with(ctx.rns(), &lut, l, scratch),
+            || be.make_scratch(),
+            |scratch, _, l| be.rotate_with(ctx.rns(), &lut, l, scratch),
         );
         let leaves = self.to_leaves(ctx, &rotated, indices);
         self.finish(ctx, leaves, ct.scale())
@@ -410,15 +470,20 @@ impl Bootstrapper {
         par: Parallelism,
     ) -> Vec<RlweCiphertext> {
         let _span = self.stages.blind_rotate.time();
-        par_map_init(par, lwes, BlindRotateScratch::default, |scratch, _, l| {
-            self.brk
-                .blind_rotate_with(ctx.rns(), &self.test_poly, l, scratch)
-        })
+        let be = self.br.as_backend();
+        par_map_init(
+            par,
+            lwes,
+            || be.make_scratch(),
+            |scratch, _, l| be.rotate_with(ctx.rns(), &self.test_poly, l, scratch),
+        )
     }
 
     /// A single blind rotation (exposed so clusters can schedule batches).
     pub fn blind_rotate_one(&self, ctx: &CkksContext, lwe: &LweCiphertext) -> RlweCiphertext {
-        self.brk.blind_rotate(ctx.rns(), &self.test_poly, lwe)
+        let be = self.br.as_backend();
+        let mut scratch = be.make_scratch();
+        be.rotate_with(ctx.rns(), &self.test_poly, lwe, &mut scratch)
     }
 
     /// Step 4a — extract each rotation's constant coefficient and position

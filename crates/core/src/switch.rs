@@ -64,8 +64,10 @@ impl<'a> SchemeSwitch<'a> {
             let m_in = u as f64 * q0 / (2.0 * n * input_scale);
             (2.0 * n * input_scale * g(m_in)).round() as i64
         });
+        let be = self.boot.br_keys().as_backend();
+        let mut scratch = be.make_scratch();
         lwes.iter()
-            .map(|l| self.boot.brk().blind_rotate(ctx.rns(), &lut, l))
+            .map(|l| be.rotate_with(ctx.rns(), &lut, l, &mut scratch))
             .collect()
     }
 
@@ -96,13 +98,6 @@ impl<'a> SchemeSwitch<'a> {
         let lwes = self.to_lwes(ctx, ct, indices);
         let rotated = self.blind_rotate_eval(ctx, &lwes, ct.scale(), g);
         self.from_lwes(ctx, &rotated, indices, ct.scale())
-    }
-}
-
-impl Bootstrapper {
-    /// The blind-rotation key (exposed for the general switching API).
-    pub fn brk(&self) -> &heap_tfhe::BlindRotateKey {
-        self.brk_ref()
     }
 }
 

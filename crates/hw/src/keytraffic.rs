@@ -140,6 +140,10 @@ pub struct EvalKeyWireModel {
     pub chain_moduli: Vec<u64>,
     /// Automorphism exponents held in the Galois key set.
     pub galois_exponents: usize,
+    /// Whether the blind-rotate key is the automorphism-backend `ABK1`
+    /// variant (one RGSW per secret element plus `log₂N` Galois switch
+    /// keys) instead of the CMUX `BRK1` pos/neg ladder.
+    pub auto_backend: bool,
 }
 
 impl EvalKeyWireModel {
@@ -182,6 +186,39 @@ impl EvalKeyWireModel {
         (header + rows * per_row) as u64
     }
 
+    /// `ABK1` bytes: same header layout as `BRK1`, then `n_t` RGSWs
+    /// (`2·limbs·digits` RLWE rows each, half the CMUX ladder) plus
+    /// `log₂N` Galois switch keys of `limbs·digits` rows — the smaller
+    /// key the automorphism backend trades for its group-walk schedule.
+    pub fn abk_bytes(&self, seeded: bool) -> u64 {
+        let limbs = self.boot_moduli.len();
+        let header = 25 + 8 * limbs + if seeded { 8 } else { 0 };
+        let gk_count = self.n.trailing_zeros() as usize; // log2(N/2) + 1
+        let rows = (2 * self.n_t + gk_count) * limbs * self.rgsw_digits;
+        let per_row: usize = self
+            .boot_moduli
+            .iter()
+            .map(|&m| {
+                let limb = packed_size(self.n, modulus_bits(m));
+                if seeded {
+                    limb
+                } else {
+                    2 * limb
+                }
+            })
+            .sum();
+        (header + rows * per_row) as u64
+    }
+
+    /// Blind-rotate key bytes for the configured backend.
+    pub fn br_bytes(&self, seeded: bool) -> u64 {
+        if self.auto_backend {
+            self.abk_bytes(seeded)
+        } else {
+            self.brk_bytes(seeded)
+        }
+    }
+
     /// `CKS1` bytes for one repacking key-switch key: 17-byte header +
     /// one u64 per chain modulus (+8 seed), then `boot_limbs` components
     /// of one/two packed length-`N` polynomials per chain limb.
@@ -212,10 +249,11 @@ impl EvalKeyWireModel {
         4 + 4 + self.galois_exponents as u64 * (4 + 4 + self.cks_bytes(seeded))
     }
 
-    /// `EKS1` container bytes: 25-byte header (magic, version, five
-    /// shape fields) + three u32 length prefixes + the three inner keys.
+    /// `EKS1` container bytes: 26-byte header (magic, version, backend,
+    /// five shape fields) + three u32 length prefixes + the three inner
+    /// keys.
     pub fn container_bytes(&self, seeded: bool) -> u64 {
-        25 + 3 * 4 + self.ksk_bytes(seeded) + self.brk_bytes(seeded) + self.gks_bytes(seeded)
+        26 + 3 * 4 + self.ksk_bytes(seeded) + self.br_bytes(seeded) + self.gks_bytes(seeded)
     }
 
     /// Client→node key bytes for a *cold* batch (node cache misses):
@@ -309,6 +347,7 @@ mod tests {
             boot_moduli: vec![(1 << 30) - 35, (1 << 30) - 107],
             chain_moduli: vec![(1 << 30) - 35, (1 << 30) - 107, (1 << 30) - 731],
             galois_exponents: 7,
+            auto_backend: false,
         }
     }
 
@@ -334,8 +373,24 @@ mod tests {
         for seeded in [false, true] {
             assert_eq!(
                 m.container_bytes(seeded),
-                37 + m.ksk_bytes(seeded) + m.brk_bytes(seeded) + m.gks_bytes(seeded)
+                38 + m.ksk_bytes(seeded) + m.brk_bytes(seeded) + m.gks_bytes(seeded)
             );
+        }
+    }
+
+    #[test]
+    fn auto_backend_key_is_at_least_1_5x_smaller() {
+        let cmux = wire_model();
+        let auto = EvalKeyWireModel {
+            auto_backend: true,
+            ..wire_model()
+        };
+        for seeded in [false, true] {
+            let b = cmux.br_bytes(seeded);
+            let a = auto.br_bytes(seeded);
+            // 4·n_t / (2·n_t + log₂N): 64/39 ≈ 1.64 at n_t = 16, N = 128.
+            assert!(2 * b >= 3 * a, "brk {b} vs abk {a} (seeded={seeded})");
+            assert!(auto.container_bytes(seeded) < cmux.container_bytes(seeded));
         }
     }
 
